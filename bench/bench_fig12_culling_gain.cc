@@ -1,0 +1,66 @@
+// Fig 12: effect of culling on PSSIM geometry *without stall effects*.
+// Paper: excluding stalls, culling still improves PSSIM geometry by ~2%
+// on average (and ~1% color) because the saved bandwidth buys quality;
+// LiVo typically needs ~2x less bandwidth after encoding than NoCull.
+#include "bench_util.h"
+#include "core/experiment.h"
+
+int main() {
+  using namespace livo;
+  bench::PrintHeader("Fig 12",
+                     "Culling effect on PSSIM geometry, stall-free frames");
+
+  const sim::ScaleProfile profile = sim::ScaleProfile::Default();
+  // Generous flat trace so neither variant stalls: isolates the
+  // quality-per-bit effect of culling from the stall effect.
+  sim::BandwidthTrace flat = sim::MakeTrace1(40.0);
+  for (auto& v : flat.mbps) v = flat.MeanMbps();
+  flat.name = "flat-217";
+
+  bench::PrintRow({"Video", "NoCull_geom", "LiVo_geom", "delta%",
+                   "NoCull_KB/f", "LiVo_KB/f"}, 13);
+  double geom_gain = 0.0, bw_ratio = 0.0;
+  int n = 0;
+  for (const auto& spec : sim::AllVideos()) {
+    const auto seq = sim::CaptureVideo(spec.name, profile, 24);
+    const auto user = sim::GenerateUserTrace(spec.name,
+                                             sim::TraceStyle::kWalkIn, 150);
+    double geom[2], bytes[2];
+    int i = 0;
+    for (const auto scheme : {core::Scheme::kLiVoNoCull, core::Scheme::kLiVo}) {
+      const auto r = core::RunScheme(scheme, seq, user, flat, profile);
+      // Rendered-frames-only PSSIM (stall-free by construction anyway).
+      double g = 0.0;
+      std::size_t total_bytes = 0;
+      int count = 0;
+      for (const auto& f : r.frames) {
+        total_bytes += f.sender.color_bytes + f.sender.depth_bytes;
+        if (f.rendered && f.pssim_geometry >= 0.0) {
+          g += f.pssim_geometry;
+          ++count;
+        }
+      }
+      geom[i] = count ? g / count : 0.0;
+      bytes[i] = r.frames.empty()
+                     ? 0.0
+                     : static_cast<double>(total_bytes) / r.frames.size();
+      ++i;
+    }
+    geom_gain += geom[1] - geom[0];
+    bw_ratio += bytes[0] / std::max(1.0, bytes[1]);
+    ++n;
+    bench::PrintRow({spec.name, bench::Fmt(geom[0], 1), bench::Fmt(geom[1], 1),
+                     bench::Fmt(100.0 * (geom[1] - geom[0]) /
+                                    std::max(1.0, geom[0]), 1),
+                     bench::Fmt(bytes[0] / 1024.0, 1),
+                     bench::Fmt(bytes[1] / 1024.0, 1)},
+                    13);
+  }
+  std::printf("\nmean geometry gain: %.1f PSSIM points; mean encoded-size "
+              "ratio NoCull/LiVo: %.2fx\n",
+              geom_gain / n, bw_ratio / n);
+  std::printf(
+      "Expected shape: small positive geometry gain on every multi-object\n"
+      "video (minimal on dance5) and roughly 2x bandwidth saving.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Fig 15: culling accuracy with the Kalman-filter frustum predictor, by
+// guard band (cm) x prediction window W (frames ahead), for band2.
+// Cell = % of the pixels inside the *actual* future frustum that survive
+// culling with the *predicted* expanded frustum; brackets = fraction of all
+// valid pixels kept (transmitted). Paper: accuracy >= 91.8% everywhere,
+// >= 98.4% at W=5; guard bands up to 30 cm cost little extra data.
+#include "bench_util.h"
+#include "core/culling.h"
+#include "predict/kalman.h"
+#include "sim/dataset.h"
+#include "sim/usertrace.h"
+
+int main() {
+  using namespace livo;
+  bench::PrintHeader("Fig 15",
+                     "Culling accuracy: guard band (cm) x prediction window "
+                     "(frames), band2");
+
+  const sim::ScaleProfile profile = sim::ScaleProfile::Default();
+  const int frames = 20;
+  const auto seq = sim::CaptureVideo("band2", profile, frames);
+  const auto user =
+      sim::GenerateUserTrace("band2", sim::TraceStyle::kWalkIn, frames + 40);
+  const geom::FrustumParams viewer;
+
+  const std::vector<int> guards_cm{10, 20, 30, 50};
+  const std::vector<int> windows{5, 10, 20, 30};
+
+  std::printf("%-10s", "Guard");
+  for (int w : windows) std::printf("W=%-16d", w);
+  std::printf("\n");
+
+  for (int guard_cm : guards_cm) {
+    std::printf("%-10d", guard_cm);
+    for (int w : windows) {
+      double recall_sum = 0.0, kept_sum = 0.0;
+      int count = 0;
+      for (int f = 0; f < frames; ++f) {
+        // Warm the filter with all poses up to frame f, then predict the
+        // pose W frames ahead.
+        predict::PoseKalmanFilter filter;
+        const int warm_start = std::max(0, f - 30);
+        for (int j = warm_start; j <= f; ++j) {
+          filter.Observe(user.poses[static_cast<std::size_t>(j)]);
+        }
+        const double horizon_ms = w * 1000.0 / profile.fps;
+        const geom::Pose predicted = filter.PredictAhead(horizon_ms);
+        const geom::Frustum expanded =
+            geom::Frustum(predicted, viewer).Expanded(guard_cm / 100.0);
+        const geom::Frustum actual(
+            user.poses[static_cast<std::size_t>(f + w)].pose, viewer);
+        const core::CullAccuracy acc = core::EvaluateCulling(
+            seq.frames[static_cast<std::size_t>(f)], seq.rig, expanded,
+            actual);
+        recall_sum += acc.recall;
+        kept_sum += acc.kept_fraction;
+        ++count;
+      }
+      std::printf("%6.2f (%.2f)    ", 100.0 * recall_sum / count,
+                  kept_sum / count);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nExpected shape: accuracy falls with longer windows and rises with\n"
+      "wider guard bands; a 20 cm guard band keeps accuracy high at the\n"
+      "conferencing-scale horizon (W<=10) without transmitting much more.\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Microbenchmarks (google-benchmark) for the performance-critical
+// primitives behind the paper's 30 fps requirement: the 8x8 DCT, plane
+// encoding, RGB-D view culling, point-cloud reconstruction, octree coding,
+// and PointSSIM.
+#include <benchmark/benchmark.h>
+
+#include "core/culling.h"
+#include "core/types.h"
+#include "image/depth_encoding.h"
+#include "image/tiling.h"
+#include "metrics/pointssim.h"
+#include "pccodec/octree_codec.h"
+#include "pointcloud/pointcloud.h"
+#include "sim/dataset.h"
+#include "util/rng.h"
+#include "video/color_convert.h"
+#include "video/dct.h"
+#include "video/plane_codec.h"
+
+namespace {
+
+using namespace livo;
+
+const sim::CapturedSequence& Sequence() {
+  static const sim::CapturedSequence seq =
+      sim::CaptureVideo("band2", sim::ScaleProfile::Default(), 2);
+  return seq;
+}
+
+void BM_ForwardDct(benchmark::State& state) {
+  util::Rng rng(1);
+  video::Block spatial, freq;
+  for (auto& v : spatial) v = rng.Uniform(0, 255);
+  for (auto _ : state) {
+    video::ForwardDct(spatial, freq);
+    benchmark::DoNotOptimize(freq);
+  }
+}
+BENCHMARK(BM_ForwardDct);
+
+void BM_EncodeTiledColorPlane(benchmark::State& state) {
+  const auto& seq = Sequence();
+  core::LiVoConfig config;
+  const auto tiled = image::Tile(config.layout, seq.frames[0], 0);
+  const auto planes = video::RgbToYcbcr(tiled.color);
+  const video::CodecConfig codec = config.ColorCodecConfig();
+  const int qp = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto out = video::EncodePlane(codec, planes[0], nullptr, qp);
+    benchmark::DoNotOptimize(out.bits);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(planes[0].size()));
+}
+BENCHMARK(BM_EncodeTiledColorPlane)->Arg(10)->Arg(24)->Arg(40);
+
+void BM_CullViews(benchmark::State& state) {
+  const auto& seq = Sequence();
+  const geom::Frustum frustum(
+      geom::Pose::LookAt({2.0, 1.5, 2.0}, {0, 0.9, 0}), geom::FrustumParams{});
+  for (auto _ : state) {
+    auto views = seq.frames[0];
+    auto stats = core::CullViews(views, seq.rig, frustum);
+    benchmark::DoNotOptimize(stats);
+  }
+}
+BENCHMARK(BM_CullViews);
+
+void BM_ReconstructCloud(benchmark::State& state) {
+  const auto& seq = Sequence();
+  for (auto _ : state) {
+    auto cloud = pointcloud::ReconstructFromViews(seq.frames[0], seq.rig);
+    benchmark::DoNotOptimize(cloud);
+  }
+}
+BENCHMARK(BM_ReconstructCloud);
+
+void BM_VoxelDownsample(benchmark::State& state) {
+  const auto cloud =
+      pointcloud::ReconstructFromViews(Sequence().frames[0], Sequence().rig);
+  for (auto _ : state) {
+    auto v = pointcloud::VoxelDownsample(cloud, 0.025);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_VoxelDownsample);
+
+void BM_OctreeEncode(benchmark::State& state) {
+  const auto cloud =
+      pointcloud::ReconstructFromViews(Sequence().frames[0], Sequence().rig);
+  pccodec::PcCodecConfig config;
+  config.quantization_bits = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto encoded = pccodec::EncodeCloud(cloud, config);
+    benchmark::DoNotOptimize(encoded);
+  }
+  state.counters["points"] = static_cast<double>(cloud.size());
+}
+BENCHMARK(BM_OctreeEncode)->Arg(8)->Arg(11);
+
+void BM_PointSsim(benchmark::State& state) {
+  const auto cloud = pointcloud::VoxelDownsample(
+      pointcloud::ReconstructFromViews(Sequence().frames[0], Sequence().rig),
+      0.025);
+  const auto distorted = pointcloud::VoxelDownsample(
+      pointcloud::ReconstructFromViews(Sequence().frames[1], Sequence().rig),
+      0.025);
+  metrics::PointSsimConfig config;
+  config.max_anchors = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto r = metrics::PointSsim(cloud, distorted, config);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_PointSsim)->Arg(500)->Arg(2000);
+
+void BM_DepthScale(benchmark::State& state) {
+  const auto& seq = Sequence();
+  core::LiVoConfig config;
+  const auto tiled = image::Tile(config.layout, seq.frames[0], 0);
+  const image::DepthScaler scaler;
+  for (auto _ : state) {
+    auto scaled = image::ScaleDepth(tiled.depth, scaler);
+    benchmark::DoNotOptimize(scaled);
+  }
+}
+BENCHMARK(BM_DepthScale);
+
+}  // namespace
+
+BENCHMARK_MAIN();

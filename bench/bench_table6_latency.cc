@@ -1,0 +1,50 @@
+// Table 6: per-component latency for LiVo and LiVo-NoCull.
+// Paper (ms): sender processing ~64 (LiVo) with culling at the sender;
+// WebRTC transmission ~137 (dominated by the 100 ms jitter buffer);
+// receiver processing ~53; rendering within the 20 ms MTP budget (~6 ms);
+// end-to-end within 300 ms.
+//
+// Two latency families are reported: *timeline* latency from the emulated
+// transport (jitter buffer + serialization + propagation) and *measured
+// compute* of each pipeline stage on this machine (simulator scale).
+#include "bench_util.h"
+#include "core/experiment.h"
+
+int main() {
+  using namespace livo;
+  bench::PrintHeader("Table 6", "Per-component latency (ms)");
+
+  const sim::ScaleProfile profile = sim::ScaleProfile::Default();
+  const auto seq = sim::CaptureVideo("band2", profile, 36);
+  const auto user = sim::GenerateUserTrace("band2", sim::TraceStyle::kOrbit, 140);
+  const auto net = sim::MakeTrace1(40.0);
+
+  std::printf("%-28s %-16s %-16s\n", "Component", "LiVo", "LiVo-NoCull");
+  core::SessionResult results[2];
+  int i = 0;
+  for (const auto scheme : {core::Scheme::kLiVo, core::Scheme::kLiVoNoCull}) {
+    results[i++] = core::RunScheme(scheme, seq, user, net, profile);
+  }
+  const auto row = [&](const char* name,
+                       const util::RunningStats core::SessionResult::* stats) {
+    std::printf("%-28s %6.2f (%5.2f)   %6.2f (%5.2f)\n", name,
+                (results[0].*stats).mean(), (results[0].*stats).stddev(),
+                (results[1].*stats).mean(), (results[1].*stats).stddev());
+  };
+  std::printf("-- measured stage compute (this machine, simulator scale) --\n");
+  row("sender: view culling", &core::SessionResult::sender_cull_ms);
+  row("sender: tiling", &core::SessionResult::sender_tile_ms);
+  row("sender: encode (rate ctl)", &core::SessionResult::sender_encode_ms);
+  row("receiver: decode", &core::SessionResult::receiver_decode_ms);
+  row("receiver: reconstruction", &core::SessionResult::receiver_reconstruct_ms);
+  row("receiver: render (voxel+cull)", &core::SessionResult::receiver_render_ms);
+  std::printf("-- emulated transport timeline --\n");
+  row("WebRTC transmission", &core::SessionResult::transport_ms);
+  std::printf("%-28s %6.0f           %6.0f\n", "end-to-end latency",
+              results[0].mean_latency_ms, results[1].mean_latency_ms);
+  std::printf(
+      "\nExpected shape: transmission dominates (jitter buffer 100 ms);\n"
+      "culling moves cost from receiver to sender; rendering stays within\n"
+      "the ~20 ms motion-to-photon budget; end-to-end < 300 ms.\n");
+  return 0;
+}

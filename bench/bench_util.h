@@ -1,0 +1,31 @@
+// Shared formatting helpers for the evaluation bench binaries.
+//
+// Each bench regenerates one table or figure from the paper's evaluation
+// (§4). Figures are printed as data series ("x y1 y2 ..."), tables as
+// aligned text tables; EXPERIMENTS.md records paper-vs-measured values.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace livo::bench {
+
+inline void PrintHeader(const std::string& id, const std::string& title) {
+  std::printf("==============================================================\n");
+  std::printf("%s : %s\n", id.c_str(), title.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void PrintRow(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& c : cells) std::printf("%-*s", width, c.c_str());
+  std::printf("\n");
+}
+
+inline std::string Fmt(double v, int decimals = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace livo::bench

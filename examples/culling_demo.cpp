@@ -1,0 +1,63 @@
+// View prediction + culling demo (§3.4).
+//
+// Follows a viewer walking around the band2 stage, predicting their frustum
+// with the Kalman filter at a realistic one-way-delay horizon, culling the
+// RGB-D views against the guard-banded prediction, and reporting how much
+// data culling removes and how often needed content is preserved.
+//
+// Build & run:  ./build/examples/culling_demo
+#include <cstdio>
+
+#include "core/culling.h"
+#include "core/frustum_predictor.h"
+#include "sim/dataset.h"
+#include "sim/usertrace.h"
+
+int main() {
+  using namespace livo;
+  const sim::ScaleProfile profile = sim::ScaleProfile::Default();
+  constexpr int kFrames = 40;
+  constexpr double kOneWayDelayMs = 120.0;  // prediction horizon
+
+  std::printf("rendering band2 and generating a walk-in viewer trace...\n");
+  const auto seq = sim::CaptureVideo("band2", profile, kFrames);
+  const auto user =
+      sim::GenerateUserTrace("band2", sim::TraceStyle::kWalkIn, kFrames + 30);
+
+  core::FrustumPredictor predictor;
+  for (int i = 0; i < 10; ++i) predictor.ObserveRtt(2.0 * kOneWayDelayMs);
+
+  const int horizon_frames =
+      static_cast<int>(kOneWayDelayMs / 1000.0 * profile.fps);
+
+  std::printf("\nframe  kept%%  recall%%   (guard band 20 cm, horizon %.0f ms)\n",
+              kOneWayDelayMs);
+  double kept_sum = 0.0, recall_sum = 0.0;
+  int count = 0;
+  for (int f = 0; f < kFrames - horizon_frames; ++f) {
+    predictor.ObservePose(user.poses[static_cast<std::size_t>(f)]);
+    if (!predictor.ready()) continue;
+
+    const geom::Frustum predicted = predictor.PredictFrustum();
+    const geom::Frustum actual(
+        user.poses[static_cast<std::size_t>(f + horizon_frames)].pose,
+        predictor.config().viewer);
+    const core::CullAccuracy acc = core::EvaluateCulling(
+        seq.frames[static_cast<std::size_t>(f)], seq.rig, predicted, actual);
+
+    kept_sum += acc.kept_fraction;
+    recall_sum += acc.recall;
+    ++count;
+    if (f % 5 == 0) {
+      std::printf("%5d  %5.1f  %6.2f\n", f, 100.0 * acc.kept_fraction,
+                  100.0 * acc.recall);
+    }
+  }
+  std::printf("\nmean: transmitted %.1f%% of valid pixels while preserving "
+              "%.2f%% of the pixels the viewer actually needed.\n",
+              100.0 * kept_sum / count, 100.0 * recall_sum / count);
+  std::printf(
+      "Culling reduces the data entering the encoder (bandwidth saved) and\n"
+      "the guard band absorbs nearly all prediction error (§3.4, Fig 15).\n");
+  return 0;
+}

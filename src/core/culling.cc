@@ -1,0 +1,89 @@
+#include "core/culling.h"
+
+namespace livo::core {
+namespace {
+
+// Shared pixel loop: invokes `fn(x, y, inside)` for every valid-depth pixel
+// of `view`, where `inside` is the frustum test in camera-local space.
+template <typename Fn>
+void ForEachValidPixel(const image::RgbdFrame& view,
+                       const geom::RgbdCamera& camera,
+                       const geom::Frustum& local_frustum, Fn&& fn) {
+  for (int y = 0; y < view.height(); ++y) {
+    const std::uint16_t* depth_row = view.depth.row(y);
+    for (int x = 0; x < view.width(); ++x) {
+      const std::uint16_t d = depth_row[x];
+      if (d == 0) continue;
+      const geom::Vec3 local =
+          camera.intrinsics.Unproject(x + 0.5, y + 0.5, d / 1000.0);
+      fn(x, y, local_frustum.Contains(local));
+    }
+  }
+}
+
+}  // namespace
+
+CullStats CullView(image::RgbdFrame& view, const geom::RgbdCamera& camera,
+                   const geom::Frustum& world_frustum) {
+  CullStats stats;
+  // One transform per camera, then every pixel tests in local coordinates —
+  // the cost is 6 plane dot products per valid pixel, no point cloud.
+  const geom::Frustum local_frustum =
+      world_frustum.Transformed(camera.extrinsics.WorldToCamera());
+
+  ForEachValidPixel(view, camera, local_frustum,
+                    [&](int x, int y, bool inside) {
+                      ++stats.total_pixels;
+                      if (inside) {
+                        ++stats.kept_pixels;
+                      } else {
+                        view.depth.at(x, y) = 0;
+                        view.color.SetPixel(x, y, 0, 0, 0);
+                      }
+                    });
+  return stats;
+}
+
+CullStats CullViews(std::vector<image::RgbdFrame>& views,
+                    const std::vector<geom::RgbdCamera>& cameras,
+                    const geom::Frustum& world_frustum) {
+  CullStats total;
+  for (std::size_t i = 0; i < views.size() && i < cameras.size(); ++i) {
+    const CullStats s = CullView(views[i], cameras[i], world_frustum);
+    total.total_pixels += s.total_pixels;
+    total.kept_pixels += s.kept_pixels;
+  }
+  return total;
+}
+
+CullAccuracy EvaluateCulling(const std::vector<image::RgbdFrame>& original,
+                             const std::vector<geom::RgbdCamera>& cameras,
+                             const geom::Frustum& predicted_expanded,
+                             const geom::Frustum& actual) {
+  std::size_t needed = 0, needed_kept = 0, valid = 0, kept = 0;
+  for (std::size_t i = 0; i < original.size() && i < cameras.size(); ++i) {
+    const geom::Mat4 to_local = cameras[i].extrinsics.WorldToCamera();
+    const geom::Frustum pred_local = predicted_expanded.Transformed(to_local);
+    const geom::Frustum actual_local = actual.Transformed(to_local);
+    ForEachValidPixel(original[i], cameras[i], pred_local,
+                      [&](int x, int y, bool inside_pred) {
+                        ++valid;
+                        if (inside_pred) ++kept;
+                        const geom::Vec3 local = cameras[i].intrinsics.Unproject(
+                            x + 0.5, y + 0.5,
+                            original[i].depth.at(x, y) / 1000.0);
+                        if (actual_local.Contains(local)) {
+                          ++needed;
+                          if (inside_pred) ++needed_kept;
+                        }
+                      });
+  }
+  CullAccuracy acc;
+  acc.recall = needed == 0 ? 1.0
+                           : static_cast<double>(needed_kept) / needed;
+  acc.kept_fraction =
+      valid == 0 ? 1.0 : static_cast<double>(kept) / valid;
+  return acc;
+}
+
+}  // namespace livo::core

@@ -1,0 +1,57 @@
+// RGB-D view culling (§3.4).
+//
+// "LiVo culls without reconstructing the point cloud. Instead, it
+// determines whether a pixel in an RGB-D frame is within the receiver's
+// frustum... For each RGB-D camera, LiVo first transforms the frustum into
+// the local coordinate system of the camera. Then, for each pixel, it
+// obtains that pixel's local coordinates and determines if it lies within
+// the frustum... [culling] replaces culled pixels with a zero value (both
+// for color and depth)."
+//
+// Performed BEFORE stream composition and depth encoding; zeroed regions
+// are maximally compressible for the 2D codec, which is where culling's
+// bandwidth saving comes from.
+#pragma once
+
+#include <vector>
+
+#include "geom/camera.h"
+#include "geom/frustum.h"
+#include "image/image.h"
+
+namespace livo::core {
+
+struct CullStats {
+  std::size_t total_pixels = 0;    // valid-depth pixels examined
+  std::size_t kept_pixels = 0;     // pixels inside the frustum
+
+  double KeptFraction() const {
+    return total_pixels == 0
+               ? 0.0
+               : static_cast<double>(kept_pixels) / total_pixels;
+  }
+};
+
+// Culls one view in place against a world-frame frustum. Returns stats.
+CullStats CullView(image::RgbdFrame& view, const geom::RgbdCamera& camera,
+                   const geom::Frustum& world_frustum);
+
+// Culls all views of a rig in place (the per-frame sender stage).
+CullStats CullViews(std::vector<image::RgbdFrame>& views,
+                    const std::vector<geom::RgbdCamera>& cameras,
+                    const geom::Frustum& world_frustum);
+
+// Culling accuracy versus a reference frustum (Fig 15): the fraction of
+// pixels inside `actual` that survived culling with `predicted` (recall),
+// plus the fraction of all valid pixels that the culled frame retains.
+struct CullAccuracy {
+  double recall = 1.0;          // needed pixels kept / needed pixels
+  double kept_fraction = 1.0;   // kept pixels / valid pixels
+};
+
+CullAccuracy EvaluateCulling(const std::vector<image::RgbdFrame>& original,
+                             const std::vector<geom::RgbdCamera>& cameras,
+                             const geom::Frustum& predicted_expanded,
+                             const geom::Frustum& actual);
+
+}  // namespace livo::core

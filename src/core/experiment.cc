@@ -1,0 +1,250 @@
+#include "core/experiment.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+
+namespace livo::core {
+
+const char* SchemeName(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kLiVo: return "LiVo";
+    case Scheme::kLiVoNoCull: return "LiVo-NoCull";
+    case Scheme::kLiVoNoAdapt: return "LiVo-NoAdapt";
+    case Scheme::kMeshReduce: return "MeshReduce";
+    case Scheme::kDracoOracle: return "Draco-Oracle";
+  }
+  return "?";
+}
+
+SessionSummary SessionSummary::FromResult(const SessionResult& r) {
+  SessionSummary s;
+  s.scheme = r.scheme;
+  s.video = r.video;
+  s.user_trace = r.user_trace;
+  s.net_trace = r.net_trace;
+  s.pssim_geometry = r.mean_pssim_geometry;
+  s.pssim_color = r.mean_pssim_color;
+  s.stall_rate = r.stall_rate;
+  s.fps = r.fps;
+  s.target_fps = r.target_fps;
+  s.latency_ms = r.mean_latency_ms;
+  s.throughput_mbps = r.mean_throughput_mbps;
+  s.capacity_mbps = r.mean_capacity_mbps;
+  s.utilization = r.utilization;
+  return s;
+}
+
+std::string MatrixConfig::CacheKey() const {
+  std::ostringstream os;
+  os << "v3|" << profile.camera_count << "x" << profile.camera_width << "x"
+     << profile.camera_height << "|f" << frames << "|u" << user_traces
+     << "|t" << trace_duration_s << "|";
+  for (Scheme s : schemes) os << SchemeName(s) << ",";
+  os << "|";
+  for (const auto& v : videos) os << v << ",";
+  os << "|" << both_traces;
+  // FNV-1a over the description.
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : os.str()) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+LiVoConfig MakeLiVoConfig(Scheme scheme, const sim::ScaleProfile& profile) {
+  LiVoConfig config;
+  config.layout = image::TileLayout(profile.camera_count, profile.camera_width,
+                                    profile.camera_height);
+  config.fps = profile.fps;
+  switch (scheme) {
+    case Scheme::kLiVo:
+      break;
+    case Scheme::kLiVoNoCull:
+      config.enable_culling = false;
+      break;
+    case Scheme::kLiVoNoAdapt:
+      config.enable_culling = false;
+      config.enable_adaptation = false;
+      config.dynamic_split = false;
+      break;
+    default:
+      break;
+  }
+  return config;
+}
+
+ReplayOptions MakeReplayOptions(const sim::ScaleProfile& profile) {
+  ReplayOptions options;
+  options.bandwidth_scale = profile.bandwidth_scale;
+  return options;
+}
+
+SessionResult RunScheme(Scheme scheme, const sim::CapturedSequence& sequence,
+                        const sim::UserTrace& user,
+                        const sim::BandwidthTrace& net,
+                        const sim::ScaleProfile& profile) {
+  switch (scheme) {
+    case Scheme::kLiVo:
+    case Scheme::kLiVoNoCull:
+    case Scheme::kLiVoNoAdapt: {
+      const LiVoConfig config = MakeLiVoConfig(scheme, profile);
+      ReplayOptions options = MakeReplayOptions(profile);
+      options.scheme_name = SchemeName(scheme);
+      // Different (video, user) pairs replay different trace segments, the
+      // same way the paper's minutes-long replays cover the whole trace.
+      // All schemes of one pair share the segment for comparability.
+      options.trace_offset_ms =
+          3100.0 * static_cast<double>(
+                       (std::hash<std::string>{}(sequence.spec.name) ^
+                        std::hash<std::string>{}(user.video)) %
+                           7 +
+                       static_cast<std::size_t>(user.style));
+      return RunLiVoSession(sequence, user, net, config, options);
+    }
+    case Scheme::kMeshReduce: {
+      MeshReduceOptions options;
+      options.bandwidth_scale = profile.bandwidth_scale;
+      return RunMeshReduce(sequence, user, net, options);
+    }
+    case Scheme::kDracoOracle: {
+      DracoOracleOptions options;
+      options.bandwidth_scale = profile.bandwidth_scale;
+      return RunDracoOracle(sequence, user, net, options);
+    }
+  }
+  throw std::logic_error("unknown scheme");
+}
+
+namespace {
+
+constexpr char kCacheDir[] = ".bench_cache";
+
+std::string CachePath(const MatrixConfig& config) {
+  return std::string(kCacheDir) + "/matrix_" + config.CacheKey() + ".tsv";
+}
+
+std::optional<std::vector<SessionSummary>> LoadCache(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::vector<SessionSummary> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    SessionSummary s;
+    if (!(ls >> s.scheme >> s.video >> s.user_trace >> s.net_trace >>
+          s.pssim_geometry >> s.pssim_color >> s.stall_rate >> s.fps >>
+          s.target_fps >> s.latency_ms >> s.throughput_mbps >>
+          s.capacity_mbps >> s.utilization)) {
+      return std::nullopt;  // corrupt cache: re-run
+    }
+    out.push_back(std::move(s));
+  }
+  if (out.empty()) return std::nullopt;
+  return out;
+}
+
+void SaveCache(const std::string& path,
+               const std::vector<SessionSummary>& summaries) {
+  std::filesystem::create_directories(kCacheDir);
+  std::ofstream out(path);
+  out << "# scheme video user net pssim_g pssim_c stall fps target_fps "
+         "latency thpt cap util\n";
+  for (const auto& s : summaries) {
+    out << s.scheme << ' ' << s.video << ' ' << s.user_trace << ' '
+        << s.net_trace << ' ' << s.pssim_geometry << ' ' << s.pssim_color
+        << ' ' << s.stall_rate << ' ' << s.fps << ' ' << s.target_fps << ' '
+        << s.latency_ms << ' ' << s.throughput_mbps << ' ' << s.capacity_mbps
+        << ' ' << s.utilization << '\n';
+  }
+}
+
+}  // namespace
+
+std::vector<SessionSummary> RunOrLoadMatrix(const MatrixConfig& config,
+                                            bool verbose) {
+  const std::string path = CachePath(config);
+  if (auto cached = LoadCache(path)) {
+    if (verbose) {
+      std::fprintf(stderr, "[matrix] loaded %zu cached sessions from %s\n",
+                   cached->size(), path.c_str());
+    }
+    return *cached;
+  }
+
+  std::vector<SessionSummary> summaries;
+  const auto nets = [&] {
+    std::vector<sim::BandwidthTrace> t{sim::MakeTrace2(config.trace_duration_s)};
+    if (config.both_traces) t.push_back(sim::MakeTrace1(config.trace_duration_s));
+    return t;
+  }();
+
+  for (const std::string& video : config.videos) {
+    if (verbose) std::fprintf(stderr, "[matrix] capturing %s...\n", video.c_str());
+    const sim::CapturedSequence sequence =
+        sim::CaptureVideo(video, config.profile, config.frames);
+    const auto users = sim::StandardTraces(
+        video, config.frames + 90, config.profile.fps);
+    for (int u = 0; u < config.user_traces && u < static_cast<int>(users.size());
+         ++u) {
+      for (const auto& net : nets) {
+        for (Scheme scheme : config.schemes) {
+          if (verbose) {
+            std::fprintf(stderr, "[matrix] %s / %s / user%d / %s\n",
+                         SchemeName(scheme), video.c_str(), u,
+                         net.name.c_str());
+          }
+          const SessionResult result =
+              RunScheme(scheme, sequence, users[static_cast<std::size_t>(u)],
+                        net, config.profile);
+          summaries.push_back(SessionSummary::FromResult(result));
+        }
+      }
+    }
+  }
+  SaveCache(path, summaries);
+  if (verbose) {
+    std::fprintf(stderr, "[matrix] cached %zu sessions at %s\n",
+                 summaries.size(), path.c_str());
+  }
+  return summaries;
+}
+
+std::vector<const SessionSummary*> Select(
+    const std::vector<SessionSummary>& all, const Filter& filter) {
+  std::vector<const SessionSummary*> out;
+  for (const auto& s : all) {
+    if (!filter.scheme.empty() && s.scheme != filter.scheme) continue;
+    if (!filter.video.empty() && s.video != filter.video) continue;
+    if (!filter.net_trace.empty() && s.net_trace != filter.net_trace) continue;
+    out.push_back(&s);
+  }
+  return out;
+}
+
+double MeanOf(const std::vector<const SessionSummary*>& rows,
+              double SessionSummary::* field) {
+  if (rows.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto* r : rows) sum += r->*field;
+  return sum / static_cast<double>(rows.size());
+}
+
+double StdOf(const std::vector<const SessionSummary*>& rows,
+             double SessionSummary::* field) {
+  if (rows.size() < 2) return 0.0;
+  const double m = MeanOf(rows, field);
+  double sum = 0.0;
+  for (const auto* r : rows) sum += (r->*field - m) * (r->*field - m);
+  return std::sqrt(sum / static_cast<double>(rows.size() - 1));
+}
+
+}  // namespace livo::core

@@ -1,0 +1,189 @@
+#include "core/meshreduce.h"
+
+#include <algorithm>
+
+#include "metrics/pointssim.h"
+#include "net/transport.h"
+#include "sim/usertrace.h"
+
+namespace livo::core {
+namespace {
+
+struct Profile {
+  mesh::MesherConfig mesher;
+  mesh::MeshCodecConfig codec;
+  double expected_bytes = 0.0;
+};
+
+// Offline profiling (§4.1): sample a few frames, measure encoded size per
+// (stride, position_bits), and pick the highest-quality configuration whose
+// rate stays within the safety-scaled average bandwidth.
+Profile BuildProfile(const sim::CapturedSequence& sequence,
+                     const sim::BandwidthTrace& net_trace,
+                     const MeshReduceOptions& options) {
+  const double mean_bps =
+      net_trace.MeanMbps() * options.bandwidth_scale * 1e6;
+  const double budget_bytes_per_frame =
+      mean_bps * options.profile_safety / 8.0 / options.fps;
+
+  Profile best;
+  best.mesher.stride = options.strides.back();
+  best.codec.position_bits = options.position_bits.front();
+  double best_quality = -1.0;
+
+  for (int stride : options.strides) {
+    for (int bits : options.position_bits) {
+      mesh::MesherConfig mesher;
+      mesher.stride = stride;
+      mesh::MeshCodecConfig codec;
+      codec.position_bits = bits;
+
+      double total_bytes = 0.0;
+      const int samples = std::min<int>(options.profile_frames,
+                                        static_cast<int>(sequence.frames.size()));
+      for (int f = 0; f < samples; ++f) {
+        const auto m = mesh::MeshFromViews(
+            sequence.frames[static_cast<std::size_t>(f)], sequence.rig, mesher);
+        total_bytes += static_cast<double>(
+            mesh::EncodeMesh(m, codec).TotalBytes());
+      }
+      const double mean_bytes = total_bytes / std::max(1, samples);
+      if (mean_bytes > budget_bytes_per_frame) continue;
+
+      // Quality proxy: finer stride dominates, then precision.
+      const double quality = 100.0 / stride + bits;
+      if (quality > best_quality) {
+        best_quality = quality;
+        best.mesher = mesher;
+        best.codec = codec;
+        best.expected_bytes = mean_bytes;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+SessionResult RunMeshReduce(const sim::CapturedSequence& sequence,
+                            const sim::UserTrace& user_trace,
+                            const sim::BandwidthTrace& net_trace,
+                            const MeshReduceOptions& options) {
+  SessionResult result;
+  result.scheme = "MeshReduce";
+  result.video = sequence.spec.name;
+  result.net_trace = net_trace.name;
+  result.user_trace = user_trace.style == sim::TraceStyle::kOrbit ? "orbit"
+                      : user_trace.style == sim::TraceStyle::kWalkIn
+                          ? "walk-in"
+                          : "focus";
+  result.target_fps = options.fps;
+
+  const Profile profile = BuildProfile(sequence, net_trace, options);
+
+  net::LinkConfig link = options.link;
+  link.bandwidth_scale = options.bandwidth_scale;
+  net::ReliableChannel channel(
+      net_trace.TimeCompressed(options.trace_time_accel), link);
+
+  const double interval_ms = 1000.0 / options.fps;
+  const int capture_stride = std::max(
+      1, static_cast<int>(std::lround(sequence.fps / options.fps)));
+  const int playback_frames =
+      static_cast<int>(sequence.frames.size()) / capture_stride;
+  const double duration_ms = playback_frames * interval_ms;
+
+  metrics::PointSsimConfig pssim_config;
+  pssim_config.max_anchors = options.pssim_anchors;
+
+  std::size_t bytes_sent = 0;
+  double encoder_free_ms = 0.0;  // when the (all-core) encoder becomes idle
+  std::vector<std::pair<int, mesh::EncodedMesh>> in_flight;  // by arrival
+
+  struct Sent {
+    int capture_frame;
+    mesh::EncodedMesh encoded;
+  };
+  std::map<std::uint32_t, Sent> sent;
+
+  // Sender loop: encode when the encoder is free (frame rate collapses if
+  // encode cost exceeds the interval -- the paper's 12.1 fps mean), then
+  // ship over TCP.
+  for (int pf = 0; pf < playback_frames; ++pf) {
+    const double capture_ms = pf * interval_ms;
+    if (capture_ms < encoder_free_ms) {
+      continue;  // encoder busy: frame never produced (frame-rate drop)
+    }
+    const int cf = pf * capture_stride;
+    const auto m = mesh::MeshFromViews(
+        sequence.frames[static_cast<std::size_t>(cf)], sequence.rig,
+        profile.mesher);
+    auto encoded = mesh::EncodeMesh(m, profile.codec);
+    const double encode_ms = mesh::ModelMeshEncodeTimeMs(
+        encoded.triangle_count, options.triangle_scale);
+    encoder_free_ms = capture_ms + encode_ms;
+
+    bytes_sent += encoded.TotalBytes();
+    channel.SendMessage(static_cast<std::uint32_t>(pf), encoded.TotalBytes(),
+                        encoder_free_ms);
+    sent.emplace(static_cast<std::uint32_t>(pf),
+                 Sent{cf, std::move(encoded)});
+  }
+
+  // Receiver loop: drain deliveries until everything arrives.
+  std::vector<FrameRecord> records;
+  const double horizon_ms = duration_ms + 3000.0;
+  for (double now = 0.0; now <= horizon_ms; now += 5.0) {
+    for (const auto& delivery : channel.PopReady(now)) {
+      const auto it = sent.find(delivery.frame_index);
+      if (it == sent.end()) continue;
+      FrameRecord rec;
+      rec.frame_index = delivery.frame_index;
+      rec.capture_time_ms = delivery.frame_index * interval_ms;
+      rec.rendered = true;
+      rec.render_time_ms = delivery.arrival_time_ms;
+      rec.latency_ms = delivery.arrival_time_ms - rec.capture_time_ms;
+
+      if (delivery.frame_index %
+              static_cast<std::uint32_t>(std::max(1, options.metric_every)) ==
+          0) {
+        const geom::Pose pose =
+            sim::SampleTrace(user_trace, delivery.arrival_time_ms);
+        const geom::Frustum frustum(pose, options.viewer);
+        const pointcloud::PointCloud reference = GroundTruthCloud(
+            sequence.frames[static_cast<std::size_t>(it->second.capture_frame)],
+            sequence.rig, frustum, options.receiver);
+        // "We sample as many points from the rendered mesh as there are in
+        // the ground truth point cloud, then compute PointSSIM" (§4.1).
+        // Sampling happens on the frustum-culled mesh so sample density
+        // matches the frustum-culled reference.
+        const mesh::TriangleMesh decoded = mesh::CullMeshToFrustum(
+            mesh::DecodeMesh(it->second.encoded), frustum);
+        pointcloud::PointCloud sampled = mesh::SampleMesh(
+            decoded, std::max<std::size_t>(reference.size(), 1),
+            delivery.frame_index + 1);
+        sampled = sampled.CulledTo(frustum);
+        const metrics::PointSsimResult pssim =
+            metrics::PointSsim(reference, sampled, pssim_config);
+        rec.pssim_geometry = pssim.geometry;
+        rec.pssim_color = pssim.color;
+      }
+      records.push_back(std::move(rec));
+      sent.erase(it);
+    }
+  }
+
+  result.frames = std::move(records);
+  Aggregate(result, playback_frames, duration_ms, options.metric_every);
+  // MeshReduce has no stalls by construction (§4.3: "it uses reliable
+  // transmissions... instead of experiencing stalls, it exhibits varying
+  // frame rates") -- undelivered frames already lowered `fps` above.
+  result.stall_rate = 0.0;
+  const double sim_mbps = bytes_sent * 8.0 / (duration_ms / 1000.0) / 1e6;
+  result.mean_throughput_mbps = sim_mbps / options.bandwidth_scale;
+  result.mean_capacity_mbps = net_trace.MeanMbps();
+  result.utilization = result.mean_throughput_mbps / result.mean_capacity_mbps;
+  return result;
+}
+
+}  // namespace livo::core

@@ -1,0 +1,147 @@
+#include "core/receiver.h"
+
+#include "image/depth_encoding.h"
+#include "util/clock.h"
+#include "video/color_convert.h"
+
+namespace livo::core {
+namespace {
+
+int DepthStreamPlaneCount(const LiVoConfig& config) {
+  return config.depth_mode == DepthEncodingMode::kRgbPacked ? 3 : 1;
+}
+
+video::CodecConfig DepthStreamConfig(const LiVoConfig& config) {
+  return config.depth_mode == DepthEncodingMode::kRgbPacked
+             ? config.ColorCodecConfig()
+             : config.DepthCodecConfig();
+}
+
+}  // namespace
+
+LiVoReceiver::LiVoReceiver(const LiVoConfig& config,
+                           const ReceiverConfig& receiver_config,
+                           std::vector<geom::RgbdCamera> cameras)
+    : config_(config),
+      receiver_config_(receiver_config),
+      cameras_(std::move(cameras)),
+      color_decoder_(config.ColorCodecConfig(), 3),
+      depth_decoder_(DepthStreamConfig(config), DepthStreamPlaneCount(config)) {}
+
+std::vector<RenderedFrame> LiVoReceiver::OnFrames(
+    const std::vector<net::ReceivedFrame>& frames, double now_ms,
+    const geom::Frustum& current_frustum) {
+  for (const net::ReceivedFrame& f : frames) {
+    if (!f.data) continue;
+    PendingPair& pair = pending_[f.frame_index];
+    if (f.stream_id == kColorStream) pair.color = f.data;
+    if (f.stream_id == kDepthStream) pair.depth = f.data;
+  }
+
+  std::vector<RenderedFrame> rendered;
+  // Find the newest complete pair; render complete pairs in order and skip
+  // incomplete ones that have fallen too far behind ("LiVo simply skips
+  // the frame").
+  std::uint32_t newest_complete = 0;
+  bool have_complete = false;
+  for (const auto& [index, pair] : pending_) {
+    if (pair.color && pair.depth) {
+      newest_complete = index;
+      have_complete = true;
+    }
+  }
+  if (!have_complete) return rendered;
+
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    const std::uint32_t index = it->first;
+    const PendingPair& pair = it->second;
+    if (pair.color && pair.depth) {
+      if (auto frame = TryRender(index, now_ms, current_frustum)) {
+        rendered.push_back(std::move(*frame));
+      }
+      it = pending_.erase(it);
+    } else if (index + receiver_config_.max_pair_lag <= newest_complete) {
+      ++skipped_frames_;
+      it = pending_.erase(it);
+    } else {
+      break;  // wait for the counterpart stream a little longer
+    }
+  }
+  return rendered;
+}
+
+std::optional<RenderedFrame> LiVoReceiver::TryRender(
+    std::uint32_t frame_index, double now_ms, const geom::Frustum& frustum) {
+  const PendingPair& pair = pending_[frame_index];
+  RenderedFrame out;
+  out.frame_index = frame_index;
+  out.render_time_ms = now_ms;
+
+  util::Stopwatch decode_watch;
+  std::vector<image::Plane16> color_planes, depth_planes;
+  try {
+    const video::EncodedFrame color_frame =
+        video::DeserializeFrame(*pair.color);
+    const video::EncodedFrame depth_frame =
+        video::DeserializeFrame(*pair.depth);
+    color_planes = color_decoder_.Decode(color_frame);
+    depth_planes = depth_decoder_.Decode(depth_frame);
+  } catch (const std::exception&) {
+    // Undecodable (e.g. P-frame whose keyframe was lost before any
+    // keyframe arrived): skip; the transport has already raised PLI.
+    ++skipped_frames_;
+    return std::nullopt;
+  }
+  out.decode_ms = decode_watch.ElapsedMs();
+
+  util::Stopwatch reconstruct_watch;
+  const image::ColorImage color = video::YcbcrToRgb(color_planes);
+
+  image::DepthImage depth_mm;
+  switch (config_.depth_mode) {
+    case DepthEncodingMode::kScaledY16:
+      depth_mm = image::UnscaleDepth(depth_planes[0], config_.depth_scaler);
+      break;
+    case DepthEncodingMode::kUnscaledY16:
+      depth_mm = depth_planes[0];
+      break;
+    case DepthEncodingMode::kRgbPacked: {
+      image::ColorImage packed(config_.layout.canvas_width(),
+                               config_.layout.canvas_height());
+      for (std::size_t i = 0; i < packed.r.data().size(); ++i) {
+        packed.r.data()[i] =
+            static_cast<std::uint8_t>(depth_planes[0].data()[i]);
+        packed.g.data()[i] =
+            static_cast<std::uint8_t>(depth_planes[1].data()[i]);
+        packed.b.data()[i] =
+            static_cast<std::uint8_t>(depth_planes[2].data()[i]);
+      }
+      depth_mm = image::UnpackDepthFromRgb(packed);
+      break;
+    }
+  }
+
+  // In-band frame number verification (§A.1 QR-code role). The depth
+  // marker is more fragile under heavy quantization, so color is primary.
+  const auto marker = image::ReadFrameNumber(config_.layout, color);
+  out.marker_verified = marker.has_value() && *marker == frame_index;
+  if (marker.has_value() && *marker != frame_index) ++marker_mismatches_;
+
+  const auto views = image::Untile(config_.layout, color, depth_mm);
+  pointcloud::PointCloud cloud =
+      pointcloud::ReconstructFromViews(views, cameras_);
+  out.reconstruct_ms = reconstruct_watch.ElapsedMs();
+
+  util::Stopwatch render_watch;
+  if (receiver_config_.voxelize) {
+    cloud = pointcloud::VoxelDownsample(cloud, receiver_config_.voxel_size_m);
+  }
+  if (receiver_config_.final_cull) {
+    cloud = cloud.CulledTo(frustum);
+  }
+  out.render_ms = render_watch.ElapsedMs();
+  out.cloud = std::move(cloud);
+  return out;
+}
+
+}  // namespace livo::core

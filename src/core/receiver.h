@@ -1,0 +1,79 @@
+// LiVo receiver pipeline (§3, Fig 2 blue blocks; §A.1).
+//
+// Receives the color and depth streams, pairs frames by sequence number
+// (verified against the in-band marker, the paper's QR-code role), decodes
+// both canvases, untiles into per-camera views, unscales depth, and
+// reconstructs the world-frame point cloud using the camera parameters
+// exchanged at setup. The cloud is voxelized and culled to the *current*
+// frustum before rendering (§A.1). "If both depth and color frames have not
+// been decoded by the time necessary to render the point cloud, LiVo simply
+// skips the frame."
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/types.h"
+#include "geom/camera.h"
+#include "net/transport.h"
+#include "pointcloud/pointcloud.h"
+#include "video/video_codec.h"
+
+namespace livo::core {
+
+struct RenderedFrame {
+  std::uint32_t frame_index = 0;
+  pointcloud::PointCloud cloud;   // voxelized, culled to the live frustum
+  double render_time_ms = 0.0;
+  double decode_ms = 0.0;
+  double reconstruct_ms = 0.0;
+  double render_ms = 0.0;         // voxelize + final cull
+  bool marker_verified = false;
+};
+
+struct ReceiverConfig {
+  double voxel_size_m = 0.025;
+  // Frames older than this behind the newest complete pair are skipped.
+  std::uint32_t max_pair_lag = 2;
+  bool final_cull = true;   // cull reconstruction to the live frustum
+  bool voxelize = true;
+};
+
+class LiVoReceiver {
+ public:
+  LiVoReceiver(const LiVoConfig& config, const ReceiverConfig& receiver_config,
+               std::vector<geom::RgbdCamera> cameras);
+
+  // Feeds released transport frames; returns frames rendered at `now_ms`
+  // from the viewer's `current_frustum`. Frames whose counterpart stream
+  // never arrived are skipped (counted in skipped_frames()).
+  std::vector<RenderedFrame> OnFrames(
+      const std::vector<net::ReceivedFrame>& frames, double now_ms,
+      const geom::Frustum& current_frustum);
+
+  std::size_t skipped_frames() const { return skipped_frames_; }
+  std::size_t marker_mismatches() const { return marker_mismatches_; }
+
+ private:
+  std::optional<RenderedFrame> TryRender(std::uint32_t frame_index,
+                                         double now_ms,
+                                         const geom::Frustum& frustum);
+
+  LiVoConfig config_;
+  ReceiverConfig receiver_config_;
+  std::vector<geom::RgbdCamera> cameras_;
+  video::VideoDecoder color_decoder_;
+  video::VideoDecoder depth_decoder_;
+
+  struct PendingPair {
+    std::shared_ptr<const std::vector<std::uint8_t>> color;
+    std::shared_ptr<const std::vector<std::uint8_t>> depth;
+  };
+  std::map<std::uint32_t, PendingPair> pending_;
+  std::size_t skipped_frames_ = 0;
+  std::size_t marker_mismatches_ = 0;
+};
+
+}  // namespace livo::core

@@ -1,0 +1,190 @@
+#include "core/sender.h"
+
+#include <stdexcept>
+
+#include "image/depth_encoding.h"
+#include "metrics/image_metrics.h"
+#include "util/clock.h"
+#include "video/color_convert.h"
+
+namespace livo::core {
+namespace {
+
+video::CodecConfig DepthStreamConfig(const LiVoConfig& config) {
+  if (config.depth_mode == DepthEncodingMode::kRgbPacked) {
+    // The RGB-packed baseline feeds the packed image through the ordinary
+    // 8-bit path (Pece et al. style).
+    video::CodecConfig c = config.ColorCodecConfig();
+    return c;
+  }
+  return config.DepthCodecConfig();
+}
+
+int DepthStreamPlaneCount(const LiVoConfig& config) {
+  return config.depth_mode == DepthEncodingMode::kRgbPacked ? 3 : 1;
+}
+
+}  // namespace
+
+LiVoSender::LiVoSender(const LiVoConfig& config,
+                       std::vector<geom::RgbdCamera> cameras)
+    : config_(config),
+      cameras_(std::move(cameras)),
+      predictor_(config.predictor),
+      splitter_(config.split),
+      color_encoder_(config.ColorCodecConfig(), 3),
+      depth_encoder_(DepthStreamConfig(config), DepthStreamPlaneCount(config)) {
+  if (static_cast<int>(cameras_.size()) != config_.layout.camera_count()) {
+    throw std::invalid_argument("camera count does not match tile layout");
+  }
+  if (!config_.dynamic_split) {
+    // Static-split ablation: pin the controller at the configured value.
+    SplitConfig pinned = config_.split;
+    pinned.initial = config_.static_split;
+    pinned.min = config_.static_split;
+    pinned.max = config_.static_split;
+    splitter_ = SplitController(pinned);
+  }
+}
+
+void LiVoSender::RequestKeyframe(std::uint32_t stream_id) {
+  if (stream_id == kColorStream) color_encoder_.RequestKeyframe();
+  if (stream_id == kDepthStream) depth_encoder_.RequestKeyframe();
+}
+
+SenderOutput LiVoSender::ProcessFrame(std::vector<image::RgbdFrame> views,
+                                      std::uint32_t frame_index,
+                                      double target_bps) {
+  SenderOutput out;
+  out.stats.frame_index = frame_index;
+  out.stats.target_bps = target_bps;
+
+  // --- View culling (§3.4) ---
+  util::Stopwatch cull_watch;
+  if (config_.enable_culling && predictor_.ready()) {
+    const geom::Frustum frustum = predictor_.PredictFrustum();
+    const CullStats cull = CullViews(views, cameras_, frustum);
+    out.stats.cull_kept_fraction = cull.KeptFraction();
+  }
+  out.stats.cull_ms = cull_watch.ElapsedMs();
+
+  // --- Stream composition by tiling (§3.2) ---
+  util::Stopwatch tile_watch;
+  image::TiledFramePair tiled = image::Tile(config_.layout, views, frame_index);
+  out.stats.tile_ms = tile_watch.ElapsedMs();
+
+  // --- Depth encoding mode (§3.2 / Fig 17) ---
+  std::vector<image::Plane16> depth_planes;
+  switch (config_.depth_mode) {
+    case DepthEncodingMode::kScaledY16: {
+      image::Plane16 scaled = tiled.depth;
+      image::ScaleDepthInPlace(scaled, config_.depth_scaler);
+      depth_planes.push_back(std::move(scaled));
+      break;
+    }
+    case DepthEncodingMode::kUnscaledY16:
+      depth_planes.push_back(tiled.depth);
+      break;
+    case DepthEncodingMode::kRgbPacked: {
+      const image::ColorImage packed = image::PackDepthToRgb(tiled.depth);
+      depth_planes.push_back([&] {
+        image::Plane16 p(packed.width(), packed.height());
+        for (std::size_t i = 0; i < p.data().size(); ++i) p.data()[i] = packed.r.data()[i];
+        return p;
+      }());
+      depth_planes.push_back([&] {
+        image::Plane16 p(packed.width(), packed.height());
+        for (std::size_t i = 0; i < p.data().size(); ++i) p.data()[i] = packed.g.data()[i];
+        return p;
+      }());
+      depth_planes.push_back([&] {
+        image::Plane16 p(packed.width(), packed.height());
+        for (std::size_t i = 0; i < p.data().size(); ++i) p.data()[i] = packed.b.data()[i];
+        return p;
+      }());
+      break;
+    }
+  }
+  const std::vector<image::Plane16> color_planes =
+      video::RgbToYcbcr(tiled.color);
+
+  // --- Bandwidth split + rate-controlled encode (§3.3) ---
+  util::Stopwatch encode_watch;
+  const double split = splitter_.split();
+  out.stats.split = split;
+  const double frame_budget_bytes = target_bps / 8.0 / config_.fps;
+
+  video::EncodeResult color_result, depth_result;
+  if (config_.enable_adaptation) {
+    // Leaky-bucket amortization: frames that undershot their budget bank
+    // credit that keyframes spend, so the long-run rate tracks the target
+    // while I-frames are not forced to fit a single frame's share.
+    byte_credit_ = std::min(byte_credit_, 3.0 * frame_budget_bytes);
+    const double spendable =
+        std::max(0.3 * frame_budget_bytes, frame_budget_bytes + byte_credit_);
+    const auto depth_budget = static_cast<std::size_t>(spendable * split);
+    const auto color_budget =
+        static_cast<std::size_t>(spendable * (1.0 - split));
+    color_result = color_encoder_.EncodeToTarget(color_planes, color_budget);
+    depth_result = depth_encoder_.EncodeToTarget(depth_planes, depth_budget);
+    const double spent =
+        static_cast<double>(color_result.frame.SizeBytes() +
+                            depth_result.frame.SizeBytes());
+    byte_credit_ += frame_budget_bytes - spent;
+    byte_credit_ = std::max(byte_credit_, -3.0 * frame_budget_bytes);
+  } else {
+    color_result = color_encoder_.EncodeAtQp(color_planes,
+                                             config_.fixed_color_qp);
+    depth_result = depth_encoder_.EncodeAtQp(depth_planes,
+                                             config_.fixed_depth_qp);
+  }
+  out.stats.encode_ms = encode_watch.ElapsedMs();
+
+  // --- Sender-side quality probe and split line search (§3.3) ---
+  if (config_.enable_adaptation && config_.dynamic_split &&
+      splitter_.ShouldProbe(frame_index)) {
+    const image::ColorImage decoded_color =
+        video::YcbcrToRgb(color_result.reconstruction);
+    const double rmse_color = metrics::ColorRmse(tiled.color, decoded_color);
+    double rmse_depth = 0.0;
+    if (config_.depth_mode == DepthEncodingMode::kRgbPacked) {
+      // Probe on reconstructed millimetres (the packed planes have no
+      // directly comparable unit).
+      image::ColorImage packed(config_.layout.canvas_width(),
+                               config_.layout.canvas_height());
+      for (std::size_t i = 0; i < packed.r.data().size(); ++i) {
+        packed.r.data()[i] = static_cast<std::uint8_t>(
+            depth_result.reconstruction[0].data()[i]);
+        packed.g.data()[i] = static_cast<std::uint8_t>(
+            depth_result.reconstruction[1].data()[i]);
+        packed.b.data()[i] = static_cast<std::uint8_t>(
+            depth_result.reconstruction[2].data()[i]);
+      }
+      rmse_depth = metrics::PlaneRmse(tiled.depth,
+                                      image::UnpackDepthFromRgb(packed));
+    } else if (config_.depth_mode == DepthEncodingMode::kScaledY16) {
+      image::Plane16 scaled = tiled.depth;
+      image::ScaleDepthInPlace(scaled, config_.depth_scaler);
+      rmse_depth =
+          metrics::PlaneRmse(scaled, depth_result.reconstruction[0]);
+    } else {
+      rmse_depth =
+          metrics::PlaneRmse(tiled.depth, depth_result.reconstruction[0]);
+    }
+    out.stats.rmse_color = rmse_color;
+    out.stats.rmse_depth = rmse_depth;
+    splitter_.Update(rmse_depth, rmse_color);
+  }
+
+  out.color_keyframe = color_result.frame.keyframe;
+  out.depth_keyframe = depth_result.frame.keyframe;
+  out.color_frame = std::make_shared<const std::vector<std::uint8_t>>(
+      video::SerializeFrame(color_result.frame));
+  out.depth_frame = std::make_shared<const std::vector<std::uint8_t>>(
+      video::SerializeFrame(depth_result.frame));
+  out.stats.color_bytes = out.color_frame->size();
+  out.stats.depth_bytes = out.depth_frame->size();
+  return out;
+}
+
+}  // namespace livo::core

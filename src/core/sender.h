@@ -1,0 +1,67 @@
+// LiVo sender pipeline (§3, Fig 2 green blocks).
+//
+// Per frame: predict the receiver's frustum and cull the RGB-D views
+// (§3.4), tile the N views into one color and one depth canvas (§3.2),
+// scale depth into the full 16-bit Y range (§3.2), split the transport's
+// bandwidth estimate between the two streams (§3.3), and encode each canvas
+// with the rate-adaptive 2D codec at its share of the budget. Every k
+// frames the encoder reconstruction (= sender-side decode) is compared to
+// the input to update the split via line search.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/culling.h"
+#include "core/frustum_predictor.h"
+#include "core/split.h"
+#include "core/types.h"
+#include "geom/camera.h"
+#include "video/video_codec.h"
+
+namespace livo::core {
+
+struct SenderOutput {
+  std::shared_ptr<const std::vector<std::uint8_t>> color_frame;
+  std::shared_ptr<const std::vector<std::uint8_t>> depth_frame;
+  bool color_keyframe = false;
+  bool depth_keyframe = false;
+  SenderFrameStats stats;
+};
+
+class LiVoSender {
+ public:
+  LiVoSender(const LiVoConfig& config,
+             std::vector<geom::RgbdCamera> cameras);
+
+  // Receiver pose feedback + RTT from the transport (drives prediction).
+  void ObservePoseFeedback(const geom::TimedPose& pose) {
+    predictor_.ObservePose(pose);
+  }
+  void ObserveRtt(double rtt_ms) { predictor_.ObserveRtt(rtt_ms); }
+
+  // PLI/FIR from the receiver (per stream).
+  void RequestKeyframe(std::uint32_t stream_id);
+
+  // Processes one captured frame. `views` is consumed (culled in place).
+  // `target_bps` is the transport's current bandwidth estimate.
+  SenderOutput ProcessFrame(std::vector<image::RgbdFrame> views,
+                            std::uint32_t frame_index, double target_bps);
+
+  const FrustumPredictor& predictor() const { return predictor_; }
+  const SplitController& splitter() const { return splitter_; }
+  const LiVoConfig& config() const { return config_; }
+
+ private:
+  LiVoConfig config_;
+  std::vector<geom::RgbdCamera> cameras_;
+  FrustumPredictor predictor_;
+  SplitController splitter_;
+  video::VideoEncoder color_encoder_;
+  video::VideoEncoder depth_encoder_;
+  // Unspent (or overdrawn) bytes relative to the long-run rate target;
+  // lets keyframes borrow against credit banked by cheap P-frames.
+  double byte_credit_ = 0.0;
+};
+
+}  // namespace livo::core

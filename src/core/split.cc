@@ -1,0 +1,20 @@
+#include "core/split.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace livo::core {
+
+void SplitController::Update(double rmse_depth, double rmse_color) {
+  ++updates_;
+  const double diff = rmse_depth - rmse_color;
+  if (std::abs(diff) <= config_.epsilon) return;  // balanced: hold
+  if (diff > 0.0) {
+    split_ += config_.step;   // depth worse: give depth more bandwidth
+  } else {
+    split_ -= config_.step;   // color worse: give some back
+  }
+  split_ = std::clamp(split_, config_.min, config_.max);
+}
+
+}  // namespace livo::core

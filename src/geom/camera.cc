@@ -1,0 +1,22 @@
+#include "geom/camera.h"
+
+namespace livo::geom {
+
+std::vector<RgbdCamera> MakeCircularRig(int count, double radius_m,
+                                        double height_m, const Vec3& look_at,
+                                        const CameraIntrinsics& intrinsics) {
+  std::vector<RgbdCamera> rig;
+  rig.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const double angle = 2.0 * kPi * i / count;
+    const Vec3 eye{look_at.x + radius_m * std::cos(angle), height_m,
+                   look_at.z + radius_m * std::sin(angle)};
+    RgbdCamera cam;
+    cam.intrinsics = intrinsics;
+    cam.extrinsics.pose = Pose::LookAt(eye, look_at);
+    rig.push_back(cam);
+  }
+  return rig;
+}
+
+}  // namespace livo::geom

@@ -1,0 +1,98 @@
+// Pinhole RGB-D camera model.
+//
+// Generating a point cloud from an RGB-D frame (§3.2): "for each pixel of
+// each RGB-D frame, first determine the pixel's position in the camera's
+// local coordinate frame (using camera parameters such as its center and
+// focal length), and then convert it to global coordinates (using the
+// transformation matrix)".
+//
+// Camera-local convention matches Pose: the camera looks down -Z, +X right,
+// +Y up. Depth is stored as positive millimetres along the viewing ray's -Z
+// component (i.e. z_local = -depth_m).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "geom/mat.h"
+#include "geom/pose.h"
+#include "geom/vec.h"
+
+namespace livo::geom {
+
+// Intrinsic parameters of a pinhole camera at the depth-image resolution.
+// (LiVo downsamples color to the depth resolution before tiling, so a single
+// set of intrinsics serves both channels.)
+struct CameraIntrinsics {
+  int width = 160;
+  int height = 144;
+  double fx = 140.0;   // focal length in pixels
+  double fy = 140.0;
+  double cx = 80.0;    // principal point
+  double cy = 72.0;
+
+  // Builds intrinsics from a horizontal field of view.
+  static CameraIntrinsics FromFov(int width, int height, double hfov_rad) {
+    CameraIntrinsics k;
+    k.width = width;
+    k.height = height;
+    k.fx = (width / 2.0) / std::tan(hfov_rad / 2.0);
+    k.fy = k.fx;  // square pixels
+    k.cx = width / 2.0;
+    k.cy = height / 2.0;
+    return k;
+  }
+
+  // Back-projects pixel (u, v) with depth (metres along -Z) to camera-local
+  // coordinates.
+  Vec3 Unproject(double u, double v, double depth_m) const {
+    const double x = (u - cx) / fx * depth_m;
+    const double y = -(v - cy) / fy * depth_m;  // image v grows downward
+    return {x, y, -depth_m};
+  }
+
+  // Projects a camera-local point to pixel coordinates; nullopt when the
+  // point is behind the camera.
+  std::optional<Vec3> Project(const Vec3& p_local) const {
+    if (p_local.z >= -1e-9) return std::nullopt;
+    const double depth_m = -p_local.z;
+    const double u = cx + fx * p_local.x / depth_m;
+    const double v = cy - fy * p_local.y / depth_m;
+    return Vec3{u, v, depth_m};
+  }
+};
+
+// Extrinsics: the camera's pose in the world (calibration output, §3.2).
+struct CameraExtrinsics {
+  Pose pose;
+
+  Mat4 CameraToWorld() const { return pose.ToMat4(); }
+  Mat4 WorldToCamera() const { return pose.WorldToLocal(); }
+};
+
+// A calibrated RGB-D camera: intrinsics + extrinsics + depth-range limits.
+struct RgbdCamera {
+  CameraIntrinsics intrinsics;
+  CameraExtrinsics extrinsics;
+  // Commodity time-of-flight range (Azure Kinect DK: ~0.25–5.5 m). Depth
+  // readings outside this range are reported as 0 (invalid).
+  double min_depth_m = 0.25;
+  double max_depth_m = 6.0;
+
+  // Back-projects a pixel with depth in millimetres to world coordinates.
+  Vec3 PixelToWorld(int u, int v, std::uint16_t depth_mm) const {
+    const Vec3 local =
+        intrinsics.Unproject(u + 0.5, v + 0.5, depth_mm / 1000.0);
+    return extrinsics.CameraToWorld().TransformPoint(local);
+  }
+};
+
+// Places `count` cameras evenly on a circle of `radius_m` at `height_m`,
+// each looking at `look_at` — the paper's "array of RGB-D cameras encircling
+// a scene" arrangement.
+std::vector<RgbdCamera> MakeCircularRig(int count, double radius_m,
+                                        double height_m, const Vec3& look_at,
+                                        const CameraIntrinsics& intrinsics);
+
+}  // namespace livo::geom

@@ -1,0 +1,56 @@
+#include "geom/frustum.h"
+
+#include <cmath>
+
+namespace livo::geom {
+
+Frustum::Frustum(const Pose& pose, const FrustumParams& params)
+    : pose_(pose), params_(params) {
+  const Vec3 eye = pose.position;
+  const Vec3 fwd = pose.Forward();
+  const Vec3 up = pose.Up();
+  const Vec3 right = pose.Right();
+
+  const double half_v = params.vertical_fov_rad / 2.0;
+  const double tan_v = std::tan(half_v);
+  const double tan_h = tan_v * params.aspect;
+
+  planes_[kNear] = Plane::FromPointNormal(eye + fwd * params.near_m, fwd);
+  planes_[kFar] = Plane::FromPointNormal(eye + fwd * params.far_m, -fwd);
+
+  // Side planes pass through the eye and contain two frustum edge
+  // directions each. An inward normal must see the view direction on its
+  // positive side (the axis fwd lies strictly inside the volume).
+  const Vec3 tl = fwd - right * tan_h + up * tan_v;  // top-left edge dir
+  const Vec3 bl = fwd - right * tan_h - up * tan_v;
+  const Vec3 tr = fwd + right * tan_h + up * tan_v;
+  const Vec3 br = fwd + right * tan_h - up * tan_v;
+
+  const auto side_plane = [&](const Vec3& edge_a, const Vec3& edge_b) {
+    Vec3 n = edge_a.Cross(edge_b).Normalized();
+    if (n.Dot(fwd) < 0.0) n = -n;
+    return Plane::FromPointNormal(eye, n);
+  };
+  planes_[kLeft] = side_plane(tl, bl);
+  planes_[kRight] = side_plane(tr, br);
+  planes_[kTop] = side_plane(tl, tr);
+  planes_[kBottom] = side_plane(bl, br);
+}
+
+Frustum Frustum::Transformed(const Mat4& transform) const {
+  Frustum f = *this;
+  // For rigid transforms the plane transforms as: normal' = R n,
+  // point-on-plane' = T(point). Recover a point on each plane as -d * n.
+  for (std::size_t i = 0; i < planes_.size(); ++i) {
+    const Plane& p = planes_[i];
+    const Vec3 point_on_plane = p.normal * (-p.d);
+    const Vec3 new_normal = transform.TransformDirection(p.normal);
+    const Vec3 new_point = transform.TransformPoint(point_on_plane);
+    f.planes_[i] = Plane::FromPointNormal(new_point, new_normal);
+  }
+  const Mat4 pose_mat = transform * pose_.ToMat4();
+  f.pose_ = Pose{pose_mat.Translation(), Pose::MatToQuat(pose_mat.Rotation())};
+  return f;
+}
+
+}  // namespace livo::geom

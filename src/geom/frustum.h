@@ -1,0 +1,95 @@
+// View frustum: the receiver's 3D field of view (§3.4).
+//
+// "A frustum is a 3D truncated pyramid defined by six planes — near, far,
+// top, bottom, left, and right — whose plane normals point inwards. P is
+// outside the frustum if [signed] distance of the point from either of the
+// six planes is [negative w.r.t. the inward normal]."
+//
+// LiVo expands the predicted frustum by a guard band (default 20 cm) to
+// absorb prediction error, and transforms frustums into each camera's local
+// coordinate frame so pixels can be tested without reconstructing the cloud.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "geom/mat.h"
+#include "geom/pose.h"
+#include "geom/vec.h"
+
+namespace livo::geom {
+
+// Plane in Hessian normal form: normal . p + d = 0. For frustum planes the
+// normal points toward the frustum interior, so SignedDistance > 0 inside.
+struct Plane {
+  Vec3 normal{0, 1, 0};
+  double d = 0.0;
+
+  static Plane FromPointNormal(const Vec3& point, const Vec3& normal_in) {
+    const Vec3 n = normal_in.Normalized();
+    return {n, -n.Dot(point)};
+  }
+
+  double SignedDistance(const Vec3& p) const { return normal.Dot(p) + d; }
+
+  // Shifts the plane along -normal by `amount` (grows the inside half-space).
+  Plane Expanded(double amount) const { return {normal, d + amount}; }
+};
+
+// Perspective viewing parameters of a headset/display.
+struct FrustumParams {
+  double vertical_fov_rad = DegToRad(60.0);
+  double aspect = 16.0 / 9.0;   // width / height
+  double near_m = 0.1;
+  double far_m = 8.0;
+};
+
+class Frustum {
+ public:
+  enum PlaneId { kNear = 0, kFar, kLeft, kRight, kTop, kBottom };
+
+  Frustum() : Frustum(Pose{}, FrustumParams{}) {}
+
+  // Builds the six inward-facing planes from a viewer pose and parameters.
+  Frustum(const Pose& pose, const FrustumParams& params);
+
+  // True if p lies inside or on the boundary.
+  bool Contains(const Vec3& p) const {
+    for (const Plane& plane : planes_) {
+      if (plane.SignedDistance(p) < 0.0) return false;
+    }
+    return true;
+  }
+
+  // Returns a frustum grown by `guard_band_m` on every plane (§3.4: guard
+  // band absorbs pose-prediction and one-way-delay estimation errors).
+  Frustum Expanded(double guard_band_m) const {
+    Frustum f = *this;
+    for (Plane& p : f.planes_) p = p.Expanded(guard_band_m);
+    return f;
+  }
+
+  // Transforms the frustum by a rigid transform (e.g. world -> camera-local
+  // so that culling can run directly on per-camera depth pixels).
+  Frustum Transformed(const Mat4& transform) const;
+
+  // Conservative sphere rejection: false only if the sphere is certainly
+  // entirely outside.
+  bool IntersectsSphere(const Vec3& center, double radius) const {
+    for (const Plane& plane : planes_) {
+      if (plane.SignedDistance(center) < -radius) return false;
+    }
+    return true;
+  }
+
+  const std::array<Plane, 6>& planes() const { return planes_; }
+  const Pose& pose() const { return pose_; }
+  const FrustumParams& params() const { return params_; }
+
+ private:
+  std::array<Plane, 6> planes_;
+  Pose pose_;
+  FrustumParams params_;
+};
+
+}  // namespace livo::geom

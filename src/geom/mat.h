@@ -1,0 +1,138 @@
+// Small fixed-size matrices for rigid transforms and camera projection.
+// Row-major storage; Mat4 composes with column vectors (M * v).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "geom/vec.h"
+
+namespace livo::geom {
+
+struct Mat3 {
+  // m[row][col]
+  std::array<std::array<double, 3>, 3> m{};
+
+  static constexpr Mat3 Identity() {
+    Mat3 r;
+    r.m[0][0] = r.m[1][1] = r.m[2][2] = 1.0;
+    return r;
+  }
+
+  constexpr Vec3 operator*(const Vec3& v) const {
+    return {m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z,
+            m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z,
+            m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z};
+  }
+
+  constexpr Mat3 operator*(const Mat3& o) const {
+    Mat3 r;
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j)
+        for (int k = 0; k < 3; ++k) r.m[i][j] += m[i][k] * o.m[k][j];
+    return r;
+  }
+
+  constexpr Mat3 Transposed() const {
+    Mat3 r;
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j) r.m[i][j] = m[j][i];
+    return r;
+  }
+
+  constexpr bool operator==(const Mat3& o) const = default;
+};
+
+struct Mat4 {
+  std::array<std::array<double, 4>, 4> m{};
+
+  static constexpr Mat4 Identity() {
+    Mat4 r;
+    r.m[0][0] = r.m[1][1] = r.m[2][2] = r.m[3][3] = 1.0;
+    return r;
+  }
+
+  // Builds a rigid transform from rotation R and translation t:
+  // maps p to R*p + t.
+  static constexpr Mat4 FromRigid(const Mat3& rotation, const Vec3& translation) {
+    Mat4 r = Identity();
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j) r.m[i][j] = rotation.m[i][j];
+    r.m[0][3] = translation.x;
+    r.m[1][3] = translation.y;
+    r.m[2][3] = translation.z;
+    return r;
+  }
+
+  constexpr Vec4 operator*(const Vec4& v) const {
+    return {m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z + m[0][3] * v.w,
+            m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z + m[1][3] * v.w,
+            m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z + m[2][3] * v.w,
+            m[3][0] * v.x + m[3][1] * v.y + m[3][2] * v.z + m[3][3] * v.w};
+  }
+
+  // Transforms a 3D point (w = 1).
+  constexpr Vec3 TransformPoint(const Vec3& p) const {
+    return (*this * Vec4(p, 1.0)).Xyz();
+  }
+
+  // Transforms a direction (w = 0): rotation only, no translation.
+  constexpr Vec3 TransformDirection(const Vec3& d) const {
+    return (*this * Vec4(d, 0.0)).Xyz();
+  }
+
+  constexpr Mat4 operator*(const Mat4& o) const {
+    Mat4 r;
+    for (int i = 0; i < 4; ++i)
+      for (int j = 0; j < 4; ++j)
+        for (int k = 0; k < 4; ++k) r.m[i][j] += m[i][k] * o.m[k][j];
+    return r;
+  }
+
+  constexpr Mat3 Rotation() const {
+    Mat3 r;
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j) r.m[i][j] = m[i][j];
+    return r;
+  }
+
+  constexpr Vec3 Translation() const { return {m[0][3], m[1][3], m[2][3]}; }
+
+  // Fast inverse valid only for rigid transforms (orthonormal rotation):
+  // inv([R|t]) = [R^T | -R^T t].
+  constexpr Mat4 RigidInverse() const {
+    const Mat3 rt = Rotation().Transposed();
+    const Vec3 t = Translation();
+    return FromRigid(rt, -(rt * t));
+  }
+
+  constexpr bool operator==(const Mat4& o) const = default;
+};
+
+// Rotation about the +Y axis (the "up" axis of our world frame) by `radians`.
+inline Mat3 RotationY(double radians) {
+  const double c = std::cos(radians), s = std::sin(radians);
+  Mat3 r = Mat3::Identity();
+  r.m[0][0] = c;  r.m[0][2] = s;
+  r.m[2][0] = -s; r.m[2][2] = c;
+  return r;
+}
+
+inline Mat3 RotationX(double radians) {
+  const double c = std::cos(radians), s = std::sin(radians);
+  Mat3 r = Mat3::Identity();
+  r.m[1][1] = c;  r.m[1][2] = -s;
+  r.m[2][1] = s;  r.m[2][2] = c;
+  return r;
+}
+
+inline Mat3 RotationZ(double radians) {
+  const double c = std::cos(radians), s = std::sin(radians);
+  Mat3 r = Mat3::Identity();
+  r.m[0][0] = c;  r.m[0][1] = -s;
+  r.m[1][0] = s;  r.m[1][1] = c;
+  return r;
+}
+
+}  // namespace livo::geom

@@ -1,0 +1,204 @@
+// Quaternion and 6-DoF pose (position + orientation).
+//
+// A user trace (§4.1) is a sequence of timestamped poses; the Kalman
+// predictor (§3.4) operates on the 6 pose dimensions (position + Euler
+// orientation), so Pose exposes both quaternion and Euler views.
+#pragma once
+
+#include <cmath>
+
+#include "geom/mat.h"
+#include "geom/vec.h"
+
+namespace livo::geom {
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+inline constexpr double DegToRad(double deg) { return deg * kPi / 180.0; }
+inline constexpr double RadToDeg(double rad) { return rad * 180.0 / kPi; }
+
+// Unit quaternion for 3D orientation (w + xi + yj + zk).
+struct Quat {
+  double w = 1.0;
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  static Quat FromAxisAngle(const Vec3& axis, double radians) {
+    const Vec3 a = axis.Normalized();
+    const double h = radians / 2.0;
+    const double s = std::sin(h);
+    return {std::cos(h), a.x * s, a.y * s, a.z * s};
+  }
+
+  // Yaw (about Y), pitch (about X), roll (about Z), applied roll-pitch-yaw.
+  static Quat FromEuler(double yaw, double pitch, double roll) {
+    const Quat qy = FromAxisAngle({0, 1, 0}, yaw);
+    const Quat qx = FromAxisAngle({1, 0, 0}, pitch);
+    const Quat qz = FromAxisAngle({0, 0, 1}, roll);
+    return qy * qx * qz;
+  }
+
+  Quat operator*(const Quat& o) const {
+    return {w * o.w - x * o.x - y * o.y - z * o.z,
+            w * o.x + x * o.w + y * o.z - z * o.y,
+            w * o.y - x * o.z + y * o.w + z * o.x,
+            w * o.z + x * o.y - y * o.x + z * o.w};
+  }
+
+  Quat Conjugate() const { return {w, -x, -y, -z}; }
+
+  double Norm() const { return std::sqrt(w * w + x * x + y * y + z * z); }
+
+  Quat Normalized() const {
+    const double n = Norm();
+    if (n <= 0.0) return {};
+    return {w / n, x / n, y / n, z / n};
+  }
+
+  Vec3 Rotate(const Vec3& v) const {
+    const Quat p{0.0, v.x, v.y, v.z};
+    const Quat r = *this * p * Conjugate();
+    return {r.x, r.y, r.z};
+  }
+
+  Mat3 ToMat3() const {
+    Mat3 r;
+    const double xx = x * x, yy = y * y, zz = z * z;
+    const double xy = x * y, xz = x * z, yz = y * z;
+    const double wx = w * x, wy = w * y, wz = w * z;
+    r.m[0][0] = 1 - 2 * (yy + zz); r.m[0][1] = 2 * (xy - wz); r.m[0][2] = 2 * (xz + wy);
+    r.m[1][0] = 2 * (xy + wz); r.m[1][1] = 1 - 2 * (xx + zz); r.m[1][2] = 2 * (yz - wx);
+    r.m[2][0] = 2 * (xz - wy); r.m[2][1] = 2 * (yz + wx); r.m[2][2] = 1 - 2 * (xx + yy);
+    return r;
+  }
+
+  // Angular distance to another orientation, in radians (always in [0, pi]).
+  double AngleTo(const Quat& o) const {
+    const Quat a = Normalized(), b = o.Normalized();
+    double dot = a.w * b.w + a.x * b.x + a.y * b.y + a.z * b.z;
+    dot = std::min(1.0, std::max(-1.0, std::abs(dot)));
+    return 2.0 * std::acos(dot);
+  }
+};
+
+// Spherical linear interpolation; t in [0, 1].
+inline Quat Slerp(const Quat& a, Quat b, double t) {
+  double dot = a.w * b.w + a.x * b.x + a.y * b.y + a.z * b.z;
+  if (dot < 0.0) {  // take the short arc
+    b = {-b.w, -b.x, -b.y, -b.z};
+    dot = -dot;
+  }
+  if (dot > 0.9995) {  // nearly parallel: lerp + renormalize
+    Quat r{a.w + t * (b.w - a.w), a.x + t * (b.x - a.x),
+           a.y + t * (b.y - a.y), a.z + t * (b.z - a.z)};
+    return r.Normalized();
+  }
+  const double theta = std::acos(dot);
+  const double s = std::sin(theta);
+  const double wa = std::sin((1.0 - t) * theta) / s;
+  const double wb = std::sin(t * theta) / s;
+  return Quat{wa * a.w + wb * b.w, wa * a.x + wb * b.x,
+              wa * a.y + wb * b.y, wa * a.z + wb * b.z}
+      .Normalized();
+}
+
+// Euler angles (radians): yaw about +Y, pitch about +X, roll about +Z.
+struct EulerAngles {
+  double yaw = 0.0;
+  double pitch = 0.0;
+  double roll = 0.0;
+};
+
+// 6-DoF pose: position in the world frame and orientation as a quaternion.
+// Convention: the local frame looks down its -Z axis (OpenGL-style camera),
+// +Y up, +X right.
+struct Pose {
+  Vec3 position;
+  Quat orientation;
+
+  // World-from-local transform.
+  Mat4 ToMat4() const { return Mat4::FromRigid(orientation.ToMat3(), position); }
+
+  // Local-from-world transform (view matrix for a camera at this pose).
+  Mat4 WorldToLocal() const { return ToMat4().RigidInverse(); }
+
+  Vec3 Forward() const { return orientation.Rotate({0, 0, -1}); }
+  Vec3 Up() const { return orientation.Rotate({0, 1, 0}); }
+  Vec3 Right() const { return orientation.Rotate({1, 0, 0}); }
+
+  EulerAngles ToEuler() const {
+    // Decompose R = Ry(yaw) * Rx(pitch) * Rz(roll):
+    //   R[1][2] = -sin(pitch)
+    //   R[0][2] = sin(yaw) cos(pitch),  R[2][2] = cos(yaw) cos(pitch)
+    //   R[1][0] = cos(pitch) sin(roll), R[1][1] = cos(pitch) cos(roll)
+    const Mat3 r = orientation.ToMat3();
+    EulerAngles e;
+    e.pitch = std::asin(std::min(1.0, std::max(-1.0, -r.m[1][2])));
+    if (std::abs(r.m[1][2]) < 0.9999) {
+      e.yaw = std::atan2(r.m[0][2], r.m[2][2]);
+      e.roll = std::atan2(r.m[1][0], r.m[1][1]);
+    } else {  // gimbal lock: fold roll into yaw
+      e.yaw = std::atan2(r.m[0][1], r.m[0][0]);
+      e.roll = 0.0;
+    }
+    return e;
+  }
+
+  static Pose FromEuler(const Vec3& position, const EulerAngles& e) {
+    return {position, Quat::FromEuler(e.yaw, e.pitch, e.roll)};
+  }
+
+  // A pose at `eye` looking toward `target` with the given up hint.
+  static Pose LookAt(const Vec3& eye, const Vec3& target, const Vec3& up = {0, 1, 0}) {
+    const Vec3 fwd = (target - eye).Normalized();           // local -Z
+    Vec3 right = fwd.Cross(up).Normalized();
+    if (right.NormSq() < 1e-12) right = {1, 0, 0};          // fwd parallel to up
+    const Vec3 real_up = right.Cross(fwd);
+    Mat3 r;
+    // Columns are the local axes expressed in world coordinates.
+    r.m[0][0] = right.x; r.m[0][1] = real_up.x; r.m[0][2] = -fwd.x;
+    r.m[1][0] = right.y; r.m[1][1] = real_up.y; r.m[1][2] = -fwd.y;
+    r.m[2][0] = right.z; r.m[2][1] = real_up.z; r.m[2][2] = -fwd.z;
+    return {eye, MatToQuat(r)};
+  }
+
+  static Quat MatToQuat(const Mat3& r) {
+    Quat q;
+    const double trace = r.m[0][0] + r.m[1][1] + r.m[2][2];
+    if (trace > 0.0) {
+      const double s = std::sqrt(trace + 1.0) * 2.0;
+      q.w = 0.25 * s;
+      q.x = (r.m[2][1] - r.m[1][2]) / s;
+      q.y = (r.m[0][2] - r.m[2][0]) / s;
+      q.z = (r.m[1][0] - r.m[0][1]) / s;
+    } else if (r.m[0][0] > r.m[1][1] && r.m[0][0] > r.m[2][2]) {
+      const double s = std::sqrt(1.0 + r.m[0][0] - r.m[1][1] - r.m[2][2]) * 2.0;
+      q.w = (r.m[2][1] - r.m[1][2]) / s;
+      q.x = 0.25 * s;
+      q.y = (r.m[0][1] + r.m[1][0]) / s;
+      q.z = (r.m[0][2] + r.m[2][0]) / s;
+    } else if (r.m[1][1] > r.m[2][2]) {
+      const double s = std::sqrt(1.0 + r.m[1][1] - r.m[0][0] - r.m[2][2]) * 2.0;
+      q.w = (r.m[0][2] - r.m[2][0]) / s;
+      q.x = (r.m[0][1] + r.m[1][0]) / s;
+      q.y = 0.25 * s;
+      q.z = (r.m[1][2] + r.m[2][1]) / s;
+    } else {
+      const double s = std::sqrt(1.0 + r.m[2][2] - r.m[0][0] - r.m[1][1]) * 2.0;
+      q.w = (r.m[1][0] - r.m[0][1]) / s;
+      q.x = (r.m[0][2] + r.m[2][0]) / s;
+      q.y = (r.m[1][2] + r.m[2][1]) / s;
+      q.z = 0.25 * s;
+    }
+    return q.Normalized();
+  }
+};
+
+// A pose sample within a user trace, stamped in milliseconds.
+struct TimedPose {
+  double time_ms = 0.0;
+  Pose pose;
+};
+
+}  // namespace livo::geom

@@ -1,0 +1,85 @@
+// 3- and 4-component vector types used for point-cloud geometry, camera
+// models, and frustum mathematics. Double precision throughout: the scenes
+// are metre-scale with millimetre depth resolution, so float error is
+// avoidable and not worth the risk in calibration-style transform chains.
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+namespace livo::geom {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+
+  Vec3& operator+=(const Vec3& o) { x += o.x; y += o.y; z += o.z; return *this; }
+  Vec3& operator-=(const Vec3& o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
+  Vec3& operator*=(double s) { x *= s; y *= s; z *= s; return *this; }
+
+  constexpr double Dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+
+  constexpr Vec3 Cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+
+  double Norm() const { return std::sqrt(Dot(*this)); }
+  constexpr double NormSq() const { return Dot(*this); }
+
+  // Returns the unit vector; the zero vector normalizes to itself.
+  Vec3 Normalized() const {
+    const double n = Norm();
+    return n > 0.0 ? *this / n : Vec3{};
+  }
+
+  double DistanceTo(const Vec3& o) const { return (*this - o).Norm(); }
+
+  constexpr bool operator==(const Vec3& o) const = default;
+};
+
+inline constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+inline std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+}
+
+struct Vec4 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+  double w = 0.0;
+
+  constexpr Vec4() = default;
+  constexpr Vec4(double x_, double y_, double z_, double w_)
+      : x(x_), y(y_), z(z_), w(w_) {}
+  constexpr Vec4(const Vec3& v, double w_) : x(v.x), y(v.y), z(v.z), w(w_) {}
+
+  constexpr double Dot(const Vec4& o) const {
+    return x * o.x + y * o.y + z * o.z + w * o.w;
+  }
+
+  constexpr Vec3 Xyz() const { return {x, y, z}; }
+
+  // Perspective divide; w must be non-zero.
+  constexpr Vec3 Dehomogenize() const { return {x / w, y / w, z / w}; }
+
+  constexpr bool operator==(const Vec4& o) const = default;
+};
+
+// True when all components differ by at most eps.
+inline bool AlmostEqual(const Vec3& a, const Vec3& b, double eps = 1e-9) {
+  return std::abs(a.x - b.x) <= eps && std::abs(a.y - b.y) <= eps &&
+         std::abs(a.z - b.z) <= eps;
+}
+
+}  // namespace livo::geom

@@ -1,0 +1,48 @@
+#include "image/depth_encoding.h"
+
+namespace livo::image {
+
+Plane16 ScaleDepth(const Plane16& depth_mm, const DepthScaler& scaler) {
+  Plane16 out = depth_mm;
+  ScaleDepthInPlace(out, scaler);
+  return out;
+}
+
+Plane16 UnscaleDepth(const Plane16& scaled, const DepthScaler& scaler) {
+  Plane16 out = scaled;
+  UnscaleDepthInPlace(out, scaler);
+  return out;
+}
+
+void ScaleDepthInPlace(Plane16& depth, const DepthScaler& scaler) {
+  for (auto& v : depth.data()) v = scaler.Scale(v);
+}
+
+void UnscaleDepthInPlace(Plane16& depth, const DepthScaler& scaler) {
+  for (auto& v : depth.data()) v = scaler.Unscale(v);
+}
+
+ColorImage PackDepthToRgb(const Plane16& depth_mm) {
+  ColorImage out(depth_mm.width(), depth_mm.height());
+  const auto& src = depth_mm.data();
+  auto& r = out.r.data();
+  auto& g = out.g.data();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    r[i] = static_cast<std::uint8_t>(src[i] >> 8);
+    g[i] = static_cast<std::uint8_t>(src[i] & 0xff);
+  }
+  return out;
+}
+
+Plane16 UnpackDepthFromRgb(const ColorImage& packed) {
+  Plane16 out(packed.width(), packed.height());
+  const auto& r = packed.r.data();
+  const auto& g = packed.g.data();
+  auto& dst = out.data();
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    dst[i] = static_cast<std::uint16_t>((static_cast<unsigned>(r[i]) << 8) | g[i]);
+  }
+  return out;
+}
+
+}  // namespace livo::image

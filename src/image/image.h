@@ -1,0 +1,131 @@
+// Planar image containers.
+//
+// The video codec (livo::video) operates on single-channel planes; color
+// frames are three 8-bit planes (R, G, B) and depth frames are one 16-bit
+// plane (the Y channel of the paper's Y444 16-bit H.265 mode, with U/V held
+// at a fixed value and therefore never transmitted by our codec).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace livo::image {
+
+// A single-channel 2D raster. T is uint8_t (color) or uint16_t (depth).
+template <typename T>
+class Plane {
+ public:
+  Plane() = default;
+  Plane(int width, int height, T fill = T{})
+      : width_(width), height_(height),
+        data_(static_cast<std::size_t>(width) * height, fill) {
+    if (width < 0 || height < 0) throw std::invalid_argument("negative plane size");
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  bool empty() const { return data_.empty(); }
+  std::size_t size() const { return data_.size(); }
+
+  T& at(int x, int y) { return data_[Index(x, y)]; }
+  const T& at(int x, int y) const { return data_[Index(x, y)]; }
+
+  T* row(int y) { return data_.data() + static_cast<std::size_t>(y) * width_; }
+  const T* row(int y) const {
+    return data_.data() + static_cast<std::size_t>(y) * width_;
+  }
+
+  std::vector<T>& data() { return data_; }
+  const std::vector<T>& data() const { return data_; }
+
+  void Fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  // Copies `src` into this plane with its top-left corner at (dst_x, dst_y).
+  // The source must fit entirely inside the destination.
+  void Blit(const Plane<T>& src, int dst_x, int dst_y) {
+    if (dst_x < 0 || dst_y < 0 || dst_x + src.width() > width_ ||
+        dst_y + src.height() > height_) {
+      throw std::out_of_range("Blit target does not fit in destination plane");
+    }
+    for (int y = 0; y < src.height(); ++y) {
+      std::copy_n(src.row(y), src.width(), row(dst_y + y) + dst_x);
+    }
+  }
+
+  // Extracts a w x h sub-plane with top-left corner at (x, y).
+  Plane<T> Crop(int x, int y, int w, int h) const {
+    if (x < 0 || y < 0 || x + w > width_ || y + h > height_) {
+      throw std::out_of_range("Crop region outside plane");
+    }
+    Plane<T> out(w, h);
+    for (int r = 0; r < h; ++r) std::copy_n(row(y + r) + x, w, out.row(r));
+    return out;
+  }
+
+  bool SameShape(const Plane<T>& o) const {
+    return width_ == o.width_ && height_ == o.height_;
+  }
+
+  bool operator==(const Plane<T>& o) const = default;
+
+ private:
+  std::size_t Index(int x, int y) const {
+#ifndef NDEBUG
+    if (x < 0 || y < 0 || x >= width_ || y >= height_) {
+      throw std::out_of_range("Plane index out of range");
+    }
+#endif
+    return static_cast<std::size_t>(y) * width_ + x;
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<T> data_;
+};
+
+using Plane8 = Plane<std::uint8_t>;
+using Plane16 = Plane<std::uint16_t>;
+
+// Planar 8-bit RGB color image.
+struct ColorImage {
+  Plane8 r, g, b;
+
+  ColorImage() = default;
+  ColorImage(int width, int height)
+      : r(width, height), g(width, height), b(width, height) {}
+
+  int width() const { return r.width(); }
+  int height() const { return r.height(); }
+  bool empty() const { return r.empty(); }
+
+  void SetPixel(int x, int y, std::uint8_t red, std::uint8_t green,
+                std::uint8_t blue) {
+    r.at(x, y) = red;
+    g.at(x, y) = green;
+    b.at(x, y) = blue;
+  }
+
+  bool operator==(const ColorImage& o) const = default;
+};
+
+// Single-channel 16-bit depth image, millimetres; 0 = invalid/no return
+// (matches Azure Kinect semantics) and is also the value written into
+// culled pixels (§3.4).
+using DepthImage = Plane16;
+
+// One synchronized capture from one RGB-D camera: pixel-aligned color
+// (already downsampled to depth resolution, §3.2) plus depth.
+struct RgbdFrame {
+  ColorImage color;
+  DepthImage depth;
+
+  RgbdFrame() = default;
+  RgbdFrame(int width, int height) : color(width, height), depth(width, height) {}
+
+  int width() const { return depth.width(); }
+  int height() const { return depth.height(); }
+};
+
+}  // namespace livo::image

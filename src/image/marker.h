@@ -1,0 +1,40 @@
+// In-band frame sequence numbers (§A.1).
+//
+// "WebRTC does not permit embedding frame numbers in video streams.
+// Following prior work, the LiVo sender embeds a (pre-generated) QR code in
+// each 4K depth and color tiled frame that encodes the frame sequence
+// number. The receiver decodes the QR code to obtain frame sequence numbers."
+//
+// We achieve the same with a simpler high-redundancy marker: each bit of the
+// 32-bit frame number is rendered as a kCell x kCell block of saturated
+// black/white pixels. Majority vote over the block recovers bits reliably
+// after lossy transform coding.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "image/image.h"
+
+namespace livo::image {
+
+// Marker geometry: 32 data bits + 8 checksum bits, one cell per bit.
+inline constexpr int kMarkerCell = 8;          // pixels per bit cell (square)
+inline constexpr int kMarkerBits = 40;         // 32 value + 8 checksum
+inline constexpr int kMarkerWidth = kMarkerBits * kMarkerCell;
+inline constexpr int kMarkerHeight = kMarkerCell;
+
+// XOR-folded checksum of the 32-bit value.
+std::uint8_t MarkerChecksum(std::uint32_t value);
+
+// Writes the marker for `value` at (x, y) into an 8-bit plane (color: the
+// marker is written identically into all three planes through the helpers
+// below) or a 16-bit plane (depth canvas).
+void WriteMarker8(Plane8& plane, int x, int y, std::uint32_t value);
+void WriteMarker16(Plane16& plane, int x, int y, std::uint32_t value);
+
+// Reads a marker; nullopt if the checksum fails (marker destroyed).
+std::optional<std::uint32_t> ReadMarker8(const Plane8& plane, int x, int y);
+std::optional<std::uint32_t> ReadMarker16(const Plane16& plane, int x, int y);
+
+}  // namespace livo::image

@@ -1,0 +1,87 @@
+// Stream composition by tiling (§3.2).
+//
+// LiVo multiplexes the N color and N depth images into exactly two video
+// streams by tiling the per-camera images onto a fixed grid inside one large
+// frame ("Tiled color view for 10 Kinect cameras", Fig. 3). Because every
+// camera's image occupies the same grid cell in every frame, macroblock
+// locality is preserved and 2D inter-frame prediction keeps working.
+//
+// A reserved marker strip at the bottom of the canvas carries the in-band
+// frame sequence number (the paper embeds a QR code; see marker.h).
+#pragma once
+
+#include <vector>
+
+#include "image/image.h"
+#include "image/marker.h"
+
+namespace livo::image {
+
+// Static arrangement of N per-camera images on a tiled canvas.
+class TileLayout {
+ public:
+  // Chooses a near-square cols x rows grid for `camera_count` tiles of
+  // `tile_width` x `tile_height`, plus a marker strip of `marker_rows`
+  // pixels at the bottom.
+  TileLayout(int camera_count, int tile_width, int tile_height);
+
+  int camera_count() const { return camera_count_; }
+  int tile_width() const { return tile_width_; }
+  int tile_height() const { return tile_height_; }
+  int cols() const { return cols_; }
+  int rows() const { return rows_; }
+  int canvas_width() const { return canvas_width_; }
+  int canvas_height() const { return canvas_height_; }
+
+  // Top-left corner of camera i's tile.
+  int TileX(int camera) const { return (camera % cols_) * tile_width_; }
+  int TileY(int camera) const { return (camera / cols_) * tile_height_; }
+
+  // Pixel origin of the marker strip.
+  int MarkerX() const { return 0; }
+  int MarkerY() const { return rows_ * tile_height_; }
+
+ private:
+  int camera_count_;
+  int tile_width_;
+  int tile_height_;
+  int cols_;
+  int rows_;
+  int canvas_width_;
+  int canvas_height_;
+};
+
+// Tiled color + depth canvases for one point-in-time capture, stamped with
+// a frame sequence number in the marker strip.
+struct TiledFramePair {
+  std::uint32_t frame_number = 0;
+  ColorImage color;    // tiled color canvas
+  DepthImage depth;    // tiled depth canvas
+};
+
+// Tiles per-camera RGB-D frames onto the two canvases and stamps the frame
+// number. `views.size()` must equal layout.camera_count().
+TiledFramePair Tile(const TileLayout& layout,
+                    const std::vector<RgbdFrame>& views,
+                    std::uint32_t frame_number);
+
+// Splits tiled canvases back into per-camera frames (receiver side).
+std::vector<RgbdFrame> Untile(const TileLayout& layout, const ColorImage& color,
+                              const DepthImage& depth);
+
+// Returns the canvas region holding camera tiles only (excludes the marker
+// strip, whose saturated bit pattern is not depth/color content and must
+// not enter image-domain quality metrics).
+template <typename T>
+Plane<T> TileBody(const TileLayout& layout, const Plane<T>& canvas) {
+  return canvas.Crop(0, 0, layout.canvas_width(), layout.MarkerY());
+}
+
+// Reads the frame number stamped into a tiled canvas; nullopt if the marker
+// was destroyed (e.g. by extreme compression).
+std::optional<std::uint32_t> ReadFrameNumber(const TileLayout& layout,
+                                             const ColorImage& color);
+std::optional<std::uint32_t> ReadFrameNumber(const TileLayout& layout,
+                                             const DepthImage& depth);
+
+}  // namespace livo::image

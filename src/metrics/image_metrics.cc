@@ -1,0 +1,75 @@
+#include "metrics/image_metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace livo::metrics {
+namespace {
+
+template <typename T>
+double RmseImpl(const image::Plane<T>& a, const image::Plane<T>& b) {
+  if (!a.SameShape(b)) throw std::invalid_argument("plane shape mismatch");
+  if (a.empty()) return 0.0;
+  double sum = 0.0;
+  const auto& da = a.data();
+  const auto& db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    const double d = double(da[i]) - double(db[i]);
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(da.size()));
+}
+
+}  // namespace
+
+double PlaneRmse(const image::Plane16& a, const image::Plane16& b) {
+  return RmseImpl(a, b);
+}
+
+double PlaneRmse(const image::Plane8& a, const image::Plane8& b) {
+  return RmseImpl(a, b);
+}
+
+double ColorRmse(const image::ColorImage& a, const image::ColorImage& b) {
+  if (a.width() != b.width() || a.height() != b.height()) {
+    throw std::invalid_argument("image shape mismatch");
+  }
+  if (a.r.empty()) return 0.0;
+  double sum = 0.0;
+  const std::size_t n = a.r.data().size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dr = double(a.r.data()[i]) - double(b.r.data()[i]);
+    const double dg = double(a.g.data()[i]) - double(b.g.data()[i]);
+    const double db = double(a.b.data()[i]) - double(b.b.data()[i]);
+    sum += dr * dr + dg * dg + db * db;
+  }
+  return std::sqrt(sum / static_cast<double>(3 * n));
+}
+
+double Psnr(double rmse, double peak) {
+  if (rmse <= 0.0) return 100.0;
+  return std::min(100.0, 20.0 * std::log10(peak / rmse));
+}
+
+double DepthRmseMm(const image::DepthImage& a, const image::DepthImage& b,
+                   double missing_penalty_mm) {
+  if (!a.SameShape(b)) throw std::invalid_argument("depth shape mismatch");
+  double sum = 0.0;
+  std::size_t count = 0;
+  const auto& da = a.data();
+  const auto& db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    const bool va = da[i] != 0, vb = db[i] != 0;
+    if (!va && !vb) continue;
+    ++count;
+    if (va && vb) {
+      const double d = double(da[i]) - double(db[i]);
+      sum += d * d;
+    } else {
+      sum += missing_penalty_mm * missing_penalty_mm;
+    }
+  }
+  return count == 0 ? 0.0 : std::sqrt(sum / static_cast<double>(count));
+}
+
+}  // namespace livo::metrics

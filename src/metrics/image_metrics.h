@@ -1,0 +1,36 @@
+// Pixel-domain quality metrics.
+//
+// LiVo's bandwidth-split controller uses RMSE between the original and
+// decoded tiled frames as its quality probe (§3.3): "LiVo uses the
+// root-mean-square error (RMSE) in pixel values between the original (depth
+// or color) frame and the decoded frame. This choice is far more
+// compute-efficient" than reconstructing point clouds for PointSSIM.
+#pragma once
+
+#include <cmath>
+
+#include "image/image.h"
+
+namespace livo::metrics {
+
+// RMSE between two same-shape 16-bit planes.
+double PlaneRmse(const image::Plane16& a, const image::Plane16& b);
+
+// RMSE between two 8-bit planes.
+double PlaneRmse(const image::Plane8& a, const image::Plane8& b);
+
+// RMSE over all three channels of a color image.
+double ColorRmse(const image::ColorImage& a, const image::ColorImage& b);
+
+// PSNR in dB for a given peak value; identical images return +inf capped
+// at 100 dB for sane aggregation.
+double Psnr(double rmse, double peak);
+
+// Depth RMSE in millimetres between two depth images, counting only pixels
+// valid (non-zero) in at least one image; a pixel valid in exactly one image
+// contributes `missing_penalty_mm` of error (a dropped or hallucinated
+// surface is a real geometric defect, not a no-op).
+double DepthRmseMm(const image::DepthImage& a, const image::DepthImage& b,
+                   double missing_penalty_mm = 500.0);
+
+}  // namespace livo::metrics

@@ -1,0 +1,75 @@
+#include "metrics/mos.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace livo::metrics {
+
+double MosModel::Score(const SessionQuality& q) const {
+  const double quality = geometry_weight * q.pssim_geometry +
+                         (1.0 - geometry_weight) * q.pssim_color;
+  const double t = std::clamp(
+      (quality - quality_floor) / (quality_ceiling - quality_floor), 0.0, 1.0);
+  double score = 1.0 + 4.0 * t;
+
+  score -= stall_penalty * std::clamp(q.stall_rate, 0.0, 1.0);
+
+  // Participants judge frame rate against full-rate conferencing (30 fps)
+  // regardless of a scheme's own target -- a 15 fps scheme reads as choppy
+  // even when it hits its target (Table 5's MeshReduce frame-rate column).
+  const double fps_deficit = std::clamp(1.0 - q.fps / 30.0, 0.0, 1.0);
+  score -= low_fps_penalty * fps_deficit;
+
+  return std::clamp(score, 1.0, 5.0);
+}
+
+std::vector<int> SyntheticRatings(const MosModel& model,
+                                  const SessionQuality& q, int raters,
+                                  std::uint64_t seed) {
+  const double mean = model.Score(q);
+  util::Rng rng(seed);
+  std::vector<int> ratings;
+  ratings.reserve(static_cast<std::size_t>(raters));
+  for (int i = 0; i < raters; ++i) {
+    // Inter-rater spread of ~0.6 MOS points is typical of 5-point Likert
+    // studies of video quality.
+    const double sample = rng.Gaussian(mean, 0.6);
+    ratings.push_back(static_cast<int>(
+        std::clamp(std::lround(sample), 1l, 5l)));
+  }
+  return ratings;
+}
+
+namespace {
+
+// Distributes mass across L/M/H with a soft transition around two
+// thresholds of the underlying statistic x (higher x = closer to H).
+void SoftThreeWay(double x, double lo_threshold, double hi_threshold,
+                  double softness, double out[3]) {
+  const auto sigmoid = [](double v) { return 1.0 / (1.0 + std::exp(-v)); };
+  const double above_lo = sigmoid((x - lo_threshold) / softness);
+  const double above_hi = sigmoid((x - hi_threshold) / softness);
+  out[0] = 1.0 - above_lo;          // Low
+  out[1] = above_lo - above_hi;     // Medium
+  out[2] = above_hi;                // High
+}
+
+}  // namespace
+
+FeedbackBreakdown FeedbackCategories(const SessionQuality& q) {
+  FeedbackBreakdown fb{};
+  // Frame rate: below ~60% of target reads as "low", above ~90% as "high".
+  const double fps_ratio = q.fps / std::max(1.0, q.target_fps);
+  SoftThreeWay(fps_ratio, 0.62, 0.92, 0.05, fb.frame_rate);
+  // Stalls: comments flip from "smooth" (L) to "glitchy" (H) quickly.
+  SoftThreeWay(q.stall_rate, 0.02, 0.15, 0.02, fb.stalls);
+  // Quality from the blended PSSIM.
+  const double quality = 0.65 * q.pssim_geometry + 0.35 * q.pssim_color;
+  SoftThreeWay(quality, 55.0, 80.0, 5.0, fb.quality);
+  return fb;
+}
+
+}  // namespace livo::metrics

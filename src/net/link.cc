@@ -1,0 +1,54 @@
+#include "net/link.h"
+
+#include <algorithm>
+
+namespace livo::net {
+
+LinkEmulator::LinkEmulator(sim::BandwidthTrace trace, const LinkConfig& config)
+    : trace_(std::move(trace)), config_(config), rng_(config.seed) {}
+
+double LinkEmulator::CapacityBitsPerMs(double now_ms) const {
+  // Mbps -> bits per millisecond is a factor of 1000.
+  return trace_.AtMs(now_ms) * config_.bandwidth_scale * 1000.0;
+}
+
+double LinkEmulator::CurrentQueueDelayMs(double now_ms) const {
+  return std::max(0.0, next_free_ms_ - now_ms);
+}
+
+bool LinkEmulator::Send(Packet packet, double now_ms) {
+  if (rng_.Chance(config_.loss_rate)) {
+    ++packets_dropped_;
+    return false;
+  }
+  const double start = std::max(now_ms, next_free_ms_);
+  if (start - now_ms > config_.max_queue_delay_ms) {
+    ++packets_dropped_;  // drop-tail: the queue already holds too much delay
+    return false;
+  }
+  const double capacity = std::max(1.0, CapacityBitsPerMs(start));
+  const double serialize_ms =
+      static_cast<double>(packet.WireBytes()) * 8.0 / capacity;
+  next_free_ms_ = start + serialize_ms;
+
+  packet.send_time_ms = now_ms;
+  InFlight entry;
+  entry.arrival_ms = next_free_ms_ + config_.propagation_delay_ms;
+  entry.packet = packet;
+  in_flight_.push_back(entry);
+  ++packets_sent_;
+  return true;
+}
+
+std::vector<Packet> LinkEmulator::Poll(double now_ms) {
+  std::vector<Packet> delivered;
+  while (!in_flight_.empty() && in_flight_.front().arrival_ms <= now_ms) {
+    Packet p = in_flight_.front().packet;
+    p.arrival_time_ms = in_flight_.front().arrival_ms;
+    delivered.push_back(p);
+    in_flight_.pop_front();
+  }
+  return delivered;
+}
+
+}  // namespace livo::net

@@ -1,0 +1,63 @@
+// Trace-driven link emulation (Mahimahi-style, §4.1 "we replay the network
+// traces using Mahimahi to emulate the bandwidth conditions").
+//
+// A single-server queue: packets serialize at the instantaneous trace rate,
+// wait behind earlier packets (drop-tail beyond a queue-delay bound), then
+// experience fixed propagation delay; optional i.i.d. random loss models
+// residual wireless loss.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/nettrace.h"
+#include "util/rng.h"
+
+namespace livo::net {
+
+struct LinkConfig {
+  double propagation_delay_ms = 20.0;  // one-way
+  double max_queue_delay_ms = 300.0;   // drop-tail bound
+  double loss_rate = 0.0;              // i.i.d. packet loss probability
+  double bandwidth_scale = 1.0;        // applied to the trace (DESIGN.md §1)
+  std::uint64_t seed = 7;
+};
+
+class LinkEmulator {
+ public:
+  LinkEmulator(sim::BandwidthTrace trace, const LinkConfig& config);
+
+  // Enqueues a packet at `now_ms`. Returns false if the packet was dropped
+  // (queue overflow or random loss).
+  bool Send(Packet packet, double now_ms);
+
+  // Returns packets whose arrival time is <= now_ms, in arrival order,
+  // with arrival_time_ms stamped.
+  std::vector<Packet> Poll(double now_ms);
+
+  // Instantaneous capacity in bits per millisecond after scaling.
+  double CapacityBitsPerMs(double now_ms) const;
+
+  // Queuing delay a packet sent now would experience (congestion signal).
+  double CurrentQueueDelayMs(double now_ms) const;
+
+  std::size_t packets_dropped() const { return packets_dropped_; }
+  std::size_t packets_sent() const { return packets_sent_; }
+
+ private:
+  struct InFlight {
+    Packet packet;
+    double arrival_ms;
+  };
+
+  sim::BandwidthTrace trace_;
+  LinkConfig config_;
+  util::Rng rng_;
+  double next_free_ms_ = 0.0;  // when the serializer becomes idle
+  std::deque<InFlight> in_flight_;
+  std::size_t packets_dropped_ = 0;
+  std::size_t packets_sent_ = 0;
+};
+
+}  // namespace livo::net

@@ -1,0 +1,45 @@
+// Packet and feedback types of the transport substrate (livo::net).
+//
+// Stands in for WebRTC/RTP (§3.1, §A.1): media frames are packetized into
+// MTU-sized packets, carried over an emulated variable-bandwidth link, and
+// reassembled behind a jitter buffer; periodic receiver reports drive a
+// GCC-style bandwidth estimator at the sender.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace livo::net {
+
+inline constexpr std::size_t kMtuBytes = 1200;       // RTP-typical payload
+inline constexpr std::size_t kPacketOverhead = 40;   // IP+UDP+RTP headers
+
+struct Packet {
+  std::uint64_t sequence = 0;        // per-stream monotone sequence number
+  std::uint32_t stream_id = 0;       // 0 = color, 1 = depth, ...
+  std::uint32_t frame_index = 0;
+  std::uint16_t fragment = 0;        // index within the frame
+  std::uint16_t fragment_count = 0;  // fragments making up the frame
+  bool keyframe = false;
+  std::size_t payload_bytes = 0;
+  double send_time_ms = 0.0;
+  double arrival_time_ms = 0.0;      // stamped by the link on delivery
+
+  std::size_t WireBytes() const { return payload_bytes + kPacketOverhead; }
+};
+
+// Periodic receiver report (RTCP-like) consumed by the bandwidth estimator.
+struct FeedbackReport {
+  double time_ms = 0.0;
+  double interval_ms = 0.0;
+  std::size_t received_bytes = 0;
+  int received_packets = 0;
+  int lost_packets = 0;
+  // Mean one-way queuing delay observed in the interval and its trend
+  // (positive = delays growing = the link is congesting).
+  double mean_delay_ms = 0.0;
+  double delay_gradient_ms = 0.0;
+  double rtt_ms = 0.0;
+};
+
+}  // namespace livo::net

@@ -1,0 +1,262 @@
+#include "net/transport.h"
+
+#include <algorithm>
+
+namespace livo::net {
+
+VideoChannel::VideoChannel(sim::BandwidthTrace trace,
+                           const ChannelConfig& config)
+    : config_(config), link_(std::move(trace), config.link),
+      estimator_(config.gcc) {}
+
+void VideoChannel::SendFrame(
+    std::uint32_t stream_id, std::uint32_t frame_index, bool keyframe,
+    std::shared_ptr<const std::vector<std::uint8_t>> data, double now_ms) {
+  const std::size_t size = data->size();
+  const auto fragments = static_cast<std::uint16_t>(
+      std::max<std::size_t>(1, (size + kMtuBytes - 1) / kMtuBytes));
+  for (std::uint16_t frag = 0; frag < fragments; ++frag) {
+    Packet p;
+    p.sequence = next_sequence_++;
+    p.stream_id = stream_id;
+    p.frame_index = frame_index;
+    p.fragment = frag;
+    p.fragment_count = fragments;
+    p.keyframe = keyframe;
+    p.payload_bytes = std::min(kMtuBytes, size - frag * kMtuBytes);
+    stats_.bytes_sent += p.WireBytes();
+    sent_store_[p.sequence] = SentPacketRecord{p, data};
+    link_.Send(p, now_ms);
+  }
+  ++stats_.frames_sent;
+
+  // Bound the retransmission store: anything older than a jitter window is
+  // past its playout deadline and useless to retransmit.
+  while (sent_store_.size() > 4096) sent_store_.erase(sent_store_.begin());
+}
+
+void VideoChannel::DeliverPacket(
+    const Packet& packet,
+    const std::shared_ptr<const std::vector<std::uint8_t>>& data,
+    double now_ms) {
+  const FrameKey key{packet.stream_id, packet.frame_index};
+
+  // Ignore fragments of frames already released or declared lost.
+  const auto released = last_released_.find(packet.stream_id);
+  if (released != last_released_.end() &&
+      packet.frame_index <= released->second) {
+    return;
+  }
+
+  PendingFrame& frame = pending_[key];
+  if (frame.have.empty()) {
+    frame.stream_id = packet.stream_id;
+    frame.frame_index = packet.frame_index;
+    frame.keyframe = packet.keyframe;
+    frame.have.assign(packet.fragment_count, false);
+    frame.send_time_ms = packet.send_time_ms;
+  }
+  if (!frame.data && data) frame.data = data;
+  if (packet.fragment < frame.have.size() &&
+      !frame.have[packet.fragment]) {
+    frame.have[packet.fragment] = true;
+    ++frame.received;
+    ++fb_received_unique_;
+  }
+  frame.last_arrival_ms = now_ms;
+  frame.send_time_ms = std::min(frame.send_time_ms, packet.send_time_ms);
+
+  // Feedback accounting.
+  fb_bytes_ += packet.WireBytes();
+  ++fb_packets_;
+  const double owd = packet.arrival_time_ms - packet.send_time_ms -
+                     config_.link.propagation_delay_ms;
+  fb_delay_sum_ms_ += std::max(0.0, owd);
+  fb_highest_seq_ = std::max(fb_highest_seq_, packet.sequence + 1);
+
+  if (frame.Complete()) {
+    ReceivedFrame done;
+    done.stream_id = frame.stream_id;
+    done.frame_index = frame.frame_index;
+    done.keyframe = frame.keyframe;
+    done.send_time_ms = frame.send_time_ms;
+    done.complete_time_ms = now_ms;
+    done.release_time_ms = frame.send_time_ms + config_.jitter_buffer_ms;
+    done.data = frame.data;
+    ready_.push_back(done);
+    pending_.erase(key);
+  }
+}
+
+void VideoChannel::Step(double now_ms) {
+  for (const Packet& p : link_.Poll(now_ms)) {
+    // The payload pointer comes from the sender store (single-process
+    // emulation shortcut; content is only readable once the frame
+    // completes).
+    const auto rec = sent_store_.find(p.sequence);
+    DeliverPacket(p, rec != sent_store_.end() ? rec->second.data : nullptr,
+                  now_ms);
+  }
+  if (config_.enable_nack) RunNack(now_ms);
+
+  // Declare pending frames lost once their playout deadline passed; ask
+  // for a keyframe so the decoder can resynchronize.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    const PendingFrame& f = it->second;
+    if (f.send_time_ms + config_.jitter_buffer_ms +
+            config_.link.propagation_delay_ms <
+        now_ms) {
+      ++stats_.frames_lost;
+      // PLI throttling (as WebRTC does): a keyframe request storm after a
+      // loss burst would make every frame an I-frame and deepen the
+      // congestion that caused the losses.
+      if (now_ms - last_keyframe_request_ms_[f.stream_id] > 300.0) {
+        ++stats_.keyframe_requests;
+        keyframe_requested_[f.stream_id] = true;
+        last_keyframe_request_ms_[f.stream_id] = now_ms;
+      }
+      last_released_[f.stream_id] =
+          std::max(last_released_[f.stream_id], f.frame_index);
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  if (now_ms - last_feedback_ms_ >= config_.feedback_interval_ms) {
+    EmitFeedback(now_ms);
+  }
+}
+
+void VideoChannel::RunNack(double now_ms) {
+  const double rtt = rtt_ms_.initialized()
+                         ? rtt_ms_.value()
+                         : 2.0 * config_.link.propagation_delay_ms;
+  for (auto& [key, frame] : pending_) {
+    if (frame.Complete() || frame.received == 0) continue;
+    // A gap is apparent once later fragments arrived but earlier ones are
+    // missing, or nothing new arrived for half an RTT.
+    const bool stale = now_ms - frame.last_arrival_ms > rtt / 2.0;
+    if (!stale) continue;
+    if (frame.nacked_at_ms >= 0.0 && now_ms - frame.nacked_at_ms < rtt) {
+      continue;  // outstanding NACK, give it time
+    }
+    // Retransmit missing fragments if they are still worth sending.
+    if (frame.send_time_ms + config_.jitter_buffer_ms < now_ms) continue;
+    frame.nacked_at_ms = now_ms;
+    for (auto& [seq, record] : sent_store_) {
+      if (record.packet.stream_id != frame.stream_id ||
+          record.packet.frame_index != frame.frame_index) {
+        continue;
+      }
+      if (record.packet.fragment < frame.have.size() &&
+          !frame.have[record.packet.fragment]) {
+        ++stats_.packets_retransmitted;
+        link_.Send(record.packet, now_ms);
+      }
+    }
+  }
+}
+
+void VideoChannel::EmitFeedback(double now_ms) {
+  FeedbackReport report;
+  report.time_ms = now_ms;
+  report.interval_ms = now_ms - last_feedback_ms_;
+  report.received_bytes = fb_bytes_;
+  report.received_packets = fb_packets_;
+  // Per-interval loss: growth of the expected-vs-received gap since the
+  // previous report.
+  const auto gap_now = static_cast<std::int64_t>(fb_highest_seq_) -
+                       static_cast<std::int64_t>(fb_received_unique_);
+  report.lost_packets =
+      static_cast<int>(std::max<std::int64_t>(0, gap_now - fb_prev_gap_));
+  fb_prev_gap_ = std::max<std::int64_t>(0, gap_now);
+  report.mean_delay_ms =
+      fb_packets_ > 0 ? fb_delay_sum_ms_ / fb_packets_ : 0.0;
+  report.delay_gradient_ms = report.mean_delay_ms - fb_last_mean_delay_ms_;
+  report.rtt_ms = 2.0 * config_.link.propagation_delay_ms +
+                  report.mean_delay_ms;
+  estimator_.OnFeedback(report);
+  rtt_ms_.Add(report.rtt_ms);
+
+  fb_last_mean_delay_ms_ = report.mean_delay_ms;
+  last_feedback_ms_ = now_ms;
+  fb_bytes_ = 0;
+  fb_packets_ = 0;
+  fb_delay_sum_ms_ = 0.0;
+}
+
+std::vector<ReceivedFrame> VideoChannel::PopReady(double now_ms) {
+  std::vector<ReceivedFrame> out;
+  auto it = ready_.begin();
+  while (it != ready_.end()) {
+    if (it->release_time_ms <= now_ms) {
+      last_released_[it->stream_id] =
+          std::max(last_released_[it->stream_id], it->frame_index);
+      ++stats_.frames_delivered;
+      out.push_back(*it);
+      it = ready_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ReceivedFrame& a, const ReceivedFrame& b) {
+              return a.frame_index < b.frame_index;
+            });
+  return out;
+}
+
+bool VideoChannel::TakeKeyframeRequest(std::uint32_t stream_id) {
+  const auto it = keyframe_requested_.find(stream_id);
+  if (it == keyframe_requested_.end() || !it->second) return false;
+  it->second = false;
+  return true;
+}
+
+ReliableChannel::ReliableChannel(sim::BandwidthTrace trace,
+                                 const LinkConfig& config)
+    : trace_(std::move(trace)), config_(config) {}
+
+void ReliableChannel::SendMessage(std::uint32_t frame_index, std::size_t bytes,
+                                  double now_ms) {
+  const double start = std::max(now_ms, next_free_ms_);
+  // Serialize at the (scaled) trace rate; random loss appears as goodput
+  // reduction because lost segments are retransmitted.
+  const double capacity_bits_per_ms = std::max(
+      1.0, trace_.AtMs(start) * config_.bandwidth_scale * 1000.0 *
+               (1.0 - config_.loss_rate));
+  const double serialize_ms =
+      static_cast<double>(bytes + kPacketOverhead) * 8.0 / capacity_bits_per_ms;
+  next_free_ms_ = start + serialize_ms;
+
+  InFlight entry;
+  entry.frame_index = frame_index;
+  entry.bytes = bytes;
+  entry.send_time_ms = now_ms;
+  entry.arrival_ms = next_free_ms_ + config_.propagation_delay_ms;
+  in_flight_.push_back(entry);
+}
+
+std::vector<ReliableChannel::Delivered> ReliableChannel::PopReady(
+    double now_ms) {
+  std::vector<Delivered> out;
+  while (!in_flight_.empty() && in_flight_.front().arrival_ms <= now_ms) {
+    const InFlight& f = in_flight_.front();
+    out.push_back({f.frame_index, f.bytes, f.send_time_ms, f.arrival_ms});
+    in_flight_.pop_front();
+  }
+  return out;
+}
+
+std::size_t ReliableChannel::BacklogBytes(double now_ms) const {
+  std::size_t backlog = 0;
+  for (const InFlight& f : in_flight_) {
+    if (f.arrival_ms - config_.propagation_delay_ms > now_ms) {
+      backlog += f.bytes;
+    }
+  }
+  return backlog;
+}
+
+}  // namespace livo::net

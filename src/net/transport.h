@@ -1,0 +1,182 @@
+// Media transport over the emulated link.
+//
+// VideoChannel models one direction of a WebRTC-like session carrying
+// multiple media streams (LiVo: stream 0 = color, stream 1 = depth) over a
+// single bottleneck link:
+//   * frames are packetized into MTU fragments and reassembled;
+//   * a jitter buffer (default 100 ms, §4.4) delays playout to absorb
+//     delay variation;
+//   * intra-frame NACK recovers isolated losses when time allows;
+//   * frames still incomplete at their playout deadline are dropped and a
+//     PLI/FIR-style keyframe request is raised (§A.1);
+//   * periodic receiver reports feed the GCC estimator whose output is the
+//     bandwidth handed to LiVo's splitter (§3.3).
+//
+// ReliableChannel models MeshReduce's TCP sockets: nothing is ever lost,
+// but delivery waits for (re)transmission, so under-provisioned bandwidth
+// shows up as late frames / lower frame rate instead of stalls (§4.3).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/gcc.h"
+#include "net/link.h"
+#include "net/packet.h"
+#include "util/clock.h"
+
+namespace livo::net {
+
+struct ReceivedFrame {
+  std::uint32_t stream_id = 0;
+  std::uint32_t frame_index = 0;
+  bool keyframe = false;
+  std::shared_ptr<const std::vector<std::uint8_t>> data;
+  double send_time_ms = 0.0;
+  double complete_time_ms = 0.0;  // last fragment arrival
+  double release_time_ms = 0.0;   // jitter-buffer playout time
+};
+
+struct ChannelConfig {
+  LinkConfig link;
+  GccConfig gcc;
+  double jitter_buffer_ms = 100.0;  // §4.4: "we use 100 ms"
+  double feedback_interval_ms = 100.0;
+  bool enable_nack = true;
+};
+
+struct ChannelStats {
+  std::size_t frames_sent = 0;
+  std::size_t frames_delivered = 0;
+  std::size_t frames_lost = 0;
+  std::size_t packets_retransmitted = 0;
+  std::size_t keyframe_requests = 0;
+  std::size_t bytes_sent = 0;
+};
+
+class VideoChannel {
+ public:
+  VideoChannel(sim::BandwidthTrace trace, const ChannelConfig& config);
+
+  // Packetizes and sends one encoded frame on `stream_id`.
+  void SendFrame(std::uint32_t stream_id, std::uint32_t frame_index,
+                 bool keyframe,
+                 std::shared_ptr<const std::vector<std::uint8_t>> data,
+                 double now_ms);
+
+  // Advances the channel: delivers packets, runs NACK and feedback logic.
+  // Call with monotonically non-decreasing timestamps.
+  void Step(double now_ms);
+
+  // Frames whose jitter-buffer release time has passed, in order.
+  std::vector<ReceivedFrame> PopReady(double now_ms);
+
+  // Current sender-side available-bandwidth estimate (the value LiVo's
+  // splitter divides between depth and color).
+  double TargetBitrateBps() const { return estimator_.EstimateBps(); }
+
+  // True once if the receiver requested a keyframe since the last call.
+  bool TakeKeyframeRequest(std::uint32_t stream_id);
+
+  // Smoothed application-level RTT (§3.4 halves this for the prediction
+  // horizon).
+  double SmoothedRttMs() const { return rtt_ms_.value(); }
+
+  const ChannelStats& stats() const { return stats_; }
+  const LinkEmulator& link() const { return link_; }
+
+ private:
+  struct PendingFrame {  // receiver-side reassembly state
+    std::uint32_t stream_id = 0;
+    std::uint32_t frame_index = 0;
+    bool keyframe = false;
+    std::shared_ptr<const std::vector<std::uint8_t>> data;
+    std::vector<bool> have;
+    int received = 0;
+    double send_time_ms = 0.0;
+    double last_arrival_ms = 0.0;
+    double nacked_at_ms = -1.0;
+
+    bool Complete() const {
+      return received == static_cast<int>(have.size()) && !have.empty();
+    }
+  };
+
+  struct SentPacketRecord {  // sender-side store for retransmission
+    Packet packet;
+    std::shared_ptr<const std::vector<std::uint8_t>> data;
+  };
+
+  using FrameKey = std::pair<std::uint32_t, std::uint32_t>;  // (stream, frame)
+
+  void DeliverPacket(
+      const Packet& packet,
+      const std::shared_ptr<const std::vector<std::uint8_t>>& data,
+      double now_ms);
+  void RunNack(double now_ms);
+  void EmitFeedback(double now_ms);
+
+  ChannelConfig config_;
+  LinkEmulator link_;
+  GccEstimator estimator_;
+  util::Ewma rtt_ms_{0.2};
+  ChannelStats stats_;
+
+  std::uint64_t next_sequence_ = 0;
+  std::map<std::uint64_t, SentPacketRecord> sent_store_;
+  std::map<FrameKey, PendingFrame> pending_;
+  std::map<std::uint32_t, std::uint32_t> last_released_;  // per stream
+  std::vector<ReceivedFrame> ready_;
+  std::map<std::uint32_t, bool> keyframe_requested_;
+  std::map<std::uint32_t, double> last_keyframe_request_ms_;
+
+  // Feedback accounting for the current interval.
+  double last_feedback_ms_ = 0.0;
+  std::size_t fb_bytes_ = 0;
+  int fb_packets_ = 0;
+  double fb_delay_sum_ms_ = 0.0;
+  double fb_last_mean_delay_ms_ = 0.0;
+  std::uint64_t fb_highest_seq_ = 0;
+  std::uint64_t fb_received_unique_ = 0;
+  std::int64_t fb_prev_gap_ = 0;
+};
+
+// TCP-like reliable in-order byte channel (MeshReduce's transport).
+class ReliableChannel {
+ public:
+  ReliableChannel(sim::BandwidthTrace trace, const LinkConfig& config);
+
+  // Queues a message (one encoded mesh frame). Delivery is never lost but
+  // waits for serialization behind earlier messages; random loss is modeled
+  // as goodput reduction (retransmissions consume capacity).
+  void SendMessage(std::uint32_t frame_index, std::size_t bytes, double now_ms);
+
+  struct Delivered {
+    std::uint32_t frame_index;
+    std::size_t bytes;
+    double send_time_ms;
+    double arrival_time_ms;
+  };
+  std::vector<Delivered> PopReady(double now_ms);
+
+  // Bytes not yet fully serialized (send backlog).
+  std::size_t BacklogBytes(double now_ms) const;
+
+ private:
+  struct InFlight {
+    std::uint32_t frame_index;
+    std::size_t bytes;
+    double send_time_ms;
+    double arrival_ms;
+  };
+
+  sim::BandwidthTrace trace_;
+  LinkConfig config_;
+  double next_free_ms_ = 0.0;
+  std::deque<InFlight> in_flight_;
+};
+
+}  // namespace livo::net

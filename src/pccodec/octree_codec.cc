@@ -1,0 +1,307 @@
+#include "pccodec/octree_codec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/bitstream.h"
+
+namespace livo::pccodec {
+namespace {
+
+using pointcloud::Point;
+using pointcloud::PointCloud;
+using util::BitReader;
+using util::BitWriter;
+
+// Interleaves the low `bits` bits of x, y, z into a Morton code
+// (x lowest). bits <= 16 keeps the code within 48 bits.
+std::uint64_t MortonEncode(std::uint32_t x, std::uint32_t y, std::uint32_t z,
+                           int bits) {
+  std::uint64_t code = 0;
+  for (int b = bits - 1; b >= 0; --b) {
+    code = (code << 3) | ((static_cast<std::uint64_t>((x >> b) & 1u) << 0) |
+                          (static_cast<std::uint64_t>((y >> b) & 1u) << 1) |
+                          (static_cast<std::uint64_t>((z >> b) & 1u) << 2));
+  }
+  return code;
+}
+
+void MortonDecode(std::uint64_t code, int bits, std::uint32_t& x,
+                  std::uint32_t& y, std::uint32_t& z) {
+  x = y = z = 0;
+  for (int b = 0; b < bits; ++b) {
+    const std::uint64_t octant = (code >> (3 * b)) & 7u;
+    x |= static_cast<std::uint32_t>((octant >> 0) & 1u) << b;
+    y |= static_cast<std::uint32_t>((octant >> 1) & 1u) << b;
+    z |= static_cast<std::uint32_t>((octant >> 2) & 1u) << b;
+  }
+}
+
+struct QuantizedPoint {
+  std::uint64_t morton = 0;
+  double r = 0, g = 0, b = 0;  // accumulated colors for averaging
+  int count = 0;
+};
+
+// High compression levels map occupancy bytes through a popcount-ranked
+// table: deep octree nodes usually have few occupied children, so masks
+// with low popcount get short Exp-Golomb codes.
+struct MaskRanking {
+  std::array<std::uint16_t, 256> to_rank;
+  std::array<std::uint8_t, 256> from_rank;
+  MaskRanking() {
+    std::array<int, 256> masks;
+    for (int i = 0; i < 256; ++i) masks[static_cast<std::size_t>(i)] = i;
+    std::stable_sort(masks.begin(), masks.end(), [](int a, int b) {
+      const int pa = __builtin_popcount(static_cast<unsigned>(a));
+      const int pb = __builtin_popcount(static_cast<unsigned>(b));
+      return pa != pb ? pa < pb : a < b;
+    });
+    for (int rank = 0; rank < 256; ++rank) {
+      from_rank[static_cast<std::size_t>(rank)] =
+          static_cast<std::uint8_t>(masks[static_cast<std::size_t>(rank)]);
+      to_rank[static_cast<std::size_t>(masks[static_cast<std::size_t>(rank)])] =
+          static_cast<std::uint16_t>(rank);
+    }
+  }
+};
+
+const MaskRanking& Ranking() {
+  static const MaskRanking ranking;
+  return ranking;
+}
+
+// Recursively writes octree occupancy for the sorted Morton range
+// [begin, end) at `depth` (0 = root). `bits` is total tree depth.
+void WriteOccupancy(BitWriter& writer, const std::vector<QuantizedPoint>& pts,
+                    std::size_t begin, std::size_t end, int depth, int bits,
+                    bool ranked) {
+  if (depth == bits) return;  // leaf
+  const int shift = 3 * (bits - 1 - depth);
+  std::size_t child_begin[9];
+  child_begin[0] = begin;
+  std::uint8_t mask = 0;
+  std::size_t cursor = begin;
+  for (int child = 0; child < 8; ++child) {
+    while (cursor < end &&
+           ((pts[cursor].morton >> shift) & 7u) ==
+               static_cast<std::uint64_t>(child)) {
+      ++cursor;
+    }
+    child_begin[child + 1] = cursor;
+    if (child_begin[child + 1] > child_begin[child]) {
+      mask |= static_cast<std::uint8_t>(1u << child);
+    }
+  }
+  if (ranked) {
+    writer.WriteUE(Ranking().to_rank[mask]);
+  } else {
+    writer.WriteBits(mask, 8);
+  }
+  for (int child = 0; child < 8; ++child) {
+    if (child_begin[child + 1] > child_begin[child]) {
+      WriteOccupancy(writer, pts, child_begin[child], child_begin[child + 1],
+                     depth + 1, bits, ranked);
+    }
+  }
+}
+
+// Mirrors WriteOccupancy: reconstructs sorted Morton codes.
+void ReadOccupancy(BitReader& reader, std::uint64_t prefix, int depth,
+                   int bits, bool ranked, std::vector<std::uint64_t>& out) {
+  if (depth == bits) {
+    out.push_back(prefix);
+    return;
+  }
+  const std::uint8_t mask =
+      ranked ? Ranking().from_rank[static_cast<std::size_t>(
+                   std::min<std::uint64_t>(reader.ReadUE(), 255))]
+             : static_cast<std::uint8_t>(reader.ReadBits(8));
+  for (int child = 0; child < 8; ++child) {
+    if (mask & (1u << child)) {
+      ReadOccupancy(reader, (prefix << 3) | static_cast<unsigned>(child),
+                    depth + 1, bits, ranked, out);
+    }
+  }
+}
+
+void AppendF64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int i = 7; i >= 0; --i) {
+    out.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+  }
+}
+
+double ReadF64(const std::vector<std::uint8_t>& in, std::size_t& pos) {
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) bits = (bits << 8) | in[pos++];
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+EncodedCloud EncodeCloud(const PointCloud& cloud, const PcCodecConfig& config) {
+  if (config.quantization_bits < 1 || config.quantization_bits > 16) {
+    throw std::invalid_argument("quantization_bits must be in [1, 16]");
+  }
+  EncodedCloud out;
+  out.config = config;
+  if (cloud.empty()) {
+    out.data.push_back(0);  // empty marker
+    return out;
+  }
+
+  geom::Vec3 lo, hi;
+  cloud.Bounds(lo, hi);
+  const double extent = std::max(
+      {hi.x - lo.x, hi.y - lo.y, hi.z - lo.z, 1e-6});
+  const auto cells = static_cast<std::uint32_t>(1u << config.quantization_bits);
+  const double cell = extent / cells;
+
+  // Quantize and deduplicate via Morton sort.
+  std::vector<QuantizedPoint> pts;
+  pts.reserve(cloud.size());
+  for (const Point& p : cloud.points()) {
+    const auto qx = static_cast<std::uint32_t>(std::min<double>(
+        cells - 1, std::max(0.0, (p.position.x - lo.x) / cell)));
+    const auto qy = static_cast<std::uint32_t>(std::min<double>(
+        cells - 1, std::max(0.0, (p.position.y - lo.y) / cell)));
+    const auto qz = static_cast<std::uint32_t>(std::min<double>(
+        cells - 1, std::max(0.0, (p.position.z - lo.z) / cell)));
+    QuantizedPoint qp;
+    qp.morton = MortonEncode(qx, qy, qz, config.quantization_bits);
+    qp.r = p.color.r;
+    qp.g = p.color.g;
+    qp.b = p.color.b;
+    qp.count = 1;
+    pts.push_back(qp);
+  }
+  std::sort(pts.begin(), pts.end(),
+            [](const QuantizedPoint& a, const QuantizedPoint& b) {
+              return a.morton < b.morton;
+            });
+  std::vector<QuantizedPoint> dedup;
+  dedup.reserve(pts.size());
+  for (const QuantizedPoint& qp : pts) {
+    if (!dedup.empty() && dedup.back().morton == qp.morton) {
+      dedup.back().r += qp.r;
+      dedup.back().g += qp.g;
+      dedup.back().b += qp.b;
+      dedup.back().count += qp.count;
+    } else {
+      dedup.push_back(qp);
+    }
+  }
+  out.point_count = dedup.size();
+
+  // Header: marker, config, bounds.
+  out.data.push_back(1);
+  out.data.push_back(static_cast<std::uint8_t>(config.quantization_bits));
+  out.data.push_back(static_cast<std::uint8_t>(config.compression_level));
+  out.data.push_back(static_cast<std::uint8_t>(config.color_bits));
+  AppendF64(out.data, lo.x);
+  AppendF64(out.data, lo.y);
+  AppendF64(out.data, lo.z);
+  AppendF64(out.data, extent);
+
+  const bool ranked = config.compression_level >= 5;
+  BitWriter writer;
+  WriteOccupancy(writer, dedup, 0, dedup.size(), 0, config.quantization_bits,
+                 ranked);
+
+  // Colors: averaged, quantized, delta-coded in leaf (Morton) order.
+  const int color_shift = 8 - config.color_bits;
+  int prev[3] = {0, 0, 0};
+  for (const QuantizedPoint& qp : dedup) {
+    const int rgb[3] = {
+        static_cast<int>(qp.r / qp.count) >> color_shift,
+        static_cast<int>(qp.g / qp.count) >> color_shift,
+        static_cast<int>(qp.b / qp.count) >> color_shift};
+    for (int c = 0; c < 3; ++c) {
+      if (ranked) {
+        writer.WriteSE(rgb[c] - prev[c]);
+        prev[c] = rgb[c];
+      } else {
+        writer.WriteBits(static_cast<std::uint64_t>(rgb[c]), config.color_bits);
+      }
+    }
+  }
+
+  const auto payload = writer.Finish();
+  out.data.insert(out.data.end(), payload.begin(), payload.end());
+  return out;
+}
+
+PointCloud DecodeCloud(const EncodedCloud& encoded) {
+  PointCloud cloud;
+  if (encoded.data.empty() || encoded.data[0] == 0) return cloud;
+  std::size_t pos = 1;
+  PcCodecConfig config;
+  config.quantization_bits = encoded.data[pos++];
+  config.compression_level = encoded.data[pos++];
+  config.color_bits = encoded.data[pos++];
+  const double lox = ReadF64(encoded.data, pos);
+  const double loy = ReadF64(encoded.data, pos);
+  const double loz = ReadF64(encoded.data, pos);
+  const double extent = ReadF64(encoded.data, pos);
+
+  const bool ranked = config.compression_level >= 5;
+  BitReader reader(encoded.data.data() + pos, encoded.data.size() - pos);
+  std::vector<std::uint64_t> mortons;
+  ReadOccupancy(reader, 0, 0, config.quantization_bits, ranked, mortons);
+
+  const auto cells = static_cast<std::uint32_t>(1u << config.quantization_bits);
+  const double cell = extent / cells;
+  const int color_shift = 8 - config.color_bits;
+  int prev[3] = {0, 0, 0};
+
+  cloud.Reserve(mortons.size());
+  for (std::uint64_t code : mortons) {
+    std::uint32_t qx, qy, qz;
+    MortonDecode(code, config.quantization_bits, qx, qy, qz);
+    int rgb[3];
+    for (int c = 0; c < 3; ++c) {
+      if (ranked) {
+        prev[c] += static_cast<int>(reader.ReadSE());
+        rgb[c] = prev[c];
+      } else {
+        rgb[c] = static_cast<int>(reader.ReadBits(config.color_bits));
+      }
+    }
+    Point p;
+    p.position = {lox + (qx + 0.5) * cell, loy + (qy + 0.5) * cell,
+                  loz + (qz + 0.5) * cell};
+    const auto expand = [&](int q) {
+      return static_cast<std::uint8_t>(
+          std::clamp(q << color_shift | (color_shift > 0 ? 1 << (color_shift - 1) : 0),
+                     0, 255));
+    };
+    p.color = {expand(rgb[0]), expand(rgb[1]), expand(rgb[2])};
+    cloud.Add(p);
+  }
+  return cloud;
+}
+
+double ModelEncodeTimeMs(std::size_t point_count, const PcCodecConfig& config,
+                         double point_scale) {
+  // Calibrated against §1: 1 MB cloud (~66k points at 15 B/point) takes
+  // ~25 ms, 10 MB (~660k points) takes ~300 ms at Draco defaults (cl 7).
+  // Linear in point count with a mild super-linear full-scene penalty
+  // (cache effects on the testbed) and a level-dependent effort factor.
+  const double points_k = point_count * point_scale / 1000.0;
+  const double level_factor = 0.7 + 0.06 * config.compression_level;
+  const double qp_factor = 0.75 + 0.025 * config.quantization_bits;
+  const double base = 2.0;
+  const double per_point = 0.36;                 // ms per 1000 points
+  const double superlinear = 0.00012 * points_k; // grows for huge clouds
+  return (base + points_k * (per_point + superlinear)) * level_factor *
+         qp_factor;
+}
+
+}  // namespace livo::pccodec

@@ -1,0 +1,53 @@
+// Octree point-cloud codec (Draco stand-in; see DESIGN.md §1).
+//
+// The Draco-Oracle baseline (§4.1) needs a real 3D compressor with Draco's
+// two knobs and their trade-offs:
+//   * quantization bits  — Draco's quantization parameter (qp): more bits =
+//     finer geometry = larger output, better quality;
+//   * compression level  — speed/size trade-off at constant quality: higher
+//     levels spend more encode effort for a smaller stream.
+// Geometry is coded as sorted deduplicated Morton codes expanded into an
+// octree occupancy stream; colors are quantized and delta-coded in leaf
+// order. Like Draco (and unlike 2D codecs), every frame is independent —
+// no inter-frame prediction — and there is NO target-bitrate mode, which is
+// precisely the paper's "indirect adaptation" pain point.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pointcloud/pointcloud.h"
+
+namespace livo::pccodec {
+
+struct PcCodecConfig {
+  int quantization_bits = 10;  // 1..16 (Draco qp analog)
+  int compression_level = 7;   // 0..10 (Draco cl analog)
+  int color_bits = 6;          // per-channel color quantization
+};
+
+struct EncodedCloud {
+  std::vector<std::uint8_t> data;
+  std::size_t point_count = 0;     // deduplicated points encoded
+  PcCodecConfig config;
+};
+
+// Encodes a cloud. Duplicate points within one quantization cell collapse
+// (their colors average), exactly as position quantization does in Draco.
+EncodedCloud EncodeCloud(const pointcloud::PointCloud& cloud,
+                         const PcCodecConfig& config);
+
+// Decodes to points at quantization-cell centres.
+pointcloud::PointCloud DecodeCloud(const EncodedCloud& encoded);
+
+// Deterministic encode-time model at *paper scale* (§4.1: Draco takes
+// ~25 ms for a 1 MB single-person cloud and >300 ms for a 10 MB full-scene
+// frame on the paper's testbed; complexity is linear in point count).
+// `point_scale` maps simulator point counts to paper-scale counts
+// (ScaleProfile: our scenes are ~28x smaller). Used by Draco-Oracle's
+// stall decision, which compares encode time against the frame interval.
+double ModelEncodeTimeMs(std::size_t point_count,
+                         const PcCodecConfig& config,
+                         double point_scale = 1.0);
+
+}  // namespace livo::pccodec

@@ -1,0 +1,191 @@
+#include "pointcloud/pointcloud.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace livo::pointcloud {
+
+geom::Vec3 PointCloud::Centroid() const {
+  geom::Vec3 sum;
+  if (points_.empty()) return sum;
+  for (const Point& p : points_) sum += p.position;
+  return sum / static_cast<double>(points_.size());
+}
+
+void PointCloud::Bounds(geom::Vec3& min_out, geom::Vec3& max_out) const {
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  min_out = {inf, inf, inf};
+  max_out = {-inf, -inf, -inf};
+  for (const Point& p : points_) {
+    min_out.x = std::min(min_out.x, p.position.x);
+    min_out.y = std::min(min_out.y, p.position.y);
+    min_out.z = std::min(min_out.z, p.position.z);
+    max_out.x = std::max(max_out.x, p.position.x);
+    max_out.y = std::max(max_out.y, p.position.y);
+    max_out.z = std::max(max_out.z, p.position.z);
+  }
+}
+
+PointCloud PointCloud::Transformed(const geom::Mat4& transform) const {
+  PointCloud out;
+  out.Reserve(points_.size());
+  for (const Point& p : points_) {
+    out.Add({transform.TransformPoint(p.position), p.color});
+  }
+  return out;
+}
+
+PointCloud PointCloud::CulledTo(const geom::Frustum& frustum) const {
+  PointCloud out;
+  out.Reserve(points_.size());
+  for (const Point& p : points_) {
+    if (frustum.Contains(p.position)) out.Add(p);
+  }
+  return out;
+}
+
+PointCloud ReconstructFromViews(const std::vector<image::RgbdFrame>& views,
+                                const std::vector<geom::RgbdCamera>& cameras) {
+  PointCloud cloud;
+  std::size_t estimate = 0;
+  for (const auto& v : views) estimate += v.depth.size() / 2;
+  cloud.Reserve(estimate);
+
+  for (std::size_t i = 0; i < views.size() && i < cameras.size(); ++i) {
+    const image::RgbdFrame& view = views[i];
+    const geom::RgbdCamera& cam = cameras[i];
+    const geom::Mat4 to_world = cam.extrinsics.CameraToWorld();
+    for (int y = 0; y < view.height(); ++y) {
+      const std::uint16_t* depth_row = view.depth.row(y);
+      const std::uint8_t* r_row = view.color.r.row(y);
+      const std::uint8_t* g_row = view.color.g.row(y);
+      const std::uint8_t* b_row = view.color.b.row(y);
+      for (int x = 0; x < view.width(); ++x) {
+        const std::uint16_t d = depth_row[x];
+        if (d == 0) continue;  // no return / culled
+        const double depth_m = d / 1000.0;
+        if (depth_m < cam.min_depth_m || depth_m > cam.max_depth_m) continue;
+        const geom::Vec3 local =
+            cam.intrinsics.Unproject(x + 0.5, y + 0.5, depth_m);
+        cloud.Add({to_world.TransformPoint(local),
+                   {r_row[x], g_row[x], b_row[x]}});
+      }
+    }
+  }
+  return cloud;
+}
+
+PointCloud VoxelDownsample(const PointCloud& cloud, double voxel_size_m) {
+  struct Key {
+    int x, y, z;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return static_cast<std::size_t>(k.x) * 73856093u ^
+             static_cast<std::size_t>(k.y) * 19349663u ^
+             static_cast<std::size_t>(k.z) * 83492791u;
+    }
+  };
+  struct Accum {
+    geom::Vec3 position_sum;
+    double r = 0, g = 0, b = 0;
+    int count = 0;
+  };
+
+  std::unordered_map<Key, Accum, KeyHash> voxels;
+  voxels.reserve(cloud.size());
+  for (const Point& p : cloud.points()) {
+    const Key key{static_cast<int>(std::floor(p.position.x / voxel_size_m)),
+                  static_cast<int>(std::floor(p.position.y / voxel_size_m)),
+                  static_cast<int>(std::floor(p.position.z / voxel_size_m))};
+    Accum& a = voxels[key];
+    a.position_sum += p.position;
+    a.r += p.color.r;
+    a.g += p.color.g;
+    a.b += p.color.b;
+    ++a.count;
+  }
+
+  PointCloud out;
+  out.Reserve(voxels.size());
+  for (const auto& [key, a] : voxels) {
+    (void)key;
+    const double n = a.count;
+    out.Add({a.position_sum / n,
+             {static_cast<std::uint8_t>(std::lround(a.r / n)),
+              static_cast<std::uint8_t>(std::lround(a.g / n)),
+              static_cast<std::uint8_t>(std::lround(a.b / n))}});
+  }
+  return out;
+}
+
+GridIndex::GridIndex(const PointCloud& cloud, double cell_size_m)
+    : cloud_(cloud), cell_size_(cell_size_m) {
+  cells_.reserve(cloud.size());
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    cells_[KeyFor(cloud.points()[i].position)].push_back(static_cast<int>(i));
+  }
+}
+
+GridIndex::CellKey GridIndex::KeyFor(const geom::Vec3& p) const {
+  return {static_cast<int>(std::floor(p.x / cell_size_)),
+          static_cast<int>(std::floor(p.y / cell_size_)),
+          static_cast<int>(std::floor(p.z / cell_size_))};
+}
+
+int GridIndex::Nearest(const geom::Vec3& query, double max_radius_m) const {
+  const auto knn = KNearest(query, 1, max_radius_m);
+  return knn.empty() ? -1 : knn.front();
+}
+
+std::vector<int> GridIndex::KNearest(const geom::Vec3& query, int k,
+                                     double max_radius_m) const {
+  std::vector<std::pair<double, int>> found;  // (distance^2, index)
+  const CellKey center = KeyFor(query);
+  const int max_ring = static_cast<int>(std::ceil(max_radius_m / cell_size_));
+
+  // Expand rings of cells outward; stop once the k-th best distance is
+  // smaller than the closest possible point in the next ring.
+  for (int ring = 0; ring <= max_ring; ++ring) {
+    const double ring_min_dist = (ring - 1) * cell_size_;
+    if (static_cast<int>(found.size()) >= k) {
+      std::nth_element(found.begin(), found.begin() + (k - 1), found.end());
+      if (found[static_cast<std::size_t>(k - 1)].first <
+          ring_min_dist * ring_min_dist) {
+        break;
+      }
+    }
+    for (int dz = -ring; dz <= ring; ++dz) {
+      for (int dy = -ring; dy <= ring; ++dy) {
+        for (int dx = -ring; dx <= ring; ++dx) {
+          // Only the shell of the ring (interior was visited earlier).
+          if (std::max({std::abs(dx), std::abs(dy), std::abs(dz)}) != ring) {
+            continue;
+          }
+          const auto it =
+              cells_.find({center.x + dx, center.y + dy, center.z + dz});
+          if (it == cells_.end()) continue;
+          for (int idx : it->second) {
+            const double d2 =
+                (cloud_.points()[static_cast<std::size_t>(idx)].position - query)
+                    .NormSq();
+            if (d2 <= max_radius_m * max_radius_m) found.emplace_back(d2, idx);
+          }
+        }
+      }
+    }
+  }
+
+  const int count = std::min<int>(k, static_cast<int>(found.size()));
+  std::partial_sort(found.begin(), found.begin() + count, found.end());
+  std::vector<int> result;
+  result.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    result.push_back(found[static_cast<std::size_t>(i)].second);
+  }
+  return result;
+}
+
+}  // namespace livo::pointcloud

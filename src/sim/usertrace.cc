@@ -1,0 +1,122 @@
+#include "sim/usertrace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace livo::sim {
+namespace {
+
+using geom::Pose;
+using geom::TimedPose;
+using geom::Vec3;
+
+constexpr double kTau = 6.28318530717958647692;
+
+// Smooth pseudo-random scalar in [-1, 1]: a sum of incommensurate sines
+// seeded per channel, giving band-limited "human" wander.
+double SmoothNoise(double t, std::uint64_t channel, util::Rng& rng_init,
+                   const double phases[3]) {
+  (void)rng_init;
+  const double f = 0.11 + 0.05 * static_cast<double>(channel % 3);
+  return 0.5 * std::sin(kTau * f * t + phases[0]) +
+         0.3 * std::sin(kTau * f * 2.3 * t + phases[1]) +
+         0.2 * std::sin(kTau * f * 4.1 * t + phases[2]);
+}
+
+}  // namespace
+
+UserTrace GenerateUserTrace(const std::string& video, TraceStyle style,
+                            int frames, double fps, std::uint64_t seed) {
+  UserTrace trace;
+  trace.video = video;
+  trace.style = style;
+  trace.fps = fps;
+  trace.poses.reserve(static_cast<std::size_t>(frames));
+
+  // Per-trace deterministic phases.
+  std::uint64_t style_seed = seed * 977 + static_cast<std::uint64_t>(style) * 131;
+  for (char c : video) style_seed = style_seed * 31 + static_cast<unsigned char>(c);
+  util::Rng rng(style_seed);
+  double phases[6][3];
+  for (auto& row : phases) {
+    for (double& p : row) p = rng.Uniform(0, kTau);
+  }
+
+  const Vec3 scene_center{0, 0.9, 0};
+  const double eye_height = 1.55 + rng.Uniform(-0.1, 0.1);
+
+  for (int f = 0; f < frames; ++f) {
+    const double t = f / fps;
+    Vec3 eye;
+    Vec3 look = scene_center;
+
+    switch (style) {
+      case TraceStyle::kOrbit: {
+        const double angle = phases[0][0] + kTau * 0.02 * t;  // ~50 s/rev
+        const double radius = 2.1 + 0.3 * SmoothNoise(t, 0, rng, phases[1]);
+        eye = {radius * std::cos(angle), eye_height,
+               radius * std::sin(angle)};
+        break;
+      }
+      case TraceStyle::kWalkIn: {
+        // Radius oscillates between near-inspection (0.9 m) and far (2.4 m).
+        const double cycle = 0.5 + 0.5 * std::sin(kTau * 0.035 * t + phases[0][0]);
+        const double radius = 0.9 + 1.5 * cycle;
+        const double angle =
+            phases[0][1] + 0.6 * SmoothNoise(t * 0.6, 1, rng, phases[2]);
+        eye = {radius * std::cos(angle), eye_height - 0.12 * (1.0 - cycle),
+               radius * std::sin(angle)};
+        break;
+      }
+      case TraceStyle::kFocus: {
+        eye = {1.9 + 0.15 * SmoothNoise(t, 2, rng, phases[3]), eye_height,
+               0.4 + 0.15 * SmoothNoise(t, 3, rng, phases[4])};
+        // Pan between subjects spread over ~2 m.
+        look.x = 1.1 * SmoothNoise(t * 0.8, 4, rng, phases[5]);
+        look.y = 0.9 + 0.2 * SmoothNoise(t * 0.5, 5, rng, phases[1]);
+        break;
+      }
+    }
+
+    // Small head jitter on top of the deliberate motion.
+    eye.x += 0.02 * SmoothNoise(t * 3.1, 0, rng, phases[2]);
+    eye.y += 0.015 * SmoothNoise(t * 2.7, 1, rng, phases[3]);
+    eye.z += 0.02 * SmoothNoise(t * 3.3, 2, rng, phases[4]);
+
+    TimedPose sample;
+    sample.time_ms = 1000.0 * f / fps;
+    sample.pose = Pose::LookAt(eye, look);
+    trace.poses.push_back(sample);
+  }
+  return trace;
+}
+
+std::vector<UserTrace> StandardTraces(const std::string& video, int frames,
+                                      double fps) {
+  return {GenerateUserTrace(video, TraceStyle::kOrbit, frames, fps, 1),
+          GenerateUserTrace(video, TraceStyle::kWalkIn, frames, fps, 2),
+          GenerateUserTrace(video, TraceStyle::kFocus, frames, fps, 3)};
+}
+
+geom::Pose SampleTrace(const UserTrace& trace, double time_ms) {
+  if (trace.poses.empty()) return {};
+  if (time_ms <= trace.poses.front().time_ms) return trace.poses.front().pose;
+  if (time_ms >= trace.poses.back().time_ms) return trace.poses.back().pose;
+  // Uniform sampling: index arithmetic instead of a search.
+  const double dt = 1000.0 / trace.fps;
+  const auto idx = static_cast<std::size_t>(
+      (time_ms - trace.poses.front().time_ms) / dt);
+  const auto next = std::min(idx + 1, trace.poses.size() - 1);
+  const geom::TimedPose& a = trace.poses[idx];
+  const geom::TimedPose& b = trace.poses[next];
+  const double span = std::max(1e-9, b.time_ms - a.time_ms);
+  const double u = std::clamp((time_ms - a.time_ms) / span, 0.0, 1.0);
+  geom::Pose out;
+  out.position = a.pose.position * (1.0 - u) + b.pose.position * u;
+  out.orientation = geom::Slerp(a.pose.orientation, b.pose.orientation, u);
+  return out;
+}
+
+}  // namespace livo::sim

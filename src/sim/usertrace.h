@@ -1,0 +1,47 @@
+// Synthetic 6-DoF user (viewer) traces.
+//
+// Substitute for the paper's IRB-collected headset traces (§4.1): "when a
+// user interacts with a volumetric video by moving to change perspective,
+// the sequence of her instantaneous poses (position and rotation)
+// constitutes a user trace... We collected three user traces for each
+// video." Three behaviour styles are generated per video, each a smooth
+// pose trajectory with human-scale velocities (walking <= ~1.2 m/s, head
+// rotation <= ~60 deg/s) plus small head jitter, sampled at the video rate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/pose.h"
+
+namespace livo::sim {
+
+enum class TraceStyle {
+  kOrbit,    // circles the scene at a comfortable radius
+  kWalkIn,   // repeatedly approaches a subject, inspects, backs off
+  kFocus,    // stands mostly still, panning between subjects
+};
+
+struct UserTrace {
+  std::string video;
+  TraceStyle style = TraceStyle::kOrbit;
+  double fps = 30.0;
+  std::vector<geom::TimedPose> poses;
+};
+
+// Generates `frames` pose samples for a given video and style. Deterministic
+// in (video, style, seed). The viewer looks toward the scene centre region
+// with style-dependent focus targets.
+UserTrace GenerateUserTrace(const std::string& video, TraceStyle style,
+                            int frames, double fps = 30.0,
+                            std::uint64_t seed = 1);
+
+// The three per-video traces used throughout the evaluation (§4.1).
+std::vector<UserTrace> StandardTraces(const std::string& video, int frames,
+                                      double fps = 30.0);
+
+// Pose at an arbitrary time, interpolating between samples (slerp for
+// orientation). Clamps outside the trace extent.
+geom::Pose SampleTrace(const UserTrace& trace, double time_ms);
+
+}  // namespace livo::sim

@@ -1,0 +1,111 @@
+// Bit-level I/O shared by the video codec (livo::video) and the point-cloud
+// codec (livo::pccodec). Writing is MSB-first within each byte so that the
+// encoded stream is byte-order independent.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace livo::util {
+
+// Append-only bit writer backed by a byte vector.
+class BitWriter {
+ public:
+  // Writes the lowest `bits` bits of `value`, MSB first. bits in [0, 64].
+  void WriteBits(std::uint64_t value, int bits) {
+    for (int i = bits - 1; i >= 0; --i) {
+      WriteBit(static_cast<int>((value >> i) & 1u));
+    }
+  }
+
+  void WriteBit(int bit) {
+    if (bit_pos_ == 0) buffer_.push_back(0);
+    if (bit) buffer_.back() |= static_cast<std::uint8_t>(1u << (7 - bit_pos_));
+    bit_pos_ = (bit_pos_ + 1) & 7;
+  }
+
+  // Unsigned Exp-Golomb code (order 0): efficient for small magnitudes,
+  // which dominate quantized transform coefficients and octree child counts.
+  void WriteUE(std::uint64_t value) {
+    const std::uint64_t v = value + 1;
+    int len = 0;
+    for (std::uint64_t t = v; t > 1; t >>= 1) ++len;
+    WriteBits(0, len);          // len leading zeros
+    WriteBits(v, len + 1);      // value with its leading 1 bit
+  }
+
+  // Signed Exp-Golomb: maps 0, 1, -1, 2, -2, ... to 0, 1, 2, 3, 4, ...
+  void WriteSE(std::int64_t value) {
+    const std::uint64_t mapped =
+        value > 0 ? static_cast<std::uint64_t>(value) * 2 - 1
+                  : static_cast<std::uint64_t>(-value) * 2;
+    WriteUE(mapped);
+  }
+
+  // Pads the final partial byte with zeros and returns the stream.
+  std::vector<std::uint8_t> Finish() {
+    bit_pos_ = 0;
+    return std::move(buffer_);
+  }
+
+  std::size_t BitCount() const {
+    return buffer_.size() * 8 - (bit_pos_ == 0 ? 0 : (8 - bit_pos_));
+  }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  int bit_pos_ = 0;  // next free bit within buffer_.back(); 0 = byte boundary
+};
+
+// Sequential bit reader over an encoded byte span.
+class BitReader {
+ public:
+  BitReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_bits_(size * 8) {}
+  explicit BitReader(const std::vector<std::uint8_t>& data)
+      : BitReader(data.data(), data.size()) {}
+
+  int ReadBit() {
+    if (pos_ >= size_bits_) {
+      throw std::out_of_range("BitReader: read past end of stream");
+    }
+    const std::uint8_t byte = data_[pos_ >> 3];
+    const int bit = (byte >> (7 - (pos_ & 7))) & 1;
+    ++pos_;
+    return bit;
+  }
+
+  std::uint64_t ReadBits(int bits) {
+    std::uint64_t value = 0;
+    for (int i = 0; i < bits; ++i) value = (value << 1) | static_cast<unsigned>(ReadBit());
+    return value;
+  }
+
+  std::uint64_t ReadUE() {
+    int len = 0;
+    while (ReadBit() == 0) {
+      if (++len > 63) throw std::runtime_error("BitReader: corrupt UE code");
+    }
+    std::uint64_t value = 1;
+    for (int i = 0; i < len; ++i) value = (value << 1) | static_cast<unsigned>(ReadBit());
+    return value - 1;
+  }
+
+  std::int64_t ReadSE() {
+    const std::uint64_t mapped = ReadUE();
+    if (mapped == 0) return 0;
+    const auto half = static_cast<std::int64_t>((mapped + 1) / 2);
+    return (mapped & 1) ? half : -half;
+  }
+
+  std::size_t BitsRemaining() const { return size_bits_ - pos_; }
+  bool AtEnd() const { return pos_ >= size_bits_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_bits_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace livo::util

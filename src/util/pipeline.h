@@ -1,0 +1,119 @@
+// Minimal staged-pipeline runner (§A.1: "each stage has a dedicated thread
+// and is connected to the next stage via a small inter-stage buffer").
+//
+// A Pipeline owns a chain of stages; each stage pulls an item from its input
+// queue, transforms it, and pushes the result downstream. Closing the source
+// queue drains and joins the whole pipeline. Stage latency is recorded so
+// the Table 6 bench can report per-component cost.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/queue.h"
+#include "util/stats.h"
+
+namespace livo::util {
+
+// A pipeline over a single item type T. Stages map T -> optional<T>
+// (nullopt drops the item, e.g. a frame skipped due to missing data).
+template <typename T>
+class Pipeline {
+ public:
+  using StageFn = std::function<std::optional<T>(T)>;
+
+  struct StageReport {
+    std::string name;
+    RunningStats latency_ms;
+    std::size_t processed = 0;
+    std::size_t dropped = 0;
+  };
+
+  explicit Pipeline(std::size_t queue_capacity = 4)
+      : queue_capacity_(queue_capacity) {}
+
+  ~Pipeline() { Stop(); }
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  // Adds a stage; must be called before Start().
+  void AddStage(std::string name, StageFn fn) {
+    stages_.push_back({std::move(name), std::move(fn)});
+  }
+
+  // Launches one thread per stage. Items fed with Feed() flow through all
+  // stages; final results accumulate in the output queue read by PopResult().
+  void Start() {
+    const std::size_t n = stages_.size();
+    queues_.clear();
+    for (std::size_t i = 0; i <= n; ++i) {
+      queues_.push_back(std::make_unique<BoundedQueue<T>>(queue_capacity_));
+    }
+    reports_.clear();
+    for (const auto& s : stages_) reports_.push_back({s.name, {}, 0, 0});
+    for (std::size_t i = 0; i < n; ++i) {
+      threads_.emplace_back([this, i] { RunStage(i); });
+    }
+    running_ = true;
+  }
+
+  // Feeds an item into the first stage; returns false once stopped.
+  bool Feed(T item) { return queues_.front()->Push(std::move(item)); }
+
+  // Pops a fully processed item (blocking); nullopt when drained after Stop().
+  std::optional<T> PopResult() { return queues_.back()->Pop(); }
+
+  // Signals end of input and joins all stage threads.
+  void Stop() {
+    if (!running_) return;
+    for (std::size_t i = 0; i < queues_.size(); ++i) {
+      queues_[i]->Close();
+      // Close queues in order so each stage drains before its successor.
+      if (i < threads_.size() && threads_[i].joinable()) threads_[i].join();
+    }
+    threads_.clear();
+    running_ = false;
+  }
+
+  const std::vector<StageReport>& reports() const { return reports_; }
+
+ private:
+  struct Stage {
+    std::string name;
+    StageFn fn;
+  };
+
+  void RunStage(std::size_t index) {
+    auto& in = *queues_[index];
+    auto& out = *queues_[index + 1];
+    auto& report = reports_[index];
+    while (auto item = in.Pop()) {
+      Stopwatch watch;
+      std::optional<T> result = stages_[index].fn(std::move(*item));
+      report.latency_ms.Add(watch.ElapsedMs());
+      ++report.processed;
+      if (result) {
+        if (!out.Push(std::move(*result))) break;
+      } else {
+        ++report.dropped;
+      }
+    }
+    out.Close();
+  }
+
+  std::size_t queue_capacity_;
+  std::vector<Stage> stages_;
+  std::vector<std::unique_ptr<BoundedQueue<T>>> queues_;
+  std::vector<std::thread> threads_;
+  std::vector<StageReport> reports_;
+  bool running_ = false;
+};
+
+}  // namespace livo::util

@@ -1,0 +1,95 @@
+// Bounded thread-safe queue used as the inter-stage buffer of the LiVo
+// pipeline (§A.1 of the paper: "each stage ... is connected to the next stage
+// via a small inter-stage buffer (implemented using a thread-safe queue)").
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace livo::util {
+
+// MPMC blocking bounded queue. Close() wakes all waiters; after Close(),
+// Push() fails and Pop() drains remaining items then returns nullopt.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity = 4) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Blocks until space is available or the queue is closed.
+  // Returns false if the queue was closed.
+  bool Push(T item) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Non-blocking push; returns false if full or closed.
+  bool TryPush(T item) {
+    std::lock_guard lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available or the queue is closed and drained.
+  std::optional<T> Pop() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  // Non-blocking pop.
+  std::optional<T> TryPop() {
+    std::lock_guard lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  // Closes the queue: pending and future Push() calls fail, Pop() drains.
+  void Close() {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace livo::util

@@ -1,0 +1,93 @@
+#include "video/dct.h"
+
+#include <cmath>
+
+namespace livo::video {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// basis[k][n] = c(k) * cos((2n+1) k pi / 16); rows are frequency, cols space.
+struct DctBasis {
+  double b[kBlockSize][kBlockSize];
+  DctBasis() {
+    for (int k = 0; k < kBlockSize; ++k) {
+      const double ck = k == 0 ? std::sqrt(1.0 / kBlockSize)
+                               : std::sqrt(2.0 / kBlockSize);
+      for (int n = 0; n < kBlockSize; ++n) {
+        b[k][n] = ck * std::cos((2 * n + 1) * k * kPi / (2.0 * kBlockSize));
+      }
+    }
+  }
+};
+
+const DctBasis& Basis() {
+  static const DctBasis basis;
+  return basis;
+}
+
+}  // namespace
+
+void ForwardDct(const Block& spatial, Block& freq) {
+  const auto& b = Basis().b;
+  double tmp[kBlockSize][kBlockSize];
+  // Rows.
+  for (int y = 0; y < kBlockSize; ++y) {
+    for (int k = 0; k < kBlockSize; ++k) {
+      double s = 0.0;
+      for (int x = 0; x < kBlockSize; ++x) s += spatial[y * kBlockSize + x] * b[k][x];
+      tmp[y][k] = s;
+    }
+  }
+  // Columns.
+  for (int k = 0; k < kBlockSize; ++k) {
+    for (int j = 0; j < kBlockSize; ++j) {
+      double s = 0.0;
+      for (int y = 0; y < kBlockSize; ++y) s += tmp[y][j] * b[k][y];
+      freq[k * kBlockSize + j] = s;
+    }
+  }
+}
+
+void InverseDct(const Block& freq, Block& spatial) {
+  const auto& b = Basis().b;
+  double tmp[kBlockSize][kBlockSize];
+  // Columns (transpose of forward).
+  for (int y = 0; y < kBlockSize; ++y) {
+    for (int j = 0; j < kBlockSize; ++j) {
+      double s = 0.0;
+      for (int k = 0; k < kBlockSize; ++k) s += freq[k * kBlockSize + j] * b[k][y];
+      tmp[y][j] = s;
+    }
+  }
+  // Rows.
+  for (int y = 0; y < kBlockSize; ++y) {
+    for (int x = 0; x < kBlockSize; ++x) {
+      double s = 0.0;
+      for (int k = 0; k < kBlockSize; ++k) s += tmp[y][k] * b[k][x];
+      spatial[y * kBlockSize + x] = s;
+    }
+  }
+}
+
+const std::array<int, kBlockPixels>& ZigzagOrder() {
+  static const std::array<int, kBlockPixels> order = [] {
+    std::array<int, kBlockPixels> o{};
+    int idx = 0;
+    for (int s = 0; s < 2 * kBlockSize - 1; ++s) {
+      if (s % 2 == 0) {  // walk up-right
+        for (int y = std::min(s, kBlockSize - 1); y >= 0 && s - y < kBlockSize; --y) {
+          o[idx++] = y * kBlockSize + (s - y);
+        }
+      } else {  // walk down-left
+        for (int x = std::min(s, kBlockSize - 1); x >= 0 && s - x < kBlockSize; --x) {
+          o[idx++] = (s - x) * kBlockSize + x;
+        }
+      }
+    }
+    return o;
+  }();
+  return order;
+}
+
+}  // namespace livo::video

@@ -1,0 +1,29 @@
+// 8x8 type-II DCT / inverse DCT used by the block transform codec.
+//
+// Double-precision separable implementation with precomputed basis. The
+// codec quantizes coefficients immediately after the transform, so the
+// extra precision over integer approximations costs little and keeps the
+// encoder/decoder reconstruction identities exact to rounding.
+#pragma once
+
+#include <array>
+
+namespace livo::video {
+
+inline constexpr int kBlockSize = 8;
+inline constexpr int kBlockPixels = kBlockSize * kBlockSize;
+
+using Block = std::array<double, kBlockPixels>;
+using IntBlock = std::array<int, kBlockPixels>;
+
+// Forward 8x8 DCT-II with orthonormal scaling.
+void ForwardDct(const Block& spatial, Block& freq);
+
+// Inverse 8x8 DCT (DCT-III with orthonormal scaling).
+void InverseDct(const Block& freq, Block& spatial);
+
+// Zigzag scan order mapping scan position -> raster index; low-frequency
+// coefficients first, so zero runs concentrate at the tail.
+const std::array<int, kBlockPixels>& ZigzagOrder();
+
+}  // namespace livo::video

@@ -1,0 +1,360 @@
+#include "video/plane_codec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/bitstream.h"
+#include "video/dct.h"
+
+namespace livo::video {
+namespace {
+
+using image::Plane16;
+using util::BitReader;
+using util::BitWriter;
+
+enum BlockMode : int {
+  kModeSkip = 0,      // copy co-located reference block, no residual
+  kModeInterZero = 1, // co-located prediction + residual
+  kModeInterMv = 2,   // motion-compensated prediction + residual
+  kModeIntraDc = 3,   // DC prediction from reconstructed neighbours
+};
+
+// Reference pixel fetch with border clamping (for motion compensation).
+inline int RefPixel(const Plane16& ref, int x, int y) {
+  x = std::clamp(x, 0, ref.width() - 1);
+  y = std::clamp(y, 0, ref.height() - 1);
+  return ref.at(x, y);
+}
+
+// Loads the 8x8 source block at (bx, by) in block units.
+void LoadBlock(const Plane16& plane, int bx, int by, IntBlock& out) {
+  const int x0 = bx * kBlockSize, y0 = by * kBlockSize;
+  for (int y = 0; y < kBlockSize; ++y) {
+    const auto* row = plane.row(y0 + y) + x0;
+    for (int x = 0; x < kBlockSize; ++x) out[y * kBlockSize + x] = row[x];
+  }
+}
+
+// Builds the motion-compensated prediction block at offset (dx, dy).
+void LoadPrediction(const Plane16& ref, int bx, int by, int dx, int dy,
+                    IntBlock& out) {
+  const int x0 = bx * kBlockSize + dx, y0 = by * kBlockSize + dy;
+  for (int y = 0; y < kBlockSize; ++y) {
+    for (int x = 0; x < kBlockSize; ++x) {
+      out[y * kBlockSize + x] = RefPixel(ref, x0 + x, y0 + y);
+    }
+  }
+}
+
+long long Sad(const IntBlock& a, const IntBlock& b) {
+  long long s = 0;
+  for (int i = 0; i < kBlockPixels; ++i) s += std::abs(a[i] - b[i]);
+  return s;
+}
+
+long long Sse(const IntBlock& a, const IntBlock& b) {
+  long long s = 0;
+  for (int i = 0; i < kBlockPixels; ++i) {
+    const long long d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+// DC intra prediction from reconstructed pixels above and left of the block.
+// Mirrored exactly by the decoder (both operate on the same reconstruction).
+int IntraDcPrediction(const Plane16& recon, int bx, int by, int mid_value) {
+  const int x0 = bx * kBlockSize, y0 = by * kBlockSize;
+  long long sum = 0;
+  int count = 0;
+  if (y0 > 0) {
+    for (int x = 0; x < kBlockSize; ++x) sum += recon.at(x0 + x, y0 - 1);
+    count += kBlockSize;
+  }
+  if (x0 > 0) {
+    for (int y = 0; y < kBlockSize; ++y) sum += recon.at(x0 - 1, y0 + y);
+    count += kBlockSize;
+  }
+  return count > 0 ? static_cast<int>(sum / count) : mid_value;
+}
+
+void FillBlock(int value, IntBlock& out) { out.fill(value); }
+
+// Transforms and quantizes a residual; returns quantized levels in raster
+// order and whether any level is non-zero.
+bool QuantizeResidual(const IntBlock& residual, double step, IntBlock& levels) {
+  Block spatial;
+  for (int i = 0; i < kBlockPixels; ++i) spatial[i] = residual[i];
+  Block freq;
+  ForwardDct(spatial, freq);
+  bool any = false;
+  for (int i = 0; i < kBlockPixels; ++i) {
+    const int q = static_cast<int>(std::lround(freq[i] / step));
+    levels[i] = q;
+    any = any || q != 0;
+  }
+  return any;
+}
+
+// Dequantizes and inverse-transforms levels into a spatial residual.
+void ReconstructResidual(const IntBlock& levels, double step, IntBlock& residual) {
+  Block freq;
+  for (int i = 0; i < kBlockPixels; ++i) freq[i] = levels[i] * step;
+  Block spatial;
+  InverseDct(freq, spatial);
+  for (int i = 0; i < kBlockPixels; ++i) {
+    residual[i] = static_cast<int>(std::lround(spatial[i]));
+  }
+}
+
+// Entropy-codes quantized levels: zigzag (run, level) pairs, EOB = run 64.
+void WriteLevels(BitWriter& writer, const IntBlock& levels) {
+  const auto& zigzag = ZigzagOrder();
+  int run = 0;
+  for (int pos = 0; pos < kBlockPixels; ++pos) {
+    const int level = levels[zigzag[pos]];
+    if (level == 0) {
+      ++run;
+    } else {
+      writer.WriteUE(static_cast<std::uint64_t>(run));
+      writer.WriteSE(level);
+      run = 0;
+    }
+  }
+  writer.WriteUE(kBlockPixels);  // end of block
+}
+
+void ReadLevels(BitReader& reader, IntBlock& levels) {
+  levels.fill(0);
+  const auto& zigzag = ZigzagOrder();
+  int pos = 0;
+  for (;;) {
+    const auto run = reader.ReadUE();
+    if (run >= kBlockPixels) break;  // EOB
+    pos += static_cast<int>(run);
+    if (pos >= kBlockPixels) throw std::runtime_error("corrupt level run");
+    levels[zigzag[pos]] = static_cast<int>(reader.ReadSE());
+    ++pos;
+  }
+}
+
+// Writes the reconstructed block (prediction + residual, clamped) into the
+// reconstruction plane.
+void StoreBlock(Plane16& recon, int bx, int by, const IntBlock& prediction,
+                const IntBlock& residual, int max_value) {
+  const int x0 = bx * kBlockSize, y0 = by * kBlockSize;
+  for (int y = 0; y < kBlockSize; ++y) {
+    auto* row = recon.row(y0 + y) + x0;
+    for (int x = 0; x < kBlockSize; ++x) {
+      const int i = y * kBlockSize + x;
+      row[x] = static_cast<std::uint16_t>(
+          std::clamp(prediction[i] + residual[i], 0, max_value));
+    }
+  }
+}
+
+// Small full search over [-range, range]^2 minimizing SAD. Returns best
+// offset; (0,0) is always a candidate so the result never regresses.
+void MotionSearch(const Plane16& ref, const IntBlock& src, int bx, int by,
+                  int range, int& best_dx, int& best_dy, long long& best_sad) {
+  IntBlock candidate;
+  best_dx = 0;
+  best_dy = 0;
+  LoadPrediction(ref, bx, by, 0, 0, candidate);
+  best_sad = Sad(src, candidate);
+  for (int dy = -range; dy <= range; ++dy) {
+    for (int dx = -range; dx <= range; ++dx) {
+      if (dx == 0 && dy == 0) continue;
+      LoadPrediction(ref, bx, by, dx, dy, candidate);
+      const long long sad = Sad(src, candidate);
+      if (sad < best_sad) {
+        best_sad = sad;
+        best_dx = dx;
+        best_dy = dy;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+PlaneEncodeOutput EncodePlane(const CodecConfig& config, const Plane16& src,
+                              const Plane16* reference, int qp) {
+  if (src.width() % kBlockSize != 0 || src.height() % kBlockSize != 0) {
+    throw std::invalid_argument("plane dimensions must be multiples of 8");
+  }
+  if (reference != nullptr && !reference->SameShape(src)) {
+    throw std::invalid_argument("reference shape mismatch");
+  }
+  const double step = QpToStep(qp);
+  const int max_value = config.MaxSampleValue();
+  const int blocks_x = src.width() / kBlockSize;
+  const int blocks_y = src.height() / kBlockSize;
+  const bool is_inter = reference != nullptr;
+
+  PlaneEncodeOutput out;
+  out.reconstruction = Plane16(src.width(), src.height());
+  BitWriter writer;
+
+  IntBlock src_block, prediction, residual, levels, recon_residual;
+
+  for (int by = 0; by < blocks_y; ++by) {
+    for (int bx = 0; bx < blocks_x; ++bx) {
+      LoadBlock(src, bx, by, src_block);
+
+      int mode = kModeIntraDc;
+      int mv_dx = 0, mv_dy = 0;
+
+      if (is_inter) {
+        // Candidate evaluation by SAD with small mode-cost biases.
+        IntBlock zero_pred;
+        LoadPrediction(*reference, bx, by, 0, 0, zero_pred);
+        const long long sse_zero = Sse(src_block, zero_pred);
+
+        // If the co-located residual energy is below the quantization noise
+        // floor, coding it cannot improve the reconstruction: SKIP.
+        const double noise_floor = (step * step / 12.0) * kBlockPixels;
+        if (static_cast<double>(sse_zero) <= noise_floor) {
+          writer.WriteUE(kModeSkip);
+          StoreBlock(out.reconstruction, bx, by, zero_pred, IntBlock{}, max_value);
+          continue;
+        }
+
+        const long long sad_zero = Sad(src_block, zero_pred);
+        long long sad_mv = sad_zero;
+        if (config.motion_search) {
+          MotionSearch(*reference, src_block, bx, by, config.motion_range_px,
+                       mv_dx, mv_dy, sad_mv);
+        }
+        const int dc_pred = IntraDcPrediction(out.reconstruction, bx, by,
+                                              config.MidSampleValue());
+        IntBlock intra_pred;
+        FillBlock(dc_pred, intra_pred);
+        const long long sad_intra = Sad(src_block, intra_pred);
+
+        // Bias terms approximate signalling cost (mv bits, intra's weaker
+        // temporal continuity) in units of SAD.
+        const auto lambda = static_cast<long long>(step * kBlockSize);
+        const long long cost_zero = sad_zero;
+        const long long cost_mv =
+            (mv_dx == 0 && mv_dy == 0) ? sad_zero : sad_mv + lambda;
+        const long long cost_intra = sad_intra + 2 * lambda;
+
+        if (cost_mv < cost_zero && cost_mv <= cost_intra) {
+          mode = kModeInterMv;
+        } else if (cost_zero <= cost_intra) {
+          mode = kModeInterZero;
+        } else {
+          mode = kModeIntraDc;
+        }
+      }
+
+      // Build the chosen prediction.
+      switch (mode) {
+        case kModeInterZero:
+          LoadPrediction(*reference, bx, by, 0, 0, prediction);
+          break;
+        case kModeInterMv:
+          LoadPrediction(*reference, bx, by, mv_dx, mv_dy, prediction);
+          break;
+        case kModeIntraDc:
+        default:
+          FillBlock(IntraDcPrediction(out.reconstruction, bx, by,
+                                      config.MidSampleValue()),
+                    prediction);
+          break;
+      }
+
+      for (int i = 0; i < kBlockPixels; ++i) {
+        residual[i] = src_block[i] - prediction[i];
+      }
+      const bool any_level = QuantizeResidual(residual, step, levels);
+
+      // Exact late skip: a zero-motion inter block whose residual quantizes
+      // to all zeros reconstructs identically to SKIP, which costs 1 symbol
+      // instead of mode + EOB.
+      if (is_inter && mode == kModeInterZero && !any_level) {
+        writer.WriteUE(kModeSkip);
+        StoreBlock(out.reconstruction, bx, by, prediction, IntBlock{}, max_value);
+        continue;
+      }
+
+      if (is_inter) {
+        writer.WriteUE(static_cast<std::uint64_t>(mode));
+        if (mode == kModeInterMv) {
+          writer.WriteSE(mv_dx);
+          writer.WriteSE(mv_dy);
+        }
+      }
+      WriteLevels(writer, levels);
+
+      ReconstructResidual(levels, step, recon_residual);
+      StoreBlock(out.reconstruction, bx, by, prediction, recon_residual,
+                 max_value);
+    }
+  }
+
+  out.bits = writer.Finish();
+  return out;
+}
+
+Plane16 DecodePlane(const CodecConfig& config,
+                    const std::vector<std::uint8_t>& bits,
+                    const Plane16* reference, int qp) {
+  if (config.width % kBlockSize != 0 || config.height % kBlockSize != 0) {
+    throw std::invalid_argument("plane dimensions must be multiples of 8");
+  }
+  const double step = QpToStep(qp);
+  const int max_value = config.MaxSampleValue();
+  const int blocks_x = config.width / kBlockSize;
+  const int blocks_y = config.height / kBlockSize;
+  const bool is_inter = reference != nullptr;
+
+  Plane16 recon(config.width, config.height);
+  BitReader reader(bits);
+  IntBlock prediction, levels, residual;
+
+  for (int by = 0; by < blocks_y; ++by) {
+    for (int bx = 0; bx < blocks_x; ++bx) {
+      int mode = kModeIntraDc;
+      int mv_dx = 0, mv_dy = 0;
+      if (is_inter) {
+        mode = static_cast<int>(reader.ReadUE());
+        if (mode > kModeIntraDc) throw std::runtime_error("corrupt block mode");
+        if (mode == kModeInterMv) {
+          mv_dx = static_cast<int>(reader.ReadSE());
+          mv_dy = static_cast<int>(reader.ReadSE());
+        }
+      }
+
+      if (mode == kModeSkip) {
+        LoadPrediction(*reference, bx, by, 0, 0, prediction);
+        StoreBlock(recon, bx, by, prediction, IntBlock{}, max_value);
+        continue;
+      }
+
+      switch (mode) {
+        case kModeInterZero:
+          LoadPrediction(*reference, bx, by, 0, 0, prediction);
+          break;
+        case kModeInterMv:
+          LoadPrediction(*reference, bx, by, mv_dx, mv_dy, prediction);
+          break;
+        case kModeIntraDc:
+        default:
+          FillBlock(IntraDcPrediction(recon, bx, by, config.MidSampleValue()),
+                    prediction);
+          break;
+      }
+
+      ReadLevels(reader, levels);
+      ReconstructResidual(levels, step, residual);
+      StoreBlock(recon, bx, by, prediction, residual, max_value);
+    }
+  }
+  return recon;
+}
+
+}  // namespace livo::video

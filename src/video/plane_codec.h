@@ -1,0 +1,43 @@
+// Single-plane block-transform coder.
+//
+// Encodes one raster plane (8-bit color component or 16-bit depth) as a
+// sequence of 8x8 blocks with H.26x-style tools:
+//   * I-frames: DC intra prediction from reconstructed neighbours.
+//   * P-frames: per-block mode decision between SKIP (copy co-located
+//     reference block), zero-motion inter residual, small-range motion-
+//     compensated inter residual, and intra fallback.
+//   * 8x8 DCT + uniform quantization (QP -> step, doubling every 6 QP) +
+//     zigzag run/level Exp-Golomb entropy coding.
+//
+// Encoder reconstruction is bit-exact with the decoder: both dequantize the
+// same coefficients and clamp identically, so LiVo's sender-side quality
+// estimation (§3.3) can use the reconstruction directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "image/image.h"
+#include "video/codec_types.h"
+
+namespace livo::video {
+
+struct PlaneEncodeOutput {
+  std::vector<std::uint8_t> bits;
+  image::Plane16 reconstruction;
+};
+
+// Encodes `src` at quantization parameter `qp`. `reference` is the previous
+// reconstructed plane for P-frames, or nullptr for an I-frame. Plane
+// dimensions must be multiples of 8 (the tiler guarantees this).
+PlaneEncodeOutput EncodePlane(const CodecConfig& config,
+                              const image::Plane16& src,
+                              const image::Plane16* reference, int qp);
+
+// Decodes one plane. `reference` must match the encoder's (nullptr for
+// I-frames). Throws std::runtime_error on a corrupt stream.
+image::Plane16 DecodePlane(const CodecConfig& config,
+                           const std::vector<std::uint8_t>& bits,
+                           const image::Plane16* reference, int qp);
+
+}  // namespace livo::video

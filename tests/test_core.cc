@@ -1,0 +1,470 @@
+// Unit and integration tests for livo::core — split controller, view
+// culling, frustum predictor, sender/receiver round trips, and full
+// replay sessions (LiVo, Draco-Oracle, MeshReduce).
+#include <gtest/gtest.h>
+
+#include "core/culling.h"
+#include "core/draco_oracle.h"
+#include "core/experiment.h"
+#include "core/meshreduce.h"
+#include "core/receiver.h"
+#include "core/sender.h"
+#include "core/session.h"
+#include "core/split.h"
+#include "metrics/pointssim.h"
+#include "sim/dataset.h"
+#include "sim/nettrace.h"
+#include "sim/usertrace.h"
+
+namespace livo::core {
+namespace {
+
+// A small-profile capture shared across the heavier tests.
+sim::ScaleProfile SmallProfile() {
+  sim::ScaleProfile profile;
+  profile.camera_count = 4;
+  profile.camera_width = 48;
+  profile.camera_height = 40;
+  return profile;
+}
+
+const sim::CapturedSequence& SmallSequence() {
+  static const sim::CapturedSequence seq =
+      sim::CaptureVideo("toddler4", SmallProfile(), 14);
+  return seq;
+}
+
+LiVoConfig SmallConfig() {
+  LiVoConfig config;
+  const auto profile = SmallProfile();
+  config.layout = image::TileLayout(profile.camera_count, profile.camera_width,
+                                    profile.camera_height);
+  return config;
+}
+
+// ---- SplitController ----
+
+TEST(SplitController, HoldsInsideDeadband) {
+  SplitConfig config;
+  config.initial = 0.7;
+  config.epsilon = 2.0;
+  SplitController controller(config);
+  controller.Update(10.0, 9.0);  // |diff| <= eps
+  EXPECT_DOUBLE_EQ(controller.split(), 0.7);
+}
+
+TEST(SplitController, MovesTowardWorseStream) {
+  SplitConfig config;
+  config.initial = 0.7;
+  SplitController controller(config);
+  controller.Update(100.0, 5.0);  // depth much worse: raise split
+  EXPECT_DOUBLE_EQ(controller.split(), 0.705);
+  controller.Update(1.0, 50.0);   // color much worse: lower split
+  EXPECT_DOUBLE_EQ(controller.split(), 0.7);
+}
+
+TEST(SplitController, ClampsToConfiguredRange) {
+  SplitConfig config;
+  config.initial = 0.89;
+  SplitController controller(config);
+  for (int i = 0; i < 100; ++i) controller.Update(1000.0, 0.0);
+  EXPECT_DOUBLE_EQ(controller.split(), 0.9);   // upper clamp (§3.3)
+  for (int i = 0; i < 200; ++i) controller.Update(0.0, 1000.0);
+  EXPECT_DOUBLE_EQ(controller.split(), 0.5);   // lower clamp
+}
+
+TEST(SplitController, ProbeCadence) {
+  SplitConfig config;
+  config.update_every = 3;
+  SplitController controller(config);
+  EXPECT_TRUE(controller.ShouldProbe(0));
+  EXPECT_FALSE(controller.ShouldProbe(1));
+  EXPECT_FALSE(controller.ShouldProbe(2));
+  EXPECT_TRUE(controller.ShouldProbe(3));
+}
+
+TEST(SplitController, ConvergesToBalancePoint) {
+  // Synthetic quality model: rmse_d - rmse_c crosses zero at s = 0.82.
+  SplitConfig config;
+  config.initial = 0.6;
+  config.epsilon = 0.1;
+  SplitController controller(config);
+  for (int i = 0; i < 200; ++i) {
+    const double s = controller.split();
+    const double rmse_d = 100.0 * (0.82 - s);  // positive below 0.82
+    controller.Update(rmse_d, 0.0);
+  }
+  EXPECT_NEAR(controller.split(), 0.82, 0.01);
+}
+
+// ---- View culling ----
+
+TEST(Culling, ZeroesPixelsOutsideFrustum) {
+  const auto& seq = SmallSequence();
+  auto views = seq.frames[0];
+  // A narrow frustum looking at the scene centre from close by.
+  const geom::Frustum frustum(
+      geom::Pose::LookAt({1.2, 1.0, 1.2}, {0, 0.6, 0}),
+      geom::FrustumParams{geom::DegToRad(30.0), 1.0, 0.1, 3.0});
+  const CullStats stats = CullViews(views, seq.rig, frustum);
+  EXPECT_GT(stats.total_pixels, 0u);
+  EXPECT_LT(stats.kept_pixels, stats.total_pixels);
+  // Culled views reconstruct to a cloud fully inside the frustum.
+  const auto cloud = pointcloud::ReconstructFromViews(views, seq.rig);
+  int outside = 0;
+  for (const auto& p : cloud.points()) {
+    if (!frustum.Expanded(0.05).Contains(p.position)) ++outside;
+  }
+  // Pixel-centre quantization allows a tiny leak near the planes.
+  EXPECT_LT(outside, static_cast<int>(cloud.size() / 100 + 3));
+}
+
+TEST(Culling, FullSceneFrustumKeepsEverything) {
+  const auto& seq = SmallSequence();
+  auto views = seq.frames[0];
+  const geom::Frustum wide(
+      geom::Pose::LookAt({0, 1.5, 6.0}, {0, 0.8, 0}),
+      geom::FrustumParams{geom::DegToRad(90.0), 1.8, 0.1, 20.0});
+  const CullStats stats = CullViews(views, seq.rig, wide);
+  EXPECT_EQ(stats.kept_pixels, stats.total_pixels);
+}
+
+TEST(Culling, MatchesPointCloudCulling) {
+  // Culling RGB-D views without reconstructing the cloud must keep the
+  // same surface as reconstruct-then-cull (§3.4's correctness claim).
+  const auto& seq = SmallSequence();
+  const geom::Frustum frustum(
+      geom::Pose::LookAt({1.5, 1.2, 1.5}, {0, 0.7, 0}),
+      geom::FrustumParams{geom::DegToRad(45.0), 1.3, 0.1, 4.0});
+
+  auto culled_views = seq.frames[0];
+  CullViews(culled_views, seq.rig, frustum);
+  const auto cloud_a = pointcloud::ReconstructFromViews(culled_views, seq.rig);
+  const auto cloud_b =
+      pointcloud::ReconstructFromViews(seq.frames[0], seq.rig)
+          .CulledTo(frustum);
+  EXPECT_EQ(cloud_a.size(), cloud_b.size());
+}
+
+TEST(Culling, EvaluateCullingPerfectWhenPredictedEqualsActual) {
+  const auto& seq = SmallSequence();
+  const geom::Frustum frustum(
+      geom::Pose::LookAt({1.5, 1.2, 1.5}, {0, 0.7, 0}), geom::FrustumParams{});
+  const CullAccuracy acc =
+      EvaluateCulling(seq.frames[0], seq.rig, frustum, frustum);
+  EXPECT_DOUBLE_EQ(acc.recall, 1.0);
+}
+
+TEST(Culling, GuardBandImprovesRecallUnderError) {
+  const auto& seq = SmallSequence();
+  const geom::Pose actual_pose = geom::Pose::LookAt({1.5, 1.2, 1.5}, {0, 0.7, 0});
+  const geom::Pose wrong_pose =
+      geom::Pose::LookAt({1.7, 1.25, 1.35}, {0.15, 0.7, 0.1});
+  const geom::Frustum actual(actual_pose, geom::FrustumParams{});
+  const geom::Frustum predicted(wrong_pose, geom::FrustumParams{});
+  const CullAccuracy bare =
+      EvaluateCulling(seq.frames[0], seq.rig, predicted, actual);
+  const CullAccuracy guarded = EvaluateCulling(
+      seq.frames[0], seq.rig, predicted.Expanded(0.2), actual);
+  EXPECT_GT(guarded.recall, bare.recall);
+  EXPECT_GT(guarded.kept_fraction, bare.kept_fraction);
+}
+
+// ---- FrustumPredictor ----
+
+TEST(FrustumPredictor, NotReadyBeforeFeedback) {
+  FrustumPredictor predictor;
+  EXPECT_FALSE(predictor.ready());
+}
+
+TEST(FrustumPredictor, HorizonIsHalfRtt) {
+  FrustumPredictor predictor;
+  for (int i = 0; i < 20; ++i) predictor.ObserveRtt(120.0);
+  EXPECT_NEAR(predictor.HorizonMs(), 60.0, 1.0);
+}
+
+TEST(FrustumPredictor, PredictsMovingViewer) {
+  FrustumPredictor predictor;
+  for (int i = 0; i < 40; ++i) predictor.ObserveRtt(100.0);
+  for (int i = 0; i < 60; ++i) {
+    geom::TimedPose tp;
+    tp.time_ms = i * 33.33;
+    tp.pose = geom::Pose::LookAt({i * 0.02, 1.6, 2.0}, {0, 0.8, 0});
+    predictor.ObservePose(tp);
+  }
+  const geom::Pose predicted = predictor.PredictPose();
+  // 50 ms ahead of the last sample at 0.6 m/s in +x.
+  EXPECT_NEAR(predicted.position.x, 59 * 0.02 + 0.03, 0.02);
+}
+
+// ---- Sender/receiver round trip (no network) ----
+
+TEST(SenderReceiver, LosslessPathReconstructsScene) {
+  const auto& seq = SmallSequence();
+  const LiVoConfig config = SmallConfig();
+  LiVoSender sender(config, seq.rig);
+  ReceiverConfig receiver_config;
+  receiver_config.final_cull = false;  // keep the whole cloud
+  LiVoReceiver receiver(config, receiver_config, seq.rig);
+
+  // Feed a pose so the predictor is ready (wide view: nothing culled).
+  geom::TimedPose tp;
+  tp.pose = geom::Pose::LookAt({0, 1.4, 4.5}, {0, 0.8, 0});
+  sender.ObservePoseFeedback(tp);
+
+  const geom::Frustum live(tp.pose, config.predictor.viewer);
+  metrics::PointSsimConfig pssim_config;
+  pssim_config.max_anchors = 600;
+
+  for (std::uint32_t f = 0; f < 4; ++f) {
+    SenderOutput out =
+        sender.ProcessFrame(seq.frames[f], f, 40e6);  // generous bitrate
+    std::vector<net::ReceivedFrame> frames(2);
+    frames[0].stream_id = kColorStream;
+    frames[0].frame_index = f;
+    frames[0].data = out.color_frame;
+    frames[1].stream_id = kDepthStream;
+    frames[1].frame_index = f;
+    frames[1].data = out.depth_frame;
+    const auto rendered = receiver.OnFrames(frames, f * 33.3, live);
+    ASSERT_EQ(rendered.size(), 1u);
+    EXPECT_EQ(rendered[0].frame_index, f);
+    EXPECT_TRUE(rendered[0].marker_verified);
+    EXPECT_GT(rendered[0].cloud.size(), 500u);
+
+    const auto reference = GroundTruthCloud(seq.frames[f], seq.rig, live,
+                                            receiver_config);
+    const auto pssim =
+        metrics::PointSsim(reference, rendered[0].cloud, pssim_config);
+    EXPECT_GT(pssim.geometry, 80.0) << "frame " << f;
+    EXPECT_GT(pssim.color, 80.0) << "frame " << f;
+  }
+}
+
+TEST(SenderReceiver, SkipsFrameMissingOneStream) {
+  const auto& seq = SmallSequence();
+  const LiVoConfig config = SmallConfig();
+  LiVoSender sender(config, seq.rig);
+  ReceiverConfig rc;
+  rc.max_pair_lag = 1;
+  LiVoReceiver receiver(config, rc, seq.rig);
+  const geom::Frustum live(geom::Pose::LookAt({0, 1.4, 4.5}, {0, 0.8, 0}),
+                           config.predictor.viewer);
+
+  auto out0 = sender.ProcessFrame(seq.frames[0], 0, 20e6);
+  auto out1 = sender.ProcessFrame(seq.frames[1], 1, 20e6);
+  auto out2 = sender.ProcessFrame(seq.frames[2], 2, 20e6);
+
+  std::vector<net::ReceivedFrame> frames;
+  const auto push = [&](std::uint32_t stream, std::uint32_t index,
+                        const auto& data) {
+    net::ReceivedFrame f;
+    f.stream_id = stream;
+    f.frame_index = index;
+    f.data = data;
+    frames.push_back(f);
+  };
+  // Frame 0 complete; frame 1's depth never arrives; frame 2 complete.
+  push(kColorStream, 0, out0.color_frame);
+  push(kDepthStream, 0, out0.depth_frame);
+  push(kColorStream, 1, out1.color_frame);
+  push(kColorStream, 2, out2.color_frame);
+  push(kDepthStream, 2, out2.depth_frame);
+
+  const auto rendered = receiver.OnFrames(frames, 100.0, live);
+  ASSERT_EQ(rendered.size(), 2u);
+  EXPECT_EQ(rendered[0].frame_index, 0u);
+  EXPECT_EQ(rendered[1].frame_index, 2u);
+  EXPECT_EQ(receiver.skipped_frames(), 1u);
+}
+
+TEST(Sender, SplitRespondsToContent) {
+  const auto& seq = SmallSequence();
+  LiVoConfig config = SmallConfig();
+  config.split.update_every = 1;
+  LiVoSender sender(config, seq.rig);
+  const double initial = sender.splitter().split();
+  // A tight bitrate forces visible quantization error, pushing the raw
+  // depth RMSE far above color RMSE, so the line search must move.
+  for (std::uint32_t f = 0; f < 6; ++f) {
+    sender.ProcessFrame(seq.frames[f % seq.frames.size()], f, 1.2e6);
+  }
+  EXPECT_GT(sender.splitter().split(), initial);
+}
+
+TEST(Sender, StaticSplitStaysPinned) {
+  const auto& seq = SmallSequence();
+  LiVoConfig config = SmallConfig();
+  config.dynamic_split = false;
+  config.static_split = 0.8;
+  LiVoSender sender(config, seq.rig);
+  for (std::uint32_t f = 0; f < 4; ++f) {
+    sender.ProcessFrame(seq.frames[f], f, 6e6);
+  }
+  EXPECT_DOUBLE_EQ(sender.splitter().split(), 0.8);
+}
+
+TEST(Sender, NoAdaptUsesFixedQp) {
+  const auto& seq = SmallSequence();
+  LiVoConfig config = SmallConfig();
+  config.enable_adaptation = false;
+  config.dynamic_split = false;
+  LiVoSender sender(config, seq.rig);
+  // Identical output size regardless of the target bitrate.
+  auto a = sender.ProcessFrame(seq.frames[0], 0, 1e6);
+  LiVoSender sender2(config, seq.rig);
+  auto b = sender2.ProcessFrame(seq.frames[0], 0, 100e6);
+  EXPECT_EQ(a.stats.color_bytes, b.stats.color_bytes);
+  EXPECT_EQ(a.stats.depth_bytes, b.stats.depth_bytes);
+}
+
+TEST(Sender, CullingReducesEncodedBytes) {
+  const auto& seq = SmallSequence();
+  LiVoConfig with_cull = SmallConfig();
+  LiVoConfig no_cull = SmallConfig();
+  no_cull.enable_culling = false;
+
+  LiVoSender a(with_cull, seq.rig), b(no_cull, seq.rig);
+  geom::TimedPose tp;
+  // Narrow close-up view: culling removes most of the scene.
+  tp.pose = geom::Pose::LookAt({0.9, 1.0, 0.9}, {0.4, 0.6, 0.4});
+  a.ObservePoseFeedback(tp);
+  b.ObservePoseFeedback(tp);
+
+  // Fixed-QP encodes isolate content size from rate control.
+  with_cull.enable_adaptation = false;
+  std::size_t culled_total = 0, full_total = 0;
+  for (std::uint32_t f = 0; f < 4; ++f) {
+    culled_total += a.ProcessFrame(seq.frames[f], f, 50e6).stats.depth_bytes +
+                    a.ProcessFrame(seq.frames[f], f + 100, 50e6).stats.color_bytes;
+    full_total += b.ProcessFrame(seq.frames[f], f, 50e6).stats.depth_bytes +
+                  b.ProcessFrame(seq.frames[f], f + 100, 50e6).stats.color_bytes;
+  }
+  EXPECT_LT(culled_total, full_total);
+}
+
+// ---- Full replay sessions ----
+
+class SessionTest : public ::testing::Test {
+ protected:
+  static sim::BandwidthTrace FlatTrace(double mbps) {
+    sim::BandwidthTrace t;
+    t.name = "flat";
+    t.mbps.assign(600, mbps);
+    return t;
+  }
+};
+
+TEST_F(SessionTest, LiVoSessionDeliversAllFramesAtAmpleBandwidth) {
+  const auto& seq = SmallSequence();
+  const auto user = sim::GenerateUserTrace("toddler4",
+                                           sim::TraceStyle::kOrbit, 80);
+  LiVoConfig config = SmallConfig();
+  ReplayOptions options;
+  options.bandwidth_scale = 1.0 / 48.0;
+  const SessionResult r =
+      RunLiVoSession(seq, user, FlatTrace(400.0), config, options);
+  EXPECT_EQ(r.stall_rate, 0.0);
+  EXPECT_NEAR(r.fps, 30.0, 0.8);
+  EXPECT_GT(r.mean_pssim_geometry, 60.0);
+  EXPECT_GT(r.mean_pssim_color, 60.0);
+  EXPECT_LT(r.mean_latency_ms, 300.0);  // the paper's latency requirement
+  EXPECT_GT(r.mean_latency_ms, 100.0);  // jitter buffer floor
+}
+
+TEST_F(SessionTest, LiVoSessionStallsAtStarvedBandwidth) {
+  const auto& seq = SmallSequence();
+  const auto user = sim::GenerateUserTrace("toddler4",
+                                           sim::TraceStyle::kOrbit, 80);
+  LiVoConfig config = SmallConfig();
+  ReplayOptions options;
+  options.bandwidth_scale = 1.0 / 48.0;
+  // 6 Mbps paper-scale: ~125 kbps sim-scale, unusable.
+  const SessionResult r =
+      RunLiVoSession(seq, user, FlatTrace(6.0), config, options);
+  EXPECT_GT(r.stall_rate, 0.3);
+}
+
+TEST_F(SessionTest, QualityImprovesWithBandwidth) {
+  const auto& seq = SmallSequence();
+  const auto user = sim::GenerateUserTrace("toddler4",
+                                           sim::TraceStyle::kFocus, 80);
+  LiVoConfig config = SmallConfig();
+  ReplayOptions options;
+  options.bandwidth_scale = 1.0 / 48.0;
+  const SessionResult low =
+      RunLiVoSession(seq, user, FlatTrace(60.0), config, options);
+  const SessionResult high =
+      RunLiVoSession(seq, user, FlatTrace(300.0), config, options);
+  EXPECT_GT(high.mean_pssim_geometry, low.mean_pssim_geometry);
+}
+
+TEST_F(SessionTest, DracoOracleRunsAndRecordsTrade) {
+  const auto& seq = SmallSequence();
+  const auto user = sim::GenerateUserTrace("toddler4",
+                                           sim::TraceStyle::kOrbit, 80);
+  DracoOracleOptions options;
+  options.viewer = geom::FrustumParams{};
+  const SessionResult r =
+      RunDracoOracle(seq, user, FlatTrace(90.0), options);
+  EXPECT_EQ(r.scheme, "Draco-Oracle");
+  EXPECT_EQ(r.target_fps, 15.0);
+  EXPECT_GE(r.stall_rate, 0.0);
+  EXPECT_LE(r.stall_rate, 1.0);
+  EXPECT_EQ(r.frames.size(), seq.frames.size() / 2);  // 15 of 30 fps
+}
+
+TEST_F(SessionTest, MeshReduceDeliversWithoutStalls) {
+  const auto& seq = SmallSequence();
+  const auto user = sim::GenerateUserTrace("toddler4",
+                                           sim::TraceStyle::kOrbit, 80);
+  MeshReduceOptions options;
+  const SessionResult r =
+      RunMeshReduce(seq, user, FlatTrace(90.0), options);
+  EXPECT_EQ(r.stall_rate, 0.0);
+  EXPECT_GT(r.fps, 5.0);
+  EXPECT_LE(r.fps, 15.5);
+  EXPECT_GT(r.mean_pssim_geometry, 20.0);
+}
+
+// ---- Experiment helpers ----
+
+TEST(Experiment, SchemeConfigsDifferCorrectly) {
+  const auto profile = SmallProfile();
+  const LiVoConfig livo = MakeLiVoConfig(Scheme::kLiVo, profile);
+  const LiVoConfig nocull = MakeLiVoConfig(Scheme::kLiVoNoCull, profile);
+  const LiVoConfig noadapt = MakeLiVoConfig(Scheme::kLiVoNoAdapt, profile);
+  EXPECT_TRUE(livo.enable_culling);
+  EXPECT_FALSE(nocull.enable_culling);
+  EXPECT_TRUE(nocull.enable_adaptation);
+  EXPECT_FALSE(noadapt.enable_adaptation);
+}
+
+TEST(Experiment, CacheKeyChangesWithConfig) {
+  MatrixConfig a, b;
+  b.frames = a.frames + 1;
+  EXPECT_NE(a.CacheKey(), b.CacheKey());
+  MatrixConfig c = a;
+  EXPECT_EQ(a.CacheKey(), c.CacheKey());
+}
+
+TEST(Experiment, SelectAndAggregateHelpers) {
+  std::vector<SessionSummary> all(3);
+  all[0].scheme = "LiVo";
+  all[0].video = "band2";
+  all[0].pssim_geometry = 80;
+  all[1].scheme = "LiVo";
+  all[1].video = "dance5";
+  all[1].pssim_geometry = 90;
+  all[2].scheme = "MeshReduce";
+  all[2].video = "band2";
+  all[2].pssim_geometry = 60;
+  const auto livo_rows = Select(all, {.scheme = "LiVo"});
+  EXPECT_EQ(livo_rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(MeanOf(livo_rows, &SessionSummary::pssim_geometry), 85.0);
+  const auto band2_rows = Select(all, {.video = "band2"});
+  EXPECT_EQ(band2_rows.size(), 2u);
+}
+
+}  // namespace
+}  // namespace livo::core

@@ -1,0 +1,317 @@
+// Unit tests for livo::geom — vectors, matrices, quaternions, poses,
+// frustums, and the pinhole camera model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/camera.h"
+#include "geom/frustum.h"
+#include "geom/mat.h"
+#include "geom/pose.h"
+#include "geom/vec.h"
+
+namespace livo::geom {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1, 2, 3}, b{4, -5, 6};
+  EXPECT_EQ(a + b, Vec3(5, -3, 9));
+  EXPECT_EQ(a - b, Vec3(-3, 7, -3));
+  EXPECT_EQ(a * 2.0, Vec3(2, 4, 6));
+  EXPECT_EQ(2.0 * a, Vec3(2, 4, 6));
+  EXPECT_EQ(-a, Vec3(-1, -2, -3));
+  EXPECT_DOUBLE_EQ(a.Dot(b), 1 * 4 + 2 * -5 + 3 * 6);
+}
+
+TEST(Vec3, CrossFollowsRightHandRule) {
+  EXPECT_EQ(Vec3(1, 0, 0).Cross({0, 1, 0}), Vec3(0, 0, 1));
+  EXPECT_EQ(Vec3(0, 1, 0).Cross({0, 0, 1}), Vec3(1, 0, 0));
+  EXPECT_EQ(Vec3(0, 0, 1).Cross({1, 0, 0}), Vec3(0, 1, 0));
+}
+
+TEST(Vec3, NormAndNormalize) {
+  EXPECT_DOUBLE_EQ(Vec3(3, 4, 0).Norm(), 5.0);
+  const Vec3 n = Vec3(3, 4, 0).Normalized();
+  EXPECT_NEAR(n.Norm(), 1.0, kEps);
+  EXPECT_EQ(Vec3{}.Normalized(), Vec3{});  // zero vector stays zero
+}
+
+TEST(Vec4, Dehomogenize) {
+  const Vec4 v{2, 4, 6, 2};
+  EXPECT_EQ(v.Dehomogenize(), Vec3(1, 2, 3));
+}
+
+TEST(Mat3, IdentityAndMultiply) {
+  const Mat3 i = Mat3::Identity();
+  const Vec3 v{1, 2, 3};
+  EXPECT_EQ(i * v, v);
+  const Mat3 r = RotationY(kPi / 2);
+  const Vec3 rotated = r * Vec3{1, 0, 0};
+  EXPECT_TRUE(AlmostEqual(rotated, {0, 0, -1}, 1e-12));
+}
+
+TEST(Mat3, TransposeOfRotationIsInverse) {
+  const Mat3 r = RotationY(0.7) * RotationX(0.3) * RotationZ(-0.4);
+  const Mat3 should_be_identity = r * r.Transposed();
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_NEAR(should_be_identity.m[i][j], i == j ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Mat4, RigidTransformPoint) {
+  const Mat4 t = Mat4::FromRigid(RotationY(kPi / 2), {1, 2, 3});
+  const Vec3 p = t.TransformPoint({1, 0, 0});
+  EXPECT_TRUE(AlmostEqual(p, {1, 2, 2}, 1e-12));
+}
+
+TEST(Mat4, RigidInverseRoundTrip) {
+  const Mat4 t = Mat4::FromRigid(RotationY(0.5) * RotationX(-0.2), {4, -1, 2});
+  const Mat4 inv = t.RigidInverse();
+  const Vec3 p{0.3, -0.7, 1.9};
+  EXPECT_TRUE(AlmostEqual(inv.TransformPoint(t.TransformPoint(p)), p, 1e-12));
+}
+
+TEST(Mat4, DirectionIgnoresTranslation) {
+  const Mat4 t = Mat4::FromRigid(Mat3::Identity(), {10, 20, 30});
+  EXPECT_TRUE(AlmostEqual(t.TransformDirection({0, 0, -1}), {0, 0, -1}, kEps));
+}
+
+TEST(Quat, IdentityRotatesNothing) {
+  const Quat q;
+  EXPECT_TRUE(AlmostEqual(q.Rotate({1, 2, 3}), {1, 2, 3}, kEps));
+}
+
+TEST(Quat, AxisAngleQuarterTurn) {
+  const Quat q = Quat::FromAxisAngle({0, 1, 0}, kPi / 2);
+  EXPECT_TRUE(AlmostEqual(q.Rotate({1, 0, 0}), {0, 0, -1}, 1e-12));
+}
+
+TEST(Quat, MatchesMatrixRotation) {
+  const Quat q = Quat::FromEuler(0.4, -0.2, 0.1);
+  const Mat3 m = q.ToMat3();
+  const Vec3 v{0.5, -1.2, 2.0};
+  EXPECT_TRUE(AlmostEqual(q.Rotate(v), m * v, 1e-12));
+}
+
+TEST(Quat, AngleToSelfIsZero) {
+  const Quat q = Quat::FromEuler(1.0, 0.3, -0.5);
+  EXPECT_NEAR(q.AngleTo(q), 0.0, 1e-6);
+}
+
+TEST(Quat, AngleToMeasuresRotationMagnitude) {
+  const Quat a;
+  const Quat b = Quat::FromAxisAngle({0, 1, 0}, 0.5);
+  EXPECT_NEAR(a.AngleTo(b), 0.5, 1e-9);
+}
+
+TEST(Quat, SlerpEndpoints) {
+  const Quat a;
+  const Quat b = Quat::FromAxisAngle({1, 0, 0}, 1.0);
+  EXPECT_NEAR(Slerp(a, b, 0.0).AngleTo(a), 0.0, 1e-9);
+  EXPECT_NEAR(Slerp(a, b, 1.0).AngleTo(b), 0.0, 1e-9);
+  // Midpoint is halfway in angle.
+  EXPECT_NEAR(Slerp(a, b, 0.5).AngleTo(a), 0.5, 1e-9);
+}
+
+TEST(Pose, EulerRoundTrip) {
+  const EulerAngles e{0.7, -0.3, 0.2};
+  const Pose p = Pose::FromEuler({1, 2, 3}, e);
+  const EulerAngles back = p.ToEuler();
+  EXPECT_NEAR(back.yaw, e.yaw, 1e-9);
+  EXPECT_NEAR(back.pitch, e.pitch, 1e-9);
+  EXPECT_NEAR(back.roll, e.roll, 1e-9);
+}
+
+TEST(Pose, LookAtFacesTarget) {
+  const Pose p = Pose::LookAt({0, 0, 5}, {0, 0, 0});
+  EXPECT_TRUE(AlmostEqual(p.Forward(), {0, 0, -1}, 1e-9));
+  EXPECT_TRUE(AlmostEqual(p.Up(), {0, 1, 0}, 1e-9));
+}
+
+TEST(Pose, LookAtArbitraryTarget) {
+  const Vec3 eye{3, 1, 4}, target{-2, 0, 1};
+  const Pose p = Pose::LookAt(eye, target);
+  const Vec3 expected_fwd = (target - eye).Normalized();
+  EXPECT_TRUE(AlmostEqual(p.Forward(), expected_fwd, 1e-9));
+  // Up stays roughly world-up.
+  EXPECT_GT(p.Up().y, 0.5);
+}
+
+TEST(Pose, WorldToLocalInvertsToMat4) {
+  const Pose p = Pose::FromEuler({1, -2, 3}, {0.5, 0.1, -0.2});
+  const Vec3 world{4, 5, 6};
+  const Vec3 local = p.WorldToLocal().TransformPoint(world);
+  EXPECT_TRUE(AlmostEqual(p.ToMat4().TransformPoint(local), world, 1e-9));
+}
+
+TEST(Plane, SignedDistance) {
+  const Plane pl = Plane::FromPointNormal({0, 1, 0}, {0, 1, 0});
+  EXPECT_NEAR(pl.SignedDistance({5, 3, -2}), 2.0, kEps);
+  EXPECT_NEAR(pl.SignedDistance({0, 0, 0}), -1.0, kEps);
+}
+
+TEST(Plane, ExpandedGrowsInside) {
+  const Plane pl = Plane::FromPointNormal({0, 0, 0}, {0, 1, 0});
+  const Plane grown = pl.Expanded(0.5);
+  // A point below the original plane by 0.3 is outside it but inside grown.
+  EXPECT_LT(pl.SignedDistance({0, -0.3, 0}), 0.0);
+  EXPECT_GT(grown.SignedDistance({0, -0.3, 0}), 0.0);
+}
+
+class FrustumTest : public ::testing::Test {
+ protected:
+  // Viewer at origin looking down -Z with 60 degree vertical FoV.
+  Pose pose_ = Pose::LookAt({0, 0, 0}, {0, 0, -1});
+  FrustumParams params_{DegToRad(60.0), 1.0, 0.1, 10.0};
+  Frustum frustum_{pose_, params_};
+};
+
+TEST_F(FrustumTest, ContainsPointStraightAhead) {
+  EXPECT_TRUE(frustum_.Contains({0, 0, -5}));
+}
+
+TEST_F(FrustumTest, RejectsBehindViewer) {
+  EXPECT_FALSE(frustum_.Contains({0, 0, 5}));
+}
+
+TEST_F(FrustumTest, RejectsBeyondFarPlane) {
+  EXPECT_FALSE(frustum_.Contains({0, 0, -11}));
+}
+
+TEST_F(FrustumTest, RejectsBeforeNearPlane) {
+  EXPECT_FALSE(frustum_.Contains({0, 0, -0.05}));
+}
+
+TEST_F(FrustumTest, SidePlanesMatchFov) {
+  // At z = -2 with 60 deg vfov and aspect 1, the half-extent is
+  // 2 * tan(30 deg) = 1.1547.
+  const double half = 2.0 * std::tan(DegToRad(30.0));
+  EXPECT_TRUE(frustum_.Contains({half - 0.01, 0, -2}));
+  EXPECT_FALSE(frustum_.Contains({half + 0.01, 0, -2}));
+  EXPECT_TRUE(frustum_.Contains({-(half - 0.01), 0, -2}));
+  EXPECT_FALSE(frustum_.Contains({-(half + 0.01), 0, -2}));
+  EXPECT_TRUE(frustum_.Contains({0, half - 0.01, -2}));
+  EXPECT_FALSE(frustum_.Contains({0, half + 0.01, -2}));
+  EXPECT_TRUE(frustum_.Contains({0, -(half - 0.01), -2}));
+  EXPECT_FALSE(frustum_.Contains({0, -(half + 0.01), -2}));
+}
+
+TEST_F(FrustumTest, ExpandedAcceptsGuardBandPoints) {
+  const double half = 2.0 * std::tan(DegToRad(30.0));
+  const Frustum grown = frustum_.Expanded(0.2);
+  EXPECT_TRUE(grown.Contains({half + 0.1, 0, -2}));
+  EXPECT_FALSE(grown.Contains({half + 0.5, 0, -2}));
+  // Far plane also grows.
+  EXPECT_TRUE(grown.Contains({0, 0, -10.1}));
+}
+
+TEST_F(FrustumTest, TransformedFrustumTracksRigidMotion) {
+  // Move the whole frustum +10 in x; containment should shift with it.
+  const Mat4 shift = Mat4::FromRigid(Mat3::Identity(), {10, 0, 0});
+  const Frustum moved = frustum_.Transformed(shift);
+  EXPECT_TRUE(moved.Contains({10, 0, -5}));
+  EXPECT_FALSE(moved.Contains({0, 0, -5}));
+}
+
+TEST_F(FrustumTest, TransformedByRotation) {
+  // Rotate 90 degrees about Y: the view direction -Z becomes -X.
+  const Mat4 rot = Mat4::FromRigid(RotationY(kPi / 2), {0, 0, 0});
+  const Frustum turned = frustum_.Transformed(rot);
+  EXPECT_TRUE(turned.Contains({-5, 0, 0}));
+  EXPECT_FALSE(turned.Contains({0, 0, -5}));
+}
+
+TEST_F(FrustumTest, SphereIntersection) {
+  EXPECT_TRUE(frustum_.IntersectsSphere({0, 0, -5}, 0.1));
+  // Sphere fully behind the viewer.
+  EXPECT_FALSE(frustum_.IntersectsSphere({0, 0, 5}, 1.0));
+  // Sphere centre outside but overlapping a side plane.
+  const double half = 2.0 * std::tan(DegToRad(30.0));
+  EXPECT_TRUE(frustum_.IntersectsSphere({half + 0.3, 0, -2}, 0.5));
+}
+
+TEST(FrustumAspect, WideAspectWidensHorizontalFov) {
+  const Pose pose = Pose::LookAt({0, 0, 0}, {0, 0, -1});
+  const Frustum wide{pose, {DegToRad(60.0), 2.0, 0.1, 10.0}};
+  const double half_v = 2.0 * std::tan(DegToRad(30.0));
+  const double half_h = half_v * 2.0;
+  EXPECT_TRUE(wide.Contains({half_h - 0.01, 0, -2}));
+  EXPECT_FALSE(wide.Contains({half_h + 0.01, 0, -2}));
+  EXPECT_FALSE(wide.Contains({0, half_v + 0.01, -2}));
+}
+
+TEST(CameraIntrinsics, ProjectUnprojectRoundTrip) {
+  const CameraIntrinsics k = CameraIntrinsics::FromFov(160, 144, DegToRad(75.0));
+  const Vec3 local = k.Unproject(40.5, 100.5, 2.5);
+  const auto projected = k.Project(local);
+  ASSERT_TRUE(projected.has_value());
+  EXPECT_NEAR(projected->x, 40.5, 1e-9);
+  EXPECT_NEAR(projected->y, 100.5, 1e-9);
+  EXPECT_NEAR(projected->z, 2.5, 1e-9);
+}
+
+TEST(CameraIntrinsics, CenterPixelLooksAlongMinusZ) {
+  const CameraIntrinsics k = CameraIntrinsics::FromFov(160, 144, DegToRad(75.0));
+  const Vec3 p = k.Unproject(k.cx, k.cy, 3.0);
+  EXPECT_TRUE(AlmostEqual(p, {0, 0, -3.0}, 1e-9));
+}
+
+TEST(CameraIntrinsics, ProjectBehindCameraFails) {
+  const CameraIntrinsics k;
+  EXPECT_FALSE(k.Project({0, 0, 1.0}).has_value());
+  EXPECT_FALSE(k.Project({0, 0, 0.0}).has_value());
+}
+
+TEST(CameraIntrinsics, ImageVGrowsDownward) {
+  const CameraIntrinsics k = CameraIntrinsics::FromFov(160, 144, DegToRad(75.0));
+  // A point above the optical axis (+y) should land at v < cy.
+  const auto proj = k.Project({0, 0.5, -2.0});
+  ASSERT_TRUE(proj.has_value());
+  EXPECT_LT(proj->y, k.cy);
+}
+
+TEST(RgbdCamera, PixelToWorldMatchesExtrinsics) {
+  RgbdCamera cam;
+  cam.intrinsics = CameraIntrinsics::FromFov(160, 144, DegToRad(75.0));
+  cam.extrinsics.pose = Pose::LookAt({0, 1, 3}, {0, 1, 0});
+  // Centre pixel at 3000 mm should land at the look-at target.
+  const Vec3 world = cam.PixelToWorld(
+      static_cast<int>(cam.intrinsics.cx), static_cast<int>(cam.intrinsics.cy),
+      3000);
+  // Half-pixel offset shifts slightly; allow a couple of centimetres.
+  EXPECT_NEAR(world.x, 0.0, 0.05);
+  EXPECT_NEAR(world.y, 1.0, 0.05);
+  EXPECT_NEAR(world.z, 0.0, 0.05);
+}
+
+TEST(CircularRig, CamerasEncircleAndFaceScene) {
+  const auto rig = MakeCircularRig(10, 2.5, 1.2, {0, 0.8, 0},
+                                   CameraIntrinsics::FromFov(160, 144, 1.3));
+  ASSERT_EQ(rig.size(), 10u);
+  for (const auto& cam : rig) {
+    const Vec3 pos = cam.extrinsics.pose.position;
+    EXPECT_NEAR(std::hypot(pos.x, pos.z), 2.5, 1e-9);
+    EXPECT_NEAR(pos.y, 1.2, 1e-9);
+    // Forward vector points toward the scene centre.
+    const Vec3 to_center = (Vec3{0, 0.8, 0} - pos).Normalized();
+    EXPECT_GT(cam.extrinsics.pose.Forward().Dot(to_center), 0.999);
+  }
+}
+
+TEST(CircularRig, DistinctPositions) {
+  const auto rig = MakeCircularRig(8, 2.0, 1.0, {0, 1, 0}, {});
+  for (std::size_t i = 0; i < rig.size(); ++i) {
+    for (std::size_t j = i + 1; j < rig.size(); ++j) {
+      EXPECT_GT(rig[i].extrinsics.pose.position.DistanceTo(
+                    rig[j].extrinsics.pose.position),
+                0.1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace livo::geom

@@ -1,0 +1,184 @@
+// Unit tests for livo::mesh — grid mesher, mesh codec, sampling, culling.
+#include <gtest/gtest.h>
+
+#include "mesh/mesh.h"
+#include "sim/dataset.h"
+#include "util/rng.h"
+
+namespace livo::mesh {
+namespace {
+
+sim::CapturedSequence& TestSequence() {
+  static sim::CapturedSequence seq = [] {
+    sim::ScaleProfile profile;
+    profile.camera_count = 4;
+    profile.camera_width = 48;
+    profile.camera_height = 40;
+    return sim::CaptureVideo("office1", profile, 1);
+  }();
+  return seq;
+}
+
+TEST(Mesher, ProducesTrianglesFromViews) {
+  const auto& seq = TestSequence();
+  const TriangleMesh mesh = MeshFromViews(seq.frames[0], seq.rig, {});
+  EXPECT_GT(mesh.triangles.size(), 200u);
+  EXPECT_GT(mesh.vertices.size(), 100u);
+  EXPECT_GT(mesh.SurfaceArea(), 0.5);
+  // All indices valid.
+  for (const Triangle& t : mesh.triangles) {
+    EXPECT_LT(t.a, mesh.vertices.size());
+    EXPECT_LT(t.b, mesh.vertices.size());
+    EXPECT_LT(t.c, mesh.vertices.size());
+  }
+}
+
+TEST(Mesher, StrideDecimatesTriangleCount) {
+  const auto& seq = TestSequence();
+  std::size_t last = SIZE_MAX;
+  for (int stride : {1, 2, 4}) {
+    MesherConfig config;
+    config.stride = stride;
+    const auto mesh = MeshFromViews(seq.frames[0], seq.rig, config);
+    EXPECT_LT(mesh.triangles.size(), last) << "stride " << stride;
+    last = mesh.triangles.size();
+  }
+}
+
+TEST(Mesher, DiscontinuityThresholdCutsSilhouettes) {
+  // A view with a foreground square floating far in front of a background
+  // plane: no triangle may bridge the two surfaces.
+  geom::RgbdCamera cam;
+  cam.intrinsics = geom::CameraIntrinsics::FromFov(32, 32, geom::DegToRad(70));
+  cam.extrinsics.pose = geom::Pose::LookAt({0, 0, 2}, {0, 0, 0});
+  image::RgbdFrame view(32, 32);
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      view.depth.at(x, y) = 3000;  // background 3 m
+    }
+  }
+  for (int y = 12; y < 20; ++y) {
+    for (int x = 12; x < 20; ++x) view.depth.at(x, y) = 1000;  // foreground
+  }
+  MesherConfig config;
+  config.stride = 1;
+  const auto mesh = MeshFromViews({view}, {cam}, config);
+  for (const Triangle& t : mesh.triangles) {
+    const double za = mesh.vertices[t.a].position.z;
+    const double zb = mesh.vertices[t.b].position.z;
+    const double zc = mesh.vertices[t.c].position.z;
+    const double spread = std::max({za, zb, zc}) - std::min({za, zb, zc});
+    EXPECT_LT(spread, 1.0) << "triangle bridges the depth discontinuity";
+  }
+}
+
+TEST(MeshCodec, RoundTripPreservesGeometryWithinCell) {
+  const auto& seq = TestSequence();
+  const TriangleMesh mesh = MeshFromViews(seq.frames[0], seq.rig, {});
+  MeshCodecConfig config;
+  config.position_bits = 11;
+  const EncodedMesh encoded = EncodeMesh(mesh, config);
+  const TriangleMesh decoded = DecodeMesh(encoded);
+  ASSERT_EQ(decoded.vertices.size(), mesh.vertices.size());
+  ASSERT_EQ(decoded.triangles.size(), mesh.triangles.size());
+  // Connectivity identical.
+  for (std::size_t i = 0; i < mesh.triangles.size(); ++i) {
+    EXPECT_EQ(decoded.triangles[i].a, mesh.triangles[i].a);
+    EXPECT_EQ(decoded.triangles[i].b, mesh.triangles[i].b);
+    EXPECT_EQ(decoded.triangles[i].c, mesh.triangles[i].c);
+  }
+  // Positions within ~one quantization cell (scene extent ~7 m / 2048).
+  for (std::size_t i = 0; i < mesh.vertices.size(); i += 17) {
+    EXPECT_LT(decoded.vertices[i].position.DistanceTo(mesh.vertices[i].position),
+              0.02);
+  }
+}
+
+TEST(MeshCodec, ColorsWithinQuantization) {
+  const auto& seq = TestSequence();
+  const TriangleMesh mesh = MeshFromViews(seq.frames[0], seq.rig, {});
+  MeshCodecConfig config;
+  config.color_bits = 6;
+  const TriangleMesh decoded = DecodeMesh(EncodeMesh(mesh, config));
+  for (std::size_t i = 0; i < mesh.vertices.size(); i += 23) {
+    EXPECT_NEAR(decoded.vertices[i].color.r, mesh.vertices[i].color.r, 4);
+    EXPECT_NEAR(decoded.vertices[i].color.g, mesh.vertices[i].color.g, 4);
+    EXPECT_NEAR(decoded.vertices[i].color.b, mesh.vertices[i].color.b, 4);
+  }
+}
+
+TEST(MeshCodec, EmptyMeshRoundTrip) {
+  const EncodedMesh encoded = EncodeMesh(TriangleMesh{}, {});
+  EXPECT_TRUE(DecodeMesh(encoded).empty());
+}
+
+TEST(MeshCodec, FewerPositionBitsSmallerGeometryStream) {
+  const auto& seq = TestSequence();
+  const TriangleMesh mesh = MeshFromViews(seq.frames[0], seq.rig, {});
+  MeshCodecConfig coarse, fine;
+  coarse.position_bits = 8;
+  fine.position_bits = 12;
+  EXPECT_LT(EncodeMesh(mesh, coarse).geometry.size(),
+            EncodeMesh(mesh, fine).geometry.size());
+}
+
+TEST(SampleMesh, ProducesRequestedCount) {
+  const auto& seq = TestSequence();
+  const TriangleMesh mesh = MeshFromViews(seq.frames[0], seq.rig, {});
+  const auto cloud = SampleMesh(mesh, 5000, 1);
+  EXPECT_EQ(cloud.size(), 5000u);
+}
+
+TEST(SampleMesh, PointsLieNearSurface) {
+  // Sample a simple double-triangle quad at z = -1 and verify samples stay
+  // in its plane and bounds.
+  TriangleMesh quad;
+  quad.vertices = {{{0, 0, -1}, {255, 0, 0}},
+                   {{1, 0, -1}, {0, 255, 0}},
+                   {{0, 1, -1}, {0, 0, 255}},
+                   {{1, 1, -1}, {255, 255, 255}}};
+  quad.triangles = {{0, 1, 2}, {1, 3, 2}};
+  const auto cloud = SampleMesh(quad, 500, 2);
+  for (const auto& p : cloud.points()) {
+    EXPECT_NEAR(p.position.z, -1.0, 1e-9);
+    EXPECT_GE(p.position.x, -1e-9);
+    EXPECT_LE(p.position.x, 1.0 + 1e-9);
+    EXPECT_GE(p.position.y, -1e-9);
+    EXPECT_LE(p.position.y, 1.0 + 1e-9);
+  }
+}
+
+TEST(SampleMesh, Deterministic) {
+  TriangleMesh quad;
+  quad.vertices = {{{0, 0, 0}, {}}, {{1, 0, 0}, {}}, {{0, 1, 0}, {}}};
+  quad.triangles = {{0, 1, 2}};
+  const auto a = SampleMesh(quad, 100, 7);
+  const auto b = SampleMesh(quad, 100, 7);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(geom::AlmostEqual(a.points()[i].position, b.points()[i].position));
+  }
+}
+
+TEST(CullMeshToFrustum, KeepsOnlyVisibleTriangles) {
+  TriangleMesh mesh;
+  // One triangle in front of the viewer, one behind.
+  mesh.vertices = {{{0, 0, -2}, {}}, {{0.1, 0, -2}, {}}, {{0, 0.1, -2}, {}},
+                   {{0, 0, 5}, {}},  {{0.1, 0, 5}, {}},  {{0, 0.1, 5}, {}}};
+  mesh.triangles = {{0, 1, 2}, {3, 4, 5}};
+  const geom::Frustum frustum(geom::Pose::LookAt({0, 0, 0}, {0, 0, -1}),
+                              geom::FrustumParams{});
+  const TriangleMesh culled = CullMeshToFrustum(mesh, frustum);
+  ASSERT_EQ(culled.triangles.size(), 1u);
+  EXPECT_EQ(culled.vertices.size(), 3u);
+  EXPECT_NEAR(culled.vertices[0].position.z, -2.0, 1e-9);
+}
+
+TEST(MeshTimeModel, MatchesMeshReduceFrameRates) {
+  // ~500k paper-scale triangles should cost ~80 ms (=> ~12 fps observed).
+  const double t = ModelMeshEncodeTimeMs(500000, 1.0);
+  EXPECT_NEAR(t, 80.0, 20.0);
+  EXPECT_GT(ModelMeshEncodeTimeMs(500000, 2.0), t);
+}
+
+}  // namespace
+}  // namespace livo::mesh

@@ -1,0 +1,156 @@
+// Unit tests for livo::pccodec — the Draco-like octree point-cloud codec.
+#include <gtest/gtest.h>
+
+#include "pccodec/octree_codec.h"
+#include "util/rng.h"
+
+namespace livo::pccodec {
+namespace {
+
+using pointcloud::Point;
+using pointcloud::PointCloud;
+
+PointCloud RandomCloud(std::size_t n, std::uint64_t seed = 1) {
+  PointCloud cloud;
+  util::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    cloud.Add({{rng.Uniform(-2, 2), rng.Uniform(0, 2), rng.Uniform(-2, 2)},
+               {static_cast<std::uint8_t>(rng.NextBelow(256)),
+                static_cast<std::uint8_t>(rng.NextBelow(256)),
+                static_cast<std::uint8_t>(rng.NextBelow(256))}});
+  }
+  return cloud;
+}
+
+TEST(OctreeCodec, EmptyCloudRoundTrip) {
+  const EncodedCloud encoded = EncodeCloud(PointCloud{}, {});
+  EXPECT_EQ(encoded.point_count, 0u);
+  EXPECT_TRUE(DecodeCloud(encoded).empty());
+}
+
+TEST(OctreeCodec, GeometryErrorBoundedByCell) {
+  const PointCloud cloud = RandomCloud(2000);
+  PcCodecConfig config;
+  config.quantization_bits = 10;
+  const EncodedCloud encoded = EncodeCloud(cloud, config);
+  const PointCloud decoded = DecodeCloud(encoded);
+  // Every original point is within one cell diagonal of some decoded point.
+  const double extent = 4.0;  // cloud spans ~4 m
+  const double cell = extent / 1024.0;
+  const pointcloud::GridIndex index(decoded, 0.05);
+  for (std::size_t i = 0; i < cloud.size(); i += 37) {
+    const int nearest = index.Nearest(cloud.points()[i].position, 0.2);
+    ASSERT_GE(nearest, 0);
+    const double d = cloud.points()[i].position.DistanceTo(
+        decoded.points()[static_cast<std::size_t>(nearest)].position);
+    EXPECT_LE(d, cell * 1.8) << "point " << i;
+  }
+}
+
+TEST(OctreeCodec, HigherQuantizationBitsLowerError) {
+  const PointCloud cloud = RandomCloud(1500, 2);
+  double last_mean_err = 1e9;
+  for (int bits : {6, 9, 12}) {
+    PcCodecConfig config;
+    config.quantization_bits = bits;
+    const PointCloud decoded = DecodeCloud(EncodeCloud(cloud, config));
+    const pointcloud::GridIndex index(decoded, 0.1);
+    double err = 0.0;
+    int n = 0;
+    for (std::size_t i = 0; i < cloud.size(); i += 13) {
+      const int nearest = index.Nearest(cloud.points()[i].position, 1.0);
+      if (nearest < 0) continue;
+      err += cloud.points()[i].position.DistanceTo(
+          decoded.points()[static_cast<std::size_t>(nearest)].position);
+      ++n;
+    }
+    err /= n;
+    EXPECT_LT(err, last_mean_err) << "bits " << bits;
+    last_mean_err = err;
+  }
+}
+
+TEST(OctreeCodec, HigherQuantizationBitsBiggerStream) {
+  const PointCloud cloud = RandomCloud(3000, 3);
+  std::size_t last = 0;
+  for (int bits : {6, 9, 12}) {
+    PcCodecConfig config;
+    config.quantization_bits = bits;
+    const std::size_t size = EncodeCloud(cloud, config).data.size();
+    EXPECT_GT(size, last);
+    last = size;
+  }
+}
+
+TEST(OctreeCodec, HigherCompressionLevelSmallerStream) {
+  const PointCloud cloud = RandomCloud(4000, 4);
+  PcCodecConfig low;
+  low.compression_level = 2;
+  PcCodecConfig high;
+  high.compression_level = 8;
+  const auto small = EncodeCloud(cloud, high);
+  const auto big = EncodeCloud(cloud, low);
+  EXPECT_LT(small.data.size(), big.data.size());
+  // Same quality either way (level is speed/size only, like Draco).
+  EXPECT_EQ(small.point_count, big.point_count);
+}
+
+TEST(OctreeCodec, DuplicatePointsCollapse) {
+  PointCloud cloud;
+  for (int i = 0; i < 100; ++i) cloud.Add({{1.0, 1.0, 1.0}, {100, 100, 100}});
+  cloud.Add({{0.0, 0.0, 0.0}, {0, 0, 0}});
+  const EncodedCloud encoded = EncodeCloud(cloud, {});
+  EXPECT_EQ(encoded.point_count, 2u);
+}
+
+TEST(OctreeCodec, ColorsSurviveWithinQuantization) {
+  PointCloud cloud;
+  util::Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    cloud.Add({{rng.Uniform(0, 1), rng.Uniform(0, 1), rng.Uniform(0, 1)},
+               {200, 40, 90}});
+  }
+  PcCodecConfig config;
+  config.color_bits = 6;  // quantization step 4
+  const PointCloud decoded = DecodeCloud(EncodeCloud(cloud, config));
+  for (const Point& p : decoded.points()) {
+    EXPECT_NEAR(p.color.r, 200, 4);
+    EXPECT_NEAR(p.color.g, 40, 4);
+    EXPECT_NEAR(p.color.b, 90, 4);
+  }
+}
+
+TEST(OctreeCodec, LevelRoundTripsBothEntropyPaths) {
+  const PointCloud cloud = RandomCloud(800, 6);
+  for (int level : {2, 8}) {  // raw bytes vs ranked Exp-Golomb
+    PcCodecConfig config;
+    config.compression_level = level;
+    const PointCloud decoded = DecodeCloud(EncodeCloud(cloud, config));
+    EXPECT_GT(decoded.size(), 700u) << "level " << level;
+  }
+}
+
+TEST(OctreeCodec, InvalidQuantizationBitsThrow) {
+  PcCodecConfig config;
+  config.quantization_bits = 0;
+  EXPECT_THROW(EncodeCloud(RandomCloud(10), config), std::invalid_argument);
+  config.quantization_bits = 17;
+  EXPECT_THROW(EncodeCloud(RandomCloud(10), config), std::invalid_argument);
+}
+
+TEST(TimeModel, LinearInPointsAndCalibrated) {
+  PcCodecConfig config;  // defaults ~ Draco defaults
+  // §1 anchors: ~66k points ~ 25 ms; ~660k points ~ 300 ms.
+  const double t_1mb = ModelEncodeTimeMs(66000, config, 1.0);
+  const double t_10mb = ModelEncodeTimeMs(660000, config, 1.0);
+  EXPECT_NEAR(t_1mb, 25.0, 12.0);
+  EXPECT_GE(t_10mb, 250.0);
+  // Monotone in level and scale.
+  PcCodecConfig fast = config;
+  fast.compression_level = 1;
+  EXPECT_LT(ModelEncodeTimeMs(66000, fast, 1.0), t_1mb);
+  EXPECT_GT(ModelEncodeTimeMs(66000, config, 2.0), t_1mb);
+}
+
+}  // namespace
+}  // namespace livo::pccodec

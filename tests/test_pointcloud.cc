@@ -1,0 +1,200 @@
+// Unit tests for livo::pointcloud — cloud operations, RGB-D
+// reconstruction, voxel downsampling, and the spatial grid index.
+#include <gtest/gtest.h>
+
+#include "geom/camera.h"
+#include "pointcloud/pointcloud.h"
+#include "util/rng.h"
+
+namespace livo::pointcloud {
+namespace {
+
+using geom::Vec3;
+
+PointCloud MakeCloud(std::initializer_list<Vec3> positions) {
+  PointCloud cloud;
+  for (const Vec3& p : positions) cloud.Add({p, {10, 20, 30}});
+  return cloud;
+}
+
+TEST(PointCloud, CentroidAndBounds) {
+  const PointCloud cloud = MakeCloud({{0, 0, 0}, {2, 4, 6}});
+  EXPECT_EQ(cloud.Centroid(), Vec3(1, 2, 3));
+  Vec3 lo, hi;
+  cloud.Bounds(lo, hi);
+  EXPECT_EQ(lo, Vec3(0, 0, 0));
+  EXPECT_EQ(hi, Vec3(2, 4, 6));
+}
+
+TEST(PointCloud, RawBytesAccounting) {
+  const PointCloud cloud = MakeCloud({{0, 0, 0}, {1, 1, 1}, {2, 2, 2}});
+  EXPECT_EQ(cloud.RawBytes(), 3u * 15u);
+}
+
+TEST(PointCloud, TransformedMovesPoints) {
+  const PointCloud cloud = MakeCloud({{1, 0, 0}});
+  const geom::Mat4 shift = geom::Mat4::FromRigid(geom::Mat3::Identity(), {0, 5, 0});
+  const PointCloud moved = cloud.Transformed(shift);
+  EXPECT_TRUE(geom::AlmostEqual(moved.points()[0].position, {1, 5, 0}));
+  EXPECT_EQ(moved.points()[0].color, cloud.points()[0].color);
+}
+
+TEST(PointCloud, CulledToFrustumKeepsInsidePoints) {
+  const geom::Pose pose = geom::Pose::LookAt({0, 0, 0}, {0, 0, -1});
+  const geom::Frustum frustum(pose, {geom::DegToRad(60.0), 1.0, 0.1, 10.0});
+  const PointCloud cloud = MakeCloud({{0, 0, -5}, {0, 0, 5}, {0, 0, -20}});
+  const PointCloud culled = cloud.CulledTo(frustum);
+  ASSERT_EQ(culled.size(), 1u);
+  EXPECT_EQ(culled.points()[0].position, Vec3(0, 0, -5));
+}
+
+class ReconstructionTest : public ::testing::Test {
+ protected:
+  ReconstructionTest() {
+    cam_.intrinsics = geom::CameraIntrinsics::FromFov(32, 24, geom::DegToRad(70));
+    cam_.extrinsics.pose = geom::Pose::LookAt({0, 1, 3}, {0, 1, 0});
+  }
+  geom::RgbdCamera cam_;
+};
+
+TEST_F(ReconstructionTest, SinglePixelRoundTrip) {
+  image::RgbdFrame view(32, 24);
+  view.depth.at(16, 12) = 2000;
+  view.color.SetPixel(16, 12, 100, 150, 200);
+  const PointCloud cloud = ReconstructFromViews({view}, {cam_});
+  ASSERT_EQ(cloud.size(), 1u);
+  const Point& p = cloud.points()[0];
+  EXPECT_EQ(p.color, (PointColor{100, 150, 200}));
+  // A centre-ish pixel at 2 m lands ~2 m in front of the camera.
+  EXPECT_NEAR(p.position.z, 1.0, 0.2);
+  EXPECT_NEAR(p.position.y, 1.0, 0.2);
+}
+
+TEST_F(ReconstructionTest, InvalidDepthSkipped) {
+  image::RgbdFrame view(32, 24);  // all depth zero
+  EXPECT_TRUE(ReconstructFromViews({view}, {cam_}).empty());
+}
+
+TEST_F(ReconstructionTest, OutOfRangeDepthSkipped) {
+  image::RgbdFrame view(32, 24);
+  view.depth.at(5, 5) = 100;     // 10 cm: below ToF min range
+  view.depth.at(6, 6) = 6500;    // 6.5 m: beyond max range
+  EXPECT_TRUE(ReconstructFromViews({view}, {cam_}).empty());
+}
+
+TEST_F(ReconstructionTest, ProjectionReconstructionConsistency) {
+  // A pixel reconstructed to the world must project back to itself.
+  image::RgbdFrame view(32, 24);
+  view.depth.at(10, 7) = 1500;
+  const PointCloud cloud = ReconstructFromViews({view}, {cam_});
+  ASSERT_EQ(cloud.size(), 1u);
+  const geom::Vec3 local = cam_.extrinsics.WorldToCamera().TransformPoint(
+      cloud.points()[0].position);
+  const auto proj = cam_.intrinsics.Project(local);
+  ASSERT_TRUE(proj.has_value());
+  EXPECT_NEAR(proj->x, 10.5, 1e-6);
+  EXPECT_NEAR(proj->y, 7.5, 1e-6);
+  EXPECT_NEAR(proj->z, 1.5, 1e-9);
+}
+
+TEST(VoxelDownsample, CollapsesPointsInOneVoxel) {
+  PointCloud cloud;
+  cloud.Add({{0.001, 0.001, 0.001}, {10, 0, 0}});
+  cloud.Add({{0.009, 0.002, 0.004}, {30, 0, 0}});
+  cloud.Add({{0.5, 0.5, 0.5}, {200, 0, 0}});  // another voxel
+  const PointCloud down = VoxelDownsample(cloud, 0.05);
+  EXPECT_EQ(down.size(), 2u);
+  // The merged voxel averages positions and colors.
+  bool found_merged = false;
+  for (const Point& p : down.points()) {
+    if (p.position.Norm() < 0.05) {
+      found_merged = true;
+      EXPECT_EQ(p.color.r, 20);
+      EXPECT_NEAR(p.position.x, 0.005, 1e-9);
+    }
+  }
+  EXPECT_TRUE(found_merged);
+}
+
+TEST(VoxelDownsample, PreservesIsolatedPoints) {
+  util::Rng rng(4);
+  PointCloud cloud;
+  for (int i = 0; i < 100; ++i) {
+    // Points at least 0.2 apart on a grid; voxel 0.05 keeps them all.
+    cloud.Add({{(i % 10) * 0.2, (i / 10) * 0.2, 0.0}, {1, 2, 3}});
+  }
+  EXPECT_EQ(VoxelDownsample(cloud, 0.05).size(), 100u);
+}
+
+TEST(VoxelDownsample, NegativeCoordinatesBucketCorrectly) {
+  PointCloud cloud;
+  cloud.Add({{-0.01, 0, 0}, {0, 0, 0}});
+  cloud.Add({{0.01, 0, 0}, {0, 0, 0}});
+  // Straddles the origin: floor() bucketing must place them in different
+  // voxels rather than merging across zero.
+  EXPECT_EQ(VoxelDownsample(cloud, 0.05).size(), 2u);
+}
+
+class GridIndexTest : public ::testing::Test {
+ protected:
+  GridIndexTest() {
+    util::Rng rng(7);
+    for (int i = 0; i < 500; ++i) {
+      cloud_.Add({{rng.Uniform(-1, 1), rng.Uniform(-1, 1), rng.Uniform(-1, 1)},
+                  {0, 0, 0}});
+    }
+  }
+
+  int BruteForceNearest(const Vec3& q) const {
+    int best = -1;
+    double best_d = 1e30;
+    for (std::size_t i = 0; i < cloud_.size(); ++i) {
+      const double d = (cloud_.points()[i].position - q).NormSq();
+      if (d < best_d) {
+        best_d = d;
+        best = static_cast<int>(i);
+      }
+    }
+    return best;
+  }
+
+  PointCloud cloud_;
+};
+
+TEST_F(GridIndexTest, NearestMatchesBruteForce) {
+  const GridIndex index(cloud_, 0.2);
+  util::Rng rng(8);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Vec3 q{rng.Uniform(-1, 1), rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+    EXPECT_EQ(index.Nearest(q, 3.0), BruteForceNearest(q)) << "trial " << trial;
+  }
+}
+
+TEST_F(GridIndexTest, KNearestSortedByDistance) {
+  const GridIndex index(cloud_, 0.2);
+  const Vec3 q{0.1, 0.1, 0.1};
+  const auto knn = index.KNearest(q, 8, 3.0);
+  ASSERT_EQ(knn.size(), 8u);
+  double last = -1.0;
+  for (int idx : knn) {
+    const double d = (cloud_.points()[static_cast<std::size_t>(idx)].position - q).Norm();
+    EXPECT_GE(d, last);
+    last = d;
+  }
+}
+
+TEST_F(GridIndexTest, RadiusBoundRespected) {
+  const GridIndex index(cloud_, 0.2);
+  const Vec3 far_away{100, 100, 100};
+  EXPECT_EQ(index.Nearest(far_away, 0.5), -1);
+  EXPECT_TRUE(index.KNearest(far_away, 5, 0.5).empty());
+}
+
+TEST(GridIndex, EmptyCloud) {
+  const PointCloud empty;
+  const GridIndex index(empty, 0.1);
+  EXPECT_EQ(index.Nearest({0, 0, 0}), -1);
+}
+
+}  // namespace
+}  // namespace livo::pointcloud

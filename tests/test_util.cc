@@ -1,0 +1,185 @@
+// Unit tests for livo::util — RNG, stats, queue, pipeline, clocks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "util/clock.h"
+#include "util/pipeline.h"
+#include "util/queue.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace livo::util {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.NextU64(), b.NextU64());
+  EXPECT_NE(a.NextU64(), c.NextU64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(2);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(3);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.Add(rng.Gaussian(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(4);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Chance(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.1380899, 1e-6);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Percentile, InterpolatesOrderStatistics) {
+  const std::vector<double> v{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 50.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 30.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25), 20.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 90), 7.0);
+}
+
+TEST(BoundedQueue, FifoOrder) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.Push(i));
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(q.Pop(), i);
+}
+
+TEST(BoundedQueue, TryPushRespectsCapacity) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));
+  q.Pop();
+  EXPECT_TRUE(q.TryPush(3));
+}
+
+TEST(BoundedQueue, CloseDrainsThenReturnsNullopt) {
+  BoundedQueue<int> q(4);
+  q.Push(1);
+  q.Push(2);
+  q.Close();
+  EXPECT_FALSE(q.Push(3));
+  EXPECT_EQ(q.Pop(), 1);
+  EXPECT_EQ(q.Pop(), 2);
+  EXPECT_EQ(q.Pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, BlockingProducerConsumer) {
+  BoundedQueue<int> q(2);
+  std::atomic<int> sum{0};
+  std::thread consumer([&] {
+    while (auto v = q.Pop()) sum += *v;
+  });
+  for (int i = 1; i <= 100; ++i) q.Push(i);
+  q.Close();
+  consumer.join();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(Pipeline, ProcessesItemsThroughStages) {
+  Pipeline<int> pipeline(4);
+  pipeline.AddStage("double", [](int v) { return std::optional<int>(v * 2); });
+  pipeline.AddStage("plus-one", [](int v) { return std::optional<int>(v + 1); });
+  pipeline.Start();
+  for (int i = 0; i < 10; ++i) pipeline.Feed(i);
+  std::vector<int> results;
+  // Collect asynchronously then stop.
+  std::thread collector([&] {
+    while (auto r = pipeline.PopResult()) results.push_back(*r);
+  });
+  pipeline.Stop();
+  collector.join();
+  ASSERT_EQ(results.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(results[static_cast<std::size_t>(i)], i * 2 + 1);
+}
+
+TEST(Pipeline, DroppedItemsAreCounted) {
+  Pipeline<int> pipeline(4);
+  pipeline.AddStage("drop-odd", [](int v) {
+    return v % 2 == 0 ? std::optional<int>(v) : std::nullopt;
+  });
+  pipeline.Start();
+  for (int i = 0; i < 10; ++i) pipeline.Feed(i);
+  std::vector<int> results;
+  std::thread collector([&] {
+    while (auto r = pipeline.PopResult()) results.push_back(*r);
+  });
+  pipeline.Stop();
+  collector.join();
+  EXPECT_EQ(results.size(), 5u);
+  EXPECT_EQ(pipeline.reports()[0].dropped, 5u);
+  EXPECT_EQ(pipeline.reports()[0].processed, 10u);
+}
+
+TEST(SimClock, AdvancesExplicitly) {
+  SimClock clock;
+  EXPECT_EQ(clock.NowMs(), 0.0);
+  clock.AdvanceMs(33.3);
+  EXPECT_DOUBLE_EQ(clock.NowMs(), 33.3);
+  clock.SetMs(1000.0);
+  EXPECT_DOUBLE_EQ(clock.NowMs(), 1000.0);
+}
+
+TEST(Ewma, ConvergesToConstant) {
+  Ewma ewma(0.25);
+  EXPECT_FALSE(ewma.initialized());
+  for (int i = 0; i < 50; ++i) ewma.Add(42.0);
+  EXPECT_TRUE(ewma.initialized());
+  EXPECT_NEAR(ewma.value(), 42.0, 1e-9);
+}
+
+TEST(Ewma, FirstSampleInitializes) {
+  Ewma ewma(0.1);
+  ewma.Add(7.0);
+  EXPECT_DOUBLE_EQ(ewma.value(), 7.0);
+  ewma.Add(17.0);
+  EXPECT_NEAR(ewma.value(), 8.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace livo::util

@@ -1,0 +1,499 @@
+// Unit tests for livo::video — DCT, bitstream, plane codec, frame codec,
+// rate control, and the 16-bit depth mode.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "image/depth_encoding.h"
+#include "image/image.h"
+#include "util/bitstream.h"
+#include "util/rng.h"
+#include "video/color_convert.h"
+#include "video/codec_types.h"
+#include "video/dct.h"
+#include "video/plane_codec.h"
+#include "video/video_codec.h"
+
+namespace livo::video {
+namespace {
+
+using image::ColorImage;
+using image::Plane16;
+
+double PlaneRmse(const Plane16& a, const Plane16& b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    const double d = double(a.data()[i]) - double(b.data()[i]);
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(a.data().size()));
+}
+
+// ---- Bitstream ----
+
+TEST(Bitstream, BitRoundTrip) {
+  util::BitWriter w;
+  w.WriteBits(0b1011001, 7);
+  w.WriteBit(1);
+  w.WriteBits(0xdeadbeef, 32);
+  const auto bytes = w.Finish();
+  util::BitReader r(bytes);
+  EXPECT_EQ(r.ReadBits(7), 0b1011001u);
+  EXPECT_EQ(r.ReadBit(), 1);
+  EXPECT_EQ(r.ReadBits(32), 0xdeadbeefu);
+}
+
+TEST(Bitstream, ExpGolombRoundTrip) {
+  util::BitWriter w;
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 63ull, 64ull, 12345ull, 1ull << 40}) {
+    w.WriteUE(v);
+  }
+  for (std::int64_t v : {0ll, 1ll, -1ll, 77ll, -1024ll, 1000000ll}) {
+    w.WriteSE(v);
+  }
+  const auto bytes = w.Finish();
+  util::BitReader r(bytes);
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 63ull, 64ull, 12345ull, 1ull << 40}) {
+    EXPECT_EQ(r.ReadUE(), v);
+  }
+  for (std::int64_t v : {0ll, 1ll, -1ll, 77ll, -1024ll, 1000000ll}) {
+    EXPECT_EQ(r.ReadSE(), v);
+  }
+}
+
+TEST(Bitstream, SmallValuesCodeShort) {
+  util::BitWriter w;
+  w.WriteUE(0);
+  EXPECT_EQ(w.BitCount(), 1u);  // UE(0) is a single bit
+}
+
+TEST(Bitstream, ReadPastEndThrows) {
+  util::BitWriter w;
+  w.WriteBits(0xff, 8);
+  const auto bytes = w.Finish();
+  util::BitReader r(bytes);
+  r.ReadBits(8);
+  EXPECT_THROW(r.ReadBit(), std::out_of_range);
+}
+
+// ---- DCT ----
+
+TEST(Dct, RoundTripIsIdentity) {
+  util::Rng rng(5);
+  Block spatial, freq, back;
+  for (auto& v : spatial) v = rng.Uniform(0, 255);
+  ForwardDct(spatial, freq);
+  InverseDct(freq, back);
+  for (int i = 0; i < kBlockPixels; ++i) EXPECT_NEAR(back[i], spatial[i], 1e-9);
+}
+
+TEST(Dct, ConstantBlockHasOnlyDc) {
+  Block spatial, freq;
+  spatial.fill(100.0);
+  ForwardDct(spatial, freq);
+  EXPECT_NEAR(freq[0], 100.0 * 8.0, 1e-9);  // orthonormal DC gain = N
+  for (int i = 1; i < kBlockPixels; ++i) EXPECT_NEAR(freq[i], 0.0, 1e-9);
+}
+
+TEST(Dct, ParsevalEnergyPreserved) {
+  util::Rng rng(6);
+  Block spatial, freq;
+  for (auto& v : spatial) v = rng.Uniform(-100, 100);
+  ForwardDct(spatial, freq);
+  double es = 0, ef = 0;
+  for (int i = 0; i < kBlockPixels; ++i) {
+    es += spatial[i] * spatial[i];
+    ef += freq[i] * freq[i];
+  }
+  EXPECT_NEAR(es, ef, 1e-6);
+}
+
+TEST(Dct, ZigzagIsAPermutation) {
+  const auto& order = ZigzagOrder();
+  std::array<bool, kBlockPixels> seen{};
+  for (int idx : order) {
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, kBlockPixels);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(idx)]);
+    seen[static_cast<std::size_t>(idx)] = true;
+  }
+  EXPECT_EQ(order[0], 0);      // starts at DC
+  EXPECT_EQ(order[1], 1);      // then first AC
+  EXPECT_EQ(order[63], 63);    // ends at highest frequency
+}
+
+TEST(QpToStep, DoublesEverySixQp) {
+  EXPECT_NEAR(QpToStep(10) / QpToStep(4), 2.0, 1e-12);
+  EXPECT_NEAR(QpToStep(4), 1.0, 1e-12);
+  EXPECT_GT(QpToStep(51), 200.0);
+}
+
+// ---- Plane codec ----
+
+Plane16 RandomPlane(int w, int h, int max_value, std::uint64_t seed) {
+  Plane16 p(w, h);
+  util::Rng rng(seed);
+  // Smooth-ish content (random low-frequency blobs) so the codec has
+  // realistic structure to exploit.
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const double v = (std::sin(x * 0.07 + double(seed)) + std::cos(y * 0.05)) *
+                           max_value / 6.0 +
+                       max_value / 2.0 + rng.Gaussian(0, max_value / 100.0);
+      p.at(x, y) = static_cast<std::uint16_t>(
+          std::clamp<long>(std::lround(v), 0, max_value));
+    }
+  }
+  return p;
+}
+
+CodecConfig SmallColorConfig() {
+  CodecConfig c;
+  c.width = 64;
+  c.height = 48;
+  c.kind = PlaneKind::kColor8;
+  return c;
+}
+
+TEST(PlaneCodec, IntraEncoderReconstructionMatchesDecoder) {
+  const CodecConfig config = SmallColorConfig();
+  const Plane16 src = RandomPlane(64, 48, 255, 1);
+  const auto out = EncodePlane(config, src, nullptr, 12);
+  const Plane16 decoded = DecodePlane(config, out.bits, nullptr, 12);
+  EXPECT_EQ(decoded, out.reconstruction);
+}
+
+TEST(PlaneCodec, InterEncoderReconstructionMatchesDecoder) {
+  const CodecConfig config = SmallColorConfig();
+  const Plane16 frame0 = RandomPlane(64, 48, 255, 1);
+  const auto intra = EncodePlane(config, frame0, nullptr, 12);
+  Plane16 frame1 = frame0;
+  for (int y = 8; y < 24; ++y)
+    for (int x = 8; x < 24; ++x) frame1.at(x, y) = 200;  // moving patch
+  const auto inter = EncodePlane(config, frame1, &intra.reconstruction, 12);
+  const Plane16 ref = DecodePlane(config, intra.bits, nullptr, 12);
+  const Plane16 decoded = DecodePlane(config, inter.bits, &ref, 12);
+  EXPECT_EQ(decoded, inter.reconstruction);
+}
+
+TEST(PlaneCodec, LowQpIsNearLossless) {
+  const CodecConfig config = SmallColorConfig();
+  const Plane16 src = RandomPlane(64, 48, 255, 2);
+  const auto out = EncodePlane(config, src, nullptr, 2);
+  EXPECT_LT(PlaneRmse(src, out.reconstruction), 1.0);
+}
+
+TEST(PlaneCodec, DistortionIncreasesWithQp) {
+  const CodecConfig config = SmallColorConfig();
+  const Plane16 src = RandomPlane(64, 48, 255, 3);
+  double last_rmse = -1.0;
+  for (int qp : {4, 16, 28, 40}) {
+    const auto out = EncodePlane(config, src, nullptr, qp);
+    const double rmse = PlaneRmse(src, out.reconstruction);
+    EXPECT_GT(rmse, last_rmse);
+    last_rmse = rmse;
+  }
+}
+
+TEST(PlaneCodec, SizeDecreasesWithQp) {
+  const CodecConfig config = SmallColorConfig();
+  const Plane16 src = RandomPlane(64, 48, 255, 4);
+  std::size_t last_size = SIZE_MAX;
+  for (int qp : {4, 16, 28, 40}) {
+    const auto out = EncodePlane(config, src, nullptr, qp);
+    EXPECT_LT(out.bits.size(), last_size);
+    last_size = out.bits.size();
+  }
+}
+
+TEST(PlaneCodec, StaticSceneCompressesToAlmostNothingInter) {
+  const CodecConfig config = SmallColorConfig();
+  const Plane16 src = RandomPlane(64, 48, 255, 5);
+  const auto intra = EncodePlane(config, src, nullptr, 16);
+  // Re-encoding the reconstruction yields exactly-zero residuals, so every
+  // block SKIPs and the P-frame is tiny vs the I-frame.
+  const auto inter =
+      EncodePlane(config, intra.reconstruction, &intra.reconstruction, 16);
+  EXPECT_LT(inter.bits.size() * 20, intra.bits.size());
+}
+
+TEST(PlaneCodec, MotionCompensationBeatsZeroMotion) {
+  // A translating texture should cost fewer bits with motion search on.
+  CodecConfig with_mv = SmallColorConfig();
+  with_mv.motion_search = true;
+  CodecConfig without_mv = with_mv;
+  without_mv.motion_search = false;
+
+  const Plane16 frame0 = RandomPlane(64, 48, 255, 6);
+  Plane16 frame1(64, 48);
+  for (int y = 0; y < 48; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      frame1.at(x, y) = frame0.at(std::max(0, x - 2), y);  // shift right 2px
+    }
+  }
+  const auto ref = EncodePlane(with_mv, frame0, nullptr, 12);
+  const auto mv = EncodePlane(with_mv, frame1, &ref.reconstruction, 12);
+  const auto no_mv = EncodePlane(without_mv, frame1, &ref.reconstruction, 12);
+  EXPECT_LT(mv.bits.size(), no_mv.bits.size());
+}
+
+TEST(PlaneCodec, Depth16BitModeRoundTrip) {
+  CodecConfig config;
+  config.width = 64;
+  config.height = 48;
+  config.kind = PlaneKind::kDepth16;
+  const Plane16 src = RandomPlane(64, 48, 65535, 7);
+  const auto out = EncodePlane(config, src, nullptr, 8);
+  const Plane16 decoded = DecodePlane(config, out.bits, nullptr, 8);
+  EXPECT_EQ(decoded, out.reconstruction);
+  // Relative error small against the 16-bit range.
+  EXPECT_LT(PlaneRmse(src, out.reconstruction), 65535.0 * 0.002);
+}
+
+TEST(PlaneCodec, NonBlockAlignedThrows) {
+  CodecConfig config = SmallColorConfig();
+  const Plane16 src(60, 48);
+  EXPECT_THROW(EncodePlane(config, src, nullptr, 10), std::invalid_argument);
+}
+
+TEST(PlaneCodec, CorruptStreamThrows) {
+  const CodecConfig config = SmallColorConfig();
+  const Plane16 src = RandomPlane(64, 48, 255, 8);
+  auto out = EncodePlane(config, src, nullptr, 10);
+  out.bits.resize(out.bits.size() / 4);  // truncate
+  EXPECT_THROW(DecodePlane(config, out.bits, nullptr, 10), std::exception);
+}
+
+// ---- Color conversion ----
+
+TEST(ColorConvert, RoundTripWithinRounding) {
+  ColorImage rgb(16, 16);
+  util::Rng rng(9);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      rgb.SetPixel(x, y, static_cast<std::uint8_t>(rng.NextBelow(256)),
+                   static_cast<std::uint8_t>(rng.NextBelow(256)),
+                   static_cast<std::uint8_t>(rng.NextBelow(256)));
+    }
+  }
+  const auto planes = RgbToYcbcr(rgb);
+  const ColorImage back = YcbcrToRgb(planes);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      EXPECT_NEAR(back.r.at(x, y), rgb.r.at(x, y), 2);
+      EXPECT_NEAR(back.g.at(x, y), rgb.g.at(x, y), 2);
+      EXPECT_NEAR(back.b.at(x, y), rgb.b.at(x, y), 2);
+    }
+  }
+}
+
+TEST(ColorConvert, GrayIsPureLuma) {
+  ColorImage rgb(8, 8);
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x) rgb.SetPixel(x, y, 77, 77, 77);
+  const auto planes = RgbToYcbcr(rgb);
+  EXPECT_EQ(planes[0].at(0, 0), 77);
+  EXPECT_EQ(planes[1].at(0, 0), 128);
+  EXPECT_EQ(planes[2].at(0, 0), 128);
+}
+
+// ---- Frame codec + rate control ----
+
+std::vector<Plane16> RandomColorPlanes(int w, int h, std::uint64_t seed) {
+  return {RandomPlane(w, h, 255, seed), RandomPlane(w, h, 255, seed + 100),
+          RandomPlane(w, h, 255, seed + 200)};
+}
+
+TEST(VideoCodec, SerializeDeserializeFrame) {
+  EncodedFrame frame;
+  frame.frame_index = 42;
+  frame.keyframe = true;
+  frame.qp = 17;
+  frame.planes.push_back({{1, 2, 3, 4, 5}});
+  frame.planes.push_back({{9, 8}});
+  const auto bytes = SerializeFrame(frame);
+  const EncodedFrame back = DeserializeFrame(bytes);
+  EXPECT_EQ(back.frame_index, 42u);
+  EXPECT_TRUE(back.keyframe);
+  EXPECT_EQ(back.qp, 17);
+  ASSERT_EQ(back.planes.size(), 2u);
+  EXPECT_EQ(back.planes[0].bits, frame.planes[0].bits);
+  EXPECT_EQ(back.planes[1].bits, frame.planes[1].bits);
+}
+
+TEST(VideoCodec, DeserializeTruncatedThrows) {
+  EncodedFrame frame;
+  frame.planes.push_back({{1, 2, 3}});
+  auto bytes = SerializeFrame(frame);
+  bytes.resize(bytes.size() - 2);
+  EXPECT_THROW(DeserializeFrame(bytes), std::runtime_error);
+}
+
+TEST(VideoCodec, EncoderDecoderSequenceRoundTrip) {
+  CodecConfig config = SmallColorConfig();
+  VideoEncoder encoder(config, 3);
+  VideoDecoder decoder(config, 3);
+  util::Rng rng(33);
+  auto planes = RandomColorPlanes(64, 48, 12);
+  for (int f = 0; f < 5; ++f) {
+    // Drift the content a little each frame.
+    for (auto& p : planes) {
+      for (auto& v : p.data()) {
+        v = static_cast<std::uint16_t>(
+            std::clamp<int>(int(v) + rng.UniformInt(-2, 2), 0, 255));
+      }
+    }
+    const EncodeResult result = encoder.EncodeAtQp(planes, 10);
+    EXPECT_EQ(result.frame.keyframe, f == 0);
+    const auto decoded = decoder.Decode(result.frame);
+    ASSERT_EQ(decoded.size(), 3u);
+    for (int p = 0; p < 3; ++p) {
+      EXPECT_EQ(decoded[static_cast<std::size_t>(p)],
+                result.reconstruction[static_cast<std::size_t>(p)])
+          << "frame " << f << " plane " << p;
+    }
+  }
+}
+
+TEST(VideoCodec, GopInsertsPeriodicKeyframes) {
+  CodecConfig config = SmallColorConfig();
+  config.gop_length = 3;
+  VideoEncoder encoder(config, 1);
+  const std::vector<Plane16> planes{RandomPlane(64, 48, 255, 20)};
+  for (int f = 0; f < 7; ++f) {
+    const EncodeResult r = encoder.EncodeAtQp(planes, 10);
+    EXPECT_EQ(r.frame.keyframe, f % 3 == 0) << "frame " << f;
+  }
+}
+
+TEST(VideoCodec, RequestKeyframeForcesIntra) {
+  CodecConfig config = SmallColorConfig();
+  config.gop_length = 1000;
+  VideoEncoder encoder(config, 1);
+  const std::vector<Plane16> planes{RandomPlane(64, 48, 255, 21)};
+  encoder.EncodeAtQp(planes, 10);
+  auto p = encoder.EncodeAtQp(planes, 10);
+  EXPECT_FALSE(p.frame.keyframe);
+  encoder.RequestKeyframe();
+  auto k = encoder.EncodeAtQp(planes, 10);
+  EXPECT_TRUE(k.frame.keyframe);
+}
+
+TEST(VideoCodec, RateControlHitsTarget) {
+  CodecConfig config = SmallColorConfig();
+  VideoEncoder encoder(config, 3);
+  const auto planes = RandomColorPlanes(64, 48, 30);
+  // First probe the unconstrained size at a mid QP to pick a feasible target.
+  RateControlStats stats;
+  const EncodeResult r = encoder.EncodeToTarget(planes, 3000, &stats);
+  EXPECT_LE(r.frame.SizeBytes(), 3000u);
+  EXPECT_EQ(stats.actual_bytes, r.frame.SizeBytes());
+  EXPECT_GE(stats.trials, 1);
+}
+
+TEST(VideoCodec, RateControlUsesBudget) {
+  // Given a generous budget the encoder should not massively undershoot
+  // (that is MeshReduce's indirect-adaptation pathology, Table 1).
+  CodecConfig config = SmallColorConfig();
+  VideoEncoder big(config, 3);
+  VideoEncoder small(config, 3);
+  const auto planes = RandomColorPlanes(64, 48, 31);
+  const auto r_big = big.EncodeToTarget(planes, 6000);
+  const auto r_small = small.EncodeToTarget(planes, 1200);
+  EXPECT_LE(r_small.frame.SizeBytes(), 1200u);
+  EXPECT_GT(r_big.frame.SizeBytes(), r_small.frame.SizeBytes());
+  // Higher budget => lower QP => better quality.
+  EXPECT_LT(r_big.frame.qp, r_small.frame.qp);
+}
+
+TEST(VideoCodec, RateControlWarmStartConvergesFast) {
+  CodecConfig config = SmallColorConfig();
+  VideoEncoder encoder(config, 3);
+  auto planes = RandomColorPlanes(64, 48, 32);
+  util::Rng rng(77);
+  const auto drift = [&] {
+    for (auto& p : planes) {
+      for (auto& v : p.data()) {
+        v = static_cast<std::uint16_t>(
+            std::clamp<int>(int(v) + rng.UniformInt(-3, 3), 0, 255));
+      }
+    }
+  };
+  RateControlStats stats;
+  encoder.EncodeToTarget(planes, 1800, &stats);
+  // Steady state: stable scene complexity and target => the warm-started
+  // search should settle within a few trials (2 in the ideal case: confirm
+  // last QP fits and QP-1 does not).
+  for (int i = 0; i < 4; ++i) {
+    drift();
+    encoder.EncodeToTarget(planes, 1800, &stats);
+  }
+  EXPECT_LE(stats.trials, 3);
+}
+
+TEST(VideoCodec, ImpossibleTargetReturnsOvershoot) {
+  CodecConfig config = SmallColorConfig();
+  VideoEncoder encoder(config, 3);
+  const auto planes = RandomColorPlanes(64, 48, 33);
+  RateControlStats stats;
+  const auto r = encoder.EncodeToTarget(planes, 10, &stats);  // absurd target
+  EXPECT_GT(r.frame.SizeBytes(), 10u);  // overshoot reported honestly
+  EXPECT_EQ(r.frame.qp, config.qp_max);
+}
+
+TEST(VideoCodec, DecoderRejectsPFrameBeforeKeyframe) {
+  CodecConfig config = SmallColorConfig();
+  VideoEncoder encoder(config, 1);
+  VideoDecoder decoder(config, 1);
+  const std::vector<Plane16> planes{RandomPlane(64, 48, 255, 40)};
+  encoder.EncodeAtQp(planes, 10);                 // keyframe, not delivered
+  const auto p = encoder.EncodeAtQp(planes, 10);  // P-frame
+  EXPECT_THROW(decoder.Decode(p.frame), std::runtime_error);
+}
+
+TEST(VideoCodec, CanDecodeCleanlyDetectsGaps) {
+  CodecConfig config = SmallColorConfig();
+  VideoEncoder encoder(config, 1);
+  VideoDecoder decoder(config, 1);
+  const std::vector<Plane16> planes{RandomPlane(64, 48, 255, 41)};
+  const auto k = encoder.EncodeAtQp(planes, 10);
+  decoder.Decode(k.frame);
+  const auto p1 = encoder.EncodeAtQp(planes, 10);
+  const auto p2 = encoder.EncodeAtQp(planes, 10);
+  EXPECT_TRUE(decoder.CanDecodeCleanly(p1.frame));
+  EXPECT_FALSE(decoder.CanDecodeCleanly(p2.frame));  // p1 missing
+}
+
+// ---- Depth coding quality property (paper Fig 17 rationale) ----
+
+TEST(DepthCoding, ScaledDepthBeatsUnscaledAtSameQp) {
+  // Scaled depth uses the full 16-bit range, so for the same quantization
+  // step the effective millimetre error is ~11x smaller.
+  CodecConfig config;
+  config.width = 64;
+  config.height = 48;
+  config.kind = PlaneKind::kDepth16;
+
+  // Smooth depth ramp 1000..4000 mm with gentle texture.
+  Plane16 depth_mm(64, 48);
+  for (int y = 0; y < 48; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      depth_mm.at(x, y) = static_cast<std::uint16_t>(
+          1000 + x * 40 + static_cast<int>(200 * std::sin(y * 0.3)));
+    }
+  }
+  const image::DepthScaler scaler{6000};
+  const Plane16 scaled = image::ScaleDepth(depth_mm, scaler);
+
+  const int qp = 40;
+  const auto out_unscaled = EncodePlane(config, depth_mm, nullptr, qp);
+  const auto out_scaled = EncodePlane(config, scaled, nullptr, qp);
+  const Plane16 recovered = image::UnscaleDepth(out_scaled.reconstruction, scaler);
+
+  const double rmse_unscaled = PlaneRmse(depth_mm, out_unscaled.reconstruction);
+  const double rmse_scaled = PlaneRmse(depth_mm, recovered);
+  EXPECT_LT(rmse_scaled, rmse_unscaled);
+}
+
+}  // namespace
+}  // namespace livo::video
