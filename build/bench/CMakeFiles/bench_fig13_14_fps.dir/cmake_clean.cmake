@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_14_fps.dir/bench_fig13_14_fps.cc.o"
+  "CMakeFiles/bench_fig13_14_fps.dir/bench_fig13_14_fps.cc.o.d"
+  "bench_fig13_14_fps"
+  "bench_fig13_14_fps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_14_fps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_guardband.dir/bench_fig15_guardband.cc.o"
+  "CMakeFiles/bench_fig15_guardband.dir/bench_fig15_guardband.cc.o.d"
+  "bench_fig15_guardband"
+  "bench_fig15_guardband.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_guardband.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

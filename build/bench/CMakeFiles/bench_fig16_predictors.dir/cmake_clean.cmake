@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_predictors.dir/bench_fig16_predictors.cc.o"
+  "CMakeFiles/bench_fig16_predictors.dir/bench_fig16_predictors.cc.o.d"
+  "bench_fig16_predictors"
+  "bench_fig16_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

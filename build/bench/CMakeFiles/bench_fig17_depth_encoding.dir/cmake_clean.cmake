@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_depth_encoding.dir/bench_fig17_depth_encoding.cc.o"
+  "CMakeFiles/bench_fig17_depth_encoding.dir/bench_fig17_depth_encoding.cc.o.d"
+  "bench_fig17_depth_encoding"
+  "bench_fig17_depth_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_depth_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig18_19_static_split.cc" "bench/CMakeFiles/bench_fig18_19_static_split.dir/bench_fig18_19_static_split.cc.o" "gcc" "bench/CMakeFiles/bench_fig18_19_static_split.dir/bench_fig18_19_static_split.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/livo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/livo_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/pccodec/CMakeFiles/livo_pccodec.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/livo_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/livo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/livo_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/livo_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/pointcloud/CMakeFiles/livo_pointcloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/livo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/livo_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/livo_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_21_noadapt.dir/bench_fig20_21_noadapt.cc.o"
+  "CMakeFiles/bench_fig20_21_noadapt.dir/bench_fig20_21_noadapt.cc.o.d"
+  "bench_fig20_21_noadapt"
+  "bench_fig20_21_noadapt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_21_noadapt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_mos.dir/bench_fig5_mos.cc.o"
+  "CMakeFiles/bench_fig5_mos.dir/bench_fig5_mos.cc.o.d"
+  "bench_fig5_mos"
+  "bench_fig5_mos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_mos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_mos_videos.dir/bench_fig6_mos_videos.cc.o"
+  "CMakeFiles/bench_fig6_mos_videos.dir/bench_fig6_mos_videos.cc.o.d"
+  "bench_fig6_mos_videos"
+  "bench_fig6_mos_videos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_mos_videos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_10_pssim.dir/bench_fig9_10_pssim.cc.o"
+  "CMakeFiles/bench_fig9_10_pssim.dir/bench_fig9_10_pssim.cc.o.d"
+  "bench_fig9_10_pssim"
+  "bench_fig9_10_pssim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_10_pssim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figA2_rate_sensitivity.dir/bench_figA2_rate_sensitivity.cc.o"
+  "CMakeFiles/bench_figA2_rate_sensitivity.dir/bench_figA2_rate_sensitivity.cc.o.d"
+  "bench_figA2_rate_sensitivity"
+  "bench_figA2_rate_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figA2_rate_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_feedback.dir/bench_table5_feedback.cc.o"
+  "CMakeFiles/bench_table5_feedback.dir/bench_table5_feedback.cc.o.d"
+  "bench_table5_feedback"
+  "bench_table5_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_split_demo.dir/adaptive_split_demo.cpp.o"
+  "CMakeFiles/adaptive_split_demo.dir/adaptive_split_demo.cpp.o.d"
+  "adaptive_split_demo"
+  "adaptive_split_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_split_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

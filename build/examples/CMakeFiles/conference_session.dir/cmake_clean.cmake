@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conference_session.dir/conference_session.cpp.o"
+  "CMakeFiles/conference_session.dir/conference_session.cpp.o.d"
+  "conference_session"
+  "conference_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conference_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/culling_demo.dir/culling_demo.cpp.o"
+  "CMakeFiles/culling_demo.dir/culling_demo.cpp.o.d"
+  "culling_demo"
+  "culling_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/culling_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("geom")
+subdirs("image")
+subdirs("video")
+subdirs("pointcloud")
+subdirs("pccodec")
+subdirs("mesh")
+subdirs("net")
+subdirs("predict")
+subdirs("metrics")
+subdirs("sim")
+subdirs("core")

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/culling.cc" "src/core/CMakeFiles/livo_core.dir/culling.cc.o" "gcc" "src/core/CMakeFiles/livo_core.dir/culling.cc.o.d"
+  "/root/repo/src/core/draco_oracle.cc" "src/core/CMakeFiles/livo_core.dir/draco_oracle.cc.o" "gcc" "src/core/CMakeFiles/livo_core.dir/draco_oracle.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/livo_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/livo_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/meshreduce.cc" "src/core/CMakeFiles/livo_core.dir/meshreduce.cc.o" "gcc" "src/core/CMakeFiles/livo_core.dir/meshreduce.cc.o.d"
+  "/root/repo/src/core/receiver.cc" "src/core/CMakeFiles/livo_core.dir/receiver.cc.o" "gcc" "src/core/CMakeFiles/livo_core.dir/receiver.cc.o.d"
+  "/root/repo/src/core/sender.cc" "src/core/CMakeFiles/livo_core.dir/sender.cc.o" "gcc" "src/core/CMakeFiles/livo_core.dir/sender.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/core/CMakeFiles/livo_core.dir/session.cc.o" "gcc" "src/core/CMakeFiles/livo_core.dir/session.cc.o.d"
+  "/root/repo/src/core/split.cc" "src/core/CMakeFiles/livo_core.dir/split.cc.o" "gcc" "src/core/CMakeFiles/livo_core.dir/split.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/livo_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/livo_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/livo_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/pointcloud/CMakeFiles/livo_pointcloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/pccodec/CMakeFiles/livo_pccodec.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/livo_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/livo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/livo_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/livo_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/livo_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/livo_core.dir/culling.cc.o"
+  "CMakeFiles/livo_core.dir/culling.cc.o.d"
+  "CMakeFiles/livo_core.dir/draco_oracle.cc.o"
+  "CMakeFiles/livo_core.dir/draco_oracle.cc.o.d"
+  "CMakeFiles/livo_core.dir/experiment.cc.o"
+  "CMakeFiles/livo_core.dir/experiment.cc.o.d"
+  "CMakeFiles/livo_core.dir/meshreduce.cc.o"
+  "CMakeFiles/livo_core.dir/meshreduce.cc.o.d"
+  "CMakeFiles/livo_core.dir/receiver.cc.o"
+  "CMakeFiles/livo_core.dir/receiver.cc.o.d"
+  "CMakeFiles/livo_core.dir/sender.cc.o"
+  "CMakeFiles/livo_core.dir/sender.cc.o.d"
+  "CMakeFiles/livo_core.dir/session.cc.o"
+  "CMakeFiles/livo_core.dir/session.cc.o.d"
+  "CMakeFiles/livo_core.dir/split.cc.o"
+  "CMakeFiles/livo_core.dir/split.cc.o.d"
+  "liblivo_core.a"
+  "liblivo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/livo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/livo_geom.dir/camera.cc.o"
+  "CMakeFiles/livo_geom.dir/camera.cc.o.d"
+  "CMakeFiles/livo_geom.dir/frustum.cc.o"
+  "CMakeFiles/livo_geom.dir/frustum.cc.o.d"
+  "liblivo_geom.a"
+  "liblivo_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/livo_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/image/depth_encoding.cc" "src/image/CMakeFiles/livo_image.dir/depth_encoding.cc.o" "gcc" "src/image/CMakeFiles/livo_image.dir/depth_encoding.cc.o.d"
+  "/root/repo/src/image/marker.cc" "src/image/CMakeFiles/livo_image.dir/marker.cc.o" "gcc" "src/image/CMakeFiles/livo_image.dir/marker.cc.o.d"
+  "/root/repo/src/image/tiling.cc" "src/image/CMakeFiles/livo_image.dir/tiling.cc.o" "gcc" "src/image/CMakeFiles/livo_image.dir/tiling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/livo_image.dir/depth_encoding.cc.o"
+  "CMakeFiles/livo_image.dir/depth_encoding.cc.o.d"
+  "CMakeFiles/livo_image.dir/marker.cc.o"
+  "CMakeFiles/livo_image.dir/marker.cc.o.d"
+  "CMakeFiles/livo_image.dir/tiling.cc.o"
+  "CMakeFiles/livo_image.dir/tiling.cc.o.d"
+  "liblivo_image.a"
+  "liblivo_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/livo_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/livo_mesh.dir/mesh.cc.o"
+  "CMakeFiles/livo_mesh.dir/mesh.cc.o.d"
+  "liblivo_mesh.a"
+  "liblivo_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/livo_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

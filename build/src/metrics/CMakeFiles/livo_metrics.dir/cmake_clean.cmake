@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/livo_metrics.dir/image_metrics.cc.o"
+  "CMakeFiles/livo_metrics.dir/image_metrics.cc.o.d"
+  "CMakeFiles/livo_metrics.dir/mos.cc.o"
+  "CMakeFiles/livo_metrics.dir/mos.cc.o.d"
+  "CMakeFiles/livo_metrics.dir/pointssim.cc.o"
+  "CMakeFiles/livo_metrics.dir/pointssim.cc.o.d"
+  "liblivo_metrics.a"
+  "liblivo_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/livo_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

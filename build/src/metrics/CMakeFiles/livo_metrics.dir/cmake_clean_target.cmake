@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblivo_metrics.a"
+)

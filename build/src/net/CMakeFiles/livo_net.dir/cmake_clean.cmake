@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/livo_net.dir/gcc.cc.o"
+  "CMakeFiles/livo_net.dir/gcc.cc.o.d"
+  "CMakeFiles/livo_net.dir/link.cc.o"
+  "CMakeFiles/livo_net.dir/link.cc.o.d"
+  "CMakeFiles/livo_net.dir/transport.cc.o"
+  "CMakeFiles/livo_net.dir/transport.cc.o.d"
+  "liblivo_net.a"
+  "liblivo_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/livo_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

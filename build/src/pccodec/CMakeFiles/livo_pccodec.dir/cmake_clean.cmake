@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/livo_pccodec.dir/octree_codec.cc.o"
+  "CMakeFiles/livo_pccodec.dir/octree_codec.cc.o.d"
+  "liblivo_pccodec.a"
+  "liblivo_pccodec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/livo_pccodec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

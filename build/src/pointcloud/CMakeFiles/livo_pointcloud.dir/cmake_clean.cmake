@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/livo_pointcloud.dir/pointcloud.cc.o"
+  "CMakeFiles/livo_pointcloud.dir/pointcloud.cc.o.d"
+  "liblivo_pointcloud.a"
+  "liblivo_pointcloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/livo_pointcloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predict/kalman.cc" "src/predict/CMakeFiles/livo_predict.dir/kalman.cc.o" "gcc" "src/predict/CMakeFiles/livo_predict.dir/kalman.cc.o.d"
+  "/root/repo/src/predict/mlp.cc" "src/predict/CMakeFiles/livo_predict.dir/mlp.cc.o" "gcc" "src/predict/CMakeFiles/livo_predict.dir/mlp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/livo_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/livo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/livo_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

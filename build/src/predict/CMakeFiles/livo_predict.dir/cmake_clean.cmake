@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/livo_predict.dir/kalman.cc.o"
+  "CMakeFiles/livo_predict.dir/kalman.cc.o.d"
+  "CMakeFiles/livo_predict.dir/mlp.cc.o"
+  "CMakeFiles/livo_predict.dir/mlp.cc.o.d"
+  "liblivo_predict.a"
+  "liblivo_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/livo_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

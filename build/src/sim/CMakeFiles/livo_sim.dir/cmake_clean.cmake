@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/livo_sim.dir/dataset.cc.o"
+  "CMakeFiles/livo_sim.dir/dataset.cc.o.d"
+  "CMakeFiles/livo_sim.dir/nettrace.cc.o"
+  "CMakeFiles/livo_sim.dir/nettrace.cc.o.d"
+  "CMakeFiles/livo_sim.dir/scene.cc.o"
+  "CMakeFiles/livo_sim.dir/scene.cc.o.d"
+  "CMakeFiles/livo_sim.dir/usertrace.cc.o"
+  "CMakeFiles/livo_sim.dir/usertrace.cc.o.d"
+  "liblivo_sim.a"
+  "liblivo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/livo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

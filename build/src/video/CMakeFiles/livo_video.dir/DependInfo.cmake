@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/video/color_convert.cc" "src/video/CMakeFiles/livo_video.dir/color_convert.cc.o" "gcc" "src/video/CMakeFiles/livo_video.dir/color_convert.cc.o.d"
+  "/root/repo/src/video/dct.cc" "src/video/CMakeFiles/livo_video.dir/dct.cc.o" "gcc" "src/video/CMakeFiles/livo_video.dir/dct.cc.o.d"
+  "/root/repo/src/video/plane_codec.cc" "src/video/CMakeFiles/livo_video.dir/plane_codec.cc.o" "gcc" "src/video/CMakeFiles/livo_video.dir/plane_codec.cc.o.d"
+  "/root/repo/src/video/video_codec.cc" "src/video/CMakeFiles/livo_video.dir/video_codec.cc.o" "gcc" "src/video/CMakeFiles/livo_video.dir/video_codec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/image/CMakeFiles/livo_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/livo_video.dir/color_convert.cc.o"
+  "CMakeFiles/livo_video.dir/color_convert.cc.o.d"
+  "CMakeFiles/livo_video.dir/dct.cc.o"
+  "CMakeFiles/livo_video.dir/dct.cc.o.d"
+  "CMakeFiles/livo_video.dir/plane_codec.cc.o"
+  "CMakeFiles/livo_video.dir/plane_codec.cc.o.d"
+  "CMakeFiles/livo_video.dir/video_codec.cc.o"
+  "CMakeFiles/livo_video.dir/video_codec.cc.o.d"
+  "liblivo_video.a"
+  "liblivo_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/livo_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

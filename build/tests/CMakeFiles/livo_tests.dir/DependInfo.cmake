@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/livo_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/livo_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_geom.cc" "tests/CMakeFiles/livo_tests.dir/test_geom.cc.o" "gcc" "tests/CMakeFiles/livo_tests.dir/test_geom.cc.o.d"
+  "/root/repo/tests/test_image.cc" "tests/CMakeFiles/livo_tests.dir/test_image.cc.o" "gcc" "tests/CMakeFiles/livo_tests.dir/test_image.cc.o.d"
+  "/root/repo/tests/test_mesh.cc" "tests/CMakeFiles/livo_tests.dir/test_mesh.cc.o" "gcc" "tests/CMakeFiles/livo_tests.dir/test_mesh.cc.o.d"
+  "/root/repo/tests/test_metrics.cc" "tests/CMakeFiles/livo_tests.dir/test_metrics.cc.o" "gcc" "tests/CMakeFiles/livo_tests.dir/test_metrics.cc.o.d"
+  "/root/repo/tests/test_net.cc" "tests/CMakeFiles/livo_tests.dir/test_net.cc.o" "gcc" "tests/CMakeFiles/livo_tests.dir/test_net.cc.o.d"
+  "/root/repo/tests/test_pccodec.cc" "tests/CMakeFiles/livo_tests.dir/test_pccodec.cc.o" "gcc" "tests/CMakeFiles/livo_tests.dir/test_pccodec.cc.o.d"
+  "/root/repo/tests/test_pointcloud.cc" "tests/CMakeFiles/livo_tests.dir/test_pointcloud.cc.o" "gcc" "tests/CMakeFiles/livo_tests.dir/test_pointcloud.cc.o.d"
+  "/root/repo/tests/test_predict.cc" "tests/CMakeFiles/livo_tests.dir/test_predict.cc.o" "gcc" "tests/CMakeFiles/livo_tests.dir/test_predict.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/livo_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/livo_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_util.cc" "tests/CMakeFiles/livo_tests.dir/test_util.cc.o" "gcc" "tests/CMakeFiles/livo_tests.dir/test_util.cc.o.d"
+  "/root/repo/tests/test_video.cc" "tests/CMakeFiles/livo_tests.dir/test_video.cc.o" "gcc" "tests/CMakeFiles/livo_tests.dir/test_video.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/livo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/livo_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/pccodec/CMakeFiles/livo_pccodec.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/livo_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/livo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/livo_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/livo_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/pointcloud/CMakeFiles/livo_pointcloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/livo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/livo_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/livo_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

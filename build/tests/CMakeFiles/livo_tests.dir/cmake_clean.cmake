@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/livo_tests.dir/test_core.cc.o"
+  "CMakeFiles/livo_tests.dir/test_core.cc.o.d"
+  "CMakeFiles/livo_tests.dir/test_geom.cc.o"
+  "CMakeFiles/livo_tests.dir/test_geom.cc.o.d"
+  "CMakeFiles/livo_tests.dir/test_image.cc.o"
+  "CMakeFiles/livo_tests.dir/test_image.cc.o.d"
+  "CMakeFiles/livo_tests.dir/test_mesh.cc.o"
+  "CMakeFiles/livo_tests.dir/test_mesh.cc.o.d"
+  "CMakeFiles/livo_tests.dir/test_metrics.cc.o"
+  "CMakeFiles/livo_tests.dir/test_metrics.cc.o.d"
+  "CMakeFiles/livo_tests.dir/test_net.cc.o"
+  "CMakeFiles/livo_tests.dir/test_net.cc.o.d"
+  "CMakeFiles/livo_tests.dir/test_pccodec.cc.o"
+  "CMakeFiles/livo_tests.dir/test_pccodec.cc.o.d"
+  "CMakeFiles/livo_tests.dir/test_pointcloud.cc.o"
+  "CMakeFiles/livo_tests.dir/test_pointcloud.cc.o.d"
+  "CMakeFiles/livo_tests.dir/test_predict.cc.o"
+  "CMakeFiles/livo_tests.dir/test_predict.cc.o.d"
+  "CMakeFiles/livo_tests.dir/test_sim.cc.o"
+  "CMakeFiles/livo_tests.dir/test_sim.cc.o.d"
+  "CMakeFiles/livo_tests.dir/test_util.cc.o"
+  "CMakeFiles/livo_tests.dir/test_util.cc.o.d"
+  "CMakeFiles/livo_tests.dir/test_video.cc.o"
+  "CMakeFiles/livo_tests.dir/test_video.cc.o.d"
+  "livo_tests"
+  "livo_tests.pdb"
+  "livo_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/livo_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
