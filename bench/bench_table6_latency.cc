@@ -7,8 +7,14 @@
 // Two latency families are reported: *timeline* latency from the emulated
 // transport (jitter buffer + serialization + propagation) and *measured
 // compute* of each pipeline stage on this machine (simulator scale).
+//
+// Stage timings come from the obs metrics registry: each pipeline stage
+// observes into a histogram (sender.cull_ms, receiver.decode_ms, ...), and
+// this bench snapshots the registry after each scheme's run instead of
+// threading stopwatch values through SessionResult.
 #include "bench_util.h"
 #include "core/experiment.h"
+#include "obs/metrics.h"
 
 int main() {
   using namespace livo;
@@ -21,25 +27,31 @@ int main() {
 
   std::printf("%-28s %-16s %-16s\n", "Component", "LiVo", "LiVo-NoCull");
   core::SessionResult results[2];
+  obs::MetricsSnapshot snapshots[2];
   int i = 0;
   for (const auto scheme : {core::Scheme::kLiVo, core::Scheme::kLiVoNoCull}) {
-    results[i++] = core::RunScheme(scheme, seq, user, net, profile);
+    // Zero the registry so each scheme's snapshot covers only its own run.
+    obs::Registry::Get().ResetAll();
+    results[i] = core::RunScheme(scheme, seq, user, net, profile);
+    snapshots[i] = obs::Registry::Get().Snapshot();
+    ++i;
   }
-  const auto row = [&](const char* name,
-                       const util::RunningStats core::SessionResult::* stats) {
+  const auto row = [&](const char* name, const char* metric) {
+    const obs::HistogramSnapshot* a = snapshots[0].FindHistogram(metric);
+    const obs::HistogramSnapshot* b = snapshots[1].FindHistogram(metric);
     std::printf("%-28s %6.2f (%5.2f)   %6.2f (%5.2f)\n", name,
-                (results[0].*stats).mean(), (results[0].*stats).stddev(),
-                (results[1].*stats).mean(), (results[1].*stats).stddev());
+                a ? a->stats.mean() : 0.0, a ? a->stats.stddev() : 0.0,
+                b ? b->stats.mean() : 0.0, b ? b->stats.stddev() : 0.0);
   };
   std::printf("-- measured stage compute (this machine, simulator scale) --\n");
-  row("sender: view culling", &core::SessionResult::sender_cull_ms);
-  row("sender: tiling", &core::SessionResult::sender_tile_ms);
-  row("sender: encode (rate ctl)", &core::SessionResult::sender_encode_ms);
-  row("receiver: decode", &core::SessionResult::receiver_decode_ms);
-  row("receiver: reconstruction", &core::SessionResult::receiver_reconstruct_ms);
-  row("receiver: render (voxel+cull)", &core::SessionResult::receiver_render_ms);
+  row("sender: view culling", "sender.cull_ms");
+  row("sender: tiling", "sender.tile_ms");
+  row("sender: encode (rate ctl)", "sender.encode_ms");
+  row("receiver: decode", "receiver.decode_ms");
+  row("receiver: reconstruction", "receiver.reconstruct_ms");
+  row("receiver: render (voxel+cull)", "receiver.render_ms");
   std::printf("-- emulated transport timeline --\n");
-  row("WebRTC transmission", &core::SessionResult::transport_ms);
+  row("WebRTC transmission", "session.transport_ms");
   std::printf("%-28s %6.0f           %6.0f\n", "end-to-end latency",
               results[0].mean_latency_ms, results[1].mean_latency_ms);
   std::printf(

@@ -7,6 +7,8 @@
 #include <map>
 #include <sstream>
 
+#include "obs/log.h"
+
 namespace livo::core {
 
 const char* SchemeName(Scheme scheme) {
@@ -171,12 +173,16 @@ void SaveCache(const std::string& path,
 
 std::vector<SessionSummary> RunOrLoadMatrix(const MatrixConfig& config,
                                             bool verbose) {
+  // Long-running benches pass verbose=true and expect progress lines, so
+  // raise the logger floor to Info for them; everything stays routed
+  // through the leveled logger (and its sink) either way.
+  if (verbose && !obs::LogEnabled(obs::LogLevel::kInfo)) {
+    obs::SetMinLogLevel(obs::LogLevel::kInfo);
+  }
   const std::string path = CachePath(config);
   if (auto cached = LoadCache(path)) {
-    if (verbose) {
-      std::fprintf(stderr, "[matrix] loaded %zu cached sessions from %s\n",
-                   cached->size(), path.c_str());
-    }
+    LIVO_LOG(Info) << "matrix: loaded " << cached->size()
+                   << " cached sessions from " << path;
     return *cached;
   }
 
@@ -188,7 +194,7 @@ std::vector<SessionSummary> RunOrLoadMatrix(const MatrixConfig& config,
   }();
 
   for (const std::string& video : config.videos) {
-    if (verbose) std::fprintf(stderr, "[matrix] capturing %s...\n", video.c_str());
+    LIVO_LOG(Info) << "matrix: capturing " << video << "...";
     const sim::CapturedSequence sequence =
         sim::CaptureVideo(video, config.profile, config.frames);
     const auto users = sim::StandardTraces(
@@ -197,11 +203,8 @@ std::vector<SessionSummary> RunOrLoadMatrix(const MatrixConfig& config,
          ++u) {
       for (const auto& net : nets) {
         for (Scheme scheme : config.schemes) {
-          if (verbose) {
-            std::fprintf(stderr, "[matrix] %s / %s / user%d / %s\n",
-                         SchemeName(scheme), video.c_str(), u,
-                         net.name.c_str());
-          }
+          LIVO_LOG(Info) << "matrix: " << SchemeName(scheme) << " / " << video
+                         << " / user" << u << " / " << net.name;
           const SessionResult result =
               RunScheme(scheme, sequence, users[static_cast<std::size_t>(u)],
                         net, config.profile);
@@ -211,10 +214,8 @@ std::vector<SessionSummary> RunOrLoadMatrix(const MatrixConfig& config,
     }
   }
   SaveCache(path, summaries);
-  if (verbose) {
-    std::fprintf(stderr, "[matrix] cached %zu sessions at %s\n",
-                 summaries.size(), path.c_str());
-  }
+  LIVO_LOG(Info) << "matrix: cached " << summaries.size() << " sessions at "
+                 << path;
   return summaries;
 }
 

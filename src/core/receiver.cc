@@ -1,11 +1,29 @@
 #include "core/receiver.h"
 
 #include "image/depth_encoding.h"
+#include "obs/obs.h"
 #include "util/clock.h"
 #include "video/color_convert.h"
 
 namespace livo::core {
 namespace {
+
+struct ReceiverMetrics {
+  obs::Registry& reg = obs::Registry::Get();
+  obs::Counter& frames_rendered = reg.GetCounter("receiver.frames_rendered");
+  obs::Counter& frames_skipped = reg.GetCounter("receiver.frames_skipped");
+  obs::Counter& decode_failures = reg.GetCounter("receiver.decode_failures");
+  obs::Counter& marker_mismatches =
+      reg.GetCounter("receiver.marker_mismatches");
+  obs::Histogram& decode_ms = reg.GetHistogram("receiver.decode_ms");
+  obs::Histogram& reconstruct_ms = reg.GetHistogram("receiver.reconstruct_ms");
+  obs::Histogram& render_ms = reg.GetHistogram("receiver.render_ms");
+};
+
+ReceiverMetrics& Metrics() {
+  static ReceiverMetrics metrics;
+  return metrics;
+}
 
 int DepthStreamPlaneCount(const LiVoConfig& config) {
   return config.depth_mode == DepthEncodingMode::kRgbPacked ? 3 : 1;
@@ -62,6 +80,11 @@ std::vector<RenderedFrame> LiVoReceiver::OnFrames(
       it = pending_.erase(it);
     } else if (index + receiver_config_.max_pair_lag <= newest_complete) {
       ++skipped_frames_;
+      Metrics().frames_skipped.Add();
+      obs::TraceInstant("receiver.skip");
+      LIVO_LOG(Debug) << "frame " << index
+                      << " skipped: counterpart stream lagged past "
+                      << newest_complete;
       it = pending_.erase(it);
     } else {
       break;  // wait for the counterpart stream a little longer
@@ -72,6 +95,7 @@ std::vector<RenderedFrame> LiVoReceiver::OnFrames(
 
 std::optional<RenderedFrame> LiVoReceiver::TryRender(
     std::uint32_t frame_index, double now_ms, const geom::Frustum& frustum) {
+  ReceiverMetrics& metrics = Metrics();
   const PendingPair& pair = pending_[frame_index];
   RenderedFrame out;
   out.frame_index = frame_index;
@@ -80,66 +104,86 @@ std::optional<RenderedFrame> LiVoReceiver::TryRender(
   util::Stopwatch decode_watch;
   std::vector<image::Plane16> color_planes, depth_planes;
   try {
+    LIVO_SPAN("receiver.decode");
     const video::EncodedFrame color_frame =
         video::DeserializeFrame(*pair.color);
     const video::EncodedFrame depth_frame =
         video::DeserializeFrame(*pair.depth);
     color_planes = color_decoder_.Decode(color_frame);
     depth_planes = depth_decoder_.Decode(depth_frame);
-  } catch (const std::exception&) {
+  } catch (const std::exception& e) {
     // Undecodable (e.g. P-frame whose keyframe was lost before any
     // keyframe arrived): skip; the transport has already raised PLI.
     ++skipped_frames_;
+    metrics.frames_skipped.Add();
+    metrics.decode_failures.Add();
+    obs::TraceInstant("receiver.decode_failure");
+    LIVO_LOG(Debug) << "frame " << frame_index << " undecodable: " << e.what();
     return std::nullopt;
   }
   out.decode_ms = decode_watch.ElapsedMs();
+  metrics.decode_ms.Observe(out.decode_ms);
 
   util::Stopwatch reconstruct_watch;
-  const image::ColorImage color = video::YcbcrToRgb(color_planes);
+  pointcloud::PointCloud cloud;
+  {
+    LIVO_SPAN("receiver.reconstruct");
+    const image::ColorImage color = video::YcbcrToRgb(color_planes);
 
-  image::DepthImage depth_mm;
-  switch (config_.depth_mode) {
-    case DepthEncodingMode::kScaledY16:
-      depth_mm = image::UnscaleDepth(depth_planes[0], config_.depth_scaler);
-      break;
-    case DepthEncodingMode::kUnscaledY16:
-      depth_mm = depth_planes[0];
-      break;
-    case DepthEncodingMode::kRgbPacked: {
-      image::ColorImage packed(config_.layout.canvas_width(),
-                               config_.layout.canvas_height());
-      for (std::size_t i = 0; i < packed.r.data().size(); ++i) {
-        packed.r.data()[i] =
-            static_cast<std::uint8_t>(depth_planes[0].data()[i]);
-        packed.g.data()[i] =
-            static_cast<std::uint8_t>(depth_planes[1].data()[i]);
-        packed.b.data()[i] =
-            static_cast<std::uint8_t>(depth_planes[2].data()[i]);
+    image::DepthImage depth_mm;
+    switch (config_.depth_mode) {
+      case DepthEncodingMode::kScaledY16:
+        depth_mm = image::UnscaleDepth(depth_planes[0], config_.depth_scaler);
+        break;
+      case DepthEncodingMode::kUnscaledY16:
+        depth_mm = depth_planes[0];
+        break;
+      case DepthEncodingMode::kRgbPacked: {
+        image::ColorImage packed(config_.layout.canvas_width(),
+                                 config_.layout.canvas_height());
+        for (std::size_t i = 0; i < packed.r.data().size(); ++i) {
+          packed.r.data()[i] =
+              static_cast<std::uint8_t>(depth_planes[0].data()[i]);
+          packed.g.data()[i] =
+              static_cast<std::uint8_t>(depth_planes[1].data()[i]);
+          packed.b.data()[i] =
+              static_cast<std::uint8_t>(depth_planes[2].data()[i]);
+        }
+        depth_mm = image::UnpackDepthFromRgb(packed);
+        break;
       }
-      depth_mm = image::UnpackDepthFromRgb(packed);
-      break;
     }
+
+    // In-band frame number verification (§A.1 QR-code role). The depth
+    // marker is more fragile under heavy quantization, so color is primary.
+    const auto marker = image::ReadFrameNumber(config_.layout, color);
+    out.marker_verified = marker.has_value() && *marker == frame_index;
+    if (marker.has_value() && *marker != frame_index) {
+      ++marker_mismatches_;
+      metrics.marker_mismatches.Add();
+      LIVO_LOG(Debug) << "frame " << frame_index
+                      << ": in-band marker decoded as " << *marker;
+    }
+
+    const auto views = image::Untile(config_.layout, color, depth_mm);
+    cloud = pointcloud::ReconstructFromViews(views, cameras_);
   }
-
-  // In-band frame number verification (§A.1 QR-code role). The depth
-  // marker is more fragile under heavy quantization, so color is primary.
-  const auto marker = image::ReadFrameNumber(config_.layout, color);
-  out.marker_verified = marker.has_value() && *marker == frame_index;
-  if (marker.has_value() && *marker != frame_index) ++marker_mismatches_;
-
-  const auto views = image::Untile(config_.layout, color, depth_mm);
-  pointcloud::PointCloud cloud =
-      pointcloud::ReconstructFromViews(views, cameras_);
   out.reconstruct_ms = reconstruct_watch.ElapsedMs();
+  metrics.reconstruct_ms.Observe(out.reconstruct_ms);
 
   util::Stopwatch render_watch;
-  if (receiver_config_.voxelize) {
-    cloud = pointcloud::VoxelDownsample(cloud, receiver_config_.voxel_size_m);
-  }
-  if (receiver_config_.final_cull) {
-    cloud = cloud.CulledTo(frustum);
+  {
+    LIVO_SPAN("receiver.render");
+    if (receiver_config_.voxelize) {
+      cloud = pointcloud::VoxelDownsample(cloud, receiver_config_.voxel_size_m);
+    }
+    if (receiver_config_.final_cull) {
+      cloud = cloud.CulledTo(frustum);
+    }
   }
   out.render_ms = render_watch.ElapsedMs();
+  metrics.render_ms.Observe(out.render_ms);
+  metrics.frames_rendered.Add();
   out.cloud = std::move(cloud);
   return out;
 }

@@ -4,11 +4,31 @@
 
 #include "image/depth_encoding.h"
 #include "metrics/image_metrics.h"
+#include "obs/obs.h"
 #include "util/clock.h"
 #include "video/color_convert.h"
 
 namespace livo::core {
 namespace {
+
+struct SenderMetrics {
+  obs::Registry& reg = obs::Registry::Get();
+  obs::Counter& frames = reg.GetCounter("sender.frames");
+  obs::Counter& color_bytes = reg.GetCounter("sender.color_bytes");
+  obs::Counter& depth_bytes = reg.GetCounter("sender.depth_bytes");
+  obs::Counter& probes = reg.GetCounter("sender.split_probes");
+  obs::Gauge& split = reg.GetGauge("sender.split");
+  obs::Gauge& target_bps = reg.GetGauge("sender.target_bps");
+  obs::Gauge& cull_kept = reg.GetGauge("sender.cull_kept_fraction");
+  obs::Histogram& cull_ms = reg.GetHistogram("sender.cull_ms");
+  obs::Histogram& tile_ms = reg.GetHistogram("sender.tile_ms");
+  obs::Histogram& encode_ms = reg.GetHistogram("sender.encode_ms");
+};
+
+SenderMetrics& Metrics() {
+  static SenderMetrics metrics;
+  return metrics;
+}
 
 video::CodecConfig DepthStreamConfig(const LiVoConfig& config) {
   if (config.depth_mode == DepthEncodingMode::kRgbPacked) {
@@ -55,23 +75,35 @@ void LiVoSender::RequestKeyframe(std::uint32_t stream_id) {
 SenderOutput LiVoSender::ProcessFrame(std::vector<image::RgbdFrame> views,
                                       std::uint32_t frame_index,
                                       double target_bps) {
+  SenderMetrics& metrics = Metrics();
+  LIVO_SPAN("sender.frame");
   SenderOutput out;
   out.stats.frame_index = frame_index;
   out.stats.target_bps = target_bps;
+  metrics.target_bps.Set(target_bps);
 
   // --- View culling (§3.4) ---
   util::Stopwatch cull_watch;
-  if (config_.enable_culling && predictor_.ready()) {
-    const geom::Frustum frustum = predictor_.PredictFrustum();
-    const CullStats cull = CullViews(views, cameras_, frustum);
-    out.stats.cull_kept_fraction = cull.KeptFraction();
+  {
+    LIVO_SPAN("sender.cull");
+    if (config_.enable_culling && predictor_.ready()) {
+      const geom::Frustum frustum = predictor_.PredictFrustum();
+      const CullStats cull = CullViews(views, cameras_, frustum);
+      out.stats.cull_kept_fraction = cull.KeptFraction();
+      metrics.cull_kept.Set(out.stats.cull_kept_fraction);
+    }
   }
   out.stats.cull_ms = cull_watch.ElapsedMs();
+  metrics.cull_ms.Observe(out.stats.cull_ms);
 
   // --- Stream composition by tiling (§3.2) ---
   util::Stopwatch tile_watch;
-  image::TiledFramePair tiled = image::Tile(config_.layout, views, frame_index);
+  image::TiledFramePair tiled = [&] {
+    LIVO_SPAN("sender.tile");
+    return image::Tile(config_.layout, views, frame_index);
+  }();
   out.stats.tile_ms = tile_watch.ElapsedMs();
+  metrics.tile_ms.Observe(out.stats.tile_ms);
 
   // --- Depth encoding mode (§3.2 / Fig 17) ---
   std::vector<image::Plane16> depth_planes;
@@ -112,37 +144,44 @@ SenderOutput LiVoSender::ProcessFrame(std::vector<image::RgbdFrame> views,
   util::Stopwatch encode_watch;
   const double split = splitter_.split();
   out.stats.split = split;
+  metrics.split.Set(split);
   const double frame_budget_bytes = target_bps / 8.0 / config_.fps;
 
   video::EncodeResult color_result, depth_result;
-  if (config_.enable_adaptation) {
-    // Leaky-bucket amortization: frames that undershot their budget bank
-    // credit that keyframes spend, so the long-run rate tracks the target
-    // while I-frames are not forced to fit a single frame's share.
-    byte_credit_ = std::min(byte_credit_, 3.0 * frame_budget_bytes);
-    const double spendable =
-        std::max(0.3 * frame_budget_bytes, frame_budget_bytes + byte_credit_);
-    const auto depth_budget = static_cast<std::size_t>(spendable * split);
-    const auto color_budget =
-        static_cast<std::size_t>(spendable * (1.0 - split));
-    color_result = color_encoder_.EncodeToTarget(color_planes, color_budget);
-    depth_result = depth_encoder_.EncodeToTarget(depth_planes, depth_budget);
-    const double spent =
-        static_cast<double>(color_result.frame.SizeBytes() +
-                            depth_result.frame.SizeBytes());
-    byte_credit_ += frame_budget_bytes - spent;
-    byte_credit_ = std::max(byte_credit_, -3.0 * frame_budget_bytes);
-  } else {
-    color_result = color_encoder_.EncodeAtQp(color_planes,
-                                             config_.fixed_color_qp);
-    depth_result = depth_encoder_.EncodeAtQp(depth_planes,
-                                             config_.fixed_depth_qp);
+  {
+    LIVO_SPAN("sender.encode");
+    if (config_.enable_adaptation) {
+      // Leaky-bucket amortization: frames that undershot their budget bank
+      // credit that keyframes spend, so the long-run rate tracks the target
+      // while I-frames are not forced to fit a single frame's share.
+      byte_credit_ = std::min(byte_credit_, 3.0 * frame_budget_bytes);
+      const double spendable =
+          std::max(0.3 * frame_budget_bytes, frame_budget_bytes + byte_credit_);
+      const auto depth_budget = static_cast<std::size_t>(spendable * split);
+      const auto color_budget =
+          static_cast<std::size_t>(spendable * (1.0 - split));
+      color_result = color_encoder_.EncodeToTarget(color_planes, color_budget);
+      depth_result = depth_encoder_.EncodeToTarget(depth_planes, depth_budget);
+      const double spent =
+          static_cast<double>(color_result.frame.SizeBytes() +
+                              depth_result.frame.SizeBytes());
+      byte_credit_ += frame_budget_bytes - spent;
+      byte_credit_ = std::max(byte_credit_, -3.0 * frame_budget_bytes);
+    } else {
+      color_result = color_encoder_.EncodeAtQp(color_planes,
+                                               config_.fixed_color_qp);
+      depth_result = depth_encoder_.EncodeAtQp(depth_planes,
+                                               config_.fixed_depth_qp);
+    }
   }
   out.stats.encode_ms = encode_watch.ElapsedMs();
+  metrics.encode_ms.Observe(out.stats.encode_ms);
 
   // --- Sender-side quality probe and split line search (§3.3) ---
   if (config_.enable_adaptation && config_.dynamic_split &&
       splitter_.ShouldProbe(frame_index)) {
+    LIVO_SPAN("sender.probe");
+    metrics.probes.Add();
     const image::ColorImage decoded_color =
         video::YcbcrToRgb(color_result.reconstruction);
     const double rmse_color = metrics::ColorRmse(tiled.color, decoded_color);
@@ -184,6 +223,15 @@ SenderOutput LiVoSender::ProcessFrame(std::vector<image::RgbdFrame> views,
       video::SerializeFrame(depth_result.frame));
   out.stats.color_bytes = out.color_frame->size();
   out.stats.depth_bytes = out.depth_frame->size();
+  metrics.frames.Add();
+  metrics.color_bytes.Add(out.stats.color_bytes);
+  metrics.depth_bytes.Add(out.stats.depth_bytes);
+  LIVO_LOG(Trace) << "frame " << frame_index << ": split " << split
+                  << ", target " << target_bps / 1e6 << " Mbps, color "
+                  << out.stats.color_bytes << " B (qp "
+                  << color_result.frame.qp << "), depth "
+                  << out.stats.depth_bytes << " B (qp "
+                  << depth_result.frame.qp << ")";
   return out;
 }
 

@@ -4,9 +4,25 @@
 #include <cmath>
 
 #include "metrics/pointssim.h"
+#include "obs/obs.h"
 
 namespace livo::core {
 namespace {
+
+struct SessionMetrics {
+  obs::Registry& reg = obs::Registry::Get();
+  obs::Counter& frames_sent = reg.GetCounter("session.frames_sent");
+  obs::Counter& frames_rendered = reg.GetCounter("session.frames_rendered");
+  obs::Counter& frames_stalled = reg.GetCounter("session.frames_stalled");
+  obs::Counter& congestion_skips = reg.GetCounter("session.congestion_skips");
+  obs::Histogram& transport_ms = reg.GetHistogram("session.transport_ms");
+  obs::Histogram& latency_ms = reg.GetHistogram("session.latency_ms");
+};
+
+SessionMetrics& Metrics() {
+  static SessionMetrics metrics;
+  return metrics;
+}
 
 const char* StyleName(sim::TraceStyle style) {
   switch (style) {
@@ -80,6 +96,8 @@ SessionResult RunLiVoSession(const sim::CapturedSequence& sequence,
                              const sim::BandwidthTrace& net_trace,
                              const LiVoConfig& config,
                              const ReplayOptions& options) {
+  obs::AutoInitFromEnv();
+  SessionMetrics& session_metrics = Metrics();
   SessionResult result;
   result.scheme = options.scheme_name;
   result.video = sequence.spec.name;
@@ -161,15 +179,21 @@ SessionResult RunLiVoSession(const sim::CapturedSequence& sequence,
       // receiver records a stall and the queue drains.
       if (channel.link().CurrentQueueDelayMs(now) >
           options.channel.jitter_buffer_ms) {
+        session_metrics.congestion_skips.Add();
+        obs::TraceInstant("session.congestion_skip");
         continue;
       }
       SenderOutput out = sender.ProcessFrame(
           sequence.frames[static_cast<std::size_t>(f)],
           static_cast<std::uint32_t>(f), channel.TargetBitrateBps());
-      channel.SendFrame(kColorStream, static_cast<std::uint32_t>(f),
-                        out.color_keyframe, out.color_frame, now);
-      channel.SendFrame(kDepthStream, static_cast<std::uint32_t>(f),
-                        out.depth_keyframe, out.depth_frame, now);
+      {
+        LIVO_SPAN("session.transmit");
+        channel.SendFrame(kColorStream, static_cast<std::uint32_t>(f),
+                          out.color_keyframe, out.color_frame, now);
+        channel.SendFrame(kDepthStream, static_cast<std::uint32_t>(f),
+                          out.depth_keyframe, out.depth_frame, now);
+      }
+      session_metrics.frames_sent.Add();
       FrameRecord& rec = records[static_cast<std::size_t>(f)];
       rec.sender = out.stats;
       result.sender_cull_ms.Add(out.stats.cull_ms);
@@ -195,8 +219,12 @@ SessionResult RunLiVoSession(const sim::CapturedSequence& sequence,
         result.receiver_decode_ms.Add(rf.decode_ms);
         result.receiver_reconstruct_ms.Add(rf.reconstruct_ms);
         result.receiver_render_ms.Add(rf.render_ms);
-        result.transport_ms.Add(rf.render_time_ms - rec.capture_time_ms -
-                                options.sender_pipeline_delay_ms);
+        const double transport_ms = rf.render_time_ms - rec.capture_time_ms -
+                                    options.sender_pipeline_delay_ms;
+        result.transport_ms.Add(transport_ms);
+        session_metrics.transport_ms.Observe(transport_ms);
+        session_metrics.latency_ms.Observe(rec.latency_ms);
+        session_metrics.frames_rendered.Add();
 
         // Objective quality on the metric cadence.
         if (rf.frame_index % static_cast<std::uint32_t>(std::max(
@@ -216,6 +244,15 @@ SessionResult RunLiVoSession(const sim::CapturedSequence& sequence,
 
   result.frames = std::move(records);
   Aggregate(result, frames, duration_ms, options.metric_every);
+  {
+    int rendered = 0;
+    for (const FrameRecord& rec : result.frames) {
+      if (rec.rendered) ++rendered;
+    }
+    session_metrics.frames_stalled.Add(
+        static_cast<std::uint64_t>(std::max(0, frames - rendered)));
+  }
+  obs::DumpSessionArtifacts(result.scheme + "_" + result.video);
 
   // Throughput and utilization at paper scale (the scale factor cancels in
   // utilization; reporting unscaled Mbps matches Table 1's units).

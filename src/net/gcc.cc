@@ -2,7 +2,26 @@
 
 #include <algorithm>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+
 namespace livo::net {
+namespace {
+
+struct GccMetrics {
+  obs::Registry& reg = obs::Registry::Get();
+  obs::Counter& decreases = reg.GetCounter("gcc.decreases");
+  obs::Gauge& estimate_bps = reg.GetGauge("gcc.estimate_bps");
+  obs::Gauge& delivered_bps = reg.GetGauge("gcc.delivered_bps");
+  obs::Gauge& smoothed_gradient_ms = reg.GetGauge("gcc.smoothed_gradient_ms");
+};
+
+GccMetrics& Metrics() {
+  static GccMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 void GccEstimator::OnFeedback(const FeedbackReport& report) {
   const int total = report.received_packets + report.lost_packets;
@@ -23,6 +42,9 @@ void GccEstimator::OnFeedback(const FeedbackReport& report) {
   if (loss > config_.loss_decrease_threshold) {
     estimate_bps_ *= (1.0 - 0.5 * loss);
     state_ = State::kDecrease;
+    Metrics().decreases.Add();
+    LIVO_LOG(Debug) << "loss-based decrease: loss " << loss << ", estimate "
+                    << estimate_bps_ / 1e6 << " Mbps";
   } else if (smoothed_gradient_ms_ > config_.overuse_gradient_ms ||
              report.mean_delay_ms > 200.0) {
     // Overuse suspected. Real GCC's detector has hysteresis: act only on
@@ -37,6 +59,10 @@ void GccEstimator::OnFeedback(const FeedbackReport& report) {
       estimate_bps_ *= config_.decrease_factor;
       last_decrease_ms_ = report.time_ms;
       consecutive_overuse_ = 0;
+      Metrics().decreases.Add();
+      LIVO_LOG(Debug) << "delay-based decrease: gradient "
+                      << smoothed_gradient_ms_ << " ms, estimate "
+                      << estimate_bps_ / 1e6 << " Mbps";
     }
     state_ = State::kDecrease;
   } else if (loss < config_.loss_increase_threshold) {
@@ -55,6 +81,11 @@ void GccEstimator::OnFeedback(const FeedbackReport& report) {
     estimate_bps_ = std::min(estimate_bps_, 1.5 * delivered_bps);
   }
   estimate_bps_ = std::clamp(estimate_bps_, config_.min_bps, config_.max_bps);
+
+  GccMetrics& metrics = Metrics();
+  metrics.estimate_bps.Set(estimate_bps_);
+  metrics.delivered_bps.Set(delivered_bps);
+  metrics.smoothed_gradient_ms.Set(smoothed_gradient_ms_);
 }
 
 }  // namespace livo::net

@@ -2,7 +2,25 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace livo::net {
+namespace {
+
+struct LinkMetrics {
+  obs::Registry& reg = obs::Registry::Get();
+  obs::Counter& packets_dropped = reg.GetCounter("link.packets_dropped");
+  obs::Counter& packets_delivered = reg.GetCounter("link.packets_delivered");
+  obs::Gauge& queue_delay_ms = reg.GetGauge("link.queue_delay_ms");
+};
+
+LinkMetrics& Metrics() {
+  static LinkMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 LinkEmulator::LinkEmulator(sim::BandwidthTrace trace, const LinkConfig& config)
     : trace_(std::move(trace)), config_(config), rng_(config.seed) {}
@@ -19,13 +37,18 @@ double LinkEmulator::CurrentQueueDelayMs(double now_ms) const {
 bool LinkEmulator::Send(Packet packet, double now_ms) {
   if (rng_.Chance(config_.loss_rate)) {
     ++packets_dropped_;
+    Metrics().packets_dropped.Add();
+    obs::TraceInstant("link.random_loss");
     return false;
   }
   const double start = std::max(now_ms, next_free_ms_);
   if (start - now_ms > config_.max_queue_delay_ms) {
     ++packets_dropped_;  // drop-tail: the queue already holds too much delay
+    Metrics().packets_dropped.Add();
+    obs::TraceInstant("link.drop_tail");
     return false;
   }
+  Metrics().queue_delay_ms.Set(start - now_ms);
   const double capacity = std::max(1.0, CapacityBitsPerMs(start));
   const double serialize_ms =
       static_cast<double>(packet.WireBytes()) * 8.0 / capacity;
@@ -47,6 +70,9 @@ std::vector<Packet> LinkEmulator::Poll(double now_ms) {
     p.arrival_time_ms = in_flight_.front().arrival_ms;
     delivered.push_back(p);
     in_flight_.pop_front();
+  }
+  if (!delivered.empty()) {
+    Metrics().packets_delivered.Add(delivered.size());
   }
   return delivered;
 }

@@ -2,7 +2,34 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace livo::net {
+namespace {
+
+struct TransportMetrics {
+  obs::Registry& reg = obs::Registry::Get();
+  obs::Counter& packets_sent = reg.GetCounter("net.packets_sent");
+  obs::Counter& bytes_sent = reg.GetCounter("net.bytes_sent");
+  obs::Counter& frames_sent = reg.GetCounter("net.frames_sent");
+  obs::Counter& frames_delivered = reg.GetCounter("net.frames_delivered");
+  obs::Counter& frames_lost = reg.GetCounter("net.frames_lost");
+  obs::Counter& packets_retransmitted =
+      reg.GetCounter("net.packets_retransmitted");
+  obs::Counter& keyframe_requests = reg.GetCounter("net.keyframe_requests");
+  obs::Counter& feedback_reports = reg.GetCounter("net.feedback_reports");
+  obs::Gauge& estimated_bps = reg.GetGauge("net.estimated_bps");
+  obs::Gauge& loss_fraction = reg.GetGauge("net.loss_fraction");
+  obs::Gauge& rtt_ms = reg.GetGauge("net.rtt_ms");
+  obs::Histogram& frame_transit_ms = reg.GetHistogram("net.frame_transit_ms");
+};
+
+TransportMetrics& Metrics() {
+  static TransportMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 VideoChannel::VideoChannel(sim::BandwidthTrace trace,
                            const ChannelConfig& config)
@@ -12,6 +39,7 @@ VideoChannel::VideoChannel(sim::BandwidthTrace trace,
 void VideoChannel::SendFrame(
     std::uint32_t stream_id, std::uint32_t frame_index, bool keyframe,
     std::shared_ptr<const std::vector<std::uint8_t>> data, double now_ms) {
+  TransportMetrics& metrics = Metrics();
   const std::size_t size = data->size();
   const auto fragments = static_cast<std::uint16_t>(
       std::max<std::size_t>(1, (size + kMtuBytes - 1) / kMtuBytes));
@@ -25,10 +53,13 @@ void VideoChannel::SendFrame(
     p.keyframe = keyframe;
     p.payload_bytes = std::min(kMtuBytes, size - frag * kMtuBytes);
     stats_.bytes_sent += p.WireBytes();
+    metrics.bytes_sent.Add(p.WireBytes());
+    metrics.packets_sent.Add();
     sent_store_[p.sequence] = SentPacketRecord{p, data};
     link_.Send(p, now_ms);
   }
   ++stats_.frames_sent;
+  metrics.frames_sent.Add();
 
   // Bound the retransmission store: anything older than a jitter window is
   // past its playout deadline and useless to retransmit.
@@ -107,11 +138,18 @@ void VideoChannel::Step(double now_ms) {
             config_.link.propagation_delay_ms <
         now_ms) {
       ++stats_.frames_lost;
+      Metrics().frames_lost.Add();
+      obs::TraceInstant("net.frame_lost");
+      LIVO_LOG(Debug) << "stream " << f.stream_id << " frame "
+                      << f.frame_index << " lost (" << f.received << "/"
+                      << f.have.size() << " fragments by deadline)";
       // PLI throttling (as WebRTC does): a keyframe request storm after a
       // loss burst would make every frame an I-frame and deepen the
       // congestion that caused the losses.
       if (now_ms - last_keyframe_request_ms_[f.stream_id] > 300.0) {
         ++stats_.keyframe_requests;
+        Metrics().keyframe_requests.Add();
+        obs::TraceInstant("net.keyframe_request");
         keyframe_requested_[f.stream_id] = true;
         last_keyframe_request_ms_[f.stream_id] = now_ms;
       }
@@ -152,6 +190,7 @@ void VideoChannel::RunNack(double now_ms) {
       if (record.packet.fragment < frame.have.size() &&
           !frame.have[record.packet.fragment]) {
         ++stats_.packets_retransmitted;
+        Metrics().packets_retransmitted.Add();
         link_.Send(record.packet, now_ms);
       }
     }
@@ -179,6 +218,18 @@ void VideoChannel::EmitFeedback(double now_ms) {
   estimator_.OnFeedback(report);
   rtt_ms_.Add(report.rtt_ms);
 
+  TransportMetrics& metrics = Metrics();
+  metrics.feedback_reports.Add();
+  metrics.estimated_bps.Set(estimator_.EstimateBps());
+  const int total = report.received_packets + report.lost_packets;
+  metrics.loss_fraction.Set(
+      total > 0 ? static_cast<double>(report.lost_packets) / total : 0.0);
+  metrics.rtt_ms.Set(rtt_ms_.value());
+  LIVO_LOG(Trace) << "feedback @" << now_ms << "ms: estimate "
+                  << estimator_.EstimateBps() / 1e6 << " Mbps, lost "
+                  << report.lost_packets << "/" << total << ", delay "
+                  << report.mean_delay_ms << " ms";
+
   fb_last_mean_delay_ms_ = report.mean_delay_ms;
   last_feedback_ms_ = now_ms;
   fb_bytes_ = 0;
@@ -194,6 +245,8 @@ std::vector<ReceivedFrame> VideoChannel::PopReady(double now_ms) {
       last_released_[it->stream_id] =
           std::max(last_released_[it->stream_id], it->frame_index);
       ++stats_.frames_delivered;
+      Metrics().frames_delivered.Add();
+      Metrics().frame_transit_ms.Observe(now_ms - it->send_time_ms);
       out.push_back(*it);
       it = ready_.erase(it);
     } else {

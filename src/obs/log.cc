@@ -1,0 +1,91 @@
+#include "obs/log.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace livo::obs {
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarn)};
+std::atomic<LogSink> g_sink{nullptr};
+
+void DefaultSink(LogLevel level, const std::string& line) {
+  // One fprintf per message keeps lines from interleaving mid-record even
+  // with concurrent pipeline threads logging.
+  std::fprintf(stderr, "[livo %s] %s\n", LogLevelName(level), line.c_str());
+}
+
+void InitLevelFromEnv() {
+  if (const char* env = std::getenv("LIVO_LOG_LEVEL")) {
+    g_min_level.store(
+        static_cast<int>(ParseLogLevel(env, LogLevel::kWarn)),
+        std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+LogLevel ParseLogLevel(const std::string& text, LogLevel fallback) {
+  std::string lower(text);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return fallback;
+}
+
+void SetMinLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel MinLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+bool LogEnabled(LogLevel level) {
+  static std::once_flag once;
+  std::call_once(once, InitLevelFromEnv);
+  return static_cast<int>(level) >=
+         g_min_level.load(std::memory_order_relaxed);
+}
+
+void SetLogSink(LogSink sink) {
+  g_sink.store(sink, std::memory_order_relaxed);
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  // Basename only: full build paths add noise without aiding navigation.
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << base << ':' << line << ": ";
+}
+
+LogMessage::~LogMessage() {
+  const LogSink sink = g_sink.load(std::memory_order_relaxed);
+  (sink != nullptr ? sink : DefaultSink)(level_, stream_.str());
+}
+
+}  // namespace livo::obs

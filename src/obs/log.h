@@ -1,0 +1,74 @@
+// Leveled structured logger (livo::obs).
+//
+// LIVO_LOG(Info) << "estimator at " << bps << " bps";
+//
+// Messages below the active level cost one relaxed atomic load and never
+// evaluate their stream arguments (glog-style voidify short-circuit). The
+// default level is Warn so tests and benches keep clean stdout/stderr;
+// raise it with the LIVO_LOG_LEVEL environment variable
+// (trace|debug|info|warn|error|off) or SetMinLogLevel().
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace livo::obs {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+const char* LogLevelName(LogLevel level);
+
+// Parses "debug", "Info", ... Returns fallback on unknown strings.
+LogLevel ParseLogLevel(const std::string& text, LogLevel fallback);
+
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+// True when a message at `level` would be emitted. First call reads
+// LIVO_LOG_LEVEL from the environment.
+bool LogEnabled(LogLevel level);
+
+// Redirectable sink, used by tests; nullptr restores the default sink
+// (one line per message on stderr).
+using LogSink = void (*)(LogLevel level, const std::string& line);
+void SetLogSink(LogSink sink);
+
+// One log statement being assembled; flushes on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the ostream expression when the level is disabled; precedence
+// of & is lower than << and higher than ?:, which is what makes the macro
+// a single expression.
+struct LogVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace livo::obs
+
+#define LIVO_LOG(Severity)                                                \
+  !::livo::obs::LogEnabled(::livo::obs::LogLevel::k##Severity)            \
+      ? (void)0                                                           \
+      : ::livo::obs::LogVoidify() &                                       \
+            ::livo::obs::LogMessage(::livo::obs::LogLevel::k##Severity,   \
+                                    __FILE__, __LINE__)                   \
+                .stream()

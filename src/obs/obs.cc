@@ -1,0 +1,107 @@
+#include "obs/obs.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+
+namespace livo::obs {
+namespace {
+
+std::mutex g_config_mu;
+ObsConfig g_config;
+std::atomic<std::uint64_t> g_dump_sequence{0};
+
+std::string SanitizeLabel(const std::string& label) {
+  std::string out;
+  out.reserve(label.size());
+  for (char c : label) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+                    c == '_' || c == '.';
+    out.push_back(ok ? c : '_');
+  }
+  return out.empty() ? std::string("session") : out;
+}
+
+bool EnvFlagSet(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && std::string(v) != "0";
+}
+
+}  // namespace
+
+void Init(const ObsConfig& config) {
+  {
+    std::lock_guard<std::mutex> lock(g_config_mu);
+    g_config = config;
+  }
+  SetTraceEnabled(config.trace);
+}
+
+ObsConfig CurrentConfig() {
+  std::lock_guard<std::mutex> lock(g_config_mu);
+  return g_config;
+}
+
+void AutoInitFromEnv() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    if (!EnvFlagSet("LIVO_TRACE")) return;
+    ObsConfig config;
+    config.trace = true;
+    config.metrics_export = true;
+    if (const char* dir = std::getenv("LIVO_TRACE_DIR")) {
+      if (dir[0] != '\0') config.output_dir = dir;
+    }
+    Init(config);
+    LIVO_LOG(Info) << "tracing enabled via LIVO_TRACE, artifacts -> "
+                   << config.output_dir;
+  });
+}
+
+std::optional<SessionArtifacts> DumpSessionArtifacts(
+    const std::string& label) {
+  const ObsConfig config = CurrentConfig();
+  if (!config.trace) return std::nullopt;
+
+  const std::uint64_t seq =
+      g_dump_sequence.fetch_add(1, std::memory_order_relaxed);
+  const std::string stem = config.output_dir + "/" + SanitizeLabel(label) +
+                           "_" + std::to_string(seq);
+
+  SessionArtifacts artifacts;
+  artifacts.trace_path = stem + ".trace.json";
+  std::uint64_t dropped = 0;
+  const std::vector<TraceEvent> events = DrainEvents(&dropped);
+  {
+    std::ofstream out(artifacts.trace_path);
+    if (!out) {
+      LIVO_LOG(Error) << "cannot write trace file " << artifacts.trace_path;
+      return std::nullopt;
+    }
+    WriteChromeTrace(out, events);
+  }
+  if (dropped > 0) {
+    LIVO_LOG(Warn) << "trace buffers overflowed: " << dropped
+                   << " events dropped (session " << label << ")";
+  }
+
+  if (config.metrics_export) {
+    artifacts.metrics_path = stem + ".metrics.jsonl";
+    std::ofstream out(artifacts.metrics_path);
+    if (out) {
+      Registry::Get().WriteJsonl(out);
+    } else {
+      LIVO_LOG(Error) << "cannot write metrics file "
+                      << artifacts.metrics_path;
+      artifacts.metrics_path.clear();
+    }
+  }
+
+  LIVO_LOG(Info) << "session \"" << label << "\": " << events.size()
+                 << " trace events -> " << artifacts.trace_path;
+  return artifacts;
+}
+
+}  // namespace livo::obs

@@ -1,0 +1,58 @@
+// livo::obs — umbrella header and session-level export.
+//
+// The metrics registry (obs/metrics.h) always records; it is cheap enough
+// to stay on unconditionally. Span tracing and on-disk export are off by
+// default and enabled either programmatically:
+//
+//   obs::ObsConfig cfg;
+//   cfg.trace = true;
+//   obs::Init(cfg);
+//
+// or by environment variable, picked up by the session driver:
+//
+//   LIVO_TRACE=1 ./build/examples/conference_session
+//
+// which makes every RunLiVoSession dump `<label>.trace.json` (Chrome
+// trace-event format, loadable in chrome://tracing or Perfetto) and
+// `<label>.metrics.jsonl` (one JSON metric per line) into
+// LIVO_TRACE_DIR (default ".").
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace livo::obs {
+
+struct ObsConfig {
+  bool trace = false;            // record spans + dump artifacts
+  bool metrics_export = false;   // dump JSONL snapshots with the trace
+  std::string output_dir = ".";  // where session artifacts are written
+};
+
+// Applies `config` process-wide (toggles span recording, stores the
+// export policy used by DumpSessionArtifacts).
+void Init(const ObsConfig& config);
+
+ObsConfig CurrentConfig();
+
+// Reads LIVO_TRACE / LIVO_TRACE_DIR once per process and applies them.
+// Safe (and cheap) to call from every session entry point.
+void AutoInitFromEnv();
+
+struct SessionArtifacts {
+  std::string trace_path;
+  std::string metrics_path;  // empty when metrics export is off
+};
+
+// When tracing is enabled, drains the span buffers and writes the trace
+// (and, if configured, a metrics snapshot) for the session identified by
+// `label`. Filenames get a process-unique sequence number, so back-to-back
+// sessions in one bench never overwrite each other. Returns nullopt when
+// tracing is disabled.
+std::optional<SessionArtifacts> DumpSessionArtifacts(const std::string& label);
+
+}  // namespace livo::obs

@@ -4,7 +4,10 @@
 // A Pipeline owns a chain of stages; each stage pulls an item from its input
 // queue, transforms it, and pushes the result downstream. Closing the source
 // queue drains and joins the whole pipeline. Stage latency is recorded so
-// the Table 6 bench can report per-component cost.
+// the Table 6 bench can report per-component cost; every stage also
+// publishes into the obs metrics registry ("pipeline.<stage>.latency_ms"
+// histogram, ".processed"/".dropped" counters) and emits a span per item,
+// so a session trace shows pipeline occupancy per thread.
 #pragma once
 
 #include <functional>
@@ -15,6 +18,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/clock.h"
 #include "util/queue.h"
 #include "util/stats.h"
@@ -57,7 +62,17 @@ class Pipeline {
       queues_.push_back(std::make_unique<BoundedQueue<T>>(queue_capacity_));
     }
     reports_.clear();
-    for (const auto& s : stages_) reports_.push_back({s.name, {}, 0, 0});
+    metrics_.clear();
+    for (const auto& s : stages_) {
+      reports_.push_back({s.name, {}, 0, 0});
+      obs::Registry& registry = obs::Registry::Get();
+      const std::string prefix = "pipeline." + s.name;
+      metrics_.push_back(
+          StageMetrics{obs::InternName(s.name),
+                       &registry.GetHistogram(prefix + ".latency_ms"),
+                       &registry.GetCounter(prefix + ".processed"),
+                       &registry.GetCounter(prefix + ".dropped")});
+    }
     for (std::size_t i = 0; i < n; ++i) {
       threads_.emplace_back([this, i] { RunStage(i); });
     }
@@ -94,21 +109,38 @@ class Pipeline {
     auto& in = *queues_[index];
     auto& out = *queues_[index + 1];
     auto& report = reports_[index];
+    const StageMetrics& metrics = metrics_[index];
     while (auto item = in.Pop()) {
       Stopwatch watch;
-      std::optional<T> result = stages_[index].fn(std::move(*item));
-      report.latency_ms.Add(watch.ElapsedMs());
+      std::optional<T> result;
+      {
+        obs::ScopedSpan span(metrics.span_name);
+        result = stages_[index].fn(std::move(*item));
+      }
+      const double elapsed_ms = watch.ElapsedMs();
+      report.latency_ms.Add(elapsed_ms);
       ++report.processed;
+      metrics.latency_ms->Observe(elapsed_ms);
+      metrics.processed->Add();
       if (result) {
         if (!out.Push(std::move(*result))) break;
       } else {
         ++report.dropped;
+        metrics.dropped->Add();
       }
     }
     out.Close();
   }
 
+  struct StageMetrics {
+    const char* span_name;  // interned: survives pipeline destruction
+    obs::Histogram* latency_ms;
+    obs::Counter* processed;
+    obs::Counter* dropped;
+  };
+
   std::size_t queue_capacity_;
+  std::vector<StageMetrics> metrics_;
   std::vector<Stage> stages_;
   std::vector<std::unique_ptr<BoundedQueue<T>>> queues_;
   std::vector<std::thread> threads_;

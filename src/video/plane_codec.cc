@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/trace.h"
 #include "util/bitstream.h"
 #include "video/dct.h"
 
@@ -182,6 +183,7 @@ void MotionSearch(const Plane16& ref, const IntBlock& src, int bx, int by,
 
 PlaneEncodeOutput EncodePlane(const CodecConfig& config, const Plane16& src,
                               const Plane16* reference, int qp) {
+  LIVO_SPAN("codec.encode_plane");
   if (src.width() % kBlockSize != 0 || src.height() % kBlockSize != 0) {
     throw std::invalid_argument("plane dimensions must be multiples of 8");
   }
@@ -303,6 +305,7 @@ PlaneEncodeOutput EncodePlane(const CodecConfig& config, const Plane16& src,
 Plane16 DecodePlane(const CodecConfig& config,
                     const std::vector<std::uint8_t>& bits,
                     const Plane16* reference, int qp) {
+  LIVO_SPAN("codec.decode_plane");
   if (config.width % kBlockSize != 0 || config.height % kBlockSize != 0) {
     throw std::invalid_argument("plane dimensions must be multiples of 8");
   }

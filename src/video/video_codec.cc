@@ -3,10 +3,23 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
 #include "video/plane_codec.h"
 
 namespace livo::video {
 namespace {
+
+struct CodecMetrics {
+  obs::Registry& reg = obs::Registry::Get();
+  obs::Counter& encode_trials = reg.GetCounter("codec.encode_trials");
+  obs::Counter& overshoots = reg.GetCounter("codec.rate_overshoots");
+};
+
+CodecMetrics& Metrics() {
+  static CodecMetrics metrics;
+  return metrics;
+}
 
 void AppendU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   out.push_back(static_cast<std::uint8_t>(v >> 24));
@@ -121,6 +134,14 @@ EncodeResult VideoEncoder::EncodeToTarget(
         model.qp + static_cast<int>(std::lround(correction)), config_.qp_min,
         config_.qp_max);
     EncodeResult result = TryEncode(planes, qp, keyframe);
+    Metrics().encode_trials.Add();
+    if (result.frame.SizeBytes() > target_bytes) {
+      Metrics().overshoots.Add();
+      LIVO_LOG(Debug) << "single-pass overshoot: frame "
+                      << result.frame.frame_index << " at qp " << qp << " is "
+                      << result.frame.SizeBytes() << " bytes, target "
+                      << target_bytes;
+    }
     model.qp = qp;
     model.bytes = result.frame.SizeBytes();
     if (stats != nullptr) {
@@ -181,6 +202,14 @@ EncodeResult VideoEncoder::EncodeToTarget(
   }
 
   EncodeResult result = best ? std::move(*best) : std::move(*overshoot);
+  Metrics().encode_trials.Add(static_cast<std::uint64_t>(trials));
+  if (!best) {
+    Metrics().overshoots.Add();
+    LIVO_LOG(Debug) << "rate-control overshoot: frame "
+                    << result.frame.frame_index << " is "
+                    << result.frame.SizeBytes() << " bytes after " << trials
+                    << " trials, target " << target_bytes;
+  }
   model.valid = true;
   model.qp = result.frame.qp;
   model.bytes = result.frame.SizeBytes();

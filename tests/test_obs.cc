@@ -1,0 +1,484 @@
+// Tests for the livo::obs telemetry subsystem: metrics registry semantics,
+// concurrent updates, scoped spans, exporter well-formedness, and the
+// leveled logger.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+#include "util/pipeline.h"
+
+namespace livo::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON syntax checker. Not a parser — just enough to prove that the
+// exporters emit structurally valid JSON (balanced, correctly quoted, no
+// trailing garbage), so Perfetto/jq can load it.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    pos_ = 0;
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\\') {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '"') { ++pos_; return true; }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool Number() {
+    const std::size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* word) {
+    const std::string w(word);
+    if (text_.compare(pos_, w.size(), w) != 0) return false;
+    pos_ += w.size();
+    return true;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+TEST(JsonChecker, SanityOnKnownInputs) {
+  EXPECT_TRUE(JsonChecker(R"({"a":[1,2.5,-3e4],"b":"x\"y","c":null})").Valid());
+  EXPECT_FALSE(JsonChecker(R"({"a":1)").Valid());
+  EXPECT_FALSE(JsonChecker(R"({"a":1}},)").Valid());
+}
+
+// ---------------------------------------------------------------------------
+// Instruments.
+
+TEST(Counter, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAddReset) {
+  Gauge g;
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.Add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Histogram, ExactMomentsMatchRunningStats) {
+  Histogram h;
+  util::RunningStats expected;
+  for (double x : {0.5, 1.0, 2.0, 4.0, 8.0, 100.0}) {
+    h.Observe(x);
+    expected.Add(x);
+  }
+  const util::RunningStats got = h.ToRunningStats();
+  EXPECT_EQ(got.count(), expected.count());
+  EXPECT_NEAR(got.mean(), expected.mean(), 1e-9);
+  EXPECT_NEAR(got.stddev(), expected.stddev(), 1e-6);
+  EXPECT_DOUBLE_EQ(got.min(), 0.5);
+  EXPECT_DOUBLE_EQ(got.max(), 100.0);
+}
+
+TEST(Histogram, ApproxPercentileIsMonotonicAndBounded) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Observe(i * 0.1);  // 0.1 .. 100
+  double prev = h.ApproxPercentile(0.0);
+  EXPECT_GE(prev, 0.1 - 1e-9);
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+    const double v = h.ApproxPercentile(p);
+    EXPECT_GE(v, prev) << "p=" << p;
+    EXPECT_LE(v, 100.0 + 1e-9);
+    prev = v;
+  }
+  // Log-scale buckets are coarse (2 per octave) but the median of a
+  // uniform 0.1..100 sample must land in the right octave.
+  const double p50 = h.ApproxPercentile(50.0);
+  EXPECT_GT(p50, 25.0);
+  EXPECT_LT(p50, 80.0);
+}
+
+TEST(Histogram, BucketBoundsAreMonotonic) {
+  double prev = Histogram::BucketLowerBound(1);
+  for (int i = 2; i < Histogram::kBucketCount; ++i) {
+    const double b = Histogram::BucketLowerBound(i);
+    EXPECT_GT(b, prev);
+    prev = b;
+  }
+}
+
+TEST(Histogram, TinyValuesLandInUnderflowBucket) {
+  Histogram h;
+  h.Observe(0.0);
+  h.Observe(1e-9);
+  EXPECT_EQ(h.BucketCount(0), 2u);
+  EXPECT_EQ(h.count(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+TEST(Registry, SameNameReturnsSameInstrument) {
+  Registry reg;
+  Counter& a = reg.GetCounter("x");
+  Counter& b = reg.GetCounter("x");
+  EXPECT_EQ(&a, &b);
+  a.Add(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(Registry, ResetAllZeroesButKeepsHandlesValid) {
+  Registry reg;
+  Counter& c = reg.GetCounter("c");
+  Gauge& g = reg.GetGauge("g");
+  Histogram& h = reg.GetHistogram("h");
+  c.Add(7);
+  g.Set(1.5);
+  h.Observe(2.0);
+  reg.ResetAll();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  // Handles still work after the reset.
+  c.Add();
+  EXPECT_EQ(reg.Snapshot().CounterValue("c"), 1u);
+}
+
+TEST(Registry, SnapshotFindsInstrumentsByName) {
+  Registry reg;
+  reg.GetCounter("frames").Add(5);
+  reg.GetHistogram("lat").Observe(3.0);
+  const MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.CounterValue("frames"), 5u);
+  EXPECT_EQ(snap.CounterValue("absent"), 0u);
+  const HistogramSnapshot* lat = snap.FindHistogram("lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->stats.count(), 1u);
+  EXPECT_EQ(snap.FindHistogram("absent"), nullptr);
+}
+
+TEST(Registry, ConcurrentIncrementsAreExact) {
+  Registry reg;
+  Counter& c = reg.GetCounter("hits");
+  Histogram& h = reg.GetHistogram("obs");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg, &c, &h] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.Add();
+        h.Observe(1.0);
+        // Lookup from several threads must also be safe.
+        reg.GetCounter("hits");
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_NEAR(h.sum(), kThreads * kPerThread * 1.0, 1e-6);
+}
+
+TEST(Registry, WriteJsonlEmitsOneValidObjectPerLine) {
+  Registry reg;
+  reg.GetCounter("net.bytes_sent").Add(123);
+  reg.GetGauge("gcc.estimate_bps").Set(2.5e6);
+  reg.GetHistogram("sender.encode_ms").Observe(4.0);
+  std::ostringstream out;
+  reg.WriteJsonl(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("net.bytes_sent"), std::string::npos);
+  EXPECT_NE(text.find("\"p50\""), std::string::npos);
+  std::istringstream lines(text);
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    EXPECT_TRUE(JsonChecker(line).Valid()) << line;
+    ++count;
+  }
+  EXPECT_EQ(count, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Spans and tracing.
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DrainEvents();  // discard anything recorded by earlier tests
+    SetTraceEnabled(true);
+  }
+  void TearDown() override {
+    SetTraceEnabled(false);
+    DrainEvents();
+  }
+};
+
+TEST_F(TraceTest, SpanRecordsDurationAndNestingDepth) {
+  {
+    LIVO_SPAN("outer");
+    LIVO_SPAN("inner");
+  }
+  const auto events = DrainEvents();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans are emitted at scope exit, so "inner" lands first.
+  const TraceEvent* outer = nullptr;
+  const TraceEvent* inner = nullptr;
+  for (const auto& e : events) {
+    if (std::string(e.name) == "outer") outer = &e;
+    if (std::string(e.name) == "inner") inner = &e;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_GE(outer->dur_us, 0.0);
+  EXPECT_GE(inner->dur_us, 0.0);
+  EXPECT_EQ(outer->depth, 0);
+  EXPECT_EQ(inner->depth, 1);
+  EXPECT_EQ(outer->tid, inner->tid);
+  EXPECT_LE(outer->ts_us, inner->ts_us);
+  EXPECT_GE(outer->dur_us, inner->dur_us);
+}
+
+TEST_F(TraceTest, InstantEventsHaveNegativeDuration) {
+  TraceInstant("marker");
+  const auto events = DrainEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "marker");
+  EXPECT_LT(events[0].dur_us, 0.0);
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctIdsAndEventsSurviveJoin) {
+  std::atomic<std::uint32_t> tid_a{0}, tid_b{0};
+  auto worker = [](std::atomic<std::uint32_t>* out) {
+    LIVO_SPAN("worker");
+    (void)out;
+  };
+  std::thread a(worker, &tid_a), b(worker, &tid_b);
+  a.join();
+  b.join();
+  // Both threads exited before the drain; their events must still be there.
+  const auto events = DrainEvents();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].tid, events[1].tid);
+}
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  SetTraceEnabled(false);
+  {
+    LIVO_SPAN("invisible");
+    TraceInstant("also_invisible");
+  }
+  EXPECT_TRUE(DrainEvents().empty());
+}
+
+TEST_F(TraceTest, ChromeTraceExportIsValidJson) {
+  {
+    LIVO_SPAN("sender.encode");
+  }
+  TraceInstant("net.frame_lost");
+  const auto events = DrainEvents();
+  std::ostringstream out;
+  WriteChromeTrace(out, events);
+  const std::string text = out.str();
+  EXPECT_TRUE(JsonChecker(text).Valid()) << text;
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("sender.encode"), std::string::npos);
+  EXPECT_NE(text.find("net.frame_lost"), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);  // complete event
+  EXPECT_NE(text.find("\"ph\":\"i\""), std::string::npos);  // instant event
+}
+
+TEST_F(TraceTest, InternNameIsStableAcrossCalls) {
+  const char* a = InternName(std::string("pipeline.encode"));
+  const char* b = InternName(std::string("pipeline.encode"));
+  EXPECT_EQ(a, b);
+  EXPECT_STREQ(a, "pipeline.encode");
+}
+
+// ---------------------------------------------------------------------------
+// Logger.
+
+std::vector<std::pair<LogLevel, std::string>>& CapturedLogs() {
+  static std::vector<std::pair<LogLevel, std::string>> logs;
+  return logs;
+}
+
+void CaptureSink(LogLevel level, const std::string& line) {
+  CapturedLogs().emplace_back(level, line);
+}
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CapturedLogs().clear();
+    SetLogSink(&CaptureSink);
+    previous_level_ = MinLogLevel();
+  }
+  void TearDown() override {
+    SetLogSink(nullptr);
+    SetMinLogLevel(previous_level_);
+  }
+  LogLevel previous_level_ = LogLevel::kWarn;
+};
+
+TEST_F(LogTest, LevelsBelowMinimumAreSuppressed) {
+  SetMinLogLevel(LogLevel::kWarn);
+  LIVO_LOG(Debug) << "quiet";
+  LIVO_LOG(Info) << "also quiet";
+  LIVO_LOG(Error) << "loud";
+  ASSERT_EQ(CapturedLogs().size(), 1u);
+  EXPECT_EQ(CapturedLogs()[0].first, LogLevel::kError);
+  EXPECT_NE(CapturedLogs()[0].second.find("loud"), std::string::npos);
+}
+
+TEST_F(LogTest, SuppressedStatementsDoNotEvaluateArguments) {
+  SetMinLogLevel(LogLevel::kOff);
+  int evaluations = 0;
+  const auto touch = [&evaluations] {
+    ++evaluations;
+    return "x";
+  };
+  LIVO_LOG(Error) << touch();
+  EXPECT_EQ(evaluations, 0);
+  SetMinLogLevel(LogLevel::kError);
+  LIVO_LOG(Error) << touch();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LogTest, MessageCarriesFileAndLinePrefix) {
+  SetMinLogLevel(LogLevel::kInfo);
+  LIVO_LOG(Info) << "hello";
+  ASSERT_EQ(CapturedLogs().size(), 1u);
+  EXPECT_NE(CapturedLogs()[0].second.find("test_obs.cc"), std::string::npos);
+  EXPECT_NE(CapturedLogs()[0].second.find("hello"), std::string::npos);
+}
+
+TEST(LogLevelNames, ParseRoundTrip) {
+  EXPECT_EQ(ParseLogLevel("debug", LogLevel::kWarn), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("Info", LogLevel::kWarn), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("nonsense", LogLevel::kError), LogLevel::kError);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline integration: stages publish into the process registry.
+
+TEST(PipelineObs, StagesPublishLatencyAndCounts) {
+  Registry& reg = Registry::Get();
+  reg.GetCounter("pipeline.obs_test_stage.processed").Reset();
+  reg.GetCounter("pipeline.obs_test_stage.dropped").Reset();
+  reg.GetHistogram("pipeline.obs_test_stage.latency_ms").Reset();
+
+  util::Pipeline<int> pipeline;
+  pipeline.AddStage("obs_test_stage", [](int v) -> std::optional<int> {
+    if (v < 0) return std::nullopt;
+    return v * 2;
+  });
+  pipeline.Start();
+  for (int v : {1, 2, -1, 3}) pipeline.Feed(v);
+  pipeline.Stop();
+
+  const MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.CounterValue("pipeline.obs_test_stage.processed"), 4u);
+  EXPECT_EQ(snap.CounterValue("pipeline.obs_test_stage.dropped"), 1u);
+  const HistogramSnapshot* lat =
+      snap.FindHistogram("pipeline.obs_test_stage.latency_ms");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->stats.count(), 4u);
+}
+
+}  // namespace
+}  // namespace livo::obs

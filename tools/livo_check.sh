@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Strict-mode gate for the concurrency-sensitive parts of the tree:
+# builds test_obs + test_util with -Wall -Wextra -Werror and, when the
+# toolchain supports it, ThreadSanitizer, then runs the combined binary.
+#
+#   tools/livo_check.sh            # from the repo root
+#   cmake --build build -t livo_check
+#
+# Uses a dedicated build directory (build-check/) so sanitizer flags never
+# contaminate the regular build tree.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${ROOT}/build-check"
+CMAKE_BIN="${CMAKE_COMMAND:-cmake}"
+
+STRICT_FLAGS="-Wall -Wextra -Werror"
+TSAN_FLAGS="-fsanitize=thread -g -O1"
+
+# Probe whether TSan links on this toolchain (it needs libtsan installed);
+# fall back to a plain -Werror build rather than failing the gate.
+tsan_works() {
+  local probe_dir
+  probe_dir="$(mktemp -d)"
+  trap 'rm -rf "${probe_dir}"' RETURN
+  cat > "${probe_dir}/probe.cc" <<'EOF'
+#include <thread>
+int main() {
+  int x = 0;
+  std::thread t([&] { x = 1; });
+  t.join();
+  return x - 1;
+}
+EOF
+  ${CXX:-c++} ${TSAN_FLAGS} "${probe_dir}/probe.cc" -o "${probe_dir}/probe" \
+      -pthread 2> /dev/null
+}
+
+FLAGS="${STRICT_FLAGS}"
+if tsan_works; then
+  FLAGS="${STRICT_FLAGS} ${TSAN_FLAGS}"
+  echo "[livo_check] ThreadSanitizer available: building with TSan + -Werror"
+else
+  echo "[livo_check] ThreadSanitizer unavailable on this toolchain:" \
+       "falling back to -Werror only"
+fi
+
+"${CMAKE_BIN}" -S "${ROOT}" -B "${BUILD_DIR}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="${FLAGS}" > /dev/null
+
+"${CMAKE_BIN}" --build "${BUILD_DIR}" --target livo_check_tests -j "$(nproc)"
+
+echo "[livo_check] running livo_check_tests"
+"${BUILD_DIR}/tests/livo_check_tests" --gtest_brief=1
+
+echo "[livo_check] OK"
