@@ -2,7 +2,19 @@
 // primitives behind the paper's 30 fps requirement: the 8x8 DCT, plane
 // encoding, RGB-D view culling, point-cloud reconstruction, octree coding,
 // and PointSSIM.
+//
+// After the google-benchmark suite, main() runs a slice-parallel codec
+// throughput sweep (full tiled color frame, key + P, at 1/2/N threads) and
+// writes machine-readable BENCH_codec.json — the perf trajectory record for
+// the threading work. Override the output path with --codec_json=<path>.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "core/culling.h"
 #include "core/types.h"
@@ -12,10 +24,12 @@
 #include "pccodec/octree_codec.h"
 #include "pointcloud/pointcloud.h"
 #include "sim/dataset.h"
+#include "util/clock.h"
 #include "util/rng.h"
 #include "video/color_convert.h"
 #include "video/dct.h"
 #include "video/plane_codec.h"
+#include "video/video_codec.h"
 
 namespace {
 
@@ -126,6 +140,119 @@ void BM_DepthScale(benchmark::State& state) {
 }
 BENCHMARK(BM_DepthScale);
 
+// ---- Slice-parallel codec throughput (BENCH_codec.json) ----
+
+struct CodecThroughput {
+  int threads = 0;
+  double encode_mps = 0.0;  // megapixels of canvas per second
+  double decode_mps = 0.0;
+};
+
+// Measures end-to-end color-frame encode and decode throughput at a given
+// fan-out width. Each rep is one key + one P frame through all three YCbCr
+// planes, so intra, inter, and motion paths all contribute.
+CodecThroughput MeasureCodecThroughput(int threads) {
+  const auto& seq = Sequence();
+  core::LiVoConfig config;
+  const auto planes0 =
+      video::RgbToYcbcr(image::Tile(config.layout, seq.frames[0], 0).color);
+  const auto planes1 =
+      video::RgbToYcbcr(image::Tile(config.layout, seq.frames[1], 1).color);
+  video::CodecConfig codec = config.ColorCodecConfig();
+  codec.max_threads = threads;
+  constexpr int kQp = 24;
+  const double mp_per_rep =
+      2.0 * codec.width * codec.height / 1e6;  // two frames per rep
+
+  CodecThroughput result;
+  result.threads = threads;
+
+  // Pre-encode one key + P pair for the decode loop.
+  std::vector<video::EncodedFrame> frames;
+  {
+    video::VideoEncoder encoder(codec, 3);
+    frames.push_back(encoder.EncodeAtQp(planes0, kQp).frame);
+    frames.push_back(encoder.EncodeAtQp(planes1, kQp).frame);
+  }
+
+  const auto timed = [&](const std::function<void()>& rep) {
+    rep();  // warm-up (pool spin-up, caches)
+    int reps = 0;
+    livo::util::Stopwatch watch;
+    do {
+      rep();
+      ++reps;
+    } while (watch.ElapsedMs() < 500.0 || reps < 3);
+    return reps * mp_per_rep / (watch.ElapsedMs() / 1e3);
+  };
+
+  {
+    video::VideoEncoder encoder(codec, 3);
+    result.encode_mps = timed([&] {
+      encoder.RequestKeyframe();
+      benchmark::DoNotOptimize(encoder.EncodeAtQp(planes0, kQp));
+      benchmark::DoNotOptimize(encoder.EncodeAtQp(planes1, kQp));
+    });
+  }
+  {
+    video::VideoDecoder decoder(codec, 3);
+    result.decode_mps = timed([&] {
+      benchmark::DoNotOptimize(decoder.Decode(frames[0]));
+      benchmark::DoNotOptimize(decoder.Decode(frames[1]));
+    });
+  }
+  return result;
+}
+
+void WriteCodecThroughputJson(const std::string& path) {
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  std::vector<int> thread_counts{1, 2};
+  if (hw > 2) thread_counts.push_back(hw);
+  std::vector<CodecThroughput> results;
+  for (int t : thread_counts) results.push_back(MeasureCodecThroughput(t));
+
+  core::LiVoConfig config;
+  std::ofstream out(path);
+  out << "{\n";
+  out << "  \"benchmark\": \"slice_parallel_codec_throughput\",\n";
+  out << "  \"hardware_concurrency\": " << hw << ",\n";
+  out << "  \"canvas\": {\"width\": " << config.layout.canvas_width()
+      << ", \"height\": " << config.layout.canvas_height() << "},\n";
+  out << "  \"planes\": 3,\n";
+  out << "  \"slice_height\": " << config.layout.tile_height() << ",\n";
+  out << "  \"qp\": 24,\n";
+  out << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    out << "    {\"threads\": " << r.threads
+        << ", \"encode_mps\": " << r.encode_mps
+        << ", \"decode_mps\": " << r.decode_mps
+        << ", \"encode_speedup\": " << r.encode_mps / results[0].encode_mps
+        << ", \"decode_speedup\": " << r.decode_mps / results[0].decode_mps
+        << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string codec_json = "BENCH_codec.json";
+  // Strip our own flag before google-benchmark sees the arguments.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--codec_json=", 13) == 0) {
+      codec_json = argv[i] + 13;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  WriteCodecThroughputJson(codec_json);
+  return 0;
+}

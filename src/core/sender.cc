@@ -6,6 +6,7 @@
 #include "metrics/image_metrics.h"
 #include "obs/obs.h"
 #include "util/clock.h"
+#include "util/thread_pool.h"
 #include "video/color_convert.h"
 
 namespace livo::core {
@@ -117,25 +118,10 @@ SenderOutput LiVoSender::ProcessFrame(std::vector<image::RgbdFrame> views,
     case DepthEncodingMode::kUnscaledY16:
       depth_planes.push_back(tiled.depth);
       break;
-    case DepthEncodingMode::kRgbPacked: {
-      const image::ColorImage packed = image::PackDepthToRgb(tiled.depth);
-      depth_planes.push_back([&] {
-        image::Plane16 p(packed.width(), packed.height());
-        for (std::size_t i = 0; i < p.data().size(); ++i) p.data()[i] = packed.r.data()[i];
-        return p;
-      }());
-      depth_planes.push_back([&] {
-        image::Plane16 p(packed.width(), packed.height());
-        for (std::size_t i = 0; i < p.data().size(); ++i) p.data()[i] = packed.g.data()[i];
-        return p;
-      }());
-      depth_planes.push_back([&] {
-        image::Plane16 p(packed.width(), packed.height());
-        for (std::size_t i = 0; i < p.data().size(); ++i) p.data()[i] = packed.b.data()[i];
-        return p;
-      }());
+    case DepthEncodingMode::kRgbPacked:
+      depth_planes =
+          image::PackedRgbToPlanes(image::PackDepthToRgb(tiled.depth));
       break;
-    }
   }
   const std::vector<image::Plane16> color_planes =
       video::RgbToYcbcr(tiled.color);
@@ -150,6 +136,10 @@ SenderOutput LiVoSender::ProcessFrame(std::vector<image::RgbdFrame> views,
   video::EncodeResult color_result, depth_result;
   {
     LIVO_SPAN("sender.encode");
+    // The color and depth encoders are independent state machines, so the
+    // two streams encode concurrently: color on a pool lane, depth on this
+    // thread. Wait() orders both results before the credit update below.
+    util::ThreadPool::TaskGroup encoders(util::SharedPool());
     if (config_.enable_adaptation) {
       // Leaky-bucket amortization: frames that undershot their budget bank
       // credit that keyframes spend, so the long-run rate tracks the target
@@ -160,18 +150,25 @@ SenderOutput LiVoSender::ProcessFrame(std::vector<image::RgbdFrame> views,
       const auto depth_budget = static_cast<std::size_t>(spendable * split);
       const auto color_budget =
           static_cast<std::size_t>(spendable * (1.0 - split));
-      color_result = color_encoder_.EncodeToTarget(color_planes, color_budget);
+      encoders.Run([&] {
+        color_result = color_encoder_.EncodeToTarget(color_planes,
+                                                     color_budget);
+      });
       depth_result = depth_encoder_.EncodeToTarget(depth_planes, depth_budget);
+      encoders.Wait();
       const double spent =
           static_cast<double>(color_result.frame.SizeBytes() +
                               depth_result.frame.SizeBytes());
       byte_credit_ += frame_budget_bytes - spent;
       byte_credit_ = std::max(byte_credit_, -3.0 * frame_budget_bytes);
     } else {
-      color_result = color_encoder_.EncodeAtQp(color_planes,
-                                               config_.fixed_color_qp);
+      encoders.Run([&] {
+        color_result = color_encoder_.EncodeAtQp(color_planes,
+                                                 config_.fixed_color_qp);
+      });
       depth_result = depth_encoder_.EncodeAtQp(depth_planes,
                                                config_.fixed_depth_qp);
+      encoders.Wait();
     }
   }
   out.stats.encode_ms = encode_watch.ElapsedMs();
@@ -189,16 +186,8 @@ SenderOutput LiVoSender::ProcessFrame(std::vector<image::RgbdFrame> views,
     if (config_.depth_mode == DepthEncodingMode::kRgbPacked) {
       // Probe on reconstructed millimetres (the packed planes have no
       // directly comparable unit).
-      image::ColorImage packed(config_.layout.canvas_width(),
-                               config_.layout.canvas_height());
-      for (std::size_t i = 0; i < packed.r.data().size(); ++i) {
-        packed.r.data()[i] = static_cast<std::uint8_t>(
-            depth_result.reconstruction[0].data()[i]);
-        packed.g.data()[i] = static_cast<std::uint8_t>(
-            depth_result.reconstruction[1].data()[i]);
-        packed.b.data()[i] = static_cast<std::uint8_t>(
-            depth_result.reconstruction[2].data()[i]);
-      }
+      const image::ColorImage packed =
+          image::PlanesToPackedRgb(depth_result.reconstruction);
       rmse_depth = metrics::PlaneRmse(tiled.depth,
                                       image::UnpackDepthFromRgb(packed));
     } else if (config_.depth_mode == DepthEncodingMode::kScaledY16) {

@@ -53,6 +53,11 @@ struct LiVoConfig {
     // proportionally deeper quantization than standard streams do. See
     // EXPERIMENTS.md "scale model" for the consequences.
     c.qp_max = 62;
+    // Slices aligned to the camera-tile grid: one independent band per
+    // tile row (plus the marker strip remainder), encoded/decoded across
+    // all available cores. Identical bitstreams for any thread count.
+    c.slice_height = layout.tile_height();
+    c.max_threads = 0;
     return c;
   }
 
@@ -66,6 +71,9 @@ struct LiVoConfig {
     // Extended beyond H.265's QP 51 (see ColorCodecConfig note); 16-bit
     // samples need a correspondingly wider range.
     c.qp_max = 92;
+    // Same tile-aligned slice grid as the color stream (see above).
+    c.slice_height = layout.tile_height();
+    c.max_threads = 0;
     return c;
   }
 };

@@ -34,6 +34,35 @@ ColorImage PackDepthToRgb(const Plane16& depth_mm) {
   return out;
 }
 
+std::vector<Plane16> PackedRgbToPlanes(const ColorImage& packed) {
+  std::vector<Plane16> planes;
+  planes.reserve(3);
+  for (const Plane8* channel : {&packed.r, &packed.g, &packed.b}) {
+    Plane16 plane(packed.width(), packed.height());
+    const auto& src = channel->data();
+    auto& dst = plane.data();
+    for (std::size_t i = 0; i < src.size(); ++i) dst[i] = src[i];
+    planes.push_back(std::move(plane));
+  }
+  return planes;
+}
+
+ColorImage PlanesToPackedRgb(const std::vector<Plane16>& planes) {
+  if (planes.size() != 3) {
+    throw std::invalid_argument("PlanesToPackedRgb needs exactly 3 planes");
+  }
+  ColorImage packed(planes[0].width(), planes[0].height());
+  Plane8* channels[] = {&packed.r, &packed.g, &packed.b};
+  for (std::size_t c = 0; c < 3; ++c) {
+    const auto& src = planes[c].data();
+    auto& dst = channels[c]->data();
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      dst[i] = static_cast<std::uint8_t>(src[i]);
+    }
+  }
+  return packed;
+}
+
 Plane16 UnpackDepthFromRgb(const ColorImage& packed) {
   Plane16 out(packed.width(), packed.height());
   const auto& r = packed.r.data();

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "image/image.h"
 
@@ -52,5 +53,13 @@ void UnscaleDepthInPlace(Plane16& depth, const DepthScaler& scaler);
 // low byte in G, B = 0. The inverse reassembles (R << 8) | G.
 ColorImage PackDepthToRgb(const Plane16& depth_mm);
 Plane16 UnpackDepthFromRgb(const ColorImage& packed);
+
+// Widens a packed RGB image into the three 16-bit planes (values 0..255)
+// the video codec consumes, and narrows three such planes back into an RGB
+// image. The sender uses the pair to feed RGB-packed depth through the
+// ordinary 8-bit codec path and to reassemble the codec's reconstruction
+// for the quality probe.
+std::vector<Plane16> PackedRgbToPlanes(const ColorImage& packed);
+ColorImage PlanesToPackedRgb(const std::vector<Plane16>& planes);
 
 }  // namespace livo::image

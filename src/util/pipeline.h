@@ -13,6 +13,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <utility>
@@ -55,7 +56,15 @@ class Pipeline {
 
   // Launches one thread per stage. Items fed with Feed() flow through all
   // stages; final results accumulate in the output queue read by PopResult().
+  // Throws std::logic_error when called on a running pipeline or one with
+  // no stages.
   void Start() {
+    if (running_) {
+      throw std::logic_error("Pipeline::Start called on a running pipeline");
+    }
+    if (stages_.empty()) {
+      throw std::logic_error("Pipeline::Start called with no stages");
+    }
     const std::size_t n = stages_.size();
     queues_.clear();
     for (std::size_t i = 0; i <= n; ++i) {
@@ -73,17 +82,32 @@ class Pipeline {
                        &registry.GetCounter(prefix + ".processed"),
                        &registry.GetCounter(prefix + ".dropped")});
     }
+    // Mark running before launching: if a thread fails to spawn, Stop()
+    // (and the destructor) must still close queues and join the stages
+    // already launched.
+    running_ = true;
     for (std::size_t i = 0; i < n; ++i) {
       threads_.emplace_back([this, i] { RunStage(i); });
     }
-    running_ = true;
   }
 
   // Feeds an item into the first stage; returns false once stopped.
-  bool Feed(T item) { return queues_.front()->Push(std::move(item)); }
+  // Throws std::logic_error if the pipeline was never started.
+  bool Feed(T item) {
+    if (queues_.empty()) {
+      throw std::logic_error("Pipeline::Feed called before Start");
+    }
+    return queues_.front()->Push(std::move(item));
+  }
 
   // Pops a fully processed item (blocking); nullopt when drained after Stop().
-  std::optional<T> PopResult() { return queues_.back()->Pop(); }
+  // Throws std::logic_error if the pipeline was never started.
+  std::optional<T> PopResult() {
+    if (queues_.empty()) {
+      throw std::logic_error("Pipeline::PopResult called before Start");
+    }
+    return queues_.back()->Pop();
+  }
 
   // Signals end of input and joins all stage threads.
   void Stop() {

@@ -1,0 +1,223 @@
+// Shared thread pool for intra-frame parallelism (livo::util).
+//
+// A fixed set of worker threads drains one central FIFO task queue — no
+// work stealing, no per-thread deques — which keeps the pool small enough
+// to reason about and ThreadSanitizer-clean. The codec fans out at three
+// levels (slices within a plane, planes within a frame, color ∥ depth
+// streams within the sender), so tasks routinely submit subtasks and wait
+// for them from *inside* a pool worker. Two rules make that safe:
+//
+//   1. Waiting threads help: TaskGroup::Wait() and ParallelFor() execute
+//      queued tasks while their own work is outstanding, so a pool of any
+//      size (including zero workers) always makes progress and nested
+//      fan-out cannot deadlock.
+//   2. Completion is tracked per TaskGroup, not per pool, so concurrent
+//      callers never observe each other's tasks as their own.
+//
+// Determinism contract: the pool only affects *when* tasks run, never what
+// they produce. Callers assemble results by task index (e.g. slice outputs
+// concatenated in slice order), so outputs are byte-identical for any
+// worker count, including zero.
+//
+// SharedPool() returns the process-wide pool sized from
+// std::thread::hardware_concurrency(); tests construct their own instances
+// (any size, including 0 workers) and inject them where needed.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace livo::util {
+
+class ThreadPool {
+ public:
+  // `workers` = number of dedicated threads; 0 runs everything on the
+  // calling (helping) threads. A negative value — and the default — sizes
+  // the pool from hardware_concurrency minus one, because the submitting
+  // thread always participates as an executor.
+  explicit ThreadPool(int workers = -1) {
+    if (workers < 0) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      workers = hw > 1 ? static_cast<int>(hw) - 1 : 0;
+    }
+    workers_.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    queue_cv_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int worker_count() const { return static_cast<int>(workers_.size()); }
+
+  // Executor lanes available to a ParallelFor: the workers plus the caller.
+  int parallelism() const { return worker_count() + 1; }
+
+  // Tracks completion of a batch of tasks submitted to one pool. Run() all
+  // tasks first, then Wait() from the submitting thread; Wait() helps
+  // execute queued tasks (from any group) until this group drains. The
+  // first exception thrown by a task is rethrown from Wait().
+  class TaskGroup {
+   public:
+    explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+
+    // Wait() must have returned before destruction; enforce it for early
+    // exits (exceptions between Run and Wait).
+    ~TaskGroup() {
+      if (pending_.load(std::memory_order_acquire) != 0) WaitNoThrow();
+    }
+
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+
+    void Run(std::function<void()> fn) {
+      pending_.fetch_add(1, std::memory_order_relaxed);
+      pool_.Enqueue([this, fn = std::move(fn)] {
+        try {
+          fn();
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mu_);
+          if (!exception_) exception_ = std::current_exception();
+        }
+        Done();
+      });
+    }
+
+    void Wait() {
+      WaitNoThrow();
+      std::lock_guard<std::mutex> lock(mu_);
+      if (exception_) {
+        std::exception_ptr e = exception_;
+        exception_ = nullptr;
+        std::rethrow_exception(e);
+      }
+    }
+
+   private:
+    void WaitNoThrow() {
+      while (pending_.load(std::memory_order_acquire) != 0) {
+        // Help: run queued tasks (ours or anyone's) instead of blocking.
+        if (pool_.RunOneTask()) continue;
+        // Queue empty but tasks still in flight on other threads: block
+        // until our count drains. In-flight tasks always terminate (their
+        // own nested waits also help), so no timeout is needed.
+        std::unique_lock<std::mutex> lock(mu_);
+        done_cv_.wait(lock, [this] {
+          return pending_.load(std::memory_order_acquire) == 0;
+        });
+      }
+    }
+
+    void Done() {
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(mu_);
+        done_cv_.notify_all();
+      }
+    }
+
+    ThreadPool& pool_;
+    std::atomic<int> pending_{0};
+    std::mutex mu_;
+    std::condition_variable done_cv_;
+    std::exception_ptr exception_;
+  };
+
+  // Runs fn(0..n-1) across at most `max_width` executor lanes (the caller
+  // counts as one lane). max_width <= 0 means one lane per available
+  // executor. Returns after every index completed; rethrows the first
+  // exception. Indices are claimed dynamically, but callers must write
+  // results by index, so the outcome is independent of the interleaving.
+  void ParallelFor(int n, int max_width, const std::function<void(int)>& fn) {
+    if (n <= 0) return;
+    int width = max_width <= 0 ? parallelism() : max_width;
+    width = width < n ? width : n;
+    if (width <= 1 || worker_count() == 0) {
+      for (int i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    std::atomic<int> next{0};
+    const auto lane = [&next, n, &fn] {
+      for (int i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        fn(i);
+      }
+    };
+    TaskGroup group(*this);
+    for (int t = 0; t < width - 1; ++t) group.Run(lane);
+    try {
+      lane();  // the caller is lane 0
+    } catch (...) {
+      group.Wait();  // tasks reference stack state; drain before unwinding
+      throw;
+    }
+    group.Wait();
+  }
+
+ private:
+  void Enqueue(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(task));
+    }
+    queue_cv_.notify_one();
+  }
+
+  // Pops and runs one queued task; false if the queue was empty.
+  bool RunOneTask() {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_.empty()) return false;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    return true;
+  }
+
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        queue_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // shutdown with nothing left to drain
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Process-wide pool shared by the codec's slice/plane/stream fan-out,
+// created on first use and sized from hardware_concurrency.
+inline ThreadPool& SharedPool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace livo::util

@@ -13,6 +13,10 @@
 
 #include "image/image.h"
 
+namespace livo::util {
+class ThreadPool;
+}
+
 namespace livo::video {
 
 // QP -> quantization step, H.265-style: step doubles every 6 QP.
@@ -51,6 +55,23 @@ struct CodecConfig {
   // Small translational motion search (diamond refinement) on P blocks.
   bool motion_search = true;
   int motion_range_px = 3;
+
+  // --- Threading (slice-parallel codec) ---
+  // Pixel rows per independent slice (must be a multiple of 8). Slices are
+  // horizontal full-width bands aligned to the camera-tile grid; no
+  // prediction (intra DC or motion compensation) crosses a slice boundary,
+  // so slices encode and decode independently. 0 = one slice per plane.
+  // Changing this changes the bitstream; encoder and decoder must agree.
+  int slice_height = 0;
+  // Fan-out width for slice/plane parallelism: 1 = serial on the calling
+  // thread, 0 = one lane per available hardware thread, k > 1 = at most k
+  // lanes. Purely an execution knob: slice outputs are concatenated in
+  // slice order, so bitstream and reconstruction are byte-identical for
+  // every value.
+  int max_threads = 1;
+  // Pool running the fan-out; nullptr = the process-wide util::SharedPool().
+  // Tests inject a private pool to exercise specific worker counts.
+  util::ThreadPool* pool = nullptr;
 
   int MaxSampleValue() const { return kind == PlaneKind::kDepth16 ? 65535 : 255; }
   int MidSampleValue() const { return kind == PlaneKind::kDepth16 ? 32768 : 128; }

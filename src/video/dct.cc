@@ -70,24 +70,4 @@ void InverseDct(const Block& freq, Block& spatial) {
   }
 }
 
-const std::array<int, kBlockPixels>& ZigzagOrder() {
-  static const std::array<int, kBlockPixels> order = [] {
-    std::array<int, kBlockPixels> o{};
-    int idx = 0;
-    for (int s = 0; s < 2 * kBlockSize - 1; ++s) {
-      if (s % 2 == 0) {  // walk up-right
-        for (int y = std::min(s, kBlockSize - 1); y >= 0 && s - y < kBlockSize; --y) {
-          o[idx++] = y * kBlockSize + (s - y);
-        }
-      } else {  // walk down-left
-        for (int x = std::min(s, kBlockSize - 1); x >= 0 && s - x < kBlockSize; --x) {
-          o[idx++] = (s - x) * kBlockSize + x;
-        }
-      }
-    }
-    return o;
-  }();
-  return order;
-}
-
 }  // namespace livo::video

@@ -22,8 +22,38 @@ void ForwardDct(const Block& spatial, Block& freq);
 // Inverse 8x8 DCT (DCT-III with orthonormal scaling).
 void InverseDct(const Block& freq, Block& spatial);
 
+namespace detail {
+
+constexpr std::array<int, kBlockPixels> MakeZigzagOrder() {
+  std::array<int, kBlockPixels> o{};
+  int idx = 0;
+  for (int s = 0; s < 2 * kBlockSize - 1; ++s) {
+    if (s % 2 == 0) {  // walk up-right
+      const int y_start = s < kBlockSize ? s : kBlockSize - 1;
+      for (int y = y_start; y >= 0 && s - y < kBlockSize; --y) {
+        o[idx++] = y * kBlockSize + (s - y);
+      }
+    } else {  // walk down-left
+      const int x_start = s < kBlockSize ? s : kBlockSize - 1;
+      for (int x = x_start; x >= 0 && s - x < kBlockSize; --x) {
+        o[idx++] = (s - x) * kBlockSize + x;
+      }
+    }
+  }
+  return o;
+}
+
+}  // namespace detail
+
 // Zigzag scan order mapping scan position -> raster index; low-frequency
-// coefficients first, so zero runs concentrate at the tail.
-const std::array<int, kBlockPixels>& ZigzagOrder();
+// coefficients first, so zero runs concentrate at the tail. Built at
+// compile time: the entropy coder consults it per block, so the lookup
+// must not pay a magic-static guard.
+inline constexpr std::array<int, kBlockPixels> kZigzagOrder =
+    detail::MakeZigzagOrder();
+
+inline const std::array<int, kBlockPixels>& ZigzagOrder() {
+  return kZigzagOrder;
+}
 
 }  // namespace livo::video

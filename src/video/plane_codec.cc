@@ -4,8 +4,11 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/bitstream.h"
+#include "util/clock.h"
+#include "util/thread_pool.h"
 #include "video/dct.h"
 
 namespace livo::video {
@@ -22,11 +25,35 @@ enum BlockMode : int {
   kModeIntraDc = 3,   // DC prediction from reconstructed neighbours
 };
 
-// Reference pixel fetch with border clamping (for motion compensation).
-inline int RefPixel(const Plane16& ref, int x, int y) {
-  x = std::clamp(x, 0, ref.width() - 1);
-  y = std::clamp(y, 0, ref.height() - 1);
-  return ref.at(x, y);
+// One independent horizontal band of a plane: pixel rows [y0, y1), both
+// multiples of the block size. All prediction — intra DC neighbours and
+// motion-compensated reference reads — is confined to the band, so each
+// slice is a pure function of its own rows of (src, reference) and slices
+// can encode/decode concurrently.
+struct SliceBand {
+  int y0 = 0;
+  int y1 = 0;
+};
+
+std::vector<SliceBand> SlicePartition(const CodecConfig& config, int height) {
+  const int slice_height =
+      config.slice_height > 0 ? config.slice_height : height;
+  std::vector<SliceBand> slices;
+  for (int y0 = 0; y0 < height; y0 += slice_height) {
+    slices.push_back({y0, std::min(y0 + slice_height, height)});
+  }
+  return slices;
+}
+
+void ValidateSliceConfig(const CodecConfig& config) {
+  if (config.slice_height % kBlockSize != 0 || config.slice_height < 0) {
+    throw std::invalid_argument(
+        "slice_height must be a non-negative multiple of 8");
+  }
+}
+
+util::ThreadPool& Pool(const CodecConfig& config) {
+  return config.pool != nullptr ? *config.pool : util::SharedPool();
 }
 
 // Loads the 8x8 source block at (bx, by) in block units.
@@ -38,13 +65,36 @@ void LoadBlock(const Plane16& plane, int bx, int by, IntBlock& out) {
   }
 }
 
+// True when the prediction block at pixel origin (x0, y0) lies entirely
+// inside the plane horizontally and inside the slice band vertically, i.e.
+// no border clamping can occur.
+inline bool PredictionIsInterior(const Plane16& ref, const SliceBand& band,
+                                 int x0, int y0) {
+  return x0 >= 0 && x0 + kBlockSize <= ref.width() && y0 >= band.y0 &&
+         y0 + kBlockSize <= band.y1;
+}
+
 // Builds the motion-compensated prediction block at offset (dx, dy).
-void LoadPrediction(const Plane16& ref, int bx, int by, int dx, int dy,
-                    IntBlock& out) {
+// Reference reads clamp to the slice band (not the whole plane) so slices
+// stay independent; the interior fast path skips per-pixel clamping
+// entirely, which is the common case for every SKIP/zero-motion block and
+// most motion candidates.
+void LoadPrediction(const Plane16& ref, const SliceBand& band, int bx, int by,
+                    int dx, int dy, IntBlock& out) {
   const int x0 = bx * kBlockSize + dx, y0 = by * kBlockSize + dy;
+  if (PredictionIsInterior(ref, band, x0, y0)) {
+    for (int y = 0; y < kBlockSize; ++y) {
+      const auto* row = ref.row(y0 + y) + x0;
+      for (int x = 0; x < kBlockSize; ++x) out[y * kBlockSize + x] = row[x];
+    }
+    return;
+  }
+  const int max_x = ref.width() - 1;
   for (int y = 0; y < kBlockSize; ++y) {
+    const int ry = std::clamp(y0 + y, band.y0, band.y1 - 1);
+    const auto* row = ref.row(ry);
     for (int x = 0; x < kBlockSize; ++x) {
-      out[y * kBlockSize + x] = RefPixel(ref, x0 + x, y0 + y);
+      out[y * kBlockSize + x] = row[std::clamp(x0 + x, 0, max_x)];
     }
   }
 }
@@ -52,6 +102,36 @@ void LoadPrediction(const Plane16& ref, int bx, int by, int dx, int dy,
 long long Sad(const IntBlock& a, const IntBlock& b) {
   long long s = 0;
   for (int i = 0; i < kBlockPixels; ++i) s += std::abs(a[i] - b[i]);
+  return s;
+}
+
+// SAD between `src` and the candidate prediction at pixel origin (x0, y0),
+// aborting once the partial sum reaches `bound`: the candidate can no
+// longer beat the current best (comparison is strict <), so the exact
+// value is irrelevant. Fuses the prediction fetch into the accumulation —
+// no candidate block is materialized.
+long long SadBounded(const Plane16& ref, const SliceBand& band,
+                     const IntBlock& src, int x0, int y0, long long bound) {
+  long long s = 0;
+  if (PredictionIsInterior(ref, band, x0, y0)) {
+    for (int y = 0; y < kBlockSize; ++y) {
+      const auto* row = ref.row(y0 + y) + x0;
+      const int* srow = src.data() + y * kBlockSize;
+      for (int x = 0; x < kBlockSize; ++x) s += std::abs(srow[x] - row[x]);
+      if (s >= bound) return s;
+    }
+    return s;
+  }
+  const int max_x = ref.width() - 1;
+  for (int y = 0; y < kBlockSize; ++y) {
+    const int ry = std::clamp(y0 + y, band.y0, band.y1 - 1);
+    const auto* row = ref.row(ry);
+    const int* srow = src.data() + y * kBlockSize;
+    for (int x = 0; x < kBlockSize; ++x) {
+      s += std::abs(srow[x] - row[std::clamp(x0 + x, 0, max_x)]);
+    }
+    if (s >= bound) return s;
+  }
   return s;
 }
 
@@ -66,11 +146,14 @@ long long Sse(const IntBlock& a, const IntBlock& b) {
 
 // DC intra prediction from reconstructed pixels above and left of the block.
 // Mirrored exactly by the decoder (both operate on the same reconstruction).
-int IntraDcPrediction(const Plane16& recon, int bx, int by, int mid_value) {
+// Neighbours above the slice's first block row are treated as unavailable so
+// the prediction never reads another slice's reconstruction.
+int IntraDcPrediction(const Plane16& recon, const SliceBand& band, int bx,
+                      int by, int mid_value) {
   const int x0 = bx * kBlockSize, y0 = by * kBlockSize;
   long long sum = 0;
   int count = 0;
-  if (y0 > 0) {
+  if (y0 > band.y0) {
     for (int x = 0; x < kBlockSize; ++x) sum += recon.at(x0 + x, y0 - 1);
     count += kBlockSize;
   }
@@ -112,10 +195,9 @@ void ReconstructResidual(const IntBlock& levels, double step, IntBlock& residual
 
 // Entropy-codes quantized levels: zigzag (run, level) pairs, EOB = run 64.
 void WriteLevels(BitWriter& writer, const IntBlock& levels) {
-  const auto& zigzag = ZigzagOrder();
   int run = 0;
   for (int pos = 0; pos < kBlockPixels; ++pos) {
-    const int level = levels[zigzag[pos]];
+    const int level = levels[kZigzagOrder[pos]];
     if (level == 0) {
       ++run;
     } else {
@@ -129,14 +211,13 @@ void WriteLevels(BitWriter& writer, const IntBlock& levels) {
 
 void ReadLevels(BitReader& reader, IntBlock& levels) {
   levels.fill(0);
-  const auto& zigzag = ZigzagOrder();
   int pos = 0;
   for (;;) {
     const auto run = reader.ReadUE();
     if (run >= kBlockPixels) break;  // EOB
     pos += static_cast<int>(run);
     if (pos >= kBlockPixels) throw std::runtime_error("corrupt level run");
-    levels[zigzag[pos]] = static_cast<int>(reader.ReadSE());
+    levels[kZigzagOrder[pos]] = static_cast<int>(reader.ReadSE());
     ++pos;
   }
 }
@@ -156,20 +237,23 @@ void StoreBlock(Plane16& recon, int bx, int by, const IntBlock& prediction,
   }
 }
 
-// Small full search over [-range, range]^2 minimizing SAD. Returns best
-// offset; (0,0) is always a candidate so the result never regresses.
-void MotionSearch(const Plane16& ref, const IntBlock& src, int bx, int by,
-                  int range, int& best_dx, int& best_dy, long long& best_sad) {
-  IntBlock candidate;
+// Small full search over [-range, range]^2 minimizing SAD. (0, 0) with
+// SAD `sad_zero` is the incumbent, so the result never regresses; each
+// other candidate is evaluated with an early-exit bound at the current
+// best, which discards most candidates after a few rows.
+void MotionSearch(const Plane16& ref, const SliceBand& band,
+                  const IntBlock& src, int bx, int by, int range,
+                  long long sad_zero, int& best_dx, int& best_dy,
+                  long long& best_sad) {
+  const int px = bx * kBlockSize, py = by * kBlockSize;
   best_dx = 0;
   best_dy = 0;
-  LoadPrediction(ref, bx, by, 0, 0, candidate);
-  best_sad = Sad(src, candidate);
+  best_sad = sad_zero;
   for (int dy = -range; dy <= range; ++dy) {
     for (int dx = -range; dx <= range; ++dx) {
       if (dx == 0 && dy == 0) continue;
-      LoadPrediction(ref, bx, by, dx, dy, candidate);
-      const long long sad = Sad(src, candidate);
+      const long long sad =
+          SadBounded(ref, band, src, px + dx, py + dy, best_sad);
       if (sad < best_sad) {
         best_sad = sad;
         best_dx = dx;
@@ -179,30 +263,24 @@ void MotionSearch(const Plane16& ref, const IntBlock& src, int bx, int by,
   }
 }
 
-}  // namespace
-
-PlaneEncodeOutput EncodePlane(const CodecConfig& config, const Plane16& src,
-                              const Plane16* reference, int qp) {
-  LIVO_SPAN("codec.encode_plane");
-  if (src.width() % kBlockSize != 0 || src.height() % kBlockSize != 0) {
-    throw std::invalid_argument("plane dimensions must be multiples of 8");
-  }
-  if (reference != nullptr && !reference->SameShape(src)) {
-    throw std::invalid_argument("reference shape mismatch");
-  }
+// Encodes pixel rows [band.y0, band.y1) of `src` into an independent
+// bitstream segment, writing the slice's rows of `recon` (disjoint across
+// slices, so concurrent slice encodes never touch the same bytes).
+std::vector<std::uint8_t> EncodeSlice(const CodecConfig& config,
+                                      const Plane16& src,
+                                      const Plane16* reference, int qp,
+                                      const SliceBand& band, Plane16& recon) {
   const double step = QpToStep(qp);
   const int max_value = config.MaxSampleValue();
   const int blocks_x = src.width() / kBlockSize;
-  const int blocks_y = src.height() / kBlockSize;
+  const int by_begin = band.y0 / kBlockSize;
+  const int by_end = band.y1 / kBlockSize;
   const bool is_inter = reference != nullptr;
 
-  PlaneEncodeOutput out;
-  out.reconstruction = Plane16(src.width(), src.height());
   BitWriter writer;
-
   IntBlock src_block, prediction, residual, levels, recon_residual;
 
-  for (int by = 0; by < blocks_y; ++by) {
+  for (int by = by_begin; by < by_end; ++by) {
     for (int bx = 0; bx < blocks_x; ++bx) {
       LoadBlock(src, bx, by, src_block);
 
@@ -212,7 +290,7 @@ PlaneEncodeOutput EncodePlane(const CodecConfig& config, const Plane16& src,
       if (is_inter) {
         // Candidate evaluation by SAD with small mode-cost biases.
         IntBlock zero_pred;
-        LoadPrediction(*reference, bx, by, 0, 0, zero_pred);
+        LoadPrediction(*reference, band, bx, by, 0, 0, zero_pred);
         const long long sse_zero = Sse(src_block, zero_pred);
 
         // If the co-located residual energy is below the quantization noise
@@ -220,18 +298,18 @@ PlaneEncodeOutput EncodePlane(const CodecConfig& config, const Plane16& src,
         const double noise_floor = (step * step / 12.0) * kBlockPixels;
         if (static_cast<double>(sse_zero) <= noise_floor) {
           writer.WriteUE(kModeSkip);
-          StoreBlock(out.reconstruction, bx, by, zero_pred, IntBlock{}, max_value);
+          StoreBlock(recon, bx, by, zero_pred, IntBlock{}, max_value);
           continue;
         }
 
         const long long sad_zero = Sad(src_block, zero_pred);
         long long sad_mv = sad_zero;
         if (config.motion_search) {
-          MotionSearch(*reference, src_block, bx, by, config.motion_range_px,
-                       mv_dx, mv_dy, sad_mv);
+          MotionSearch(*reference, band, src_block, bx, by,
+                       config.motion_range_px, sad_zero, mv_dx, mv_dy, sad_mv);
         }
-        const int dc_pred = IntraDcPrediction(out.reconstruction, bx, by,
-                                              config.MidSampleValue());
+        const int dc_pred =
+            IntraDcPrediction(recon, band, bx, by, config.MidSampleValue());
         IntBlock intra_pred;
         FillBlock(dc_pred, intra_pred);
         const long long sad_intra = Sad(src_block, intra_pred);
@@ -256,16 +334,16 @@ PlaneEncodeOutput EncodePlane(const CodecConfig& config, const Plane16& src,
       // Build the chosen prediction.
       switch (mode) {
         case kModeInterZero:
-          LoadPrediction(*reference, bx, by, 0, 0, prediction);
+          LoadPrediction(*reference, band, bx, by, 0, 0, prediction);
           break;
         case kModeInterMv:
-          LoadPrediction(*reference, bx, by, mv_dx, mv_dy, prediction);
+          LoadPrediction(*reference, band, bx, by, mv_dx, mv_dy, prediction);
           break;
         case kModeIntraDc:
         default:
-          FillBlock(IntraDcPrediction(out.reconstruction, bx, by,
-                                      config.MidSampleValue()),
-                    prediction);
+          FillBlock(
+              IntraDcPrediction(recon, band, bx, by, config.MidSampleValue()),
+              prediction);
           break;
       }
 
@@ -279,7 +357,7 @@ PlaneEncodeOutput EncodePlane(const CodecConfig& config, const Plane16& src,
       // instead of mode + EOB.
       if (is_inter && mode == kModeInterZero && !any_level) {
         writer.WriteUE(kModeSkip);
-        StoreBlock(out.reconstruction, bx, by, prediction, IntBlock{}, max_value);
+        StoreBlock(recon, bx, by, prediction, IntBlock{}, max_value);
         continue;
       }
 
@@ -293,33 +371,28 @@ PlaneEncodeOutput EncodePlane(const CodecConfig& config, const Plane16& src,
       WriteLevels(writer, levels);
 
       ReconstructResidual(levels, step, recon_residual);
-      StoreBlock(out.reconstruction, bx, by, prediction, recon_residual,
-                 max_value);
+      StoreBlock(recon, bx, by, prediction, recon_residual, max_value);
     }
   }
 
-  out.bits = writer.Finish();
-  return out;
+  return writer.Finish();
 }
 
-Plane16 DecodePlane(const CodecConfig& config,
-                    const std::vector<std::uint8_t>& bits,
-                    const Plane16* reference, int qp) {
-  LIVO_SPAN("codec.decode_plane");
-  if (config.width % kBlockSize != 0 || config.height % kBlockSize != 0) {
-    throw std::invalid_argument("plane dimensions must be multiples of 8");
-  }
+// Decodes one slice segment into its rows of `recon`.
+void DecodeSlice(const CodecConfig& config, const std::uint8_t* data,
+                 std::size_t size, const Plane16* reference, int qp,
+                 const SliceBand& band, Plane16& recon) {
   const double step = QpToStep(qp);
   const int max_value = config.MaxSampleValue();
   const int blocks_x = config.width / kBlockSize;
-  const int blocks_y = config.height / kBlockSize;
+  const int by_begin = band.y0 / kBlockSize;
+  const int by_end = band.y1 / kBlockSize;
   const bool is_inter = reference != nullptr;
 
-  Plane16 recon(config.width, config.height);
-  BitReader reader(bits);
+  BitReader reader(data, size);
   IntBlock prediction, levels, residual;
 
-  for (int by = 0; by < blocks_y; ++by) {
+  for (int by = by_begin; by < by_end; ++by) {
     for (int bx = 0; bx < blocks_x; ++bx) {
       int mode = kModeIntraDc;
       int mv_dx = 0, mv_dy = 0;
@@ -333,22 +406,23 @@ Plane16 DecodePlane(const CodecConfig& config,
       }
 
       if (mode == kModeSkip) {
-        LoadPrediction(*reference, bx, by, 0, 0, prediction);
+        LoadPrediction(*reference, band, bx, by, 0, 0, prediction);
         StoreBlock(recon, bx, by, prediction, IntBlock{}, max_value);
         continue;
       }
 
       switch (mode) {
         case kModeInterZero:
-          LoadPrediction(*reference, bx, by, 0, 0, prediction);
+          LoadPrediction(*reference, band, bx, by, 0, 0, prediction);
           break;
         case kModeInterMv:
-          LoadPrediction(*reference, bx, by, mv_dx, mv_dy, prediction);
+          LoadPrediction(*reference, band, bx, by, mv_dx, mv_dy, prediction);
           break;
         case kModeIntraDc:
         default:
-          FillBlock(IntraDcPrediction(recon, bx, by, config.MidSampleValue()),
-                    prediction);
+          FillBlock(
+              IntraDcPrediction(recon, band, bx, by, config.MidSampleValue()),
+              prediction);
           break;
       }
 
@@ -357,6 +431,106 @@ Plane16 DecodePlane(const CodecConfig& config,
       StoreBlock(recon, bx, by, prediction, residual, max_value);
     }
   }
+}
+
+}  // namespace
+
+PlaneEncodeOutput EncodePlane(const CodecConfig& config, const Plane16& src,
+                              const Plane16* reference, int qp) {
+  LIVO_SPAN("codec.encode_plane");
+  if (src.width() % kBlockSize != 0 || src.height() % kBlockSize != 0) {
+    throw std::invalid_argument("plane dimensions must be multiples of 8");
+  }
+  if (reference != nullptr && !reference->SameShape(src)) {
+    throw std::invalid_argument("reference shape mismatch");
+  }
+  ValidateSliceConfig(config);
+  const std::vector<SliceBand> slices = SlicePartition(config, src.height());
+  const auto slice_count = slices.size();
+
+  PlaneEncodeOutput out;
+  out.reconstruction = Plane16(src.width(), src.height());
+
+  // Encode slices concurrently; each writes a disjoint row band of the
+  // reconstruction and its own bitstream segment, keyed by slice index.
+  std::vector<std::vector<std::uint8_t>> segments(slice_count);
+  std::vector<double> slice_busy_ms(slice_count, 0.0);
+  util::Stopwatch wall;
+  Pool(config).ParallelFor(
+      static_cast<int>(slice_count), config.max_threads, [&](int i) {
+        LIVO_SPAN("codec.slice_encode");
+        util::Stopwatch watch;
+        segments[static_cast<std::size_t>(i)] =
+            EncodeSlice(config, src, reference, qp,
+                        slices[static_cast<std::size_t>(i)],
+                        out.reconstruction);
+        slice_busy_ms[static_cast<std::size_t>(i)] = watch.ElapsedMs();
+      });
+
+  if (slice_count > 1 && config.max_threads != 1) {
+    // Effective speedup of the fan-out: total slice compute over wall time
+    // of the parallel section (1.0 = no gain, ~lane count = ideal).
+    static obs::Gauge& speedup =
+        obs::Registry::Get().GetGauge("codec.parallel_speedup");
+    const double wall_ms = wall.ElapsedMs();
+    double busy_ms = 0.0;
+    for (const double ms : slice_busy_ms) busy_ms += ms;
+    if (wall_ms > 0.0) speedup.Set(busy_ms / wall_ms);
+  }
+
+  // Deterministic assembly: a slice table (count + per-slice byte length)
+  // followed by the segments concatenated in slice order, so the bitstream
+  // is byte-identical no matter how the encode was scheduled.
+  BitWriter header;
+  header.WriteUE(slice_count);
+  for (const auto& segment : segments) header.WriteUE(segment.size());
+  out.bits = header.Finish();
+  for (const auto& segment : segments) {
+    out.bits.insert(out.bits.end(), segment.begin(), segment.end());
+  }
+  return out;
+}
+
+Plane16 DecodePlane(const CodecConfig& config,
+                    const std::vector<std::uint8_t>& bits,
+                    const Plane16* reference, int qp) {
+  LIVO_SPAN("codec.decode_plane");
+  if (config.width % kBlockSize != 0 || config.height % kBlockSize != 0) {
+    throw std::invalid_argument("plane dimensions must be multiples of 8");
+  }
+  ValidateSliceConfig(config);
+  const std::vector<SliceBand> slices = SlicePartition(config, config.height);
+
+  // Parse and validate the slice table before fanning out.
+  BitReader header(bits);
+  const std::uint64_t slice_count = header.ReadUE();
+  if (slice_count != slices.size()) {
+    throw std::runtime_error("corrupt slice header: slice count mismatch");
+  }
+  std::vector<std::size_t> lengths(slices.size());
+  for (auto& len : lengths) {
+    len = static_cast<std::size_t>(header.ReadUE());
+  }
+  const std::size_t header_bytes =
+      (bits.size() * 8 - header.BitsRemaining() + 7) / 8;
+  std::vector<std::size_t> offsets(slices.size());
+  std::size_t pos = header_bytes;
+  for (std::size_t i = 0; i < slices.size(); ++i) {
+    if (lengths[i] > bits.size() - pos) {
+      throw std::runtime_error("corrupt slice header: segment overruns stream");
+    }
+    offsets[i] = pos;
+    pos += lengths[i];
+  }
+
+  Plane16 recon(config.width, config.height);
+  Pool(config).ParallelFor(
+      static_cast<int>(slices.size()), config.max_threads, [&](int i) {
+        LIVO_SPAN("codec.slice_decode");
+        const auto s = static_cast<std::size_t>(i);
+        DecodeSlice(config, bits.data() + offsets[s], lengths[s], reference,
+                    qp, slices[s], recon);
+      });
   return recon;
 }
 

@@ -12,6 +12,14 @@
 // Encoder reconstruction is bit-exact with the decoder: both dequantize the
 // same coefficients and clamp identically, so LiVo's sender-side quality
 // estimation (§3.3) can use the reconstruction directly.
+//
+// Slice parallelism: when CodecConfig::slice_height > 0 the plane is
+// partitioned into independent full-width horizontal bands (aligned to the
+// camera-tile grid by the caller). No prediction crosses a slice boundary,
+// each slice yields its own bitstream segment, and a slice table (count +
+// per-slice byte length) prefixes the plane bitstream so the decoder fans
+// out symmetrically. Segments are concatenated in slice order, making the
+// output byte-identical for every CodecConfig::max_threads value.
 #pragma once
 
 #include <cstdint>
@@ -35,7 +43,9 @@ PlaneEncodeOutput EncodePlane(const CodecConfig& config,
                               const image::Plane16* reference, int qp);
 
 // Decodes one plane. `reference` must match the encoder's (nullptr for
-// I-frames). Throws std::runtime_error on a corrupt stream.
+// I-frames) and the slice layout (CodecConfig::slice_height) must match
+// the encoder's. Throws std::runtime_error on a corrupt stream, including
+// a slice table that disagrees with the configured slice layout.
 image::Plane16 DecodePlane(const CodecConfig& config,
                            const std::vector<std::uint8_t>& bits,
                            const image::Plane16* reference, int qp);

@@ -5,6 +5,7 @@
 
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "util/thread_pool.h"
 #include "video/plane_codec.h"
 
 namespace livo::video {
@@ -91,14 +92,21 @@ EncodeResult VideoEncoder::TryEncode(const std::vector<image::Plane16>& planes,
   result.frame.frame_index = frame_index_;
   result.frame.keyframe = keyframe;
   result.frame.qp = qp;
-  for (int i = 0; i < num_planes_; ++i) {
-    const image::Plane16* ref =
-        keyframe ? nullptr : &reference_[static_cast<std::size_t>(i)];
-    PlaneEncodeOutput out =
-        EncodePlane(config_, planes[static_cast<std::size_t>(i)], ref, qp);
-    result.frame.planes.push_back(EncodedPlane{std::move(out.bits)});
-    result.reconstruction.push_back(std::move(out.reconstruction));
-  }
+  // Planes are independent (each predicts only from its own reference
+  // plane), so they encode concurrently; results land by plane index, so
+  // the frame is identical for any thread count. Slice-level fan-out
+  // inside EncodePlane nests in the same pool.
+  result.frame.planes.resize(static_cast<std::size_t>(num_planes_));
+  result.reconstruction.resize(static_cast<std::size_t>(num_planes_));
+  util::ThreadPool& pool =
+      config_.pool != nullptr ? *config_.pool : util::SharedPool();
+  pool.ParallelFor(num_planes_, config_.max_threads, [&](int i) {
+    const auto p = static_cast<std::size_t>(i);
+    const image::Plane16* ref = keyframe ? nullptr : &reference_[p];
+    PlaneEncodeOutput out = EncodePlane(config_, planes[p], ref, qp);
+    result.frame.planes[p].bits = std::move(out.bits);
+    result.reconstruction[p] = std::move(out.reconstruction);
+  });
   return result;
 }
 
@@ -233,15 +241,14 @@ std::vector<image::Plane16> VideoDecoder::Decode(const EncodedFrame& frame) {
   if (!frame.keyframe && !has_reference_) {
     throw std::runtime_error("P-frame received before any keyframe");
   }
-  std::vector<image::Plane16> decoded;
-  decoded.reserve(frame.planes.size());
-  for (int i = 0; i < num_planes_; ++i) {
-    const image::Plane16* ref =
-        frame.keyframe ? nullptr : &reference_[static_cast<std::size_t>(i)];
-    decoded.push_back(DecodePlane(config_,
-                                  frame.planes[static_cast<std::size_t>(i)].bits,
-                                  ref, frame.qp));
-  }
+  std::vector<image::Plane16> decoded(frame.planes.size());
+  util::ThreadPool& pool =
+      config_.pool != nullptr ? *config_.pool : util::SharedPool();
+  pool.ParallelFor(num_planes_, config_.max_threads, [&](int i) {
+    const auto p = static_cast<std::size_t>(i);
+    const image::Plane16* ref = frame.keyframe ? nullptr : &reference_[p];
+    decoded[p] = DecodePlane(config_, frame.planes[p].bits, ref, frame.qp);
+  });
   reference_ = decoded;
   has_reference_ = true;
   last_index_ = frame.frame_index;

@@ -1,14 +1,18 @@
-// Unit tests for livo::util — RNG, stats, queue, pipeline, clocks.
+// Unit tests for livo::util — RNG, stats, queue, pipeline, thread pool,
+// clocks.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 #include <thread>
+#include <vector>
 
 #include "util/clock.h"
 #include "util/pipeline.h"
 #include "util/queue.h"
 #include "util/rng.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace livo::util {
 namespace {
@@ -154,6 +158,120 @@ TEST(Pipeline, DroppedItemsAreCounted) {
   EXPECT_EQ(results.size(), 5u);
   EXPECT_EQ(pipeline.reports()[0].dropped, 5u);
   EXPECT_EQ(pipeline.reports()[0].processed, 10u);
+}
+
+TEST(Pipeline, FeedBeforeStartThrows) {
+  Pipeline<int> pipeline(4);
+  pipeline.AddStage("noop", [](int v) { return std::optional<int>(v); });
+  EXPECT_THROW(pipeline.Feed(1), std::logic_error);
+  EXPECT_THROW(pipeline.PopResult(), std::logic_error);
+}
+
+TEST(Pipeline, DoubleStartThrows) {
+  Pipeline<int> pipeline(4);
+  pipeline.AddStage("noop", [](int v) { return std::optional<int>(v); });
+  pipeline.Start();
+  EXPECT_THROW(pipeline.Start(), std::logic_error);
+  pipeline.Stop();
+}
+
+TEST(Pipeline, StartWithNoStagesThrows) {
+  Pipeline<int> pipeline(4);
+  EXPECT_THROW(pipeline.Start(), std::logic_error);
+}
+
+TEST(Pipeline, RestartAfterStopWorks) {
+  Pipeline<int> pipeline(4);
+  pipeline.AddStage("negate", [](int v) { return std::optional<int>(-v); });
+  for (int round = 0; round < 2; ++round) {
+    pipeline.Start();
+    pipeline.Feed(7);
+    std::vector<int> results;
+    std::thread collector([&] {
+      while (auto r = pipeline.PopResult()) results.push_back(*r);
+    });
+    pipeline.Stop();
+    collector.join();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0], -7);
+  }
+}
+
+// ---- ThreadPool ----
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  for (int workers : {0, 1, 3}) {
+    ThreadPool pool(workers);
+    EXPECT_EQ(pool.worker_count(), workers);
+    std::vector<std::atomic<int>> hits(257);
+    pool.ParallelFor(257, 0, [&](int i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForRespectsSerialWidth) {
+  ThreadPool pool(3);
+  // Width 1 must run on the calling thread in index order.
+  const auto caller = std::this_thread::get_id();
+  std::vector<int> order;
+  pool.ParallelFor(8, 1, [&](int i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  for (int workers : {0, 2}) {
+    ThreadPool pool(workers);
+    std::atomic<int> total{0};
+    pool.ParallelFor(4, 0, [&](int) {
+      pool.ParallelFor(8, 0, [&](int) { total.fetch_add(1); });
+    });
+    EXPECT_EQ(total.load(), 32);
+  }
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.ParallelFor(16, 0,
+                                [&](int i) {
+                                  ran.fetch_add(1);
+                                  if (i == 3) throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  EXPECT_GE(ran.load(), 1);
+}
+
+TEST(ThreadPool, TaskGroupWaitsForSubmittedWork) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  ThreadPool::TaskGroup group(pool);
+  for (int i = 0; i < 10; ++i) {
+    group.Run([&done] { done.fetch_add(1); });
+  }
+  group.Wait();
+  EXPECT_EQ(done.load(), 10);
+}
+
+TEST(ThreadPool, TaskGroupRethrowsTaskException) {
+  ThreadPool pool(1);
+  ThreadPool::TaskGroup group(pool);
+  group.Run([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(group.Wait(), std::runtime_error);
+}
+
+TEST(ThreadPool, ZeroWorkerPoolRunsOnWaitingThread) {
+  ThreadPool pool(0);
+  std::atomic<int> done{0};
+  ThreadPool::TaskGroup group(pool);
+  group.Run([&done] { done.fetch_add(1); });
+  group.Wait();  // the waiter itself must execute the queued task
+  EXPECT_EQ(done.load(), 1);
 }
 
 TEST(SimClock, AdvancesExplicitly) {
