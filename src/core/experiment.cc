@@ -40,12 +40,133 @@ SessionSummary SessionSummary::FromResult(const SessionResult& r) {
   return s;
 }
 
+namespace {
+
+// Full-fidelity config descriptions for the cache key. Every field that
+// changes session outcomes must be streamed here: the key is the only
+// thing standing between a stale .bench_cache entry and a silently wrong
+// table after a config edit.
+void Describe(std::ostream& os, const geom::FrustumParams& v) {
+  os << v.vertical_fov_rad << ',' << v.aspect << ',' << v.near_m << ','
+     << v.far_m;
+}
+
+void Describe(std::ostream& os, const ReceiverConfig& r) {
+  os << r.voxel_size_m << ',' << r.max_pair_lag << ',' << r.final_cull << ','
+     << r.voxelize;
+}
+
+void Describe(std::ostream& os, const net::LinkConfig& l) {
+  os << l.propagation_delay_ms << ',' << l.max_queue_delay_ms << ','
+     << l.loss_rate << ',' << l.bandwidth_scale << ',' << l.seed;
+}
+
+void Describe(std::ostream& os, const LiVoConfig& c) {
+  os << c.layout.canvas_width() << 'x' << c.layout.canvas_height() << '/'
+     << c.layout.tile_height() << ',' << c.depth_scaler.max_range_mm << ','
+     << static_cast<int>(c.depth_mode) << ',' << c.fps << ','
+     << c.codec_threads << ',' << c.enable_culling << ','
+     << c.enable_adaptation << ',' << c.dynamic_split << ','
+     << c.static_split << ',' << c.fixed_color_qp << ',' << c.fixed_depth_qp
+     << "|split:" << c.split.initial << ',' << c.split.min << ','
+     << c.split.max << ',' << c.split.step << ',' << c.split.epsilon << ','
+     << c.split.update_every << "|pred:" << c.predictor.guard_band_m << ','
+     << c.predictor.kalman.process_noise << ','
+     << c.predictor.kalman.position_meas_noise << ','
+     << c.predictor.kalman.angle_meas_noise << ',';
+  Describe(os, c.predictor.viewer);
+  const video::CodecConfig color = c.ColorCodecConfig();
+  const video::CodecConfig depth = c.DepthCodecConfig();
+  os << "|codec:" << color.qp_min << '-' << color.qp_max << '/'
+     << color.slice_height << ',' << depth.qp_min << '-' << depth.qp_max
+     << '/' << depth.slice_height;
+}
+
+void Describe(std::ostream& os, const ReplayOptions& o) {
+  os << "link:";
+  Describe(os, o.channel.link);
+  os << "|gcc:" << o.channel.gcc.initial_bps << ',' << o.channel.gcc.min_bps
+     << ',' << o.channel.gcc.max_bps << ','
+     << o.channel.gcc.increase_factor << ',' << o.channel.gcc.decrease_factor
+     << ',' << o.channel.gcc.overuse_gradient_ms << ','
+     << o.channel.gcc.underuse_gradient_ms << ','
+     << o.channel.gcc.loss_decrease_threshold << ','
+     << o.channel.gcc.loss_increase_threshold << "|ch:"
+     << o.channel.jitter_buffer_ms << ',' << o.channel.feedback_interval_ms
+     << ',' << o.channel.enable_nack << ',' << o.channel.copy_payloads
+     << "|rx:";
+  Describe(os, o.receiver);
+  os << '|' << o.bandwidth_scale << ',' << o.trace_time_accel << ','
+     << o.sender_pipeline_delay_ms << ',' << o.metric_every << ','
+     << o.pssim_anchors;
+}
+
+void Describe(std::ostream& os, const MeshReduceOptions& o) {
+  os << o.fps << '|';
+  for (int s : o.strides) os << s << ',';
+  os << '|';
+  for (int b : o.position_bits) os << b << ',';
+  os << '|' << o.profile_safety << ',' << o.profile_frames << ','
+     << o.triangle_scale << ',' << o.bandwidth_scale << ','
+     << o.trace_time_accel << ',' << o.metric_every << ',' << o.pssim_anchors
+     << "|rx:";
+  Describe(os, o.receiver);
+  os << "|view:";
+  Describe(os, o.viewer);
+  os << "|link:";
+  Describe(os, o.link);
+}
+
+void Describe(std::ostream& os, const DracoOracleOptions& o) {
+  os << o.fps << '|';
+  for (int q : o.quantization_bits) os << q << ',';
+  os << '|';
+  for (int l : o.compression_levels) os << l << ',';
+  os << '|' << o.point_scale << ',' << o.jitter_min << ',' << o.jitter_max
+     << ',' << o.bandwidth_scale << ',' << o.trace_time_accel << ','
+     << o.metric_every << ',' << o.pssim_anchors << "|rx:";
+  Describe(os, o.receiver);
+  os << "|view:";
+  Describe(os, o.viewer);
+}
+
+}  // namespace
+
 std::string MatrixConfig::CacheKey() const {
   std::ostringstream os;
-  os << "v3|" << profile.camera_count << "x" << profile.camera_width << "x"
+  os.precision(17);
+  os << "v4|" << profile.camera_count << "x" << profile.camera_width << "x"
      << profile.camera_height << "|f" << frames << "|u" << user_traces
      << "|t" << trace_duration_s << "|";
-  for (Scheme s : schemes) os << SchemeName(s) << ",";
+  // Key on the full config tuple each scheme will actually run with, not
+  // just the scheme names: edits to LiVoConfig/ReplayOptions defaults (or
+  // to the profile's scale knobs) must invalidate stale cache entries.
+  for (Scheme s : schemes) {
+    os << SchemeName(s) << '{';
+    switch (s) {
+      case Scheme::kLiVo:
+      case Scheme::kLiVoNoCull:
+      case Scheme::kLiVoNoAdapt: {
+        Describe(os, MakeLiVoConfig(s, profile));
+        os << ';';
+        Describe(os, MakeReplayOptions(profile));
+        break;
+      }
+      case Scheme::kMeshReduce: {
+        MeshReduceOptions options;
+        options.bandwidth_scale = profile.bandwidth_scale;
+        Describe(os, options);
+        break;
+      }
+      case Scheme::kDracoOracle: {
+        DracoOracleOptions options;
+        options.bandwidth_scale = profile.bandwidth_scale;
+        Describe(os, options);
+        break;
+      }
+    }
+    os << '}';
+  }
   os << "|";
   for (const auto& v : videos) os << v << ",";
   os << "|" << both_traces;

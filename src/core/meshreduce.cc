@@ -73,10 +73,7 @@ SessionResult RunMeshReduce(const sim::CapturedSequence& sequence,
   result.scheme = "MeshReduce";
   result.video = sequence.spec.name;
   result.net_trace = net_trace.name;
-  result.user_trace = user_trace.style == sim::TraceStyle::kOrbit ? "orbit"
-                      : user_trace.style == sim::TraceStyle::kWalkIn
-                          ? "walk-in"
-                          : "focus";
+  result.user_trace = sim::StyleName(user_trace.style);
   result.target_fps = options.fps;
 
   const Profile profile = BuildProfile(sequence, net_trace, options);
@@ -130,47 +127,52 @@ SessionResult RunMeshReduce(const sim::CapturedSequence& sequence,
                  Sent{cf, std::move(encoded)});
   }
 
-  // Receiver loop: drain deliveries until everything arrives.
+  // Receiver: event-driven drain. Every record field derives from the
+  // delivery's own arrival_time_ms, so jumping straight to each arrival
+  // (instead of the old 5 ms polling grid) yields identical records.
   std::vector<FrameRecord> records;
   const double horizon_ms = duration_ms + 3000.0;
-  for (double now = 0.0; now <= horizon_ms; now += 5.0) {
-    for (const auto& delivery : channel.PopReady(now)) {
-      const auto it = sent.find(delivery.frame_index);
-      if (it == sent.end()) continue;
-      FrameRecord rec;
-      rec.frame_index = delivery.frame_index;
-      rec.capture_time_ms = delivery.frame_index * interval_ms;
-      rec.rendered = true;
-      rec.render_time_ms = delivery.arrival_time_ms;
-      rec.latency_ms = delivery.arrival_time_ms - rec.capture_time_ms;
+  channel.SetDeliverySink([&](const net::ReliableChannel::Delivered&
+                                  delivery) {
+    const auto it = sent.find(delivery.frame_index);
+    if (it == sent.end()) return;
+    FrameRecord rec;
+    rec.frame_index = delivery.frame_index;
+    rec.capture_time_ms = delivery.frame_index * interval_ms;
+    rec.rendered = true;
+    rec.render_time_ms = delivery.arrival_time_ms;
+    rec.latency_ms = delivery.arrival_time_ms - rec.capture_time_ms;
 
-      if (delivery.frame_index %
-              static_cast<std::uint32_t>(std::max(1, options.metric_every)) ==
-          0) {
-        const geom::Pose pose =
-            sim::SampleTrace(user_trace, delivery.arrival_time_ms);
-        const geom::Frustum frustum(pose, options.viewer);
-        const pointcloud::PointCloud reference = GroundTruthCloud(
-            sequence.frames[static_cast<std::size_t>(it->second.capture_frame)],
-            sequence.rig, frustum, options.receiver);
-        // "We sample as many points from the rendered mesh as there are in
-        // the ground truth point cloud, then compute PointSSIM" (§4.1).
-        // Sampling happens on the frustum-culled mesh so sample density
-        // matches the frustum-culled reference.
-        const mesh::TriangleMesh decoded = mesh::CullMeshToFrustum(
-            mesh::DecodeMesh(it->second.encoded), frustum);
-        pointcloud::PointCloud sampled = mesh::SampleMesh(
-            decoded, std::max<std::size_t>(reference.size(), 1),
-            delivery.frame_index + 1);
-        sampled = sampled.CulledTo(frustum);
-        const metrics::PointSsimResult pssim =
-            metrics::PointSsim(reference, sampled, pssim_config);
-        rec.pssim_geometry = pssim.geometry;
-        rec.pssim_color = pssim.color;
-      }
-      records.push_back(std::move(rec));
-      sent.erase(it);
+    if (delivery.frame_index %
+            static_cast<std::uint32_t>(std::max(1, options.metric_every)) ==
+        0) {
+      const geom::Pose pose =
+          sim::SampleTrace(user_trace, delivery.arrival_time_ms);
+      const geom::Frustum frustum(pose, options.viewer);
+      const pointcloud::PointCloud reference = GroundTruthCloud(
+          sequence.frames[static_cast<std::size_t>(it->second.capture_frame)],
+          sequence.rig, frustum, options.receiver);
+      // "We sample as many points from the rendered mesh as there are in
+      // the ground truth point cloud, then compute PointSSIM" (§4.1).
+      // Sampling happens on the frustum-culled mesh so sample density
+      // matches the frustum-culled reference.
+      const mesh::TriangleMesh decoded = mesh::CullMeshToFrustum(
+          mesh::DecodeMesh(it->second.encoded), frustum);
+      pointcloud::PointCloud sampled = mesh::SampleMesh(
+          decoded, std::max<std::size_t>(reference.size(), 1),
+          delivery.frame_index + 1);
+      sampled = sampled.CulledTo(frustum);
+      const metrics::PointSsimResult pssim =
+          metrics::PointSsim(reference, sampled, pssim_config);
+      rec.pssim_geometry = pssim.geometry;
+      rec.pssim_color = pssim.color;
     }
+    records.push_back(std::move(rec));
+    sent.erase(it);
+  });
+  for (double next = channel.NextEventTimeMs();
+       next <= horizon_ms; next = channel.NextEventTimeMs()) {
+    channel.Step(next);
   }
 
   result.frames = std::move(records);

@@ -5,6 +5,8 @@
 
 #include "metrics/pointssim.h"
 #include "obs/obs.h"
+#include "runtime/event_loop.h"
+#include "runtime/session_actor.h"
 
 namespace livo::core {
 namespace {
@@ -22,15 +24,6 @@ struct SessionMetrics {
 SessionMetrics& Metrics() {
   static SessionMetrics metrics;
   return metrics;
-}
-
-const char* StyleName(sim::TraceStyle style) {
-  switch (style) {
-    case sim::TraceStyle::kOrbit: return "orbit";
-    case sim::TraceStyle::kWalkIn: return "walk-in";
-    case sim::TraceStyle::kFocus: return "focus";
-  }
-  return "?";
 }
 
 }  // namespace
@@ -96,12 +89,30 @@ SessionResult RunLiVoSession(const sim::CapturedSequence& sequence,
                              const sim::BandwidthTrace& net_trace,
                              const LiVoConfig& config,
                              const ReplayOptions& options) {
+  runtime::EventLoop loop;
+  runtime::SessionSpec spec;
+  spec.sequence = &sequence;
+  spec.user_trace = user_trace;
+  spec.net_trace = net_trace;
+  spec.config = config;
+  spec.options = options;
+  runtime::SessionActor actor(loop, std::move(spec));
+  actor.Start();
+  loop.Run();
+  return actor.TakeResult();
+}
+
+SessionResult RunLiVoSessionTickReference(const sim::CapturedSequence& sequence,
+                                          const sim::UserTrace& user_trace,
+                                          const sim::BandwidthTrace& net_trace,
+                                          const LiVoConfig& config,
+                                          const ReplayOptions& options) {
   obs::AutoInitFromEnv();
   SessionMetrics& session_metrics = Metrics();
   SessionResult result;
   result.scheme = options.scheme_name;
   result.video = sequence.spec.name;
-  result.user_trace = StyleName(user_trace.style);
+  result.user_trace = sim::StyleName(user_trace.style);
   result.net_trace = net_trace.name;
   result.target_fps = config.fps;
 

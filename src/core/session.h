@@ -46,12 +46,24 @@ struct ReplayOptions {
 
 // Runs one (video, user trace, net trace) session with the given LiVo
 // configuration (which encodes the LiVo / NoCull / NoAdapt / static-split
-// variants via its switches).
+// variants via its switches). Wires one runtime::SessionActor onto a
+// runtime::EventLoop (see src/runtime/) and runs the loop to completion.
 SessionResult RunLiVoSession(const sim::CapturedSequence& sequence,
                              const sim::UserTrace& user_trace,
                              const sim::BandwidthTrace& net_trace,
                              const LiVoConfig& config,
                              const ReplayOptions& options);
+
+// The pre-refactor 1 ms tick-polling driver, retained verbatim as the
+// executable specification of session semantics. tests/test_runtime.cc
+// asserts RunLiVoSession reproduces its per-frame records and aggregates
+// exactly on the five dataset sequences; delete it (and the equivalence
+// test) only when the event-driven runtime is allowed to diverge.
+SessionResult RunLiVoSessionTickReference(const sim::CapturedSequence& sequence,
+                                          const sim::UserTrace& user_trace,
+                                          const sim::BandwidthTrace& net_trace,
+                                          const LiVoConfig& config,
+                                          const ReplayOptions& options);
 
 // Ground-truth cloud for metric comparison: reconstruct from pristine
 // views, voxelize with the receiver's voxel size, cull to `frustum`.

@@ -28,6 +28,11 @@ struct LiVoConfig {
   SplitConfig split;
   FrustumPredictorConfig predictor;
   double fps = 30.0;
+  // Worker cap handed to both codecs' slice parallelism (0 = all hardware
+  // threads, 1 = serial). Never changes the encoded bytes — the slice
+  // format is thread-count-invariant — so results are identical for any
+  // value; tests sweep it to assert exactly that.
+  int codec_threads = 0;
 
   // Ablation switches (baselines of §4):
   bool enable_culling = true;        // off = LiVo-NoCull
@@ -57,7 +62,7 @@ struct LiVoConfig {
     // tile row (plus the marker strip remainder), encoded/decoded across
     // all available cores. Identical bitstreams for any thread count.
     c.slice_height = layout.tile_height();
-    c.max_threads = 0;
+    c.max_threads = codec_threads;
     return c;
   }
 
@@ -73,7 +78,7 @@ struct LiVoConfig {
     c.qp_max = 92;
     // Same tile-aligned slice grid as the color stream (see above).
     c.slice_height = layout.tile_height();
-    c.max_threads = 0;
+    c.max_threads = codec_threads;
     return c;
   }
 };

@@ -1,6 +1,7 @@
 #include "net/link.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -61,6 +62,11 @@ bool LinkEmulator::Send(Packet packet, double now_ms) {
   in_flight_.push_back(entry);
   ++packets_sent_;
   return true;
+}
+
+double LinkEmulator::NextEventTimeMs() const {
+  return in_flight_.empty() ? std::numeric_limits<double>::infinity()
+                            : in_flight_.front().arrival_ms;
 }
 
 std::vector<Packet> LinkEmulator::Poll(double now_ms) {

@@ -36,6 +36,12 @@ class LinkEmulator {
   // with arrival_time_ms stamped.
   std::vector<Packet> Poll(double now_ms);
 
+  // Arrival time of the earliest in-flight packet, or +infinity when the
+  // link is idle. Lets an event loop jump to the next delivery instead of
+  // polling every millisecond (in-flight packets are FIFO by arrival, so
+  // the front is the minimum).
+  double NextEventTimeMs() const;
+
   // Instantaneous capacity in bits per millisecond after scaling.
   double CapacityBitsPerMs(double now_ms) const;
 

@@ -16,6 +16,7 @@ inline constexpr std::size_t kPacketOverhead = 40;   // IP+UDP+RTP headers
 
 struct Packet {
   std::uint64_t sequence = 0;        // per-stream monotone sequence number
+  std::uint32_t flow_id = 0;         // channel id on a shared link (5-tuple)
   std::uint32_t stream_id = 0;       // 0 = color, 1 = depth, ...
   std::uint32_t frame_index = 0;
   std::uint16_t fragment = 0;        // index within the frame

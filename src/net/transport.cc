@@ -1,6 +1,8 @@
 #include "net/transport.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "obs/obs.h"
 
@@ -18,6 +20,7 @@ struct TransportMetrics {
       reg.GetCounter("net.packets_retransmitted");
   obs::Counter& keyframe_requests = reg.GetCounter("net.keyframe_requests");
   obs::Counter& feedback_reports = reg.GetCounter("net.feedback_reports");
+  obs::Counter& bytes_copied = reg.GetCounter("transport.bytes_copied");
   obs::Gauge& estimated_bps = reg.GetGauge("net.estimated_bps");
   obs::Gauge& loss_fraction = reg.GetGauge("net.loss_fraction");
   obs::Gauge& rtt_ms = reg.GetGauge("net.rtt_ms");
@@ -29,12 +32,24 @@ TransportMetrics& Metrics() {
   return metrics;
 }
 
+// Smallest double strictly greater than `t`: used to express "first
+// instant at which a strict '>' deadline holds" as an absolute time.
+double StrictlyAfter(double t) {
+  return std::nextafter(t, std::numeric_limits<double>::infinity());
+}
+
 }  // namespace
 
 VideoChannel::VideoChannel(sim::BandwidthTrace trace,
                            const ChannelConfig& config)
-    : config_(config), link_(std::move(trace), config.link),
+    : config_(config),
+      link_(std::make_shared<LinkEmulator>(std::move(trace), config.link)),
       estimator_(config.gcc) {}
+
+VideoChannel::VideoChannel(std::shared_ptr<LinkEmulator> link,
+                           const ChannelConfig& config, std::uint32_t flow_id)
+    : config_(config), link_(std::move(link)), owns_link_(false),
+      flow_id_(flow_id), estimator_(config.gcc) {}
 
 void VideoChannel::SendFrame(
     std::uint32_t stream_id, std::uint32_t frame_index, bool keyframe,
@@ -46,6 +61,7 @@ void VideoChannel::SendFrame(
   for (std::uint16_t frag = 0; frag < fragments; ++frag) {
     Packet p;
     p.sequence = next_sequence_++;
+    p.flow_id = flow_id_;
     p.stream_id = stream_id;
     p.frame_index = frame_index;
     p.fragment = frag;
@@ -56,7 +72,7 @@ void VideoChannel::SendFrame(
     metrics.bytes_sent.Add(p.WireBytes());
     metrics.packets_sent.Add();
     sent_store_[p.sequence] = SentPacketRecord{p, data};
-    link_.Send(p, now_ms);
+    link_->Send(p, now_ms);
   }
   ++stats_.frames_sent;
   metrics.frames_sent.Add();
@@ -93,6 +109,26 @@ void VideoChannel::DeliverPacket(
     frame.have[packet.fragment] = true;
     ++frame.received;
     ++fb_received_unique_;
+    if (config_.copy_payloads && data) {
+      // Fidelity mode: materialize the receive buffer once, with exactly
+      // the frame's capacity, and copy this fragment's span into place.
+      if (!frame.assembly) {
+        frame.assembly = std::make_shared<std::vector<std::uint8_t>>();
+        frame.assembly->reserve(data->size());
+        frame.assembly->resize(data->size());
+      }
+      const std::size_t offset =
+          static_cast<std::size_t>(packet.fragment) * kMtuBytes;
+      if (offset < data->size()) {
+        const std::size_t n =
+            std::min(packet.payload_bytes, data->size() - offset);
+        std::copy_n(data->begin() + static_cast<std::ptrdiff_t>(offset), n,
+                    frame.assembly->begin() +
+                        static_cast<std::ptrdiff_t>(offset));
+        stats_.bytes_copied += n;
+        Metrics().bytes_copied.Add(n);
+      }
+    }
   }
   frame.last_arrival_ms = now_ms;
   frame.send_time_ms = std::min(frame.send_time_ms, packet.send_time_ms);
@@ -113,21 +149,39 @@ void VideoChannel::DeliverPacket(
     done.send_time_ms = frame.send_time_ms;
     done.complete_time_ms = now_ms;
     done.release_time_ms = frame.send_time_ms + config_.jitter_buffer_ms;
-    done.data = frame.data;
+    done.data = frame.assembly
+                    ? std::shared_ptr<const std::vector<std::uint8_t>>(
+                          frame.assembly)
+                    : frame.data;
     ready_.push_back(done);
     pending_.erase(key);
   }
 }
 
 void VideoChannel::Step(double now_ms) {
-  for (const Packet& p : link_.Poll(now_ms)) {
-    // The payload pointer comes from the sender store (single-process
-    // emulation shortcut; content is only readable once the frame
-    // completes).
-    const auto rec = sent_store_.find(p.sequence);
-    DeliverPacket(p, rec != sent_store_.end() ? rec->second.data : nullptr,
-                  now_ms);
+  if (owns_link_) {
+    for (const Packet& p : link_->Poll(now_ms)) {
+      Ingest(p, now_ms);
+    }
   }
+  ProcessTimers(now_ms);
+  if (frame_sink_) {
+    auto released = PopReady(now_ms);
+    if (!released.empty()) frame_sink_(std::move(released), now_ms);
+  }
+}
+
+void VideoChannel::Ingest(const Packet& packet, double now_ms) {
+  if (packet.flow_id != flow_id_) return;  // not ours (shared-link mux)
+  // The payload pointer comes from the sender store (single-process
+  // emulation shortcut; content is only readable once the frame
+  // completes).
+  const auto rec = sent_store_.find(packet.sequence);
+  DeliverPacket(packet,
+                rec != sent_store_.end() ? rec->second.data : nullptr, now_ms);
+}
+
+void VideoChannel::ProcessTimers(double now_ms) {
   if (config_.enable_nack) RunNack(now_ms);
 
   // Declare pending frames lost once their playout deadline passed; ask
@@ -191,7 +245,7 @@ void VideoChannel::RunNack(double now_ms) {
           !frame.have[record.packet.fragment]) {
         ++stats_.packets_retransmitted;
         Metrics().packets_retransmitted.Add();
-        link_.Send(record.packet, now_ms);
+        link_->Send(record.packet, now_ms);
       }
     }
   }
@@ -260,6 +314,45 @@ std::vector<ReceivedFrame> VideoChannel::PopReady(double now_ms) {
   return out;
 }
 
+double VideoChannel::NextEventTimeMs() const {
+  double next = std::numeric_limits<double>::infinity();
+  if (owns_link_) next = std::min(next, link_->NextEventTimeMs());
+
+  // Feedback reports fire even on an idle channel: a zero-packet report
+  // still drives the estimator (`now - last >= interval`, non-strict).
+  next = std::min(next, last_feedback_ms_ + config_.feedback_interval_ms);
+
+  // Jitter-buffer releases (`release <= now`, non-strict).
+  for (const ReceivedFrame& r : ready_) {
+    next = std::min(next, r.release_time_ms);
+  }
+
+  const double rtt = rtt_ms_.initialized()
+                         ? rtt_ms_.value()
+                         : 2.0 * config_.link.propagation_delay_ms;
+  for (const auto& [key, frame] : pending_) {
+    // Playout-deadline expiry (strict '<' in ProcessTimers).
+    next = std::min(next,
+                    StrictlyAfter(frame.send_time_ms +
+                                  config_.jitter_buffer_ms +
+                                  config_.link.propagation_delay_ms));
+    if (config_.enable_nack && !frame.Complete() && frame.received > 0) {
+      // Staleness is strict ('now - last_arrival > rtt/2'); the re-NACK
+      // guard is non-strict ('now - nacked_at >= rtt' to act).
+      double t = StrictlyAfter(frame.last_arrival_ms + rtt / 2.0);
+      if (frame.nacked_at_ms >= 0.0) {
+        t = std::max(t, frame.nacked_at_ms + rtt);
+      }
+      // Past send+jitter a retransmission is no longer worth sending
+      // (RunNack skips it); the deadline event above handles cleanup.
+      if (t <= frame.send_time_ms + config_.jitter_buffer_ms) {
+        next = std::min(next, t);
+      }
+    }
+  }
+  return next;
+}
+
 bool VideoChannel::TakeKeyframeRequest(std::uint32_t stream_id) {
   const auto it = keyframe_requested_.find(stream_id);
   if (it == keyframe_requested_.end() || !it->second) return false;
@@ -300,6 +393,17 @@ std::vector<ReliableChannel::Delivered> ReliableChannel::PopReady(
     in_flight_.pop_front();
   }
   return out;
+}
+
+double ReliableChannel::NextEventTimeMs() const {
+  return in_flight_.empty() ? std::numeric_limits<double>::infinity()
+                            : in_flight_.front().arrival_ms;
+}
+
+void ReliableChannel::Step(double now_ms) {
+  for (const Delivered& d : PopReady(now_ms)) {
+    if (delivery_sink_) delivery_sink_(d);
+  }
 }
 
 std::size_t ReliableChannel::BacklogBytes(double now_ms) const {

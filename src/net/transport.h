@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -46,6 +47,12 @@ struct ChannelConfig {
   double jitter_buffer_ms = 100.0;  // §4.4: "we use 100 ms"
   double feedback_interval_ms = 100.0;
   bool enable_nack = true;
+  // Fidelity mode: reassemble frames by copying every fragment's payload
+  // into an exactly-reserved buffer, as a real receiver must. The default
+  // (false) keeps the single-process zero-copy shortcut — the sender's
+  // shared_ptr travels end-to-end and reassembly copies nothing. The
+  // `transport.bytes_copied` counter quantifies the difference.
+  bool copy_payloads = false;
 };
 
 struct ChannelStats {
@@ -55,11 +62,23 @@ struct ChannelStats {
   std::size_t packets_retransmitted = 0;
   std::size_t keyframe_requests = 0;
   std::size_t bytes_sent = 0;
+  std::size_t bytes_copied = 0;  // payload bytes memcpy'd during reassembly
 };
 
 class VideoChannel {
  public:
+  // Frames released from the jitter buffer during Step(), for event-driven
+  // receivers. When set, Step() drains PopReady() into the sink.
+  using FrameSink =
+      std::function<void(std::vector<ReceivedFrame> frames, double now_ms)>;
+
   VideoChannel(sim::BandwidthTrace trace, const ChannelConfig& config);
+
+  // Multiplexed construction: the channel is one flow on a link shared
+  // with other channels (runtime::SharedLink owns the link and routes
+  // delivered packets back via Ingest by flow_id).
+  VideoChannel(std::shared_ptr<LinkEmulator> link, const ChannelConfig& config,
+               std::uint32_t flow_id);
 
   // Packetizes and sends one encoded frame on `stream_id`.
   void SendFrame(std::uint32_t stream_id, std::uint32_t frame_index,
@@ -70,6 +89,20 @@ class VideoChannel {
   // Advances the channel: delivers packets, runs NACK and feedback logic.
   // Call with monotonically non-decreasing timestamps.
   void Step(double now_ms);
+
+  // Feeds one packet delivered by a shared link (normally called by
+  // runtime::SharedLink; Step() does this internally for an owned link).
+  void Ingest(const Packet& packet, double now_ms);
+
+  // Earliest virtual time at which Step() could do something it cannot do
+  // now: next owned-link delivery, jitter-buffer release, NACK eligibility,
+  // playout-deadline expiry, or feedback-report emission. +infinity when
+  // fully idle. Strict (">") deadlines are returned as the smallest double
+  // after the boundary, so an event scheduled at exactly the returned time
+  // observes the condition as true.
+  double NextEventTimeMs() const;
+
+  void SetFrameSink(FrameSink sink) { frame_sink_ = std::move(sink); }
 
   // Frames whose jitter-buffer release time has passed, in order.
   std::vector<ReceivedFrame> PopReady(double now_ms);
@@ -86,7 +119,8 @@ class VideoChannel {
   double SmoothedRttMs() const { return rtt_ms_.value(); }
 
   const ChannelStats& stats() const { return stats_; }
-  const LinkEmulator& link() const { return link_; }
+  const LinkEmulator& link() const { return *link_; }
+  std::uint32_t flow_id() const { return flow_id_; }
 
  private:
   struct PendingFrame {  // receiver-side reassembly state
@@ -94,6 +128,9 @@ class VideoChannel {
     std::uint32_t frame_index = 0;
     bool keyframe = false;
     std::shared_ptr<const std::vector<std::uint8_t>> data;
+    // copy_payloads mode: exactly-sized reassembly buffer fragments are
+    // memcpy'd into (null on the zero-copy path).
+    std::shared_ptr<std::vector<std::uint8_t>> assembly;
     std::vector<bool> have;
     int received = 0;
     double send_time_ms = 0.0;
@@ -118,9 +155,14 @@ class VideoChannel {
       double now_ms);
   void RunNack(double now_ms);
   void EmitFeedback(double now_ms);
+  // The timer half of Step(): NACK, playout deadlines, feedback reports.
+  void ProcessTimers(double now_ms);
 
   ChannelConfig config_;
-  LinkEmulator link_;
+  std::shared_ptr<LinkEmulator> link_;
+  bool owns_link_ = true;  // false => a SharedLink polls and routes for us
+  std::uint32_t flow_id_ = 0;
+  FrameSink frame_sink_;
   GccEstimator estimator_;
   util::Ewma rtt_ms_{0.2};
   ChannelStats stats_;
@@ -162,6 +204,13 @@ class ReliableChannel {
   };
   std::vector<Delivered> PopReady(double now_ms);
 
+  // Event-driven interface mirroring VideoChannel's: the next arrival time
+  // (+infinity when idle) and a Step() that drains arrivals into the sink.
+  using DeliverySink = std::function<void(const Delivered& message)>;
+  double NextEventTimeMs() const;
+  void SetDeliverySink(DeliverySink sink) { delivery_sink_ = std::move(sink); }
+  void Step(double now_ms);
+
   // Bytes not yet fully serialized (send backlog).
   std::size_t BacklogBytes(double now_ms) const;
 
@@ -177,6 +226,7 @@ class ReliableChannel {
   LinkConfig config_;
   double next_free_ms_ = 0.0;
   std::deque<InFlight> in_flight_;
+  DeliverySink delivery_sink_;
 };
 
 }  // namespace livo::net

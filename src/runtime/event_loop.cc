@@ -1,0 +1,94 @@
+#include "runtime/event_loop.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace livo::runtime {
+namespace {
+
+struct RuntimeMetrics {
+  obs::Registry& reg = obs::Registry::Get();
+  obs::Counter& events_dispatched = reg.GetCounter("runtime.events_dispatched");
+  obs::Counter& events_scheduled = reg.GetCounter("runtime.events_scheduled");
+  obs::Gauge& queue_depth = reg.GetGauge("runtime.queue_depth");
+};
+
+RuntimeMetrics& Metrics() {
+  static RuntimeMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
+EventLoop::EventLoop() : clock_(*this) {}
+
+EventLoop::EventId EventLoop::ScheduleAt(double time_ms, Callback callback) {
+  Event ev;
+  ev.time_ms = std::max(time_ms, now_ms_);
+  ev.id = next_id_++;
+  ev.callback = std::move(callback);
+  const EventId id = ev.id;
+  heap_.push(std::move(ev));
+  ++events_scheduled_;
+  Metrics().events_scheduled.Add();
+  Metrics().queue_depth.Set(static_cast<double>(QueueDepth()));
+  return id;
+}
+
+EventLoop::EventId EventLoop::ScheduleAfter(double delay_ms, Callback callback) {
+  return ScheduleAt(now_ms_ + std::max(0.0, delay_ms), std::move(callback));
+}
+
+bool EventLoop::Cancel(EventId id) {
+  if (id == kInvalidEvent || id >= next_id_) return false;
+  // Lazy deletion: the heap entry stays and is skipped at pop time.
+  return cancelled_.insert(id).second;
+}
+
+bool EventLoop::DispatchOne() {
+  while (!heap_.empty()) {
+    if (cancelled_.erase(heap_.top().id) > 0) {
+      heap_.pop();
+      continue;
+    }
+    // priority_queue::top() is const; the callback is moved out via pop
+    // semantics: copy the POD fields, then pop before running so the
+    // callback can schedule/cancel freely.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ms_ = std::max(now_ms_, ev.time_ms);
+    ++events_dispatched_;
+    RuntimeMetrics& metrics = Metrics();
+    metrics.events_dispatched.Add();
+    metrics.queue_depth.Set(static_cast<double>(QueueDepth()));
+    {
+      LIVO_SPAN("runtime.dispatch");
+      ev.callback(now_ms_);
+    }
+    return true;
+  }
+  return false;
+}
+
+void EventLoop::Run() {
+  while (DispatchOne()) {
+  }
+}
+
+void EventLoop::RunUntil(double deadline_ms) {
+  while (!heap_.empty()) {
+    if (cancelled_.count(heap_.top().id) > 0) {
+      cancelled_.erase(heap_.top().id);
+      heap_.pop();
+      continue;
+    }
+    if (heap_.top().time_ms > deadline_ms) break;
+    DispatchOne();
+  }
+  now_ms_ = std::max(now_ms_, deadline_ms);
+}
+
+}  // namespace livo::runtime

@@ -1,0 +1,105 @@
+// Deterministic discrete-event scheduler (livo::runtime).
+//
+// The evaluation used to busy-step a 1 ms clock and poll every component
+// each tick (src/core/session.cc, pre-refactor). The event loop replaces
+// that with a time-ordered queue: components publish when their next state
+// change can possibly happen (LinkEmulator::NextEventTimeMs,
+// VideoChannel::NextEventTimeMs, capture/pose timers) and the loop jumps
+// straight to those instants. Virtual time makes runs reproducible and lets
+// N independent sessions interleave on one loop (RunMultiSession) — the
+// substrate for contention experiments (shared bottlenecks, GCC fairness)
+// that a tick-polled single-session loop cannot express.
+//
+// Determinism contract:
+//   * events fire in (time, schedule-order) order — ties dispatch FIFO;
+//   * callbacks may schedule further events (ScheduleAfter from inside a
+//     callback lands relative to the event's own timestamp);
+//   * the loop's clock satisfies util::Clock and never runs backwards.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace livo::runtime {
+
+class EventLoop {
+ public:
+  using Callback = std::function<void(double now_ms)>;
+  using EventId = std::uint64_t;
+  static constexpr EventId kInvalidEvent = 0;
+
+  EventLoop();
+
+  // Schedules `callback` at absolute virtual time `time_ms`. Times in the
+  // past are clamped to NowMs() (the event still runs after the current
+  // callback returns). Returns an id usable with Cancel().
+  EventId ScheduleAt(double time_ms, Callback callback);
+
+  // Schedules relative to the current virtual time.
+  EventId ScheduleAfter(double delay_ms, Callback callback);
+
+  // Cancels a not-yet-dispatched event. Returns false if the event already
+  // ran, was cancelled before, or never existed.
+  bool Cancel(EventId id);
+
+  // Dispatches events in order until the queue is empty.
+  void Run();
+
+  // Dispatches events with time <= deadline_ms; later events stay queued.
+  // Advances the clock to deadline_ms even if the queue drains early.
+  void RunUntil(double deadline_ms);
+
+  double NowMs() const { return now_ms_; }
+  const util::Clock& clock() const { return clock_; }
+
+  std::size_t QueueDepth() const { return heap_.size() - cancelled_.size(); }
+  std::uint64_t events_dispatched() const { return events_dispatched_; }
+  std::uint64_t events_scheduled() const { return events_scheduled_; }
+
+ private:
+  // Adapter exposing the loop's virtual time through util::Clock, so
+  // components written against the clock interface (SimClock in the old
+  // driver) can run unmodified on the event loop.
+  class LoopClock final : public util::Clock {
+   public:
+    explicit LoopClock(const EventLoop& loop) : loop_(loop) {}
+    double NowMs() const override { return loop_.now_ms_; }
+
+   private:
+    const EventLoop& loop_;
+  };
+
+  struct Event {
+    double time_ms = 0.0;
+    EventId id = kInvalidEvent;  // monotone => doubles as the FIFO tie-break
+    Callback callback;
+  };
+  struct Later {
+    // Min-heap on (time, id): earliest first, FIFO among equal timestamps.
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time_ms != b.time_ms) return a.time_ms > b.time_ms;
+      return a.id > b.id;
+    }
+  };
+
+  // Pops and runs the earliest live event. Returns false if none remained.
+  bool DispatchOne();
+
+  double now_ms_ = 0.0;
+  EventId next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  std::uint64_t events_dispatched_ = 0;
+  std::uint64_t events_scheduled_ = 0;
+  LoopClock clock_;
+};
+
+inline constexpr double kNeverMs = std::numeric_limits<double>::infinity();
+
+}  // namespace livo::runtime

@@ -1,0 +1,71 @@
+#include "runtime/multi_session.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "obs/obs.h"
+#include "util/clock.h"
+
+namespace livo::runtime {
+
+MultiSessionResult RunMultiSession(std::vector<SessionSpec> specs,
+                                   const MultiSessionOptions& options) {
+  MultiSessionResult result;
+  EventLoop loop;
+
+  std::unique_ptr<SharedLink> bottleneck;
+  sim::BandwidthTrace shared_trace;
+  if (options.share_link && !specs.empty()) {
+    shared_trace = options.shared_trace.TimeCompressed(
+        std::max(1e-9, options.shared_trace_accel));
+    if (options.shared_trace_offset_ms > 0.0 && !shared_trace.mbps.empty()) {
+      const auto shift =
+          static_cast<std::size_t>(options.shared_trace_offset_ms /
+                                   shared_trace.sample_interval_ms) %
+          shared_trace.mbps.size();
+      std::rotate(shared_trace.mbps.begin(),
+                  shared_trace.mbps.begin() +
+                      static_cast<std::ptrdiff_t>(shift),
+                  shared_trace.mbps.end());
+    }
+    bottleneck = std::make_unique<SharedLink>(shared_trace,
+                                              options.shared_link_config);
+  }
+
+  std::vector<std::unique_ptr<SessionActor>> actors;
+  actors.reserve(specs.size());
+  for (SessionSpec& spec : specs) {
+    if (bottleneck) {
+      // Flows warm-start at their fair share of the shared bottleneck.
+      spec.gcc_initial_share = 1.0 / static_cast<double>(specs.size());
+      actors.push_back(std::make_unique<SessionActor>(
+          loop, std::move(spec), *bottleneck, options.shared_trace,
+          options.shared_link_config.bandwidth_scale));
+    } else {
+      actors.push_back(
+          std::make_unique<SessionActor>(loop, std::move(spec)));
+    }
+  }
+
+  for (auto& actor : actors) actor->Start();
+
+  const util::Stopwatch wall;
+  loop.Run();
+  result.wall_ms = wall.ElapsedMs();
+
+  result.sessions.reserve(actors.size());
+  for (auto& actor : actors) {
+    result.sessions.push_back(actor->TakeResult());
+  }
+  result.events_dispatched = loop.events_dispatched();
+  result.events_scheduled = loop.events_scheduled();
+  result.virtual_ms = loop.NowMs();
+  LIVO_LOG(Info) << "multi-session run: " << result.sessions.size()
+                 << " sessions, " << result.events_dispatched
+                 << " events over " << result.virtual_ms << " virtual ms in "
+                 << result.wall_ms << " wall ms";
+  return result;
+}
+
+}  // namespace livo::runtime

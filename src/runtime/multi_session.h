@@ -1,0 +1,51 @@
+// N concurrent replay sessions multiplexed on one event loop
+// (livo::runtime).
+//
+// Each session keeps its own sender/receiver/channel/records (full result
+// isolation); the loop interleaves their events in virtual-time order.
+// Two link topologies:
+//   * independent (default): every session replays its own
+//     SessionSpec::net_trace on a private LinkEmulator — measures scheduler
+//     throughput (events/sec) without cross-session coupling;
+//   * shared bottleneck: all sessions' packets serialize through one
+//     SharedLink replaying MultiSessionOptions::shared_trace — the
+//     contention setting (GCC fairness, queue interactions) the ROADMAP's
+//     production-scale north star needs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/link.h"
+#include "runtime/session_actor.h"
+#include "sim/nettrace.h"
+
+namespace livo::runtime {
+
+struct MultiSessionOptions {
+  // When true, all sessions share one bottleneck link replaying
+  // shared_trace (time-compressed/rotated per shared_replay below) instead
+  // of private links.
+  bool share_link = false;
+  sim::BandwidthTrace shared_trace;
+  net::LinkConfig shared_link_config;  // bandwidth_scale applied to the trace
+  // Trace-timeline compression/offset for the shared trace (same meaning
+  // as ReplayOptions::trace_time_accel / trace_offset_ms).
+  double shared_trace_accel = 6.0;
+  double shared_trace_offset_ms = 0.0;
+};
+
+struct MultiSessionResult {
+  std::vector<core::SessionResult> sessions;  // same order as the specs
+  std::uint64_t events_dispatched = 0;
+  std::uint64_t events_scheduled = 0;
+  double virtual_ms = 0.0;  // virtual time at which the loop drained
+  double wall_ms = 0.0;     // host time spent running the loop
+};
+
+// Runs every spec to completion on a single EventLoop and returns the
+// per-session results plus scheduler statistics.
+MultiSessionResult RunMultiSession(std::vector<SessionSpec> specs,
+                                   const MultiSessionOptions& options = {});
+
+}  // namespace livo::runtime

@@ -1,0 +1,28 @@
+#include "runtime/shared_link.h"
+
+#include <utility>
+
+namespace livo::runtime {
+
+SharedLink::SharedLink(sim::BandwidthTrace trace,
+                       const net::LinkConfig& config)
+    : link_(std::make_shared<net::LinkEmulator>(std::move(trace), config)) {}
+
+std::unique_ptr<net::VideoChannel> SharedLink::Connect(
+    const net::ChannelConfig& config) {
+  const auto flow_id = static_cast<std::uint32_t>(flows_.size());
+  auto channel =
+      std::make_unique<net::VideoChannel>(link_, config, flow_id);
+  flows_.push_back(channel.get());
+  return channel;
+}
+
+void SharedLink::PumpUpTo(double now_ms) {
+  for (const net::Packet& p : link_->Poll(now_ms)) {
+    if (p.flow_id < flows_.size()) {
+      flows_[p.flow_id]->Ingest(p, now_ms);
+    }
+  }
+}
+
+}  // namespace livo::runtime

@@ -1,0 +1,46 @@
+// Shared bottleneck for multi-session experiments (livo::runtime).
+//
+// N VideoChannels normally each own a private LinkEmulator; SharedLink
+// instead owns one emulator and multiplexes every attached channel's
+// packets through it, so concurrent sessions contend for the same
+// serialization queue — the ReVo-style setting (PAPERS.md) where GCC
+// fairness and queue interactions appear. Packets carry a flow_id; the mux
+// polls the link and routes each delivery back to the channel that sent it
+// (per-flow sequence spaces never mix).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/link.h"
+#include "net/transport.h"
+#include "sim/nettrace.h"
+
+namespace livo::runtime {
+
+class SharedLink {
+ public:
+  SharedLink(sim::BandwidthTrace trace, const net::LinkConfig& config);
+
+  // Creates a channel attached to this bottleneck with a fresh flow id.
+  // The channel must not outlive the SharedLink.
+  std::unique_ptr<net::VideoChannel> Connect(const net::ChannelConfig& config);
+
+  // Polls the link and routes packets with arrival <= now_ms to their
+  // flows. Idempotent within a timestep: callers at the same virtual time
+  // can each invoke it (the first drains everything due).
+  void PumpUpTo(double now_ms);
+
+  // Earliest pending delivery across all flows (+infinity when idle).
+  double NextEventTimeMs() const { return link_->NextEventTimeMs(); }
+
+  const net::LinkEmulator& link() const { return *link_; }
+  std::size_t flow_count() const { return flows_.size(); }
+
+ private:
+  std::shared_ptr<net::LinkEmulator> link_;
+  std::vector<net::VideoChannel*> flows_;  // index == flow_id
+};
+
+}  // namespace livo::runtime

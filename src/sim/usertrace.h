@@ -22,6 +22,16 @@ enum class TraceStyle {
   kFocus,    // stands mostly still, panning between subjects
 };
 
+// Human-readable label used in result tables and session records.
+inline const char* StyleName(TraceStyle style) {
+  switch (style) {
+    case TraceStyle::kOrbit: return "orbit";
+    case TraceStyle::kWalkIn: return "walk-in";
+    case TraceStyle::kFocus: return "focus";
+  }
+  return "?";
+}
+
 struct UserTrace {
   std::string video;
   TraceStyle style = TraceStyle::kOrbit;

@@ -448,6 +448,38 @@ TEST(Experiment, CacheKeyChangesWithConfig) {
   EXPECT_EQ(a.CacheKey(), c.CacheKey());
 }
 
+// The key must cover every knob that changes results, not just the matrix
+// shape: the full LiVoConfig/ReplayOptions derived from the profile and
+// the scheme list all feed the hash.
+TEST(Experiment, CacheKeyCoversDerivedSessionConfigs) {
+  const MatrixConfig base;
+  {
+    MatrixConfig m;  // profile knob that only alters derived ReplayOptions
+    m.profile.bandwidth_scale = base.profile.bandwidth_scale * 2.0;
+    EXPECT_NE(base.CacheKey(), m.CacheKey());
+  }
+  {
+    MatrixConfig m;  // profile knob that alters the derived tile layout
+    m.profile.camera_width = base.profile.camera_width + 8;
+    EXPECT_NE(base.CacheKey(), m.CacheKey());
+  }
+  {
+    MatrixConfig m;
+    m.schemes = {Scheme::kLiVo};
+    EXPECT_NE(base.CacheKey(), m.CacheKey());
+  }
+  {
+    MatrixConfig m;
+    m.videos = {"band2"};
+    EXPECT_NE(base.CacheKey(), m.CacheKey());
+  }
+  {
+    MatrixConfig m;
+    m.both_traces = false;
+    EXPECT_NE(base.CacheKey(), m.CacheKey());
+  }
+}
+
 TEST(Experiment, SelectAndAggregateHelpers) {
   std::vector<SessionSummary> all(3);
   all[0].scheme = "LiVo";

@@ -1,0 +1,318 @@
+// Unit + integration tests for livo::runtime — the discrete-event
+// scheduler, the event-driven session actor's exact equivalence with the
+// retained 1 ms tick-loop reference, determinism across repeated runs and
+// thread-pool sizes, and multi-session result isolation.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+#include "core/types.h"
+#include "runtime/event_loop.h"
+#include "runtime/multi_session.h"
+#include "runtime/session_actor.h"
+#include "sim/dataset.h"
+#include "sim/nettrace.h"
+#include "sim/usertrace.h"
+
+namespace livo::runtime {
+namespace {
+
+// ---- EventLoop ----
+
+TEST(EventLoop, DispatchesInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.ScheduleAt(30.0, [&](double) { order.push_back(3); });
+  loop.ScheduleAt(10.0, [&](double) { order.push_back(1); });
+  loop.ScheduleAt(20.0, [&](double) { order.push_back(2); });
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(loop.NowMs(), 30.0);
+  EXPECT_EQ(loop.events_dispatched(), 3u);
+}
+
+TEST(EventLoop, SameTimestampEventsDispatchFifo) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    loop.ScheduleAt(42.0, [&order, i](double) { order.push_back(i); });
+  }
+  loop.Run();
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventLoop, ScheduleAfterFromInsideCallback) {
+  EventLoop loop;
+  std::vector<double> fire_times;
+  loop.ScheduleAt(5.0, [&](double now) {
+    fire_times.push_back(now);
+    loop.ScheduleAfter(7.0, [&](double later) {
+      fire_times.push_back(later);
+      loop.ScheduleAfter(0.0, [&](double again) { fire_times.push_back(again); });
+    });
+  });
+  loop.Run();
+  ASSERT_EQ(fire_times.size(), 3u);
+  EXPECT_DOUBLE_EQ(fire_times[0], 5.0);
+  EXPECT_DOUBLE_EQ(fire_times[1], 12.0);
+  EXPECT_DOUBLE_EQ(fire_times[2], 12.0);
+}
+
+TEST(EventLoop, CancelPreventsDispatch) {
+  EventLoop loop;
+  int fired = 0;
+  const auto id = loop.ScheduleAt(10.0, [&](double) { ++fired; });
+  loop.ScheduleAt(20.0, [&](double) { ++fired; });
+  EXPECT_TRUE(loop.Cancel(id));
+  EXPECT_FALSE(loop.Cancel(id));  // already cancelled
+  loop.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventLoop, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  std::vector<double> fired;
+  for (double t : {5.0, 15.0, 25.0}) {
+    loop.ScheduleAt(t, [&fired](double now) { fired.push_back(now); });
+  }
+  loop.RunUntil(16.0);
+  EXPECT_EQ(fired.size(), 2u);
+  EXPECT_DOUBLE_EQ(loop.NowMs(), 16.0);
+  EXPECT_EQ(loop.QueueDepth(), 1u);
+  loop.Run();
+  EXPECT_EQ(fired.size(), 3u);
+}
+
+TEST(EventLoop, VirtualClockSatisfiesUtilClock) {
+  EventLoop loop;
+  const util::Clock& clock = loop.clock();
+  EXPECT_DOUBLE_EQ(clock.NowMs(), 0.0);
+  double seen = -1.0;
+  loop.ScheduleAt(33.5, [&](double) { seen = clock.NowMs(); });
+  loop.Run();
+  EXPECT_DOUBLE_EQ(seen, 33.5);
+  EXPECT_DOUBLE_EQ(clock.NowMs(), 33.5);
+}
+
+// ---- Session fixtures (small scale, shared across the suite) ----
+
+sim::ScaleProfile SmallProfile() {
+  sim::ScaleProfile profile;
+  profile.camera_count = 4;
+  profile.camera_width = 48;
+  profile.camera_height = 40;
+  return profile;
+}
+
+const sim::CapturedSequence& Sequence(const std::string& name, int frames) {
+  static std::map<std::pair<std::string, int>, sim::CapturedSequence> cache;
+  auto it = cache.find({name, frames});
+  if (it == cache.end()) {
+    it = cache.emplace(std::make_pair(name, frames),
+                       sim::CaptureVideo(name, SmallProfile(), frames))
+             .first;
+  }
+  return it->second;
+}
+
+core::LiVoConfig SmallConfig() {
+  core::LiVoConfig config;
+  const auto profile = SmallProfile();
+  config.layout = image::TileLayout(profile.camera_count, profile.camera_width,
+                                    profile.camera_height);
+  return config;
+}
+
+core::ReplayOptions SmallOptions() {
+  core::ReplayOptions options;
+  options.bandwidth_scale = 1.0 / 48.0;
+  options.metric_every = 4;
+  options.pssim_anchors = 250;
+  return options;
+}
+
+// Compares every virtual-time-deterministic field of two session results.
+// Wall-clock-derived fields (latency_ms and the per-stage RunningStats
+// timings, which include real decode/encode milliseconds) legitimately
+// differ between runs and are excluded.
+void ExpectSessionsEquivalent(const core::SessionResult& a,
+                              const core::SessionResult& b) {
+  ASSERT_EQ(a.frames.size(), b.frames.size());
+  for (std::size_t i = 0; i < a.frames.size(); ++i) {
+    SCOPED_TRACE("frame " + std::to_string(i));
+    const core::FrameRecord& fa = a.frames[i];
+    const core::FrameRecord& fb = b.frames[i];
+    EXPECT_EQ(fa.frame_index, fb.frame_index);
+    EXPECT_EQ(fa.rendered, fb.rendered);
+    EXPECT_DOUBLE_EQ(fa.capture_time_ms, fb.capture_time_ms);
+    EXPECT_DOUBLE_EQ(fa.render_time_ms, fb.render_time_ms);
+    EXPECT_DOUBLE_EQ(fa.pssim_geometry, fb.pssim_geometry);
+    EXPECT_DOUBLE_EQ(fa.pssim_color, fb.pssim_color);
+    EXPECT_DOUBLE_EQ(fa.sender.split, fb.sender.split);
+    EXPECT_DOUBLE_EQ(fa.sender.target_bps, fb.sender.target_bps);
+    EXPECT_EQ(fa.sender.color_bytes, fb.sender.color_bytes);
+    EXPECT_EQ(fa.sender.depth_bytes, fb.sender.depth_bytes);
+    EXPECT_DOUBLE_EQ(fa.sender.cull_kept_fraction, fb.sender.cull_kept_fraction);
+    EXPECT_DOUBLE_EQ(fa.sender.rmse_color, fb.sender.rmse_color);
+    EXPECT_DOUBLE_EQ(fa.sender.rmse_depth, fb.sender.rmse_depth);
+  }
+  EXPECT_DOUBLE_EQ(a.stall_rate, b.stall_rate);
+  EXPECT_DOUBLE_EQ(a.fps, b.fps);
+  EXPECT_DOUBLE_EQ(a.mean_pssim_geometry, b.mean_pssim_geometry);
+  EXPECT_DOUBLE_EQ(a.mean_pssim_color, b.mean_pssim_color);
+  EXPECT_DOUBLE_EQ(a.mean_throughput_mbps, b.mean_throughput_mbps);
+  EXPECT_DOUBLE_EQ(a.mean_capacity_mbps, b.mean_capacity_mbps);
+  EXPECT_DOUBLE_EQ(a.utilization, b.utilization);
+}
+
+// ---- Equivalence with the tick-loop reference ----
+
+// Acceptance criterion of the runtime refactor: on all five dataset
+// sequences the event-driven driver reproduces the retained tick-loop
+// implementation's per-frame records and aggregates exactly.
+TEST(RuntimeEquivalence, MatchesTickReferenceOnAllFiveSequences) {
+  const int kFrames = 8;
+  for (const sim::VideoSpec& spec : sim::AllVideos()) {
+    SCOPED_TRACE(spec.name);
+    const auto& seq = Sequence(spec.name, kFrames);
+    const auto user =
+        sim::GenerateUserTrace(spec.name, sim::TraceStyle::kOrbit, kFrames + 90);
+    const auto net = sim::MakeTrace2(20.0);
+    const core::LiVoConfig config = SmallConfig();
+    const core::ReplayOptions options = SmallOptions();
+    const core::SessionResult reference =
+        core::RunLiVoSessionTickReference(seq, user, net, config, options);
+    const core::SessionResult event_driven =
+        core::RunLiVoSession(seq, user, net, config, options);
+    ExpectSessionsEquivalent(reference, event_driven);
+  }
+}
+
+// Random loss exercises the NACK/PLI/deadline timers, the hardest part of
+// the event-time derivation (strict vs non-strict boundaries).
+TEST(RuntimeEquivalence, MatchesTickReferenceUnderLoss) {
+  const int kFrames = 10;
+  const auto& seq = Sequence("toddler4", kFrames);
+  const auto user =
+      sim::GenerateUserTrace("toddler4", sim::TraceStyle::kWalkIn, kFrames + 90);
+  const auto net = sim::MakeTrace2(20.0);
+  const core::LiVoConfig config = SmallConfig();
+  core::ReplayOptions options = SmallOptions();
+  options.channel.link.loss_rate = 0.02;
+  options.trace_offset_ms = 3100.0;
+  const core::SessionResult reference =
+      core::RunLiVoSessionTickReference(seq, user, net, config, options);
+  const core::SessionResult event_driven =
+      core::RunLiVoSession(seq, user, net, config, options);
+  ExpectSessionsEquivalent(reference, event_driven);
+}
+
+// ---- Determinism ----
+
+TEST(RuntimeDeterminism, IdenticalResultsAcrossRepeatedRuns) {
+  const int kFrames = 8;
+  const auto& seq = Sequence("band2", kFrames);
+  const auto user =
+      sim::GenerateUserTrace("band2", sim::TraceStyle::kFocus, kFrames + 90);
+  const auto net = sim::MakeTrace2(20.0);
+  const core::LiVoConfig config = SmallConfig();
+  const core::ReplayOptions options = SmallOptions();
+  const core::SessionResult first =
+      core::RunLiVoSession(seq, user, net, config, options);
+  const core::SessionResult second =
+      core::RunLiVoSession(seq, user, net, config, options);
+  ExpectSessionsEquivalent(first, second);
+}
+
+// The slice-parallel codec guarantees byte-identical bitstreams for any
+// thread count, so the session outcome must not depend on the pool size.
+TEST(RuntimeDeterminism, IdenticalResultsAcrossThreadPoolSizes) {
+  const int kFrames = 8;
+  const auto& seq = Sequence("band2", kFrames);
+  const auto user =
+      sim::GenerateUserTrace("band2", sim::TraceStyle::kFocus, kFrames + 90);
+  const auto net = sim::MakeTrace2(20.0);
+  const core::ReplayOptions options = SmallOptions();
+  core::LiVoConfig serial = SmallConfig();
+  serial.codec_threads = 1;
+  core::LiVoConfig pooled = SmallConfig();
+  pooled.codec_threads = 0;  // all hardware threads
+  const core::SessionResult a =
+      core::RunLiVoSession(seq, user, net, serial, options);
+  const core::SessionResult b =
+      core::RunLiVoSession(seq, user, net, pooled, options);
+  ExpectSessionsEquivalent(a, b);
+}
+
+// ---- Multi-session ----
+
+SessionSpec SmallSpec(const std::string& video, sim::TraceStyle style,
+                      int frames) {
+  SessionSpec spec;
+  spec.sequence = &Sequence(video, frames);
+  spec.user_trace = sim::GenerateUserTrace(video, style, frames + 90);
+  spec.net_trace = sim::MakeTrace2(20.0);
+  spec.config = SmallConfig();
+  spec.options = SmallOptions();
+  spec.options.metric_every = 1 << 20;  // skip PSSIM: fps/stall suffice here
+  return spec;
+}
+
+TEST(MultiSession, SingleSpecMatchesRunLiVoSession) {
+  const auto spec = SmallSpec("toddler4", sim::TraceStyle::kOrbit, 6);
+  auto result = RunMultiSession({spec});
+  ASSERT_EQ(result.sessions.size(), 1u);
+  EXPECT_GT(result.events_dispatched, 0u);
+  const core::SessionResult direct = core::RunLiVoSession(
+      *spec.sequence, spec.user_trace, spec.net_trace, spec.config,
+      spec.options);
+  ExpectSessionsEquivalent(direct, result.sessions[0]);
+}
+
+// Result isolation: two identical sessions interleaved on one loop must
+// each produce exactly what they produce alone.
+TEST(MultiSession, InterleavedSessionsStayIsolated) {
+  const auto spec = SmallSpec("toddler4", sim::TraceStyle::kOrbit, 6);
+  auto multi = RunMultiSession({spec, spec});
+  ASSERT_EQ(multi.sessions.size(), 2u);
+  ExpectSessionsEquivalent(multi.sessions[0], multi.sessions[1]);
+  const core::SessionResult direct = core::RunLiVoSession(
+      *spec.sequence, spec.user_trace, spec.net_trace, spec.config,
+      spec.options);
+  ExpectSessionsEquivalent(direct, multi.sessions[0]);
+}
+
+TEST(MultiSession, SharedBottleneckRunsAndBoundsThroughput) {
+  const int kSessions = 4;
+  std::vector<SessionSpec> specs;
+  for (int i = 0; i < kSessions; ++i) {
+    specs.push_back(SmallSpec(i % 2 == 0 ? "toddler4" : "office1",
+                              sim::TraceStyle::kOrbit, 6));
+  }
+  MultiSessionOptions options;
+  options.share_link = true;
+  options.shared_trace = sim::MakeTrace2(20.0);
+  options.shared_link_config = specs[0].options.channel.link;
+  options.shared_link_config.bandwidth_scale = specs[0].options.bandwidth_scale;
+  auto result = RunMultiSession(specs, options);
+  ASSERT_EQ(result.sessions.size(), static_cast<std::size_t>(kSessions));
+  double total_throughput = 0.0;
+  for (const auto& s : result.sessions) {
+    EXPECT_EQ(s.net_trace, "shared");
+    EXPECT_EQ(s.frames.size(), 6u);
+    EXPECT_GT(s.mean_throughput_mbps, 0.0);
+    EXPECT_DOUBLE_EQ(s.mean_capacity_mbps, options.shared_trace.MeanMbps());
+    total_throughput += s.mean_throughput_mbps;
+  }
+  // All flows together cannot exceed the bottleneck by more than the
+  // drain-window slack (bytes sent near the end count toward throughput
+  // over the nominal duration only).
+  EXPECT_LT(total_throughput, 1.6 * options.shared_trace.MeanMbps());
+}
+
+}  // namespace
+}  // namespace livo::runtime

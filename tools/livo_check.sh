@@ -1,7 +1,12 @@
 #!/usr/bin/env bash
 # Strict-mode gate for the concurrency-sensitive parts of the tree:
-# builds test_obs + test_util with -Wall -Wextra -Werror and, when the
-# toolchain supports it, ThreadSanitizer, then runs the combined binary.
+# builds test_util + test_obs + test_video_parallel + test_runtime (the
+# event-loop scheduler, thread-pool codec interaction, and multi-session
+# runs) with -Wall -Wextra -Werror and, when the toolchain supports it,
+# ThreadSanitizer, then runs the combined binary.
+#
+# For the fast unsanitized subset of the same surface, use the ctest
+# label instead: ctest --test-dir build -L quick.
 #
 #   tools/livo_check.sh            # from the repo root
 #   cmake --build build -t livo_check
