@@ -3,10 +3,14 @@
 // encoding, RGB-D view culling, point-cloud reconstruction, octree coding,
 // and PointSSIM.
 //
-// After the google-benchmark suite, main() runs a slice-parallel codec
-// throughput sweep (full tiled color frame, key + P, at 1/2/N threads) and
-// writes machine-readable BENCH_codec.json — the perf trajectory record for
-// the threading work. Override the output path with --codec_json=<path>.
+// After the google-benchmark suite, main() runs two machine-readable
+// sweeps:
+//  * a slice-parallel codec throughput sweep (full tiled color frame,
+//    key + P, at 1/2/N threads) written to BENCH_codec.json
+//    (--codec_json=<path> overrides), and
+//  * a per-kernel SIMD dispatch sweep (every livo::kernels entry, scalar
+//    table vs the best level available on this CPU) written to
+//    BENCH_kernels.json (--kernels_json=<path> overrides).
 #include <benchmark/benchmark.h>
 
 #include <cstring>
@@ -18,6 +22,8 @@
 
 #include "core/culling.h"
 #include "core/types.h"
+#include "geom/frustum.h"
+#include "kernels/kernels.h"
 #include "image/depth_encoding.h"
 #include "image/tiling.h"
 #include "metrics/pointssim.h"
@@ -235,15 +241,174 @@ void WriteCodecThroughputJson(const std::string& path) {
   out << "}\n";
 }
 
+// ---- Per-kernel SIMD dispatch throughput (BENCH_kernels.json) ----
+
+// Mega-elements per second for one kernel invocation pattern: reps until
+// at least 200 ms have elapsed, throughput from the total element count.
+double TimeKernel(const std::function<void()>& rep, double melems_per_rep) {
+  rep();  // warm-up
+  int reps = 0;
+  livo::util::Stopwatch watch;
+  do {
+    rep();
+    ++reps;
+  } while (watch.ElapsedMs() < 200.0 || reps < 3);
+  return reps * melems_per_rep / (watch.ElapsedMs() / 1e3);
+}
+
+void WriteKernelSweepJson(const std::string& path) {
+  using kernels::KernelTable;
+  const KernelTable& scalar = *kernels::Table(kernels::SimdLevel::kScalar);
+  const KernelTable& best = *kernels::Table(kernels::AvailableLevels().back());
+
+  // Working set: enough blocks/pixels that per-call overhead is invisible
+  // but the set still fits in cache (we measure compute, not memory).
+  constexpr int kBlocks = 2048;
+  constexpr std::size_t kPixels =
+      static_cast<std::size_t>(kBlocks) * kernels::kDctPixels;
+  util::Rng rng(99);
+  std::vector<double> dct_in(kPixels), dct_out(kPixels);
+  for (auto& v : dct_in) v = rng.Uniform(-255.0, 255.0);
+  std::vector<std::int32_t> ia(kPixels), ib(kPixels), levels(kPixels);
+  for (auto& v : ia) v = rng.UniformInt(-32768, 32767);
+  for (auto& v : ib) v = rng.UniformInt(-32768, 32767);
+  std::vector<std::uint8_t> r8(kPixels), g8(kPixels), b8(kPixels),
+      r8o(kPixels), g8o(kPixels), b8o(kPixels);
+  std::vector<std::uint16_t> y16(kPixels), cb16(kPixels), cr16(kPixels),
+      d16(kPixels), d16o(kPixels);
+  for (std::size_t i = 0; i < kPixels; ++i) {
+    r8[i] = static_cast<std::uint8_t>(rng.NextBelow(256));
+    g8[i] = static_cast<std::uint8_t>(rng.NextBelow(256));
+    b8[i] = static_cast<std::uint8_t>(rng.NextBelow(256));
+    y16[i] = static_cast<std::uint16_t>(rng.NextBelow(256));
+    cb16[i] = static_cast<std::uint16_t>(rng.NextBelow(256));
+    cr16[i] = static_cast<std::uint16_t>(rng.NextBelow(256));
+    d16[i] = static_cast<std::uint16_t>(rng.NextBelow(8000));
+  }
+  const geom::Frustum frustum(
+      geom::Pose::LookAt({2.0, 1.5, 2.0}, {0, 0.9, 0}), geom::FrustumParams{});
+  kernels::FrustumKernelParams fparams;
+  for (int i = 0; i < 6; ++i) {
+    fparams.nx[i] = frustum.planes()[i].normal.x;
+    fparams.ny[i] = frustum.planes()[i].normal.y;
+    fparams.nz[i] = frustum.planes()[i].normal.z;
+    fparams.d[i] = frustum.planes()[i].d;
+  }
+  fparams.fx = fparams.fy = 70.0;
+  fparams.cx = fparams.cy = 40.0;
+  std::vector<std::uint8_t> mask(kPixels);
+
+  const double mpx = kPixels / 1e6;
+  struct KernelCase {
+    const char* name;
+    double melems_per_rep;
+    std::function<void(const KernelTable&)> run;
+  };
+  const std::vector<KernelCase> cases = {
+      {"forward_dct", mpx,
+       [&](const KernelTable& t) {
+         for (int b = 0; b < kBlocks; ++b)
+           t.forward_dct(&dct_in[b * 64], &dct_out[b * 64]);
+       }},
+      {"inverse_dct", mpx,
+       [&](const KernelTable& t) {
+         for (int b = 0; b < kBlocks; ++b)
+           t.inverse_dct(&dct_in[b * 64], &dct_out[b * 64]);
+       }},
+      {"sad_block", mpx,
+       [&](const KernelTable& t) {
+         long long s = 0;
+         for (int b = 0; b < kBlocks; ++b)
+           s += t.sad_block(&ia[b * 64], &ib[b * 64]);
+         benchmark::DoNotOptimize(s);
+       }},
+      {"ssd_block", mpx,
+       [&](const KernelTable& t) {
+         long long s = 0;
+         for (int b = 0; b < kBlocks; ++b)
+           s += t.ssd_block(&ia[b * 64], &ib[b * 64]);
+         benchmark::DoNotOptimize(s);
+       }},
+      {"quantize_residual", mpx,
+       [&](const KernelTable& t) {
+         bool any = false;
+         for (int b = 0; b < kBlocks; ++b)
+           any |= t.quantize_residual(&ia[b * 64], 10.08, &levels[b * 64]);
+         benchmark::DoNotOptimize(any);
+       }},
+      {"reconstruct_residual", mpx,
+       [&](const KernelTable& t) {
+         for (int b = 0; b < kBlocks; ++b)
+           t.reconstruct_residual(&levels[b * 64], 10.08, &ia[b * 64]);
+       }},
+      {"rgb_to_ycbcr", mpx,
+       [&](const KernelTable& t) {
+         t.rgb_to_ycbcr(r8.data(), g8.data(), b8.data(), y16.data(),
+                        cb16.data(), cr16.data(), kPixels);
+       }},
+      {"ycbcr_to_rgb", mpx,
+       [&](const KernelTable& t) {
+         t.ycbcr_to_rgb(y16.data(), cb16.data(), cr16.data(), r8o.data(),
+                        g8o.data(), b8o.data(), kPixels);
+       }},
+      {"scale_depth", mpx,
+       [&](const KernelTable& t) {
+         t.scale_depth(d16.data(), d16o.data(), kPixels, 6000);
+       }},
+      {"unscale_depth", mpx,
+       [&](const KernelTable& t) {
+         t.unscale_depth(d16.data(), d16o.data(), kPixels, 6000);
+       }},
+      {"sum_sq_diff_u16", mpx,
+       [&](const KernelTable& t) {
+         benchmark::DoNotOptimize(
+             t.sum_sq_diff_u16(d16.data(), d16o.data(), kPixels));
+       }},
+      {"sum_sq_diff_u8", mpx,
+       [&](const KernelTable& t) {
+         benchmark::DoNotOptimize(
+             t.sum_sq_diff_u8(r8.data(), g8.data(), kPixels));
+       }},
+      {"cull_classify_row", mpx,
+       [&](const KernelTable& t) {
+         t.cull_classify_row(d16.data(), static_cast<int>(kPixels), 36.5,
+                             fparams, mask.data());
+       }},
+  };
+
+  std::ofstream out(path);
+  out << "{\n";
+  out << "  \"benchmark\": \"kernel_dispatch_throughput\",\n";
+  out << "  \"best_level\": \"" << best.name << "\",\n";
+  out << "  \"elements_per_rep\": " << kPixels << ",\n";
+  out << "  \"results\": [\n";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const auto& c = cases[i];
+    const double scalar_meps =
+        TimeKernel([&] { c.run(scalar); }, c.melems_per_rep);
+    const double best_meps = TimeKernel([&] { c.run(best); }, c.melems_per_rep);
+    out << "    {\"kernel\": \"" << c.name
+        << "\", \"scalar_meps\": " << scalar_meps
+        << ", \"best_meps\": " << best_meps
+        << ", \"speedup\": " << best_meps / scalar_meps << "}"
+        << (i + 1 < cases.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string codec_json = "BENCH_codec.json";
-  // Strip our own flag before google-benchmark sees the arguments.
+  std::string kernels_json = "BENCH_kernels.json";
+  // Strip our own flags before google-benchmark sees the arguments.
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--codec_json=", 13) == 0) {
       codec_json = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--kernels_json=", 15) == 0) {
+      kernels_json = argv[i] + 15;
     } else {
       argv[kept++] = argv[i];
     }
@@ -254,5 +419,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   WriteCodecThroughputJson(codec_json);
+  WriteKernelSweepJson(kernels_json);
   return 0;
 }

@@ -1,24 +1,32 @@
 #include "core/culling.h"
 
+#include <stdexcept>
+#include <vector>
+
+#include "kernels/kernels.h"
+
 namespace livo::core {
 namespace {
 
-// Shared pixel loop: invokes `fn(x, y, inside)` for every valid-depth pixel
-// of `view`, where `inside` is the frustum test in camera-local space.
-template <typename Fn>
-void ForEachValidPixel(const image::RgbdFrame& view,
-                       const geom::RgbdCamera& camera,
-                       const geom::Frustum& local_frustum, Fn&& fn) {
-  for (int y = 0; y < view.height(); ++y) {
-    const std::uint16_t* depth_row = view.depth.row(y);
-    for (int x = 0; x < view.width(); ++x) {
-      const std::uint16_t d = depth_row[x];
-      if (d == 0) continue;
-      const geom::Vec3 local =
-          camera.intrinsics.Unproject(x + 0.5, y + 0.5, d / 1000.0);
-      fn(x, y, local_frustum.Contains(local));
-    }
+// Flattens a camera-local frustum + intrinsics into the SoA parameter block
+// the batched row kernel consumes. Plane order matches Frustum::Contains so
+// the kernel's per-plane test sequence is identical to the scalar one.
+kernels::FrustumKernelParams MakeKernelParams(
+    const geom::CameraIntrinsics& intrinsics,
+    const geom::Frustum& local_frustum) {
+  kernels::FrustumKernelParams p;
+  const auto& planes = local_frustum.planes();
+  for (int i = 0; i < 6; ++i) {
+    p.nx[i] = planes[i].normal.x;
+    p.ny[i] = planes[i].normal.y;
+    p.nz[i] = planes[i].normal.z;
+    p.d[i] = planes[i].d;
   }
+  p.fx = intrinsics.fx;
+  p.fy = intrinsics.fy;
+  p.cx = intrinsics.cx;
+  p.cy = intrinsics.cy;
+  return p;
 }
 
 }  // namespace
@@ -27,28 +35,42 @@ CullStats CullView(image::RgbdFrame& view, const geom::RgbdCamera& camera,
                    const geom::Frustum& world_frustum) {
   CullStats stats;
   // One transform per camera, then every pixel tests in local coordinates —
-  // the cost is 6 plane dot products per valid pixel, no point cloud.
+  // the cost is 6 plane dot products per valid pixel, no point cloud. The
+  // per-pixel sweep runs through the dispatched plane-major kernel, one
+  // depth row at a time.
   const geom::Frustum local_frustum =
       world_frustum.Transformed(camera.extrinsics.WorldToCamera());
+  const kernels::FrustumKernelParams params =
+      MakeKernelParams(camera.intrinsics, local_frustum);
+  const auto& kt = kernels::Active();
 
-  ForEachValidPixel(view, camera, local_frustum,
-                    [&](int x, int y, bool inside) {
-                      ++stats.total_pixels;
-                      if (inside) {
-                        ++stats.kept_pixels;
-                      } else {
-                        view.depth.at(x, y) = 0;
-                        view.color.SetPixel(x, y, 0, 0, 0);
-                      }
-                    });
+  const int width = view.width();
+  std::vector<std::uint8_t> mask(static_cast<std::size_t>(width));
+  for (int y = 0; y < view.height(); ++y) {
+    kt.cull_classify_row(view.depth.row(y), width, y + 0.5, params,
+                         mask.data());
+    for (int x = 0; x < width; ++x) {
+      if (mask[x] == kernels::kCullInvalid) continue;
+      ++stats.total_pixels;
+      if (mask[x] == kernels::kCullInside) {
+        ++stats.kept_pixels;
+      } else {
+        view.depth.at(x, y) = 0;
+        view.color.SetPixel(x, y, 0, 0, 0);
+      }
+    }
+  }
   return stats;
 }
 
 CullStats CullViews(std::vector<image::RgbdFrame>& views,
                     const std::vector<geom::RgbdCamera>& cameras,
                     const geom::Frustum& world_frustum) {
+  if (views.size() != cameras.size()) {
+    throw std::invalid_argument("CullViews: view/camera count mismatch");
+  }
   CullStats total;
-  for (std::size_t i = 0; i < views.size() && i < cameras.size(); ++i) {
+  for (std::size_t i = 0; i < views.size(); ++i) {
     const CullStats s = CullView(views[i], cameras[i], world_frustum);
     total.total_pixels += s.total_pixels;
     total.kept_pixels += s.kept_pixels;
@@ -60,23 +82,39 @@ CullAccuracy EvaluateCulling(const std::vector<image::RgbdFrame>& original,
                              const std::vector<geom::RgbdCamera>& cameras,
                              const geom::Frustum& predicted_expanded,
                              const geom::Frustum& actual) {
+  if (original.size() != cameras.size()) {
+    throw std::invalid_argument("EvaluateCulling: view/camera count mismatch");
+  }
+  const auto& kt = kernels::Active();
   std::size_t needed = 0, needed_kept = 0, valid = 0, kept = 0;
-  for (std::size_t i = 0; i < original.size() && i < cameras.size(); ++i) {
+  std::vector<std::uint8_t> pred_mask, actual_mask;
+  for (std::size_t i = 0; i < original.size(); ++i) {
     const geom::Mat4 to_local = cameras[i].extrinsics.WorldToCamera();
-    const geom::Frustum pred_local = predicted_expanded.Transformed(to_local);
-    const geom::Frustum actual_local = actual.Transformed(to_local);
-    ForEachValidPixel(original[i], cameras[i], pred_local,
-                      [&](int x, int y, bool inside_pred) {
-                        ++valid;
-                        if (inside_pred) ++kept;
-                        const geom::Vec3 local = cameras[i].intrinsics.Unproject(
-                            x + 0.5, y + 0.5,
-                            original[i].depth.at(x, y) / 1000.0);
-                        if (actual_local.Contains(local)) {
-                          ++needed;
-                          if (inside_pred) ++needed_kept;
-                        }
-                      });
+    const kernels::FrustumKernelParams pred_params = MakeKernelParams(
+        cameras[i].intrinsics, predicted_expanded.Transformed(to_local));
+    const kernels::FrustumKernelParams actual_params =
+        MakeKernelParams(cameras[i].intrinsics, actual.Transformed(to_local));
+
+    const int width = original[i].width();
+    pred_mask.resize(static_cast<std::size_t>(width));
+    actual_mask.resize(static_cast<std::size_t>(width));
+    for (int y = 0; y < original[i].height(); ++y) {
+      const std::uint16_t* depth_row = original[i].depth.row(y);
+      const double v = y + 0.5;
+      kt.cull_classify_row(depth_row, width, v, pred_params, pred_mask.data());
+      kt.cull_classify_row(depth_row, width, v, actual_params,
+                           actual_mask.data());
+      for (int x = 0; x < width; ++x) {
+        if (pred_mask[x] == kernels::kCullInvalid) continue;
+        ++valid;
+        const bool inside_pred = pred_mask[x] == kernels::kCullInside;
+        if (inside_pred) ++kept;
+        if (actual_mask[x] == kernels::kCullInside) {
+          ++needed;
+          if (inside_pred) ++needed_kept;
+        }
+      }
+    }
   }
   CullAccuracy acc;
   acc.recall = needed == 0 ? 1.0

@@ -1,6 +1,7 @@
 #include "core/receiver.h"
 
 #include "image/depth_encoding.h"
+#include "image/plane_pool.h"
 #include "obs/obs.h"
 #include "util/clock.h"
 #include "video/color_convert.h"
@@ -167,6 +168,11 @@ std::optional<RenderedFrame> LiVoReceiver::TryRender(
 
     const auto views = image::Untile(config_.layout, color, depth_mm);
     cloud = pointcloud::ReconstructFromViews(views, cameras_);
+
+    // The decoded planes (pooled storage from DecodePlane) are no longer
+    // needed once the cloud is built; park them for the next frame.
+    image::ReleasePooledPlanes(color_planes);
+    image::ReleasePooledPlanes(depth_planes);
   }
   out.reconstruct_ms = reconstruct_watch.ElapsedMs();
   metrics.reconstruct_ms.Observe(out.reconstruct_ms);

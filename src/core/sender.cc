@@ -107,24 +107,27 @@ SenderOutput LiVoSender::ProcessFrame(std::vector<image::RgbdFrame> views,
   metrics.tile_ms.Observe(out.stats.tile_ms);
 
   // --- Depth encoding mode (§3.2 / Fig 17) ---
-  std::vector<image::Plane16> depth_planes;
+  // depth_planes_ / color_planes_ are member buffers: plane copy-assignment
+  // reuses existing capacity, so after the first frame these stages run
+  // without frame-sized allocations.
   switch (config_.depth_mode) {
-    case DepthEncodingMode::kScaledY16: {
-      image::Plane16 scaled = tiled.depth;
-      image::ScaleDepthInPlace(scaled, config_.depth_scaler);
-      depth_planes.push_back(std::move(scaled));
+    case DepthEncodingMode::kScaledY16:
+      depth_planes_.resize(1);
+      depth_planes_[0] = tiled.depth;
+      image::ScaleDepthInPlace(depth_planes_[0], config_.depth_scaler);
       break;
-    }
     case DepthEncodingMode::kUnscaledY16:
-      depth_planes.push_back(tiled.depth);
+      depth_planes_.resize(1);
+      depth_planes_[0] = tiled.depth;
       break;
     case DepthEncodingMode::kRgbPacked:
-      depth_planes =
+      depth_planes_ =
           image::PackedRgbToPlanes(image::PackDepthToRgb(tiled.depth));
       break;
   }
-  const std::vector<image::Plane16> color_planes =
-      video::RgbToYcbcr(tiled.color);
+  const std::vector<image::Plane16>& depth_planes = depth_planes_;
+  video::RgbToYcbcrInto(tiled.color, color_planes_);
+  const std::vector<image::Plane16>& color_planes = color_planes_;
 
   // --- Bandwidth split + rate-controlled encode (§3.3) ---
   util::Stopwatch encode_watch;
@@ -212,6 +215,10 @@ SenderOutput LiVoSender::ProcessFrame(std::vector<image::RgbdFrame> views,
       video::SerializeFrame(depth_result.frame));
   out.stats.color_bytes = out.color_frame->size();
   out.stats.depth_bytes = out.depth_frame->size();
+  // The committed reconstructions have served the quality probe; park their
+  // storage for the next frame's encodes.
+  video::ReleaseReconstruction(color_result);
+  video::ReleaseReconstruction(depth_result);
   metrics.frames.Add();
   metrics.color_bytes.Add(out.stats.color_bytes);
   metrics.depth_bytes.Add(out.stats.depth_bytes);

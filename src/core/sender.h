@@ -62,6 +62,10 @@ class LiVoSender {
   // Unspent (or overdrawn) bytes relative to the long-run rate target;
   // lets keyframes borrow against credit banked by cheap P-frames.
   double byte_credit_ = 0.0;
+  // Frame-sized plane buffers reused across ProcessFrame calls so the
+  // steady-state encode path performs no frame-sized allocations.
+  std::vector<image::Plane16> color_planes_;
+  std::vector<image::Plane16> depth_planes_;
 };
 
 }  // namespace livo::core

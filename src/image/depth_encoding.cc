@@ -1,5 +1,7 @@
 #include "image/depth_encoding.h"
 
+#include "kernels/kernels.h"
+
 namespace livo::image {
 
 Plane16 ScaleDepth(const Plane16& depth_mm, const DepthScaler& scaler) {
@@ -15,11 +17,15 @@ Plane16 UnscaleDepth(const Plane16& scaled, const DepthScaler& scaler) {
 }
 
 void ScaleDepthInPlace(Plane16& depth, const DepthScaler& scaler) {
-  for (auto& v : depth.data()) v = scaler.Scale(v);
+  auto& d = depth.data();
+  kernels::Active().scale_depth(d.data(), d.data(), d.size(),
+                                scaler.max_range_mm);
 }
 
 void UnscaleDepthInPlace(Plane16& depth, const DepthScaler& scaler) {
-  for (auto& v : depth.data()) v = scaler.Unscale(v);
+  auto& d = depth.data();
+  kernels::Active().unscale_depth(d.data(), d.data(), d.size(),
+                                  scaler.max_range_mm);
 }
 
 ColorImage PackDepthToRgb(const Plane16& depth_mm) {

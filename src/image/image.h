@@ -24,6 +24,23 @@ class Plane {
     if (width < 0 || height < 0) throw std::invalid_argument("negative plane size");
   }
 
+  // Adopts `storage` as the plane's backing memory (resized, contents
+  // unspecified) — lets callers recycle frame-sized buffers through
+  // kernels::BufferPool instead of reallocating every frame.
+  Plane(int width, int height, std::vector<T>&& storage)
+      : width_(width), height_(height), data_(std::move(storage)) {
+    if (width < 0 || height < 0) throw std::invalid_argument("negative plane size");
+    data_.resize(static_cast<std::size_t>(width) * height);
+  }
+
+  // Gives up the backing storage (plane becomes empty) so it can be parked
+  // in a buffer pool for the next frame.
+  std::vector<T> ReleaseStorage() {
+    width_ = 0;
+    height_ = 0;
+    return std::move(data_);
+  }
+
   int width() const { return width_; }
   int height() const { return height_; }
   bool empty() const { return data_.empty(); }

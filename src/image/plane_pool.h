@@ -1,0 +1,35 @@
+// Plane-level adapters over kernels::BufferPool.
+//
+// The pool stores raw uint16 vectors; these helpers acquire/release
+// Plane16s so the codec and the sender/receiver conversions can recycle
+// frame-sized planes without livo_kernels depending on livo_image.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "image/image.h"
+#include "kernels/buffer_pool.h"
+
+namespace livo::image {
+
+// A w x h Plane16 backed by pooled storage. Contents are unspecified —
+// callers must fully overwrite.
+inline Plane16 AcquirePooledPlane(int w, int h) {
+  return Plane16(w, h,
+                 kernels::BufferPool::Global().Acquire(
+                     static_cast<std::size_t>(w) * static_cast<std::size_t>(h)));
+}
+
+// Parks a plane's storage for reuse; the plane is left empty. Safe on
+// planes that never touched the pool (any vector can be parked).
+inline void ReleasePooledPlane(Plane16& plane) {
+  kernels::BufferPool::Global().Release(plane.ReleaseStorage());
+}
+
+inline void ReleasePooledPlanes(std::vector<Plane16>& planes) {
+  for (Plane16& p : planes) ReleasePooledPlane(p);
+  planes.clear();
+}
+
+}  // namespace livo::image

@@ -1,0 +1,73 @@
+#include "kernels/buffer_pool.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace livo::kernels {
+namespace {
+
+obs::Counter& PoolHits() {
+  static obs::Counter& c = obs::Registry::Get().GetCounter("kernels.pool_hits");
+  return c;
+}
+
+obs::Counter& PoolMisses() {
+  static obs::Counter& c =
+      obs::Registry::Get().GetCounter("kernels.pool_misses");
+  return c;
+}
+
+obs::Gauge& BytesPooledGauge() {
+  static obs::Gauge& g = obs::Registry::Get().GetGauge("kernels.bytes_pooled");
+  return g;
+}
+
+}  // namespace
+
+BufferPool& BufferPool::Global() {
+  static BufferPool* pool = new BufferPool();
+  return *pool;
+}
+
+std::vector<std::uint16_t> BufferPool::Acquire(std::size_t count) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = free_lists_.find(count);
+    if (it != free_lists_.end() && !it->second.empty()) {
+      std::vector<std::uint16_t> buf = std::move(it->second.back());
+      it->second.pop_back();
+      bytes_pooled_ -= count * sizeof(std::uint16_t);
+      BytesPooledGauge().Set(static_cast<double>(bytes_pooled_));
+      PoolHits().Add();
+      return buf;
+    }
+  }
+  PoolMisses().Add();
+  return std::vector<std::uint16_t>(count);
+}
+
+void BufferPool::Release(std::vector<std::uint16_t>&& buf) {
+  const std::size_t count = buf.size();
+  if (count == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& bucket = free_lists_[count];
+  if (bucket.size() >= kMaxPerBucket) return;  // drop: frees on unlock
+  bucket.push_back(std::move(buf));
+  bytes_pooled_ += count * sizeof(std::uint16_t);
+  BytesPooledGauge().Set(static_cast<double>(bytes_pooled_));
+}
+
+std::size_t BufferPool::BytesPooled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_pooled_;
+}
+
+void BufferPool::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_lists_.clear();
+  bytes_pooled_ = 0;
+  BytesPooledGauge().Set(0.0);
+}
+
+}  // namespace livo::kernels

@@ -1,0 +1,51 @@
+// Steady-state buffer pool for frame-sized uint16 buffers.
+//
+// The encode/decode path allocates several frame-sized planes per frame
+// (codec reconstructions, YCbCr conversions, decoded planes). After the
+// first few frames every one of these is the same handful of sizes, so the
+// pool keeps released vectors in per-size free lists and hands them back on
+// the next acquire — the steady-state encode path performs zero frame-sized
+// allocations (asserted in tests/test_kernels.cc via the miss counter).
+//
+// Telemetry: counters "kernels.pool_hits" / "kernels.pool_misses" (a miss
+// is a fresh heap allocation) and gauge "kernels.bytes_pooled" (bytes
+// currently parked in free lists).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace livo::kernels {
+
+class BufferPool {
+ public:
+  // Process-wide pool shared by encoder, decoder and sender conversions.
+  static BufferPool& Global();
+
+  // Returns a vector with size() == count. Contents are unspecified —
+  // callers fully overwrite. Allocates (and counts a miss) only when no
+  // released buffer of that size is parked.
+  std::vector<std::uint16_t> Acquire(std::size_t count);
+
+  // Parks a buffer for reuse. Empty vectors are ignored; buckets are capped
+  // (excess buffers are simply freed) so pathological size churn cannot
+  // grow the pool without bound.
+  void Release(std::vector<std::uint16_t>&& buf);
+
+  std::size_t BytesPooled() const;
+
+  // Frees every parked buffer and resets the gauge (tests).
+  void Clear();
+
+ private:
+  static constexpr std::size_t kMaxPerBucket = 64;
+
+  mutable std::mutex mu_;
+  std::map<std::size_t, std::vector<std::vector<std::uint16_t>>> free_lists_;
+  std::size_t bytes_pooled_ = 0;
+};
+
+}  // namespace livo::kernels

@@ -1,0 +1,163 @@
+// Runtime dispatch: picks the kernel table once (LIVO_SIMD override, then
+// CPU feature detection) and caches it in an atomic pointer. The selected
+// level is exported through the obs gauge "kernels.simd_level".
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "kernels/kernels_impl.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace livo::kernels {
+namespace {
+
+std::atomic<const KernelTable*> g_active{nullptr};
+
+bool CpuSupports(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return true;
+    case SimdLevel::kSse42:
+#if defined(LIVO_KERNELS_HAVE_SSE42) && (defined(__x86_64__) || defined(__i386__))
+      return __builtin_cpu_supports("sse4.2");
+#else
+      return false;
+#endif
+    case SimdLevel::kAvx2:
+#if defined(LIVO_KERNELS_HAVE_AVX2) && (defined(__x86_64__) || defined(__i386__))
+      return __builtin_cpu_supports("avx2");
+#else
+      return false;
+#endif
+    case SimdLevel::kNeon:
+#if defined(LIVO_KERNELS_HAVE_NEON)
+      return true;  // NEON is baseline on aarch64.
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const KernelTable* BestAvailable() {
+  const KernelTable* best = &ScalarTable();
+  for (SimdLevel level : AvailableLevels()) {
+    if (const KernelTable* t = Table(level)) best = t;
+  }
+  return best;
+}
+
+void Publish(const KernelTable* table) {
+  obs::Registry::Get()
+      .GetGauge("kernels.simd_level")
+      .Set(static_cast<double>(static_cast<int>(table->level)));
+  g_active.store(table, std::memory_order_release);
+}
+
+const KernelTable* Resolve() {
+  const char* env = std::getenv("LIVO_SIMD");
+  if (env != nullptr && *env != '\0') {
+    const std::string request(env);
+    if (request == "max") {
+      return BestAvailable();
+    }
+    if (auto level = ParseLevelName(request)) {
+      if (const KernelTable* t = Table(*level)) return t;
+      LIVO_LOG(Warn) << "LIVO_SIMD=" << request
+                     << " unavailable on this build/CPU; using best available";
+      return BestAvailable();
+    }
+    LIVO_LOG(Warn) << "LIVO_SIMD=" << request
+                   << " not recognized (scalar|sse42|avx2|neon|max); "
+                      "using best available";
+  }
+  return BestAvailable();
+}
+
+}  // namespace
+
+const char* ToString(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse42:
+      return "sse42";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+std::optional<SimdLevel> ParseLevelName(std::string_view name) {
+  if (name == "scalar") return SimdLevel::kScalar;
+  if (name == "sse42") return SimdLevel::kSse42;
+  if (name == "avx2") return SimdLevel::kAvx2;
+  if (name == "neon") return SimdLevel::kNeon;
+  return std::nullopt;
+}
+
+const KernelTable* Table(SimdLevel level) {
+  if (!CpuSupports(level)) return nullptr;
+  switch (level) {
+    case SimdLevel::kScalar:
+      return &ScalarTable();
+    case SimdLevel::kSse42:
+#ifdef LIVO_KERNELS_HAVE_SSE42
+      return Sse42Table();
+#else
+      return nullptr;
+#endif
+    case SimdLevel::kAvx2:
+#ifdef LIVO_KERNELS_HAVE_AVX2
+      return Avx2Table();
+#else
+      return nullptr;
+#endif
+    case SimdLevel::kNeon:
+#ifdef LIVO_KERNELS_HAVE_NEON
+      return NeonTable();
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+std::vector<SimdLevel> AvailableLevels() {
+  std::vector<SimdLevel> levels;
+  for (SimdLevel level : {SimdLevel::kScalar, SimdLevel::kSse42,
+                          SimdLevel::kAvx2, SimdLevel::kNeon}) {
+    if (CpuSupports(level)) levels.push_back(level);
+  }
+  return levels;
+}
+
+const KernelTable& Active() {
+  const KernelTable* table = g_active.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    table = Resolve();
+    Publish(table);
+  }
+  return *table;
+}
+
+SimdLevel ActiveLevel() { return Active().level; }
+
+void ForceLevel(SimdLevel level) {
+  const KernelTable* table = Table(level);
+  if (table == nullptr) {
+    throw std::invalid_argument(std::string("SIMD level ") + ToString(level) +
+                                " is not available on this build/CPU");
+  }
+  Publish(table);
+}
+
+void ResetDispatchForTest() {
+  g_active.store(nullptr, std::memory_order_release);
+}
+
+}  // namespace livo::kernels

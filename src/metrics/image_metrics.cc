@@ -3,31 +3,31 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "kernels/kernels.h"
+
 namespace livo::metrics {
-namespace {
 
-template <typename T>
-double RmseImpl(const image::Plane<T>& a, const image::Plane<T>& b) {
-  if (!a.SameShape(b)) throw std::invalid_argument("plane shape mismatch");
-  if (a.empty()) return 0.0;
-  double sum = 0.0;
-  const auto& da = a.data();
-  const auto& db = b.data();
-  for (std::size_t i = 0; i < da.size(); ++i) {
-    const double d = double(da[i]) - double(db[i]);
-    sum += d * d;
-  }
-  return std::sqrt(sum / static_cast<double>(da.size()));
-}
-
-}  // namespace
+// Squared-difference sums accumulate in exact 64-bit integers (the kernel
+// layer's sum_sq_diff contract), so the result is order-independent and
+// identical at every SIMD level. Sample diffs are < 2^16, so a plane needs
+// > 2^32 pixels to overflow — far beyond any frame here.
 
 double PlaneRmse(const image::Plane16& a, const image::Plane16& b) {
-  return RmseImpl(a, b);
+  if (!a.SameShape(b)) throw std::invalid_argument("plane shape mismatch");
+  if (a.empty()) return 0.0;
+  const std::uint64_t sum = kernels::Active().sum_sq_diff_u16(
+      a.data().data(), b.data().data(), a.data().size());
+  return std::sqrt(static_cast<double>(sum) /
+                   static_cast<double>(a.data().size()));
 }
 
 double PlaneRmse(const image::Plane8& a, const image::Plane8& b) {
-  return RmseImpl(a, b);
+  if (!a.SameShape(b)) throw std::invalid_argument("plane shape mismatch");
+  if (a.empty()) return 0.0;
+  const std::uint64_t sum = kernels::Active().sum_sq_diff_u8(
+      a.data().data(), b.data().data(), a.data().size());
+  return std::sqrt(static_cast<double>(sum) /
+                   static_cast<double>(a.data().size()));
 }
 
 double ColorRmse(const image::ColorImage& a, const image::ColorImage& b) {
@@ -35,15 +35,13 @@ double ColorRmse(const image::ColorImage& a, const image::ColorImage& b) {
     throw std::invalid_argument("image shape mismatch");
   }
   if (a.r.empty()) return 0.0;
-  double sum = 0.0;
+  const auto& kt = kernels::Active();
   const std::size_t n = a.r.data().size();
-  for (std::size_t i = 0; i < n; ++i) {
-    const double dr = double(a.r.data()[i]) - double(b.r.data()[i]);
-    const double dg = double(a.g.data()[i]) - double(b.g.data()[i]);
-    const double db = double(a.b.data()[i]) - double(b.b.data()[i]);
-    sum += dr * dr + dg * dg + db * db;
-  }
-  return std::sqrt(sum / static_cast<double>(3 * n));
+  const std::uint64_t sum =
+      kt.sum_sq_diff_u8(a.r.data().data(), b.r.data().data(), n) +
+      kt.sum_sq_diff_u8(a.g.data().data(), b.g.data().data(), n) +
+      kt.sum_sq_diff_u8(a.b.data().data(), b.b.data().data(), n);
+  return std::sqrt(static_cast<double>(sum) / static_cast<double>(3 * n));
 }
 
 double Psnr(double rmse, double peak) {

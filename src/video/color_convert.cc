@@ -1,38 +1,30 @@
 #include "video/color_convert.h"
 
-#include <algorithm>
-#include <cmath>
 #include <stdexcept>
 
+#include "image/plane_pool.h"
+#include "kernels/kernels.h"
+
 namespace livo::video {
-namespace {
 
-std::uint16_t Clamp8(double v) {
-  return static_cast<std::uint16_t>(std::clamp(std::lround(v), 0l, 255l));
+void RgbToYcbcrInto(const image::ColorImage& rgb,
+                    std::vector<image::Plane16>& planes) {
+  const int w = rgb.width(), h = rgb.height();
+  planes.resize(3);
+  for (auto& plane : planes) {
+    if (plane.width() != w || plane.height() != h) {
+      plane = image::AcquirePooledPlane(w, h);
+    }
+  }
+  kernels::Active().rgb_to_ycbcr(
+      rgb.r.data().data(), rgb.g.data().data(), rgb.b.data().data(),
+      planes[0].data().data(), planes[1].data().data(),
+      planes[2].data().data(), rgb.r.data().size());
 }
-
-std::uint8_t Clamp8u(double v) {
-  return static_cast<std::uint8_t>(std::clamp(std::lround(v), 0l, 255l));
-}
-
-}  // namespace
 
 std::vector<image::Plane16> RgbToYcbcr(const image::ColorImage& rgb) {
-  const int w = rgb.width(), h = rgb.height();
-  std::vector<image::Plane16> planes(3, image::Plane16(w, h));
-  const auto& r = rgb.r.data();
-  const auto& g = rgb.g.data();
-  const auto& b = rgb.b.data();
-  auto& yp = planes[0].data();
-  auto& cb = planes[1].data();
-  auto& cr = planes[2].data();
-  for (std::size_t i = 0; i < r.size(); ++i) {
-    const double rf = r[i], gf = g[i], bf = b[i];
-    const double y = 0.299 * rf + 0.587 * gf + 0.114 * bf;
-    yp[i] = Clamp8(y);
-    cb[i] = Clamp8(128.0 + 0.564 * (bf - y));
-    cr[i] = Clamp8(128.0 + 0.713 * (rf - y));
-  }
+  std::vector<image::Plane16> planes;
+  RgbToYcbcrInto(rgb, planes);
   return planes;
 }
 
@@ -43,23 +35,10 @@ image::ColorImage YcbcrToRgb(const std::vector<image::Plane16>& planes) {
   }
   const int w = planes[0].width(), h = planes[0].height();
   image::ColorImage rgb(w, h);
-  const auto& yp = planes[0].data();
-  const auto& cb = planes[1].data();
-  const auto& cr = planes[2].data();
-  auto& r = rgb.r.data();
-  auto& g = rgb.g.data();
-  auto& b = rgb.b.data();
-  for (std::size_t i = 0; i < yp.size(); ++i) {
-    const double y = yp[i];
-    const double db = cb[i] - 128.0;
-    const double dr = cr[i] - 128.0;
-    const double rf = y + 1.403 * dr;
-    const double bf = y + 1.773 * db;
-    const double gf = (y - 0.299 * rf - 0.114 * bf) / 0.587;
-    r[i] = Clamp8u(rf);
-    g[i] = Clamp8u(gf);
-    b[i] = Clamp8u(bf);
-  }
+  kernels::Active().ycbcr_to_rgb(
+      planes[0].data().data(), planes[1].data().data(),
+      planes[2].data().data(), rgb.r.data().data(), rgb.g.data().data(),
+      rgb.b.data().data(), planes[0].data().size());
   return rgb;
 }
 

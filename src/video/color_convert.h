@@ -16,6 +16,12 @@ namespace livo::video {
 // Converts an RGB image to three planes [Y, Cb, Cr] with values in [0, 255].
 std::vector<image::Plane16> RgbToYcbcr(const image::ColorImage& rgb);
 
+// Same conversion, reusing `planes` when already the right shape (acquiring
+// pooled storage otherwise) — the sender calls this every frame without
+// frame-sized allocations.
+void RgbToYcbcrInto(const image::ColorImage& rgb,
+                    std::vector<image::Plane16>& planes);
+
 // Inverse conversion; planes must be the same shape.
 image::ColorImage YcbcrToRgb(const std::vector<image::Plane16>& planes);
 

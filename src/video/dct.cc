@@ -1,73 +1,20 @@
 #include "video/dct.h"
 
-#include <cmath>
+#include "kernels/kernels.h"
 
 namespace livo::video {
-namespace {
 
-constexpr double kPi = 3.14159265358979323846;
-
-// basis[k][n] = c(k) * cos((2n+1) k pi / 16); rows are frequency, cols space.
-struct DctBasis {
-  double b[kBlockSize][kBlockSize];
-  DctBasis() {
-    for (int k = 0; k < kBlockSize; ++k) {
-      const double ck = k == 0 ? std::sqrt(1.0 / kBlockSize)
-                               : std::sqrt(2.0 / kBlockSize);
-      for (int n = 0; n < kBlockSize; ++n) {
-        b[k][n] = ck * std::cos((2 * n + 1) * k * kPi / (2.0 * kBlockSize));
-      }
-    }
-  }
-};
-
-const DctBasis& Basis() {
-  static const DctBasis basis;
-  return basis;
-}
-
-}  // namespace
+// The transform math lives in livo::kernels (scalar reference in
+// kernels_scalar.cc, SIMD variants selected by the runtime dispatcher).
+// These wrappers keep the historical video-layer API.
 
 void ForwardDct(const Block& spatial, Block& freq) {
-  const auto& b = Basis().b;
-  double tmp[kBlockSize][kBlockSize];
-  // Rows.
-  for (int y = 0; y < kBlockSize; ++y) {
-    for (int k = 0; k < kBlockSize; ++k) {
-      double s = 0.0;
-      for (int x = 0; x < kBlockSize; ++x) s += spatial[y * kBlockSize + x] * b[k][x];
-      tmp[y][k] = s;
-    }
-  }
-  // Columns.
-  for (int k = 0; k < kBlockSize; ++k) {
-    for (int j = 0; j < kBlockSize; ++j) {
-      double s = 0.0;
-      for (int y = 0; y < kBlockSize; ++y) s += tmp[y][j] * b[k][y];
-      freq[k * kBlockSize + j] = s;
-    }
-  }
+  static_assert(kBlockPixels == kernels::kDctPixels);
+  kernels::Active().forward_dct(spatial.data(), freq.data());
 }
 
 void InverseDct(const Block& freq, Block& spatial) {
-  const auto& b = Basis().b;
-  double tmp[kBlockSize][kBlockSize];
-  // Columns (transpose of forward).
-  for (int y = 0; y < kBlockSize; ++y) {
-    for (int j = 0; j < kBlockSize; ++j) {
-      double s = 0.0;
-      for (int k = 0; k < kBlockSize; ++k) s += freq[k * kBlockSize + j] * b[k][y];
-      tmp[y][j] = s;
-    }
-  }
-  // Rows.
-  for (int y = 0; y < kBlockSize; ++y) {
-    for (int x = 0; x < kBlockSize; ++x) {
-      double s = 0.0;
-      for (int k = 0; k < kBlockSize; ++k) s += tmp[y][k] * b[k][x];
-      spatial[y * kBlockSize + x] = s;
-    }
-  }
+  kernels::Active().inverse_dct(freq.data(), spatial.data());
 }
 
 }  // namespace livo::video

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "image/plane_pool.h"
+#include "kernels/kernels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/bitstream.h"
@@ -99,25 +101,25 @@ void LoadPrediction(const Plane16& ref, const SliceBand& band, int bx, int by,
   }
 }
 
-long long Sad(const IntBlock& a, const IntBlock& b) {
-  long long s = 0;
-  for (int i = 0; i < kBlockPixels; ++i) s += std::abs(a[i] - b[i]);
-  return s;
+long long Sad(const kernels::KernelTable& kt, const IntBlock& a,
+              const IntBlock& b) {
+  return kt.sad_block(a.data(), b.data());
 }
 
 // SAD between `src` and the candidate prediction at pixel origin (x0, y0),
 // aborting once the partial sum reaches `bound`: the candidate can no
 // longer beat the current best (comparison is strict <), so the exact
 // value is irrelevant. Fuses the prediction fetch into the accumulation —
-// no candidate block is materialized.
-long long SadBounded(const Plane16& ref, const SliceBand& band,
-                     const IntBlock& src, int x0, int y0, long long bound) {
+// no candidate block is materialized. The interior fast path keeps the
+// historical per-row early exit, with each row's SAD computed by the
+// dispatched kernel.
+long long SadBounded(const kernels::KernelTable& kt, const Plane16& ref,
+                     const SliceBand& band, const IntBlock& src, int x0,
+                     int y0, long long bound) {
   long long s = 0;
   if (PredictionIsInterior(ref, band, x0, y0)) {
     for (int y = 0; y < kBlockSize; ++y) {
-      const auto* row = ref.row(y0 + y) + x0;
-      const int* srow = src.data() + y * kBlockSize;
-      for (int x = 0; x < kBlockSize; ++x) s += std::abs(srow[x] - row[x]);
+      s += kt.sad_row8_u16(src.data() + y * kBlockSize, ref.row(y0 + y) + x0);
       if (s >= bound) return s;
     }
     return s;
@@ -135,13 +137,9 @@ long long SadBounded(const Plane16& ref, const SliceBand& band,
   return s;
 }
 
-long long Sse(const IntBlock& a, const IntBlock& b) {
-  long long s = 0;
-  for (int i = 0; i < kBlockPixels; ++i) {
-    const long long d = a[i] - b[i];
-    s += d * d;
-  }
-  return s;
+long long Sse(const kernels::KernelTable& kt, const IntBlock& a,
+              const IntBlock& b) {
+  return kt.ssd_block(a.data(), b.data());
 }
 
 // DC intra prediction from reconstructed pixels above and left of the block.
@@ -167,30 +165,17 @@ int IntraDcPrediction(const Plane16& recon, const SliceBand& band, int bx,
 void FillBlock(int value, IntBlock& out) { out.fill(value); }
 
 // Transforms and quantizes a residual; returns quantized levels in raster
-// order and whether any level is non-zero.
-bool QuantizeResidual(const IntBlock& residual, double step, IntBlock& levels) {
-  Block spatial;
-  for (int i = 0; i < kBlockPixels; ++i) spatial[i] = residual[i];
-  Block freq;
-  ForwardDct(spatial, freq);
-  bool any = false;
-  for (int i = 0; i < kBlockPixels; ++i) {
-    const int q = static_cast<int>(std::lround(freq[i] / step));
-    levels[i] = q;
-    any = any || q != 0;
-  }
-  return any;
+// order and whether any level is non-zero. Transform + rounding live in the
+// kernel layer (round-half-away-from-zero contract).
+bool QuantizeResidual(const kernels::KernelTable& kt, const IntBlock& residual,
+                      double step, IntBlock& levels) {
+  return kt.quantize_residual(residual.data(), step, levels.data());
 }
 
 // Dequantizes and inverse-transforms levels into a spatial residual.
-void ReconstructResidual(const IntBlock& levels, double step, IntBlock& residual) {
-  Block freq;
-  for (int i = 0; i < kBlockPixels; ++i) freq[i] = levels[i] * step;
-  Block spatial;
-  InverseDct(freq, spatial);
-  for (int i = 0; i < kBlockPixels; ++i) {
-    residual[i] = static_cast<int>(std::lround(spatial[i]));
-  }
+void ReconstructResidual(const kernels::KernelTable& kt, const IntBlock& levels,
+                         double step, IntBlock& residual) {
+  kt.reconstruct_residual(levels.data(), step, residual.data());
 }
 
 // Entropy-codes quantized levels: zigzag (run, level) pairs, EOB = run 64.
@@ -241,9 +226,9 @@ void StoreBlock(Plane16& recon, int bx, int by, const IntBlock& prediction,
 // SAD `sad_zero` is the incumbent, so the result never regresses; each
 // other candidate is evaluated with an early-exit bound at the current
 // best, which discards most candidates after a few rows.
-void MotionSearch(const Plane16& ref, const SliceBand& band,
-                  const IntBlock& src, int bx, int by, int range,
-                  long long sad_zero, int& best_dx, int& best_dy,
+void MotionSearch(const kernels::KernelTable& kt, const Plane16& ref,
+                  const SliceBand& band, const IntBlock& src, int bx, int by,
+                  int range, long long sad_zero, int& best_dx, int& best_dy,
                   long long& best_sad) {
   const int px = bx * kBlockSize, py = by * kBlockSize;
   best_dx = 0;
@@ -253,7 +238,7 @@ void MotionSearch(const Plane16& ref, const SliceBand& band,
     for (int dx = -range; dx <= range; ++dx) {
       if (dx == 0 && dy == 0) continue;
       const long long sad =
-          SadBounded(ref, band, src, px + dx, py + dy, best_sad);
+          SadBounded(kt, ref, band, src, px + dx, py + dy, best_sad);
       if (sad < best_sad) {
         best_sad = sad;
         best_dx = dx;
@@ -276,6 +261,7 @@ std::vector<std::uint8_t> EncodeSlice(const CodecConfig& config,
   const int by_begin = band.y0 / kBlockSize;
   const int by_end = band.y1 / kBlockSize;
   const bool is_inter = reference != nullptr;
+  const kernels::KernelTable& kt = kernels::Active();
 
   BitWriter writer;
   IntBlock src_block, prediction, residual, levels, recon_residual;
@@ -291,7 +277,7 @@ std::vector<std::uint8_t> EncodeSlice(const CodecConfig& config,
         // Candidate evaluation by SAD with small mode-cost biases.
         IntBlock zero_pred;
         LoadPrediction(*reference, band, bx, by, 0, 0, zero_pred);
-        const long long sse_zero = Sse(src_block, zero_pred);
+        const long long sse_zero = Sse(kt, src_block, zero_pred);
 
         // If the co-located residual energy is below the quantization noise
         // floor, coding it cannot improve the reconstruction: SKIP.
@@ -302,17 +288,17 @@ std::vector<std::uint8_t> EncodeSlice(const CodecConfig& config,
           continue;
         }
 
-        const long long sad_zero = Sad(src_block, zero_pred);
+        const long long sad_zero = Sad(kt, src_block, zero_pred);
         long long sad_mv = sad_zero;
         if (config.motion_search) {
-          MotionSearch(*reference, band, src_block, bx, by,
+          MotionSearch(kt, *reference, band, src_block, bx, by,
                        config.motion_range_px, sad_zero, mv_dx, mv_dy, sad_mv);
         }
         const int dc_pred =
             IntraDcPrediction(recon, band, bx, by, config.MidSampleValue());
         IntBlock intra_pred;
         FillBlock(dc_pred, intra_pred);
-        const long long sad_intra = Sad(src_block, intra_pred);
+        const long long sad_intra = Sad(kt, src_block, intra_pred);
 
         // Bias terms approximate signalling cost (mv bits, intra's weaker
         // temporal continuity) in units of SAD.
@@ -350,7 +336,7 @@ std::vector<std::uint8_t> EncodeSlice(const CodecConfig& config,
       for (int i = 0; i < kBlockPixels; ++i) {
         residual[i] = src_block[i] - prediction[i];
       }
-      const bool any_level = QuantizeResidual(residual, step, levels);
+      const bool any_level = QuantizeResidual(kt, residual, step, levels);
 
       // Exact late skip: a zero-motion inter block whose residual quantizes
       // to all zeros reconstructs identically to SKIP, which costs 1 symbol
@@ -370,7 +356,7 @@ std::vector<std::uint8_t> EncodeSlice(const CodecConfig& config,
       }
       WriteLevels(writer, levels);
 
-      ReconstructResidual(levels, step, recon_residual);
+      ReconstructResidual(kt, levels, step, recon_residual);
       StoreBlock(recon, bx, by, prediction, recon_residual, max_value);
     }
   }
@@ -389,6 +375,7 @@ void DecodeSlice(const CodecConfig& config, const std::uint8_t* data,
   const int by_end = band.y1 / kBlockSize;
   const bool is_inter = reference != nullptr;
 
+  const kernels::KernelTable& kt = kernels::Active();
   BitReader reader(data, size);
   IntBlock prediction, levels, residual;
 
@@ -427,7 +414,7 @@ void DecodeSlice(const CodecConfig& config, const std::uint8_t* data,
       }
 
       ReadLevels(reader, levels);
-      ReconstructResidual(levels, step, residual);
+      ReconstructResidual(kt, levels, step, residual);
       StoreBlock(recon, bx, by, prediction, residual, max_value);
     }
   }
@@ -449,7 +436,9 @@ PlaneEncodeOutput EncodePlane(const CodecConfig& config, const Plane16& src,
   const auto slice_count = slices.size();
 
   PlaneEncodeOutput out;
-  out.reconstruction = Plane16(src.width(), src.height());
+  // Pooled storage: every pixel is written by exactly one slice below, so
+  // the unspecified initial contents never leak.
+  out.reconstruction = image::AcquirePooledPlane(src.width(), src.height());
 
   // Encode slices concurrently; each writes a disjoint row band of the
   // reconstruction and its own bitstream segment, keyed by slice index.
@@ -523,7 +512,7 @@ Plane16 DecodePlane(const CodecConfig& config,
     pos += lengths[i];
   }
 
-  Plane16 recon(config.width, config.height);
+  Plane16 recon = image::AcquirePooledPlane(config.width, config.height);
   Pool(config).ParallelFor(
       static_cast<int>(slices.size()), config.max_threads, [&](int i) {
         LIVO_SPAN("codec.slice_decode");

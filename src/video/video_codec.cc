@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "image/plane_pool.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "util/thread_pool.h"
@@ -40,6 +41,10 @@ std::uint32_t ReadU32(const std::vector<std::uint8_t>& in, std::size_t& pos) {
 }
 
 }  // namespace
+
+void ReleaseReconstruction(EncodeResult& result) {
+  image::ReleasePooledPlanes(result.reconstruction);
+}
 
 std::vector<std::uint8_t> SerializeFrame(const EncodedFrame& frame) {
   std::vector<std::uint8_t> out;
@@ -171,13 +176,21 @@ EncodeResult VideoEncoder::EncodeToTarget(
   int trials = 0;
   constexpr int kMaxTrials = 8;
 
+  // Every discarded attempt hands its reconstruction planes back to the
+  // pool, so rate-control probing allocates nothing in steady state.
   const auto attempt_qp = [&](int qp) -> bool {  // returns "fits"
     EncodeResult attempt = TryEncode(planes, qp, keyframe);
     ++trials;
     if (attempt.frame.SizeBytes() <= target_bytes) {
-      if (!best || attempt.frame.qp < best->frame.qp) best = std::move(attempt);
+      if (!best || attempt.frame.qp < best->frame.qp) {
+        if (best) ReleaseReconstruction(*best);
+        best = std::move(attempt);
+      } else {
+        ReleaseReconstruction(attempt);
+      }
       return true;
     }
+    if (overshoot) ReleaseReconstruction(*overshoot);
     overshoot = std::move(attempt);
     return false;
   };
@@ -209,6 +222,7 @@ EncodeResult VideoEncoder::EncodeToTarget(
     attempt_qp(config_.qp_max);
   }
 
+  if (best && overshoot) ReleaseReconstruction(*overshoot);
   EncodeResult result = best ? std::move(*best) : std::move(*overshoot);
   Metrics().encode_trials.Add(static_cast<std::uint64_t>(trials));
   if (!best) {

@@ -26,6 +26,12 @@ namespace livo::video {
 std::vector<std::uint8_t> SerializeFrame(const EncodedFrame& frame);
 EncodedFrame DeserializeFrame(const std::vector<std::uint8_t>& bytes);
 
+// Returns a result's reconstruction planes to the frame buffer pool (they
+// are pooled storage from EncodePlane). Call once the reconstruction has
+// served its purpose — e.g. after the sender's quality probe — to keep the
+// steady-state encode path allocation-free.
+void ReleaseReconstruction(EncodeResult& result);
+
 class VideoEncoder {
  public:
   // `num_planes` is 3 for color (Y/Cb/Cr) and 1 for depth.

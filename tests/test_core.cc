@@ -170,6 +170,17 @@ TEST(Culling, GuardBandImprovesRecallUnderError) {
   EXPECT_GT(guarded.kept_fraction, bare.kept_fraction);
 }
 
+TEST(Culling, MismatchedViewAndCameraCountsThrow) {
+  const auto& seq = SmallSequence();
+  const geom::Frustum frustum(
+      geom::Pose::LookAt({1.5, 1.2, 1.5}, {0, 0.7, 0}), geom::FrustumParams{});
+  auto views = seq.frames[0];
+  views.pop_back();  // one fewer view than cameras
+  EXPECT_THROW(CullViews(views, seq.rig, frustum), std::invalid_argument);
+  EXPECT_THROW(EvaluateCulling(views, seq.rig, frustum, frustum),
+               std::invalid_argument);
+}
+
 // ---- FrustumPredictor ----
 
 TEST(FrustumPredictor, NotReadyBeforeFeedback) {

@@ -1,0 +1,104 @@
+// Golden-bitstream regression test.
+//
+// Encodes the first two frames (one keyframe + one P-frame, so intra,
+// inter and motion-search paths all contribute) of each of the five
+// evaluation sequences and pins an FNV-1a hash of the serialized color and
+// depth bitstreams. The hash must be identical
+//   * to the pinned golden value (catches any accidental bitstream change),
+//   * across every SIMD dispatch level available on this build + CPU, and
+//   * across codec thread counts (slice parallelism is an execution knob,
+//     not a bitstream knob).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "image/depth_encoding.h"
+#include "image/tiling.h"
+#include "kernels/kernels.h"
+#include "sim/dataset.h"
+#include "video/color_convert.h"
+#include "video/video_codec.h"
+
+namespace livo {
+namespace {
+
+std::uint64_t Fnv1a64(const std::vector<std::uint8_t>& bytes,
+                      std::uint64_t h) {
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+
+struct GoldenEntry {
+  const char* sequence;
+  std::uint64_t hash;
+};
+
+// Pinned against the scalar reference kernels. Regenerate (by reading the
+// failure output of this test) only for a deliberate bitstream change, and
+// say so in the commit message.
+constexpr GoldenEntry kGolden[] = {
+    {"band2", 0xd42bdb0ed78a23a1ull},
+    {"dance5", 0x3913bc5ba2951441ull},
+    {"office1", 0x68825c5646cce56eull},
+    {"pizza1", 0x572dc12d76427afdull},
+    {"toddler4", 0xf6490fb5d4524d06ull},
+};
+
+// Hash of both streams (color + depth), two frames each, at fixed QPs.
+std::uint64_t EncodeAndHash(const sim::CapturedSequence& capture,
+                            const core::LiVoConfig& config) {
+  video::VideoEncoder color_encoder(config.ColorCodecConfig(), 3);
+  video::VideoEncoder depth_encoder(config.DepthCodecConfig(), 1);
+
+  std::uint64_t h = kFnvOffset;
+  for (std::uint32_t f = 0; f < capture.frames.size(); ++f) {
+    const image::TiledFramePair tiled =
+        image::Tile(config.layout, capture.frames[f], f);
+    const std::vector<image::Plane16> color_planes =
+        video::RgbToYcbcr(tiled.color);
+    image::Plane16 depth = tiled.depth;
+    image::ScaleDepthInPlace(depth, config.depth_scaler);
+    std::vector<image::Plane16> depth_planes;
+    depth_planes.push_back(std::move(depth));
+
+    auto color = color_encoder.EncodeAtQp(color_planes, 24);
+    auto depth_result = depth_encoder.EncodeAtQp(depth_planes, 42);
+    h = Fnv1a64(video::SerializeFrame(color.frame), h);
+    h = Fnv1a64(video::SerializeFrame(depth_result.frame), h);
+  }
+  return h;
+}
+
+TEST(GoldenBitstream, PinnedAcrossSimdLevelsAndThreadCounts) {
+  struct DispatchGuard {
+    ~DispatchGuard() { kernels::ResetDispatchForTest(); }
+  } guard;
+
+  for (const GoldenEntry& golden : kGolden) {
+    const sim::CapturedSequence capture =
+        sim::CaptureVideo(golden.sequence, sim::ScaleProfile::Default(), 2);
+    for (const kernels::SimdLevel level : kernels::AvailableLevels()) {
+      kernels::ForceLevel(level);
+      for (const int threads : {1, 2, 0}) {
+        core::LiVoConfig config;
+        config.codec_threads = threads;
+        const std::uint64_t hash = EncodeAndHash(capture, config);
+        EXPECT_EQ(hash, golden.hash)
+            << golden.sequence << " at level " << kernels::ToString(level)
+            << " with codec_threads=" << threads << ": bitstream hash 0x"
+            << std::hex << hash << " != pinned 0x" << golden.hash;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace livo

@@ -1,9 +1,15 @@
 #!/usr/bin/env bash
-# Strict-mode gate for the concurrency-sensitive parts of the tree:
-# builds test_util + test_obs + test_video_parallel + test_runtime (the
-# event-loop scheduler, thread-pool codec interaction, and multi-session
-# runs) with -Wall -Wextra -Werror and, when the toolchain supports it,
-# ThreadSanitizer, then runs the combined binary.
+# Strict-mode gate for the sanitizer-sensitive parts of the tree, in two
+# passes:
+#
+#  1. TSan pass — builds test_util + test_obs + test_video_parallel +
+#     test_runtime (the event-loop scheduler, thread-pool codec interaction,
+#     and multi-session runs) with -Wall -Wextra -Werror and, when the
+#     toolchain supports it, ThreadSanitizer, then runs the combined binary.
+#  2. ASan+UBSan pass — builds the kernel-equivalence and codec suites
+#     (test_kernels + test_golden_bitstream + test_video +
+#     test_video_parallel) with AddressSanitizer + UndefinedBehaviorSanitizer
+#     so out-of-bounds SIMD loads and UB in the intrinsics code surface.
 #
 # For the fast unsanitized subset of the same surface, use the ctest
 # label instead: ctest --test-dir build -L quick.
@@ -11,16 +17,18 @@
 #   tools/livo_check.sh            # from the repo root
 #   cmake --build build -t livo_check
 #
-# Uses a dedicated build directory (build-check/) so sanitizer flags never
-# contaminate the regular build tree.
+# Uses dedicated build directories (build-check/, build-check-asan/) so
+# sanitizer flags never contaminate the regular build tree.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${ROOT}/build-check"
+ASAN_BUILD_DIR="${ROOT}/build-check-asan"
 CMAKE_BIN="${CMAKE_COMMAND:-cmake}"
 
 STRICT_FLAGS="-Wall -Wextra -Werror"
 TSAN_FLAGS="-fsanitize=thread -g -O1"
+ASAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -g -O1"
 
 # Probe whether TSan links on this toolchain (it needs libtsan installed);
 # fall back to a plain -Werror build rather than failing the gate.
@@ -58,5 +66,32 @@ fi
 
 echo "[livo_check] running livo_check_tests"
 "${BUILD_DIR}/tests/livo_check_tests" --gtest_brief=1
+
+# --- Pass 2: ASan + UBSan over the kernel and codec suites ---
+
+asan_works() {
+  local probe_dir
+  probe_dir="$(mktemp -d)"
+  trap 'rm -rf "${probe_dir}"' RETURN
+  cat > "${probe_dir}/probe.cc" <<'EOF'
+int main(int argc, char**) { return argc - 1; }
+EOF
+  ${CXX:-c++} ${ASAN_FLAGS} "${probe_dir}/probe.cc" -o "${probe_dir}/probe" \
+      2> /dev/null && "${probe_dir}/probe"
+}
+
+if asan_works; then
+  echo "[livo_check] ASan+UBSan available: building livo_asan_tests"
+  "${CMAKE_BIN}" -S "${ROOT}" -B "${ASAN_BUILD_DIR}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="${STRICT_FLAGS} ${ASAN_FLAGS}" > /dev/null
+  "${CMAKE_BIN}" --build "${ASAN_BUILD_DIR}" --target livo_asan_tests \
+    -j "$(nproc)"
+  echo "[livo_check] running livo_asan_tests"
+  "${ASAN_BUILD_DIR}/tests/livo_asan_tests" --gtest_brief=1
+else
+  echo "[livo_check] ASan+UBSan unavailable on this toolchain: skipping" \
+       "the memory/UB pass"
+fi
 
 echo "[livo_check] OK"
