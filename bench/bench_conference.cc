@@ -1,0 +1,280 @@
+// SFU conference benchmark for livo::conference. Sweeps the party size
+// N in {2, 4, 8, 16} over two access topologies:
+//   * private: every participant owns its uplink and downlink emulator —
+//     pure SFU scaling (events/sec, forwarding throughput);
+//   * shared: all uplinks contend on one bottleneck and all downlinks on
+//     another (capacity scaled by N so the per-party share stays
+//     comparable) — the conferencing setting where allocator shares and
+//     per-subscriber drops become visible.
+// Prints a table per topology and writes machine-readable
+// BENCH_conference.json (override with --conference_json=<path>).
+//
+// Points are cached in ./.bench_cache keyed by ConferenceCacheKey, which
+// folds every parameter that determines the records (roster, traces,
+// topology, allocator knobs) and deliberately ignores codec thread
+// counts. Wall-clock fields of a cached point are replayed from the
+// cached run, so delete .bench_cache before timing-sensitive sweeps.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "conference/conference.h"
+#include "conference/topology.h"
+#include "sim/dataset.h"
+#include "sim/nettrace.h"
+#include "sim/usertrace.h"
+
+namespace {
+
+using namespace livo;
+
+constexpr int kFrames = 12;
+const char* kCacheDir = ".bench_cache";
+const char* kCacheVersion = "conf1";
+
+sim::ScaleProfile Profile() {
+  sim::ScaleProfile profile;
+  profile.camera_count = 4;
+  profile.camera_width = 48;
+  profile.camera_height = 40;
+  return profile;
+}
+
+const sim::CapturedSequence& Sequence(const std::string& name) {
+  static std::map<std::string, sim::CapturedSequence> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    it = cache.emplace(name, sim::CaptureVideo(name, Profile(), kFrames))
+             .first;
+  }
+  return it->second;
+}
+
+conference::ParticipantSpec SpecFor(int index) {
+  const auto& videos = sim::AllVideos();
+  const sim::VideoSpec& video = videos[index % videos.size()];
+  const auto style = static_cast<sim::TraceStyle>(index % 3);
+  conference::ParticipantSpec spec;
+  spec.sequence = &Sequence(video.name);
+  spec.user_trace = sim::GenerateUserTrace(video.name, style, kFrames + 90);
+  spec.uplink_trace = sim::MakeTrace2(30.0, 202 + index);
+  spec.downlink_trace = sim::MakeTrace2(30.0, 404 + index);
+  spec.uplink_trace_offset_ms = 4000.0 * index;
+  spec.downlink_trace_offset_ms = 2000.0 * index;
+  spec.config.layout =
+      image::TileLayout(Profile().camera_count, Profile().camera_width,
+                        Profile().camera_height);
+  return spec;
+}
+
+conference::ConferenceOptions OptionsFor(int n, bool shared) {
+  conference::ConferenceOptions options;
+  options.bandwidth_scale = Profile().bandwidth_scale;
+  if (shared) {
+    options.uplink_mode = conference::LinkMode::kShared;
+    options.downlink_mode = conference::LinkMode::kShared;
+    // Each bottleneck carries N flows: scale capacity with N so the
+    // per-party share stays comparable across the sweep and the deltas
+    // isolate contention (queue coupling, allocator pressure).
+    options.shared_uplink_trace = sim::MakeTrace2(30.0, 505);
+    options.shared_downlink_trace = sim::MakeTrace2(30.0, 606);
+    options.shared_uplink_config.bandwidth_scale =
+        Profile().bandwidth_scale * n;
+    options.shared_downlink_config.bandwidth_scale =
+        Profile().bandwidth_scale * n;
+  }
+  return options;
+}
+
+struct SweepPoint {
+  int parties = 0;
+  bool shared = false;
+  bool cached = false;
+  double wall_ms = 0.0;
+  double virtual_ms = 0.0;
+  std::uint64_t events = 0;
+  double events_per_sec = 0.0;
+  double mean_fps = 0.0;
+  double mean_stall_rate = 0.0;
+  double mean_latency_ms = 0.0;
+  double share_min = 1.0;  // level-1 allocator share extremes over audits
+  double share_max = 0.0;
+  std::uint64_t pairs_forwarded = 0;
+  std::uint64_t pairs_dropped = 0;
+};
+
+std::string JsonRow(const SweepPoint& p) {
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "    {\"parties\": %d, \"topology\": \"%s\", \"wall_ms\": %.3f, "
+      "\"virtual_ms\": %.1f, \"events_dispatched\": %llu, "
+      "\"events_per_sec\": %.0f, \"mean_fps\": %.3f, "
+      "\"mean_stall_rate\": %.4f, \"mean_latency_ms\": %.2f, "
+      "\"share_min\": %.4f, \"share_max\": %.4f, "
+      "\"pairs_forwarded\": %llu, \"pairs_dropped\": %llu}",
+      p.parties, p.shared ? "shared" : "private", p.wall_ms, p.virtual_ms,
+      static_cast<unsigned long long>(p.events), p.events_per_sec,
+      p.mean_fps, p.mean_stall_rate, p.mean_latency_ms, p.share_min,
+      p.share_max, static_cast<unsigned long long>(p.pairs_forwarded),
+      static_cast<unsigned long long>(p.pairs_dropped));
+  return buf;
+}
+
+// Flat `key value` lines, one metric per line — trivially reparseable.
+std::string Serialize(const SweepPoint& p) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "wall_ms " << p.wall_ms << "\nvirtual_ms " << p.virtual_ms
+     << "\nevents " << p.events << "\nmean_fps " << p.mean_fps
+     << "\nmean_stall_rate " << p.mean_stall_rate << "\nmean_latency_ms "
+     << p.mean_latency_ms << "\nshare_min " << p.share_min << "\nshare_max "
+     << p.share_max << "\npairs_forwarded " << p.pairs_forwarded
+     << "\npairs_dropped " << p.pairs_dropped << "\n";
+  return os.str();
+}
+
+bool Deserialize(const std::string& text, SweepPoint& p) {
+  std::istringstream is(text);
+  std::string key;
+  int fields = 0;
+  while (is >> key) {
+    if (key == "wall_ms" && (is >> p.wall_ms)) ++fields;
+    else if (key == "virtual_ms" && (is >> p.virtual_ms)) ++fields;
+    else if (key == "events" && (is >> p.events)) ++fields;
+    else if (key == "mean_fps" && (is >> p.mean_fps)) ++fields;
+    else if (key == "mean_stall_rate" && (is >> p.mean_stall_rate)) ++fields;
+    else if (key == "mean_latency_ms" && (is >> p.mean_latency_ms)) ++fields;
+    else if (key == "share_min" && (is >> p.share_min)) ++fields;
+    else if (key == "share_max" && (is >> p.share_max)) ++fields;
+    else if (key == "pairs_forwarded" && (is >> p.pairs_forwarded)) ++fields;
+    else if (key == "pairs_dropped" && (is >> p.pairs_dropped)) ++fields;
+    else return false;
+  }
+  return fields == 10;
+}
+
+SweepPoint RunPoint(int n, bool shared) {
+  std::vector<conference::ParticipantSpec> specs;
+  specs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) specs.push_back(SpecFor(i));
+  const conference::ConferenceOptions options = OptionsFor(n, shared);
+
+  SweepPoint point;
+  point.parties = n;
+  point.shared = shared;
+
+  const std::string cache_key =
+      conference::ConferenceCacheKey(specs, options);
+  const std::filesystem::path cache_path =
+      std::filesystem::path(kCacheDir) /
+      (std::string(kCacheVersion) + "_" +
+       std::string(shared ? "shared" : "private") + "_" + cache_key + ".txt");
+  if (std::ifstream in(cache_path); in) {
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    if (Deserialize(buffer.str(), point)) {
+      point.cached = true;
+      const double wall_s = point.wall_ms / 1000.0;
+      point.events_per_sec = wall_s > 0 ? point.events / wall_s : 0;
+      return point;
+    }
+  }
+
+  const conference::ConferenceResult result =
+      conference::RunConference(specs, options);
+
+  point.wall_ms = result.wall_ms;
+  point.virtual_ms = result.virtual_ms;
+  point.events = result.events_dispatched;
+  const double wall_s = result.wall_ms / 1000.0;
+  point.events_per_sec = wall_s > 0 ? result.events_dispatched / wall_s : 0;
+  std::size_t streams = 0;
+  for (const auto& participant : result.participants) {
+    for (const auto& stream : participant.streams) {
+      point.mean_fps += stream.fps;
+      point.mean_stall_rate += stream.stall_rate;
+      point.mean_latency_ms += stream.mean_latency_ms;
+      ++streams;
+    }
+  }
+  if (streams > 0) {
+    point.mean_fps /= static_cast<double>(streams);
+    point.mean_stall_rate /= static_cast<double>(streams);
+    point.mean_latency_ms /= static_cast<double>(streams);
+  }
+  for (const auto& row : result.audits) {
+    for (double share : row.shares) {
+      point.share_min = std::min(point.share_min, share);
+      point.share_max = std::max(point.share_max, share);
+    }
+  }
+  if (result.audits.empty()) point.share_min = 0.0;
+  point.pairs_forwarded = result.sfu.pairs_forwarded;
+  point.pairs_dropped = result.sfu.pairs_dropped_budget +
+                        result.sfu.pairs_dropped_congestion +
+                        result.sfu.pairs_dropped_awaiting_key;
+
+  std::filesystem::create_directories(kCacheDir);
+  std::ofstream(cache_path) << Serialize(point);
+  return point;
+}
+
+void PrintSweep(const std::string& title,
+                const std::vector<SweepPoint>& points) {
+  bench::PrintHeader("BENCH conference", title);
+  bench::PrintRow({"parties", "wall_ms", "events", "events/s", "fps",
+                   "stall", "lat_ms", "sh_min", "sh_max", "fwd", "drop",
+                   "cache"});
+  for (const auto& p : points) {
+    bench::PrintRow(
+        {std::to_string(p.parties), bench::Fmt(p.wall_ms, 1),
+         std::to_string(p.events), bench::Fmt(p.events_per_sec, 0),
+         bench::Fmt(p.mean_fps, 2), bench::Fmt(p.mean_stall_rate, 3),
+         bench::Fmt(p.mean_latency_ms, 1), bench::Fmt(p.share_min, 3),
+         bench::Fmt(p.share_max, 3), std::to_string(p.pairs_forwarded),
+         std::to_string(p.pairs_dropped), p.cached ? "hit" : "miss"});
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_conference.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--conference_json=";
+    if (arg.rfind(prefix, 0) == 0) json_path = arg.substr(prefix.size());
+  }
+
+  const std::vector<int> kSweep = {2, 4, 8, 16};
+  std::vector<SweepPoint> priv, shared;
+  for (int n : kSweep) priv.push_back(RunPoint(n, false));
+  for (int n : kSweep) shared.push_back(RunPoint(n, true));
+
+  PrintSweep("N parties, private access links (SFU scaling)", priv);
+  PrintSweep("N parties, shared uplink + downlink bottlenecks (contention)",
+             shared);
+
+  std::string json = "{\n  \"bench\": \"conference\",\n";
+  json += "  \"frames_per_party\": " + std::to_string(kFrames) + ",\n";
+  json += "  \"sweep\": [\n";
+  bool first = true;
+  for (const auto* points : {&priv, &shared}) {
+    for (const auto& p : *points) {
+      if (!first) json += ",\n";
+      first = false;
+      json += JsonRow(p);
+    }
+  }
+  json += "\n  ]\n}\n";
+  std::ofstream(json_path) << json;
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

@@ -1,0 +1,74 @@
+// N-party SFU conference example (livo::conference).
+//
+// Where conference_session.cpp runs two independent point-to-point
+// sessions (one per direction), this example runs a real multi-party
+// call: every participant uplinks its tiled depth/color streams once to
+// a selective forwarding unit, and the SFU forwards them to the other
+// N-1 downlinks under the two-level bandwidth allocator (per-remote
+// visibility shares, then depth-vs-color) with frustum-aware seat
+// geometry and per-subscriber drop policy.
+//
+// Build & run:  ./build/examples/sfu_conference
+#include <cstdio>
+#include <vector>
+
+#include "conference/conference.h"
+#include "sim/dataset.h"
+#include "sim/nettrace.h"
+#include "sim/usertrace.h"
+
+int main() {
+  using namespace livo;
+  constexpr int kParties = 3;
+  constexpr int kFrames = 30;
+
+  const sim::ScaleProfile profile = sim::ScaleProfile::Default();
+  const auto& videos = sim::AllVideos();
+
+  // Sequences must outlive the run (specs borrow them).
+  std::vector<sim::CapturedSequence> sequences;
+  sequences.reserve(kParties);
+  std::vector<conference::ParticipantSpec> specs;
+  for (int p = 0; p < kParties; ++p) {
+    const std::string& video = videos[p % videos.size()].name;
+    sequences.push_back(sim::CaptureVideo(video, profile, kFrames));
+    conference::ParticipantSpec spec;
+    spec.sequence = &sequences.back();
+    spec.user_trace = sim::GenerateUserTrace(
+        video, static_cast<sim::TraceStyle>(p % 3), kFrames + 90);
+    spec.uplink_trace = sim::MakeTrace2(60.0, 100 + p);
+    spec.downlink_trace = sim::MakeTrace1(60.0, 200 + p);
+    spec.uplink_trace_offset_ms = 3000.0 * p;
+    spec.config.layout = image::TileLayout(
+        profile.camera_count, profile.camera_width, profile.camera_height);
+    specs.push_back(std::move(spec));
+  }
+
+  conference::ConferenceOptions options;
+  options.bandwidth_scale = profile.bandwidth_scale;
+  const conference::ConferenceResult result =
+      conference::RunConference(specs, options);
+
+  std::printf("%d-party conference, %d frames each (%s)\n", kParties,
+              kFrames, result.scheme.c_str());
+  std::printf("SFU: %zu pairs in, %zu forwarded, %zu dropped "
+              "(budget %zu, congestion %zu, awaiting-key %zu)\n",
+              result.sfu.pairs_completed, result.sfu.pairs_forwarded,
+              result.sfu.pairs_dropped_budget +
+                  result.sfu.pairs_dropped_congestion +
+                  result.sfu.pairs_dropped_awaiting_key,
+              result.sfu.pairs_dropped_budget,
+              result.sfu.pairs_dropped_congestion,
+              result.sfu.pairs_dropped_awaiting_key);
+  for (const conference::ParticipantResult& p : result.participants) {
+    std::printf("participant %d (%s): sent %zu frames, %zu uplink bytes\n",
+                p.index, p.video.c_str(), p.frames_sent, p.bytes_sent);
+    for (const conference::RemoteStreamResult& s : p.streams) {
+      std::printf("  <- remote %d: %.1f fps, stall %.1f%%, latency %.0f ms\n",
+                  s.origin, s.fps, 100.0 * s.stall_rate, s.mean_latency_ms);
+    }
+  }
+  std::printf("fingerprint %016llx (stable across reruns)\n",
+              static_cast<unsigned long long>(result.Fingerprint()));
+  return 0;
+}

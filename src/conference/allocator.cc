@@ -1,0 +1,147 @@
+#include "conference/allocator.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace livo::conference {
+
+DownlinkAllocator::DownlinkAllocator(int participants,
+                                     const AllocatorConfig& config)
+    : config_(config), slots_(std::max(0, participants - 1)) {
+  subscribers_.resize(static_cast<std::size_t>(std::max(0, participants)));
+  for (Subscriber& sub : subscribers_) {
+    sub.shares.assign(static_cast<std::size_t>(slots_), 0.0);
+    sub.color_credit.assign(static_cast<std::size_t>(slots_), 0.0);
+    sub.depth_credit.assign(static_cast<std::size_t>(slots_), 0.0);
+    sub.split.assign(static_cast<std::size_t>(slots_),
+                     core::SplitController(config_.split));
+  }
+}
+
+std::vector<double> DownlinkAllocator::NormalizeShares(
+    const std::vector<double>& visibility) const {
+  std::vector<double> shares(static_cast<std::size_t>(slots_), 0.0);
+  if (slots_ == 0) return shares;
+  const double equal = 1.0 / slots_;
+  // A floor above the equal share is meaningless: clamp so the floors
+  // always leave a non-negative remainder to distribute by visibility.
+  const double floor = std::min(config_.share_floor, equal);
+  const double total =
+      std::accumulate(visibility.begin(), visibility.end(), 0.0);
+  const double spread = 1.0 - floor * slots_;
+  for (int s = 0; s < slots_; ++s) {
+    const double w =
+        total > 0.0 ? visibility[static_cast<std::size_t>(s)] / total : equal;
+    shares[static_cast<std::size_t>(s)] = floor + spread * w;
+  }
+  return shares;
+}
+
+void DownlinkAllocator::CloseInterval(int subscriber) {
+  Subscriber& sub = subscribers_[static_cast<std::size_t>(subscriber)];
+  if (sub.interval_start_ms < 0.0) return;
+  AllocationAuditRow row;
+  row.start_ms = sub.interval_start_ms;
+  row.subscriber = subscriber;
+  row.budget_bytes = sub.budget_bytes;
+  row.credit_bytes = sub.credit_at_start;
+  row.forwarded_bytes = sub.forwarded_bytes;
+  row.shares = sub.shares;
+  audits_.push_back(std::move(row));
+}
+
+void DownlinkAllocator::BeginInterval(int subscriber, double start_ms,
+                                      double budget_bytes,
+                                      const std::vector<double>& visibility) {
+  CloseInterval(subscriber);
+  Subscriber& sub = subscribers_[static_cast<std::size_t>(subscriber)];
+  sub.interval_start_ms = start_ms;
+  sub.budget_bytes = std::max(0.0, budget_bytes);
+  sub.forwarded_bytes = 0.0;
+  sub.credit_at_start = std::accumulate(sub.color_credit.begin(),
+                                        sub.color_credit.end(), 0.0) +
+                        std::accumulate(sub.depth_credit.begin(),
+                                        sub.depth_credit.end(), 0.0);
+  sub.shares = NormalizeShares(visibility);
+  const double cap_factor = 1.0 + std::max(0.0, config_.burst_credit_intervals);
+  for (int s = 0; s < slots_; ++s) {
+    const auto i = static_cast<std::size_t>(s);
+    const double split = sub.split[i].split();
+    const double depth_refill = sub.budget_bytes * sub.shares[i] * split;
+    const double color_refill =
+        sub.budget_bytes * sub.shares[i] * (1.0 - split);
+    sub.color_credit[i] =
+        std::min(sub.color_credit[i] + color_refill, cap_factor * color_refill);
+    sub.depth_credit[i] =
+        std::min(sub.depth_credit[i] + depth_refill, cap_factor * depth_refill);
+  }
+}
+
+bool DownlinkAllocator::TryForwardPair(int subscriber, int slot, bool keyframe,
+                                       std::size_t color_bytes,
+                                       std::size_t depth_bytes) {
+  Subscriber& sub = subscribers_[static_cast<std::size_t>(subscriber)];
+  if (sub.interval_start_ms < 0.0) return true;  // downlink still unknown
+  const auto i = static_cast<std::size_t>(slot);
+  const auto color = static_cast<double>(color_bytes);
+  const auto depth = static_cast<double>(depth_bytes);
+  if (keyframe) {
+    // Pooling rule: a keyframe pair restarts a clean decode, so it may
+    // borrow across the remote's two stream buckets. Each stream spends
+    // its own bucket first and borrows only its shortfall — draining one
+    // bucket wholesale would zero it for every P-pair left in the
+    // interval even when the sibling holds plenty of credit.
+    if (color + depth > sub.color_credit[i] + sub.depth_credit[i]) {
+      return false;
+    }
+    const double color_own = std::min(color, sub.color_credit[i]);
+    sub.color_credit[i] -= color_own;
+    sub.depth_credit[i] -= color - color_own;  // fits: pair <= cc + dc
+    const double depth_own = std::min(depth, sub.depth_credit[i]);
+    sub.depth_credit[i] -= depth_own;
+    sub.color_credit[i] -= depth - depth_own;
+  } else {
+    if (color > sub.color_credit[i] || depth > sub.depth_credit[i]) {
+      return false;
+    }
+    sub.color_credit[i] -= color;
+    sub.depth_credit[i] -= depth;
+  }
+  sub.forwarded_bytes += color + depth;
+  return true;
+}
+
+void DownlinkAllocator::ObserveProbe(int subscriber, int slot,
+                                     double rmse_depth, double rmse_color) {
+  subscribers_[static_cast<std::size_t>(subscriber)]
+      .split[static_cast<std::size_t>(slot)]
+      .Update(rmse_depth, rmse_color);
+}
+
+double DownlinkAllocator::ShareOf(int subscriber, int slot) const {
+  const Subscriber& sub = subscribers_[static_cast<std::size_t>(subscriber)];
+  if (sub.interval_start_ms < 0.0) return 0.0;
+  return sub.shares[static_cast<std::size_t>(slot)];
+}
+
+double DownlinkAllocator::SplitOf(int subscriber, int slot) const {
+  return subscribers_[static_cast<std::size_t>(subscriber)]
+      .split[static_cast<std::size_t>(slot)]
+      .split();
+}
+
+bool DownlinkAllocator::Initialized(int subscriber) const {
+  return subscribers_[static_cast<std::size_t>(subscriber)].interval_start_ms >=
+         0.0;
+}
+
+std::vector<AllocationAuditRow> DownlinkAllocator::TakeAudits(double now_ms) {
+  (void)now_ms;
+  for (std::size_t s = 0; s < subscribers_.size(); ++s) {
+    CloseInterval(static_cast<int>(s));
+    subscribers_[s].interval_start_ms = -1.0;
+  }
+  return std::move(audits_);
+}
+
+}  // namespace livo::conference

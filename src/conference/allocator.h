@@ -1,0 +1,114 @@
+// Two-level downlink bandwidth allocator (livo::conference).
+//
+// A point-to-point LiVo sender splits one bandwidth estimate between its
+// depth and color streams (core/split.h, §3.3). An SFU subscriber's
+// downlink instead carries N-1 remote participants, each a depth/color
+// pair, so the split becomes two-level:
+//
+//   level 1 — the subscriber's downlink budget (its live GCC estimate,
+//   integrated over one allocation interval) is divided across remotes in
+//   proportion to how much of each remote's seat is inside the
+//   subscriber's predicted frustum, floored so off-screen participants
+//   keep a trickle (they can re-enter view at any head turn, and a cold
+//   stream would need a keyframe round-trip to restart);
+//
+//   level 2 — each remote's share is divided depth-vs-color by the same
+//   line-search SplitController the sender uses, driven by the origin's
+//   own encode-probe RMSEs, which the SFU reads from the forwarded frame
+//   metadata (the in-process stand-in for an RTP header extension).
+//
+// Shares are enforced with per-(subscriber, remote, stream) token
+// buckets: every interval each bucket refills by its share of the budget
+// and caps at (1 + burst_credit_intervals) refills, so a keyframe can
+// spend banked credit but sustained overshoot cannot. A P-frame pair must
+// fit both stream buckets (the two streams are useless alone); a keyframe
+// pair may pool the remote's two buckets, because restarting a clean
+// decode is worth starving the sibling stream for one interval.
+//
+// Every closed interval emits an AllocationAuditRow; the invariant
+// forwarded <= budget + carried credit is what tests/test_conference.cc
+// asserts on every row.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/split.h"
+
+namespace livo::conference {
+
+struct AllocatorConfig {
+  double interval_ms = 100.0;
+  double burst_credit_intervals = 2.0;
+  double share_floor = 0.15;
+  core::SplitConfig split;
+};
+
+// One closed allocation interval for one subscriber.
+struct AllocationAuditRow {
+  double start_ms = 0.0;
+  int subscriber = 0;
+  double budget_bytes = 0.0;     // GCC estimate integrated over the interval
+  double credit_bytes = 0.0;     // bucket credit carried in from the past
+  double forwarded_bytes = 0.0;  // wire payload actually forwarded
+  std::vector<double> shares;    // level-1 share per remote slot
+};
+
+class DownlinkAllocator {
+ public:
+  // `participants` conference members; each subscriber sees
+  // participants - 1 remote slots.
+  DownlinkAllocator(int participants, const AllocatorConfig& config);
+
+  // Closes the subscriber's previous interval (emitting its audit row),
+  // recomputes level-1 shares from `visibility` (one weight in [0,1] per
+  // remote slot; all-zero means nothing is on screen and shares fall back
+  // to equal), and refills the token buckets from `budget_bytes`.
+  void BeginInterval(int subscriber, double start_ms, double budget_bytes,
+                     const std::vector<double>& visibility);
+
+  // True (and debits the buckets) if the pair fits the subscriber's
+  // credit for `slot` under the keyframe pooling rule described above.
+  // Before the first BeginInterval nothing is known about the downlink,
+  // so the pair passes undebited.
+  bool TryForwardPair(int subscriber, int slot, bool keyframe,
+                      std::size_t color_bytes, std::size_t depth_bytes);
+
+  // Feeds one origin encode-probe result into the (subscriber, slot)
+  // line-search controller.
+  void ObserveProbe(int subscriber, int slot, double rmse_depth,
+                    double rmse_color);
+
+  // Level-1 share of the last BeginInterval (0 before the first one).
+  double ShareOf(int subscriber, int slot) const;
+  // Level-2 depth fraction of the (subscriber, slot) controller.
+  double SplitOf(int subscriber, int slot) const;
+  bool Initialized(int subscriber) const;
+
+  // Closes all open intervals (end of session) and returns every audit
+  // row recorded, in emission order.
+  std::vector<AllocationAuditRow> TakeAudits(double now_ms);
+
+ private:
+  struct Subscriber {
+    double interval_start_ms = -1.0;  // <0: no interval opened yet
+    double budget_bytes = 0.0;
+    double credit_at_start = 0.0;
+    double forwarded_bytes = 0.0;
+    std::vector<double> shares;
+    std::vector<double> color_credit;
+    std::vector<double> depth_credit;
+    std::vector<core::SplitController> split;
+  };
+
+  void CloseInterval(int subscriber);
+  std::vector<double> NormalizeShares(
+      const std::vector<double>& visibility) const;
+
+  AllocatorConfig config_;
+  int slots_ = 0;
+  std::vector<Subscriber> subscribers_;
+  std::vector<AllocationAuditRow> audits_;
+};
+
+}  // namespace livo::conference

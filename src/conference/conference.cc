@@ -1,0 +1,306 @@
+#include "conference/conference.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/obs.h"
+#include "runtime/shared_link.h"
+#include "util/clock.h"
+
+namespace livo::conference {
+namespace {
+
+// FNV-1a, the same construction experiment.cc uses for cache keys.
+class Fnv1a {
+ public:
+  void Mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (v >> (8 * i)) & 0xffu;
+      hash_ *= 1099511628211ull;
+    }
+  }
+  void Mix(double v) { Mix(std::bit_cast<std::uint64_t>(v)); }
+  void Mix(bool v) { Mix(static_cast<std::uint64_t>(v)); }
+  void Mix(const std::string& s) {
+    for (const char c : s) Mix(static_cast<std::uint64_t>(c));
+  }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 14695981039346656037ull;
+};
+
+void Describe(std::ostream& os, const net::LinkConfig& l) {
+  os << l.propagation_delay_ms << ',' << l.max_queue_delay_ms << ','
+     << l.loss_rate << ',' << l.bandwidth_scale << ',' << l.seed;
+}
+
+void Describe(std::ostream& os, const net::ChannelConfig& c) {
+  Describe(os, c.link);
+  os << "|gcc:" << c.gcc.initial_bps << ',' << c.gcc.min_bps << ','
+     << c.gcc.max_bps << "|ch:" << c.jitter_buffer_ms << ','
+     << c.feedback_interval_ms << ',' << c.enable_nack << ','
+     << c.copy_payloads;
+}
+
+void Describe(std::ostream& os, const sim::BandwidthTrace& t) {
+  os << t.name << ',' << t.mbps.size() << ',' << t.sample_interval_ms << ','
+     << t.MeanMbps() << ',' << t.MinMbps() << ',' << t.MaxMbps();
+}
+
+void Describe(std::ostream& os, const core::LiVoConfig& c) {
+  // codec_threads intentionally omitted: encoded bytes are contractually
+  // thread-count-invariant (tests assert it), so it must not split cache
+  // entries.
+  os << c.layout.canvas_width() << 'x' << c.layout.canvas_height() << '/'
+     << c.layout.tile_height() << ',' << c.fps << ',' << c.enable_culling
+     << ',' << c.enable_adaptation << ',' << c.dynamic_split << ','
+     << c.split.initial << ',' << c.split.min << ',' << c.split.max << ','
+     << c.split.step << ',' << c.split.epsilon << ',' << c.split.update_every
+     << ',' << c.predictor.guard_band_m;
+}
+
+void Validate(const std::vector<ParticipantSpec>& specs,
+              const ConferenceOptions& options) {
+  const int n = static_cast<int>(specs.size());
+  if (n < 2) {
+    throw std::invalid_argument(
+        "RunConference: a conference needs at least 2 participants, got " +
+        std::to_string(n));
+  }
+  if (n > options.max_parties) {
+    throw std::invalid_argument(
+        "RunConference: admission control rejects " + std::to_string(n) +
+        " parties (max_parties = " + std::to_string(options.max_parties) +
+        ")");
+  }
+  for (const ParticipantSpec& spec : specs) {
+    if (spec.sequence == nullptr) {
+      throw std::invalid_argument(
+          "RunConference: participant spec without a capture sequence");
+    }
+  }
+}
+
+}  // namespace
+
+ConferenceResult RunConference(const std::vector<ParticipantSpec>& specs,
+                               const ConferenceOptions& options) {
+  Validate(specs, options);
+  obs::AutoInitFromEnv();
+  const int n = static_cast<int>(specs.size());
+
+  runtime::EventLoop loop;
+  ConferenceResult result;
+  result.scheme = options.scheme_name;
+
+  for (const ParticipantSpec& spec : specs) {
+    const double span = spec.sequence->frames.size() * 1000.0 /
+                        spec.config.fps;
+    result.duration_ms = std::max(result.duration_ms, span);
+  }
+  const double horizon_ms = result.duration_ms + 600.0;
+
+  std::unique_ptr<runtime::SharedLink> shared_uplink;
+  if (options.uplink_mode == LinkMode::kShared) {
+    shared_uplink = std::make_unique<runtime::SharedLink>(
+        options.shared_uplink_trace.Replayed(options.trace_time_accel, 0.0),
+        options.shared_uplink_config);
+  }
+  std::unique_ptr<runtime::SharedLink> shared_downlink;
+  if (options.downlink_mode == LinkMode::kShared) {
+    shared_downlink = std::make_unique<runtime::SharedLink>(
+        options.shared_downlink_trace.Replayed(options.trace_time_accel, 0.0),
+        options.shared_downlink_config);
+  }
+
+  SfuActor sfu(loop, specs, options, horizon_ms);
+  sfu.SetSharedLinks(shared_uplink.get(), shared_downlink.get());
+
+  std::vector<std::unique_ptr<ParticipantActor>> participants;
+  participants.reserve(specs.size());
+  for (int i = 0; i < n; ++i) {
+    const ParticipantSpec& spec = specs[static_cast<std::size_t>(i)];
+
+    std::unique_ptr<net::VideoChannel> uplink;
+    if (shared_uplink) {
+      net::ChannelConfig cfg = options.uplink_channel;
+      cfg.link.bandwidth_scale =
+          options.shared_uplink_config.bandwidth_scale;
+      cfg.gcc.initial_bps = options.shared_uplink_trace.MeanMbps() *
+                            options.shared_uplink_config.bandwidth_scale *
+                            1e6 * 0.8 / n;
+      uplink = shared_uplink->Connect(cfg);
+    } else {
+      net::ChannelConfig cfg = options.uplink_channel;
+      cfg.link.bandwidth_scale = options.bandwidth_scale;
+      cfg.gcc.initial_bps =
+          spec.uplink_trace.MeanMbps() * options.bandwidth_scale * 1e6 * 0.8;
+      uplink = std::make_unique<net::VideoChannel>(
+          spec.uplink_trace.Replayed(options.trace_time_accel,
+                                     spec.uplink_trace_offset_ms),
+          cfg);
+    }
+
+    std::unique_ptr<net::VideoChannel> downlink;
+    if (shared_downlink) {
+      net::ChannelConfig cfg = options.downlink_channel;
+      cfg.link.bandwidth_scale =
+          options.shared_downlink_config.bandwidth_scale;
+      cfg.gcc.initial_bps = options.shared_downlink_trace.MeanMbps() *
+                            options.shared_downlink_config.bandwidth_scale *
+                            1e6 * 0.8 / n;
+      downlink = shared_downlink->Connect(cfg);
+    } else {
+      net::ChannelConfig cfg = options.downlink_channel;
+      cfg.link.bandwidth_scale = options.bandwidth_scale;
+      cfg.gcc.initial_bps =
+          spec.downlink_trace.MeanMbps() * options.bandwidth_scale * 1e6 *
+          0.8;
+      downlink = std::make_unique<net::VideoChannel>(
+          spec.downlink_trace.Replayed(options.trace_time_accel,
+                                       spec.downlink_trace_offset_ms),
+          cfg);
+    }
+
+    participants.push_back(std::make_unique<ParticipantActor>(
+        loop, i, specs, options, std::move(uplink), std::move(downlink),
+        horizon_ms));
+    participants.back()->SetSfu(&sfu);
+    sfu.AddParticipant(participants.back().get());
+  }
+
+  for (auto& p : participants) p->Start();
+  sfu.Start();
+
+  const util::Stopwatch wall;
+  loop.Run();
+  result.wall_ms = wall.ElapsedMs();
+
+  result.participants.reserve(participants.size());
+  for (auto& p : participants) result.participants.push_back(p->TakeResult());
+  result.audits = sfu.TakeAudits(loop.NowMs());
+  result.sfu = sfu.stats();
+  result.events_dispatched = loop.events_dispatched();
+  result.events_scheduled = loop.events_scheduled();
+  result.virtual_ms = loop.NowMs();
+
+  LIVO_LOG(Info) << "conference " << result.scheme << ": " << n
+                 << " parties, " << result.sfu.pairs_forwarded
+                 << " pair deliveries (" << result.sfu.pairs_dropped_budget
+                 << " budget / " << result.sfu.pairs_dropped_congestion
+                 << " congestion / " << result.sfu.pairs_dropped_awaiting_key
+                 << " keywait drops), " << result.events_dispatched
+                 << " events over " << result.virtual_ms << " virtual ms in "
+                 << result.wall_ms << " wall ms";
+  return result;
+}
+
+std::uint64_t ConferenceResult::Fingerprint() const {
+  Fnv1a h;
+  h.Mix(scheme);
+  h.Mix(static_cast<std::uint64_t>(participants.size()));
+  for (const ParticipantResult& p : participants) {
+    h.Mix(static_cast<std::uint64_t>(p.index));
+    h.Mix(static_cast<std::uint64_t>(p.frames_sent));
+    h.Mix(static_cast<std::uint64_t>(p.bytes_sent));
+    h.Mix(static_cast<std::uint64_t>(p.congestion_skips));
+    h.Mix(p.mean_split);
+    h.Mix(p.mean_target_bps);
+    for (const RemoteStreamResult& stream : p.streams) {
+      h.Mix(static_cast<std::uint64_t>(stream.origin));
+      h.Mix(static_cast<std::uint64_t>(stream.pairs_forwarded));
+      h.Mix(static_cast<std::uint64_t>(stream.pairs_rendered));
+      h.Mix(stream.fps);
+      h.Mix(stream.stall_rate);
+      h.Mix(stream.mean_latency_ms);
+      for (const StreamFrameRecord& rec : stream.frames) {
+        h.Mix(static_cast<std::uint64_t>(rec.frame_index));
+        h.Mix(rec.forwarded);
+        h.Mix(rec.rendered);
+        h.Mix(rec.capture_time_ms);
+        h.Mix(rec.forward_time_ms);
+        h.Mix(rec.render_time_ms);
+        h.Mix(rec.latency_ms);
+        h.Mix(static_cast<std::uint64_t>(rec.bytes));
+      }
+    }
+  }
+  for (const AllocationAuditRow& row : audits) {
+    h.Mix(row.start_ms);
+    h.Mix(static_cast<std::uint64_t>(row.subscriber));
+    h.Mix(row.budget_bytes);
+    h.Mix(row.credit_bytes);
+    h.Mix(row.forwarded_bytes);
+    for (const double share : row.shares) h.Mix(share);
+  }
+  h.Mix(static_cast<std::uint64_t>(sfu.frames_in));
+  h.Mix(static_cast<std::uint64_t>(sfu.pairs_completed));
+  h.Mix(static_cast<std::uint64_t>(sfu.pairs_forwarded));
+  h.Mix(static_cast<std::uint64_t>(sfu.pairs_dropped_budget));
+  h.Mix(static_cast<std::uint64_t>(sfu.pairs_dropped_congestion));
+  h.Mix(static_cast<std::uint64_t>(sfu.pairs_dropped_awaiting_key));
+  h.Mix(static_cast<std::uint64_t>(sfu.pairs_evicted_incomplete));
+  h.Mix(static_cast<std::uint64_t>(sfu.keyframe_relays));
+  h.Mix(static_cast<std::uint64_t>(events_dispatched));
+  h.Mix(virtual_ms);
+  return h.value();
+}
+
+std::string ConferenceCacheKey(const std::vector<ParticipantSpec>& specs,
+                               const ConferenceOptions& options) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "confv1|" << specs.size() << '|';
+  for (const ParticipantSpec& spec : specs) {
+    os << spec.sequence->spec.name << ',' << spec.sequence->frames.size()
+       << ',' << spec.sequence->rig.size() << ','
+       << sim::StyleName(spec.user_trace.style) << ','
+       << spec.user_trace.poses.size() << "|up:";
+    Describe(os, spec.uplink_trace);
+    os << '@' << spec.uplink_trace_offset_ms << "|down:";
+    Describe(os, spec.downlink_trace);
+    os << '@' << spec.downlink_trace_offset_ms << "|cfg:";
+    Describe(os, spec.config);
+    os << ';';
+  }
+  os << "|upch:";
+  Describe(os, options.uplink_channel);
+  os << "|downch:";
+  Describe(os, options.downlink_channel);
+  os << "|mode:" << LinkModeName(options.uplink_mode) << '/'
+     << LinkModeName(options.downlink_mode);
+  if (options.uplink_mode == LinkMode::kShared) {
+    os << "|shup:";
+    Describe(os, options.shared_uplink_trace);
+    Describe(os, options.shared_uplink_config);
+  }
+  if (options.downlink_mode == LinkMode::kShared) {
+    os << "|shdown:";
+    Describe(os, options.shared_downlink_trace);
+    Describe(os, options.shared_downlink_config);
+  }
+  os << '|' << options.bandwidth_scale << ',' << options.trace_time_accel
+     << ',' << options.sender_pipeline_delay_ms << ','
+     << options.allocation_interval_ms << ','
+     << options.burst_credit_intervals << ',' << options.share_floor << ','
+     << options.forward_split.initial << ',' << options.forward_split.step
+     << ',' << options.keyframe_relay_throttle_ms << ','
+     << options.encode_headroom << ',' << options.max_parties << ','
+     << options.seats.radius_m << ',' << options.seats.samples_per_axis
+     << ',' << options.receiver.voxel_size_m << ','
+     << options.receiver.max_pair_lag << ',' << options.scheme_name;
+
+  Fnv1a h;
+  h.Mix(os.str());
+  std::ostringstream key;
+  key << specs.size() << "p_" << std::hex << h.value();
+  return key.str();
+}
+
+}  // namespace livo::conference

@@ -1,0 +1,236 @@
+#include "conference/participant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "conference/sfu.h"
+#include "geom/frustum.h"
+#include "obs/obs.h"
+
+namespace livo::conference {
+
+ParticipantActor::ParticipantActor(runtime::EventLoop& loop, int index,
+                                   const std::vector<ParticipantSpec>& specs,
+                                   const ConferenceOptions& options,
+                                   std::unique_ptr<net::VideoChannel> uplink,
+                                   std::unique_ptr<net::VideoChannel> downlink,
+                                   double horizon_ms)
+    : loop_(loop),
+      index_(index),
+      spec_(specs[static_cast<std::size_t>(index)]),
+      options_(options),
+      uplink_(std::move(uplink)),
+      downlink_(std::move(downlink)),
+      horizon_ms_(horizon_ms) {
+  // Sender-side culling needs the receiving viewer's pose feedback; with
+  // more than one subscriber there is no single frustum to cull against,
+  // so the origin sends the full scene and per-subscriber selection moves
+  // into the SFU. (Union-frustum culling is a ROADMAP open item.)
+  if (specs.size() > 2) spec_.config.enable_culling = false;
+
+  sender_ = std::make_unique<core::LiVoSender>(spec_.config,
+                                               spec_.sequence->rig);
+  frames_ = static_cast<int>(spec_.sequence->frames.size());
+  interval_ms_ = 1000.0 / spec_.config.fps;
+  duration_ms_ = frames_ * interval_ms_;
+  sent_stats_.assign(static_cast<std::size_t>(frames_),
+                     core::SenderFrameStats{});
+  sent_.assign(static_cast<std::size_t>(frames_), false);
+
+  result_.index = index_;
+  result_.video = spec_.sequence->spec.name;
+  result_.user_trace = sim::StyleName(spec_.user_trace.style);
+  result_.streams.resize(specs.size() - 1);
+  receivers_.reserve(specs.size() - 1);
+  for (int slot = 0; slot < static_cast<int>(specs.size()) - 1; ++slot) {
+    const ParticipantSpec& remote =
+        specs[static_cast<std::size_t>(OriginOfSlot(slot))];
+    receivers_.push_back(std::make_unique<core::LiVoReceiver>(
+        remote.config, options_.receiver, remote.sequence->rig));
+    RemoteStreamResult& stream =
+        result_.streams[static_cast<std::size_t>(slot)];
+    stream.origin = OriginOfSlot(slot);
+    const int remote_frames = static_cast<int>(remote.sequence->frames.size());
+    const double remote_interval = 1000.0 / remote.config.fps;
+    stream.frames.assign(static_cast<std::size_t>(remote_frames),
+                         StreamFrameRecord{});
+    for (int f = 0; f < remote_frames; ++f) {
+      stream.frames[static_cast<std::size_t>(f)].frame_index =
+          static_cast<std::uint32_t>(f);
+      stream.frames[static_cast<std::size_t>(f)].capture_time_ms =
+          f * remote_interval;
+    }
+  }
+
+  downlink_->SetFrameSink(
+      [this](std::vector<net::ReceivedFrame> frames, double now_ms) {
+        OnDownlinkFrames(std::move(frames), now_ms);
+      });
+}
+
+void ParticipantActor::Start() {
+  loop_.ScheduleAt(0.0, [this](double now_ms) { OnWake(now_ms); });
+}
+
+void ParticipantActor::RelayKeyframeRequest() {
+  sender_->RequestKeyframe(core::kColorStream);
+  sender_->RequestKeyframe(core::kDepthStream);
+}
+
+void ParticipantActor::ObserveRemotePose(const geom::TimedPose& pose) {
+  sender_->ObservePoseFeedback(pose);
+}
+
+void ParticipantActor::NotePairForwarded(int slot, std::uint32_t frame_index,
+                                         double now_ms, std::size_t bytes) {
+  RemoteStreamResult& stream = result_.streams[static_cast<std::size_t>(slot)];
+  if (frame_index >= stream.frames.size()) return;
+  StreamFrameRecord& rec = stream.frames[frame_index];
+  rec.forwarded = true;
+  rec.forward_time_ms = now_ms;
+  rec.bytes = bytes;
+  ++stream.pairs_forwarded;
+}
+
+const core::SenderFrameStats* ParticipantActor::StatsFor(
+    std::uint32_t frame_index) const {
+  if (frame_index >= sent_stats_.size() || !sent_[frame_index]) return nullptr;
+  return &sent_stats_[frame_index];
+}
+
+void ParticipantActor::OnWake(double now_ms) {
+  // Flush deliveries and pose feeds due at this instant before capturing,
+  // so the sender sees the same predictor/estimator state it would in a
+  // point-to-point session whose driver runs the network first.
+  if (sfu_ != nullptr) sfu_->OnNetworkActivity(now_ms);
+
+  // Replay the per-millisecond RTT observation of the reference driver
+  // (constant between channel feedback events, so batching is exact).
+  const double rtt_ms =
+      uplink_->SmoothedRttMs() +
+      (sfu_ != nullptr ? sfu_->MaxSubscriberDownlinkRttMs(index_) : 0.0);
+  const auto elapsed_ticks =
+      static_cast<long>(std::llround(now_ms - last_tick_ms_));
+  for (long t = 0; t < elapsed_ticks; ++t) sender_->ObserveRtt(rtt_ms);
+
+  bool sent_any = false;
+  while (next_capture_ < frames_ &&
+         next_capture_ * interval_ms_ + options_.sender_pipeline_delay_ms <=
+             now_ms) {
+    const int f = next_capture_++;
+    // Same sender-side congestion valve as SessionActor, against the
+    // uplink's queue: encoding into an already-backlogged access link
+    // only deepens the standing queue the SFU is waiting behind.
+    if (uplink_->link().CurrentQueueDelayMs(now_ms) >
+        options_.uplink_channel.jitter_buffer_ms) {
+      ++result_.congestion_skips;
+      obs::TraceInstant("conference.congestion_skip");
+      continue;
+    }
+    // Encode no faster than the best-provisioned subscriber can receive:
+    // bytes beyond every downlink's allocation are guaranteed SFU drops.
+    double target_bps = uplink_->TargetBitrateBps();
+    if (sfu_ != nullptr) {
+      target_bps = std::min(
+          target_bps, sfu_->OriginBudgetBps(index_) * options_.encode_headroom);
+    }
+    core::SenderOutput out = sender_->ProcessFrame(
+        spec_.sequence->frames[static_cast<std::size_t>(f)],
+        static_cast<std::uint32_t>(f), target_bps);
+    {
+      LIVO_SPAN("conference.uplink_transmit");
+      uplink_->SendFrame(core::kColorStream, static_cast<std::uint32_t>(f),
+                         out.color_keyframe, out.color_frame, now_ms);
+      uplink_->SendFrame(core::kDepthStream, static_cast<std::uint32_t>(f),
+                         out.depth_keyframe, out.depth_frame, now_ms);
+    }
+    sent_stats_[static_cast<std::size_t>(f)] = out.stats;
+    sent_[static_cast<std::size_t>(f)] = true;
+    ++result_.frames_sent;
+    split_sum_ += out.stats.split;
+    target_sum_ += out.stats.target_bps;
+    sent_any = true;
+  }
+
+  // Let the SFU pick up the packets just queued (and retime its wake).
+  if (sent_any && sfu_ != nullptr) sfu_->OnNetworkActivity(now_ms);
+
+  last_tick_ms_ = now_ms;
+  ScheduleNext(now_ms);
+}
+
+void ParticipantActor::OnDownlinkFrames(std::vector<net::ReceivedFrame> frames,
+                                        double now_ms) {
+  const geom::Pose live_pose = sim::SampleTrace(spec_.user_trace, now_ms);
+  const geom::Frustum live_frustum(live_pose, spec_.config.predictor.viewer);
+  // Regroup the slot-addressed downlink streams into per-remote batches
+  // with canonical stream ids for the per-remote receiver.
+  for (std::size_t slot = 0; slot < receivers_.size(); ++slot) {
+    std::vector<net::ReceivedFrame> batch;
+    for (const net::ReceivedFrame& frame : frames) {
+      if (frame.stream_id / 2 != slot) continue;
+      net::ReceivedFrame remapped = frame;
+      remapped.stream_id =
+          frame.stream_id % 2 == 0 ? core::kColorStream : core::kDepthStream;
+      batch.push_back(std::move(remapped));
+    }
+    if (batch.empty()) continue;
+    const auto rendered =
+        receivers_[slot]->OnFrames(batch, now_ms, live_frustum);
+    RemoteStreamResult& stream = result_.streams[slot];
+    for (const core::RenderedFrame& rf : rendered) {
+      if (rf.frame_index >= stream.frames.size()) continue;
+      StreamFrameRecord& rec = stream.frames[rf.frame_index];
+      rec.rendered = true;
+      rec.render_time_ms = rf.render_time_ms;
+      // Virtual-time latency only: the wall-clock decode/reconstruct
+      // costs vary run to run and would break bitwise reproducibility.
+      rec.latency_ms = rf.render_time_ms - rec.capture_time_ms;
+      ++stream.pairs_rendered;
+    }
+  }
+}
+
+void ParticipantActor::ScheduleNext(double now_ms) {
+  if (next_capture_ >= frames_) return;  // the SFU drives everything else
+  double next = std::ceil(next_capture_ * interval_ms_ +
+                          options_.sender_pipeline_delay_ms);
+  next = std::max(next, now_ms + 1.0);
+  if (next <= horizon_ms_) {
+    loop_.ScheduleAt(next, [this](double t) { OnWake(t); });
+  }
+}
+
+ParticipantResult ParticipantActor::TakeResult() {
+  result_.bytes_sent = uplink_->stats().bytes_sent;
+  if (result_.frames_sent > 0) {
+    result_.mean_split = split_sum_ / result_.frames_sent;
+    result_.mean_target_bps = target_sum_ / result_.frames_sent;
+  }
+  for (RemoteStreamResult& stream : result_.streams) {
+    const std::size_t expected = stream.frames.size();
+    double latency_sum = 0.0;
+    std::size_t rendered = 0;
+    for (const StreamFrameRecord& rec : stream.frames) {
+      if (rec.rendered) {
+        ++rendered;
+        latency_sum += rec.latency_ms;
+      }
+    }
+    const double remote_interval =
+        expected > 1 ? stream.frames[1].capture_time_ms -
+                           stream.frames[0].capture_time_ms
+                     : interval_ms_;
+    const double duration = expected * remote_interval;
+    stream.fps = duration > 0.0 ? rendered * 1000.0 / duration : 0.0;
+    stream.stall_rate =
+        expected > 0
+            ? 1.0 - static_cast<double>(rendered) / static_cast<double>(expected)
+            : 0.0;
+    stream.mean_latency_ms = rendered > 0 ? latency_sum / rendered : 0.0;
+  }
+  return std::move(result_);
+}
+
+}  // namespace livo::conference

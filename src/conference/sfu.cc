@@ -1,0 +1,364 @@
+#include "conference/sfu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace livo::conference {
+namespace {
+
+struct ConferenceMetrics {
+  obs::Registry& reg = obs::Registry::Get();
+  obs::Counter& frames_in = reg.GetCounter("conference.frames_in");
+  obs::Counter& pairs_forwarded = reg.GetCounter("conference.pairs_forwarded");
+  obs::Counter& dropped_budget =
+      reg.GetCounter("conference.pairs_dropped_budget");
+  obs::Counter& dropped_congestion =
+      reg.GetCounter("conference.pairs_dropped_congestion");
+  obs::Counter& dropped_awaiting_key =
+      reg.GetCounter("conference.pairs_dropped_awaiting_key");
+  obs::Counter& keyframe_relays = reg.GetCounter("conference.keyframe_relays");
+  obs::Histogram& forward_bytes =
+      reg.GetHistogram("conference.forward_pair_bytes");
+};
+
+ConferenceMetrics& Metrics() {
+  static ConferenceMetrics metrics;
+  return metrics;
+}
+
+AllocatorConfig MakeAllocatorConfig(const ConferenceOptions& options) {
+  AllocatorConfig config;
+  config.interval_ms = options.allocation_interval_ms;
+  config.burst_credit_intervals = options.burst_credit_intervals;
+  config.share_floor = options.share_floor;
+  config.split = options.forward_split;
+  return config;
+}
+
+}  // namespace
+
+SfuActor::SfuActor(runtime::EventLoop& loop,
+                   const std::vector<ParticipantSpec>& specs,
+                   const ConferenceOptions& options, double horizon_ms)
+    : loop_(loop),
+      options_(options),
+      horizon_ms_(horizon_ms),
+      parties_(static_cast<int>(specs.size())),
+      allocator_(parties_, MakeAllocatorConfig(options)) {
+  predictors_.reserve(specs.size());
+  for (const ParticipantSpec& spec : specs) {
+    predictors_.emplace_back(spec.config.predictor);
+  }
+  pose_feed_idx_.assign(specs.size(), 0);
+  remote_pose_feed_idx_.assign(specs.size(), 0);
+  pending_.resize(specs.size());
+  forward_high_.assign(specs.size(), 0);
+  awaiting_key_.assign(specs.size(),
+                       std::vector<bool>(specs.size() - 1, true));
+  last_key_relay_ms_.assign(specs.size(),
+                            -options.keyframe_relay_throttle_ms);
+  seat_offsets_.reserve(specs.size() - 1);
+  for (int slot = 0; slot < parties_ - 1; ++slot) {
+    seat_offsets_.push_back(
+        SeatPosition(slot, parties_ - 1, options_.seats));
+  }
+  uplink_prop_ms_ = (options_.uplink_mode == LinkMode::kShared
+                         ? options_.shared_uplink_config
+                         : options_.uplink_channel.link)
+                        .propagation_delay_ms;
+  downlink_prop_ms_ = (options_.downlink_mode == LinkMode::kShared
+                           ? options_.shared_downlink_config
+                           : options_.downlink_channel.link)
+                          .propagation_delay_ms;
+}
+
+void SfuActor::AddParticipant(ParticipantActor* participant) {
+  const int origin = static_cast<int>(participants_.size());
+  participants_.push_back(participant);
+  participant->uplink().SetFrameSink(
+      [this, origin](std::vector<net::ReceivedFrame> frames, double now_ms) {
+        OnUplinkFrames(origin, frames, now_ms);
+      });
+}
+
+void SfuActor::SetSharedLinks(runtime::SharedLink* uplink,
+                              runtime::SharedLink* downlink) {
+  shared_uplink_ = uplink;
+  shared_downlink_ = downlink;
+}
+
+void SfuActor::Start() {
+  pending_wake_ =
+      loop_.ScheduleAt(0.0, [this](double t) { OnNetworkActivity(t); });
+  pending_wake_ms_ = 0.0;
+}
+
+void SfuActor::OnNetworkActivity(double now_ms) {
+  FeedPoses(now_ms);
+  if (shared_uplink_ != nullptr) shared_uplink_->PumpUpTo(now_ms);
+  if (shared_downlink_ != nullptr) shared_downlink_->PumpUpTo(now_ms);
+  RunAllocations(now_ms);
+  // Uplink channels first: their frame sinks run ForwardPair, whose sends
+  // then ride the downlink Step in the same activity.
+  for (ParticipantActor* p : participants_) p->uplink().Step(now_ms);
+  RelayKeyframeRequests(now_ms);
+  for (ParticipantActor* p : participants_) p->downlink().Step(now_ms);
+  ScheduleNext(now_ms);
+}
+
+void SfuActor::FeedPoses(double now_ms) {
+  for (int s = 0; s < parties_; ++s) {
+    // Pose feedback rides the subscriber's uplink to the SFU.
+    const auto& poses = participants_[static_cast<std::size_t>(s)]
+                            ->user_trace()
+                            .poses;
+    auto& idx = pose_feed_idx_[static_cast<std::size_t>(s)];
+    while (idx < poses.size() &&
+           poses[idx].time_ms + uplink_prop_ms_ <= now_ms) {
+      predictors_[static_cast<std::size_t>(s)].ObservePose(poses[idx]);
+      ++idx;
+    }
+    // The predictor's horizon is the SFU->subscriber leg.
+    predictors_[static_cast<std::size_t>(s)].ObserveRtt(
+        participants_[static_cast<std::size_t>(s)]->downlink()
+            .SmoothedRttMs());
+  }
+  // Point-to-point degenerate case: the single subscriber's poses also
+  // continue to the origin's sender (SFU relays them down the origin's
+  // feedback path), enabling the paper's sender-side culling unchanged.
+  if (parties_ == 2) {
+    for (int origin = 0; origin < 2; ++origin) {
+      const int subscriber = 1 - origin;
+      const auto& poses =
+          participants_[static_cast<std::size_t>(subscriber)]
+              ->user_trace()
+              .poses;
+      auto& idx = remote_pose_feed_idx_[static_cast<std::size_t>(origin)];
+      const double delay = uplink_prop_ms_ + downlink_prop_ms_;
+      while (idx < poses.size() && poses[idx].time_ms + delay <= now_ms) {
+        participants_[static_cast<std::size_t>(origin)]->ObserveRemotePose(
+            poses[idx]);
+        ++idx;
+      }
+    }
+  }
+}
+
+void SfuActor::RunAllocations(double now_ms) {
+  while (next_alloc_ms_ <= now_ms) {
+    LIVO_SPAN("conference.allocate");
+    for (int s = 0; s < parties_; ++s) {
+      ParticipantActor* sub = participants_[static_cast<std::size_t>(s)];
+      std::vector<double> visibility(static_cast<std::size_t>(parties_ - 1),
+                                     1.0);
+      const core::FrustumPredictor& predictor =
+          predictors_[static_cast<std::size_t>(s)];
+      if (predictor.ready() && parties_ > 2) {
+        const geom::Frustum frustum = predictor.PredictFrustum();
+        for (int slot = 0; slot < parties_ - 1; ++slot) {
+          visibility[static_cast<std::size_t>(slot)] = VisibleFraction(
+              frustum, options_.seats,
+              seat_offsets_[static_cast<std::size_t>(slot)]);
+        }
+      }
+      const double budget_bytes = sub->downlink().TargetBitrateBps() *
+                                  options_.allocation_interval_ms / 1000.0 /
+                                  8.0;
+      allocator_.BeginInterval(s, next_alloc_ms_, budget_bytes, visibility);
+    }
+    next_alloc_ms_ += options_.allocation_interval_ms;
+  }
+}
+
+void SfuActor::OnUplinkFrames(int origin,
+                              const std::vector<net::ReceivedFrame>& frames,
+                              double now_ms) {
+  auto& pending = pending_[static_cast<std::size_t>(origin)];
+  for (const net::ReceivedFrame& frame : frames) {
+    ++stats_.frames_in;
+    Metrics().frames_in.Add();
+    PendingPair& pair = pending[frame.frame_index];
+    if (frame.stream_id == core::kColorStream) {
+      pair.color = frame.data;
+      pair.color_keyframe = frame.keyframe;
+    } else {
+      pair.depth = frame.data;
+      pair.depth_keyframe = frame.keyframe;
+    }
+    if (!pair.Complete()) continue;
+    ++stats_.pairs_completed;
+    const PendingPair complete = std::move(pair);
+    pending.erase(frame.frame_index);
+    // Halves older than the pair we are about to forward will never
+    // complete usefully (their counterpart died on the uplink and the
+    // receiver-side pair lag would skip them anyway): evict.
+    for (auto it = pending.begin();
+         it != pending.end() && it->first < frame.frame_index;) {
+      ++stats_.pairs_evicted_incomplete;
+      it = pending.erase(it);
+    }
+    forward_high_[static_cast<std::size_t>(origin)] =
+        std::max(forward_high_[static_cast<std::size_t>(origin)],
+                 frame.frame_index);
+    ForwardPair(origin, frame.frame_index, complete, now_ms);
+  }
+}
+
+void SfuActor::ForwardPair(int origin, std::uint32_t frame_index,
+                           const PendingPair& pair, double now_ms) {
+  const bool key_pair = pair.color_keyframe && pair.depth_keyframe;
+  const std::size_t color_bytes = pair.color->size();
+  const std::size_t depth_bytes = pair.depth->size();
+
+  // The origin's encode-probe RMSEs travel with the pair (metadata): feed
+  // them to every subscriber's line-search controller for this origin.
+  const core::SenderFrameStats* stats =
+      participants_[static_cast<std::size_t>(origin)]->StatsFor(frame_index);
+
+  for (int s = 0; s < parties_; ++s) {
+    if (s == origin) continue;
+    const int slot = SlotAt(s, origin);
+    ParticipantActor* sub = participants_[static_cast<std::size_t>(s)];
+    if (stats != nullptr && stats->rmse_depth >= 0.0) {
+      allocator_.ObserveProbe(s, slot, stats->rmse_depth, stats->rmse_color);
+    }
+
+    auto awaiting =
+        awaiting_key_[static_cast<std::size_t>(s)].begin() + slot;
+    // 1. Downlink congestion valve (see header).
+    if (sub->downlink().link().CurrentQueueDelayMs(now_ms) >
+        options_.downlink_channel.jitter_buffer_ms) {
+      ++stats_.pairs_dropped_congestion;
+      Metrics().dropped_congestion.Add();
+      *awaiting = true;
+      RequestOriginKeyframe(origin, now_ms);
+      continue;
+    }
+    // 2. Decoder-safety gate: no P-frames into a stream that lost one.
+    if (*awaiting && !key_pair) {
+      ++stats_.pairs_dropped_awaiting_key;
+      Metrics().dropped_awaiting_key.Add();
+      RequestOriginKeyframe(origin, now_ms);
+      continue;
+    }
+    // 3. Two-level budget (allocator.h).
+    if (!allocator_.TryForwardPair(s, slot, key_pair, color_bytes,
+                                   depth_bytes)) {
+      ++stats_.pairs_dropped_budget;
+      Metrics().dropped_budget.Add();
+      *awaiting = true;
+      RequestOriginKeyframe(origin, now_ms);
+      continue;
+    }
+
+    const auto color_stream = static_cast<std::uint32_t>(2 * slot);
+    sub->downlink().SendFrame(color_stream, frame_index, pair.color_keyframe,
+                              pair.color, now_ms);
+    sub->downlink().SendFrame(color_stream + 1, frame_index,
+                              pair.depth_keyframe, pair.depth, now_ms);
+    if (key_pair) *awaiting = false;
+    ++stats_.pairs_forwarded;
+    Metrics().pairs_forwarded.Add();
+    Metrics().forward_bytes.Observe(
+        static_cast<double>(color_bytes + depth_bytes));
+    sub->NotePairForwarded(slot, frame_index, now_ms,
+                           color_bytes + depth_bytes);
+  }
+}
+
+void SfuActor::RelayKeyframeRequests(double now_ms) {
+  for (int p = 0; p < parties_; ++p) {
+    ParticipantActor* participant = participants_[static_cast<std::size_t>(p)];
+    // The SFU is the receiver of p's uplink: its own reassembly raises
+    // PLI when the uplink loses frames.
+    if (participant->uplink().TakeKeyframeRequest(core::kColorStream) ||
+        participant->uplink().TakeKeyframeRequest(core::kDepthStream)) {
+      RequestOriginKeyframe(p, now_ms);
+    }
+    // Subscriber-side PLIs arrive slot-addressed on p's downlink and are
+    // relayed to the slot's origin.
+    for (int slot = 0; slot < parties_ - 1; ++slot) {
+      const auto color_stream = static_cast<std::uint32_t>(2 * slot);
+      if (participant->downlink().TakeKeyframeRequest(color_stream) ||
+          participant->downlink().TakeKeyframeRequest(color_stream + 1)) {
+        RequestOriginKeyframe(slot < p ? slot : slot + 1, now_ms);
+      }
+    }
+  }
+}
+
+void SfuActor::RequestOriginKeyframe(int origin, double now_ms) {
+  double& last = last_key_relay_ms_[static_cast<std::size_t>(origin)];
+  if (now_ms - last < options_.keyframe_relay_throttle_ms) return;
+  last = now_ms;
+  ++stats_.keyframe_relays;
+  Metrics().keyframe_relays.Add();
+  participants_[static_cast<std::size_t>(origin)]->RelayKeyframeRequest();
+}
+
+double SfuActor::OriginBudgetBps(int origin) const {
+  double best = 0.0;
+  bool any = false;
+  for (int s = 0; s < parties_; ++s) {
+    if (s == origin) continue;
+    if (!allocator_.Initialized(s)) continue;
+    any = true;
+    const double share = allocator_.ShareOf(s, SlotAt(s, origin));
+    best = std::max(
+        best,
+        participants_[static_cast<std::size_t>(s)]->downlink()
+                .TargetBitrateBps() *
+            share);
+  }
+  return any ? best : std::numeric_limits<double>::infinity();
+}
+
+double SfuActor::MaxSubscriberDownlinkRttMs(int origin) const {
+  double worst = 0.0;
+  for (int s = 0; s < parties_; ++s) {
+    if (s == origin) continue;
+    worst = std::max(
+        worst,
+        participants_[static_cast<std::size_t>(s)]->downlink()
+            .SmoothedRttMs());
+  }
+  return worst;
+}
+
+void SfuActor::ScheduleNext(double now_ms) {
+  double next = next_alloc_ms_;
+  for (ParticipantActor* p : participants_) {
+    next = std::min(next, p->uplink().NextEventTimeMs());
+    next = std::min(next, p->downlink().NextEventTimeMs());
+  }
+  if (shared_uplink_ != nullptr) {
+    next = std::min(next, shared_uplink_->NextEventTimeMs());
+  }
+  if (shared_downlink_ != nullptr) {
+    next = std::min(next, shared_downlink_->NextEventTimeMs());
+  }
+  for (int s = 0; s < parties_; ++s) {
+    const auto& poses =
+        participants_[static_cast<std::size_t>(s)]->user_trace().poses;
+    const auto idx = pose_feed_idx_[static_cast<std::size_t>(s)];
+    if (idx < poses.size()) {
+      next = std::min(next, poses[idx].time_ms + uplink_prop_ms_);
+    }
+  }
+  next = std::max(std::ceil(next), now_ms + 1.0);
+  if (next > horizon_ms_) return;
+  if (pending_wake_ != runtime::EventLoop::kInvalidEvent &&
+      pending_wake_ms_ > now_ms) {
+    if (pending_wake_ms_ == next) return;  // already armed for that instant
+    loop_.Cancel(pending_wake_);
+  }
+  pending_wake_ =
+      loop_.ScheduleAt(next, [this](double t) { OnNetworkActivity(t); });
+  pending_wake_ms_ = next;
+}
+
+}  // namespace livo::conference

@@ -1,0 +1,142 @@
+// Selective forwarding unit (livo::conference).
+//
+// The SfuActor is the conference's hub and its single network pump: it
+// owns no channels (participants do) but steps every uplink and downlink
+// channel, pumps the shared bottlenecks, and re-schedules one event-loop
+// wake at the earliest instant anything can change (channel events,
+// shared-link deliveries, allocation boundaries, pose feedback arrivals),
+// quantized to the runtime's 1 ms grid. Participants call
+// OnNetworkActivity around their capture wakes so sends are picked up at
+// event fidelity rather than at the SFU's next timer.
+//
+// Forwarding is pair-atomic: an uplinked depth/color pair is held until
+// both halves clear the uplink jitter buffer, then offered to each
+// subscriber independently. A pair reaches a subscriber only if
+//   1. the subscriber's downlink queue is not already congested past its
+//      jitter buffer (otherwise forwarding guarantees a late frame AND a
+//      deeper queue — drop and re-key instead);
+//   2. the (subscriber, origin) stream is not awaiting a keyframe — after
+//      any drop, P-frames are withheld until the next keyframe pair, so a
+//      subscriber's decoder never sees a P-frame it cannot anchor;
+//   3. the pair fits the two-level allocator's token buckets
+//      (allocator.h) for that subscriber and origin.
+// Every drop marks the stream awaiting-keyframe and relays a throttled
+// PLI to the origin, mirroring the transport's own recovery protocol.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "conference/allocator.h"
+#include "conference/participant.h"
+#include "conference/topology.h"
+#include "core/frustum_predictor.h"
+#include "net/transport.h"
+#include "runtime/event_loop.h"
+#include "runtime/shared_link.h"
+
+namespace livo::conference {
+
+struct SfuStats {
+  std::size_t frames_in = 0;        // uplink frames (stream halves) received
+  std::size_t pairs_completed = 0;  // depth/color pairs fully ingested
+  std::size_t pairs_forwarded = 0;  // pair deliveries (per subscriber)
+  std::size_t pairs_dropped_budget = 0;
+  std::size_t pairs_dropped_congestion = 0;
+  std::size_t pairs_dropped_awaiting_key = 0;
+  std::size_t pairs_evicted_incomplete = 0;  // half lost on the uplink
+  std::size_t keyframe_relays = 0;           // PLIs forwarded to origins
+};
+
+class SfuActor {
+ public:
+  SfuActor(runtime::EventLoop& loop, const std::vector<ParticipantSpec>& specs,
+           const ConferenceOptions& options, double horizon_ms);
+
+  SfuActor(const SfuActor&) = delete;
+  SfuActor& operator=(const SfuActor&) = delete;
+
+  // Registration, in participant-index order; the SFU installs itself as
+  // the uplink frame sink. Borrowed pointers; participants outlive the SFU
+  // inside RunConference.
+  void AddParticipant(ParticipantActor* participant);
+  void SetSharedLinks(runtime::SharedLink* uplink,
+                      runtime::SharedLink* downlink);
+
+  void Start();
+
+  // The conference's network heartbeat; idempotent at a timestep.
+  void OnNetworkActivity(double now_ms);
+
+  // Largest per-subscriber allocation currently granted to `origin`'s
+  // stream, in bits/s — the origin encodes at most this fast (encoding
+  // beyond every subscriber's share is guaranteed SFU drop work).
+  // +infinity before the first allocation interval.
+  double OriginBudgetBps(int origin) const;
+
+  // Worst subscriber downlink RTT for `origin`'s streams (the other half
+  // of the origin's end-to-end RTT replay).
+  double MaxSubscriberDownlinkRttMs(int origin) const;
+
+  const SfuStats& stats() const { return stats_; }
+  std::vector<AllocationAuditRow> TakeAudits(double now_ms) {
+    return allocator_.TakeAudits(now_ms);
+  }
+
+ private:
+  struct PendingPair {
+    std::shared_ptr<const std::vector<std::uint8_t>> color;
+    std::shared_ptr<const std::vector<std::uint8_t>> depth;
+    bool color_keyframe = false;
+    bool depth_keyframe = false;
+    bool Complete() const { return color && depth; }
+  };
+
+  void OnUplinkFrames(int origin, const std::vector<net::ReceivedFrame>& frames,
+                      double now_ms);
+  void ForwardPair(int origin, std::uint32_t frame_index,
+                   const PendingPair& pair, double now_ms);
+  void RunAllocations(double now_ms);
+  void FeedPoses(double now_ms);
+  void RelayKeyframeRequests(double now_ms);
+  void RequestOriginKeyframe(int origin, double now_ms);
+  void ScheduleNext(double now_ms);
+
+  int SlotAt(int subscriber, int origin) const {
+    return origin < subscriber ? origin : origin - 1;
+  }
+
+  runtime::EventLoop& loop_;
+  const ConferenceOptions& options_;
+  double horizon_ms_ = 0.0;
+  int parties_ = 0;
+
+  std::vector<ParticipantActor*> participants_;
+  runtime::SharedLink* shared_uplink_ = nullptr;
+  runtime::SharedLink* shared_downlink_ = nullptr;
+
+  DownlinkAllocator allocator_;
+  // Per-subscriber Kalman pose predictors fed by delayed uplink pose
+  // feedback; their guard-band frustums drive the level-1 shares.
+  std::vector<core::FrustumPredictor> predictors_;
+  std::vector<std::size_t> pose_feed_idx_;         // into subscriber's trace
+  std::vector<std::size_t> remote_pose_feed_idx_;  // N==2 sender culling feed
+  std::vector<geom::Vec3> seat_offsets_;           // by slot (same for all)
+
+  std::vector<std::map<std::uint32_t, PendingPair>> pending_;  // by origin
+  std::vector<std::uint32_t> forward_high_;  // newest completed, by origin
+  std::vector<std::vector<bool>> awaiting_key_;  // [subscriber][slot]
+  std::vector<double> last_key_relay_ms_;        // by origin
+
+  double next_alloc_ms_ = 0.0;
+  double uplink_prop_ms_ = 0.0;
+  double downlink_prop_ms_ = 0.0;
+  runtime::EventLoop::EventId pending_wake_ =
+      runtime::EventLoop::kInvalidEvent;
+  double pending_wake_ms_ = -1.0;
+  SfuStats stats_;
+};
+
+}  // namespace livo::conference

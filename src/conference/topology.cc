@@ -1,0 +1,41 @@
+#include "conference/topology.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/pose.h"
+
+namespace livo::conference {
+
+geom::Vec3 SeatPosition(int slot, int remote_count, const SeatLayout& seats) {
+  if (remote_count <= 1) return {0.0, 0.0, 0.0};
+  const double angle =
+      2.0 * geom::kPi * static_cast<double>(slot) / remote_count;
+  return {seats.radius_m * std::sin(angle), 0.0,
+          seats.radius_m * std::cos(angle)};
+}
+
+double VisibleFraction(const geom::Frustum& frustum, const SeatLayout& seats,
+                       const geom::Vec3& seat_offset) {
+  const int k = std::max(1, seats.samples_per_axis);
+  const geom::Vec3 lo = seats.content_min + seat_offset;
+  const geom::Vec3 hi = seats.content_max + seat_offset;
+  int inside = 0;
+  for (int ix = 0; ix < k; ++ix) {
+    for (int iy = 0; iy < k; ++iy) {
+      for (int iz = 0; iz < k; ++iz) {
+        // Cell centres of a k^3 lattice spanning the box.
+        const double fx = (ix + 0.5) / k;
+        const double fy = (iy + 0.5) / k;
+        const double fz = (iz + 0.5) / k;
+        const geom::Vec3 p{lo.x + fx * (hi.x - lo.x),
+                           lo.y + fy * (hi.y - lo.y),
+                           lo.z + fz * (hi.z - lo.z)};
+        if (frustum.Contains(p)) ++inside;
+      }
+    }
+  }
+  return static_cast<double>(inside) / (k * k * k);
+}
+
+}  // namespace livo::conference

@@ -1,0 +1,125 @@
+// Conference wiring types (livo::conference).
+//
+// LiVo's evaluation is point-to-point: one capture rig streams to one
+// viewer. A conference generalizes that to N participants, each both a
+// sender (their own rig) and a receiver (everyone else's streams), joined
+// through a selective forwarding unit (SFU) rather than an N^2 mesh: every
+// participant sends its tiled depth/color streams once, uplink, and the
+// SFU forwards them to the other N-1 downlinks, re-deciding per subscriber
+// what that downlink can afford (allocator.h) and what its viewer can see
+// (seat geometry below + the sender-side culling machinery of core/).
+//
+// This header holds the pure-data wiring: link topology, seat geometry,
+// per-participant specs, and the ConferenceOptions knob block shared by
+// RunConference, the tests, and bench_conference.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/receiver.h"
+#include "core/split.h"
+#include "core/types.h"
+#include "geom/frustum.h"
+#include "geom/vec.h"
+#include "net/link.h"
+#include "net/transport.h"
+#include "sim/dataset.h"
+#include "sim/nettrace.h"
+#include "sim/usertrace.h"
+
+namespace livo::conference {
+
+// How one direction (all uplinks, or all downlinks) reaches the SFU.
+enum class LinkMode {
+  kPrivate,  // every participant has its own emulated access link
+  kShared,   // all flows contend on one bottleneck (runtime::SharedLink)
+};
+
+inline const char* LinkModeName(LinkMode mode) {
+  return mode == LinkMode::kShared ? "shared" : "private";
+}
+
+// Where each remote participant's volumetric content sits in a
+// subscriber's rendering space, and how coarsely visibility is sampled.
+//
+// Remotes are seated on a circle; with a single remote (a 2-party call)
+// the seat collapses to the origin, so the geometry degenerates to the
+// point-to-point session the rest of the repo evaluates. Each seat's
+// content is approximated by the capture volume AABB: visibility of a
+// seat is the fraction of a k^3 lattice over that box inside the
+// subscriber's (guard-band-expanded, Kalman-predicted) frustum.
+struct SeatLayout {
+  double radius_m = 2.0;
+  geom::Vec3 content_min{-1.5, 0.0, -1.5};  // capture volume around a seat
+  geom::Vec3 content_max{1.5, 2.2, 1.5};
+  int samples_per_axis = 4;
+};
+
+// World-space offset of remote `slot` out of `remote_count` seats.
+geom::Vec3 SeatPosition(int slot, int remote_count, const SeatLayout& seats);
+
+// Fraction of the seat's content lattice inside `frustum` (in [0, 1]).
+double VisibleFraction(const geom::Frustum& frustum, const SeatLayout& seats,
+                       const geom::Vec3& seat_offset);
+
+// One conference participant: a capture sequence it sends, a viewpoint
+// trajectory it watches with, and its private access-link traces (ignored
+// for a direction running in LinkMode::kShared). The sequence is borrowed
+// and must outlive the run.
+struct ParticipantSpec {
+  const sim::CapturedSequence* sequence = nullptr;
+  sim::UserTrace user_trace;
+  sim::BandwidthTrace uplink_trace;
+  sim::BandwidthTrace downlink_trace;
+  double uplink_trace_offset_ms = 0.0;
+  double downlink_trace_offset_ms = 0.0;
+  core::LiVoConfig config;
+};
+
+struct ConferenceOptions {
+  // Access-link channel configs. The uplink default trims the jitter
+  // buffer to an SFU ingest buffer: the SFU re-times frames onto each
+  // downlink anyway, so a full playout buffer before it would only add
+  // latency; 60 ms still leaves the NACK machinery room to repair.
+  net::ChannelConfig uplink_channel;
+  net::ChannelConfig downlink_channel;
+  core::ReceiverConfig receiver;
+
+  LinkMode uplink_mode = LinkMode::kPrivate;
+  LinkMode downlink_mode = LinkMode::kPrivate;
+  // Bottleneck traces/configs for directions running kShared.
+  sim::BandwidthTrace shared_uplink_trace;
+  sim::BandwidthTrace shared_downlink_trace;
+  net::LinkConfig shared_uplink_config;
+  net::LinkConfig shared_downlink_config;
+
+  // Same scale model as core::ReplayOptions (see DESIGN.md §1).
+  double bandwidth_scale = 1.0 / 48.0;
+  double trace_time_accel = 6.0;
+  double sender_pipeline_delay_ms = 33.0;
+
+  // Two-level downlink allocator (allocator.h).
+  double allocation_interval_ms = 100.0;
+  double burst_credit_intervals = 2.0;
+  double share_floor = 0.15;
+  core::SplitConfig forward_split;
+
+  // PLI relays toward one origin are spaced at least this far apart
+  // (mirrors the transport's own keyframe-request throttle).
+  double keyframe_relay_throttle_ms = 300.0;
+  // Origins encode at min(uplink estimate, headroom * best subscriber
+  // allocation); 1.0 = never encode beyond what someone can receive.
+  double encode_headroom = 1.0;
+
+  // Admission control: RunConference rejects parties above this cap
+  // rather than degrading everyone below usability.
+  int max_parties = 16;
+
+  SeatLayout seats;
+  std::string scheme_name = "LiVo-SFU";
+
+  ConferenceOptions() { uplink_channel.jitter_buffer_ms = 60.0; }
+};
+
+}  // namespace livo::conference

@@ -15,22 +15,11 @@ MultiSessionResult RunMultiSession(std::vector<SessionSpec> specs,
   EventLoop loop;
 
   std::unique_ptr<SharedLink> bottleneck;
-  sim::BandwidthTrace shared_trace;
   if (options.share_link && !specs.empty()) {
-    shared_trace = options.shared_trace.TimeCompressed(
-        std::max(1e-9, options.shared_trace_accel));
-    if (options.shared_trace_offset_ms > 0.0 && !shared_trace.mbps.empty()) {
-      const auto shift =
-          static_cast<std::size_t>(options.shared_trace_offset_ms /
-                                   shared_trace.sample_interval_ms) %
-          shared_trace.mbps.size();
-      std::rotate(shared_trace.mbps.begin(),
-                  shared_trace.mbps.begin() +
-                      static_cast<std::ptrdiff_t>(shift),
-                  shared_trace.mbps.end());
-    }
-    bottleneck = std::make_unique<SharedLink>(shared_trace,
-                                              options.shared_link_config);
+    bottleneck = std::make_unique<SharedLink>(
+        options.shared_trace.Replayed(options.shared_trace_accel,
+                                      options.shared_trace_offset_ms),
+        options.shared_link_config);
   }
 
   std::vector<std::unique_ptr<SessionActor>> actors;

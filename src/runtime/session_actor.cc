@@ -27,23 +27,6 @@ SessionMetrics& Metrics() {
   return metrics;
 }
 
-sim::BandwidthTrace PrepareLinkTrace(const sim::BandwidthTrace& net_trace,
-                                     const core::ReplayOptions& options) {
-  sim::BandwidthTrace link_trace =
-      net_trace.TimeCompressed(options.trace_time_accel);
-  if (options.trace_offset_ms > 0.0 && !link_trace.mbps.empty()) {
-    // Rotate the sample ring so the session starts mid-trace.
-    const auto shift =
-        static_cast<std::size_t>(options.trace_offset_ms /
-                                 link_trace.sample_interval_ms) %
-        link_trace.mbps.size();
-    std::rotate(link_trace.mbps.begin(),
-                link_trace.mbps.begin() + static_cast<std::ptrdiff_t>(shift),
-                link_trace.mbps.end());
-  }
-  return link_trace;
-}
-
 }  // namespace
 
 SessionActor::SessionActor(EventLoop& loop, SessionSpec spec)
@@ -57,7 +40,9 @@ SessionActor::SessionActor(EventLoop& loop, SessionSpec spec)
                                    spec_.options.bandwidth_scale * 1e6 * 0.8 *
                                    spec_.gcc_initial_share;
   channel_ = std::make_unique<net::VideoChannel>(
-      PrepareLinkTrace(spec_.net_trace, spec_.options), channel_config);
+      spec_.net_trace.Replayed(spec_.options.trace_time_accel,
+                               spec_.options.trace_offset_ms),
+      channel_config);
   capacity_mbps_ = spec_.net_trace.MeanMbps();
   link_scale_ = spec_.options.bandwidth_scale;
   Init();

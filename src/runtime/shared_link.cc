@@ -1,5 +1,7 @@
 #include "runtime/shared_link.h"
 
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace livo::runtime {
@@ -13,16 +15,51 @@ std::unique_ptr<net::VideoChannel> SharedLink::Connect(
   const auto flow_id = static_cast<std::uint32_t>(flows_.size());
   auto channel =
       std::make_unique<net::VideoChannel>(link_, config, flow_id);
-  flows_.push_back(channel.get());
+  Register(flow_id, channel.get());
   return channel;
+}
+
+void SharedLink::Register(std::uint32_t flow_id, net::VideoChannel* channel) {
+  if (channel == nullptr) {
+    throw std::invalid_argument("SharedLink::Register: null channel");
+  }
+  if (flow_id < flows_.size()) {
+    throw std::invalid_argument("SharedLink::Register: duplicate flow id " +
+                                std::to_string(flow_id));
+  }
+  if (flow_id != flows_.size()) {
+    throw std::invalid_argument(
+        "SharedLink::Register: flow id " + std::to_string(flow_id) +
+        " would leave a gap (next free id is " +
+        std::to_string(flows_.size()) + ")");
+  }
+  flows_.push_back(channel);
+  flow_bytes_.push_back(0);
+}
+
+void SharedLink::Ingest(const net::Packet& packet, double now_ms) {
+  if (packet.flow_id >= flows_.size()) {
+    throw std::out_of_range(
+        "SharedLink::Ingest: packet for unregistered flow " +
+        std::to_string(packet.flow_id) + " (only " +
+        std::to_string(flows_.size()) + " flows registered)");
+  }
+  flow_bytes_[packet.flow_id] += packet.WireBytes();
+  flows_[packet.flow_id]->Ingest(packet, now_ms);
 }
 
 void SharedLink::PumpUpTo(double now_ms) {
   for (const net::Packet& p : link_->Poll(now_ms)) {
-    if (p.flow_id < flows_.size()) {
-      flows_[p.flow_id]->Ingest(p, now_ms);
-    }
+    Ingest(p, now_ms);
   }
+}
+
+std::size_t SharedLink::FlowDeliveredBytes(std::uint32_t flow_id) const {
+  if (flow_id >= flow_bytes_.size()) {
+    throw std::out_of_range("SharedLink::FlowDeliveredBytes: unknown flow " +
+                            std::to_string(flow_id));
+  }
+  return flow_bytes_[flow_id];
 }
 
 }  // namespace livo::runtime

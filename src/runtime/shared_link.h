@@ -7,6 +7,13 @@
 // fairness and queue interactions appear. Packets carry a flow_id; the mux
 // polls the link and routes each delivery back to the channel that sent it
 // (per-flow sequence spaces never mix).
+//
+// Flow registration is explicit and validated: Connect() (or Register())
+// must have claimed a flow id before any packet carrying it reaches the
+// mux. Duplicate registrations and deliveries for unknown flows throw —
+// a packet silently dropped at the mux would surface hundreds of virtual
+// milliseconds later as an unexplained stall, so the wiring bug is turned
+// into an immediate, attributable failure instead.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +34,17 @@ class SharedLink {
   // The channel must not outlive the SharedLink.
   std::unique_ptr<net::VideoChannel> Connect(const net::ChannelConfig& config);
 
+  // Claims `flow_id` for `channel`. Ids are allocated contiguously from 0;
+  // throws std::invalid_argument if the id is already taken or would leave
+  // a gap. Connect() registers automatically — call this directly only
+  // when the channel is constructed elsewhere against link_ptr().
+  void Register(std::uint32_t flow_id, net::VideoChannel* channel);
+
+  // Routes one delivered packet to its flow, updating the per-flow byte
+  // accounting. Throws std::out_of_range for a flow id no channel
+  // registered (a mis-wired topology, not a recoverable condition).
+  void Ingest(const net::Packet& packet, double now_ms);
+
   // Polls the link and routes packets with arrival <= now_ms to their
   // flows. Idempotent within a timestep: callers at the same virtual time
   // can each invoke it (the first drains everything due).
@@ -36,11 +54,17 @@ class SharedLink {
   double NextEventTimeMs() const { return link_->NextEventTimeMs(); }
 
   const net::LinkEmulator& link() const { return *link_; }
+  const std::shared_ptr<net::LinkEmulator>& link_ptr() const { return link_; }
   std::size_t flow_count() const { return flows_.size(); }
+
+  // Wire bytes (payload + header overhead) delivered to one flow — the
+  // per-flow share of the bottleneck, used by the fairness tests.
+  std::size_t FlowDeliveredBytes(std::uint32_t flow_id) const;
 
  private:
   std::shared_ptr<net::LinkEmulator> link_;
-  std::vector<net::VideoChannel*> flows_;  // index == flow_id
+  std::vector<net::VideoChannel*> flows_;        // index == flow_id
+  std::vector<std::size_t> flow_bytes_;          // delivered wire bytes
 };
 
 }  // namespace livo::runtime

@@ -41,6 +41,19 @@ BandwidthTrace BandwidthTrace::TimeCompressed(double factor) const {
   return out;
 }
 
+BandwidthTrace BandwidthTrace::Replayed(double accel, double offset_ms) const {
+  BandwidthTrace out = TimeCompressed(std::max(1e-9, accel));
+  if (offset_ms > 0.0 && !out.mbps.empty()) {
+    const auto shift =
+        static_cast<std::size_t>(offset_ms / out.sample_interval_ms) %
+        out.mbps.size();
+    std::rotate(out.mbps.begin(),
+                out.mbps.begin() + static_cast<std::ptrdiff_t>(shift),
+                out.mbps.end());
+  }
+  return out;
+}
+
 namespace {
 
 // Ornstein-Uhlenbeck mean-reverting walk clipped to [floor, ceiling].

@@ -43,6 +43,12 @@ struct BandwidthTrace {
   // short session experience the same variability (fades, wander) the
   // paper's sessions do, without changing the rate distribution.
   BandwidthTrace TimeCompressed(double factor) const;
+
+  // Replay preparation used by every session driver: compresses the
+  // timeline by `accel` and rotates the sample ring by `offset_ms` (of the
+  // compressed timeline) so the session starts mid-trace, like the paper's
+  // minutes-long replays cover different trace segments naturally.
+  BandwidthTrace Replayed(double accel, double offset_ms) const;
 };
 
 // Synthesizes trace-1 / trace-2 with `duration_s` seconds of samples.

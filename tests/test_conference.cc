@@ -1,0 +1,350 @@
+// Tests for livo::conference — SFU admission control, determinism of a
+// 4-party call across reruns and codec thread counts, the per-interval
+// allocator budget invariant, seat-visibility geometry, and the 2-party
+// degenerate case against the direct point-to-point session driver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "conference/allocator.h"
+#include "conference/conference.h"
+#include "conference/topology.h"
+#include "core/session.h"
+#include "core/types.h"
+#include "sim/dataset.h"
+#include "sim/nettrace.h"
+#include "sim/usertrace.h"
+
+namespace livo::conference {
+namespace {
+
+// ---- Fixtures (same small scale as tests/test_runtime.cc) ----
+
+sim::ScaleProfile SmallProfile() {
+  sim::ScaleProfile profile;
+  profile.camera_count = 4;
+  profile.camera_width = 48;
+  profile.camera_height = 40;
+  return profile;
+}
+
+const sim::CapturedSequence& Sequence(const std::string& name, int frames) {
+  static std::map<std::pair<std::string, int>, sim::CapturedSequence> cache;
+  auto it = cache.find({name, frames});
+  if (it == cache.end()) {
+    it = cache.emplace(std::make_pair(name, frames),
+                       sim::CaptureVideo(name, SmallProfile(), frames))
+             .first;
+  }
+  return it->second;
+}
+
+core::LiVoConfig SmallConfig() {
+  core::LiVoConfig config;
+  const auto profile = SmallProfile();
+  config.layout = image::TileLayout(profile.camera_count, profile.camera_width,
+                                    profile.camera_height);
+  return config;
+}
+
+sim::BandwidthTrace ConstantTrace(double mbps, double duration_s) {
+  sim::BandwidthTrace trace;
+  trace.name = "constant";
+  const auto samples = static_cast<std::size_t>(
+      duration_s * 1000.0 / trace.sample_interval_ms);
+  trace.mbps.assign(samples, mbps);
+  return trace;
+}
+
+// A small conference roster: every participant sends a different dataset
+// sequence and watches with a different trace style.
+std::vector<ParticipantSpec> SmallRoster(int parties, int frames) {
+  const std::vector<std::string> videos = {"band2", "toddler4", "dance5",
+                                           "office1", "pizza1"};
+  const std::vector<sim::TraceStyle> styles = {
+      sim::TraceStyle::kOrbit, sim::TraceStyle::kWalkIn,
+      sim::TraceStyle::kFocus, sim::TraceStyle::kOrbit,
+      sim::TraceStyle::kWalkIn};
+  std::vector<ParticipantSpec> specs;
+  for (int p = 0; p < parties; ++p) {
+    ParticipantSpec spec;
+    const std::string& video = videos[static_cast<std::size_t>(p) %
+                                      videos.size()];
+    spec.sequence = &Sequence(video, frames);
+    spec.user_trace = sim::GenerateUserTrace(
+        video, styles[static_cast<std::size_t>(p) % styles.size()],
+        frames + 90);
+    spec.uplink_trace = sim::MakeTrace2(30.0);
+    spec.downlink_trace = sim::MakeTrace2(30.0);
+    spec.uplink_trace_offset_ms = 1000.0 * p;
+    spec.downlink_trace_offset_ms = 500.0 * p;
+    spec.config = SmallConfig();
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+ConferenceOptions SmallConferenceOptions() {
+  ConferenceOptions options;
+  options.bandwidth_scale = 1.0 / 48.0;
+  return options;
+}
+
+// ---- Admission control ----
+
+TEST(ConferenceAdmission, RejectsRostersTheSfuCannotServe) {
+  const ConferenceOptions options = SmallConferenceOptions();
+  EXPECT_THROW(RunConference({}, options), std::invalid_argument);
+  EXPECT_THROW(RunConference(SmallRoster(1, 4), options),
+               std::invalid_argument);
+
+  ConferenceOptions capped = options;
+  capped.max_parties = 3;
+  EXPECT_THROW(RunConference(SmallRoster(4, 4), capped),
+               std::invalid_argument);
+
+  auto specs = SmallRoster(2, 4);
+  specs[1].sequence = nullptr;
+  EXPECT_THROW(RunConference(specs, options), std::invalid_argument);
+}
+
+// ---- Seat geometry ----
+
+TEST(ConferenceTopology, SeatsDegenerateToOriginForTwoParties) {
+  const SeatLayout seats;
+  const geom::Vec3 seat = SeatPosition(0, 1, seats);
+  EXPECT_DOUBLE_EQ(seat.x, 0.0);
+  EXPECT_DOUBLE_EQ(seat.y, 0.0);
+  EXPECT_DOUBLE_EQ(seat.z, 0.0);
+  // Three remotes sit on the circle at the configured radius.
+  for (int slot = 0; slot < 3; ++slot) {
+    const geom::Vec3 s = SeatPosition(slot, 3, seats);
+    EXPECT_NEAR(std::sqrt(s.x * s.x + s.z * s.z), seats.radius_m, 1e-9);
+    EXPECT_DOUBLE_EQ(s.y, 0.0);
+  }
+}
+
+// ---- Allocator unit behavior ----
+
+TEST(ConferenceAllocator, SharesFloorOffscreenRemotesAndSumToOne) {
+  AllocatorConfig config;
+  config.share_floor = 0.15;
+  DownlinkAllocator alloc(4, config);  // 3 remote slots per subscriber
+  alloc.BeginInterval(0, 0.0, 100000.0, {1.0, 0.0, 0.0});
+  double sum = 0.0;
+  for (int slot = 0; slot < 3; ++slot) sum += alloc.ShareOf(0, slot);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // Fully visible slot gets the remainder above two floors; the invisible
+  // ones keep exactly the floor trickle.
+  EXPECT_NEAR(alloc.ShareOf(0, 1), 0.15, 1e-12);
+  EXPECT_NEAR(alloc.ShareOf(0, 2), 0.15, 1e-12);
+  EXPECT_NEAR(alloc.ShareOf(0, 0), 0.70, 1e-12);
+  // All-zero visibility (nothing on screen) falls back to equal shares.
+  alloc.BeginInterval(0, 100.0, 100000.0, {0.0, 0.0, 0.0});
+  for (int slot = 0; slot < 3; ++slot) {
+    EXPECT_NEAR(alloc.ShareOf(0, slot), 1.0 / 3.0, 1e-12);
+  }
+}
+
+TEST(ConferenceAllocator, KeyframePairsPoolBucketsButPFramesCannot) {
+  AllocatorConfig config;
+  config.interval_ms = 100.0;
+  config.burst_credit_intervals = 0.0;  // no banked credit: exact budgets
+  DownlinkAllocator alloc(2, config);   // one remote slot
+  // 10000-byte budget, share 1.0, split ~0.5 at start-of-search.
+  alloc.BeginInterval(0, 0.0, 10000.0, {1.0});
+  const double split = alloc.SplitOf(0, 0);
+  const auto depth_budget = static_cast<std::size_t>(10000.0 * split);
+  const auto color_budget = static_cast<std::size_t>(10000.0 * (1.0 - split));
+  // A keyframe pair may pool both buckets even when one side alone
+  // overflows its stream budget.
+  EXPECT_TRUE(alloc.TryForwardPair(0, 0, true, color_budget + depth_budget / 2,
+                                   depth_budget / 4));
+  // A P-frame pair must fit per-stream: depth remainder is tiny now.
+  EXPECT_FALSE(alloc.TryForwardPair(0, 0, false, 1, depth_budget / 2));
+  // And the pooled keyframe cannot exceed the combined remainder either.
+  EXPECT_FALSE(alloc.TryForwardPair(0, 0, true, color_budget, depth_budget));
+}
+
+// ---- Full 4-party conference ----
+
+const ConferenceResult& FourPartyResult() {
+  static const ConferenceResult result =
+      RunConference(SmallRoster(4, 6), SmallConferenceOptions());
+  return result;
+}
+
+TEST(ConferenceRun, FourPartyCallProducesStreamsForEveryPair) {
+  const ConferenceResult& result = FourPartyResult();
+  ASSERT_EQ(result.participants.size(), 4u);
+  EXPECT_GT(result.sfu.frames_in, 0u);
+  EXPECT_GT(result.sfu.pairs_forwarded, 0u);
+  for (const ParticipantResult& p : result.participants) {
+    SCOPED_TRACE("participant " + std::to_string(p.index));
+    EXPECT_GT(p.frames_sent, 0u);
+    EXPECT_GT(p.bytes_sent, 0u);
+    ASSERT_EQ(p.streams.size(), 3u);  // N-1 remote slots
+    std::size_t rendered = 0;
+    for (const RemoteStreamResult& s : p.streams) {
+      EXPECT_NE(s.origin, p.index);
+      rendered += s.pairs_rendered;
+    }
+    // Under the small-scale trace at least something must get through.
+    EXPECT_GT(rendered, 0u);
+  }
+}
+
+// Acceptance criterion: the audited invariant. In every closed allocation
+// interval the bytes forwarded down a subscriber's link stay within the
+// interval's budget plus the credit carried in from earlier intervals.
+TEST(ConferenceRun, ForwardedBytesRespectBudgetEveryInterval) {
+  const ConferenceResult& result = FourPartyResult();
+  ASSERT_FALSE(result.audits.empty());
+  for (std::size_t i = 0; i < result.audits.size(); ++i) {
+    const AllocationAuditRow& row = result.audits[i];
+    SCOPED_TRACE("audit row " + std::to_string(i) + " subscriber " +
+                 std::to_string(row.subscriber) + " @" +
+                 std::to_string(row.start_ms));
+    EXPECT_LE(row.forwarded_bytes,
+              row.budget_bytes + row.credit_bytes + 1e-6);
+    ASSERT_EQ(row.shares.size(), 3u);
+    double sum = 0.0;
+    for (double s : row.shares) {
+      EXPECT_GE(s, 0.0);
+      sum += s;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+// Acceptance criterion: byte-identical per-participant records across
+// reruns. Fingerprint() folds every virtual-time field of every stream
+// record, audit row, and SFU counter.
+TEST(ConferenceDeterminism, IdenticalFingerprintAcrossReruns) {
+  const ConferenceResult rerun =
+      RunConference(SmallRoster(4, 6), SmallConferenceOptions());
+  EXPECT_EQ(rerun.Fingerprint(), FourPartyResult().Fingerprint());
+  EXPECT_EQ(rerun.events_dispatched, FourPartyResult().events_dispatched);
+}
+
+// The slice codecs are thread-count-invariant, so the whole conference
+// must be too (and the cache key deliberately ignores codec_threads).
+TEST(ConferenceDeterminism, IdenticalFingerprintAcrossCodecThreadCounts) {
+  auto specs = SmallRoster(4, 6);
+  const ConferenceOptions options = SmallConferenceOptions();
+  for (ParticipantSpec& spec : specs) spec.config.codec_threads = 1;
+  const ConferenceResult serial = RunConference(specs, options);
+  EXPECT_EQ(serial.Fingerprint(), FourPartyResult().Fingerprint());
+  EXPECT_EQ(ConferenceCacheKey(specs, options),
+            ConferenceCacheKey(SmallRoster(4, 6), options));
+}
+
+TEST(ConferenceDeterminism, CacheKeyDiscriminatesRosterAndTopology) {
+  const auto specs = SmallRoster(4, 6);
+  const ConferenceOptions options = SmallConferenceOptions();
+  const std::string base = ConferenceCacheKey(specs, options);
+
+  ConferenceOptions shared = options;
+  shared.downlink_mode = LinkMode::kShared;
+  shared.shared_downlink_trace = sim::MakeTrace1(30.0);
+  EXPECT_NE(ConferenceCacheKey(specs, shared), base);
+
+  auto moved = specs;
+  moved[2].downlink_trace_offset_ms += 250.0;
+  EXPECT_NE(ConferenceCacheKey(moved, options), base);
+  EXPECT_NE(ConferenceCacheKey(SmallRoster(3, 6), options), base);
+}
+
+// ---- Shared-bottleneck topology ----
+
+TEST(ConferenceRun, SharedDownlinkConferenceCompletesAndAudits) {
+  auto specs = SmallRoster(3, 5);
+  ConferenceOptions options = SmallConferenceOptions();
+  options.downlink_mode = LinkMode::kShared;
+  options.shared_downlink_trace = sim::MakeTrace2(30.0);
+  // One bottleneck carrying all three subscribers gets 3x one link's scale.
+  options.shared_downlink_config.bandwidth_scale = 3.0 / 48.0;
+  const ConferenceResult result = RunConference(specs, options);
+  ASSERT_EQ(result.participants.size(), 3u);
+  EXPECT_GT(result.sfu.pairs_forwarded, 0u);
+  EXPECT_FALSE(result.audits.empty());
+  const ConferenceResult rerun = RunConference(specs, options);
+  EXPECT_EQ(rerun.Fingerprint(), result.Fingerprint());
+}
+
+// ---- 2-party degenerate case vs the direct point-to-point driver ----
+
+// With two parties the SFU topology collapses toward RunLiVoSession: one
+// origin, one subscriber, seat at the world origin, sender culling fed by
+// the remote viewer's (delayed) pose. The transport path still differs —
+// an extra uplink hop, SFU re-forwarding, allocator gating — so this is a
+// tolerance comparison of aggregates, not bit equality. Tolerances are
+// documented in DESIGN.md §Conference.
+TEST(ConferenceTwoParty, MatchesDirectSessionAggregatesWithinTolerance) {
+  const int kFrames = 10;
+  const std::string video = "band2";
+  const auto& seq = Sequence(video, kFrames);
+  const auto viewer =
+      sim::GenerateUserTrace(video, sim::TraceStyle::kOrbit, kFrames + 90);
+  const auto net = sim::MakeTrace2(30.0);
+
+  // Direct reference: participant 0's content viewed through participant
+  // 1's eyes over the shared bandwidth trace.
+  core::ReplayOptions direct_options;
+  direct_options.bandwidth_scale = 1.0 / 48.0;
+  direct_options.metric_every = 1000000;  // skip PSSIM; comparing transport
+  const core::SessionResult direct = core::RunLiVoSession(
+      seq, viewer, net, SmallConfig(), direct_options);
+
+  // Conference: same downlink for subscriber 1; near-ideal uplinks so the
+  // first hop adds (almost) nothing.
+  std::vector<ParticipantSpec> specs = SmallRoster(2, kFrames);
+  specs[0].sequence = &seq;
+  specs[0].downlink_trace = net;
+  specs[0].uplink_trace = ConstantTrace(2000.0, 30.0);
+  specs[1].sequence = &seq;
+  specs[1].user_trace = viewer;
+  specs[1].downlink_trace = net;
+  specs[1].downlink_trace_offset_ms = 0.0;
+  specs[1].uplink_trace = ConstantTrace(2000.0, 30.0);
+
+  ConferenceOptions options = SmallConferenceOptions();
+  options.uplink_channel.link.propagation_delay_ms = 0.0;
+  // Keep a small ingest buffer: the playout deadline is send + jitter +
+  // prop, so a zero buffer would expire every multi-packet frame mid-
+  // serialization even on an ideal link.
+  options.uplink_channel.jitter_buffer_ms = 30.0;
+  const ConferenceResult conf = RunConference(specs, options);
+
+  ASSERT_EQ(conf.participants.size(), 2u);
+  const RemoteStreamResult& stream = conf.participants[1].streams[0];
+  ASSERT_EQ(stream.origin, 0);
+
+  // Both paths should show a mostly-flowing call at this scale.
+  EXPECT_GT(direct.fps, 0.0);
+  EXPECT_GT(stream.fps, 0.0);
+  // fps within 35% relative, stall within 0.25 absolute: generous enough
+  // for the extra hop's jitter, tight enough to catch a broken forwarder
+  // (which shows up as stall_rate ~1 or fps ~0).
+  const double fps_tol = 0.35 * std::max(direct.fps, stream.fps);
+  EXPECT_NEAR(stream.fps, direct.fps, fps_tol);
+  EXPECT_NEAR(stream.stall_rate, direct.stall_rate, 0.25);
+  // The origin's encode targets track the same downlink estimate, so the
+  // uplink bytes should be in the same regime as the direct sender's.
+  double direct_bytes = 0.0;
+  for (const core::FrameRecord& f : direct.frames) {
+    direct_bytes += static_cast<double>(f.sender.color_bytes +
+                                        f.sender.depth_bytes);
+  }
+  const auto conf_sent =
+      static_cast<double>(conf.participants[0].bytes_sent);
+  EXPECT_GT(conf_sent, 0.2 * direct_bytes);
+  EXPECT_LT(conf_sent, 5.0 * direct_bytes + 200000.0);
+}
+
+}  // namespace
+}  // namespace livo::conference

@@ -314,5 +314,93 @@ TEST(MultiSession, SharedBottleneckRunsAndBoundsThroughput) {
   EXPECT_LT(total_throughput, 1.6 * options.shared_trace.MeanMbps());
 }
 
+// ---- SharedLink flow registration + fairness ----
+
+sim::BandwidthTrace ConstantTrace(double mbps, int samples) {
+  sim::BandwidthTrace trace;
+  trace.name = "constant";
+  trace.mbps.assign(static_cast<std::size_t>(samples), mbps);
+  return trace;
+}
+
+// Regression: the mux used to silently drop packets whose flow_id no
+// channel had registered (`if (flow_id < flows_.size())`), which turned a
+// mis-wired topology into an unexplained stall hundreds of virtual
+// milliseconds later. Unknown flows must throw at the mux instead.
+TEST(SharedLink, IngestThrowsOnUnregisteredFlow) {
+  SharedLink shared(ConstantTrace(10.0, 100), net::LinkConfig{});
+  net::Packet packet;
+  packet.flow_id = 0;  // nothing registered yet
+  packet.payload_bytes = 100;
+  EXPECT_THROW(shared.Ingest(packet, 0.0), std::out_of_range);
+
+  const auto channel = shared.Connect(net::ChannelConfig{});
+  EXPECT_EQ(channel->flow_id(), 0u);
+  EXPECT_NO_THROW(shared.Ingest(packet, 0.0));
+
+  packet.flow_id = 1;  // beyond the registered range
+  EXPECT_THROW(shared.Ingest(packet, 0.0), std::out_of_range);
+}
+
+TEST(SharedLink, RegisterRejectsDuplicateAndGappedFlowIds) {
+  SharedLink shared(ConstantTrace(10.0, 100), net::LinkConfig{});
+  const auto first = shared.Connect(net::ChannelConfig{});
+  ASSERT_EQ(shared.flow_count(), 1u);
+
+  net::VideoChannel other(shared.link_ptr(), net::ChannelConfig{}, 1);
+  EXPECT_THROW(shared.Register(0, &other), std::invalid_argument);  // taken
+  EXPECT_THROW(shared.Register(2, &other), std::invalid_argument);  // gap
+  EXPECT_THROW(shared.Register(1, nullptr), std::invalid_argument);
+  EXPECT_NO_THROW(shared.Register(1, &other));
+  EXPECT_EQ(shared.flow_count(), 2u);
+  EXPECT_EQ(first->flow_id(), 0u);
+}
+
+// N equal-demand flows on one bottleneck must each get close to 1/N of
+// the delivered bytes. Demand slightly exceeds capacity (paced,
+// interleaved sends), so the cutoff lands mid-backlog where unfair
+// serialization would show up; the per-flow counters added with explicit
+// registration make the shares observable.
+TEST(SharedLink, EqualDemandFlowsShareBottleneckFairly) {
+  constexpr int kFlows = 4;
+  constexpr int kRounds = 40;
+  constexpr std::size_t kFrameBytes = 1000;
+  net::LinkConfig link;
+  link.max_queue_delay_ms = 60000.0;  // no drop-tail: pure serialization
+  SharedLink shared(ConstantTrace(1.0, 600), link);  // 1 Mbps = 125 kB/s
+
+  std::vector<std::unique_ptr<net::VideoChannel>> channels;
+  for (int f = 0; f < kFlows; ++f) {
+    channels.push_back(shared.Connect(net::ChannelConfig{}));
+  }
+  const auto payload = std::make_shared<const std::vector<std::uint8_t>>(
+      kFrameBytes, std::uint8_t{0x5a});
+  for (int round = 0; round < kRounds; ++round) {
+    const double now = round * 25.0;  // 4 kB / 25 ms = 160 kB/s demand
+    for (int f = 0; f < kFlows; ++f) {
+      channels[static_cast<std::size_t>(f)]->SendFrame(
+          0, static_cast<std::uint32_t>(round), true, payload, now);
+    }
+    shared.PumpUpTo(now);
+  }
+  shared.PumpUpTo(kRounds * 25.0);
+
+  double total = 0.0;
+  for (int f = 0; f < kFlows; ++f) {
+    total += static_cast<double>(
+        shared.FlowDeliveredBytes(static_cast<std::uint32_t>(f)));
+  }
+  ASSERT_GT(total, 0.0);
+  const double fair = total / kFlows;
+  for (int f = 0; f < kFlows; ++f) {
+    const auto delivered = static_cast<double>(
+        shared.FlowDeliveredBytes(static_cast<std::uint32_t>(f)));
+    // Within 10% of the fair share: round-robin enqueue order bounds the
+    // skew to about one frame burst per flow at the cutoff.
+    EXPECT_NEAR(delivered, fair, 0.10 * fair) << "flow " << f;
+  }
+  EXPECT_THROW(shared.FlowDeliveredBytes(kFlows), std::out_of_range);
+}
+
 }  // namespace
 }  // namespace livo::runtime

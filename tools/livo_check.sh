@@ -3,13 +3,15 @@
 # passes:
 #
 #  1. TSan pass — builds test_util + test_obs + test_video_parallel +
-#     test_runtime (the event-loop scheduler, thread-pool codec interaction,
-#     and multi-session runs) with -Wall -Wextra -Werror and, when the
-#     toolchain supports it, ThreadSanitizer, then runs the combined binary.
-#  2. ASan+UBSan pass — builds the kernel-equivalence and codec suites
-#     (test_kernels + test_golden_bitstream + test_video +
-#     test_video_parallel) with AddressSanitizer + UndefinedBehaviorSanitizer
-#     so out-of-bounds SIMD loads and UB in the intrinsics code surface.
+#     test_runtime + test_conference (the event-loop scheduler, thread-pool
+#     codec interaction, multi-session runs, and the N-party SFU
+#     conference) with -Wall -Wextra -Werror and, when the toolchain
+#     supports it, ThreadSanitizer, then runs the combined binary.
+#  2. ASan+UBSan pass — builds the kernel-equivalence, codec, and
+#     conference suites (test_kernels + test_golden_bitstream + test_video
+#     + test_video_parallel + test_conference) with AddressSanitizer +
+#     UndefinedBehaviorSanitizer so out-of-bounds SIMD loads and UB in the
+#     intrinsics code surface.
 #
 # For the fast unsanitized subset of the same surface, use the ctest
 # label instead: ctest --test-dir build -L quick.
