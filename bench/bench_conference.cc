@@ -15,6 +15,7 @@
 // counts. Wall-clock fields of a cached point are replayed from the
 // cached run, so delete .bench_cache before timing-sensitive sweeps.
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -159,7 +160,7 @@ bool Deserialize(const std::string& text, SweepPoint& p) {
   return fields == 10;
 }
 
-SweepPoint RunPoint(int n, bool shared) {
+SweepPoint RunPoint(int n, bool shared, bool fresh) {
   std::vector<conference::ParticipantSpec> specs;
   specs.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) specs.push_back(SpecFor(i));
@@ -175,7 +176,7 @@ SweepPoint RunPoint(int n, bool shared) {
       std::filesystem::path(kCacheDir) /
       (std::string(kCacheVersion) + "_" +
        std::string(shared ? "shared" : "private") + "_" + cache_key + ".txt");
-  if (std::ifstream in(cache_path); in) {
+  if (std::ifstream in(cache_path); in && !fresh) {
     std::stringstream buffer;
     buffer << in.rdbuf();
     if (Deserialize(buffer.str(), point)) {
@@ -247,16 +248,39 @@ void PrintSweep(const std::string& title,
 
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_conference.json";
+  // --parties=<n> restricts the sweep to one N; --fresh bypasses (and
+  // rewrites) .bench_cache so the conference actually runs — required
+  // when the point is the run's side effects (LIVO_TRACE=1 telemetry)
+  // or wall-clock timing rather than the cached records.
+  std::vector<int> sweep = {2, 4, 8, 16};
+  bool fresh = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    const std::string prefix = "--conference_json=";
-    if (arg.rfind(prefix, 0) == 0) json_path = arg.substr(prefix.size());
+    const std::string json_prefix = "--conference_json=";
+    const std::string parties_prefix = "--parties=";
+    if (arg.rfind(json_prefix, 0) == 0) {
+      json_path = arg.substr(json_prefix.size());
+    } else if (arg.rfind(parties_prefix, 0) == 0) {
+      const int n = std::atoi(arg.c_str() + parties_prefix.size());
+      if (n < 2) {
+        std::fprintf(stderr, "--parties wants n >= 2, got %d\n", n);
+        return 2;
+      }
+      sweep = {n};
+    } else if (arg == "--fresh") {
+      fresh = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--parties=<n>] [--fresh] "
+                   "[--conference_json=<path>]\n",
+                   argv[0]);
+      return 2;
+    }
   }
 
-  const std::vector<int> kSweep = {2, 4, 8, 16};
   std::vector<SweepPoint> priv, shared;
-  for (int n : kSweep) priv.push_back(RunPoint(n, false));
-  for (int n : kSweep) shared.push_back(RunPoint(n, true));
+  for (int n : sweep) priv.push_back(RunPoint(n, false, fresh));
+  for (int n : sweep) shared.push_back(RunPoint(n, true, fresh));
 
   PrintSweep("N parties, private access links (SFU scaling)", priv);
   PrintSweep("N parties, shared uplink + downlink bottlenecks (contention)",

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <numeric>
+#include <string>
+
+#include "obs/metrics.h"
 
 namespace livo::conference {
 
@@ -74,6 +77,21 @@ void DownlinkAllocator::BeginInterval(int subscriber, double start_ms,
         std::min(sub.color_credit[i] + color_refill, cap_factor * color_refill);
     sub.depth_credit[i] =
         std::min(sub.depth_credit[i] + depth_refill, cap_factor * depth_refill);
+  }
+  if (obs::TimeSeriesEnabled()) {
+    // Cold path (one lookup per slot per allocation interval, ~10 Hz):
+    // per-slot share and post-refill token-bucket level.
+    obs::Registry& reg = obs::Registry::Get();
+    const std::string prefix =
+        "conference.sub" + std::to_string(subscriber) + ".slot";
+    for (int s = 0; s < slots_; ++s) {
+      const auto i = static_cast<std::size_t>(s);
+      const std::string slot_prefix = prefix + std::to_string(s);
+      reg.GetTimeSeries(slot_prefix + ".share")
+          .Sample(start_ms, sub.shares[i]);
+      reg.GetTimeSeries(slot_prefix + ".bucket_bytes")
+          .Sample(start_ms, sub.color_credit[i] + sub.depth_credit[i]);
+    }
   }
 }
 

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <bit>
 #include <cstdint>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "conference/telemetry.h"
 #include "obs/obs.h"
 #include "runtime/shared_link.h"
 #include "util/clock.h"
@@ -95,6 +97,12 @@ ConferenceResult RunConference(const std::vector<ParticipantSpec>& specs,
   obs::AutoInitFromEnv();
   const int n = static_cast<int>(specs.size());
 
+  // Run boundary: each conference gets a fresh ledger and fresh series
+  // rings, so the exported telemetry describes exactly one run.
+  obs::FrameLedger& ledger = obs::FrameLedger::Get();
+  if (ledger.enabled()) ledger.Reset();
+  if (obs::TimeSeriesEnabled()) obs::Registry::Get().ResetTimeSeries();
+
   runtime::EventLoop loop;
   ConferenceResult result;
   result.scheme = options.scheme_name;
@@ -110,13 +118,13 @@ ConferenceResult RunConference(const std::vector<ParticipantSpec>& specs,
   if (options.uplink_mode == LinkMode::kShared) {
     shared_uplink = std::make_unique<runtime::SharedLink>(
         options.shared_uplink_trace.Replayed(options.trace_time_accel, 0.0),
-        options.shared_uplink_config);
+        options.shared_uplink_config, "runtime.shared_uplink");
   }
   std::unique_ptr<runtime::SharedLink> shared_downlink;
   if (options.downlink_mode == LinkMode::kShared) {
     shared_downlink = std::make_unique<runtime::SharedLink>(
         options.shared_downlink_trace.Replayed(options.trace_time_accel, 0.0),
-        options.shared_downlink_config);
+        options.shared_downlink_config, "runtime.shared_downlink");
   }
 
   SfuActor sfu(loop, specs, options, horizon_ms);
@@ -127,9 +135,11 @@ ConferenceResult RunConference(const std::vector<ParticipantSpec>& specs,
   for (int i = 0; i < n; ++i) {
     const ParticipantSpec& spec = specs[static_cast<std::size_t>(i)];
 
+    const std::string obs_prefix = "participant" + std::to_string(i);
     std::unique_ptr<net::VideoChannel> uplink;
     if (shared_uplink) {
       net::ChannelConfig cfg = options.uplink_channel;
+      cfg.obs_label = obs_prefix + ".uplink";
       cfg.link.bandwidth_scale =
           options.shared_uplink_config.bandwidth_scale;
       cfg.gcc.initial_bps = options.shared_uplink_trace.MeanMbps() *
@@ -138,6 +148,7 @@ ConferenceResult RunConference(const std::vector<ParticipantSpec>& specs,
       uplink = shared_uplink->Connect(cfg);
     } else {
       net::ChannelConfig cfg = options.uplink_channel;
+      cfg.obs_label = obs_prefix + ".uplink";
       cfg.link.bandwidth_scale = options.bandwidth_scale;
       cfg.gcc.initial_bps =
           spec.uplink_trace.MeanMbps() * options.bandwidth_scale * 1e6 * 0.8;
@@ -150,6 +161,7 @@ ConferenceResult RunConference(const std::vector<ParticipantSpec>& specs,
     std::unique_ptr<net::VideoChannel> downlink;
     if (shared_downlink) {
       net::ChannelConfig cfg = options.downlink_channel;
+      cfg.obs_label = obs_prefix + ".downlink";
       cfg.link.bandwidth_scale =
           options.shared_downlink_config.bandwidth_scale;
       cfg.gcc.initial_bps = options.shared_downlink_trace.MeanMbps() *
@@ -158,6 +170,7 @@ ConferenceResult RunConference(const std::vector<ParticipantSpec>& specs,
       downlink = shared_downlink->Connect(cfg);
     } else {
       net::ChannelConfig cfg = options.downlink_channel;
+      cfg.obs_label = obs_prefix + ".downlink";
       cfg.link.bandwidth_scale = options.bandwidth_scale;
       cfg.gcc.initial_bps =
           spec.downlink_trace.MeanMbps() * options.bandwidth_scale * 1e6 *
@@ -182,6 +195,8 @@ ConferenceResult RunConference(const std::vector<ParticipantSpec>& specs,
   loop.Run();
   result.wall_ms = wall.ElapsedMs();
 
+  if (ledger.enabled()) ledger.FinalizeRun(loop.NowMs());
+
   result.participants.reserve(participants.size());
   for (auto& p : participants) result.participants.push_back(p->TakeResult());
   result.audits = sfu.TakeAudits(loop.NowMs());
@@ -198,6 +213,29 @@ ConferenceResult RunConference(const std::vector<ParticipantSpec>& specs,
                  << " keywait drops), " << result.events_dispatched
                  << " events over " << result.virtual_ms << " virtual ms in "
                  << result.wall_ms << " wall ms";
+
+  // Trace export, plus the single-file telemetry JSONL livo_report ingests
+  // (run summary + per-stream records + audits + ledger hops + series).
+  const auto artifacts = obs::DumpSessionArtifacts(
+      "conference_" + result.scheme + "_" + std::to_string(n) + "p");
+  if (artifacts && ledger.enabled()) {
+    const std::string& trace_path = artifacts->trace_path;
+    const std::string suffix = ".trace.json";
+    const std::string stem =
+        trace_path.size() > suffix.size() &&
+                trace_path.compare(trace_path.size() - suffix.size(),
+                                   suffix.size(), suffix) == 0
+            ? trace_path.substr(0, trace_path.size() - suffix.size())
+            : trace_path;
+    const std::string telemetry_path = stem + ".telemetry.jsonl";
+    std::ofstream out(telemetry_path);
+    if (out) {
+      WriteConferenceTelemetry(out, result, options.allocation_interval_ms);
+      LIVO_LOG(Info) << "conference telemetry -> " << telemetry_path;
+    } else {
+      LIVO_LOG(Error) << "cannot write telemetry file " << telemetry_path;
+    }
+  }
   return result;
 }
 

@@ -29,6 +29,8 @@ ParticipantActor::ParticipantActor(runtime::EventLoop& loop, int index,
   // into the SFU. (Union-frustum culling is a ROADMAP open item.)
   if (specs.size() > 2) spec_.config.enable_culling = false;
 
+  // Per-participant instrument prefix (spec_ is this actor's own copy).
+  spec_.config.obs_label = "participant" + std::to_string(index_) + ".sender";
   sender_ = std::make_unique<core::LiVoSender>(spec_.config,
                                                spec_.sequence->rig);
   frames_ = static_cast<int>(spec_.sequence->frames.size());
@@ -55,6 +57,7 @@ ParticipantActor::ParticipantActor(runtime::EventLoop& loop, int index,
     const double remote_interval = 1000.0 / remote.config.fps;
     stream.frames.assign(static_cast<std::size_t>(remote_frames),
                          StreamFrameRecord{});
+    delivered_.emplace_back(static_cast<std::size_t>(remote_frames), false);
     for (int f = 0; f < remote_frames; ++f) {
       stream.frames[static_cast<std::size_t>(f)].frame_index =
           static_cast<std::uint32_t>(f);
@@ -115,16 +118,25 @@ void ParticipantActor::OnWake(double now_ms) {
   for (long t = 0; t < elapsed_ticks; ++t) sender_->ObserveRtt(rtt_ms);
 
   bool sent_any = false;
+  obs::FrameLedger& ledger = obs::FrameLedger::Get();
+  const bool ledger_on = ledger.enabled();
   while (next_capture_ < frames_ &&
          next_capture_ * interval_ms_ + options_.sender_pipeline_delay_ms <=
              now_ms) {
     const int f = next_capture_++;
+    if (ledger_on) {
+      ledger.Record(index_, f, -1, obs::LedgerHop::kCaptured, now_ms);
+    }
     // Same sender-side congestion valve as SessionActor, against the
     // uplink's queue: encoding into an already-backlogged access link
     // only deepens the standing queue the SFU is waiting behind.
     if (uplink_->link().CurrentQueueDelayMs(now_ms) >
         options_.uplink_channel.jitter_buffer_ms) {
       ++result_.congestion_skips;
+      if (ledger_on) {
+        ledger.Record(index_, f, -1, obs::LedgerHop::kSkippedCongestion,
+                      now_ms);
+      }
       obs::TraceInstant("conference.congestion_skip");
       continue;
     }
@@ -145,6 +157,11 @@ void ParticipantActor::OnWake(double now_ms) {
       uplink_->SendFrame(core::kDepthStream, static_cast<std::uint32_t>(f),
                          out.depth_keyframe, out.depth_frame, now_ms);
     }
+    if (ledger_on) {
+      ledger.Record(index_, f, -1, obs::LedgerHop::kEncoded, now_ms,
+                    out.color_frame->size() + out.depth_frame->size(),
+                    out.color_keyframe && out.depth_keyframe);
+    }
     sent_stats_[static_cast<std::size_t>(f)] = out.stats;
     sent_[static_cast<std::size_t>(f)] = true;
     ++result_.frames_sent;
@@ -164,6 +181,8 @@ void ParticipantActor::OnDownlinkFrames(std::vector<net::ReceivedFrame> frames,
                                         double now_ms) {
   const geom::Pose live_pose = sim::SampleTrace(spec_.user_trace, now_ms);
   const geom::Frustum live_frustum(live_pose, spec_.config.predictor.viewer);
+  obs::FrameLedger& ledger = obs::FrameLedger::Get();
+  const bool ledger_on = ledger.enabled();
   // Regroup the slot-addressed downlink streams into per-remote batches
   // with canonical stream ids for the per-remote receiver.
   for (std::size_t slot = 0; slot < receivers_.size(); ++slot) {
@@ -173,6 +192,14 @@ void ParticipantActor::OnDownlinkFrames(std::vector<net::ReceivedFrame> frames,
       net::ReceivedFrame remapped = frame;
       remapped.stream_id =
           frame.stream_id % 2 == 0 ? core::kColorStream : core::kDepthStream;
+      if (ledger_on && frame.frame_index < delivered_[slot].size() &&
+          !delivered_[slot][frame.frame_index]) {
+        delivered_[slot][frame.frame_index] = true;
+        ledger.Record(OriginOfSlot(static_cast<int>(slot)),
+                      static_cast<std::int32_t>(frame.frame_index), index_,
+                      obs::LedgerHop::kDelivered, now_ms,
+                      frame.data ? frame.data->size() : 0, frame.keyframe);
+      }
       batch.push_back(std::move(remapped));
     }
     if (batch.empty()) continue;
@@ -188,6 +215,12 @@ void ParticipantActor::OnDownlinkFrames(std::vector<net::ReceivedFrame> frames,
       // costs vary run to run and would break bitwise reproducibility.
       rec.latency_ms = rf.render_time_ms - rec.capture_time_ms;
       ++stream.pairs_rendered;
+      if (ledger_on) {
+        ledger.Record(OriginOfSlot(static_cast<int>(slot)),
+                      static_cast<std::int32_t>(rf.frame_index), index_,
+                      obs::LedgerHop::kDisplayed, rf.render_time_ms,
+                      rec.bytes);
+      }
     }
   }
 }

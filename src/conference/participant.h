@@ -135,6 +135,9 @@ class ParticipantActor {
   ParticipantResult result_;
   std::vector<core::SenderFrameStats> sent_stats_;
   std::vector<bool> sent_;
+  // Ledger-only bookkeeping (first downlink half per slot/frame); never
+  // folded into Fingerprint() so the determinism contract is untouched.
+  std::vector<std::vector<bool>> delivered_;
 
   int frames_ = 0;
   double interval_ms_ = 0.0;

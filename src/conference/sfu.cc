@@ -177,6 +177,7 @@ void SfuActor::RunAllocations(double now_ms) {
 void SfuActor::OnUplinkFrames(int origin,
                               const std::vector<net::ReceivedFrame>& frames,
                               double now_ms) {
+  obs::FrameLedger& ledger = obs::FrameLedger::Get();
   auto& pending = pending_[static_cast<std::size_t>(origin)];
   for (const net::ReceivedFrame& frame : frames) {
     ++stats_.frames_in;
@@ -193,12 +194,22 @@ void SfuActor::OnUplinkFrames(int origin,
     ++stats_.pairs_completed;
     const PendingPair complete = std::move(pair);
     pending.erase(frame.frame_index);
+    if (ledger.enabled()) {
+      ledger.Record(origin, static_cast<std::int32_t>(frame.frame_index), -1,
+                    obs::LedgerHop::kPairComplete, now_ms,
+                    complete.color->size() + complete.depth->size(),
+                    complete.color_keyframe && complete.depth_keyframe);
+    }
     // Halves older than the pair we are about to forward will never
     // complete usefully (their counterpart died on the uplink and the
     // receiver-side pair lag would skip them anyway): evict.
     for (auto it = pending.begin();
          it != pending.end() && it->first < frame.frame_index;) {
       ++stats_.pairs_evicted_incomplete;
+      if (ledger.enabled()) {
+        ledger.Record(origin, static_cast<std::int32_t>(it->first), -1,
+                      obs::LedgerHop::kEvicted, now_ms);
+      }
       it = pending.erase(it);
     }
     forward_high_[static_cast<std::size_t>(origin)] =
@@ -213,6 +224,10 @@ void SfuActor::ForwardPair(int origin, std::uint32_t frame_index,
   const bool key_pair = pair.color_keyframe && pair.depth_keyframe;
   const std::size_t color_bytes = pair.color->size();
   const std::size_t depth_bytes = pair.depth->size();
+  obs::FrameLedger& ledger = obs::FrameLedger::Get();
+  const bool ledger_on = ledger.enabled();
+  const auto frame = static_cast<std::int32_t>(frame_index);
+  const std::uint64_t pair_bytes = color_bytes + depth_bytes;
 
   // The origin's encode-probe RMSEs travel with the pair (metadata): feed
   // them to every subscriber's line-search controller for this origin.
@@ -234,6 +249,10 @@ void SfuActor::ForwardPair(int origin, std::uint32_t frame_index,
         options_.downlink_channel.jitter_buffer_ms) {
       ++stats_.pairs_dropped_congestion;
       Metrics().dropped_congestion.Add();
+      if (ledger_on) {
+        ledger.Record(origin, frame, s, obs::LedgerHop::kDroppedCongestion,
+                      now_ms, pair_bytes, key_pair);
+      }
       *awaiting = true;
       RequestOriginKeyframe(origin, now_ms);
       continue;
@@ -242,6 +261,10 @@ void SfuActor::ForwardPair(int origin, std::uint32_t frame_index,
     if (*awaiting && !key_pair) {
       ++stats_.pairs_dropped_awaiting_key;
       Metrics().dropped_awaiting_key.Add();
+      if (ledger_on) {
+        ledger.Record(origin, frame, s, obs::LedgerHop::kDroppedAwaitingKey,
+                      now_ms, pair_bytes, key_pair);
+      }
       RequestOriginKeyframe(origin, now_ms);
       continue;
     }
@@ -250,6 +273,10 @@ void SfuActor::ForwardPair(int origin, std::uint32_t frame_index,
                                    depth_bytes)) {
       ++stats_.pairs_dropped_budget;
       Metrics().dropped_budget.Add();
+      if (ledger_on) {
+        ledger.Record(origin, frame, s, obs::LedgerHop::kDroppedBudget,
+                      now_ms, pair_bytes, key_pair);
+      }
       *awaiting = true;
       RequestOriginKeyframe(origin, now_ms);
       continue;
@@ -262,6 +289,10 @@ void SfuActor::ForwardPair(int origin, std::uint32_t frame_index,
                               pair.depth_keyframe, pair.depth, now_ms);
     if (key_pair) *awaiting = false;
     ++stats_.pairs_forwarded;
+    if (ledger_on) {
+      ledger.Record(origin, frame, s, obs::LedgerHop::kForwarded, now_ms,
+                    pair_bytes, key_pair);
+    }
     Metrics().pairs_forwarded.Add();
     Metrics().forward_bytes.Observe(
         static_cast<double>(color_bytes + depth_bytes));

@@ -1,0 +1,97 @@
+#include "conference/telemetry.h"
+
+#include <cmath>
+
+#include "obs/ledger.h"
+#include "obs/metrics.h"
+
+namespace livo::conference {
+namespace {
+
+double Safe(double x) { return std::isfinite(x) ? x : 0.0; }
+
+void Escape(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+}  // namespace
+
+void WriteConferenceTelemetry(std::ostream& os, const ConferenceResult& result,
+                              double interval_ms) {
+  const auto flags = os.flags();
+  const auto precision = os.precision(12);
+
+  os << "{\"type\":\"run\",\"scheme\":\"";
+  Escape(os, result.scheme);
+  os << "\",\"parties\":" << result.participants.size()
+     << ",\"virtual_ms\":" << Safe(result.virtual_ms)
+     << ",\"duration_ms\":" << Safe(result.duration_ms)
+     << ",\"interval_ms\":" << Safe(interval_ms)
+     << ",\"events_dispatched\":" << result.events_dispatched
+     << ",\"frames_in\":" << result.sfu.frames_in
+     << ",\"pairs_completed\":" << result.sfu.pairs_completed
+     << ",\"pairs_forwarded\":" << result.sfu.pairs_forwarded
+     << ",\"pairs_dropped_budget\":" << result.sfu.pairs_dropped_budget
+     << ",\"pairs_dropped_congestion\":"
+     << result.sfu.pairs_dropped_congestion
+     << ",\"pairs_dropped_awaiting_key\":"
+     << result.sfu.pairs_dropped_awaiting_key
+     << ",\"pairs_evicted_incomplete\":"
+     << result.sfu.pairs_evicted_incomplete
+     << ",\"keyframe_relays\":" << result.sfu.keyframe_relays << "}\n";
+
+  for (const ParticipantResult& p : result.participants) {
+    for (const RemoteStreamResult& stream : p.streams) {
+      os << "{\"type\":\"stream\",\"subscriber\":" << p.index
+         << ",\"origin\":" << stream.origin
+         << ",\"expected\":" << stream.frames.size()
+         << ",\"forwarded\":" << stream.pairs_forwarded
+         << ",\"rendered\":" << stream.pairs_rendered
+         << ",\"fps\":" << Safe(stream.fps)
+         << ",\"stall_rate\":" << Safe(stream.stall_rate)
+         << ",\"mean_latency_ms\":" << Safe(stream.mean_latency_ms) << "}\n";
+    }
+  }
+
+  for (const AllocationAuditRow& row : result.audits) {
+    os << "{\"type\":\"audit\",\"subscriber\":" << row.subscriber
+       << ",\"start_ms\":" << Safe(row.start_ms)
+       << ",\"budget_bytes\":" << Safe(row.budget_bytes)
+       << ",\"credit_bytes\":" << Safe(row.credit_bytes)
+       << ",\"forwarded_bytes\":" << Safe(row.forwarded_bytes)
+       << ",\"shares\":[";
+    bool first = true;
+    for (double share : row.shares) {
+      if (!first) os << ",";
+      first = false;
+      os << Safe(share);
+    }
+    os << "]}\n";
+  }
+
+  obs::FrameLedger::Get().WriteJsonl(os);
+
+  const obs::MetricsSnapshot snap = obs::Registry::Get().Snapshot();
+  for (const obs::TimeSeriesSnapshot& ts : snap.timeseries) {
+    if (ts.points.empty()) continue;
+    os << "{\"type\":\"timeseries\",\"name\":\"";
+    Escape(os, ts.name);
+    os << "\",\"grid_ms\":" << Safe(ts.grid_ms)
+       << ",\"evicted\":" << ts.evicted << ",\"points\":[";
+    bool first = true;
+    for (const obs::TimeSeriesPoint& p : ts.points) {
+      if (!first) os << ",";
+      first = false;
+      os << "[" << Safe(p.t_ms) << "," << Safe(p.value) << "]";
+    }
+    os << "]}\n";
+  }
+
+  os.precision(precision);
+  os.flags(flags);
+}
+
+}  // namespace livo::conference

@@ -134,6 +134,17 @@ SenderOutput LiVoSender::ProcessFrame(std::vector<image::RgbdFrame> views,
   const double split = splitter_.split();
   out.stats.split = split;
   metrics.split.Set(split);
+  if (obs::TimeSeriesEnabled()) {
+    // Inside an EventLoop run the loop publishes virtual time; standalone
+    // (tick-driven) runs fall back to the frame's nominal capture time.
+    const double vt = obs::HasVirtualNow()
+                          ? obs::VirtualNowMs()
+                          : frame_index * 1000.0 / config_.fps;
+    obs::Registry& reg = obs::Registry::Get();
+    reg.GetTimeSeries(config_.obs_label + ".split").Sample(vt, split);
+    reg.GetTimeSeries(config_.obs_label + ".target_bps")
+        .Sample(vt, target_bps);
+  }
   const double frame_budget_bytes = target_bps / 8.0 / config_.fps;
 
   video::EncodeResult color_result, depth_result;

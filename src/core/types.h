@@ -34,6 +34,11 @@ struct LiVoConfig {
   // value; tests sweep it to assert exactly that.
   int codec_threads = 0;
 
+  // Prefix for this sender's time-series instruments (`<label>.split`,
+  // `<label>.target_bps`). Pure observability: excluded from cache keys
+  // and fingerprints, never changes encoded bytes.
+  std::string obs_label = "sender";
+
   // Ablation switches (baselines of §4):
   bool enable_culling = true;        // off = LiVo-NoCull
   bool enable_adaptation = true;     // off = LiVo-NoAdapt (fixed QP)

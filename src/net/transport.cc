@@ -38,18 +38,28 @@ double StrictlyAfter(double t) {
   return std::nextafter(t, std::numeric_limits<double>::infinity());
 }
 
+obs::TimeSeries* LabeledSeries(const std::string& label, const char* suffix) {
+  if (label.empty()) return nullptr;
+  return &obs::Registry::Get().GetTimeSeries(label + suffix);
+}
+
 }  // namespace
 
 VideoChannel::VideoChannel(sim::BandwidthTrace trace,
                            const ChannelConfig& config)
     : config_(config),
       link_(std::make_shared<LinkEmulator>(std::move(trace), config.link)),
+      queue_delay_series_(LabeledSeries(config.obs_label, ".queue_delay_ms")),
+      delivered_series_(LabeledSeries(config.obs_label, ".delivered_bytes")),
       estimator_(config.gcc) {}
 
 VideoChannel::VideoChannel(std::shared_ptr<LinkEmulator> link,
                            const ChannelConfig& config, std::uint32_t flow_id)
     : config_(config), link_(std::move(link)), owns_link_(false),
-      flow_id_(flow_id), estimator_(config.gcc) {}
+      flow_id_(flow_id),
+      queue_delay_series_(LabeledSeries(config.obs_label, ".queue_delay_ms")),
+      delivered_series_(LabeledSeries(config.obs_label, ".delivered_bytes")),
+      estimator_(config.gcc) {}
 
 void VideoChannel::SendFrame(
     std::uint32_t stream_id, std::uint32_t frame_index, bool keyframe,
@@ -163,6 +173,11 @@ void VideoChannel::Step(double now_ms) {
     for (const Packet& p : link_->Poll(now_ms)) {
       Ingest(p, now_ms);
     }
+  }
+  if (queue_delay_series_ != nullptr && obs::TimeSeriesEnabled()) {
+    queue_delay_series_->Sample(now_ms, link_->CurrentQueueDelayMs(now_ms));
+    delivered_series_->Sample(now_ms,
+                              static_cast<double>(stats_.bytes_delivered));
   }
   ProcessTimers(now_ms);
   if (frame_sink_) {
@@ -299,6 +314,7 @@ std::vector<ReceivedFrame> VideoChannel::PopReady(double now_ms) {
       last_released_[it->stream_id] =
           std::max(last_released_[it->stream_id], it->frame_index);
       ++stats_.frames_delivered;
+      stats_.bytes_delivered += it->data ? it->data->size() : 0;
       Metrics().frames_delivered.Add();
       Metrics().frame_transit_ms.Observe(now_ms - it->send_time_ms);
       out.push_back(*it);

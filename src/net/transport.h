@@ -22,12 +22,17 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "net/gcc.h"
 #include "net/link.h"
 #include "net/packet.h"
 #include "util/clock.h"
+
+namespace livo::obs {
+class TimeSeries;
+}  // namespace livo::obs
 
 namespace livo::net {
 
@@ -53,6 +58,10 @@ struct ChannelConfig {
   // shared_ptr travels end-to-end and reassembly copies nothing. The
   // `transport.bytes_copied` counter quantifies the difference.
   bool copy_payloads = false;
+  // When non-empty, the channel samples `<obs_label>.queue_delay_ms` and
+  // `<obs_label>.delivered_bytes` time series on every Step. Excluded from
+  // cache keys: pure observability, no behavioral effect.
+  std::string obs_label;
 };
 
 struct ChannelStats {
@@ -62,6 +71,7 @@ struct ChannelStats {
   std::size_t packets_retransmitted = 0;
   std::size_t keyframe_requests = 0;
   std::size_t bytes_sent = 0;
+  std::size_t bytes_delivered = 0;  // payload bytes released to the app
   std::size_t bytes_copied = 0;  // payload bytes memcpy'd during reassembly
 };
 
@@ -162,6 +172,9 @@ class VideoChannel {
   std::shared_ptr<LinkEmulator> link_;
   bool owns_link_ = true;  // false => a SharedLink polls and routes for us
   std::uint32_t flow_id_ = 0;
+  // Registry-owned; null when config_.obs_label is empty.
+  obs::TimeSeries* queue_delay_series_ = nullptr;
+  obs::TimeSeries* delivered_series_ = nullptr;
   FrameSink frame_sink_;
   GccEstimator estimator_;
   util::Ewma rtt_ms_{0.2};

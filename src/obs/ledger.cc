@@ -1,0 +1,141 @@
+#include "obs/ledger.h"
+
+#include <map>
+#include <utility>
+
+namespace livo::obs {
+
+const char* LedgerHopName(LedgerHop hop) {
+  switch (hop) {
+    case LedgerHop::kCaptured: return "captured";
+    case LedgerHop::kSkippedCongestion: return "skipped_congestion";
+    case LedgerHop::kEncoded: return "encoded";
+    case LedgerHop::kPairComplete: return "pair_complete";
+    case LedgerHop::kEvicted: return "evicted";
+    case LedgerHop::kLostUplink: return "lost_uplink";
+    case LedgerHop::kForwarded: return "forwarded";
+    case LedgerHop::kDroppedCongestion: return "dropped_congestion";
+    case LedgerHop::kDroppedAwaitingKey: return "dropped_awaiting_key";
+    case LedgerHop::kDroppedBudget: return "dropped_budget";
+    case LedgerHop::kDelivered: return "delivered";
+    case LedgerHop::kDisplayed: return "displayed";
+    case LedgerHop::kStalled: return "stalled";
+  }
+  return "?";
+}
+
+FrameLedger& FrameLedger::Get() {
+  static FrameLedger* instance = new FrameLedger();  // leaked: outlives users
+  return *instance;
+}
+
+void FrameLedger::Record(const LedgerEvent& event) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= kMaxEvents) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(event);
+}
+
+void FrameLedger::Record(std::int32_t origin, std::int32_t frame,
+                         std::int32_t subscriber, LedgerHop hop, double t_ms,
+                         std::uint64_t bytes, bool keyframe) {
+  LedgerEvent event;
+  event.origin = origin;
+  event.frame = frame;
+  event.subscriber = subscriber;
+  event.hop = hop;
+  event.t_ms = t_ms;
+  event.bytes = bytes;
+  event.keyframe = keyframe;
+  Record(event);
+}
+
+void FrameLedger::FinalizeRun(double end_ms) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  using PairKey = std::pair<std::int32_t, std::int32_t>;
+  using SubKey = std::pair<PairKey, std::int32_t>;
+  // Ordered keys keep the synthetic closers deterministic across runs.
+  std::map<PairKey, bool> encoded;    // value: reached SFU terminal state
+  std::map<SubKey, int> forwarded;    // 0 open, 1 reached a display verdict
+  for (const LedgerEvent& e : events_) {
+    const PairKey pair{e.origin, e.frame};
+    switch (e.hop) {
+      case LedgerHop::kEncoded:
+        encoded.emplace(pair, false);
+        break;
+      case LedgerHop::kPairComplete:
+      case LedgerHop::kEvicted:
+      case LedgerHop::kLostUplink:
+        encoded[pair] = true;
+        break;
+      case LedgerHop::kForwarded:
+        forwarded.emplace(SubKey{pair, e.subscriber}, 0);
+        break;
+      case LedgerHop::kDisplayed:
+      case LedgerHop::kStalled:
+        forwarded[SubKey{pair, e.subscriber}] = 1;
+        break;
+      default:
+        break;
+    }
+  }
+  for (const auto& [pair, closed] : encoded) {
+    if (closed) continue;
+    if (events_.size() >= kMaxEvents) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    LedgerEvent e;
+    e.origin = pair.first;
+    e.frame = pair.second;
+    e.hop = LedgerHop::kLostUplink;
+    e.t_ms = end_ms;
+    events_.push_back(e);
+  }
+  for (const auto& [key, closed] : forwarded) {
+    if (closed != 0) continue;
+    if (events_.size() >= kMaxEvents) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    LedgerEvent e;
+    e.origin = key.first.first;
+    e.frame = key.first.second;
+    e.subscriber = key.second;
+    e.hop = LedgerHop::kStalled;
+    e.t_ms = end_ms;
+    events_.push_back(e);
+  }
+}
+
+std::vector<LedgerEvent> FrameLedger::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void FrameLedger::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+void FrameLedger::WriteJsonl(std::ostream& os) const {
+  const std::vector<LedgerEvent> events = Snapshot();
+  const auto flags = os.flags();
+  const auto precision = os.precision(12);
+  for (const LedgerEvent& e : events) {
+    os << "{\"type\":\"hop\",\"origin\":" << e.origin
+       << ",\"frame\":" << e.frame << ",\"subscriber\":" << e.subscriber
+       << ",\"hop\":\"" << LedgerHopName(e.hop) << "\",\"t_ms\":" << e.t_ms
+       << ",\"bytes\":" << e.bytes
+       << ",\"keyframe\":" << (e.keyframe ? "true" : "false") << "}\n";
+  }
+  os.precision(precision);
+  os.flags(flags);
+}
+
+}  // namespace livo::obs

@@ -1,0 +1,103 @@
+// Frame-lifecycle flight recorder (livo::obs).
+//
+// Every captured frame-pair gets a stable identity — (origin participant,
+// frame index) — at capture time, and each lifecycle hop is recorded with
+// its virtual timestamp:
+//
+//   captured → encoded (bytes, key/P)
+//            → per-subscriber SFU gate verdict: forwarded, or dropped with
+//              the reason (congestion / awaiting-key / budget)
+//            → delivered → displayed-or-stalled
+//
+// FinalizeRun() closes every open pair so a well-formed ledger has a
+// terminal state for 100% of captured pairs: pairs that never left the
+// sender become skipped_congestion, encoded pairs that never re-assembled
+// at the SFU become lost_uplink, forwarded pairs that never rendered
+// become stalled.
+//
+// Recording is off by default; when disabled, Record() is a single relaxed
+// atomic load. Memory is bounded at kMaxEvents (~40 MiB worst case);
+// events past the cap are counted and dropped.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+namespace livo::obs {
+
+enum class LedgerHop : std::uint8_t {
+  kCaptured = 0,           // sender grabbed the frame from its sequence
+  kSkippedCongestion = 1,  // sender skipped capture under uplink pressure
+  kEncoded = 2,            // sender produced the color+depth pair
+  kPairComplete = 3,       // both halves re-assembled at the SFU
+  kEvicted = 4,            // older incomplete half evicted at the SFU
+  kLostUplink = 5,         // encoded but never completed at the SFU
+  kForwarded = 6,          // per-subscriber: passed all three gates
+  kDroppedCongestion = 7,  // per-subscriber: downlink queue over budget
+  kDroppedAwaitingKey = 8, // per-subscriber: P-frame while awaiting a key
+  kDroppedBudget = 9,      // per-subscriber: allocator refused the bytes
+  kDelivered = 10,         // per-subscriber: first half arrived downlink
+  kDisplayed = 11,         // per-subscriber: pair rendered on time
+  kStalled = 12,           // per-subscriber: forwarded but never rendered
+};
+
+// Stable JSONL name ("captured", "dropped_budget", ...).
+const char* LedgerHopName(LedgerHop hop);
+
+struct LedgerEvent {
+  std::int32_t origin = 0;       // capturing participant
+  std::int32_t frame = 0;        // frame index at the origin
+  std::int32_t subscriber = -1;  // -1 for origin-scoped hops
+  LedgerHop hop = LedgerHop::kCaptured;
+  double t_ms = 0.0;             // virtual time of the hop
+  std::uint64_t bytes = 0;       // color+depth payload where meaningful
+  bool keyframe = false;
+};
+
+class FrameLedger {
+ public:
+  // Process-wide recorder, mirroring Registry::Get().
+  static FrameLedger& Get();
+
+  // ~40 B/event * 1M events ≈ 40 MiB; a 16-party 30 s run needs ~300k.
+  static constexpr std::size_t kMaxEvents = std::size_t{1} << 20;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  void Record(const LedgerEvent& event);
+  void Record(std::int32_t origin, std::int32_t frame,
+              std::int32_t subscriber, LedgerHop hop, double t_ms,
+              std::uint64_t bytes = 0, bool keyframe = false);
+
+  // Appends the synthetic closing hops (lost_uplink, stalled) at `end_ms`
+  // so every captured pair reaches a terminal state. Idempotent per run.
+  void FinalizeRun(double end_ms);
+
+  std::vector<LedgerEvent> Snapshot() const;
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  void Reset();
+
+  // One JSON object per event:
+  //   {"type":"hop","origin":0,"frame":3,"subscriber":2,
+  //    "hop":"forwarded","t_ms":125.0,"bytes":1234,"keyframe":false}
+  void WriteJsonl(std::ostream& os) const;
+
+ private:
+  FrameLedger() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> dropped_{0};
+  mutable std::mutex mu_;
+  std::vector<LedgerEvent> events_;
+};
+
+}  // namespace livo::obs

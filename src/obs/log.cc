@@ -7,6 +7,8 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "obs/trace.h"
+
 namespace livo::obs {
 namespace {
 
@@ -75,6 +77,14 @@ void SetLogSink(LogSink sink) {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
+  // Inside a virtual-time run (an EventLoop is publishing its clock) the
+  // record leads with virtual ms; the wall clock stays as a secondary
+  // field. Outside such runs the format is unchanged.
+  if (HasVirtualNow()) {
+    const auto vt = VirtualNowMs();
+    const auto wall_ms = TraceNowUs() / 1000.0;
+    stream_ << "vt=" << vt << "ms wall=" << wall_ms << "ms ";
+  }
   // Basename only: full build paths add noise without aiding navigation.
   const char* base = file;
   for (const char* p = file; *p != '\0'; ++p) {

@@ -128,6 +128,14 @@ std::uint64_t MetricsSnapshot::CounterValue(const std::string& name) const {
   return 0;
 }
 
+const TimeSeriesSnapshot* MetricsSnapshot::FindTimeSeries(
+    const std::string& name) const {
+  for (const auto& ts : timeseries) {
+    if (ts.name == name) return &ts;
+  }
+  return nullptr;
+}
+
 Registry& Registry::Get() {
   static Registry* instance = new Registry();  // leaked: outlives all users
   return *instance;
@@ -154,6 +162,13 @@ Histogram& Registry::GetHistogram(const std::string& name) {
   return *slot;
 }
 
+TimeSeries& Registry::GetTimeSeries(const std::string& name, double grid_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = timeseries_[name];
+  if (!slot) slot = std::make_unique<TimeSeries>(grid_ms);
+  return *slot;
+}
+
 MetricsSnapshot Registry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snap;
@@ -170,7 +185,26 @@ MetricsSnapshot Registry::Snapshot() const {
     hs.p50 = h->ApproxPercentile(50.0);
     hs.p90 = h->ApproxPercentile(90.0);
     hs.p99 = h->ApproxPercentile(99.0);
+    for (int i = 0; i < Histogram::kBucketCount; ++i) {
+      const std::uint64_t in_bucket = h->BucketCount(i);
+      if (in_bucket == 0) continue;
+      HistogramBucket b;
+      b.lo = Histogram::BucketLowerBound(i);
+      b.hi = i + 1 < Histogram::kBucketCount
+                 ? Histogram::BucketLowerBound(i + 1)
+                 : hs.stats.max();
+      b.count = in_bucket;
+      hs.buckets.push_back(b);
+    }
     snap.histograms.push_back(std::move(hs));
+  }
+  for (const auto& [name, ts] : timeseries_) {
+    TimeSeriesSnapshot tss;
+    tss.name = name;
+    tss.grid_ms = ts->grid_ms();
+    tss.evicted = ts->evicted();
+    tss.points = ts->Points();
+    snap.timeseries.push_back(std::move(tss));
   }
   return snap;
 }
@@ -180,6 +214,12 @@ void Registry::ResetAll() {
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();
+  for (auto& [name, ts] : timeseries_) ts->Reset();
+}
+
+void Registry::ResetTimeSeries() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, ts] : timeseries_) ts->Reset();
 }
 
 void Registry::WriteJsonl(std::ostream& os) const {
@@ -205,7 +245,28 @@ void Registry::WriteJsonl(std::ostream& os) const {
        << ",\"min\":" << JsonSafe(h.stats.min())
        << ",\"max\":" << JsonSafe(h.stats.max())
        << ",\"p50\":" << JsonSafe(h.p50) << ",\"p90\":" << JsonSafe(h.p90)
-       << ",\"p99\":" << JsonSafe(h.p99) << "}\n";
+       << ",\"p99\":" << JsonSafe(h.p99) << ",\"buckets\":[";
+    bool first = true;
+    for (const HistogramBucket& b : h.buckets) {
+      if (!first) os << ",";
+      first = false;
+      os << "[" << JsonSafe(b.lo) << "," << JsonSafe(b.hi) << "," << b.count
+         << "]";
+    }
+    os << "]}\n";
+  }
+  for (const auto& ts : snap.timeseries) {
+    os << "{\"type\":\"timeseries\",\"name\":\"";
+    JsonEscape(os, ts.name);
+    os << "\",\"grid_ms\":" << JsonSafe(ts.grid_ms)
+       << ",\"evicted\":" << ts.evicted << ",\"points\":[";
+    bool first = true;
+    for (const TimeSeriesPoint& p : ts.points) {
+      if (!first) os << ",";
+      first = false;
+      os << "[" << JsonSafe(p.t_ms) << "," << JsonSafe(p.value) << "]";
+    }
+    os << "]}\n";
   }
   os.precision(precision);
   os.flags(flags);

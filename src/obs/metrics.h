@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/timeseries.h"
 #include "util/stats.h"
 
 namespace livo::obs {
@@ -101,22 +102,38 @@ class Histogram {
 };
 
 // Point-in-time copy of every instrument, safe to hold across ResetAll().
+struct HistogramBucket {
+  double lo = 0.0;  // inclusive lower edge
+  double hi = 0.0;  // exclusive upper edge (observed max for the last one)
+  std::uint64_t count = 0;
+};
+
 struct HistogramSnapshot {
   std::string name;
   util::RunningStats stats;
   double p50 = 0.0;
   double p90 = 0.0;
   double p99 = 0.0;
+  std::vector<HistogramBucket> buckets;  // non-empty buckets only
+};
+
+struct TimeSeriesSnapshot {
+  std::string name;
+  double grid_ms = 0.0;
+  std::uint64_t evicted = 0;
+  std::vector<TimeSeriesPoint> points;
 };
 
 struct MetricsSnapshot {
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<HistogramSnapshot> histograms;
+  std::vector<TimeSeriesSnapshot> timeseries;
 
   // nullptr / zero defaults when the name is absent.
   const HistogramSnapshot* FindHistogram(const std::string& name) const;
   std::uint64_t CounterValue(const std::string& name) const;
+  const TimeSeriesSnapshot* FindTimeSeries(const std::string& name) const;
 };
 
 class Registry {
@@ -128,11 +145,19 @@ class Registry {
   Counter& GetCounter(const std::string& name);
   Gauge& GetGauge(const std::string& name);
   Histogram& GetHistogram(const std::string& name);
+  // `grid_ms` applies only on first creation; later lookups return the
+  // existing series regardless of the grid they ask for.
+  TimeSeries& GetTimeSeries(const std::string& name,
+                            double grid_ms = TimeSeries::kDefaultGridMs);
 
   MetricsSnapshot Snapshot() const;
 
   // Zeroes all values; never invalidates references handed out before.
   void ResetAll();
+
+  // Clears just the time-series rings (run boundaries re-arm them without
+  // disturbing cumulative counters).
+  void ResetTimeSeries();
 
   // Line-delimited JSON, one instrument per line:
   //   {"type":"counter","name":"net.bytes_sent","value":123}
@@ -145,6 +170,7 @@ class Registry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<TimeSeries>> timeseries_;
 };
 
 }  // namespace livo::obs

@@ -37,6 +37,8 @@ void Init(const ObsConfig& config) {
     g_config = config;
   }
   SetTraceEnabled(config.trace);
+  SetTimeSeriesEnabled(config.time_series);
+  FrameLedger::Get().SetEnabled(config.frame_ledger);
 }
 
 ObsConfig CurrentConfig() {
@@ -51,6 +53,8 @@ void AutoInitFromEnv() {
     ObsConfig config;
     config.trace = true;
     config.metrics_export = true;
+    config.time_series = true;
+    config.frame_ledger = true;
     if (const char* dir = std::getenv("LIVO_TRACE_DIR")) {
       if (dir[0] != '\0') config.output_dir = dir;
     }

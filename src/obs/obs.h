@@ -21,8 +21,10 @@
 #include <optional>
 #include <string>
 
+#include "obs/ledger.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace livo::obs {
@@ -30,6 +32,8 @@ namespace livo::obs {
 struct ObsConfig {
   bool trace = false;            // record spans + dump artifacts
   bool metrics_export = false;   // dump JSONL snapshots with the trace
+  bool time_series = false;      // sample obs::TimeSeries instruments
+  bool frame_ledger = false;     // record obs::FrameLedger lifecycle hops
   std::string output_dir = ".";  // where session artifacts are written
 };
 

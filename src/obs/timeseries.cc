@@ -1,0 +1,82 @@
+#include "obs/timeseries.h"
+
+#include <atomic>
+#include <cmath>
+
+namespace livo::obs {
+namespace {
+
+std::atomic<bool> g_timeseries_enabled{false};
+
+}  // namespace
+
+bool TimeSeriesEnabled() {
+  return g_timeseries_enabled.load(std::memory_order_relaxed);
+}
+
+void SetTimeSeriesEnabled(bool enabled) {
+  g_timeseries_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+TimeSeries::TimeSeries(double grid_ms)
+    : grid_ms_(grid_ms > 0.0 ? grid_ms : kDefaultGridMs) {
+  ring_.reserve(kCapacity);
+}
+
+void TimeSeries::Sample(double t_ms, double value) {
+  if (!TimeSeriesEnabled()) return;
+  if (!std::isfinite(t_ms)) return;
+  const auto cell = static_cast<std::int64_t>(std::floor(t_ms / grid_ms_));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cell == last_cell_ && (wrapped_ || !ring_.empty())) {
+    // Same grid cell as the newest point: overwrite in place.
+    const std::size_t newest =
+        wrapped_ ? (head_ + kCapacity - 1) % kCapacity : ring_.size() - 1;
+    ring_[newest].value = value;
+    return;
+  }
+  if (cell < last_cell_) return;  // stale (out-of-order) sample
+  last_cell_ = cell;
+  TimeSeriesPoint point;
+  point.t_ms = static_cast<double>(cell) * grid_ms_;
+  point.value = value;
+  if (!wrapped_) {
+    ring_.push_back(point);
+    if (ring_.size() == kCapacity) {
+      wrapped_ = true;
+      head_ = 0;
+    }
+    return;
+  }
+  ring_[head_] = point;
+  head_ = (head_ + 1) % kCapacity;
+  ++evicted_;
+}
+
+std::vector<TimeSeriesPoint> TimeSeries::Points() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!wrapped_) return ring_;
+  std::vector<TimeSeriesPoint> out;
+  out.reserve(kCapacity);
+  for (std::size_t i = 0; i < kCapacity; ++i) {
+    out.push_back(ring_[(head_ + i) % kCapacity]);
+  }
+  return out;
+}
+
+std::uint64_t TimeSeries::evicted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evicted_;
+}
+
+void TimeSeries::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  ring_.reserve(kCapacity);
+  head_ = 0;
+  wrapped_ = false;
+  last_cell_ = INT64_MIN;
+  evicted_ = 0;
+}
+
+}  // namespace livo::obs

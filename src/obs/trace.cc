@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
+#include <limits>
 #include <memory>
 #include <mutex>
 
@@ -10,6 +12,12 @@ namespace livo::obs {
 namespace {
 
 std::atomic<bool> g_enabled{false};
+
+// NaN means "no virtual clock active". An atomic double (not a Clock
+// pointer) keeps reads race-free from codec pool threads while the event
+// loop advances its plain now_ms_ on the driver thread.
+std::atomic<double> g_virtual_now_ms{
+    std::numeric_limits<double>::quiet_NaN()};
 
 // Bound chosen so a worst-case session (every stage instrumented, tens of
 // thousands of frames) fits while a runaway per-pixel span cannot eat the
@@ -70,12 +78,31 @@ double TraceNowUs() {
       .count();
 }
 
+void SetVirtualNowMs(double now_ms) {
+  g_virtual_now_ms.store(now_ms, std::memory_order_relaxed);
+}
+
+void ClearVirtualNow() {
+  g_virtual_now_ms.store(std::numeric_limits<double>::quiet_NaN(),
+                         std::memory_order_relaxed);
+}
+
+bool HasVirtualNow() {
+  return !std::isnan(g_virtual_now_ms.load(std::memory_order_relaxed));
+}
+
+double VirtualNowMs() {
+  const double v = g_virtual_now_ms.load(std::memory_order_relaxed);
+  return std::isnan(v) ? -1.0 : v;
+}
+
 void TraceInstant(const char* name) {
   if (!TraceEnabled()) return;
   TraceEvent event;
   event.name = name;
   event.ts_us = TraceNowUs();
   event.dur_us = -1.0;
+  event.vt_ms = VirtualNowMs();
   ThreadBuffer& buffer = LocalBuffer();
   event.tid = buffer.tid;
   event.depth = buffer.depth;
@@ -132,7 +159,9 @@ void WriteChromeTrace(std::ostream& os,
       os << "\"ph\":\"X\",\"dur\":" << e.dur_us << ",";
     }
     os << "\"ts\":" << e.ts_us << ",\"pid\":1,\"tid\":" << e.tid
-       << ",\"args\":{\"depth\":" << e.depth << "}}";
+       << ",\"args\":{\"depth\":" << e.depth;
+    if (e.vt_ms >= 0.0) os << ",\"vt_ms\":" << e.vt_ms;
+    os << "}}";
   }
   os << "\n]}\n";
   os.precision(precision);
@@ -143,6 +172,7 @@ ScopedSpan::ScopedSpan(const char* name)
     : name_(TraceEnabled() ? name : nullptr) {
   if (name_ == nullptr) return;
   start_us_ = TraceNowUs();
+  start_vt_ms_ = VirtualNowMs();
   depth_ = LocalBuffer().depth++;
 }
 
@@ -152,6 +182,7 @@ ScopedSpan::~ScopedSpan() {
   event.name = name_;
   event.ts_us = start_us_;
   event.dur_us = TraceNowUs() - start_us_;
+  event.vt_ms = start_vt_ms_;
   ThreadBuffer& buffer = LocalBuffer();
   --buffer.depth;
   event.tid = buffer.tid;

@@ -26,6 +26,7 @@ struct TraceEvent {
   const char* name = "";  // must point at a string literal
   double ts_us = 0.0;     // microseconds since process trace epoch
   double dur_us = -1.0;   // < 0 marks an instant event
+  double vt_ms = -1.0;    // virtual time at entry; < 0 when none published
   std::uint32_t tid = 0;  // small sequential id assigned per thread
   std::uint16_t depth = 0;
 };
@@ -35,6 +36,15 @@ void SetTraceEnabled(bool enabled);
 
 // Microseconds on the steady clock relative to the first call.
 double TraceNowUs();
+
+// Virtual-time bridge. A running EventLoop publishes its current virtual
+// time here (one atomic store per dispatch) so spans, instants, and log
+// lines recorded anywhere in the process can be stamped with virtual ms
+// alongside the wall clock. Cleared when the loop exits.
+void SetVirtualNowMs(double now_ms);
+void ClearVirtualNow();
+bool HasVirtualNow();
+double VirtualNowMs();  // NaN-safe: returns -1.0 when none is published
 
 // Records a zero-duration marker (stalls, keyframe requests, drops).
 void TraceInstant(const char* name);
@@ -63,6 +73,7 @@ class ScopedSpan {
  private:
   const char* name_;  // nullptr when tracing was off at entry
   double start_us_ = 0.0;
+  double start_vt_ms_ = -1.0;
   std::uint16_t depth_ = 0;
 };
 

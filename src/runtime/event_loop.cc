@@ -14,6 +14,10 @@ struct RuntimeMetrics {
   obs::Counter& events_dispatched = reg.GetCounter("runtime.events_dispatched");
   obs::Counter& events_scheduled = reg.GetCounter("runtime.events_scheduled");
   obs::Gauge& queue_depth = reg.GetGauge("runtime.queue_depth");
+  obs::TimeSeries& queue_depth_series =
+      reg.GetTimeSeries("runtime.queue_depth");
+  obs::TimeSeries& wake_latency_series =
+      reg.GetTimeSeries("runtime.wake_latency_ms");
 };
 
 RuntimeMetrics& Metrics() {
@@ -60,10 +64,22 @@ bool EventLoop::DispatchOne() {
     Event ev = std::move(const_cast<Event&>(heap_.top()));
     heap_.pop();
     now_ms_ = std::max(now_ms_, ev.time_ms);
+    // Publish the loop's virtual clock so spans/logs/instants recorded
+    // during this callback are stamped with virtual ms.
+    obs::SetVirtualNowMs(now_ms_);
     ++events_dispatched_;
     RuntimeMetrics& metrics = Metrics();
     metrics.events_dispatched.Add();
     metrics.queue_depth.Set(static_cast<double>(QueueDepth()));
+    if (obs::TimeSeriesEnabled()) {
+      metrics.queue_depth_series.Sample(now_ms_,
+                                        static_cast<double>(QueueDepth()));
+      if (last_dispatch_ms_ >= 0.0) {
+        metrics.wake_latency_series.Sample(now_ms_,
+                                           now_ms_ - last_dispatch_ms_);
+      }
+    }
+    last_dispatch_ms_ = now_ms_;
     {
       LIVO_SPAN("runtime.dispatch");
       ev.callback(now_ms_);
@@ -76,6 +92,7 @@ bool EventLoop::DispatchOne() {
 void EventLoop::Run() {
   while (DispatchOne()) {
   }
+  obs::ClearVirtualNow();
 }
 
 void EventLoop::RunUntil(double deadline_ms) {
@@ -89,6 +106,7 @@ void EventLoop::RunUntil(double deadline_ms) {
     DispatchOne();
   }
   now_ms_ = std::max(now_ms_, deadline_ms);
+  obs::ClearVirtualNow();
 }
 
 }  // namespace livo::runtime

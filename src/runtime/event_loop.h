@@ -92,6 +92,7 @@ class EventLoop {
   bool DispatchOne();
 
   double now_ms_ = 0.0;
+  double last_dispatch_ms_ = -1.0;  // for the wake-latency time series
   EventId next_id_ = 1;
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
   std::unordered_set<EventId> cancelled_;

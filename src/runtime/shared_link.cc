@@ -4,11 +4,16 @@
 #include <string>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace livo::runtime {
 
 SharedLink::SharedLink(sim::BandwidthTrace trace,
-                       const net::LinkConfig& config)
-    : link_(std::make_shared<net::LinkEmulator>(std::move(trace), config)) {}
+                       const net::LinkConfig& config, std::string obs_label)
+    : link_(std::make_shared<net::LinkEmulator>(std::move(trace), config)),
+      obs_label_(std::move(obs_label)),
+      queue_delay_series_(&obs::Registry::Get().GetTimeSeries(
+          obs_label_ + ".queue_delay_ms")) {}
 
 std::unique_ptr<net::VideoChannel> SharedLink::Connect(
     const net::ChannelConfig& config) {
@@ -35,6 +40,8 @@ void SharedLink::Register(std::uint32_t flow_id, net::VideoChannel* channel) {
   }
   flows_.push_back(channel);
   flow_bytes_.push_back(0);
+  flow_series_.push_back(&obs::Registry::Get().GetTimeSeries(
+      obs_label_ + ".flow" + std::to_string(flow_id) + ".delivered_bytes"));
 }
 
 void SharedLink::Ingest(const net::Packet& packet, double now_ms) {
@@ -51,6 +58,12 @@ void SharedLink::Ingest(const net::Packet& packet, double now_ms) {
 void SharedLink::PumpUpTo(double now_ms) {
   for (const net::Packet& p : link_->Poll(now_ms)) {
     Ingest(p, now_ms);
+  }
+  if (obs::TimeSeriesEnabled()) {
+    queue_delay_series_->Sample(now_ms, link_->CurrentQueueDelayMs(now_ms));
+    for (std::size_t k = 0; k < flow_series_.size(); ++k) {
+      flow_series_[k]->Sample(now_ms, static_cast<double>(flow_bytes_[k]));
+    }
   }
 }
 

@@ -18,17 +18,25 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "net/link.h"
 #include "net/transport.h"
 #include "sim/nettrace.h"
 
+namespace livo::obs {
+class TimeSeries;
+}  // namespace livo::obs
+
 namespace livo::runtime {
 
 class SharedLink {
  public:
-  SharedLink(sim::BandwidthTrace trace, const net::LinkConfig& config);
+  // `obs_label` prefixes the bottleneck's time-series instruments
+  // (`<label>.queue_delay_ms`, `<label>.flow<k>.delivered_bytes`).
+  SharedLink(sim::BandwidthTrace trace, const net::LinkConfig& config,
+             std::string obs_label = "runtime.sharedlink");
 
   // Creates a channel attached to this bottleneck with a fresh flow id.
   // The channel must not outlive the SharedLink.
@@ -63,8 +71,11 @@ class SharedLink {
 
  private:
   std::shared_ptr<net::LinkEmulator> link_;
+  std::string obs_label_;
+  obs::TimeSeries* queue_delay_series_;          // registry-owned
   std::vector<net::VideoChannel*> flows_;        // index == flow_id
   std::vector<std::size_t> flow_bytes_;          // delivered wire bytes
+  std::vector<obs::TimeSeries*> flow_series_;    // index == flow_id
 };
 
 }  // namespace livo::runtime

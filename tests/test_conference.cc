@@ -5,9 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <map>
 #include <stdexcept>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "conference/allocator.h"
@@ -15,6 +18,7 @@
 #include "conference/topology.h"
 #include "core/session.h"
 #include "core/types.h"
+#include "obs/obs.h"
 #include "sim/dataset.h"
 #include "sim/nettrace.h"
 #include "sim/usertrace.h"
@@ -344,6 +348,216 @@ TEST(ConferenceTwoParty, MatchesDirectSessionAggregatesWithinTolerance) {
       static_cast<double>(conf.participants[0].bytes_sent);
   EXPECT_GT(conf_sent, 0.2 * direct_bytes);
   EXPECT_LT(conf_sent, 5.0 * direct_bytes + 200000.0);
+}
+
+// ---- Gate conservation across party counts and topologies ----
+
+// Every completed pair gets exactly one verdict per remote subscriber:
+// forwarded or dropped at one of the three SFU gates. The counters must
+// account for all of them, in private and shared downlink topologies.
+class ConferenceConservation
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(ConferenceConservation, EveryCompletedPairGetsOneVerdictPerSubscriber) {
+  const auto [parties, shared] = GetParam();
+  auto specs = SmallRoster(parties, 4);
+  ConferenceOptions options = SmallConferenceOptions();
+  if (shared) {
+    options.downlink_mode = LinkMode::kShared;
+    options.shared_downlink_trace = sim::MakeTrace1(30.0);
+    options.shared_downlink_config.bandwidth_scale =
+        static_cast<double>(parties) / 48.0;
+  }
+  const ConferenceResult result = RunConference(specs, options);
+  const SfuStats& sfu = result.sfu;
+  EXPECT_GT(sfu.pairs_completed, 0u);
+  EXPECT_EQ(sfu.pairs_completed * static_cast<std::uint64_t>(parties - 1),
+            sfu.pairs_forwarded + sfu.pairs_dropped_budget +
+                sfu.pairs_dropped_congestion + sfu.pairs_dropped_awaiting_key);
+  // And the SFU cannot complete more pairs than frames it ingested halves
+  // for, nor forward more than were completed.
+  EXPECT_LE(sfu.pairs_completed * 2, sfu.frames_in);
+  EXPECT_LE(sfu.pairs_forwarded,
+            sfu.pairs_completed * static_cast<std::uint64_t>(parties - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PartiesAndTopology, ConferenceConservation,
+    ::testing::Combine(::testing::Values(4, 8), ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<int, bool>>& info) {
+      return std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) ? "PartiesShared" : "PartiesPrivate");
+    });
+
+// ---- Frame ledger <-> audit reconciliation ----
+
+// With the flight recorder on, the per-interval forwarded bytes summed
+// from ledger `forwarded` hops must reproduce every AllocationAuditRow,
+// and recording must not perturb the simulation (same fingerprint).
+class ConferenceLedgerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::FrameLedger::Get().Reset();
+    obs::FrameLedger::Get().SetEnabled(true);
+  }
+  void TearDown() override {
+    obs::FrameLedger::Get().SetEnabled(false);
+    obs::FrameLedger::Get().Reset();
+  }
+};
+
+TEST_F(ConferenceLedgerTest, ForwardedHopsReconcileWithEveryAuditInterval) {
+  const ConferenceResult result =
+      RunConference(SmallRoster(4, 6), SmallConferenceOptions());
+  EXPECT_EQ(result.Fingerprint(), FourPartyResult().Fingerprint());
+
+  const std::vector<obs::LedgerEvent> events =
+      obs::FrameLedger::Get().Snapshot();
+  ASSERT_FALSE(events.empty());
+
+  // Ledger hop totals match the SFU counters exactly.
+  std::map<obs::LedgerHop, std::uint64_t> counts;
+  for (const obs::LedgerEvent& e : events) ++counts[e.hop];
+  EXPECT_EQ(counts[obs::LedgerHop::kPairComplete], result.sfu.pairs_completed);
+  EXPECT_EQ(counts[obs::LedgerHop::kForwarded], result.sfu.pairs_forwarded);
+  EXPECT_EQ(counts[obs::LedgerHop::kDroppedBudget],
+            result.sfu.pairs_dropped_budget);
+  EXPECT_EQ(counts[obs::LedgerHop::kDroppedCongestion],
+            result.sfu.pairs_dropped_congestion);
+  EXPECT_EQ(counts[obs::LedgerHop::kDroppedAwaitingKey],
+            result.sfu.pairs_dropped_awaiting_key);
+  EXPECT_EQ(counts[obs::LedgerHop::kEvicted],
+            result.sfu.pairs_evicted_incomplete);
+
+  // Bucket forwarded hops into each subscriber's audit intervals and
+  // compare byte sums row by row.
+  std::map<int, std::vector<const AllocationAuditRow*>> rows;
+  for (const AllocationAuditRow& row : result.audits) {
+    rows[row.subscriber].push_back(&row);
+  }
+  std::map<const AllocationAuditRow*, double> ledger_bytes;
+  for (const obs::LedgerEvent& e : events) {
+    if (e.hop != obs::LedgerHop::kForwarded) continue;
+    const auto it = rows.find(e.subscriber);
+    ASSERT_NE(it, rows.end()) << "forwarded to unaudited subscriber";
+    const AllocationAuditRow* match = nullptr;
+    for (const AllocationAuditRow* row : it->second) {
+      if (row->start_ms <= e.t_ms + 1e-9 &&
+          (match == nullptr || row->start_ms > match->start_ms)) {
+        match = row;
+      }
+    }
+    ASSERT_NE(match, nullptr) << "forward precedes first audit interval";
+    ledger_bytes[match] += static_cast<double>(e.bytes);
+  }
+  for (const AllocationAuditRow& row : result.audits) {
+    SCOPED_TRACE("subscriber " + std::to_string(row.subscriber) + " @" +
+                 std::to_string(row.start_ms));
+    EXPECT_NEAR(ledger_bytes[&row], row.forwarded_bytes, 0.5);
+  }
+}
+
+TEST_F(ConferenceLedgerTest, AtLeast99PercentOfCapturedPairsAreTerminal) {
+  (void)RunConference(SmallRoster(4, 6), SmallConferenceOptions());
+  const std::vector<obs::LedgerEvent> events =
+      obs::FrameLedger::Get().Snapshot();
+  // Per (origin, frame): captured must close as skipped, evicted,
+  // lost_uplink, or pair_complete with all forwards displayed/stalled.
+  std::map<std::pair<int, std::int32_t>, int> state;  // bit flags
+  std::map<std::tuple<int, std::int32_t, int>, int> fwd_state;
+  for (const obs::LedgerEvent& e : events) {
+    const std::pair<int, std::int32_t> key{e.origin, e.frame};
+    switch (e.hop) {
+      case obs::LedgerHop::kCaptured: state[key] |= 1; break;
+      case obs::LedgerHop::kSkippedCongestion:
+      case obs::LedgerHop::kEvicted:
+      case obs::LedgerHop::kLostUplink:
+      case obs::LedgerHop::kPairComplete: state[key] |= 2; break;
+      case obs::LedgerHop::kForwarded:
+        fwd_state[{e.origin, e.frame, e.subscriber}] |= 1;
+        break;
+      case obs::LedgerHop::kDisplayed:
+      case obs::LedgerHop::kStalled:
+        fwd_state[{e.origin, e.frame, e.subscriber}] |= 2;
+        break;
+      default: break;
+    }
+  }
+  std::uint64_t captured = 0, terminal = 0;
+  for (const auto& [key, flags] : state) {
+    if ((flags & 1) == 0) continue;
+    ++captured;
+    if ((flags & 2) != 0) ++terminal;
+  }
+  ASSERT_GT(captured, 0u);
+  EXPECT_GE(static_cast<double>(terminal), 0.99 * static_cast<double>(captured));
+  for (const auto& [key, flags] : fwd_state) {
+    EXPECT_EQ(flags, 3) << "forwarded pair not displayed/stalled: origin "
+                        << std::get<0>(key) << " frame " << std::get<1>(key)
+                        << " subscriber " << std::get<2>(key);
+  }
+}
+
+// ---- Metric naming convention (S6) ----
+
+// Every instrument registered during a full conference run must follow
+// the dotted lowercase convention: at least two `[a-z0-9_]+` segments.
+TEST(ConferenceObsNames, RegistryNamesFollowDottedLowercaseConvention) {
+  obs::SetTimeSeriesEnabled(true);
+  const ConferenceResult result =
+      RunConference(SmallRoster(4, 6), SmallConferenceOptions());
+  obs::SetTimeSeriesEnabled(false);
+  EXPECT_EQ(result.Fingerprint(), FourPartyResult().Fingerprint());
+
+  const auto valid_segment = [](const std::string& seg) {
+    if (seg.empty()) return false;
+    for (char c : seg) {
+      if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_')) {
+        return false;
+      }
+    }
+    return true;
+  };
+  const auto check_name = [&](const std::string& name) {
+    SCOPED_TRACE("metric name: " + name);
+    std::size_t segments = 0;
+    std::size_t start = 0;
+    bool ok = true;
+    while (true) {
+      const std::size_t dot = name.find('.', start);
+      const std::string seg = name.substr(
+          start, dot == std::string::npos ? std::string::npos : dot - start);
+      ok = ok && valid_segment(seg);
+      ++segments;
+      if (dot == std::string::npos) break;
+      start = dot + 1;
+    }
+    EXPECT_TRUE(ok);
+    EXPECT_GE(segments, 2u);
+  };
+
+  const obs::MetricsSnapshot snap = obs::Registry::Get().Snapshot();
+  std::size_t checked = 0;
+  for (const auto& [name, value] : snap.counters) {
+    check_name(name);
+    ++checked;
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    check_name(name);
+    ++checked;
+  }
+  for (const obs::HistogramSnapshot& h : snap.histograms) {
+    check_name(h.name);
+    ++checked;
+  }
+  for (const obs::TimeSeriesSnapshot& ts : snap.timeseries) {
+    check_name(ts.name);
+    ++checked;
+  }
+  // The conference run must have populated all four instrument families,
+  // including the per-stream time series.
+  EXPECT_GT(checked, 20u);
+  EXPECT_FALSE(snap.timeseries.empty());
 }
 
 }  // namespace

@@ -480,5 +480,308 @@ TEST(PipelineObs, StagesPublishLatencyAndCounts) {
   EXPECT_EQ(lat->stats.count(), 4u);
 }
 
+// ---------------------------------------------------------------------------
+// Time series: virtual-time samples on a fixed grid with bounded memory.
+
+class TimeSeriesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    previous_ = TimeSeriesEnabled();
+    SetTimeSeriesEnabled(true);
+  }
+  void TearDown() override { SetTimeSeriesEnabled(previous_); }
+  bool previous_ = false;
+};
+
+TEST_F(TimeSeriesTest, DisabledSamplesAreDropped) {
+  SetTimeSeriesEnabled(false);
+  TimeSeries series;
+  series.Sample(10.0, 1.0);
+  EXPECT_TRUE(series.Points().empty());
+  SetTimeSeriesEnabled(true);
+  series.Sample(10.0, 1.0);
+  EXPECT_EQ(series.Points().size(), 1u);
+}
+
+TEST_F(TimeSeriesTest, SamplesInTheSameGridCellOverwrite) {
+  TimeSeries series(5.0);
+  series.Sample(1.0, 10.0);
+  series.Sample(3.0, 20.0);  // same 5 ms cell: last write wins
+  series.Sample(7.0, 30.0);  // next cell
+  const auto points = series.Points();
+  ASSERT_EQ(points.size(), 2u);
+  // Stored timestamps are grid-aligned (cell * grid) for determinism.
+  EXPECT_DOUBLE_EQ(points[0].t_ms, 0.0);
+  EXPECT_DOUBLE_EQ(points[0].value, 20.0);
+  EXPECT_DOUBLE_EQ(points[1].t_ms, 5.0);
+  EXPECT_DOUBLE_EQ(points[1].value, 30.0);
+}
+
+TEST_F(TimeSeriesTest, StaleSamplesAreDroppedNotReordered) {
+  TimeSeries series(5.0);
+  series.Sample(100.0, 1.0);
+  series.Sample(10.0, 2.0);  // older grid cell: dropped
+  const auto points = series.Points();
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_DOUBLE_EQ(points[0].t_ms, 100.0);
+  EXPECT_DOUBLE_EQ(points[0].value, 1.0);
+}
+
+TEST_F(TimeSeriesTest, RingEvictsOldestAndCounts) {
+  TimeSeries series(1.0);
+  const std::size_t n = TimeSeries::kCapacity + 100;
+  for (std::size_t i = 0; i < n; ++i) {
+    series.Sample(static_cast<double>(i), static_cast<double>(i));
+  }
+  const auto points = series.Points();
+  ASSERT_EQ(points.size(), TimeSeries::kCapacity);
+  EXPECT_EQ(series.evicted(), 100u);
+  // Oldest-first, contiguous tail of the sample stream.
+  EXPECT_DOUBLE_EQ(points.front().t_ms, 100.0);
+  EXPECT_DOUBLE_EQ(points.back().t_ms, static_cast<double>(n - 1));
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(points[i].t_ms, points[i - 1].t_ms + 1.0);
+  }
+}
+
+TEST_F(TimeSeriesTest, RegistryDedupesAndSnapshotsSeries) {
+  Registry reg;
+  TimeSeries& a = reg.GetTimeSeries("ts.test.alpha");
+  TimeSeries& b = reg.GetTimeSeries("ts.test.alpha");
+  EXPECT_EQ(&a, &b);
+  a.Sample(5.0, 42.0);
+  const MetricsSnapshot snap = reg.Snapshot();
+  const TimeSeriesSnapshot* ts = snap.FindTimeSeries("ts.test.alpha");
+  ASSERT_NE(ts, nullptr);
+  ASSERT_EQ(ts->points.size(), 1u);
+  EXPECT_DOUBLE_EQ(ts->points[0].value, 42.0);
+  reg.ResetTimeSeries();
+  EXPECT_TRUE(a.Points().empty());
+}
+
+TEST_F(TimeSeriesTest, WriteJsonlEmitsTimeseriesLines) {
+  Registry reg;
+  reg.GetTimeSeries("ts.test.beta").Sample(10.0, 1.5);
+  std::ostringstream out;
+  reg.WriteJsonl(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"type\":\"timeseries\""), std::string::npos);
+  EXPECT_NE(text.find("ts.test.beta"), std::string::npos);
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    EXPECT_TRUE(JsonChecker(line).Valid()) << line;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram bucket edges in snapshots and the JSONL exporter.
+
+TEST(HistogramBuckets, SnapshotListsNonEmptyBucketsWithEdges) {
+  Registry reg;
+  Histogram& h = reg.GetHistogram("hb.lat");
+  for (double v : {0.5, 0.6, 2.0, 64.0}) h.Observe(v);
+  const MetricsSnapshot snap = reg.Snapshot();
+  const HistogramSnapshot* hs = snap.FindHistogram("hb.lat");
+  ASSERT_NE(hs, nullptr);
+  ASSERT_FALSE(hs->buckets.empty());
+  std::uint64_t total = 0;
+  double prev_hi = -1.0;
+  for (const HistogramBucket& bucket : hs->buckets) {
+    EXPECT_GT(bucket.count, 0u);  // only occupied buckets are listed
+    EXPECT_LT(bucket.lo, bucket.hi);
+    EXPECT_GE(bucket.lo, prev_hi - 1e-12);  // sorted, non-overlapping
+    prev_hi = bucket.hi;
+    total += bucket.count;
+  }
+  EXPECT_EQ(total, 4u);
+  // Every observed value lands inside some listed bucket.
+  for (double v : {0.5, 0.6, 2.0, 64.0}) {
+    bool found = false;
+    for (const HistogramBucket& bucket : hs->buckets) {
+      if (v >= bucket.lo - 1e-12 && v <= bucket.hi + 1e-12) found = true;
+    }
+    EXPECT_TRUE(found) << "value " << v << " in no bucket";
+  }
+}
+
+TEST(HistogramBuckets, JsonlLineCarriesPercentilesAndBuckets) {
+  Registry reg;
+  reg.GetHistogram("hb.jsonl").Observe(3.0);
+  std::ostringstream out;
+  reg.WriteJsonl(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"p50\""), std::string::npos);
+  EXPECT_NE(text.find("\"p90\""), std::string::npos);
+  EXPECT_NE(text.find("\"p99\""), std::string::npos);
+  EXPECT_NE(text.find("\"buckets\":[["), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Virtual-time stamping of spans and log lines.
+
+class VirtualTimeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClearVirtualNow();
+    DrainEvents();
+    SetTraceEnabled(true);
+  }
+  void TearDown() override {
+    SetTraceEnabled(false);
+    ClearVirtualNow();
+    DrainEvents();
+  }
+};
+
+TEST_F(VirtualTimeTest, SpansCarryVirtualTimeWhenPublished) {
+  SetVirtualNowMs(123.5);
+  EXPECT_TRUE(HasVirtualNow());
+  EXPECT_DOUBLE_EQ(VirtualNowMs(), 123.5);
+  {
+    LIVO_SPAN("vt.span");
+  }
+  TraceInstant("vt.instant");
+  const auto events = DrainEvents();
+  ASSERT_EQ(events.size(), 2u);
+  for (const auto& e : events) EXPECT_DOUBLE_EQ(e.vt_ms, 123.5);
+}
+
+TEST_F(VirtualTimeTest, SpansOutsideVirtualRunsAreUnstamped) {
+  EXPECT_FALSE(HasVirtualNow());
+  EXPECT_DOUBLE_EQ(VirtualNowMs(), -1.0);
+  {
+    LIVO_SPAN("vt.none");
+  }
+  const auto events = DrainEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_LT(events[0].vt_ms, 0.0);
+}
+
+TEST_F(VirtualTimeTest, ChromeTraceExportsVirtualTimeArg) {
+  SetVirtualNowMs(77.0);
+  {
+    LIVO_SPAN("vt.exported");
+  }
+  std::ostringstream out;
+  WriteChromeTrace(out, DrainEvents());
+  EXPECT_NE(out.str().find("\"vt_ms\":77"), std::string::npos);
+}
+
+TEST_F(LogTest, LinesLeadWithVirtualTimeDuringRuns) {
+  SetMinLogLevel(LogLevel::kInfo);
+  SetVirtualNowMs(42.0);
+  LIVO_LOG(Info) << "inside";
+  ClearVirtualNow();
+  LIVO_LOG(Info) << "outside";
+  ASSERT_EQ(CapturedLogs().size(), 2u);
+  EXPECT_NE(CapturedLogs()[0].second.find("vt=42"), std::string::npos);
+  EXPECT_NE(CapturedLogs()[0].second.find("wall="), std::string::npos);
+  EXPECT_EQ(CapturedLogs()[1].second.find("vt="), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Frame ledger: the flight recorder behind LIVO_TRACE=1.
+
+class FrameLedgerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FrameLedger::Get().Reset();
+    FrameLedger::Get().SetEnabled(true);
+  }
+  void TearDown() override {
+    FrameLedger::Get().SetEnabled(false);
+    FrameLedger::Get().Reset();
+  }
+};
+
+TEST_F(FrameLedgerTest, DisabledRecordsNothing) {
+  FrameLedger::Get().SetEnabled(false);
+  FrameLedger::Get().Record(0, 0, -1, LedgerHop::kCaptured, 0.0);
+  EXPECT_TRUE(FrameLedger::Get().Snapshot().empty());
+}
+
+TEST_F(FrameLedgerTest, RecordsEventsInOrder) {
+  FrameLedger& ledger = FrameLedger::Get();
+  ledger.Record(0, 7, -1, LedgerHop::kCaptured, 10.0);
+  ledger.Record(0, 7, -1, LedgerHop::kEncoded, 10.0, 1234, true);
+  ledger.Record(0, 7, -1, LedgerHop::kPairComplete, 35.0, 1234, true);
+  ledger.Record(0, 7, 1, LedgerHop::kForwarded, 35.0, 1234, true);
+  const auto events = ledger.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].hop, LedgerHop::kCaptured);
+  EXPECT_EQ(events[3].hop, LedgerHop::kForwarded);
+  EXPECT_EQ(events[3].subscriber, 1);
+  EXPECT_EQ(events[3].bytes, 1234u);
+  EXPECT_TRUE(events[3].keyframe);
+}
+
+TEST_F(FrameLedgerTest, FinalizeClosesOpenPairsAndForwards) {
+  FrameLedger& ledger = FrameLedger::Get();
+  // Pair (0,1): encoded but never completed at the SFU -> lost_uplink.
+  ledger.Record(0, 1, -1, LedgerHop::kCaptured, 0.0);
+  ledger.Record(0, 1, -1, LedgerHop::kEncoded, 0.0, 100);
+  // Pair (0,2): forwarded to subscriber 1 but never displayed -> stalled.
+  ledger.Record(0, 2, -1, LedgerHop::kCaptured, 33.0);
+  ledger.Record(0, 2, -1, LedgerHop::kEncoded, 33.0, 100);
+  ledger.Record(0, 2, -1, LedgerHop::kPairComplete, 50.0, 100);
+  ledger.Record(0, 2, 1, LedgerHop::kForwarded, 50.0, 100);
+  // Pair (0,3): fully closed; finalize must not touch it.
+  ledger.Record(0, 3, -1, LedgerHop::kCaptured, 66.0);
+  ledger.Record(0, 3, -1, LedgerHop::kEncoded, 66.0, 100);
+  ledger.Record(0, 3, -1, LedgerHop::kPairComplete, 80.0, 100);
+  ledger.Record(0, 3, 1, LedgerHop::kForwarded, 80.0, 100);
+  ledger.Record(0, 3, 1, LedgerHop::kDelivered, 90.0, 50);
+  ledger.Record(0, 3, 1, LedgerHop::kDisplayed, 95.0, 100);
+
+  ledger.FinalizeRun(200.0);
+  int lost = 0, stalled = 0;
+  for (const LedgerEvent& e : ledger.Snapshot()) {
+    if (e.hop == LedgerHop::kLostUplink) {
+      ++lost;
+      EXPECT_EQ(e.frame, 1);
+      EXPECT_DOUBLE_EQ(e.t_ms, 200.0);
+    }
+    if (e.hop == LedgerHop::kStalled) {
+      ++stalled;
+      EXPECT_EQ(e.frame, 2);
+      EXPECT_EQ(e.subscriber, 1);
+    }
+  }
+  EXPECT_EQ(lost, 1);
+  EXPECT_EQ(stalled, 1);
+}
+
+TEST_F(FrameLedgerTest, WriteJsonlEmitsOneValidObjectPerHop) {
+  FrameLedger& ledger = FrameLedger::Get();
+  ledger.Record(2, 5, -1, LedgerHop::kCaptured, 12.5);
+  ledger.Record(2, 5, 0, LedgerHop::kDroppedBudget, 40.0, 999, false);
+  std::ostringstream out;
+  ledger.WriteJsonl(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"hop\":\"captured\""), std::string::npos);
+  EXPECT_NE(text.find("\"hop\":\"dropped_budget\""), std::string::npos);
+  std::istringstream lines(text);
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    EXPECT_TRUE(JsonChecker(line).Valid()) << line;
+    ++count;
+  }
+  EXPECT_EQ(count, 2);
+}
+
+TEST_F(FrameLedgerTest, HopNamesAreStableLowercaseIdentifiers) {
+  for (int hop = 0; hop <= static_cast<int>(LedgerHop::kStalled); ++hop) {
+    const std::string name = LedgerHopName(static_cast<LedgerHop>(hop));
+    EXPECT_FALSE(name.empty());
+    for (char c : name) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || c == '_') << name;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace livo::obs

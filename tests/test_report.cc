@@ -1,0 +1,299 @@
+// Tests for tools/livo_report: the JSON value parser, telemetry loading,
+// the invariant checker (including deliberately corrupted ledgers, per
+// the acceptance criteria), and the analyzer's drop attribution.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "conference/conference.h"
+#include "conference/telemetry.h"
+#include "obs/obs.h"
+#include "report.h"
+#include "sim/dataset.h"
+#include "sim/nettrace.h"
+#include "sim/usertrace.h"
+
+namespace livo::report {
+namespace {
+
+// ---- JSON parser units ----
+
+TEST(ReportJson, ParsesScalarsArraysAndObjects) {
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(ParseJson(R"({"a":1.5,"b":"x\"y","c":[1,2],"d":true,"e":null})",
+                        &v, &error))
+      << error;
+  EXPECT_DOUBLE_EQ(v.Num("a"), 1.5);
+  EXPECT_EQ(v.Str("b"), "x\"y");
+  const JsonValue* c = v.Find("c");
+  ASSERT_NE(c, nullptr);
+  ASSERT_EQ(c->array.size(), 2u);
+  EXPECT_DOUBLE_EQ(c->array[1].number, 2.0);
+  EXPECT_TRUE(v.Bool("d"));
+  EXPECT_EQ(v.Find("e")->kind, JsonValue::Kind::kNull);
+  // Defaults for absent keys.
+  EXPECT_DOUBLE_EQ(v.Num("missing", -3.0), -3.0);
+  EXPECT_EQ(v.Str("missing", "fb"), "fb");
+}
+
+TEST(ReportJson, RejectsMalformedInput) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(ParseJson(R"({"a":1)", &v, &error));
+  EXPECT_FALSE(ParseJson(R"({"a" 1})", &v, &error));
+  EXPECT_FALSE(ParseJson(R"([1,2)", &v, &error));
+  EXPECT_FALSE(ParseJson(R"({"a":1} trailing)", &v, &error));
+  EXPECT_FALSE(ParseJson("", &v, &error));
+}
+
+TEST(ReportJson, ParsesNegativeAndExponentNumbers) {
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(ParseJson(R"([-2.5e3,0.001,-0])", &v, &error)) << error;
+  ASSERT_EQ(v.array.size(), 3u);
+  EXPECT_DOUBLE_EQ(v.array[0].number, -2500.0);
+  EXPECT_DOUBLE_EQ(v.array[1].number, 0.001);
+}
+
+// ---- LoadTelemetry on hand-written lines ----
+
+TEST(ReportLoad, ClassifiesEveryLineTypeAndKeepsParseErrors) {
+  std::istringstream in(
+      "{\"type\":\"run\",\"scheme\":\"LiVo-SFU\",\"parties\":3,"
+      "\"interval_ms\":100,\"pairs_completed\":2,\"pairs_forwarded\":4}\n"
+      "{\"type\":\"stream\",\"subscriber\":1,\"origin\":0,\"expected\":5}\n"
+      "{\"type\":\"audit\",\"subscriber\":1,\"start_ms\":0,"
+      "\"budget_bytes\":100,\"credit_bytes\":0,\"forwarded_bytes\":50,"
+      "\"shares\":[0.5,0.5]}\n"
+      "{\"type\":\"hop\",\"origin\":0,\"frame\":3,\"subscriber\":-1,"
+      "\"hop\":\"captured\",\"t_ms\":33.5,\"bytes\":0,\"keyframe\":false}\n"
+      "{\"type\":\"timeseries\",\"name\":\"x.y\",\"grid_ms\":5,"
+      "\"evicted\":0,\"points\":[[0,1],[5,2]]}\n"
+      "this is not json\n");
+  const Telemetry t = LoadTelemetry(in);
+  EXPECT_TRUE(t.run.present);
+  EXPECT_EQ(t.run.parties, 3);
+  EXPECT_EQ(t.run.pairs_forwarded, 4u);
+  ASSERT_EQ(t.streams.size(), 1u);
+  EXPECT_EQ(t.streams[0].expected, 5u);
+  ASSERT_EQ(t.audits.size(), 1u);
+  ASSERT_EQ(t.audits[0].shares.size(), 2u);
+  ASSERT_EQ(t.hops.size(), 1u);
+  EXPECT_EQ(t.hops[0].hop, "captured");
+  EXPECT_DOUBLE_EQ(t.hops[0].t_ms, 33.5);
+  ASSERT_EQ(t.series.size(), 1u);
+  ASSERT_EQ(t.series[0].points.size(), 2u);
+  ASSERT_EQ(t.parse_errors.size(), 1u);
+  // A parse error is itself an invariant violation in --check mode.
+  EXPECT_FALSE(CheckInvariants(t).empty());
+}
+
+// ---- End-to-end: real conference -> telemetry -> checker ----
+
+conference::ConferenceResult RunTracedConference() {
+  sim::ScaleProfile profile;
+  profile.camera_count = 4;
+  profile.camera_width = 48;
+  profile.camera_height = 40;
+  core::LiVoConfig config;
+  config.layout = image::TileLayout(profile.camera_count, profile.camera_width,
+                                    profile.camera_height);
+  const std::vector<std::string> videos = {"band2", "toddler4", "dance5",
+                                           "office1"};
+  const std::vector<sim::TraceStyle> styles = {
+      sim::TraceStyle::kOrbit, sim::TraceStyle::kWalkIn,
+      sim::TraceStyle::kFocus, sim::TraceStyle::kOrbit};
+  constexpr int kFrames = 6;
+  static std::vector<sim::CapturedSequence> sequences;  // keep alive
+  if (sequences.empty()) {
+    for (const std::string& video : videos) {
+      sequences.push_back(sim::CaptureVideo(video, profile, kFrames));
+    }
+  }
+  std::vector<conference::ParticipantSpec> specs;
+  for (int p = 0; p < 4; ++p) {
+    conference::ParticipantSpec spec;
+    spec.sequence = &sequences[static_cast<std::size_t>(p)];
+    spec.user_trace = sim::GenerateUserTrace(
+        videos[static_cast<std::size_t>(p)],
+        styles[static_cast<std::size_t>(p)], kFrames + 90);
+    spec.uplink_trace = sim::MakeTrace2(30.0);
+    spec.downlink_trace = sim::MakeTrace2(30.0);
+    spec.uplink_trace_offset_ms = 1000.0 * p;
+    spec.downlink_trace_offset_ms = 500.0 * p;
+    spec.config = config;
+    specs.push_back(std::move(spec));
+  }
+  conference::ConferenceOptions options;
+  options.bandwidth_scale = 1.0 / 48.0;
+  return conference::RunConference(specs, options);
+}
+
+class ReportRoundTripTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    obs::FrameLedger::Get().Reset();
+    obs::FrameLedger::Get().SetEnabled(true);
+    obs::SetTimeSeriesEnabled(true);
+    const conference::ConferenceResult result = RunTracedConference();
+    std::ostringstream out;
+    conference::WriteConferenceTelemetry(out, result, 100.0);
+    telemetry_text_ = new std::string(out.str());
+    obs::SetTimeSeriesEnabled(false);
+    obs::FrameLedger::Get().SetEnabled(false);
+    obs::FrameLedger::Get().Reset();
+  }
+  static void TearDownTestSuite() {
+    delete telemetry_text_;
+    telemetry_text_ = nullptr;
+  }
+
+  static Telemetry Load(const std::string& text) {
+    std::istringstream in(text);
+    return LoadTelemetry(in);
+  }
+
+  static std::string* telemetry_text_;
+};
+
+std::string* ReportRoundTripTest::telemetry_text_ = nullptr;
+
+TEST_F(ReportRoundTripTest, CleanTelemetryPassesEveryInvariant) {
+  const Telemetry t = Load(*telemetry_text_);
+  EXPECT_TRUE(t.parse_errors.empty());
+  EXPECT_TRUE(t.run.present);
+  EXPECT_EQ(t.run.parties, 4);
+  EXPECT_FALSE(t.streams.empty());
+  EXPECT_FALSE(t.audits.empty());
+  EXPECT_FALSE(t.hops.empty());
+  EXPECT_FALSE(t.series.empty());
+  const std::vector<std::string> violations = CheckInvariants(t);
+  EXPECT_TRUE(violations.empty())
+      << "first violation: " << violations.front();
+}
+
+TEST_F(ReportRoundTripTest, AnalysisCoversAllPairsAndAttributesDrops) {
+  const Telemetry t = Load(*telemetry_text_);
+  const Analysis a = Analyze(t);
+  EXPECT_GT(a.captured_pairs, 0u);
+  EXPECT_GE(a.terminal_fraction, 0.99);
+  // 4 parties -> 12 directed streams.
+  EXPECT_EQ(a.streams.size(), 12u);
+  std::uint64_t forwarded = 0, drops = 0;
+  for (const StreamAnalysis& s : a.streams) {
+    forwarded += s.forwarded;
+    drops += s.dropped_congestion + s.dropped_awaiting_key + s.dropped_budget;
+    if (s.dropped_congestion + s.dropped_awaiting_key + s.dropped_budget > 0) {
+      EXPECT_FALSE(s.dominant_gate.empty());
+      EXPECT_GE(s.worst_interval_ms, 0.0);
+    }
+  }
+  EXPECT_EQ(forwarded, t.run.pairs_forwarded);
+  EXPECT_EQ(drops, t.run.pairs_dropped_budget + t.run.pairs_dropped_congestion +
+                       t.run.pairs_dropped_awaiting_key);
+  EXPECT_FALSE(a.shares.empty());
+}
+
+TEST_F(ReportRoundTripTest, PrintReportMentionsRunAndStreams) {
+  const Telemetry t = Load(*telemetry_text_);
+  std::ostringstream out;
+  PrintReport(out, t, Analyze(t));
+  const std::string text = out.str();
+  EXPECT_NE(text.find("== run =="), std::string::npos);
+  EXPECT_NE(text.find("drop attribution"), std::string::npos);
+  EXPECT_NE(text.find("share oscillation"), std::string::npos);
+}
+
+// Acceptance criterion: the checker must fail on a deliberately corrupted
+// ledger. Three corruption styles, each tripping a different invariant.
+TEST_F(ReportRoundTripTest, CorruptedCounterFailsCheck) {
+  std::string text = *telemetry_text_;
+  const std::string needle = "\"pairs_forwarded\":";
+  const std::size_t pos = text.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  text.insert(pos + needle.size(), "9");  // prepend a digit: 9x the count
+  const std::vector<std::string> violations = CheckInvariants(Load(text));
+  ASSERT_FALSE(violations.empty());
+}
+
+TEST_F(ReportRoundTripTest, MissingDisplayedHopsFailCheck) {
+  std::istringstream in(*telemetry_text_);
+  std::ostringstream out;
+  std::string line;
+  int removed = 0;
+  while (std::getline(in, line)) {
+    if (line.find("\"hop\":\"displayed\"") != std::string::npos) {
+      ++removed;
+      continue;  // lose every display record
+    }
+    out << line << "\n";
+  }
+  ASSERT_GT(removed, 0);
+  const std::vector<std::string> violations = CheckInvariants(Load(out.str()));
+  ASSERT_FALSE(violations.empty());
+  bool mentions_closure = false;
+  for (const std::string& v : violations) {
+    if (v.find("neither displayed nor stalled") != std::string::npos) {
+      mentions_closure = true;
+    }
+  }
+  EXPECT_TRUE(mentions_closure);
+}
+
+TEST_F(ReportRoundTripTest, InflatedAuditBytesFailReconciliation) {
+  std::istringstream in(*telemetry_text_);
+  std::ostringstream out;
+  std::string line;
+  bool inflated = false;
+  while (std::getline(in, line)) {
+    const std::string needle = "\"forwarded_bytes\":";
+    const std::size_t pos = line.find(needle);
+    if (!inflated && line.find("\"type\":\"audit\"") != std::string::npos &&
+        pos != std::string::npos) {
+      line.insert(pos + needle.size(), "7");  // 7xxxx bytes never forwarded
+      inflated = true;
+    }
+    out << line << "\n";
+  }
+  ASSERT_TRUE(inflated);
+  const std::vector<std::string> violations = CheckInvariants(Load(out.str()));
+  ASSERT_FALSE(violations.empty());
+  bool mentions_reconciliation = false;
+  for (const std::string& v : violations) {
+    if (v.find("reconciliation") != std::string::npos ||
+        v.find("budget+credit") != std::string::npos) {
+      mentions_reconciliation = true;
+    }
+  }
+  EXPECT_TRUE(mentions_reconciliation);
+}
+
+TEST_F(ReportRoundTripTest, DroppedCaptureHopsFailOrdering) {
+  std::istringstream in(*telemetry_text_);
+  std::ostringstream out;
+  std::string line;
+  int removed = 0;
+  while (std::getline(in, line)) {
+    if (line.find("\"hop\":\"captured\"") != std::string::npos) {
+      ++removed;
+      continue;
+    }
+    out << line << "\n";
+  }
+  ASSERT_GT(removed, 0);
+  const std::vector<std::string> violations = CheckInvariants(Load(out.str()));
+  ASSERT_FALSE(violations.empty());
+  bool mentions_prereq = false;
+  for (const std::string& v : violations) {
+    if (v.find("without 'captured'") != std::string::npos) {
+      mentions_prereq = true;
+    }
+  }
+  EXPECT_TRUE(mentions_prereq);
+}
+
+}  // namespace
+}  // namespace livo::report

@@ -128,7 +128,7 @@ TEST(BoundedQueue, BlockingProducerConsumer) {
 TEST(Pipeline, ProcessesItemsThroughStages) {
   Pipeline<int> pipeline(4);
   pipeline.AddStage("double", [](int v) { return std::optional<int>(v * 2); });
-  pipeline.AddStage("plus-one", [](int v) { return std::optional<int>(v + 1); });
+  pipeline.AddStage("plus_one", [](int v) { return std::optional<int>(v + 1); });
   pipeline.Start();
   for (int i = 0; i < 10; ++i) pipeline.Feed(i);
   std::vector<int> results;
@@ -144,7 +144,7 @@ TEST(Pipeline, ProcessesItemsThroughStages) {
 
 TEST(Pipeline, DroppedItemsAreCounted) {
   Pipeline<int> pipeline(4);
-  pipeline.AddStage("drop-odd", [](int v) {
+  pipeline.AddStage("drop_odd", [](int v) {
     return v % 2 == 0 ? std::optional<int>(v) : std::nullopt;
   });
   pipeline.Start();

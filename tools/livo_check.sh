@@ -12,6 +12,12 @@
 #     + test_video_parallel + test_conference) with AddressSanitizer +
 #     UndefinedBehaviorSanitizer so out-of-bounds SIMD loads and UB in the
 #     intrinsics code surface.
+#  3. Telemetry gate — runs a traced 4-party conference sweep
+#     (bench_conference --parties=4 --fresh under LIVO_TRACE=1) in the
+#     TSan build tree and feeds the emitted telemetry JSONL through
+#     livo_report --check, so the frame ledger's invariants (hop
+#     ordering, gate counts vs SFU counters, audit reconciliation) hold
+#     under sanitizers on every change.
 #
 # For the fast unsanitized subset of the same surface, use the ctest
 # label instead: ctest --test-dir build -L quick.
@@ -95,5 +101,26 @@ else
   echo "[livo_check] ASan+UBSan unavailable on this toolchain: skipping" \
        "the memory/UB pass"
 fi
+
+# --- Pass 3: traced conference -> livo_report --check telemetry gate ---
+
+echo "[livo_check] telemetry gate: traced 4-party conference + livo_report"
+"${CMAKE_BIN}" --build "${BUILD_DIR}" --target bench_conference livo_report \
+  -j "$(nproc)"
+
+TELEMETRY_DIR="$(mktemp -d)"
+trap 'rm -rf "${TELEMETRY_DIR}"' EXIT
+(
+  cd "${TELEMETRY_DIR}"
+  LIVO_TRACE=1 LIVO_TRACE_DIR="${TELEMETRY_DIR}" \
+    "${BUILD_DIR}/bench/bench_conference" --parties=4 --fresh \
+    --conference_json="${TELEMETRY_DIR}/bench.json" > /dev/null
+)
+TELEMETRY_FILES=("${TELEMETRY_DIR}"/*.telemetry.jsonl)
+if [ ! -e "${TELEMETRY_FILES[0]}" ]; then
+  echo "[livo_check] FAIL: traced run produced no telemetry JSONL" >&2
+  exit 1
+fi
+"${BUILD_DIR}/tools/livo_report" --check --quiet "${TELEMETRY_FILES[@]}"
 
 echo "[livo_check] OK"

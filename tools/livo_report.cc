@@ -1,0 +1,80 @@
+// livo_report: offline analyzer for conference telemetry JSONL.
+//
+//   livo_report [--check] [--quiet] file.telemetry.jsonl...
+//
+// Default mode prints the per-run summary, per-stream drop attribution,
+// stall onsets, and allocator share-oscillation stats. --check also runs
+// the ledger/counter invariants and exits non-zero if any file violates
+// them (or fails to open/parse), making it usable as a CI gate.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "report.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--check] [--quiet] <telemetry.jsonl>...\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check = false;
+  bool quiet = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check") {
+      check = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return Usage(argv[0]);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return Usage(argv[0]);
+
+  int failures = 0;
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << path << ": cannot open\n";
+      ++failures;
+      continue;
+    }
+    const livo::report::Telemetry telemetry = livo::report::LoadTelemetry(in);
+    if (paths.size() > 1 && !quiet) std::cout << "=== " << path << " ===\n";
+    if (!quiet) {
+      const livo::report::Analysis analysis =
+          livo::report::Analyze(telemetry);
+      livo::report::PrintReport(std::cout, telemetry, analysis);
+    }
+    if (check) {
+      const std::vector<std::string> violations =
+          livo::report::CheckInvariants(telemetry);
+      if (violations.empty()) {
+        std::cout << path << ": check OK\n";
+      } else {
+        ++failures;
+        std::cerr << path << ": " << violations.size()
+                  << " invariant violation(s)\n";
+        for (const std::string& violation : violations) {
+          std::cerr << "  " << violation << "\n";
+        }
+      }
+    }
+    if (!quiet && paths.size() > 1) std::cout << "\n";
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,954 @@
+#include "report.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+#include <tuple>
+
+namespace livo::report {
+namespace {
+
+// ---- JSON parser --------------------------------------------------------
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out, std::string* error) {
+    SkipWs();
+    if (!ParseValue(out)) {
+      if (error != nullptr) *error = error_;
+      return false;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      if (error != nullptr) {
+        *error = "trailing characters at offset " + std::to_string(pos_);
+      }
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool Fail(const std::string& message) {
+    error_ = message + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool ParseValue(JsonValue* out) {
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->string);
+      case 't':
+        return ParseLiteral("true", out, JsonValue::Kind::kBool, true);
+      case 'f':
+        return ParseLiteral("false", out, JsonValue::Kind::kBool, false);
+      case 'n':
+        return ParseLiteral("null", out, JsonValue::Kind::kNull, false);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseLiteral(const char* literal, JsonValue* out, JsonValue::Kind kind,
+                    bool value) {
+    for (const char* p = literal; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        return Fail(std::string("bad literal, expected ") + literal);
+      }
+    }
+    out->kind = kind;
+    out->boolean = value;
+    return true;
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
+          c == 'e' || c == 'E') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Fail("expected value");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Fail("bad number '" + token + "'");
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = value;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Fail("dangling escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            // Telemetry never emits non-ASCII; decode the code point to
+            // '?' rather than failing, so foreign files still load.
+            if (pos_ + 4 > text_.size()) return Fail("bad \\u escape");
+            pos_ += 4;
+            out->push_back('?');
+            break;
+          }
+          default:
+            return Fail("bad escape");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseArray(JsonValue* out) {
+    ++pos_;  // '['
+    out->kind = JsonValue::Kind::kArray;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue element;
+      SkipWs();
+      if (!ParseValue(&element)) return false;
+      out->array.push_back(std::move(element));
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail("unterminated array");
+      const char c = text_[pos_++];
+      if (c == ']') return true;
+      if (c != ',') return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    ++pos_;  // '{'
+    out->kind = JsonValue::Kind::kObject;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_++] != ':') {
+        return Fail("expected ':' after key");
+      }
+      SkipWs();
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object.emplace(std::move(key), std::move(value));
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail("unterminated object");
+      const char c = text_[pos_++];
+      if (c == '}') return true;
+      if (c != ',') return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+std::uint64_t NumU64(const JsonValue& v, const std::string& key) {
+  const double n = v.Num(key, 0.0);
+  return n > 0.0 ? static_cast<std::uint64_t>(n + 0.5) : 0;
+}
+
+int NumInt(const JsonValue& v, const std::string& key, int fallback = 0) {
+  const double n = v.Num(key, static_cast<double>(fallback));
+  return static_cast<int>(std::llround(n));
+}
+
+// ---- Ledger indexing ----------------------------------------------------
+
+using PairKey = std::pair<int, int>;             // (origin, frame)
+using SubKey = std::tuple<int, int, int>;        // (origin, frame, subscriber)
+
+constexpr double kTimeTolMs = 1e-6;
+
+// Pair-level (subscriber == -1) lifecycle of one (origin, frame).
+struct PairState {
+  double captured = -1.0;
+  double encoded = -1.0;
+  double skipped = -1.0;
+  double pair_complete = -1.0;
+  double evicted = -1.0;       // first eviction (re-eviction is legal)
+  double lost_uplink = -1.0;
+  int pair_complete_count = 0;
+};
+
+// Subscriber-level lifecycle of one (origin, frame, subscriber).
+struct SubState {
+  double forwarded = -1.0;
+  double dropped_congestion = -1.0;
+  double dropped_awaiting_key = -1.0;
+  double dropped_budget = -1.0;
+  double delivered = -1.0;
+  double displayed = -1.0;
+  double stalled = -1.0;
+  std::uint64_t forwarded_bytes = 0;
+  int verdicts = 0;  // forwarded + dropped_* events
+};
+
+struct LedgerIndex {
+  std::map<PairKey, PairState> pairs;
+  std::map<SubKey, SubState> subs;
+  std::map<std::string, std::uint64_t> hop_counts;
+};
+
+LedgerIndex IndexLedger(const Telemetry& telemetry) {
+  LedgerIndex index;
+  for (const Hop& hop : telemetry.hops) {
+    ++index.hop_counts[hop.hop];
+    const PairKey pk{hop.origin, hop.frame};
+    if (hop.subscriber < 0) {
+      PairState& p = index.pairs[pk];
+      if (hop.hop == "captured") {
+        p.captured = hop.t_ms;
+      } else if (hop.hop == "encoded") {
+        p.encoded = hop.t_ms;
+      } else if (hop.hop == "skipped_congestion") {
+        p.skipped = hop.t_ms;
+      } else if (hop.hop == "pair_complete") {
+        p.pair_complete = hop.t_ms;
+        ++p.pair_complete_count;
+      } else if (hop.hop == "evicted") {
+        if (p.evicted < 0.0) p.evicted = hop.t_ms;
+      } else if (hop.hop == "lost_uplink") {
+        p.lost_uplink = hop.t_ms;
+      }
+    } else {
+      SubState& s = index.subs[SubKey{hop.origin, hop.frame, hop.subscriber}];
+      if (hop.hop == "forwarded") {
+        s.forwarded = hop.t_ms;
+        s.forwarded_bytes = hop.bytes;
+        ++s.verdicts;
+      } else if (hop.hop == "dropped_congestion") {
+        s.dropped_congestion = hop.t_ms;
+        ++s.verdicts;
+      } else if (hop.hop == "dropped_awaiting_key") {
+        s.dropped_awaiting_key = hop.t_ms;
+        ++s.verdicts;
+      } else if (hop.hop == "dropped_budget") {
+        s.dropped_budget = hop.t_ms;
+        ++s.verdicts;
+      } else if (hop.hop == "delivered") {
+        s.delivered = hop.t_ms;
+      } else if (hop.hop == "displayed") {
+        s.displayed = hop.t_ms;
+      } else if (hop.hop == "stalled") {
+        s.stalled = hop.t_ms;
+      }
+    }
+  }
+  return index;
+}
+
+// Is this captured pair fully accounted for? See ISSUE acceptance: every
+// captured pair must end displayed, stalled, or dropped-with-reason.
+bool PairIsTerminal(const PairState& pair, const LedgerIndex& index,
+                    const PairKey& key, int parties) {
+  if (pair.skipped >= 0.0) return true;
+  if (pair.encoded < 0.0) return false;  // captured, never encoded/skipped
+  if (pair.pair_complete < 0.0) {
+    return pair.evicted >= 0.0 || pair.lost_uplink >= 0.0;
+  }
+  // Completed at the SFU: every subscriber needs exactly one verdict, and
+  // every forwarded copy must close as displayed or stalled.
+  int verdicts = 0;
+  const SubKey lo{key.first, key.second, 0};
+  for (auto it = index.subs.lower_bound(lo);
+       it != index.subs.end() && std::get<0>(it->first) == key.first &&
+       std::get<1>(it->first) == key.second;
+       ++it) {
+    const SubState& sub = it->second;
+    verdicts += sub.verdicts;
+    if (sub.forwarded >= 0.0 && sub.displayed < 0.0 && sub.stalled < 0.0) {
+      return false;
+    }
+  }
+  if (parties >= 2 && verdicts != parties - 1) return false;
+  return verdicts > 0 || parties < 2;
+}
+
+double IntervalOf(double t_ms, double interval_ms) {
+  if (interval_ms <= 0.0) return 0.0;
+  return std::floor(t_ms / interval_ms) * interval_ms;
+}
+
+// Collects violations with a hard cap on detail lines so a badly corrupt
+// file doesn't produce megabytes of output.
+class ViolationSink {
+ public:
+  explicit ViolationSink(std::vector<std::string>* out) : out_(out) {}
+
+  void Add(const std::string& message) {
+    ++total_;
+    if (out_->size() < kMaxDetailLines) {
+      out_->push_back(message);
+    } else if (out_->size() == kMaxDetailLines) {
+      out_->push_back("... further violations elided");
+    }
+  }
+
+  std::uint64_t total() const { return total_; }
+
+ private:
+  static constexpr std::size_t kMaxDetailLines = 64;
+  std::vector<std::string>* out_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace
+
+// ---- JsonValue accessors ------------------------------------------------
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  const auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+double JsonValue::Num(const std::string& key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->kind == Kind::kNumber) ? v->number : fallback;
+}
+
+std::string JsonValue::Str(const std::string& key,
+                           const std::string& fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->kind == Kind::kString) ? v->string : fallback;
+}
+
+bool JsonValue::Bool(const std::string& key, bool fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->kind == Kind::kBool) ? v->boolean : fallback;
+}
+
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error) {
+  JsonParser parser(text);
+  return parser.Parse(out, error);
+}
+
+// ---- Loading ------------------------------------------------------------
+
+Telemetry LoadTelemetry(std::istream& is) {
+  Telemetry telemetry;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    JsonValue value;
+    std::string error;
+    if (!ParseJson(line, &value, &error)) {
+      telemetry.parse_errors.push_back("line " + std::to_string(line_number) +
+                                       ": " + error);
+      continue;
+    }
+    const std::string type = value.Str("type");
+    if (type == "run") {
+      RunInfo& run = telemetry.run;
+      run.present = true;
+      run.scheme = value.Str("scheme");
+      run.parties = NumInt(value, "parties");
+      run.virtual_ms = value.Num("virtual_ms");
+      run.duration_ms = value.Num("duration_ms");
+      run.interval_ms = value.Num("interval_ms", 100.0);
+      run.events_dispatched = NumU64(value, "events_dispatched");
+      run.frames_in = NumU64(value, "frames_in");
+      run.pairs_completed = NumU64(value, "pairs_completed");
+      run.pairs_forwarded = NumU64(value, "pairs_forwarded");
+      run.pairs_dropped_budget = NumU64(value, "pairs_dropped_budget");
+      run.pairs_dropped_congestion = NumU64(value, "pairs_dropped_congestion");
+      run.pairs_dropped_awaiting_key =
+          NumU64(value, "pairs_dropped_awaiting_key");
+      run.pairs_evicted_incomplete = NumU64(value, "pairs_evicted_incomplete");
+      run.keyframe_relays = NumU64(value, "keyframe_relays");
+    } else if (type == "stream") {
+      StreamInfo stream;
+      stream.subscriber = NumInt(value, "subscriber");
+      stream.origin = NumInt(value, "origin");
+      stream.expected = NumU64(value, "expected");
+      stream.forwarded = NumU64(value, "forwarded");
+      stream.rendered = NumU64(value, "rendered");
+      stream.fps = value.Num("fps");
+      stream.stall_rate = value.Num("stall_rate");
+      stream.mean_latency_ms = value.Num("mean_latency_ms");
+      telemetry.streams.push_back(std::move(stream));
+    } else if (type == "audit") {
+      AuditRow row;
+      row.subscriber = NumInt(value, "subscriber");
+      row.start_ms = value.Num("start_ms");
+      row.budget_bytes = value.Num("budget_bytes");
+      row.credit_bytes = value.Num("credit_bytes");
+      row.forwarded_bytes = value.Num("forwarded_bytes");
+      if (const JsonValue* shares = value.Find("shares");
+          shares != nullptr && shares->kind == JsonValue::Kind::kArray) {
+        for (const JsonValue& share : shares->array) {
+          row.shares.push_back(
+              share.kind == JsonValue::Kind::kNumber ? share.number : 0.0);
+        }
+      }
+      telemetry.audits.push_back(std::move(row));
+    } else if (type == "hop") {
+      Hop hop;
+      hop.origin = NumInt(value, "origin");
+      hop.frame = NumInt(value, "frame");
+      hop.subscriber = NumInt(value, "subscriber", -1);
+      hop.hop = value.Str("hop");
+      hop.t_ms = value.Num("t_ms");
+      hop.bytes = NumU64(value, "bytes");
+      hop.keyframe = value.Bool("keyframe");
+      telemetry.hops.push_back(std::move(hop));
+    } else if (type == "timeseries") {
+      SeriesInfo series;
+      series.name = value.Str("name");
+      series.grid_ms = value.Num("grid_ms");
+      series.evicted = NumU64(value, "evicted");
+      if (const JsonValue* points = value.Find("points");
+          points != nullptr && points->kind == JsonValue::Kind::kArray) {
+        for (const JsonValue& point : points->array) {
+          if (point.kind == JsonValue::Kind::kArray &&
+              point.array.size() == 2) {
+            series.points.emplace_back(point.array[0].number,
+                                       point.array[1].number);
+          }
+        }
+      }
+      telemetry.series.push_back(std::move(series));
+    }
+    // Unknown line types are skipped: newer writers stay readable.
+  }
+  return telemetry;
+}
+
+// ---- Analysis -----------------------------------------------------------
+
+Analysis Analyze(const Telemetry& telemetry) {
+  Analysis analysis;
+  const LedgerIndex index = IndexLedger(telemetry);
+  const double interval_ms =
+      telemetry.run.interval_ms > 0.0 ? telemetry.run.interval_ms : 100.0;
+
+  for (const auto& [key, pair] : index.pairs) {
+    if (pair.captured < 0.0) continue;
+    ++analysis.captured_pairs;
+    if (PairIsTerminal(pair, index, key, telemetry.run.parties)) {
+      ++analysis.terminal_pairs;
+    }
+  }
+  analysis.terminal_fraction =
+      analysis.captured_pairs == 0
+          ? 1.0
+          : static_cast<double>(analysis.terminal_pairs) /
+                static_cast<double>(analysis.captured_pairs);
+
+  // Per (origin, subscriber) stream accounting from subscriber-level hops.
+  struct StreamAccumulator {
+    StreamAnalysis out;
+    std::map<double, std::uint64_t> drops_by_interval;
+    // Per interval: (completed verdicts, displayed) for stall-onset math.
+    std::map<double, std::pair<std::uint64_t, std::uint64_t>> by_interval;
+    std::map<int, bool> displayed_by_frame;  // frame -> reached display
+  };
+  std::map<std::pair<int, int>, StreamAccumulator> streams;
+  std::map<int, std::uint64_t> captured_by_origin;
+  for (const auto& [key, pair] : index.pairs) {
+    if (pair.captured >= 0.0) ++captured_by_origin[key.first];
+  }
+  for (const auto& [key, sub] : index.subs) {
+    const int origin = std::get<0>(key);
+    const int frame = std::get<1>(key);
+    const int subscriber = std::get<2>(key);
+    StreamAccumulator& acc = streams[{origin, subscriber}];
+    acc.out.origin = origin;
+    acc.out.subscriber = subscriber;
+    double verdict_t = -1.0;
+    if (sub.forwarded >= 0.0) {
+      ++acc.out.forwarded;
+      verdict_t = sub.forwarded;
+    }
+    if (sub.displayed >= 0.0) ++acc.out.displayed;
+    if (sub.stalled >= 0.0) ++acc.out.stalled;
+    if (sub.dropped_congestion >= 0.0) {
+      ++acc.out.dropped_congestion;
+      verdict_t = sub.dropped_congestion;
+      ++acc.drops_by_interval[IntervalOf(sub.dropped_congestion, interval_ms)];
+    }
+    if (sub.dropped_awaiting_key >= 0.0) {
+      ++acc.out.dropped_awaiting_key;
+      verdict_t = sub.dropped_awaiting_key;
+      ++acc.drops_by_interval[IntervalOf(sub.dropped_awaiting_key,
+                                         interval_ms)];
+    }
+    if (sub.dropped_budget >= 0.0) {
+      ++acc.out.dropped_budget;
+      verdict_t = sub.dropped_budget;
+      ++acc.drops_by_interval[IntervalOf(sub.dropped_budget, interval_ms)];
+    }
+    if (verdict_t >= 0.0) {
+      auto& [total, displayed] =
+          acc.by_interval[IntervalOf(verdict_t, interval_ms)];
+      ++total;
+      if (sub.displayed >= 0.0) ++displayed;
+      acc.displayed_by_frame[frame] = sub.displayed >= 0.0;
+    }
+  }
+
+  std::map<double, std::pair<std::uint64_t, std::uint64_t>> global_by_interval;
+  for (auto& [key, acc] : streams) {
+    StreamAnalysis& out = acc.out;
+    out.captured = captured_by_origin[key.first];
+    // Dominant gate: fixed tie-break order mirrors the SFU gate order.
+    const std::pair<std::string, std::uint64_t> gates[] = {
+        {"congestion", out.dropped_congestion},
+        {"awaiting_key", out.dropped_awaiting_key},
+        {"budget", out.dropped_budget},
+    };
+    std::uint64_t best = 0;
+    for (const auto& [name, count] : gates) {
+      if (count > best) {
+        best = count;
+        out.dominant_gate = name;
+      }
+    }
+    for (const auto& [start, drops] : acc.drops_by_interval) {
+      if (drops > out.worst_interval_drops) {
+        out.worst_interval_drops = drops;
+        out.worst_interval_ms = start;
+      }
+    }
+    for (const auto& [start, counts] : acc.by_interval) {
+      const auto& [total, displayed] = counts;
+      global_by_interval[start].first += total;
+      global_by_interval[start].second += displayed;
+      if (out.stall_onset_ms < 0.0 && total > 0 &&
+          static_cast<double>(displayed) < 0.5 * static_cast<double>(total)) {
+        out.stall_onset_ms = start;
+      }
+    }
+    // Stall bursts: runs of >= 3 consecutive completed-but-undisplayed
+    // frames in frame-index order.
+    std::uint64_t run_length = 0;
+    for (const auto& [frame, displayed] : acc.displayed_by_frame) {
+      (void)frame;
+      if (!displayed) {
+        ++run_length;
+        out.longest_burst = std::max(out.longest_burst, run_length);
+        if (run_length == 3) ++out.stall_bursts;
+      } else {
+        run_length = 0;
+      }
+    }
+    analysis.streams.push_back(out);
+  }
+  for (const auto& [start, counts] : global_by_interval) {
+    const auto& [total, displayed] = counts;
+    if (total > 0 &&
+        static_cast<double>(displayed) < 0.5 * static_cast<double>(total)) {
+      analysis.global_stall_onset_ms = start;
+      break;
+    }
+  }
+
+  // Share oscillation from the audit trail.
+  std::map<std::pair<int, int>, std::vector<double>> share_rows;
+  for (const AuditRow& row : telemetry.audits) {
+    for (std::size_t slot = 0; slot < row.shares.size(); ++slot) {
+      share_rows[{row.subscriber, static_cast<int>(slot)}].push_back(
+          row.shares[slot]);
+    }
+  }
+  for (const auto& [key, values] : share_rows) {
+    ShareStats stats;
+    stats.subscriber = key.first;
+    stats.slot = key.second;
+    double sum = 0.0;
+    for (double v : values) sum += v;
+    stats.mean = sum / static_cast<double>(values.size());
+    double var = 0.0;
+    for (double v : values) var += (v - stats.mean) * (v - stats.mean);
+    stats.stddev = std::sqrt(var / static_cast<double>(values.size()));
+    double prev_delta = 0.0;
+    for (std::size_t i = 1; i < values.size(); ++i) {
+      const double delta = values[i] - values[i - 1];
+      stats.max_step = std::max(stats.max_step, std::abs(delta));
+      if (std::abs(delta) > 1e-12 && std::abs(prev_delta) > 1e-12 &&
+          (delta > 0.0) != (prev_delta > 0.0)) {
+        ++stats.reversals;
+      }
+      if (std::abs(delta) > 1e-12) prev_delta = delta;
+    }
+    analysis.shares.push_back(stats);
+  }
+  return analysis;
+}
+
+// ---- Invariants ---------------------------------------------------------
+
+std::vector<std::string> CheckInvariants(const Telemetry& telemetry) {
+  std::vector<std::string> violations;
+  ViolationSink sink(&violations);
+
+  for (const std::string& error : telemetry.parse_errors) {
+    sink.Add("parse error: " + error);
+  }
+
+  const RunInfo& run = telemetry.run;
+  // Gate conservation on the run counters alone: every completed pair
+  // gets exactly one verdict per remote subscriber.
+  if (run.present && run.parties >= 2) {
+    const std::uint64_t verdicts =
+        run.pairs_forwarded + run.pairs_dropped_budget +
+        run.pairs_dropped_congestion + run.pairs_dropped_awaiting_key;
+    const std::uint64_t expected =
+        run.pairs_completed * static_cast<std::uint64_t>(run.parties - 1);
+    if (verdicts != expected) {
+      sink.Add("gate conservation: pairs_completed*" +
+               std::to_string(run.parties - 1) + " = " +
+               std::to_string(expected) + " but forwarded+dropped = " +
+               std::to_string(verdicts));
+    }
+  }
+
+  const LedgerIndex index = IndexLedger(telemetry);
+
+  // Ledger hop totals must match the run line's cumulative counters.
+  if (run.present && !telemetry.hops.empty()) {
+    const auto count = [&index](const char* hop) -> std::uint64_t {
+      const auto it = index.hop_counts.find(hop);
+      return it == index.hop_counts.end() ? 0 : it->second;
+    };
+    const std::pair<const char*, std::uint64_t> expectations[] = {
+        {"pair_complete", run.pairs_completed},
+        {"forwarded", run.pairs_forwarded},
+        {"dropped_budget", run.pairs_dropped_budget},
+        {"dropped_congestion", run.pairs_dropped_congestion},
+        {"dropped_awaiting_key", run.pairs_dropped_awaiting_key},
+        {"evicted", run.pairs_evicted_incomplete},
+    };
+    for (const auto& [hop, expected] : expectations) {
+      const std::uint64_t got = count(hop);
+      if (got != expected) {
+        sink.Add(std::string("counter mismatch: ledger has ") +
+                 std::to_string(got) + " '" + hop +
+                 "' events but run counter says " + std::to_string(expected));
+      }
+    }
+  }
+
+  // Pair-level ordering and prerequisites.
+  for (const auto& [key, pair] : index.pairs) {
+    const std::string id = "pair (" + std::to_string(key.first) + "," +
+                           std::to_string(key.second) + ")";
+    const auto require = [&](double event, const char* name, double prereq,
+                             const char* prereq_name) {
+      if (event < 0.0) return;
+      if (prereq < 0.0) {
+        sink.Add(id + ": '" + name + "' without '" + prereq_name + "'");
+      } else if (event + kTimeTolMs < prereq) {
+        sink.Add(id + ": '" + name + "' at " + std::to_string(event) +
+                 "ms precedes '" + prereq_name + "' at " +
+                 std::to_string(prereq) + "ms");
+      }
+    };
+    require(pair.encoded, "encoded", pair.captured, "captured");
+    require(pair.skipped, "skipped_congestion", pair.captured, "captured");
+    require(pair.pair_complete, "pair_complete", pair.encoded, "encoded");
+    require(pair.evicted, "evicted", pair.encoded, "encoded");
+    require(pair.lost_uplink, "lost_uplink", pair.encoded, "encoded");
+    if (pair.pair_complete_count > 1) {
+      sink.Add(id + ": pair_complete recorded " +
+               std::to_string(pair.pair_complete_count) + " times");
+    }
+  }
+
+  // Subscriber-level ordering, prerequisites, verdict uniqueness, and
+  // forwarded closure.
+  std::map<PairKey, int> verdicts_per_pair;
+  for (const auto& [key, sub] : index.subs) {
+    const PairKey pk{std::get<0>(key), std::get<1>(key)};
+    const std::string id = "pair (" + std::to_string(pk.first) + "," +
+                           std::to_string(pk.second) + ") subscriber " +
+                           std::to_string(std::get<2>(key));
+    const auto pair_it = index.pairs.find(pk);
+    const double complete =
+        pair_it == index.pairs.end() ? -1.0 : pair_it->second.pair_complete;
+    const auto require = [&](double event, const char* name, double prereq,
+                             const char* prereq_name) {
+      if (event < 0.0) return;
+      if (prereq < 0.0) {
+        sink.Add(id + ": '" + name + "' without '" + prereq_name + "'");
+      } else if (event + kTimeTolMs < prereq) {
+        sink.Add(id + ": '" + name + "' at " + std::to_string(event) +
+                 "ms precedes '" + prereq_name + "' at " +
+                 std::to_string(prereq) + "ms");
+      }
+    };
+    require(sub.forwarded, "forwarded", complete, "pair_complete");
+    require(sub.dropped_congestion, "dropped_congestion", complete,
+            "pair_complete");
+    require(sub.dropped_awaiting_key, "dropped_awaiting_key", complete,
+            "pair_complete");
+    require(sub.dropped_budget, "dropped_budget", complete, "pair_complete");
+    require(sub.delivered, "delivered", sub.forwarded, "forwarded");
+    require(sub.displayed, "displayed", sub.delivered, "delivered");
+    require(sub.stalled, "stalled", sub.forwarded, "forwarded");
+    if (sub.verdicts > 1) {
+      sink.Add(id + ": " + std::to_string(sub.verdicts) +
+               " gate verdicts (expected exactly one)");
+    }
+    if (sub.forwarded >= 0.0 && sub.displayed < 0.0 && sub.stalled < 0.0) {
+      sink.Add(id + ": forwarded but neither displayed nor stalled");
+    }
+    if (sub.displayed >= 0.0 && sub.stalled >= 0.0) {
+      sink.Add(id + ": both displayed and stalled");
+    }
+    verdicts_per_pair[pk] += sub.verdicts;
+  }
+  if (run.present && run.parties >= 2) {
+    for (const auto& [key, pair] : index.pairs) {
+      if (pair.pair_complete < 0.0) continue;
+      const auto it = verdicts_per_pair.find(key);
+      const int verdicts = it == verdicts_per_pair.end() ? 0 : it->second;
+      if (verdicts != run.parties - 1) {
+        sink.Add("pair (" + std::to_string(key.first) + "," +
+                 std::to_string(key.second) + "): " +
+                 std::to_string(verdicts) + " verdicts for " +
+                 std::to_string(run.parties - 1) + " subscribers");
+      }
+    }
+  }
+
+  // Audit rows: forwarded <= budget + carried credit.
+  for (const AuditRow& row : telemetry.audits) {
+    const double cap = row.budget_bytes + row.credit_bytes;
+    const double eps = 1e-6 * std::max(1.0, cap) + 1e-3;
+    if (row.forwarded_bytes > cap + eps) {
+      sink.Add("audit: subscriber " + std::to_string(row.subscriber) +
+               " interval " + std::to_string(row.start_ms) + "ms forwarded " +
+               std::to_string(row.forwarded_bytes) + "B > budget+credit " +
+               std::to_string(cap) + "B");
+    }
+  }
+
+  // Audit <-> ledger reconciliation: forwarded bytes per interval.
+  if (!telemetry.audits.empty() && !telemetry.hops.empty()) {
+    std::map<int, std::vector<const AuditRow*>> rows_by_subscriber;
+    for (const AuditRow& row : telemetry.audits) {
+      rows_by_subscriber[row.subscriber].push_back(&row);
+    }
+    for (auto& [subscriber, rows] : rows_by_subscriber) {
+      (void)subscriber;
+      std::stable_sort(rows.begin(), rows.end(),
+                       [](const AuditRow* a, const AuditRow* b) {
+                         return a->start_ms < b->start_ms;
+                       });
+    }
+    std::map<int, std::vector<double>> ledger_bytes;  // per subscriber, per row
+    for (auto& [subscriber, rows] : rows_by_subscriber) {
+      ledger_bytes[subscriber].assign(rows.size(), 0.0);
+    }
+    for (const auto& [key, sub] : index.subs) {
+      if (sub.forwarded < 0.0) continue;
+      const int subscriber = std::get<2>(key);
+      const auto rows_it = rows_by_subscriber.find(subscriber);
+      if (rows_it == rows_by_subscriber.end()) {
+        sink.Add("forwarded pair for subscriber " + std::to_string(subscriber) +
+                 " but no audit rows for them");
+        continue;
+      }
+      const std::vector<const AuditRow*>& rows = rows_it->second;
+      // Last row whose interval start precedes (or equals) the forward.
+      std::size_t lo = 0, hi = rows.size();
+      while (lo < hi) {
+        const std::size_t mid = (lo + hi) / 2;
+        if (rows[mid]->start_ms <= sub.forwarded + kTimeTolMs) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      if (lo == 0) {
+        sink.Add("forwarded pair at " + std::to_string(sub.forwarded) +
+                 "ms precedes subscriber " + std::to_string(subscriber) +
+                 "'s first audit interval");
+        continue;
+      }
+      ledger_bytes[subscriber][lo - 1] +=
+          static_cast<double>(sub.forwarded_bytes);
+    }
+    for (const auto& [subscriber, rows] : rows_by_subscriber) {
+      const std::vector<double>& bytes = ledger_bytes[subscriber];
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        if (std::abs(bytes[i] - rows[i]->forwarded_bytes) > 0.5) {
+          sink.Add("reconciliation: subscriber " + std::to_string(subscriber) +
+                   " interval " + std::to_string(rows[i]->start_ms) +
+                   "ms audit says " + std::to_string(rows[i]->forwarded_bytes) +
+                   "B forwarded, ledger sums " + std::to_string(bytes[i]) +
+                   "B");
+        }
+      }
+    }
+  }
+
+  // Terminal coverage of captured pairs.
+  if (!telemetry.hops.empty()) {
+    std::uint64_t captured = 0, terminal = 0;
+    for (const auto& [key, pair] : index.pairs) {
+      if (pair.captured < 0.0) continue;
+      ++captured;
+      if (PairIsTerminal(pair, index, key, run.parties)) ++terminal;
+    }
+    if (captured > 0) {
+      const double fraction =
+          static_cast<double>(terminal) / static_cast<double>(captured);
+      if (fraction < 0.99) {
+        std::ostringstream oss;
+        oss << "terminal coverage: only " << terminal << "/" << captured
+            << " captured pairs (" << std::fixed << std::setprecision(2)
+            << 100.0 * fraction << "%) reached a terminal state";
+        sink.Add(oss.str());
+      }
+    }
+  }
+
+  if (sink.total() > violations.size()) {
+    violations.push_back("total violations: " + std::to_string(sink.total()));
+  }
+  return violations;
+}
+
+// ---- Report -------------------------------------------------------------
+
+namespace {
+
+std::string FmtMs(double ms) {
+  if (ms < 0.0) return "-";
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(0) << ms;
+  return oss.str();
+}
+
+}  // namespace
+
+void PrintReport(std::ostream& os, const Telemetry& telemetry,
+                 const Analysis& analysis) {
+  const RunInfo& run = telemetry.run;
+  os << "== run ==\n";
+  if (run.present) {
+    os << "scheme " << run.scheme << ", " << run.parties << " parties, "
+       << std::fixed << std::setprecision(0) << run.virtual_ms
+       << " virtual ms, " << run.events_dispatched << " events\n";
+    os << "pairs: completed " << run.pairs_completed << ", forwarded "
+       << run.pairs_forwarded << ", dropped congestion "
+       << run.pairs_dropped_congestion << " / awaiting-key "
+       << run.pairs_dropped_awaiting_key << " / budget "
+       << run.pairs_dropped_budget << ", evicted "
+       << run.pairs_evicted_incomplete << ", keyframe relays "
+       << run.keyframe_relays << "\n";
+  } else {
+    os << "(no run line)\n";
+  }
+  os << "ledger: " << telemetry.hops.size() << " hop events, "
+     << analysis.captured_pairs << " captured pairs, " << std::fixed
+     << std::setprecision(2) << 100.0 * analysis.terminal_fraction
+     << "% terminal\n";
+
+  if (!analysis.streams.empty()) {
+    os << "\n== streams (drop attribution) ==\n";
+    os << std::left << std::setw(8) << "origin" << std::setw(6) << "sub"
+       << std::right << std::setw(8) << "fwd" << std::setw(8) << "disp"
+       << std::setw(8) << "stall" << std::setw(8) << "d_cong" << std::setw(8)
+       << "d_key" << std::setw(8) << "d_bud" << "  " << std::left
+       << std::setw(14) << "dominant" << std::right << std::setw(10)
+       << "worst_iv" << std::setw(10) << "onset" << std::setw(8) << "bursts"
+       << "\n";
+    for (const StreamAnalysis& s : analysis.streams) {
+      os << std::left << std::setw(8) << s.origin << std::setw(6)
+         << s.subscriber << std::right << std::setw(8) << s.forwarded
+         << std::setw(8) << s.displayed << std::setw(8) << s.stalled
+         << std::setw(8) << s.dropped_congestion << std::setw(8)
+         << s.dropped_awaiting_key << std::setw(8) << s.dropped_budget << "  "
+         << std::left << std::setw(14)
+         << (s.dominant_gate.empty() ? "-" : s.dominant_gate) << std::right
+         << std::setw(10) << FmtMs(s.worst_interval_ms) << std::setw(10)
+         << FmtMs(s.stall_onset_ms) << std::setw(8) << s.stall_bursts << "\n";
+    }
+    os << "first interval with conference-wide stall rate > 50%: "
+       << FmtMs(analysis.global_stall_onset_ms) << " ms\n";
+  }
+
+  if (!analysis.shares.empty()) {
+    os << "\n== allocator share oscillation ==\n";
+    os << std::left << std::setw(6) << "sub" << std::setw(6) << "slot"
+       << std::right << std::setw(10) << "mean" << std::setw(10) << "stddev"
+       << std::setw(10) << "max_step" << std::setw(10) << "reversal" << "\n";
+    for (const ShareStats& s : analysis.shares) {
+      os << std::left << std::setw(6) << s.subscriber << std::setw(6) << s.slot
+         << std::right << std::fixed << std::setprecision(4) << std::setw(10)
+         << s.mean << std::setw(10) << s.stddev << std::setw(10) << s.max_step
+         << std::setw(10) << s.reversals << "\n";
+    }
+  }
+
+  if (!telemetry.series.empty()) {
+    std::size_t points = 0;
+    std::uint64_t evicted = 0;
+    for (const SeriesInfo& series : telemetry.series) {
+      points += series.points.size();
+      evicted += series.evicted;
+    }
+    os << "\n== time series ==\n"
+       << telemetry.series.size() << " series, " << points << " points, "
+       << evicted << " evicted\n";
+  }
+}
+
+}  // namespace livo::report

@@ -1,0 +1,177 @@
+// Offline analyzer for conference telemetry JSONL (livo::report).
+//
+// livo_report ingests the `<label>.telemetry.jsonl` files RunConference
+// writes under LIVO_TRACE=1 (see src/conference/telemetry.h for the line
+// schema) and answers the questions the cumulative counters cannot:
+// which gate killed each stream's pairs, in which allocation interval the
+// collapse started, whether the allocator's shares oscillate, and whether
+// the recorded lifecycle is self-consistent.
+//
+// The library half (this header) is deliberately standalone — a small
+// JSON value parser plus plain structs — so tests can run LoadTelemetry /
+// CheckInvariants / Analyze in-process on a stringstream without going
+// through the CLI.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace livo::report {
+
+// ---- Minimal JSON value (objects, arrays, strings, numbers, bools) ----
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  // Typed accessors with defaults for absent/mistyped fields.
+  double Num(const std::string& key, double fallback = 0.0) const;
+  std::string Str(const std::string& key,
+                  const std::string& fallback = "") const;
+  bool Bool(const std::string& key, bool fallback = false) const;
+  const JsonValue* Find(const std::string& key) const;
+};
+
+// Parses one JSON document from `text`. Returns false (and sets `error`)
+// on malformed input.
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error);
+
+// ---- Telemetry data model (one struct per JSONL line type) ----
+
+struct RunInfo {
+  bool present = false;
+  std::string scheme;
+  int parties = 0;
+  double virtual_ms = 0.0;
+  double duration_ms = 0.0;
+  double interval_ms = 100.0;
+  std::uint64_t events_dispatched = 0;
+  std::uint64_t frames_in = 0;
+  std::uint64_t pairs_completed = 0;
+  std::uint64_t pairs_forwarded = 0;
+  std::uint64_t pairs_dropped_budget = 0;
+  std::uint64_t pairs_dropped_congestion = 0;
+  std::uint64_t pairs_dropped_awaiting_key = 0;
+  std::uint64_t pairs_evicted_incomplete = 0;
+  std::uint64_t keyframe_relays = 0;
+};
+
+struct StreamInfo {
+  int subscriber = 0;
+  int origin = 0;
+  std::uint64_t expected = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t rendered = 0;
+  double fps = 0.0;
+  double stall_rate = 0.0;
+  double mean_latency_ms = 0.0;
+};
+
+struct AuditRow {
+  int subscriber = 0;
+  double start_ms = 0.0;
+  double budget_bytes = 0.0;
+  double credit_bytes = 0.0;
+  double forwarded_bytes = 0.0;
+  std::vector<double> shares;
+};
+
+struct Hop {
+  int origin = 0;
+  int frame = 0;
+  int subscriber = -1;
+  std::string hop;
+  double t_ms = 0.0;
+  std::uint64_t bytes = 0;
+  bool keyframe = false;
+};
+
+struct SeriesInfo {
+  std::string name;
+  double grid_ms = 0.0;
+  std::uint64_t evicted = 0;
+  std::vector<std::pair<double, double>> points;
+};
+
+struct Telemetry {
+  RunInfo run;
+  std::vector<StreamInfo> streams;
+  std::vector<AuditRow> audits;
+  std::vector<Hop> hops;
+  std::vector<SeriesInfo> series;
+  std::vector<std::string> parse_errors;  // malformed lines (non-fatal)
+};
+
+// Reads JSONL telemetry. Lines that fail to parse are collected in
+// parse_errors; everything parseable is kept.
+Telemetry LoadTelemetry(std::istream& is);
+
+// ---- Analysis ----
+
+struct StreamAnalysis {
+  int origin = 0;
+  int subscriber = 0;
+  std::uint64_t captured = 0;   // origin-level captures (shared per origin)
+  std::uint64_t forwarded = 0;
+  std::uint64_t displayed = 0;
+  std::uint64_t stalled = 0;
+  std::uint64_t dropped_congestion = 0;
+  std::uint64_t dropped_awaiting_key = 0;
+  std::uint64_t dropped_budget = 0;
+  std::string dominant_gate;     // gate with the most drops ("" if none)
+  double worst_interval_ms = -1.0;  // interval start with the most drops
+  std::uint64_t worst_interval_drops = 0;
+  // First allocation interval where < 50% of this stream's completed
+  // pairs reached displayed (-1 when it never happens).
+  double stall_onset_ms = -1.0;
+  std::uint64_t stall_bursts = 0;     // runs of >= 3 undisplayed frames
+  std::uint64_t longest_burst = 0;
+};
+
+struct ShareStats {
+  int subscriber = 0;
+  int slot = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double max_step = 0.0;  // max |share(i+1) - share(i)|
+  std::uint64_t reversals = 0;  // direction changes of the share delta
+};
+
+struct Analysis {
+  std::uint64_t captured_pairs = 0;
+  std::uint64_t terminal_pairs = 0;
+  double terminal_fraction = 1.0;  // 1.0 for an empty ledger
+  std::vector<StreamAnalysis> streams;  // keyed (origin, subscriber)
+  std::vector<ShareStats> shares;
+  // First interval where the conference-wide stall rate crosses 50%.
+  double global_stall_onset_ms = -1.0;
+};
+
+Analysis Analyze(const Telemetry& telemetry);
+
+// ---- Invariant checking (`livo_report --check`) ----
+
+// Returns human-readable violation strings; empty means the telemetry is
+// self-consistent. Checks: ledger hop ordering and prerequisites, exactly
+// one gate verdict per (origin, frame, subscriber), ledger gate counts vs
+// the run line's conference.pairs_* counters, forwarded <= budget+credit
+// per audit row, per-interval audit/ledger byte reconciliation, and
+// terminal coverage >= 99% of captured pairs.
+std::vector<std::string> CheckInvariants(const Telemetry& telemetry);
+
+// Human-readable report (summary, drop attribution, stall onsets, share
+// oscillation).
+void PrintReport(std::ostream& os, const Telemetry& telemetry,
+                 const Analysis& analysis);
+
+}  // namespace livo::report
