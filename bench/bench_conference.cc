@@ -26,6 +26,7 @@
 #include "bench_util.h"
 #include "conference/conference.h"
 #include "conference/topology.h"
+#include "obs/metrics.h"
 #include "sim/dataset.h"
 #include "sim/nettrace.h"
 #include "sim/usertrace.h"
@@ -36,7 +37,7 @@ using namespace livo;
 
 constexpr int kFrames = 12;
 const char* kCacheDir = ".bench_cache";
-const char* kCacheVersion = "conf1";
+const char* kCacheVersion = "conf3";
 
 sim::ScaleProfile Profile() {
   sim::ScaleProfile profile;
@@ -73,9 +74,10 @@ conference::ParticipantSpec SpecFor(int index) {
   return spec;
 }
 
-conference::ConferenceOptions OptionsFor(int n, bool shared) {
+conference::ConferenceOptions OptionsFor(int n, bool shared, int layers) {
   conference::ConferenceOptions options;
   options.bandwidth_scale = Profile().bandwidth_scale;
+  options.ladder_layers = layers;
   if (shared) {
     options.uplink_mode = conference::LinkMode::kShared;
     options.downlink_mode = conference::LinkMode::kShared;
@@ -102,42 +104,78 @@ struct SweepPoint {
   double events_per_sec = 0.0;
   double mean_fps = 0.0;
   double mean_stall_rate = 0.0;
-  double mean_latency_ms = 0.0;
+  double mean_latency_ms = 0.0;        // delivered-only (survivor-biased)
+  double stall_aware_latency_ms = 0.0; // AoI gap over all expected frames
   double share_min = 1.0;  // level-1 allocator share extremes over audits
   double share_max = 0.0;
   std::uint64_t pairs_forwarded = 0;
   std::uint64_t pairs_dropped = 0;
+  // Ladder distribution: pair forwards per layer (index 0 = lowest).
+  std::vector<std::uint64_t> forwarded_by_layer;
+  std::uint64_t layer_switches = 0;  // up + down, over all streams
+  double encode_ms = 0.0;  // total sender encode wall-ms across parties
 };
 
+std::string LayerList(const SweepPoint& p, const char* sep) {
+  std::string out;
+  for (std::size_t q = 0; q < p.forwarded_by_layer.size(); ++q) {
+    if (q) out += sep;
+    out += std::to_string(p.forwarded_by_layer[q]);
+  }
+  return out;
+}
+
 std::string JsonRow(const SweepPoint& p) {
-  char buf[640];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "    {\"parties\": %d, \"topology\": \"%s\", \"wall_ms\": %.3f, "
       "\"virtual_ms\": %.1f, \"events_dispatched\": %llu, "
       "\"events_per_sec\": %.0f, \"mean_fps\": %.3f, "
       "\"mean_stall_rate\": %.4f, \"mean_latency_ms\": %.2f, "
+      "\"stall_aware_latency_ms\": %.2f, "
       "\"share_min\": %.4f, \"share_max\": %.4f, "
-      "\"pairs_forwarded\": %llu, \"pairs_dropped\": %llu}",
+      "\"pairs_forwarded\": %llu, \"pairs_dropped\": %llu, "
+      "\"layer_switches\": %llu, \"encode_ms\": %.3f, "
+      "\"forwarded_by_layer\": [%s]}",
       p.parties, p.shared ? "shared" : "private", p.wall_ms, p.virtual_ms,
       static_cast<unsigned long long>(p.events), p.events_per_sec,
-      p.mean_fps, p.mean_stall_rate, p.mean_latency_ms, p.share_min,
-      p.share_max, static_cast<unsigned long long>(p.pairs_forwarded),
-      static_cast<unsigned long long>(p.pairs_dropped));
+      p.mean_fps, p.mean_stall_rate, p.mean_latency_ms,
+      p.stall_aware_latency_ms, p.share_min, p.share_max,
+      static_cast<unsigned long long>(p.pairs_forwarded),
+      static_cast<unsigned long long>(p.pairs_dropped),
+      static_cast<unsigned long long>(p.layer_switches), p.encode_ms,
+      LayerList(p, ", ").c_str());
   return buf;
 }
 
 // Flat `key value` lines, one metric per line — trivially reparseable.
+// forwarded_by_layer is one comma-separated token so the layer count can
+// vary without changing the line grammar.
 std::string Serialize(const SweepPoint& p) {
   std::ostringstream os;
   os.precision(17);
   os << "wall_ms " << p.wall_ms << "\nvirtual_ms " << p.virtual_ms
      << "\nevents " << p.events << "\nmean_fps " << p.mean_fps
      << "\nmean_stall_rate " << p.mean_stall_rate << "\nmean_latency_ms "
-     << p.mean_latency_ms << "\nshare_min " << p.share_min << "\nshare_max "
-     << p.share_max << "\npairs_forwarded " << p.pairs_forwarded
-     << "\npairs_dropped " << p.pairs_dropped << "\n";
+     << p.mean_latency_ms << "\nstall_aware_latency_ms "
+     << p.stall_aware_latency_ms << "\nshare_min " << p.share_min
+     << "\nshare_max " << p.share_max << "\npairs_forwarded "
+     << p.pairs_forwarded << "\npairs_dropped " << p.pairs_dropped
+     << "\nlayer_switches " << p.layer_switches << "\nencode_ms "
+     << p.encode_ms << "\nforwarded_by_layer " << LayerList(p, ",") << "\n";
   return os.str();
+}
+
+bool ParseLayerList(const std::string& text, std::vector<std::uint64_t>& out) {
+  out.clear();
+  std::istringstream is(text);
+  std::string token;
+  while (std::getline(is, token, ',')) {
+    if (token.empty()) return false;
+    out.push_back(std::strtoull(token.c_str(), nullptr, 10));
+  }
+  return !out.empty();
 }
 
 bool Deserialize(const std::string& text, SweepPoint& p) {
@@ -151,20 +189,29 @@ bool Deserialize(const std::string& text, SweepPoint& p) {
     else if (key == "mean_fps" && (is >> p.mean_fps)) ++fields;
     else if (key == "mean_stall_rate" && (is >> p.mean_stall_rate)) ++fields;
     else if (key == "mean_latency_ms" && (is >> p.mean_latency_ms)) ++fields;
+    else if (key == "stall_aware_latency_ms" &&
+             (is >> p.stall_aware_latency_ms)) ++fields;
     else if (key == "share_min" && (is >> p.share_min)) ++fields;
     else if (key == "share_max" && (is >> p.share_max)) ++fields;
     else if (key == "pairs_forwarded" && (is >> p.pairs_forwarded)) ++fields;
     else if (key == "pairs_dropped" && (is >> p.pairs_dropped)) ++fields;
+    else if (key == "layer_switches" && (is >> p.layer_switches)) ++fields;
+    else if (key == "encode_ms" && (is >> p.encode_ms)) ++fields;
+    else if (key == "forwarded_by_layer") {
+      std::string list;
+      if (is >> list && ParseLayerList(list, p.forwarded_by_layer)) ++fields;
+      else return false;
+    }
     else return false;
   }
-  return fields == 10;
+  return fields == 14;
 }
 
-SweepPoint RunPoint(int n, bool shared, bool fresh) {
+SweepPoint RunPoint(int n, bool shared, bool fresh, int layers) {
   std::vector<conference::ParticipantSpec> specs;
   specs.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) specs.push_back(SpecFor(i));
-  const conference::ConferenceOptions options = OptionsFor(n, shared);
+  const conference::ConferenceOptions options = OptionsFor(n, shared, layers);
 
   SweepPoint point;
   point.parties = n;
@@ -187,8 +234,15 @@ SweepPoint RunPoint(int n, bool shared, bool fresh) {
     }
   }
 
+  // Delta of the cumulative sender-encode histogram isolates this run's
+  // encode wall time even though the registry spans the whole sweep.
+  const double encode_before =
+      obs::Registry::Get().GetHistogram("sender.encode_ms").sum();
   const conference::ConferenceResult result =
       conference::RunConference(specs, options);
+  point.encode_ms =
+      obs::Registry::Get().GetHistogram("sender.encode_ms").sum() -
+      encode_before;
 
   point.wall_ms = result.wall_ms;
   point.virtual_ms = result.virtual_ms;
@@ -201,6 +255,8 @@ SweepPoint RunPoint(int n, bool shared, bool fresh) {
       point.mean_fps += stream.fps;
       point.mean_stall_rate += stream.stall_rate;
       point.mean_latency_ms += stream.mean_latency_ms;
+      point.stall_aware_latency_ms += stream.stall_aware_latency_ms;
+      point.layer_switches += stream.layer_switches;
       ++streams;
     }
   }
@@ -208,7 +264,10 @@ SweepPoint RunPoint(int n, bool shared, bool fresh) {
     point.mean_fps /= static_cast<double>(streams);
     point.mean_stall_rate /= static_cast<double>(streams);
     point.mean_latency_ms /= static_cast<double>(streams);
+    point.stall_aware_latency_ms /= static_cast<double>(streams);
   }
+  point.forwarded_by_layer.assign(result.sfu.forwarded_by_layer.begin(),
+                                  result.sfu.forwarded_by_layer.end());
   for (const auto& row : result.audits) {
     for (double share : row.shares) {
       point.share_min = std::min(point.share_min, share);
@@ -219,7 +278,8 @@ SweepPoint RunPoint(int n, bool shared, bool fresh) {
   point.pairs_forwarded = result.sfu.pairs_forwarded;
   point.pairs_dropped = result.sfu.pairs_dropped_budget +
                         result.sfu.pairs_dropped_congestion +
-                        result.sfu.pairs_dropped_awaiting_key;
+                        result.sfu.pairs_dropped_awaiting_key +
+                        result.sfu.pairs_dropped_layer_incomplete;
 
   std::filesystem::create_directories(kCacheDir);
   std::ofstream(cache_path) << Serialize(point);
@@ -229,17 +289,20 @@ SweepPoint RunPoint(int n, bool shared, bool fresh) {
 void PrintSweep(const std::string& title,
                 const std::vector<SweepPoint>& points) {
   bench::PrintHeader("BENCH conference", title);
-  bench::PrintRow({"parties", "wall_ms", "events", "events/s", "fps",
-                   "stall", "lat_ms", "sh_min", "sh_max", "fwd", "drop",
-                   "cache"});
+  bench::PrintRow({"parties", "wall_ms", "events/s", "fps", "stall",
+                   "lat_ms", "s_lat", "sh_min", "sh_max", "fwd", "drop",
+                   "by_layer", "switch", "enc_ms", "cache"});
   for (const auto& p : points) {
     bench::PrintRow(
         {std::to_string(p.parties), bench::Fmt(p.wall_ms, 1),
-         std::to_string(p.events), bench::Fmt(p.events_per_sec, 0),
+         bench::Fmt(p.events_per_sec, 0),
          bench::Fmt(p.mean_fps, 2), bench::Fmt(p.mean_stall_rate, 3),
-         bench::Fmt(p.mean_latency_ms, 1), bench::Fmt(p.share_min, 3),
+         bench::Fmt(p.mean_latency_ms, 1),
+         bench::Fmt(p.stall_aware_latency_ms, 1), bench::Fmt(p.share_min, 3),
          bench::Fmt(p.share_max, 3), std::to_string(p.pairs_forwarded),
-         std::to_string(p.pairs_dropped), p.cached ? "hit" : "miss"});
+         std::to_string(p.pairs_dropped), LayerList(p, "/"),
+         std::to_string(p.layer_switches), bench::Fmt(p.encode_ms, 1),
+         p.cached ? "hit" : "miss"});
   }
   std::printf("\n");
 }
@@ -254,10 +317,12 @@ int main(int argc, char** argv) {
   // or wall-clock timing rather than the cached records.
   std::vector<int> sweep = {2, 4, 8, 16};
   bool fresh = false;
+  int layers = conference::ConferenceOptions{}.ladder_layers;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const std::string json_prefix = "--conference_json=";
     const std::string parties_prefix = "--parties=";
+    const std::string layers_prefix = "--layers=";
     if (arg.rfind(json_prefix, 0) == 0) {
       json_path = arg.substr(json_prefix.size());
     } else if (arg.rfind(parties_prefix, 0) == 0) {
@@ -267,11 +332,20 @@ int main(int argc, char** argv) {
         return 2;
       }
       sweep = {n};
+    } else if (arg.rfind(layers_prefix, 0) == 0) {
+      // Ladder depth; --layers=1 disables the simulcast ladder entirely
+      // (single-layer encode), which is the baseline for the
+      // encode-once overhead comparison.
+      layers = std::atoi(arg.c_str() + layers_prefix.size());
+      if (layers < 1) {
+        std::fprintf(stderr, "--layers wants n >= 1, got %d\n", layers);
+        return 2;
+      }
     } else if (arg == "--fresh") {
       fresh = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--parties=<n>] [--fresh] "
+                   "usage: %s [--parties=<n>] [--layers=<l>] [--fresh] "
                    "[--conference_json=<path>]\n",
                    argv[0]);
       return 2;
@@ -279,8 +353,8 @@ int main(int argc, char** argv) {
   }
 
   std::vector<SweepPoint> priv, shared;
-  for (int n : sweep) priv.push_back(RunPoint(n, false, fresh));
-  for (int n : sweep) shared.push_back(RunPoint(n, true, fresh));
+  for (int n : sweep) priv.push_back(RunPoint(n, false, fresh, layers));
+  for (int n : sweep) shared.push_back(RunPoint(n, true, fresh, layers));
 
   PrintSweep("N parties, private access links (SFU scaling)", priv);
   PrintSweep("N parties, shared uplink + downlink bottlenecks (contention)",
@@ -288,6 +362,7 @@ int main(int argc, char** argv) {
 
   std::string json = "{\n  \"bench\": \"conference\",\n";
   json += "  \"frames_per_party\": " + std::to_string(kFrames) + ",\n";
+  json += "  \"ladder_layers\": " + std::to_string(layers) + ",\n";
   json += "  \"sweep\": [\n";
   bool first = true;
   for (const auto* points : {&priv, &shared}) {

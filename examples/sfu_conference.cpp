@@ -51,15 +51,27 @@ int main() {
 
   std::printf("%d-party conference, %d frames each (%s)\n", kParties,
               kFrames, result.scheme.c_str());
-  std::printf("SFU: %zu pairs in, %zu forwarded, %zu dropped "
-              "(budget %zu, congestion %zu, awaiting-key %zu)\n",
-              result.sfu.pairs_completed, result.sfu.pairs_forwarded,
+  std::printf("SFU: %zu pairs in (%zu salvaged), %zu forwarded, %zu dropped "
+              "(budget %zu, congestion %zu, awaiting-key %zu, "
+              "layer-incomplete %zu)\n",
+              result.sfu.pairs_completed, result.sfu.pairs_salvaged,
+              result.sfu.pairs_forwarded,
               result.sfu.pairs_dropped_budget +
                   result.sfu.pairs_dropped_congestion +
-                  result.sfu.pairs_dropped_awaiting_key,
+                  result.sfu.pairs_dropped_awaiting_key +
+                  result.sfu.pairs_dropped_layer_incomplete,
               result.sfu.pairs_dropped_budget,
               result.sfu.pairs_dropped_congestion,
-              result.sfu.pairs_dropped_awaiting_key);
+              result.sfu.pairs_dropped_awaiting_key,
+              result.sfu.pairs_dropped_layer_incomplete);
+  if (result.sfu.forwarded_by_layer.size() > 1) {
+    std::printf("ladder:");
+    for (std::size_t q = 0; q < result.sfu.forwarded_by_layer.size(); ++q) {
+      std::printf(" L%zu=%zu", q, result.sfu.forwarded_by_layer[q]);
+    }
+    std::printf(" (switches up %zu / down %zu)\n",
+                result.sfu.layer_switches_up, result.sfu.layer_switches_down);
+  }
   for (const conference::ParticipantResult& p : result.participants) {
     std::printf("participant %d (%s): sent %zu frames, %zu uplink bytes\n",
                 p.index, p.video.c_str(), p.frames_sent, p.bytes_sent);

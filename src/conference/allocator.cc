@@ -13,6 +13,8 @@ DownlinkAllocator::DownlinkAllocator(int participants,
     : config_(config), slots_(std::max(0, participants - 1)) {
   subscribers_.resize(static_cast<std::size_t>(std::max(0, participants)));
   for (Subscriber& sub : subscribers_) {
+    sub.forwarded_by_layer.assign(
+        static_cast<std::size_t>(std::max(1, config_.layers)), 0);
     sub.shares.assign(static_cast<std::size_t>(slots_), 0.0);
     sub.color_credit.assign(static_cast<std::size_t>(slots_), 0.0);
     sub.depth_credit.assign(static_cast<std::size_t>(slots_), 0.0);
@@ -26,9 +28,14 @@ std::vector<double> DownlinkAllocator::NormalizeShares(
   std::vector<double> shares(static_cast<std::size_t>(slots_), 0.0);
   if (slots_ == 0) return shares;
   const double equal = 1.0 / slots_;
-  // A floor above the equal share is meaningless: clamp so the floors
-  // always leave a non-negative remainder to distribute by visibility.
-  const double floor = std::min(config_.share_floor, equal);
+  // Clamp the floor so the floors always leave room to distribute by
+  // visibility. The cap is *half* the equal share, not the equal share:
+  // at N-1 >= 1/share_floor slots a floor of `equal` would consume the
+  // whole budget and collapse every share to uniform no matter what the
+  // viewer looks at — with the 0.5 cap at least half the budget always
+  // follows visibility, so distinct visible fractions keep distinct
+  // shares at any party count.
+  const double floor = std::min(config_.share_floor, 0.5 * equal);
   const double total =
       std::accumulate(visibility.begin(), visibility.end(), 0.0);
   const double spread = 1.0 - floor * slots_;
@@ -50,6 +57,7 @@ void DownlinkAllocator::CloseInterval(int subscriber) {
   row.credit_bytes = sub.credit_at_start;
   row.forwarded_bytes = sub.forwarded_bytes;
   row.shares = sub.shares;
+  row.forwarded_by_layer = sub.forwarded_by_layer;
   audits_.push_back(std::move(row));
 }
 
@@ -61,6 +69,8 @@ void DownlinkAllocator::BeginInterval(int subscriber, double start_ms,
   sub.interval_start_ms = start_ms;
   sub.budget_bytes = std::max(0.0, budget_bytes);
   sub.forwarded_bytes = 0.0;
+  std::fill(sub.forwarded_by_layer.begin(), sub.forwarded_by_layer.end(),
+            std::size_t{0});
   sub.credit_at_start = std::accumulate(sub.color_credit.begin(),
                                         sub.color_credit.end(), 0.0) +
                         std::accumulate(sub.depth_credit.begin(),
@@ -95,14 +105,9 @@ void DownlinkAllocator::BeginInterval(int subscriber, double start_ms,
   }
 }
 
-bool DownlinkAllocator::TryForwardPair(int subscriber, int slot, bool keyframe,
-                                       std::size_t color_bytes,
-                                       std::size_t depth_bytes) {
-  Subscriber& sub = subscribers_[static_cast<std::size_t>(subscriber)];
-  if (sub.interval_start_ms < 0.0) return true;  // downlink still unknown
-  const auto i = static_cast<std::size_t>(slot);
-  const auto color = static_cast<double>(color_bytes);
-  const auto depth = static_cast<double>(depth_bytes);
+bool DownlinkAllocator::DebitPair(Subscriber& sub, std::size_t slot,
+                                  bool keyframe, double color, double depth) {
+  const std::size_t i = slot;
   if (keyframe) {
     // Pooling rule: a keyframe pair restarts a clean decode, so it may
     // borrow across the remote's two stream buckets. Each stream spends
@@ -127,6 +132,78 @@ bool DownlinkAllocator::TryForwardPair(int subscriber, int slot, bool keyframe,
   }
   sub.forwarded_bytes += color + depth;
   return true;
+}
+
+bool DownlinkAllocator::TryForwardPair(int subscriber, int slot, bool keyframe,
+                                       std::size_t color_bytes,
+                                       std::size_t depth_bytes) {
+  Subscriber& sub = subscribers_[static_cast<std::size_t>(subscriber)];
+  if (sub.interval_start_ms < 0.0) return true;  // downlink still unknown
+  return DebitPair(sub, static_cast<std::size_t>(slot), keyframe,
+                   static_cast<double>(color_bytes),
+                   static_cast<double>(depth_bytes));
+}
+
+int DownlinkAllocator::TryForwardLayered(
+    int subscriber, int slot, bool keyframe,
+    const std::vector<LayerPairBytes>& layers) {
+  Subscriber& sub = subscribers_[static_cast<std::size_t>(subscriber)];
+  if (sub.interval_start_ms < 0.0) {
+    // Downlink still unknown: pass the best available layer undebited.
+    for (int q = static_cast<int>(layers.size()) - 1; q >= 0; --q) {
+      if (layers[static_cast<std::size_t>(q)].valid) return q;
+    }
+    return -1;
+  }
+  int cheapest = -1;
+  for (std::size_t q = 0; q < layers.size(); ++q) {
+    if (layers[q].valid) {
+      cheapest = static_cast<int>(q);
+      break;
+    }
+  }
+  const double refill =
+      sub.budget_bytes * (slot < static_cast<int>(sub.shares.size())
+                              ? sub.shares[static_cast<std::size_t>(slot)]
+                              : 0.0);
+  const double credit = sub.color_credit[static_cast<std::size_t>(slot)] +
+                        sub.depth_credit[static_cast<std::size_t>(slot)];
+  // Top-down: the first layer the buckets can pay for is by construction
+  // the best quality this interval affords; every cheaper layer below it
+  // would also fit, so the walk is monotone in the budget. Keyframes
+  // additionally require the layer to be sustainable (see header), on
+  // both horizons: the steady-state rate must fit the per-interval
+  // refill, and the credit left after paying this key must carry an
+  // interval's worth of the layer's P-pairs — else the anchor starves
+  // mid-interval and the stream cascades into drop -> PLI -> await-key.
+  // The cheapest valid layer is exempt.
+  for (int q = static_cast<int>(layers.size()) - 1; q >= 0; --q) {
+    const LayerPairBytes& layer = layers[static_cast<std::size_t>(q)];
+    if (!layer.valid) continue;
+    if (keyframe && q != cheapest) {
+      const double key_cost = static_cast<double>(layer.color_bytes) +
+                              static_cast<double>(layer.depth_bytes);
+      if (layer.sustained_interval_bytes > refill ||
+          credit - key_cost < layer.sustained_interval_bytes) {
+        continue;
+      }
+    }
+    // Forwarding is pair-atomic — both halves go or neither — so the
+    // color/depth bucket boundary is pure accounting here: price every
+    // pair against the slot's combined credit (pool=true), spending each
+    // half's own bucket first. A P-pair bounced off one starved half
+    // while the sibling held credit would cost a PLI round-trip for
+    // nothing.
+    if (DebitPair(sub, static_cast<std::size_t>(slot), /*keyframe=*/true,
+                  static_cast<double>(layer.color_bytes),
+                  static_cast<double>(layer.depth_bytes))) {
+      if (static_cast<std::size_t>(q) < sub.forwarded_by_layer.size()) {
+        ++sub.forwarded_by_layer[static_cast<std::size_t>(q)];
+      }
+      return q;
+    }
+  }
+  return -1;
 }
 
 void DownlinkAllocator::ObserveProbe(int subscriber, int slot,

@@ -41,6 +41,10 @@ struct AllocatorConfig {
   double interval_ms = 100.0;
   double burst_credit_intervals = 2.0;
   double share_floor = 0.15;
+  // Simulcast ladder depth the SFU offers per origin (1 = no ladder).
+  // Only sizes the per-row forwarded_by_layer histogram; pricing itself is
+  // driven by the candidate vector each TryForwardLayered call carries.
+  int layers = 1;
   core::SplitConfig split;
 };
 
@@ -52,6 +56,21 @@ struct AllocationAuditRow {
   double credit_bytes = 0.0;     // bucket credit carried in from the past
   double forwarded_bytes = 0.0;  // wire payload actually forwarded
   std::vector<double> shares;    // level-1 share per remote slot
+  // Pairs forwarded at each ladder layer this interval (size = layers).
+  std::vector<std::size_t> forwarded_by_layer;
+};
+
+// One simulcast layer's encoded pair as offered to the allocator. A layer
+// whose halves did not all survive the uplink is marked invalid and never
+// chosen.
+struct LayerPairBytes {
+  std::size_t color_bytes = 0;
+  std::size_t depth_bytes = 0;
+  bool valid = false;
+  // Estimated cost of carrying this layer for one whole allocation
+  // interval (EMA of its P-pair sizes x pairs per interval). Zero means
+  // unknown — the sustained check is skipped.
+  double sustained_interval_bytes = 0.0;
 };
 
 class DownlinkAllocator {
@@ -74,6 +93,23 @@ class DownlinkAllocator {
   bool TryForwardPair(int subscriber, int slot, bool keyframe,
                       std::size_t color_bytes, std::size_t depth_bytes);
 
+  // Layer-aware variant: `layers[q]` is ladder layer q's pair (top layer
+  // last). Walks the valid layers top-down, debits the first one the
+  // (subscriber, slot) buckets can afford under the same keyframe pooling
+  // rule, and returns its index — the max layer the budget can pay for —
+  // or -1 if even the cheapest valid layer does not fit. On keyframe
+  // pairs a layer above the cheapest valid one must also be sustainable:
+  // its sustained_interval_bytes may not exceed the slot's per-interval
+  // refill, because the keyframe re-anchors the stream and commits every
+  // following P-pair to that layer until the next key. Without this
+  // check the keyframe pooling borrow affords the top layer at every
+  // re-anchor and the stream thrashes (anchor high, starve, drop, PLI).
+  // The cheapest valid layer is exempt — sending something always beats
+  // dropping. Before the first BeginInterval the top valid layer passes
+  // undebited, mirroring TryForwardPair's unknown-downlink rule.
+  int TryForwardLayered(int subscriber, int slot, bool keyframe,
+                        const std::vector<LayerPairBytes>& layers);
+
   // Feeds one origin encode-probe result into the (subscriber, slot)
   // line-search controller.
   void ObserveProbe(int subscriber, int slot, double rmse_depth,
@@ -95,6 +131,7 @@ class DownlinkAllocator {
     double budget_bytes = 0.0;
     double credit_at_start = 0.0;
     double forwarded_bytes = 0.0;
+    std::vector<std::size_t> forwarded_by_layer;
     std::vector<double> shares;
     std::vector<double> color_credit;
     std::vector<double> depth_credit;
@@ -102,6 +139,8 @@ class DownlinkAllocator {
   };
 
   void CloseInterval(int subscriber);
+  bool DebitPair(Subscriber& sub, std::size_t slot, bool keyframe,
+                 double color, double depth);
   std::vector<double> NormalizeShares(
       const std::vector<double>& visibility) const;
 

@@ -210,7 +210,8 @@ ConferenceResult RunConference(const std::vector<ParticipantSpec>& specs,
                  << " pair deliveries (" << result.sfu.pairs_dropped_budget
                  << " budget / " << result.sfu.pairs_dropped_congestion
                  << " congestion / " << result.sfu.pairs_dropped_awaiting_key
-                 << " keywait drops), " << result.events_dispatched
+                 << " keywait / " << result.sfu.pairs_dropped_layer_incomplete
+                 << " layer drops), " << result.events_dispatched
                  << " events over " << result.virtual_ms << " virtual ms in "
                  << result.wall_ms << " wall ms";
 
@@ -257,6 +258,11 @@ std::uint64_t ConferenceResult::Fingerprint() const {
       h.Mix(stream.fps);
       h.Mix(stream.stall_rate);
       h.Mix(stream.mean_latency_ms);
+      h.Mix(stream.stall_aware_latency_ms);
+      h.Mix(static_cast<std::uint64_t>(stream.layer_switches));
+      for (const std::size_t n : stream.forwarded_by_layer) {
+        h.Mix(static_cast<std::uint64_t>(n));
+      }
       for (const StreamFrameRecord& rec : stream.frames) {
         h.Mix(static_cast<std::uint64_t>(rec.frame_index));
         h.Mix(rec.forwarded);
@@ -266,6 +272,8 @@ std::uint64_t ConferenceResult::Fingerprint() const {
         h.Mix(rec.render_time_ms);
         h.Mix(rec.latency_ms);
         h.Mix(static_cast<std::uint64_t>(rec.bytes));
+        h.Mix(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(rec.layer)));
       }
     }
   }
@@ -276,6 +284,9 @@ std::uint64_t ConferenceResult::Fingerprint() const {
     h.Mix(row.credit_bytes);
     h.Mix(row.forwarded_bytes);
     for (const double share : row.shares) h.Mix(share);
+    for (const std::size_t n : row.forwarded_by_layer) {
+      h.Mix(static_cast<std::uint64_t>(n));
+    }
   }
   h.Mix(static_cast<std::uint64_t>(sfu.frames_in));
   h.Mix(static_cast<std::uint64_t>(sfu.pairs_completed));
@@ -283,8 +294,15 @@ std::uint64_t ConferenceResult::Fingerprint() const {
   h.Mix(static_cast<std::uint64_t>(sfu.pairs_dropped_budget));
   h.Mix(static_cast<std::uint64_t>(sfu.pairs_dropped_congestion));
   h.Mix(static_cast<std::uint64_t>(sfu.pairs_dropped_awaiting_key));
+  h.Mix(static_cast<std::uint64_t>(sfu.pairs_dropped_layer_incomplete));
   h.Mix(static_cast<std::uint64_t>(sfu.pairs_evicted_incomplete));
+  h.Mix(static_cast<std::uint64_t>(sfu.pairs_salvaged));
   h.Mix(static_cast<std::uint64_t>(sfu.keyframe_relays));
+  h.Mix(static_cast<std::uint64_t>(sfu.layer_switches_up));
+  h.Mix(static_cast<std::uint64_t>(sfu.layer_switches_down));
+  for (const std::size_t n : sfu.forwarded_by_layer) {
+    h.Mix(static_cast<std::uint64_t>(n));
+  }
   h.Mix(static_cast<std::uint64_t>(events_dispatched));
   h.Mix(virtual_ms);
   return h.value();
@@ -294,7 +312,7 @@ std::string ConferenceCacheKey(const std::vector<ParticipantSpec>& specs,
                                const ConferenceOptions& options) {
   std::ostringstream os;
   os.precision(17);
-  os << "confv1|" << specs.size() << '|';
+  os << "confv2|" << specs.size() << '|';
   for (const ParticipantSpec& spec : specs) {
     os << spec.sequence->spec.name << ',' << spec.sequence->frames.size()
        << ',' << spec.sequence->rig.size() << ','
@@ -323,6 +341,7 @@ std::string ConferenceCacheKey(const std::vector<ParticipantSpec>& specs,
     Describe(os, options.shared_downlink_trace);
     Describe(os, options.shared_downlink_config);
   }
+  os << "|ladder:" << options.ladder_layers << ',' << options.ladder_qp_step;
   os << '|' << options.bandwidth_scale << ',' << options.trace_time_accel
      << ',' << options.sender_pipeline_delay_ms << ','
      << options.allocation_interval_ms << ','

@@ -29,6 +29,12 @@ ParticipantActor::ParticipantActor(runtime::EventLoop& loop, int index,
   // into the SFU. (Union-frustum culling is a ROADMAP open item.)
   if (specs.size() > 2) spec_.config.enable_culling = false;
 
+  // Simulcast ladder: every participant of a >2-party conference encodes
+  // the conference's ladder (encode-once/serve-many; see topology.h).
+  layers_ = EffectiveLadderLayers(options, static_cast<int>(specs.size()));
+  spec_.config.simulcast_layers = layers_;
+  spec_.config.ladder_qp_step = options.ladder_qp_step;
+
   // Per-participant instrument prefix (spec_ is this actor's own copy).
   spec_.config.obs_label = "participant" + std::to_string(index_) + ".sender";
   sender_ = std::make_unique<core::LiVoSender>(spec_.config,
@@ -44,15 +50,21 @@ ParticipantActor::ParticipantActor(runtime::EventLoop& loop, int index,
   result_.video = spec_.sequence->spec.name;
   result_.user_trace = sim::StyleName(spec_.user_trace.style);
   result_.streams.resize(specs.size() - 1);
-  receivers_.reserve(specs.size() - 1);
+  last_layer_.assign(specs.size() - 1, -1);
+  receivers_.reserve((specs.size() - 1) * static_cast<std::size_t>(layers_));
   for (int slot = 0; slot < static_cast<int>(specs.size()) - 1; ++slot) {
     const ParticipantSpec& remote =
         specs[static_cast<std::size_t>(OriginOfSlot(slot))];
-    receivers_.push_back(std::make_unique<core::LiVoReceiver>(
-        remote.config, options_.receiver, remote.sequence->rig));
+    for (int q = 0; q < layers_; ++q) {
+      const bool low = layers_ > 1 && q == 0;
+      receivers_.push_back(std::make_unique<core::LiVoReceiver>(
+          remote.config, options_.receiver, remote.sequence->rig,
+          low ? 2 : 1));
+    }
     RemoteStreamResult& stream =
         result_.streams[static_cast<std::size_t>(slot)];
     stream.origin = OriginOfSlot(slot);
+    stream.forwarded_by_layer.assign(static_cast<std::size_t>(layers_), 0);
     const int remote_frames = static_cast<int>(remote.sequence->frames.size());
     const double remote_interval = 1000.0 / remote.config.fps;
     stream.frames.assign(static_cast<std::size_t>(remote_frames),
@@ -86,14 +98,23 @@ void ParticipantActor::ObserveRemotePose(const geom::TimedPose& pose) {
 }
 
 void ParticipantActor::NotePairForwarded(int slot, std::uint32_t frame_index,
-                                         double now_ms, std::size_t bytes) {
+                                         double now_ms, std::size_t bytes,
+                                         int layer) {
   RemoteStreamResult& stream = result_.streams[static_cast<std::size_t>(slot)];
   if (frame_index >= stream.frames.size()) return;
   StreamFrameRecord& rec = stream.frames[frame_index];
   rec.forwarded = true;
   rec.forward_time_ms = now_ms;
   rec.bytes = bytes;
+  rec.layer = layer;
   ++stream.pairs_forwarded;
+  if (layer >= 0 &&
+      static_cast<std::size_t>(layer) < stream.forwarded_by_layer.size()) {
+    ++stream.forwarded_by_layer[static_cast<std::size_t>(layer)];
+  }
+  int& last = last_layer_[static_cast<std::size_t>(slot)];
+  if (last >= 0 && layer != last) ++stream.layer_switches;
+  last = layer;
 }
 
 const core::SenderFrameStats* ParticipantActor::StatsFor(
@@ -142,7 +163,12 @@ void ParticipantActor::OnWake(double now_ms) {
     }
     // Encode no faster than the best-provisioned subscriber can receive:
     // bytes beyond every downlink's allocation are guaranteed SFU drops.
-    double target_bps = uplink_->TargetBitrateBps();
+    // The uplink constraint pays for the whole ladder, so only it is
+    // divided by the ladder overhead — the subscriber-side allocation
+    // bounds the (single) layer that actually goes down a downlink.
+    const double ladder_overhead = core::LadderOverheadFactor(
+        layers_, spec_.config.ladder_qp_step);
+    double target_bps = uplink_->TargetBitrateBps() / ladder_overhead;
     if (sfu_ != nullptr) {
       target_bps = std::min(
           target_bps, sfu_->OriginBudgetBps(index_) * options_.encode_headroom);
@@ -152,6 +178,19 @@ void ParticipantActor::OnWake(double now_ms) {
         static_cast<std::uint32_t>(f), target_bps);
     {
       LIVO_SPAN("conference.uplink_transmit");
+      // Lower layers first (cheapest first): they clear the uplink before
+      // the top layer does, so when the top pair completes at the SFU the
+      // whole surviving ladder is already available to choose from.
+      for (int q = 0; q < layers_ - 1; ++q) {
+        const core::SenderLayerOutput& lower =
+            out.lower_layers[static_cast<std::size_t>(q)];
+        uplink_->SendFrame(core::LadderColorStream(layers_, q),
+                           static_cast<std::uint32_t>(f),
+                           lower.color_keyframe, lower.color_frame, now_ms);
+        uplink_->SendFrame(core::LadderDepthStream(layers_, q),
+                           static_cast<std::uint32_t>(f),
+                           lower.depth_keyframe, lower.depth_frame, now_ms);
+      }
       uplink_->SendFrame(core::kColorStream, static_cast<std::uint32_t>(f),
                          out.color_keyframe, out.color_frame, now_ms);
       uplink_->SendFrame(core::kDepthStream, static_cast<std::uint32_t>(f),
@@ -183,12 +222,14 @@ void ParticipantActor::OnDownlinkFrames(std::vector<net::ReceivedFrame> frames,
   const geom::Frustum live_frustum(live_pose, spec_.config.predictor.viewer);
   obs::FrameLedger& ledger = obs::FrameLedger::Get();
   const bool ledger_on = ledger.enabled();
-  // Regroup the slot-addressed downlink streams into per-remote batches
-  // with canonical stream ids for the per-remote receiver.
-  for (std::size_t slot = 0; slot < receivers_.size(); ++slot) {
+  // Regroup the (slot, layer)-addressed downlink streams into per-(remote,
+  // layer) batches with canonical stream ids for the matching receiver.
+  // Stream id = 2*(slot*L + q) + is_depth (sfu.h DownlinkStream).
+  for (std::size_t r = 0; r < receivers_.size(); ++r) {
+    const std::size_t slot = r / static_cast<std::size_t>(layers_);
     std::vector<net::ReceivedFrame> batch;
     for (const net::ReceivedFrame& frame : frames) {
-      if (frame.stream_id / 2 != slot) continue;
+      if (frame.stream_id / 2 != r) continue;
       net::ReceivedFrame remapped = frame;
       remapped.stream_id =
           frame.stream_id % 2 == 0 ? core::kColorStream : core::kDepthStream;
@@ -203,8 +244,7 @@ void ParticipantActor::OnDownlinkFrames(std::vector<net::ReceivedFrame> frames,
       batch.push_back(std::move(remapped));
     }
     if (batch.empty()) continue;
-    const auto rendered =
-        receivers_[slot]->OnFrames(batch, now_ms, live_frustum);
+    const auto rendered = receivers_[r]->OnFrames(batch, now_ms, live_frustum);
     RemoteStreamResult& stream = result_.streams[slot];
     for (const core::RenderedFrame& rf : rendered) {
       if (rf.frame_index >= stream.frames.size()) continue;
@@ -261,7 +301,28 @@ ParticipantResult ParticipantActor::TakeResult() {
         expected > 0
             ? 1.0 - static_cast<double>(rendered) / static_cast<double>(expected)
             : 0.0;
+    // Delivered-only mean (survivor-biased; see the field's comment).
     stream.mean_latency_ms = rendered > 0 ? latency_sum / rendered : 0.0;
+    // Stall-aware mean: every expected frame is charged the wait from its
+    // capture to the earliest render at-or-after its index (a dropped
+    // frame's slot stays stale until a successor renders). The backward
+    // suffix-min makes that earliest-later-render lookup O(n); frames
+    // nothing ever covered are charged to the run horizon.
+    if (expected > 0) {
+      double stall_sum = 0.0;
+      double earliest_later_render = horizon_ms_;
+      for (std::size_t f = expected; f-- > 0;) {
+        const StreamFrameRecord& rec = stream.frames[f];
+        if (rec.rendered) {
+          earliest_later_render =
+              std::min(earliest_later_render, rec.render_time_ms);
+        }
+        stall_sum +=
+            std::max(0.0, earliest_later_render - rec.capture_time_ms);
+      }
+      stream.stall_aware_latency_ms =
+          stall_sum / static_cast<double>(expected);
+    }
   }
   return std::move(result_);
 }

@@ -12,11 +12,15 @@
 // SfuActor::OnNetworkActivity calls so deliveries and pose feeds happen
 // at event fidelity.
 //
-// Downlink streams are slot-addressed: subscriber s orders its remotes by
-// ascending participant index (slot = origin < s ? origin : origin - 1)
-// and the SFU sends remote `slot` on stream ids 2*slot (color) and
-// 2*slot+1 (depth); the participant remaps them back to the canonical
-// kColorStream/kDepthStream pair before its per-remote receiver.
+// Downlink streams are (slot, layer)-addressed: subscriber s orders its
+// remotes by ascending participant index (slot = origin < s ? origin :
+// origin - 1) and the SFU sends remote `slot`'s ladder layer q on stream
+// ids 2*(slot*L+q) (color) and +1 (depth); the participant remaps them
+// back to the canonical kColorStream/kDepthStream pair before the
+// per-(remote, layer) receiver. With L == 1 this is the classic 2*slot
+// addressing. Each layer gets its own receiver because the SFU switches a
+// stream's layer only at keyframes, so every layer's decoder sees
+// contiguous runs that start at a keyframe.
 #pragma once
 
 #include <cstdint>
@@ -45,7 +49,8 @@ struct StreamFrameRecord {
   double forward_time_ms = 0.0;
   double render_time_ms = 0.0;
   double latency_ms = 0.0;  // render - capture (virtual time only)
-  std::size_t bytes = 0;    // encoded pair payload
+  std::size_t bytes = 0;    // encoded pair payload (of the forwarded layer)
+  int layer = -1;           // ladder layer forwarded (-1 = never forwarded)
 };
 
 // One remote participant's stream as seen by one subscriber.
@@ -54,9 +59,22 @@ struct RemoteStreamResult {
   std::vector<StreamFrameRecord> frames;
   double fps = 0.0;
   double stall_rate = 0.0;
+  // Mean latency over *delivered* frames only — a survivor-biased number
+  // by construction (dropped frames contribute nothing, so a scheme that
+  // drops every hard frame looks fast). Kept because it is the paper's
+  // definition; read it next to stall_aware_latency_ms.
   double mean_latency_ms = 0.0;
+  // Stall-aware mean latency over ALL expected frames: frame f's latency
+  // is the wait from its capture until the first render of any frame with
+  // index >= f — the viewer's age-of-information gap, which a dropped
+  // frame extends rather than escapes. Frames never covered by a later
+  // render are charged to the run horizon. Virtual-time-deterministic.
+  double stall_aware_latency_ms = 0.0;
   std::size_t pairs_forwarded = 0;
   std::size_t pairs_rendered = 0;
+  // Pair deliveries by ladder layer (size = effective conference layers).
+  std::vector<std::size_t> forwarded_by_layer;
+  std::size_t layer_switches = 0;  // forwarded-layer changes on this stream
 };
 
 struct ParticipantResult {
@@ -91,6 +109,7 @@ class ParticipantActor {
   int index() const { return index_; }
   int frame_count() const { return frames_; }
   double duration_ms() const { return duration_ms_; }
+  double capture_interval_ms() const { return interval_ms_; }
   const sim::UserTrace& user_trace() const { return spec_.user_trace; }
   net::VideoChannel& uplink() { return *uplink_; }
   net::VideoChannel& downlink() { return *downlink_; }
@@ -103,9 +122,9 @@ class ParticipantActor {
   // sender-side frustum culling exactly as in a point-to-point session.
   void ObserveRemotePose(const geom::TimedPose& pose);
   // Bookkeeping callback when the SFU forwards origin slot `slot`'s pair
-  // for `frame_index` down this participant's link.
+  // for `frame_index` down this participant's link at ladder layer `layer`.
   void NotePairForwarded(int slot, std::uint32_t frame_index, double now_ms,
-                         std::size_t bytes);
+                         std::size_t bytes, int layer);
   // Encode-probe metadata for an uplinked frame (nullptr if unknown) —
   // the SFU reads the RMSEs to drive its per-subscriber split controllers.
   const core::SenderFrameStats* StatsFor(std::uint32_t frame_index) const;
@@ -130,7 +149,11 @@ class ParticipantActor {
   std::unique_ptr<net::VideoChannel> uplink_;
   std::unique_ptr<net::VideoChannel> downlink_;
   std::unique_ptr<core::LiVoSender> sender_;
-  std::vector<std::unique_ptr<core::LiVoReceiver>> receivers_;  // by slot
+  // One receiver per (slot, ladder layer), flat at [slot * layers_ + q];
+  // the lowest layer's receiver decodes the halved canvas (divisor 2).
+  std::vector<std::unique_ptr<core::LiVoReceiver>> receivers_;
+  int layers_ = 1;  // EffectiveLadderLayers of this conference
+  std::vector<int> last_layer_;  // by slot: last forwarded layer, -1 fresh
 
   ParticipantResult result_;
   std::vector<core::SenderFrameStats> sent_stats_;

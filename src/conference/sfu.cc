@@ -20,6 +20,9 @@ struct ConferenceMetrics {
       reg.GetCounter("conference.pairs_dropped_congestion");
   obs::Counter& dropped_awaiting_key =
       reg.GetCounter("conference.pairs_dropped_awaiting_key");
+  obs::Counter& dropped_layer_incomplete =
+      reg.GetCounter("conference.pairs_dropped_layer_incomplete");
+  obs::Counter& layer_switches = reg.GetCounter("conference.layer_switches");
   obs::Counter& keyframe_relays = reg.GetCounter("conference.keyframe_relays");
   obs::Histogram& forward_bytes =
       reg.GetHistogram("conference.forward_pair_bytes");
@@ -30,11 +33,13 @@ ConferenceMetrics& Metrics() {
   return metrics;
 }
 
-AllocatorConfig MakeAllocatorConfig(const ConferenceOptions& options) {
+AllocatorConfig MakeAllocatorConfig(const ConferenceOptions& options,
+                                    int parties) {
   AllocatorConfig config;
   config.interval_ms = options.allocation_interval_ms;
   config.burst_credit_intervals = options.burst_credit_intervals;
   config.share_floor = options.share_floor;
+  config.layers = EffectiveLadderLayers(options, parties);
   config.split = options.forward_split;
   return config;
 }
@@ -48,7 +53,9 @@ SfuActor::SfuActor(runtime::EventLoop& loop,
       options_(options),
       horizon_ms_(horizon_ms),
       parties_(static_cast<int>(specs.size())),
-      allocator_(parties_, MakeAllocatorConfig(options)) {
+      layers_(EffectiveLadderLayers(options, parties_)),
+      allocator_(parties_, MakeAllocatorConfig(options, parties_)) {
+  stats_.forwarded_by_layer.assign(static_cast<std::size_t>(layers_), 0);
   predictors_.reserve(specs.size());
   for (const ParticipantSpec& spec : specs) {
     predictors_.emplace_back(spec.config.predictor);
@@ -59,6 +66,10 @@ SfuActor::SfuActor(runtime::EventLoop& loop,
   forward_high_.assign(specs.size(), 0);
   awaiting_key_.assign(specs.size(),
                        std::vector<bool>(specs.size() - 1, true));
+  current_layer_.assign(specs.size(), std::vector<int>(specs.size() - 1, -1));
+  pair_bytes_ema_.assign(specs.size(),
+                         std::vector<double>(static_cast<std::size_t>(layers_),
+                                             0.0));
   last_key_relay_ms_.assign(specs.size(),
                             -options.keyframe_relay_throttle_ms);
   seat_offsets_.reserve(specs.size() - 1);
@@ -180,37 +191,53 @@ void SfuActor::OnUplinkFrames(int origin,
   obs::FrameLedger& ledger = obs::FrameLedger::Get();
   auto& pending = pending_[static_cast<std::size_t>(origin)];
   for (const net::ReceivedFrame& frame : frames) {
+    // Uplink ids are LadderColorStream/LadderDepthStream: the top layer
+    // rides the canonical 0/1 pair, layer q rides 2*(layers-1-q)(+1).
+    if (frame.stream_id >= 2u * static_cast<std::uint32_t>(layers_)) continue;
+    const int q = layers_ - 1 - static_cast<int>(frame.stream_id / 2u);
+    const bool is_depth = (frame.stream_id & 1u) != 0u;
     ++stats_.frames_in;
     Metrics().frames_in.Add();
-    PendingPair& pair = pending[frame.frame_index];
-    if (frame.stream_id == core::kColorStream) {
+    PendingLadder& ladder = pending[frame.frame_index];
+    if (ladder.layers.empty()) {
+      ladder.layers.resize(static_cast<std::size_t>(layers_));
+    }
+    PendingPair& pair = ladder.layers[static_cast<std::size_t>(q)];
+    if (!is_depth) {
       pair.color = frame.data;
       pair.color_keyframe = frame.keyframe;
     } else {
       pair.depth = frame.data;
       pair.depth_keyframe = frame.keyframe;
     }
-    if (!pair.Complete()) continue;
-    ++stats_.pairs_completed;
-    const PendingPair complete = std::move(pair);
+    // The forward trigger is the *top* pair completing: lower layers are
+    // uplinked first, so whatever of them survived is already here, and
+    // waiting longer would only add latency for quality the top layer
+    // already delivers.
+    const PendingPair& top = ladder.layers[static_cast<std::size_t>(layers_) - 1];
+    if (q != layers_ - 1 || !top.Complete()) continue;
+    const PendingLadder complete = std::move(ladder);
     pending.erase(frame.frame_index);
-    if (ledger.enabled()) {
-      ledger.Record(origin, static_cast<std::int32_t>(frame.frame_index), -1,
-                    obs::LedgerHop::kPairComplete, now_ms,
-                    complete.color->size() + complete.depth->size(),
-                    complete.color_keyframe && complete.depth_keyframe);
-    }
-    // Halves older than the pair we are about to forward will never
-    // complete usefully (their counterpart died on the uplink and the
-    // receiver-side pair lag would skip them anyway): evict.
+    // Ladders older than the pair we are about to forward will never see
+    // their top complete (it died on the uplink — typically the keyframe
+    // top pair, which serializes last behind the whole ladder). Dropping
+    // them wholesale would deadlock awaiting-key streams: every re-keyed
+    // ladder dies the same way on the same constrained uplink. Instead
+    // forward best-effort from the highest layer whose both halves
+    // survived; only a ladder with no intact layer is evicted.
     for (auto it = pending.begin();
          it != pending.end() && it->first < frame.frame_index;) {
-      ++stats_.pairs_evicted_incomplete;
-      if (ledger.enabled()) {
-        ledger.Record(origin, static_cast<std::int32_t>(it->first), -1,
-                      obs::LedgerHop::kEvicted, now_ms);
-      }
+      FinalizeStranded(origin, it->first, it->second, now_ms);
       it = pending.erase(it);
+    }
+    ++stats_.pairs_completed;
+    if (ledger.enabled()) {
+      const PendingPair& t =
+          complete.layers[static_cast<std::size_t>(layers_) - 1];
+      ledger.Record(origin, static_cast<std::int32_t>(frame.frame_index), -1,
+                    obs::LedgerHop::kPairComplete, now_ms,
+                    t.color->size() + t.depth->size(),
+                    t.color_keyframe && t.depth_keyframe);
     }
     forward_high_[static_cast<std::size_t>(origin)] =
         std::max(forward_high_[static_cast<std::size_t>(origin)],
@@ -219,15 +246,86 @@ void SfuActor::OnUplinkFrames(int origin,
   }
 }
 
+void SfuActor::FinalizeStranded(int origin, std::uint32_t frame_index,
+                                const PendingLadder& ladder, double now_ms) {
+  obs::FrameLedger& ledger = obs::FrameLedger::Get();
+  int ref = static_cast<int>(ladder.layers.size()) - 1;
+  while (ref >= 0 &&
+         !ladder.layers[static_cast<std::size_t>(ref)].Complete()) {
+    --ref;
+  }
+  if (ref < 0) {
+    ++stats_.pairs_evicted_incomplete;
+    if (ledger.enabled()) {
+      ledger.Record(origin, static_cast<std::int32_t>(frame_index), -1,
+                    obs::LedgerHop::kEvicted, now_ms);
+    }
+    return;
+  }
+  ++stats_.pairs_completed;
+  ++stats_.pairs_salvaged;
+  if (ledger.enabled()) {
+    const PendingPair& r = ladder.layers[static_cast<std::size_t>(ref)];
+    ledger.Record(origin, static_cast<std::int32_t>(frame_index), -1,
+                  obs::LedgerHop::kPairComplete, now_ms,
+                  r.color->size() + r.depth->size(),
+                  r.color_keyframe && r.depth_keyframe);
+  }
+  ForwardPair(origin, frame_index, ladder, now_ms);
+}
+
 void SfuActor::ForwardPair(int origin, std::uint32_t frame_index,
-                           const PendingPair& pair, double now_ms) {
-  const bool key_pair = pair.color_keyframe && pair.depth_keyframe;
-  const std::size_t color_bytes = pair.color->size();
-  const std::size_t depth_bytes = pair.depth->size();
+                           const PendingLadder& ladder, double now_ms) {
+  // Reference layer: the highest one with both halves intact. On the fast
+  // path (top pair completed) this is the top layer; for salvaged ladders
+  // it is the best surviving lower layer. The encoders run in lockstep, so
+  // its keyframe phase speaks for the whole ladder.
+  int ref = static_cast<int>(ladder.layers.size()) - 1;
+  while (ref >= 0 &&
+         !ladder.layers[static_cast<std::size_t>(ref)].Complete()) {
+    --ref;
+  }
+  if (ref < 0) return;
+  const PendingPair& top = ladder.layers[static_cast<std::size_t>(ref)];
+  const bool key_pair = top.color_keyframe && top.depth_keyframe;
   obs::FrameLedger& ledger = obs::FrameLedger::Get();
   const bool ledger_on = ledger.enabled();
   const auto frame = static_cast<std::int32_t>(frame_index);
-  const std::uint64_t pair_bytes = color_bytes + depth_bytes;
+  const std::uint64_t pair_bytes = top.color->size() + top.depth->size();
+
+  // Price sheet for the allocator: one candidate per ladder layer. A layer
+  // is valid only if both halves survived the uplink and its keyframe
+  // phase matches the top layer's (the encoders run in lockstep, so a
+  // mismatch means the layer restarted out of phase and cannot anchor).
+  std::vector<LayerPairBytes> candidates(
+      static_cast<std::size_t>(layers_));
+  // One EMA update per (origin, frame), before any subscriber verdict, so
+  // the price sheet every subscriber sees this frame is identical.
+  auto& ema = pair_bytes_ema_[static_cast<std::size_t>(origin)];
+  const double interval = participants_[static_cast<std::size_t>(origin)]
+                              ->capture_interval_ms();
+  const double pairs_per_interval =
+      interval > 0.0 ? options_.allocation_interval_ms / interval : 0.0;
+  constexpr double kEmaAlpha = 0.2;
+  constexpr double kKeyframeSeedScale = 0.25;  // keyframes dwarf P-pairs
+  for (int q = 0; q < layers_; ++q) {
+    const PendingPair& layer = ladder.layers[static_cast<std::size_t>(q)];
+    if (!layer.Complete()) continue;
+    if ((layer.color_keyframe && layer.depth_keyframe) != key_pair) continue;
+    LayerPairBytes& c = candidates[static_cast<std::size_t>(q)];
+    c.color_bytes = layer.color->size();
+    c.depth_bytes = layer.depth->size();
+    c.valid = true;
+    const auto bytes =
+        static_cast<double>(c.color_bytes + c.depth_bytes);
+    double& avg = ema[static_cast<std::size_t>(q)];
+    if (key_pair) {
+      if (avg <= 0.0) avg = kKeyframeSeedScale * bytes;
+    } else {
+      avg = avg <= 0.0 ? bytes : (1.0 - kEmaAlpha) * avg + kEmaAlpha * bytes;
+    }
+    c.sustained_interval_bytes = avg * pairs_per_interval;
+  }
 
   // The origin's encode-probe RMSEs travel with the pair (metadata): feed
   // them to every subscriber's line-search controller for this origin.
@@ -244,6 +342,9 @@ void SfuActor::ForwardPair(int origin, std::uint32_t frame_index,
 
     auto awaiting =
         awaiting_key_[static_cast<std::size_t>(s)].begin() + slot;
+    int& current =
+        current_layer_[static_cast<std::size_t>(s)]
+                      [static_cast<std::size_t>(slot)];
     // 1. Downlink congestion valve (see header).
     if (sub->downlink().link().CurrentQueueDelayMs(now_ms) >
         options_.downlink_channel.jitter_buffer_ms) {
@@ -268,9 +369,33 @@ void SfuActor::ForwardPair(int origin, std::uint32_t frame_index,
       RequestOriginKeyframe(origin, now_ms);
       continue;
     }
-    // 3. Two-level budget (allocator.h).
-    if (!allocator_.TryForwardPair(s, slot, key_pair, color_bytes,
-                                   depth_bytes)) {
+    // 3. Layer verdict. Keyframe pairs re-anchor the stream, so the
+    // allocator may pick any complete layer (best affordable, top-down);
+    // P-pairs must continue the stream's current layer — the subscriber's
+    // decoder for any other layer has no reference to extend.
+    int chosen = -1;
+    if (key_pair) {
+      chosen = allocator_.TryForwardLayered(s, slot, true, candidates);
+    } else {
+      if (current < 0 ||
+          !candidates[static_cast<std::size_t>(current)].valid) {
+        ++stats_.pairs_dropped_layer_incomplete;
+        Metrics().dropped_layer_incomplete.Add();
+        if (ledger_on) {
+          ledger.Record(origin, frame, s,
+                        obs::LedgerHop::kDroppedLayerIncomplete, now_ms,
+                        pair_bytes, key_pair, current);
+        }
+        *awaiting = true;
+        RequestOriginKeyframe(origin, now_ms);
+        continue;
+      }
+      std::vector<LayerPairBytes> only(candidates.size());
+      only[static_cast<std::size_t>(current)] =
+          candidates[static_cast<std::size_t>(current)];
+      chosen = allocator_.TryForwardLayered(s, slot, false, only);
+    }
+    if (chosen < 0) {
       ++stats_.pairs_dropped_budget;
       Metrics().dropped_budget.Add();
       if (ledger_on) {
@@ -282,22 +407,33 @@ void SfuActor::ForwardPair(int origin, std::uint32_t frame_index,
       continue;
     }
 
-    const auto color_stream = static_cast<std::uint32_t>(2 * slot);
-    sub->downlink().SendFrame(color_stream, frame_index, pair.color_keyframe,
-                              pair.color, now_ms);
-    sub->downlink().SendFrame(color_stream + 1, frame_index,
-                              pair.depth_keyframe, pair.depth, now_ms);
-    if (key_pair) *awaiting = false;
+    const PendingPair& sent = ladder.layers[static_cast<std::size_t>(chosen)];
+    const std::size_t sent_bytes = sent.color->size() + sent.depth->size();
+    sub->downlink().SendFrame(DownlinkStream(slot, chosen, false), frame_index,
+                              sent.color_keyframe, sent.color, now_ms);
+    sub->downlink().SendFrame(DownlinkStream(slot, chosen, true), frame_index,
+                              sent.depth_keyframe, sent.depth, now_ms);
+    if (key_pair) {
+      if (current >= 0 && chosen != current) {
+        if (chosen > current) {
+          ++stats_.layer_switches_up;
+        } else {
+          ++stats_.layer_switches_down;
+        }
+        Metrics().layer_switches.Add();
+      }
+      current = chosen;
+      *awaiting = false;
+    }
     ++stats_.pairs_forwarded;
+    ++stats_.forwarded_by_layer[static_cast<std::size_t>(chosen)];
     if (ledger_on) {
       ledger.Record(origin, frame, s, obs::LedgerHop::kForwarded, now_ms,
-                    pair_bytes, key_pair);
+                    sent_bytes, key_pair, chosen);
     }
     Metrics().pairs_forwarded.Add();
-    Metrics().forward_bytes.Observe(
-        static_cast<double>(color_bytes + depth_bytes));
-    sub->NotePairForwarded(slot, frame_index, now_ms,
-                           color_bytes + depth_bytes);
+    Metrics().forward_bytes.Observe(static_cast<double>(sent_bytes));
+    sub->NotePairForwarded(slot, frame_index, now_ms, sent_bytes, chosen);
   }
 }
 
@@ -305,17 +441,32 @@ void SfuActor::RelayKeyframeRequests(double now_ms) {
   for (int p = 0; p < parties_; ++p) {
     ParticipantActor* participant = participants_[static_cast<std::size_t>(p)];
     // The SFU is the receiver of p's uplink: its own reassembly raises
-    // PLI when the uplink loses frames.
-    if (participant->uplink().TakeKeyframeRequest(core::kColorStream) ||
-        participant->uplink().TakeKeyframeRequest(core::kDepthStream)) {
-      RequestOriginKeyframe(p, now_ms);
+    // PLI when the uplink loses frames on any ladder layer's streams. A
+    // PLI re-keys the whole ladder (the origin's layer encoders run in
+    // lockstep), so the requests collapse into one relay. Poll every id —
+    // TakeKeyframeRequest consumes, and short-circuiting would leave a
+    // stale request armed for next time.
+    bool uplink_pli = false;
+    for (std::uint32_t id = 0; id < 2u * static_cast<std::uint32_t>(layers_);
+         ++id) {
+      uplink_pli = participant->uplink().TakeKeyframeRequest(id) || uplink_pli;
     }
-    // Subscriber-side PLIs arrive slot-addressed on p's downlink and are
-    // relayed to the slot's origin.
+    if (uplink_pli) RequestOriginKeyframe(p, now_ms);
+    // Subscriber-side PLIs arrive (slot, layer)-addressed on p's downlink
+    // and are relayed to the slot's origin.
     for (int slot = 0; slot < parties_ - 1; ++slot) {
-      const auto color_stream = static_cast<std::uint32_t>(2 * slot);
-      if (participant->downlink().TakeKeyframeRequest(color_stream) ||
-          participant->downlink().TakeKeyframeRequest(color_stream + 1)) {
+      bool downlink_pli = false;
+      for (int q = 0; q < layers_; ++q) {
+        downlink_pli =
+            participant->downlink().TakeKeyframeRequest(
+                DownlinkStream(slot, q, false)) ||
+            downlink_pli;
+        downlink_pli =
+            participant->downlink().TakeKeyframeRequest(
+                DownlinkStream(slot, q, true)) ||
+            downlink_pli;
+      }
+      if (downlink_pli) {
         RequestOriginKeyframe(slot < p ? slot : slot + 1, now_ms);
       }
     }

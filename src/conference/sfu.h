@@ -9,19 +9,29 @@
 // OnNetworkActivity around their capture wakes so sends are picked up at
 // event fidelity rather than at the SFU's next timer.
 //
-// Forwarding is pair-atomic: an uplinked depth/color pair is held until
-// both halves clear the uplink jitter buffer, then offered to each
-// subscriber independently. A pair reaches a subscriber only if
+// Forwarding is pair-atomic and layer-aware: each origin uplinks a
+// simulcast ladder (core/types.h) — every frame encoded once per layer,
+// never per subscriber — and the SFU holds the ladder until the *top*
+// layer's depth/color pair clears the uplink jitter buffer (lower layers
+// are uplinked first, so they are normally already in). The ladder is then
+// offered to each subscriber independently, and the pair verdict is
+// four-way: forward at some layer q (the best the budget affords), or
+// drop. A pair reaches a subscriber only if
 //   1. the subscriber's downlink queue is not already congested past its
 //      jitter buffer (otherwise forwarding guarantees a late frame AND a
 //      deeper queue — drop and re-key instead);
 //   2. the (subscriber, origin) stream is not awaiting a keyframe — after
 //      any drop, P-frames are withheld until the next keyframe pair, so a
 //      subscriber's decoder never sees a P-frame it cannot anchor;
-//   3. the pair fits the two-level allocator's token buckets
-//      (allocator.h) for that subscriber and origin.
+//   3. a ladder layer fits the two-level allocator's token buckets
+//      (allocator.h) for that subscriber and origin. Keyframe pairs may
+//      pick any complete layer (priced top-down); P-pairs must continue
+//      the stream's current layer — switching mid-GOP would hand the
+//      subscriber's decoder a P-frame from a stream it never anchored —
+//      and drop as layer_incomplete if that layer lost a half uplink.
 // Every drop marks the stream awaiting-keyframe and relays a throttled
 // PLI to the origin, mirroring the transport's own recovery protocol.
+// Layer switches therefore happen only at keyframe boundaries.
 #pragma once
 
 #include <cstdint>
@@ -41,13 +51,24 @@ namespace livo::conference {
 
 struct SfuStats {
   std::size_t frames_in = 0;        // uplink frames (stream halves) received
-  std::size_t pairs_completed = 0;  // depth/color pairs fully ingested
+  // Ladders ingested for forwarding: top pair arrived intact, or at least
+  // one lower layer survived a stranded ladder (see pairs_salvaged).
+  std::size_t pairs_completed = 0;
   std::size_t pairs_forwarded = 0;  // pair deliveries (per subscriber)
   std::size_t pairs_dropped_budget = 0;
   std::size_t pairs_dropped_congestion = 0;
   std::size_t pairs_dropped_awaiting_key = 0;
-  std::size_t pairs_evicted_incomplete = 0;  // half lost on the uplink
+  // P-pair whose stream's current simulcast layer lost a half uplink.
+  std::size_t pairs_dropped_layer_incomplete = 0;
+  std::size_t pairs_evicted_incomplete = 0;  // no layer survived the uplink
+  // Ladders whose top pair died on the uplink but were still forwarded
+  // from the highest surviving lower layer (counted in pairs_completed).
+  std::size_t pairs_salvaged = 0;
   std::size_t keyframe_relays = 0;           // PLIs forwarded to origins
+  // Pair deliveries by chosen ladder layer (size = effective layers).
+  std::vector<std::size_t> forwarded_by_layer;
+  std::size_t layer_switches_up = 0;    // keyframe upgrades
+  std::size_t layer_switches_down = 0;  // keyframe downgrades
 };
 
 class SfuActor {
@@ -81,6 +102,8 @@ class SfuActor {
   double MaxSubscriberDownlinkRttMs(int origin) const;
 
   const SfuStats& stats() const { return stats_; }
+  // Effective ladder depth (options.ladder_layers, or 1 for 2 parties).
+  int layers() const { return layers_; }
   std::vector<AllocationAuditRow> TakeAudits(double now_ms) {
     return allocator_.TakeAudits(now_ms);
   }
@@ -93,11 +116,20 @@ class SfuActor {
     bool depth_keyframe = false;
     bool Complete() const { return color && depth; }
   };
+  // One frame's whole simulcast ladder, indexed by layer q (top last).
+  struct PendingLadder {
+    std::vector<PendingPair> layers;
+  };
 
   void OnUplinkFrames(int origin, const std::vector<net::ReceivedFrame>& frames,
                       double now_ms);
+  // Terminal accounting for a ladder stuck behind a newer completed pair:
+  // forwards from the highest surviving layer (salvage) or records an
+  // eviction when no layer kept both halves.
+  void FinalizeStranded(int origin, std::uint32_t frame_index,
+                        const PendingLadder& ladder, double now_ms);
   void ForwardPair(int origin, std::uint32_t frame_index,
-                   const PendingPair& pair, double now_ms);
+                   const PendingLadder& ladder, double now_ms);
   void RunAllocations(double now_ms);
   void FeedPoses(double now_ms);
   void RelayKeyframeRequests(double now_ms);
@@ -107,11 +139,18 @@ class SfuActor {
   int SlotAt(int subscriber, int origin) const {
     return origin < subscriber ? origin : origin - 1;
   }
+  // Downlink stream id of (slot, layer q) — the layered generalization of
+  // the 2*slot/2*slot+1 scheme (identical to it when layers_ == 1).
+  std::uint32_t DownlinkStream(int slot, int q, bool depth) const {
+    return 2u * static_cast<std::uint32_t>(slot * layers_ + q) +
+           (depth ? 1u : 0u);
+  }
 
   runtime::EventLoop& loop_;
   const ConferenceOptions& options_;
   double horizon_ms_ = 0.0;
   int parties_ = 0;
+  int layers_ = 1;
 
   std::vector<ParticipantActor*> participants_;
   runtime::SharedLink* shared_uplink_ = nullptr;
@@ -125,9 +164,17 @@ class SfuActor {
   std::vector<std::size_t> remote_pose_feed_idx_;  // N==2 sender culling feed
   std::vector<geom::Vec3> seat_offsets_;           // by slot (same for all)
 
-  std::vector<std::map<std::uint32_t, PendingPair>> pending_;  // by origin
+  std::vector<std::map<std::uint32_t, PendingLadder>> pending_;  // by origin
   std::vector<std::uint32_t> forward_high_;  // newest completed, by origin
   std::vector<std::vector<bool>> awaiting_key_;  // [subscriber][slot]
+  // Ladder layer each (subscriber, slot) stream currently rides; -1 until
+  // the first keyframe pair is forwarded. Changes only on keyframes.
+  std::vector<std::vector<int>> current_layer_;
+  // EMA of each (origin, layer)'s P-pair bytes — the sustained-rate price
+  // the allocator checks before re-anchoring a stream at a layer. Seeded
+  // from the first keyframe pair (scaled down: keyframes are outliers),
+  // then tracks P-pairs only. Virtual-time deterministic.
+  std::vector<std::vector<double>> pair_bytes_ema_;
   std::vector<double> last_key_relay_ms_;        // by origin
 
   double next_alloc_ms_ = 0.0;

@@ -39,9 +39,23 @@ void WriteConferenceTelemetry(std::ostream& os, const ConferenceResult& result,
      << result.sfu.pairs_dropped_congestion
      << ",\"pairs_dropped_awaiting_key\":"
      << result.sfu.pairs_dropped_awaiting_key
+     << ",\"pairs_dropped_layer_incomplete\":"
+     << result.sfu.pairs_dropped_layer_incomplete
      << ",\"pairs_evicted_incomplete\":"
      << result.sfu.pairs_evicted_incomplete
-     << ",\"keyframe_relays\":" << result.sfu.keyframe_relays << "}\n";
+     << ",\"pairs_salvaged\":" << result.sfu.pairs_salvaged
+     << ",\"keyframe_relays\":" << result.sfu.keyframe_relays
+     << ",\"layers\":" << result.sfu.forwarded_by_layer.size()
+     << ",\"layer_switches_up\":" << result.sfu.layer_switches_up
+     << ",\"layer_switches_down\":" << result.sfu.layer_switches_down
+     << ",\"forwarded_by_layer\":[";
+  bool first_layer = true;
+  for (const std::size_t n : result.sfu.forwarded_by_layer) {
+    if (!first_layer) os << ",";
+    first_layer = false;
+    os << n;
+  }
+  os << "]}\n";
 
   for (const ParticipantResult& p : result.participants) {
     for (const RemoteStreamResult& stream : p.streams) {
@@ -52,7 +66,18 @@ void WriteConferenceTelemetry(std::ostream& os, const ConferenceResult& result,
          << ",\"rendered\":" << stream.pairs_rendered
          << ",\"fps\":" << Safe(stream.fps)
          << ",\"stall_rate\":" << Safe(stream.stall_rate)
-         << ",\"mean_latency_ms\":" << Safe(stream.mean_latency_ms) << "}\n";
+         << ",\"mean_latency_ms\":" << Safe(stream.mean_latency_ms)
+         << ",\"stall_aware_latency_ms\":"
+         << Safe(stream.stall_aware_latency_ms)
+         << ",\"layer_switches\":" << stream.layer_switches
+         << ",\"forwarded_by_layer\":[";
+      bool first = true;
+      for (const std::size_t n : stream.forwarded_by_layer) {
+        if (!first) os << ",";
+        first = false;
+        os << n;
+      }
+      os << "]}\n";
     }
   }
 
@@ -68,6 +93,13 @@ void WriteConferenceTelemetry(std::ostream& os, const ConferenceResult& result,
       if (!first) os << ",";
       first = false;
       os << Safe(share);
+    }
+    os << "],\"forwarded_by_layer\":[";
+    first = true;
+    for (const std::size_t n : row.forwarded_by_layer) {
+      if (!first) os << ",";
+      first = false;
+      os << n;
     }
     os << "]}\n";
   }

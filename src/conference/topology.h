@@ -105,6 +105,17 @@ struct ConferenceOptions {
   double share_floor = 0.15;
   core::SplitConfig forward_split;
 
+  // Simulcast ladder (core/types.h knobs, copied into every participant's
+  // LiVoConfig). Each origin encodes ladder_layers quality layers once per
+  // frame; the SFU forwards exactly one layer per (subscriber, origin),
+  // the best its token buckets afford, switching layers only at keyframe
+  // boundaries. 1 disables the ladder. A 2-party conference always runs
+  // single-layer regardless: with one subscriber the origin already paces
+  // itself to that subscriber's allocation, so lower layers would be pure
+  // uplink overhead (and the point-to-point equivalence tests rely on it).
+  int ladder_layers = 3;
+  int ladder_qp_step = 6;
+
   // PLI relays toward one origin are spaced at least this far apart
   // (mirrors the transport's own keyframe-request throttle).
   double keyframe_relay_throttle_ms = 300.0;
@@ -121,5 +132,13 @@ struct ConferenceOptions {
 
   ConferenceOptions() { uplink_channel.jitter_buffer_ms = 60.0; }
 };
+
+// Ladder depth a conference of `parties` actually runs (see ladder_layers
+// above for why 2-party conferences stay single-layer).
+inline int EffectiveLadderLayers(const ConferenceOptions& options,
+                                 int parties) {
+  if (parties <= 2 || options.ladder_layers <= 1) return 1;
+  return options.ladder_layers;
+}
 
 }  // namespace livo::conference

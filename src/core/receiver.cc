@@ -1,7 +1,10 @@
 #include "core/receiver.h"
 
+#include <stdexcept>
+
 #include "image/depth_encoding.h"
 #include "image/plane_pool.h"
+#include "kernels/kernels.h"
 #include "obs/obs.h"
 #include "util/clock.h"
 #include "video/color_convert.h"
@@ -36,16 +39,40 @@ video::CodecConfig DepthStreamConfig(const LiVoConfig& config) {
              : config.DepthCodecConfig();
 }
 
+// Nearest-neighbor expansion of decoded low-layer planes back to the full
+// canvas, swapping each halved plane's pooled storage for a full-sized one.
+void UpsampleToCanvas(std::vector<image::Plane16>& planes, int dw, int dh) {
+  const kernels::KernelTable& kt = kernels::Active();
+  for (image::Plane16& plane : planes) {
+    image::Plane16 full = image::AcquirePooledPlane(dw, dh);
+    kt.upscale2x_u16(plane.data().data(), plane.width(), plane.height(),
+                     full.data().data(), dw, dh);
+    image::ReleasePooledPlane(plane);
+    plane = std::move(full);
+  }
+}
+
 }  // namespace
 
 LiVoReceiver::LiVoReceiver(const LiVoConfig& config,
                            const ReceiverConfig& receiver_config,
-                           std::vector<geom::RgbdCamera> cameras)
+                           std::vector<geom::RgbdCamera> cameras,
+                           int spatial_divisor)
     : config_(config),
       receiver_config_(receiver_config),
       cameras_(std::move(cameras)),
-      color_decoder_(config.ColorCodecConfig(), 3),
-      depth_decoder_(DepthStreamConfig(config), DepthStreamPlaneCount(config)) {}
+      spatial_divisor_(spatial_divisor),
+      color_decoder_(spatial_divisor == 2
+                         ? HalveForLadder(config.ColorCodecConfig())
+                         : config.ColorCodecConfig(),
+                     3),
+      depth_decoder_(spatial_divisor == 2 ? HalveForLadder(DepthStreamConfig(config))
+                                          : DepthStreamConfig(config),
+                     DepthStreamPlaneCount(config)) {
+  if (spatial_divisor != 1 && spatial_divisor != 2) {
+    throw std::invalid_argument("spatial_divisor must be 1 or 2");
+  }
+}
 
 std::vector<RenderedFrame> LiVoReceiver::OnFrames(
     const std::vector<net::ReceivedFrame>& frames, double now_ms,
@@ -121,6 +148,12 @@ std::optional<RenderedFrame> LiVoReceiver::TryRender(
     obs::TraceInstant("receiver.decode_failure");
     LIVO_LOG(Debug) << "frame " << frame_index << " undecodable: " << e.what();
     return std::nullopt;
+  }
+  if (spatial_divisor_ == 2) {
+    UpsampleToCanvas(color_planes, config_.layout.canvas_width(),
+                     config_.layout.canvas_height());
+    UpsampleToCanvas(depth_planes, config_.layout.canvas_width(),
+                     config_.layout.canvas_height());
   }
   out.decode_ms = decode_watch.ElapsedMs();
   metrics.decode_ms.Observe(out.decode_ms);

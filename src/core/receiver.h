@@ -43,8 +43,12 @@ struct ReceiverConfig {
 
 class LiVoReceiver {
  public:
+  // `spatial_divisor` = 1 decodes the full canvas; 2 decodes the simulcast
+  // ladder's downscaled lowest layer (HalveForLadder geometry) and
+  // upsamples the decoded planes back to the full canvas before untiling,
+  // so everything downstream of the decoder is resolution-agnostic.
   LiVoReceiver(const LiVoConfig& config, const ReceiverConfig& receiver_config,
-               std::vector<geom::RgbdCamera> cameras);
+               std::vector<geom::RgbdCamera> cameras, int spatial_divisor = 1);
 
   // Feeds released transport frames; returns frames rendered at `now_ms`
   // from the viewer's `current_frustum`. Frames whose counterpart stream
@@ -64,6 +68,7 @@ class LiVoReceiver {
   LiVoConfig config_;
   ReceiverConfig receiver_config_;
   std::vector<geom::RgbdCamera> cameras_;
+  int spatial_divisor_;
   video::VideoDecoder color_decoder_;
   video::VideoDecoder depth_decoder_;
 

@@ -1,8 +1,10 @@
 #include "core/sender.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "image/depth_encoding.h"
+#include "kernels/kernels.h"
 #include "metrics/image_metrics.h"
 #include "obs/obs.h"
 #include "util/clock.h"
@@ -45,6 +47,23 @@ int DepthStreamPlaneCount(const LiVoConfig& config) {
   return config.depth_mode == DepthEncodingMode::kRgbPacked ? 3 : 1;
 }
 
+// Codec config of lower ladder layer `q`. Full-resolution mid layers keep
+// the top-layer geometry; the lowest layer (q == 0) encodes the halved
+// canvas. Motion search is disabled on every lower layer: they are the
+// degraded rungs, and skipping the SAD search keeps the whole ladder's
+// encode cost within ~2x a single-layer encode.
+video::CodecConfig LadderLayerConfig(video::CodecConfig top, int q) {
+  top.motion_search = false;
+  return q == 0 ? HalveForLadder(top) : top;
+}
+
+// QP of lower layer `q` relative to the committed top-layer QP.
+int LadderLayerQp(const video::CodecConfig& config, int layers, int q,
+                  int qp_step, int top_qp) {
+  const int qp = top_qp + (layers - 1 - q) * qp_step;
+  return std::clamp(qp, config.qp_min, config.qp_max);
+}
+
 }  // namespace
 
 LiVoSender::LiVoSender(const LiVoConfig& config,
@@ -58,6 +77,16 @@ LiVoSender::LiVoSender(const LiVoConfig& config,
   if (static_cast<int>(cameras_.size()) != config_.layout.camera_count()) {
     throw std::invalid_argument("camera count does not match tile layout");
   }
+  if (config_.simulcast_layers < 1) {
+    throw std::invalid_argument("simulcast_layers must be >= 1");
+  }
+  for (int q = 0; q < config_.simulcast_layers - 1; ++q) {
+    lower_color_encoders_.emplace_back(
+        LadderLayerConfig(config_.ColorCodecConfig(), q), 3);
+    lower_depth_encoders_.emplace_back(
+        LadderLayerConfig(DepthStreamConfig(config_), q),
+        DepthStreamPlaneCount(config_));
+  }
   if (!config_.dynamic_split) {
     // Static-split ablation: pin the controller at the configured value.
     SplitConfig pinned = config_.split;
@@ -69,8 +98,16 @@ LiVoSender::LiVoSender(const LiVoConfig& config,
 }
 
 void LiVoSender::RequestKeyframe(std::uint32_t stream_id) {
-  if (stream_id == kColorStream) color_encoder_.RequestKeyframe();
-  if (stream_id == kDepthStream) depth_encoder_.RequestKeyframe();
+  // A PLI re-keys the whole ladder of its stream type: layer switches are
+  // only legal at keyframes, so every layer must offer one together.
+  if (stream_id == kColorStream) {
+    color_encoder_.RequestKeyframe();
+    for (auto& encoder : lower_color_encoders_) encoder.RequestKeyframe();
+  }
+  if (stream_id == kDepthStream) {
+    depth_encoder_.RequestKeyframe();
+    for (auto& encoder : lower_depth_encoders_) encoder.RequestKeyframe();
+  }
 }
 
 SenderOutput LiVoSender::ProcessFrame(std::vector<image::RgbdFrame> views,
@@ -183,6 +220,70 @@ SenderOutput LiVoSender::ProcessFrame(std::vector<image::RgbdFrame> views,
       depth_result = depth_encoder_.EncodeAtQp(depth_planes,
                                                config_.fixed_depth_qp);
       encoders.Wait();
+    }
+
+    // --- Lower simulcast layers (encode-once ladder; §A.1) ---
+    // Each lower layer re-encodes the just-prepared planes once, priced off
+    // the committed top-layer QP — per layer, never per subscriber. The
+    // lowest layer first passes through the kernel downscalers into member
+    // buffers, so the steady state stays free of frame-sized allocations.
+    if (config_.simulcast_layers > 1) {
+      LIVO_SPAN("sender.ladder");
+      const int layers = config_.simulcast_layers;
+      out.lower_layers.resize(static_cast<std::size_t>(layers - 1));
+      const kernels::KernelTable& kt = kernels::Active();
+      const auto downscale_into =
+          [&kt](const std::vector<image::Plane16>& src, bool avg, int dw,
+                int dh, std::vector<image::Plane16>& dst) {
+            dst.resize(src.size());
+            for (std::size_t i = 0; i < src.size(); ++i) {
+              if (dst[i].width() != dw || dst[i].height() != dh) {
+                dst[i] = image::Plane16(dw, dh);
+              }
+              (avg ? kt.downscale2x_avg_u16 : kt.downscale2x_pick_u16)(
+                  src[i].data().data(), src[i].width(), src[i].height(),
+                  dst[i].data().data(), dw, dh);
+            }
+          };
+      for (int q = layers - 2; q >= 0; --q) {
+        video::VideoEncoder& color_low_encoder =
+            lower_color_encoders_[static_cast<std::size_t>(q)];
+        video::VideoEncoder& depth_low_encoder =
+            lower_depth_encoders_[static_cast<std::size_t>(q)];
+        const std::vector<image::Plane16>* layer_color = &color_planes;
+        const std::vector<image::Plane16>* layer_depth = &depth_planes;
+        if (q == 0) {
+          const video::CodecConfig& low = color_low_encoder.config();
+          // Box-filter color; pick depth so silhouette depths never blend
+          // (and the 0 = invalid sentinel survives).
+          downscale_into(color_planes, /*avg=*/true, low.width, low.height,
+                         low_color_planes_);
+          downscale_into(depth_planes, /*avg=*/false, low.width, low.height,
+                         low_depth_planes_);
+          layer_color = &low_color_planes_;
+          layer_depth = &low_depth_planes_;
+        }
+        video::EncodeResult color_low = color_low_encoder.EncodeAtQp(
+            *layer_color,
+            LadderLayerQp(color_low_encoder.config(), layers, q,
+                          config_.ladder_qp_step, color_result.frame.qp));
+        video::EncodeResult depth_low = depth_low_encoder.EncodeAtQp(
+            *layer_depth,
+            LadderLayerQp(depth_low_encoder.config(), layers, q,
+                          config_.ladder_qp_step, depth_result.frame.qp));
+        SenderLayerOutput& layer =
+            out.lower_layers[static_cast<std::size_t>(q)];
+        layer.color_keyframe = color_low.frame.keyframe;
+        layer.depth_keyframe = depth_low.frame.keyframe;
+        layer.color_frame = std::make_shared<const std::vector<std::uint8_t>>(
+            video::SerializeFrame(color_low.frame));
+        layer.depth_frame = std::make_shared<const std::vector<std::uint8_t>>(
+            video::SerializeFrame(depth_low.frame));
+        out.stats.ladder_bytes +=
+            layer.color_frame->size() + layer.depth_frame->size();
+        video::ReleaseReconstruction(color_low);
+        video::ReleaseReconstruction(depth_low);
+      }
     }
   }
   out.stats.encode_ms = encode_watch.ElapsedMs();

@@ -21,11 +21,23 @@
 
 namespace livo::core {
 
+// One lower simulcast layer of a frame (the top layer lives in the
+// SenderOutput fields below, keeping single-layer callers untouched).
+struct SenderLayerOutput {
+  std::shared_ptr<const std::vector<std::uint8_t>> color_frame;
+  std::shared_ptr<const std::vector<std::uint8_t>> depth_frame;
+  bool color_keyframe = false;
+  bool depth_keyframe = false;
+};
+
 struct SenderOutput {
   std::shared_ptr<const std::vector<std::uint8_t>> color_frame;
   std::shared_ptr<const std::vector<std::uint8_t>> depth_frame;
   bool color_keyframe = false;
   bool depth_keyframe = false;
+  // Lower ladder layers, indexed by layer q in [0, simulcast_layers-1):
+  // [0] is the downscaled lowest layer. Empty when simulcast_layers == 1.
+  std::vector<SenderLayerOutput> lower_layers;
   SenderFrameStats stats;
 };
 
@@ -59,6 +71,12 @@ class LiVoSender {
   SplitController splitter_;
   video::VideoEncoder color_encoder_;
   video::VideoEncoder depth_encoder_;
+  // Lower simulcast layer encoders, indexed by layer q in
+  // [0, simulcast_layers-1); empty for single-layer senders. They advance
+  // in lockstep with the top encoders (same GOP phase, same PLI re-keys),
+  // so keyframes align across the whole ladder.
+  std::vector<video::VideoEncoder> lower_color_encoders_;
+  std::vector<video::VideoEncoder> lower_depth_encoders_;
   // Unspent (or overdrawn) bytes relative to the long-run rate target;
   // lets keyframes borrow against credit banked by cheap P-frames.
   double byte_credit_ = 0.0;
@@ -66,6 +84,9 @@ class LiVoSender {
   // steady-state encode path performs no frame-sized allocations.
   std::vector<image::Plane16> color_planes_;
   std::vector<image::Plane16> depth_planes_;
+  // Halved-canvas buffers for the ladder's downscaled lowest layer.
+  std::vector<image::Plane16> low_color_planes_;
+  std::vector<image::Plane16> low_depth_planes_;
 };
 
 }  // namespace livo::core

@@ -1,6 +1,7 @@
 // Configuration and result types of the LiVo pipeline (livo::core).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -51,6 +52,20 @@ struct LiVoConfig {
   int fixed_color_qp = 24;
   int fixed_depth_qp = 42;
 
+  // --- Simulcast ladder (SFU conferencing; §A.1) ---
+  // Number of quality layers encoded per frame. 1 = the classic single
+  // stream (direct sessions, all ablations). With L > 1 the sender encodes
+  // every frame L times — once per layer, never per subscriber: layer L-1
+  // is the rate-controlled full-quality stream; each lower full-resolution
+  // layer re-encodes the same planes at +ladder_qp_step QP per step down;
+  // the lowest layer additionally halves both canvas dimensions through the
+  // kernel downscalers (~1/4 the pixels). Keyframes stay aligned across
+  // layers: all layer encoders advance in lockstep and share GOP phase and
+  // PLI re-key requests, which is what lets the SFU switch a subscriber's
+  // layer only at keyframes without breaking P-frame continuity.
+  int simulcast_layers = 1;
+  int ladder_qp_step = 6;
+
   video::CodecConfig ColorCodecConfig() const {
     video::CodecConfig c;
     c.width = layout.canvas_width();
@@ -91,6 +106,44 @@ struct LiVoConfig {
 inline constexpr std::uint32_t kColorStream = 0;
 inline constexpr std::uint32_t kDepthStream = 1;
 
+// Uplink stream ids of simulcast layer `q` (top layer = layers-1). The top
+// layer keeps the canonical ids 0/1, so single-layer senders and the direct
+// session path are untouched; lower layers move to higher id pairs.
+inline std::uint32_t LadderColorStream(int layers, int q) {
+  return 2u * static_cast<std::uint32_t>(layers - 1 - q);
+}
+inline std::uint32_t LadderDepthStream(int layers, int q) {
+  return LadderColorStream(layers, q) + 1u;
+}
+
+// Codec config of the ladder's downscaled lowest layer: halved canvas
+// rounded up to the codec's 8-pixel block grid (the downscaler pads by edge
+// replication), one slice per plane — the tile-aligned slice grid does not
+// survive halving, and the planes are small enough that slice parallelism
+// stops paying.
+inline video::CodecConfig HalveForLadder(video::CodecConfig c) {
+  const auto half8 = [](int v) { return ((v + 1) / 2 + 7) / 8 * 8; };
+  c.width = half8(c.width);
+  c.height = half8(c.height);
+  c.slice_height = 0;
+  return c;
+}
+
+// Expected uplink bytes of the whole ladder relative to the top layer
+// alone, from the codec's bits ~ 2^(-QP/6) model (+step QP per layer down;
+// the lowest layer also carries ~1/4 the pixels). The participant divides
+// its uplink bandwidth constraint by this factor so the ladder as a whole
+// fits what GCC grants.
+inline double LadderOverheadFactor(int layers, int qp_step) {
+  if (layers <= 1) return 1.0;
+  double factor = 1.0;
+  for (int q = layers - 2; q >= 0; --q) {
+    const double rel = std::pow(2.0, -(layers - 1 - q) * qp_step / 6.0);
+    factor += q == 0 ? 0.25 * rel : rel;
+  }
+  return factor;
+}
+
 // Per-frame sender telemetry.
 struct SenderFrameStats {
   std::uint32_t frame_index = 0;
@@ -99,6 +152,9 @@ struct SenderFrameStats {
   std::size_t color_bytes = 0;
   std::size_t depth_bytes = 0;
   double cull_kept_fraction = 1.0;
+  // Serialized bytes of all lower simulcast layers combined (0 for
+  // single-layer senders; color_bytes/depth_bytes stay top-layer only).
+  std::size_t ladder_bytes = 0;
   double rmse_color = -1.0;  // -1 when the probe did not run this frame
   double rmse_depth = -1.0;
   double cull_ms = 0.0;

@@ -108,6 +108,22 @@ struct KernelTable {
   void (*cull_classify_row)(const std::uint16_t* depth, int width, double v,
                             const FrustumKernelParams& params,
                             std::uint8_t* mask) = nullptr;
+
+  // -- 2x spatial resampling for the simulcast ladder's low layer. Source
+  //    reads clamp to the plane edge, so (dw, dh) may exceed ceil(s/2) —
+  //    the codec needs block-aligned planes, and the excess becomes
+  //    edge-replicated padding. `avg` box-filters with round-half-up
+  //    ((a+b+c+d+2)>>2) and suits color planes; `pick` takes the top-left
+  //    sample of each 2x2 block, which keeps depth values unmixed across
+  //    silhouettes (and never blends the 0 = invalid sentinel). --
+  void (*downscale2x_avg_u16)(const std::uint16_t* src, int sw, int sh,
+                              std::uint16_t* dst, int dw, int dh) = nullptr;
+  void (*downscale2x_pick_u16)(const std::uint16_t* src, int sw, int sh,
+                               std::uint16_t* dst, int dw, int dh) = nullptr;
+  // Nearest-neighbor expansion back to an arbitrary (dw, dh) >= (sw, sh):
+  // dst(x, y) = src(min(x/2, sw-1), min(y/2, sh-1)).
+  void (*upscale2x_u16)(const std::uint16_t* src, int sw, int sh,
+                        std::uint16_t* dst, int dw, int dh) = nullptr;
 };
 
 // Table for an explicit level; nullptr when that level is not compiled in

@@ -136,6 +136,12 @@ std::uint64_t SumSqDiffU8(const std::uint8_t* a, const std::uint8_t* b,
                           std::size_t n);
 void CullClassifyRow(const std::uint16_t* depth, int width, double v,
                      const FrustumKernelParams& params, std::uint8_t* mask);
+void Downscale2xAvgU16(const std::uint16_t* src, int sw, int sh,
+                       std::uint16_t* dst, int dw, int dh);
+void Downscale2xPickU16(const std::uint16_t* src, int sw, int sh,
+                        std::uint16_t* dst, int dw, int dh);
+void Upscale2xU16(const std::uint16_t* src, int sw, int sh, std::uint16_t* dst,
+                  int dw, int dh);
 
 }  // namespace ref
 }  // namespace livo::kernels

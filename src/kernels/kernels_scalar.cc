@@ -173,6 +173,44 @@ void CullClassifyRow(const std::uint16_t* depth, int width, double v,
   }
 }
 
+void Downscale2xAvgU16(const std::uint16_t* src, int sw, int sh,
+                       std::uint16_t* dst, int dw, int dh) {
+  for (int y = 0; y < dh; ++y) {
+    const int y0 = 2 * y < sh - 1 ? 2 * y : sh - 1;
+    const int y1 = y0 + 1 < sh ? y0 + 1 : y0;  // replicate the odd edge
+    for (int x = 0; x < dw; ++x) {
+      const int x0 = 2 * x < sw - 1 ? 2 * x : sw - 1;
+      const int x1 = x0 + 1 < sw ? x0 + 1 : x0;
+      const std::uint32_t sum = static_cast<std::uint32_t>(src[y0 * sw + x0]) +
+                                src[y0 * sw + x1] + src[y1 * sw + x0] +
+                                src[y1 * sw + x1];
+      dst[y * dw + x] = static_cast<std::uint16_t>((sum + 2u) >> 2);
+    }
+  }
+}
+
+void Downscale2xPickU16(const std::uint16_t* src, int sw, int sh,
+                        std::uint16_t* dst, int dw, int dh) {
+  for (int y = 0; y < dh; ++y) {
+    const int sy = 2 * y < sh - 1 ? 2 * y : sh - 1;
+    for (int x = 0; x < dw; ++x) {
+      const int sx = 2 * x < sw - 1 ? 2 * x : sw - 1;
+      dst[y * dw + x] = src[sy * sw + sx];
+    }
+  }
+}
+
+void Upscale2xU16(const std::uint16_t* src, int sw, int sh, std::uint16_t* dst,
+                  int dw, int dh) {
+  for (int y = 0; y < dh; ++y) {
+    const int sy = y / 2 < sh - 1 ? y / 2 : sh - 1;
+    for (int x = 0; x < dw; ++x) {
+      const int sx = x / 2 < sw - 1 ? x / 2 : sw - 1;
+      dst[y * dw + x] = src[sy * sw + sx];
+    }
+  }
+}
+
 }  // namespace ref
 
 const KernelTable& ScalarTable() {
@@ -194,6 +232,9 @@ const KernelTable& ScalarTable() {
     t.sum_sq_diff_u16 = ref::SumSqDiffU16;
     t.sum_sq_diff_u8 = ref::SumSqDiffU8;
     t.cull_classify_row = ref::CullClassifyRow;
+    t.downscale2x_avg_u16 = ref::Downscale2xAvgU16;
+    t.downscale2x_pick_u16 = ref::Downscale2xPickU16;
+    t.upscale2x_u16 = ref::Upscale2xU16;
     return t;
   }();
   return table;

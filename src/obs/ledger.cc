@@ -20,6 +20,7 @@ const char* LedgerHopName(LedgerHop hop) {
     case LedgerHop::kDelivered: return "delivered";
     case LedgerHop::kDisplayed: return "displayed";
     case LedgerHop::kStalled: return "stalled";
+    case LedgerHop::kDroppedLayerIncomplete: return "dropped_layer_incomplete";
   }
   return "?";
 }
@@ -41,7 +42,8 @@ void FrameLedger::Record(const LedgerEvent& event) {
 
 void FrameLedger::Record(std::int32_t origin, std::int32_t frame,
                          std::int32_t subscriber, LedgerHop hop, double t_ms,
-                         std::uint64_t bytes, bool keyframe) {
+                         std::uint64_t bytes, bool keyframe,
+                         std::int32_t layer) {
   LedgerEvent event;
   event.origin = origin;
   event.frame = frame;
@@ -50,6 +52,7 @@ void FrameLedger::Record(std::int32_t origin, std::int32_t frame,
   event.t_ms = t_ms;
   event.bytes = bytes;
   event.keyframe = keyframe;
+  event.layer = layer;
   Record(event);
 }
 
@@ -132,7 +135,8 @@ void FrameLedger::WriteJsonl(std::ostream& os) const {
        << ",\"frame\":" << e.frame << ",\"subscriber\":" << e.subscriber
        << ",\"hop\":\"" << LedgerHopName(e.hop) << "\",\"t_ms\":" << e.t_ms
        << ",\"bytes\":" << e.bytes
-       << ",\"keyframe\":" << (e.keyframe ? "true" : "false") << "}\n";
+       << ",\"keyframe\":" << (e.keyframe ? "true" : "false")
+       << ",\"layer\":" << e.layer << "}\n";
   }
   os.precision(precision);
   os.flags(flags);

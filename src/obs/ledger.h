@@ -5,8 +5,9 @@
 // its virtual timestamp:
 //
 //   captured → encoded (bytes, key/P)
-//            → per-subscriber SFU gate verdict: forwarded, or dropped with
-//              the reason (congestion / awaiting-key / budget)
+//            → per-subscriber SFU gate verdict: forwarded (at a simulcast
+//              layer), or dropped with the reason (congestion /
+//              awaiting-key / budget / layer-incomplete)
 //            → delivered → displayed-or-stalled
 //
 // FinalizeRun() closes every open pair so a well-formed ledger has a
@@ -35,13 +36,16 @@ enum class LedgerHop : std::uint8_t {
   kPairComplete = 3,       // both halves re-assembled at the SFU
   kEvicted = 4,            // older incomplete half evicted at the SFU
   kLostUplink = 5,         // encoded but never completed at the SFU
-  kForwarded = 6,          // per-subscriber: passed all three gates
+  kForwarded = 6,          // per-subscriber: passed every SFU gate
   kDroppedCongestion = 7,  // per-subscriber: downlink queue over budget
   kDroppedAwaitingKey = 8, // per-subscriber: P-frame while awaiting a key
   kDroppedBudget = 9,      // per-subscriber: allocator refused the bytes
   kDelivered = 10,         // per-subscriber: first half arrived downlink
   kDisplayed = 11,         // per-subscriber: pair rendered on time
   kStalled = 12,           // per-subscriber: forwarded but never rendered
+  // per-subscriber: the stream's current simulcast layer lost a half on
+  // the uplink, and a P-pair cannot switch layers mid-GOP
+  kDroppedLayerIncomplete = 13,
 };
 
 // Stable JSONL name ("captured", "dropped_budget", ...).
@@ -55,6 +59,9 @@ struct LedgerEvent {
   double t_ms = 0.0;             // virtual time of the hop
   std::uint64_t bytes = 0;       // color+depth payload where meaningful
   bool keyframe = false;
+  // Simulcast layer the hop concerns (forwarded: the layer actually sent
+  // down the subscriber's link). -1 = not layer-scoped / no ladder.
+  std::int32_t layer = -1;
 };
 
 class FrameLedger {
@@ -73,7 +80,8 @@ class FrameLedger {
   void Record(const LedgerEvent& event);
   void Record(std::int32_t origin, std::int32_t frame,
               std::int32_t subscriber, LedgerHop hop, double t_ms,
-              std::uint64_t bytes = 0, bool keyframe = false);
+              std::uint64_t bytes = 0, bool keyframe = false,
+              std::int32_t layer = -1);
 
   // Appends the synthetic closing hops (lost_uplink, stalled) at `end_ms`
   // so every captured pair reaches a terminal state. Idempotent per run.

@@ -4,6 +4,7 @@
 // degenerate case against the direct point-to-point session driver.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <map>
@@ -172,6 +173,131 @@ TEST(ConferenceAllocator, KeyframePairsPoolBucketsButPFramesCannot) {
   EXPECT_FALSE(alloc.TryForwardPair(0, 0, false, 1, depth_budget / 2));
   // And the pooled keyframe cannot exceed the combined remainder either.
   EXPECT_FALSE(alloc.TryForwardPair(0, 0, true, color_budget, depth_budget));
+}
+
+// Regression: with >= 1/share_floor remote slots the old floor clamp
+// (min(share_floor, equal)) consumed the whole budget in floors and
+// collapsed every share to uniform regardless of visibility. At 8 parties
+// (7 slots, floor 0.15) distinct visible fractions must still produce
+// strictly ordered, distinct shares.
+TEST(ConferenceAllocator, SharesStayVisibilityDrivenAtEightParties) {
+  AllocatorConfig config;
+  config.share_floor = 0.15;
+  DownlinkAllocator alloc(8, config);  // 7 remote slots per subscriber
+  const std::vector<double> visibility = {0.05, 0.1, 0.2, 0.4,
+                                          0.6,  0.8, 1.0};
+  alloc.BeginInterval(0, 0.0, 100000.0, visibility);
+  double sum = 0.0;
+  for (int slot = 0; slot < 7; ++slot) sum += alloc.ShareOf(0, slot);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  for (int slot = 0; slot + 1 < 7; ++slot) {
+    EXPECT_LT(alloc.ShareOf(0, slot), alloc.ShareOf(0, slot + 1))
+        << "shares collapsed at slot " << slot;
+  }
+  // At least half the budget must follow visibility (floor cap = equal/2),
+  // so the most-visible slot clearly outranks the least-visible one.
+  EXPECT_GT(alloc.ShareOf(0, 6), 2.0 * alloc.ShareOf(0, 0));
+}
+
+// ---- Layered allocator pricing ----
+
+// A 3-layer price sheet: layer q's pair costs `bytes[q]` split evenly
+// between color and depth, with an optional sustained-rate estimate.
+std::vector<LayerPairBytes> Ladder3(std::size_t l0, std::size_t l1,
+                                    std::size_t l2, double sustained0 = 0.0,
+                                    double sustained1 = 0.0,
+                                    double sustained2 = 0.0) {
+  std::vector<LayerPairBytes> layers(3);
+  const std::size_t bytes[] = {l0, l1, l2};
+  const double sustained[] = {sustained0, sustained1, sustained2};
+  for (std::size_t q = 0; q < 3; ++q) {
+    layers[q].color_bytes = bytes[q] / 2;
+    layers[q].depth_bytes = bytes[q] - bytes[q] / 2;
+    layers[q].valid = true;
+    layers[q].sustained_interval_bytes = sustained[q];
+  }
+  return layers;
+}
+
+AllocatorConfig LadderConfig() {
+  AllocatorConfig config;
+  config.interval_ms = 100.0;
+  config.burst_credit_intervals = 0.0;  // no banked credit: exact budgets
+  config.layers = 3;
+  return config;
+}
+
+// The keyframe verdict walks top-down and returns the best layer the
+// buckets can pay for — monotone in the budget.
+TEST(ConferenceAllocator, LayeredVerdictIsMonotoneInBudget) {
+  const auto ladder = Ladder3(2000, 8000, 16000);
+  int previous = -1;
+  for (const double budget : {1000.0, 4000.0, 10000.0, 20000.0}) {
+    DownlinkAllocator alloc(2, LadderConfig());
+    alloc.BeginInterval(0, 0.0, budget, {1.0});
+    const int chosen = alloc.TryForwardLayered(0, 0, true, ladder);
+    EXPECT_GE(chosen, previous) << "budget " << budget;
+    previous = chosen;
+  }
+  EXPECT_EQ(previous, 2);  // the largest budget affords the top layer
+  // And a budget below even the cheapest layer yields a drop.
+  DownlinkAllocator alloc(2, LadderConfig());
+  alloc.BeginInterval(0, 0.0, 1000.0, {1.0});
+  EXPECT_EQ(alloc.TryForwardLayered(0, 0, true, Ladder3(4000, 8000, 16000)),
+            -1);
+}
+
+// Before the first BeginInterval nothing is known about the downlink: the
+// best valid layer passes undebited, mirroring TryForwardPair.
+TEST(ConferenceAllocator, PreIntervalTopValidLayerPassesUndebited) {
+  DownlinkAllocator alloc(2, LadderConfig());
+  auto ladder = Ladder3(2000, 8000, 16000);
+  EXPECT_EQ(alloc.TryForwardLayered(0, 0, true, ladder), 2);
+  // Repeatedly — nothing was debited.
+  EXPECT_EQ(alloc.TryForwardLayered(0, 0, true, ladder), 2);
+  ladder[2].valid = false;  // top half died on the uplink
+  EXPECT_EQ(alloc.TryForwardLayered(0, 0, false, ladder), 1);
+}
+
+// A keyframe re-anchors the stream, so a layer above the cheapest must be
+// sustainable: its per-interval rate within the slot's refill AND the
+// post-key credit able to carry an interval of its P-pairs. The cheapest
+// valid layer is exempt (sending something beats dropping).
+TEST(ConferenceAllocator, KeyframeAnchorsOnlySustainableLayers) {
+  DownlinkAllocator alloc(2, LadderConfig());
+  alloc.BeginInterval(0, 0.0, 10000.0, {1.0});
+  // Top layer is instantaneously cheap but unsustainable; the mid layer
+  // fits both horizons (credit 10000 - key 1000 = 9000 >= 8000).
+  EXPECT_EQ(alloc.TryForwardLayered(
+                0, 0, true, Ladder3(500, 1000, 2000, 1000.0, 8000.0, 50000.0)),
+            1);
+  // All layers unsustainable: the cheapest still goes through.
+  DownlinkAllocator exempt(2, LadderConfig());
+  exempt.BeginInterval(0, 0.0, 10000.0, {1.0});
+  EXPECT_EQ(exempt.TryForwardLayered(
+                0, 0, true, Ladder3(500, 1000, 2000, 1e9, 1e9, 1e9)),
+            0);
+}
+
+// Forwarding is pair-atomic, so the layered path prices every pair —
+// P-pairs included — against the slot's combined color+depth credit. The
+// legacy per-half TryForwardPair refusal stays for the non-layered path.
+TEST(ConferenceAllocator, LayeredPPairsPoolTheSlotBuckets) {
+  AllocatorConfig config = LadderConfig();
+  DownlinkAllocator alloc(2, config);
+  alloc.BeginInterval(0, 0.0, 10000.0, {1.0});
+  const double split = alloc.SplitOf(0, 0);
+  const auto depth_budget = static_cast<std::size_t>(10000.0 * split);
+  // A P-pair whose depth half overflows its own bucket but fits the
+  // combined credit: refused by the legacy path...
+  EXPECT_FALSE(
+      alloc.TryForwardPair(0, 0, false, 100, depth_budget + 1000));
+  // ...but forwarded by the layered path (one-hot candidate, P verdict).
+  std::vector<LayerPairBytes> only(3);
+  only[1].color_bytes = 100;
+  only[1].depth_bytes = depth_budget + 1000;
+  only[1].valid = true;
+  EXPECT_EQ(alloc.TryForwardLayered(0, 0, false, only), 1);
 }
 
 // ---- Full 4-party conference ----
@@ -350,11 +476,99 @@ TEST(ConferenceTwoParty, MatchesDirectSessionAggregatesWithinTolerance) {
   EXPECT_LT(conf_sent, 5.0 * direct_bytes + 200000.0);
 }
 
+// With two parties the simulcast ladder collapses to a single layer
+// (EffectiveLadderLayers): there is exactly one subscriber, so
+// encode-once/serve-many buys nothing and the ladder would only burn
+// uplink. Everything layer-shaped must report depth 1 and zero switches.
+TEST(ConferenceTwoParty, LadderCollapsesToSingleLayer) {
+  ConferenceOptions options = SmallConferenceOptions();
+  options.ladder_layers = 3;  // explicitly requested, still collapsed
+  const ConferenceResult result = RunConference(SmallRoster(2, 5), options);
+  ASSERT_EQ(result.sfu.forwarded_by_layer.size(), 1u);
+  EXPECT_EQ(result.sfu.forwarded_by_layer[0], result.sfu.pairs_forwarded);
+  EXPECT_EQ(result.sfu.layer_switches_up, 0u);
+  EXPECT_EQ(result.sfu.layer_switches_down, 0u);
+  for (const ParticipantResult& p : result.participants) {
+    for (const RemoteStreamResult& s : p.streams) {
+      EXPECT_EQ(s.forwarded_by_layer.size(), 1u);
+      EXPECT_EQ(s.layer_switches, 0u);
+    }
+  }
+  for (const AllocationAuditRow& row : result.audits) {
+    EXPECT_EQ(row.forwarded_by_layer.size(), 1u);
+  }
+}
+
+// A starved uplink strands ladders: the top pair serializes last behind
+// the whole ladder, blows the playout deadline, and dies mid-flight. The
+// SFU must forward from the highest surviving layer instead of evicting
+// wholesale — otherwise every subscriber of that origin deadlocks
+// awaiting a keyframe that each re-key loses the same way.
+TEST(ConferenceSalvage, StrandedLaddersForwardFromSurvivingLayers) {
+  // Scan a fixed set of starvation rates (deterministic): the stranding
+  // window — top pair dies, a lower layer survives — sits between "whole
+  // ladder fits" and "nothing fits", and its exact edge moves with the
+  // encoder. At least one rate must land inside it.
+  ConferenceResult result;
+  bool salvaged = false;
+  for (const double mbps : {30.0, 60.0, 100.0, 150.0}) {
+    auto specs = SmallRoster(3, 8);
+    specs[0].uplink_trace = ConstantTrace(mbps, 30.0);
+    result = RunConference(specs, SmallConferenceOptions());
+    SCOPED_TRACE("uplink " + std::to_string(mbps) + " mbps: salvaged " +
+                 std::to_string(result.sfu.pairs_salvaged) + ", evicted " +
+                 std::to_string(result.sfu.pairs_evicted_incomplete));
+    if (result.sfu.pairs_salvaged > 0) {
+      salvaged = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(salvaged);
+  EXPECT_LE(result.sfu.pairs_salvaged, result.sfu.pairs_completed);
+  // The starved origin's subscribers keep rendering: no deadlock.
+  for (const ParticipantResult& p : result.participants) {
+    if (p.index == 0) continue;
+    for (const RemoteStreamResult& s : p.streams) {
+      if (s.origin != 0) continue;
+      EXPECT_GT(s.pairs_rendered, 0u);
+    }
+  }
+  // Salvaged completions get one verdict per subscriber like any other.
+  const std::size_t verdicts =
+      result.sfu.pairs_forwarded + result.sfu.pairs_dropped_budget +
+      result.sfu.pairs_dropped_congestion +
+      result.sfu.pairs_dropped_awaiting_key +
+      result.sfu.pairs_dropped_layer_incomplete;
+  EXPECT_EQ(verdicts, result.sfu.pairs_completed * 2u);
+}
+
+// Stall-aware latency can never beat the survivor-biased delivered-only
+// mean: renders arrive in frame order, so a delivered frame's own render
+// is its earliest cover, and dropped/stalled frames only add wait. Both
+// metrics must also be finite and non-negative on a flowing call.
+TEST(ConferenceLatency, StallAwareLatencyDominatesDeliveredOnlyMean) {
+  const ConferenceResult& result = FourPartyResult();
+  bool saw_rendered_stream = false;
+  for (const ParticipantResult& p : result.participants) {
+    for (const RemoteStreamResult& s : p.streams) {
+      SCOPED_TRACE("subscriber " + std::to_string(p.index) + " origin " +
+                   std::to_string(s.origin));
+      EXPECT_TRUE(std::isfinite(s.stall_aware_latency_ms));
+      EXPECT_GE(s.stall_aware_latency_ms, 0.0);
+      if (s.pairs_rendered == 0) continue;
+      saw_rendered_stream = true;
+      EXPECT_GE(s.stall_aware_latency_ms, s.mean_latency_ms - 1e-9);
+    }
+  }
+  EXPECT_TRUE(saw_rendered_stream);
+}
+
 // ---- Gate conservation across party counts and topologies ----
 
 // Every completed pair gets exactly one verdict per remote subscriber:
-// forwarded or dropped at one of the three SFU gates. The counters must
-// account for all of them, in private and shared downlink topologies.
+// forwarded (at some ladder layer) or dropped at one of the four SFU
+// gates. The counters must account for all of them, in private and
+// shared downlink topologies.
 class ConferenceConservation
     : public ::testing::TestWithParam<std::tuple<int, bool>> {};
 
@@ -373,7 +587,21 @@ TEST_P(ConferenceConservation, EveryCompletedPairGetsOneVerdictPerSubscriber) {
   EXPECT_GT(sfu.pairs_completed, 0u);
   EXPECT_EQ(sfu.pairs_completed * static_cast<std::uint64_t>(parties - 1),
             sfu.pairs_forwarded + sfu.pairs_dropped_budget +
-                sfu.pairs_dropped_congestion + sfu.pairs_dropped_awaiting_key);
+                sfu.pairs_dropped_congestion + sfu.pairs_dropped_awaiting_key +
+                sfu.pairs_dropped_layer_incomplete);
+  // Ladder conservation: the per-layer forwarded histogram accounts for
+  // every forwarded pair, at the SFU and per stream.
+  std::uint64_t by_layer = 0;
+  for (const std::size_t n : sfu.forwarded_by_layer) by_layer += n;
+  EXPECT_EQ(by_layer, sfu.pairs_forwarded);
+  for (const ParticipantResult& p : result.participants) {
+    for (const RemoteStreamResult& s : p.streams) {
+      std::size_t stream_sum = 0;
+      for (const std::size_t n : s.forwarded_by_layer) stream_sum += n;
+      EXPECT_EQ(stream_sum, s.pairs_forwarded)
+          << "subscriber " << p.index << " origin " << s.origin;
+    }
+  }
   // And the SFU cannot complete more pairs than frames it ingested halves
   // for, nor forward more than were completed.
   EXPECT_LE(sfu.pairs_completed * 2, sfu.frames_in);
@@ -426,6 +654,8 @@ TEST_F(ConferenceLedgerTest, ForwardedHopsReconcileWithEveryAuditInterval) {
             result.sfu.pairs_dropped_congestion);
   EXPECT_EQ(counts[obs::LedgerHop::kDroppedAwaitingKey],
             result.sfu.pairs_dropped_awaiting_key);
+  EXPECT_EQ(counts[obs::LedgerHop::kDroppedLayerIncomplete],
+            result.sfu.pairs_dropped_layer_incomplete);
   EXPECT_EQ(counts[obs::LedgerHop::kEvicted],
             result.sfu.pairs_evicted_incomplete);
 
@@ -496,6 +726,60 @@ TEST_F(ConferenceLedgerTest, AtLeast99PercentOfCapturedPairsAreTerminal) {
                         << std::get<0>(key) << " frame " << std::get<1>(key)
                         << " subscriber " << std::get<2>(key);
   }
+}
+
+// The GOP continuity invariant behind the 4-way verdict: a (origin,
+// subscriber) stream's forwarded layer may only change on a keyframe
+// pair — a P-pair from a layer the decoder never anchored is garbage.
+// Verified from the ledger (every forwarded hop carries its layer), and
+// the per-layer hop counts must reproduce the SFU histogram.
+TEST_F(ConferenceLedgerTest, ForwardedLayerChangesOnlyAtKeyframes) {
+  const ConferenceResult result =
+      RunConference(SmallRoster(4, 6), SmallConferenceOptions());
+  const int layers = static_cast<int>(result.sfu.forwarded_by_layer.size());
+  ASSERT_GT(layers, 0);
+
+  // Forwarded hops per (origin, subscriber) stream, in frame order (the
+  // ledger appends in virtual-time order, which forwards share per
+  // stream — sort by frame index to be explicit).
+  std::map<std::pair<int, int>, std::vector<const obs::LedgerEvent*>> streams;
+  std::vector<std::uint64_t> by_layer(
+      static_cast<std::size_t>(layers), 0);
+  const std::vector<obs::LedgerEvent> events =
+      obs::FrameLedger::Get().Snapshot();
+  for (const obs::LedgerEvent& e : events) {
+    if (e.hop != obs::LedgerHop::kForwarded) continue;
+    ASSERT_GE(e.layer, 0) << "forwarded hop without a layer";
+    ASSERT_LT(e.layer, layers);
+    ++by_layer[static_cast<std::size_t>(e.layer)];
+    streams[{e.origin, e.subscriber}].push_back(&e);
+  }
+  ASSERT_FALSE(streams.empty());
+  for (std::size_t q = 0; q < by_layer.size(); ++q) {
+    EXPECT_EQ(by_layer[q], result.sfu.forwarded_by_layer[q])
+        << "ledger layer histogram disagrees at layer " << q;
+  }
+
+  std::uint64_t switches = 0;
+  for (auto& [key, hops] : streams) {
+    std::sort(hops.begin(), hops.end(),
+              [](const obs::LedgerEvent* a, const obs::LedgerEvent* b) {
+                return a->frame < b->frame;
+              });
+    int last_layer = -1;
+    for (const obs::LedgerEvent* e : hops) {
+      if (last_layer >= 0 && e->layer != last_layer) {
+        ++switches;
+        EXPECT_TRUE(e->keyframe)
+            << "origin " << key.first << " -> subscriber " << key.second
+            << " switched " << last_layer << " -> " << e->layer
+            << " on a P-pair at frame " << e->frame;
+      }
+      last_layer = e->layer;
+    }
+  }
+  EXPECT_EQ(switches,
+            result.sfu.layer_switches_up + result.sfu.layer_switches_down);
 }
 
 // ---- Metric naming convention (S6) ----

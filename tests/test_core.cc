@@ -11,7 +11,9 @@
 #include "core/sender.h"
 #include "core/session.h"
 #include "core/split.h"
+#include "kernels/buffer_pool.h"
 #include "metrics/pointssim.h"
+#include "obs/metrics.h"
 #include "sim/dataset.h"
 #include "sim/nettrace.h"
 #include "sim/usertrace.h"
@@ -287,6 +289,36 @@ TEST(SenderReceiver, SkipsFrameMissingOneStream) {
   EXPECT_EQ(rendered[0].frame_index, 0u);
   EXPECT_EQ(rendered[1].frame_index, 2u);
   EXPECT_EQ(receiver.skipped_frames(), 1u);
+}
+
+// Encode-once discipline, allocation half: after warm-up, a 3-layer
+// ladder sender re-uses its canvas, halved-canvas, and codec buffers on
+// every frame — the steady-state loop performs zero frame-sized
+// allocations, observed through the global pool's miss counter.
+TEST(Sender, LadderSteadyStateEncodeHasZeroPoolMisses) {
+  auto& pool = kernels::BufferPool::Global();
+  pool.Clear();
+  const auto& seq = SmallSequence();
+  LiVoConfig config = SmallConfig();
+  config.simulcast_layers = 3;
+  LiVoSender sender(config, seq.rig);
+  geom::TimedPose tp;
+  tp.pose = geom::Pose::LookAt({0, 1.4, 4.5}, {0, 0.8, 0});
+  sender.ObservePoseFeedback(tp);
+  auto& misses = obs::Registry::Get().GetCounter("kernels.pool_misses");
+  const auto run = [&](std::uint32_t from, std::uint32_t to) {
+    for (std::uint32_t f = from; f < to; ++f) {
+      const auto out =
+          sender.ProcessFrame(seq.frames[f % seq.frames.size()], f, 8e6);
+      EXPECT_EQ(out.lower_layers.size(), 2u);
+    }
+  };
+  run(0, 8);  // warm-up: keyframe, P-frames, split probes, at every layer
+  const auto before = misses.value();
+  run(8, 14);
+  EXPECT_EQ(misses.value() - before, 0u)
+      << "ladder steady-state encode allocated frame-sized buffers";
+  pool.Clear();
 }
 
 TEST(Sender, SplitRespondsToContent) {

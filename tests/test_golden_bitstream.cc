@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "core/sender.h"
 #include "core/types.h"
 #include "image/depth_encoding.h"
 #include "image/tiling.h"
@@ -75,6 +76,63 @@ std::uint64_t EncodeAndHash(const sim::CapturedSequence& capture,
     h = Fnv1a64(video::SerializeFrame(depth_result.frame), h);
   }
   return h;
+}
+
+// ---- Simulcast ladder golden hashes ----
+//
+// The ladder layers are part of the wire format too: a drifting L0/L1
+// bitstream would silently change what every SFU subscriber below the top
+// layer decodes. Encodes two frames of one sequence through the full
+// sender ladder (ablations off so the QPs are fixed and no pose feedback
+// is needed) and pins one hash per layer, across SIMD levels and thread
+// counts. Regenerate like kGolden above: only for a deliberate change.
+// Note the top layer's hash equals kGolden's band2 entry: running the
+// ladder must leave the classic top stream bit-identical.
+constexpr std::uint64_t kGoldenLadder[3] = {
+    0x941c54ab620283daull,  // L0: halved canvas, deepest QP
+    0xc7e13797bf17a84cull,  // L1: full canvas, +qp_step
+    0xd42bdb0ed78a23a1ull,  // L2: the top (classic single-layer) stream
+};
+
+TEST(GoldenBitstream, LadderLayersPinnedAcrossSimdLevelsAndThreadCounts) {
+  struct DispatchGuard {
+    ~DispatchGuard() { kernels::ResetDispatchForTest(); }
+  } guard;
+
+  const sim::CapturedSequence capture =
+      sim::CaptureVideo("band2", sim::ScaleProfile::Default(), 2);
+  for (const kernels::SimdLevel level : kernels::AvailableLevels()) {
+    kernels::ForceLevel(level);
+    for (const int threads : {1, 2, 0}) {
+      core::LiVoConfig config;
+      config.codec_threads = threads;
+      config.simulcast_layers = 3;
+      config.enable_culling = false;     // no predictor dependence
+      config.enable_adaptation = false;  // fixed QPs per layer
+      config.dynamic_split = false;
+      core::LiVoSender sender(config, capture.rig);
+      std::uint64_t hashes[3] = {kFnvOffset, kFnvOffset, kFnvOffset};
+      for (std::uint32_t f = 0; f < capture.frames.size(); ++f) {
+        const core::SenderOutput out =
+            sender.ProcessFrame(capture.frames[f], f, 20e6);
+        ASSERT_EQ(out.lower_layers.size(), 2u);
+        for (int q = 0; q < 2; ++q) {
+          const core::SenderLayerOutput& layer =
+              out.lower_layers[static_cast<std::size_t>(q)];
+          hashes[q] = Fnv1a64(*layer.color_frame, hashes[q]);
+          hashes[q] = Fnv1a64(*layer.depth_frame, hashes[q]);
+        }
+        hashes[2] = Fnv1a64(*out.color_frame, hashes[2]);
+        hashes[2] = Fnv1a64(*out.depth_frame, hashes[2]);
+      }
+      for (int q = 0; q < 3; ++q) {
+        EXPECT_EQ(hashes[q], kGoldenLadder[q])
+            << "layer " << q << " at level " << kernels::ToString(level)
+            << " with codec_threads=" << threads << ": hash 0x" << std::hex
+            << hashes[q] << " != pinned 0x" << kGoldenLadder[q];
+      }
+    }
+  }
 }
 
 TEST(GoldenBitstream, PinnedAcrossSimdLevelsAndThreadCounts) {

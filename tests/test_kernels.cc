@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <utility>
 #include <vector>
 
 #include "geom/camera.h"
@@ -77,6 +78,9 @@ TEST(KernelDispatch, EveryAvailableTableIsFullyPopulated) {
     EXPECT_NE(t->sum_sq_diff_u16, nullptr);
     EXPECT_NE(t->sum_sq_diff_u8, nullptr);
     EXPECT_NE(t->cull_classify_row, nullptr);
+    EXPECT_NE(t->downscale2x_avg_u16, nullptr);
+    EXPECT_NE(t->downscale2x_pick_u16, nullptr);
+    EXPECT_NE(t->upscale2x_u16, nullptr);
   }
 }
 
@@ -285,6 +289,98 @@ TEST(KernelEquivalence, SumSqDiffBitExact) {
           << kernels::ToString(level) << " n=" << n;
       EXPECT_EQ(t.sum_sq_diff_u8(a8.data(), b8.data(), n), want8)
           << kernels::ToString(level) << " n=" << n;
+    }
+  }
+}
+
+// The ladder's 2x resamplers, checked against their written contracts:
+// `avg` box-filters with round-half-up, `pick` forwards the top-left
+// sample untouched (so the depth 0-sentinel never blends), out-of-range
+// destination texels replicate the clamped plane edge, and upscale is
+// nearest-neighbor with the same edge clamp.
+TEST(KernelScale, Downscale2xAndUpscale2xMatchTheirDefinitions) {
+  const KernelTable& ref = *kernels::Table(SimdLevel::kScalar);
+  util::Rng rng(7008);
+  // Odd sources and destinations wider than ceil(s/2) exercise the clamp.
+  const int sw = 9, sh = 5;
+  const int dw = 8, dh = 4;  // > ceil(9/2)=5, > ceil(5/2)=3: padded columns
+  std::vector<std::uint16_t> src(static_cast<std::size_t>(sw * sh));
+  for (auto& v : src) {
+    v = rng.NextBelow(4) == 0 ? 0
+                              : static_cast<std::uint16_t>(rng.NextBelow(65536));
+  }
+  const auto at = [&](int x, int y) {
+    return src[static_cast<std::size_t>(std::min(y, sh - 1) * sw +
+                                        std::min(x, sw - 1))];
+  };
+
+  std::vector<std::uint16_t> avg(static_cast<std::size_t>(dw * dh));
+  std::vector<std::uint16_t> pick(avg.size());
+  ref.downscale2x_avg_u16(src.data(), sw, sh, avg.data(), dw, dh);
+  ref.downscale2x_pick_u16(src.data(), sw, sh, pick.data(), dw, dh);
+  for (int y = 0; y < dh; ++y) {
+    for (int x = 0; x < dw; ++x) {
+      const std::uint32_t sum = at(2 * x, 2 * y) + at(2 * x + 1, 2 * y) +
+                                at(2 * x, 2 * y + 1) +
+                                at(2 * x + 1, 2 * y + 1);
+      const std::size_t i = static_cast<std::size_t>(y * dw + x);
+      EXPECT_EQ(avg[i], static_cast<std::uint16_t>((sum + 2u) >> 2))
+          << "avg at (" << x << "," << y << ")";
+      EXPECT_EQ(pick[i], at(2 * x, 2 * y))
+          << "pick at (" << x << "," << y << ")";
+    }
+  }
+  // pick over a plane of sentinels stays all-sentinel (no blending path).
+  std::fill(src.begin(), src.end(), std::uint16_t{0});
+  ref.downscale2x_pick_u16(src.data(), sw, sh, pick.data(), dw, dh);
+  for (const std::uint16_t v : pick) EXPECT_EQ(v, 0u);
+
+  // Upscale: nearest-neighbor with the documented min(x/2, sw-1) clamp.
+  const int uw = 2 * dw + 1, uh = 2 * dh + 1;  // odd: clamps the last texel
+  std::vector<std::uint16_t> up(static_cast<std::size_t>(uw * uh));
+  ref.upscale2x_u16(avg.data(), dw, dh, up.data(), uw, uh);
+  for (int y = 0; y < uh; ++y) {
+    for (int x = 0; x < uw; ++x) {
+      const int sx = std::min(x / 2, dw - 1);
+      const int sy = std::min(y / 2, dh - 1);
+      EXPECT_EQ(up[static_cast<std::size_t>(y * uw + x)],
+                avg[static_cast<std::size_t>(sy * dw + sx)])
+          << "up at (" << x << "," << y << ")";
+    }
+  }
+}
+
+TEST(KernelEquivalence, Scale2xBitExactAcrossLevels) {
+  const KernelTable& ref = *kernels::Table(SimdLevel::kScalar);
+  util::Rng rng(7009);
+  // Width sweep across SIMD lane boundaries; heights exercise odd rows.
+  for (const auto& [sw, sh] : std::vector<std::pair<int, int>>{
+           {1, 1}, {2, 2}, {7, 3}, {16, 8}, {17, 9}, {48, 40}, {129, 5}}) {
+    std::vector<std::uint16_t> src(static_cast<std::size_t>(sw * sh));
+    for (auto& v : src) v = static_cast<std::uint16_t>(rng.NextBelow(65536));
+    const int dw = (sw + 1) / 2 + static_cast<int>(rng.NextBelow(3));
+    const int dh = (sh + 1) / 2 + static_cast<int>(rng.NextBelow(3));
+    std::vector<std::uint16_t> want_avg(static_cast<std::size_t>(dw * dh));
+    std::vector<std::uint16_t> want_pick(want_avg.size());
+    ref.downscale2x_avg_u16(src.data(), sw, sh, want_avg.data(), dw, dh);
+    ref.downscale2x_pick_u16(src.data(), sw, sh, want_pick.data(), dw, dh);
+    const int uw = 2 * sw - 1, uh = 2 * sh;
+    std::vector<std::uint16_t> want_up(static_cast<std::size_t>(uw * uh));
+    ref.upscale2x_u16(src.data(), sw, sh, want_up.data(), uw, uh);
+    for (SimdLevel level : SimdLevels()) {
+      const KernelTable& t = *kernels::Table(level);
+      std::vector<std::uint16_t> got_avg(want_avg.size());
+      std::vector<std::uint16_t> got_pick(want_pick.size());
+      std::vector<std::uint16_t> got_up(want_up.size());
+      t.downscale2x_avg_u16(src.data(), sw, sh, got_avg.data(), dw, dh);
+      t.downscale2x_pick_u16(src.data(), sw, sh, got_pick.data(), dw, dh);
+      t.upscale2x_u16(src.data(), sw, sh, got_up.data(), uw, uh);
+      EXPECT_EQ(got_avg, want_avg)
+          << kernels::ToString(level) << " avg " << sw << "x" << sh;
+      EXPECT_EQ(got_pick, want_pick)
+          << kernels::ToString(level) << " pick " << sw << "x" << sh;
+      EXPECT_EQ(got_up, want_up)
+          << kernels::ToString(level) << " up " << sw << "x" << sh;
     }
   }
 }

@@ -12,12 +12,13 @@
 #     + test_video_parallel + test_conference) with AddressSanitizer +
 #     UndefinedBehaviorSanitizer so out-of-bounds SIMD loads and UB in the
 #     intrinsics code surface.
-#  3. Telemetry gate — runs a traced 4-party conference sweep
-#     (bench_conference --parties=4 --fresh under LIVO_TRACE=1) in the
-#     TSan build tree and feeds the emitted telemetry JSONL through
-#     livo_report --check, so the frame ledger's invariants (hop
-#     ordering, gate counts vs SFU counters, audit reconciliation) hold
-#     under sanitizers on every change.
+#  3. Telemetry gate — runs a traced 8-party conference sweep
+#     (bench_conference --parties=8 --fresh under LIVO_TRACE=1, simulcast
+#     ladder engaged at its default 3 layers) in the TSan build tree and
+#     feeds the emitted telemetry JSONL through livo_report --check, so
+#     the frame ledger's invariants (hop ordering, gate counts vs SFU
+#     counters, audit reconciliation, per-layer conservation and the
+#     switch-only-at-keyframe rule) hold under sanitizers on every change.
 #
 # For the fast unsanitized subset of the same surface, use the ctest
 # label instead: ctest --test-dir build -L quick.
@@ -104,7 +105,8 @@ fi
 
 # --- Pass 3: traced conference -> livo_report --check telemetry gate ---
 
-echo "[livo_check] telemetry gate: traced 4-party conference + livo_report"
+echo "[livo_check] telemetry gate: traced layered 8-party conference" \
+     "+ livo_report"
 "${CMAKE_BIN}" --build "${BUILD_DIR}" --target bench_conference livo_report \
   -j "$(nproc)"
 
@@ -113,7 +115,7 @@ trap 'rm -rf "${TELEMETRY_DIR}"' EXIT
 (
   cd "${TELEMETRY_DIR}"
   LIVO_TRACE=1 LIVO_TRACE_DIR="${TELEMETRY_DIR}" \
-    "${BUILD_DIR}/bench/bench_conference" --parties=4 --fresh \
+    "${BUILD_DIR}/bench/bench_conference" --parties=8 --fresh \
     --conference_json="${TELEMETRY_DIR}/bench.json" > /dev/null
 )
 TELEMETRY_FILES=("${TELEMETRY_DIR}"/*.telemetry.jsonl)

@@ -228,10 +228,13 @@ struct SubState {
   double dropped_congestion = -1.0;
   double dropped_awaiting_key = -1.0;
   double dropped_budget = -1.0;
+  double dropped_layer_incomplete = -1.0;
   double delivered = -1.0;
   double displayed = -1.0;
   double stalled = -1.0;
   std::uint64_t forwarded_bytes = 0;
+  int forwarded_layer = -1;       // ladder layer of the forwarded hop
+  bool forwarded_keyframe = false;
   int verdicts = 0;  // forwarded + dropped_* events
 };
 
@@ -267,6 +270,8 @@ LedgerIndex IndexLedger(const Telemetry& telemetry) {
       if (hop.hop == "forwarded") {
         s.forwarded = hop.t_ms;
         s.forwarded_bytes = hop.bytes;
+        s.forwarded_layer = hop.layer;
+        s.forwarded_keyframe = hop.keyframe;
         ++s.verdicts;
       } else if (hop.hop == "dropped_congestion") {
         s.dropped_congestion = hop.t_ms;
@@ -276,6 +281,9 @@ LedgerIndex IndexLedger(const Telemetry& telemetry) {
         ++s.verdicts;
       } else if (hop.hop == "dropped_budget") {
         s.dropped_budget = hop.t_ms;
+        ++s.verdicts;
+      } else if (hop.hop == "dropped_layer_incomplete") {
+        s.dropped_layer_incomplete = hop.t_ms;
         ++s.verdicts;
       } else if (hop.hop == "delivered") {
         s.delivered = hop.t_ms;
@@ -409,7 +417,23 @@ Telemetry LoadTelemetry(std::istream& is) {
       run.pairs_dropped_awaiting_key =
           NumU64(value, "pairs_dropped_awaiting_key");
       run.pairs_evicted_incomplete = NumU64(value, "pairs_evicted_incomplete");
+      run.pairs_salvaged = NumU64(value, "pairs_salvaged");
+      run.pairs_dropped_layer_incomplete =
+          NumU64(value, "pairs_dropped_layer_incomplete");
       run.keyframe_relays = NumU64(value, "keyframe_relays");
+      run.layers = NumInt(value, "layers", 1);
+      if (run.layers < 1) run.layers = 1;
+      run.layer_switches_up = NumU64(value, "layer_switches_up");
+      run.layer_switches_down = NumU64(value, "layer_switches_down");
+      if (const JsonValue* fbl = value.Find("forwarded_by_layer");
+          fbl != nullptr && fbl->kind == JsonValue::Kind::kArray) {
+        for (const JsonValue& n : fbl->array) {
+          run.forwarded_by_layer.push_back(
+              n.kind == JsonValue::Kind::kNumber
+                  ? static_cast<std::uint64_t>(std::llround(n.number))
+                  : 0);
+        }
+      }
     } else if (type == "stream") {
       StreamInfo stream;
       stream.subscriber = NumInt(value, "subscriber");
@@ -420,6 +444,17 @@ Telemetry LoadTelemetry(std::istream& is) {
       stream.fps = value.Num("fps");
       stream.stall_rate = value.Num("stall_rate");
       stream.mean_latency_ms = value.Num("mean_latency_ms");
+      stream.stall_aware_latency_ms = value.Num("stall_aware_latency_ms");
+      stream.layer_switches = NumU64(value, "layer_switches");
+      if (const JsonValue* fbl = value.Find("forwarded_by_layer");
+          fbl != nullptr && fbl->kind == JsonValue::Kind::kArray) {
+        for (const JsonValue& n : fbl->array) {
+          stream.forwarded_by_layer.push_back(
+              n.kind == JsonValue::Kind::kNumber
+                  ? static_cast<std::uint64_t>(std::llround(n.number))
+                  : 0);
+        }
+      }
       telemetry.streams.push_back(std::move(stream));
     } else if (type == "audit") {
       AuditRow row;
@@ -435,6 +470,15 @@ Telemetry LoadTelemetry(std::istream& is) {
               share.kind == JsonValue::Kind::kNumber ? share.number : 0.0);
         }
       }
+      if (const JsonValue* fbl = value.Find("forwarded_by_layer");
+          fbl != nullptr && fbl->kind == JsonValue::Kind::kArray) {
+        for (const JsonValue& n : fbl->array) {
+          row.forwarded_by_layer.push_back(
+              n.kind == JsonValue::Kind::kNumber
+                  ? static_cast<std::uint64_t>(std::llround(n.number))
+                  : 0);
+        }
+      }
       telemetry.audits.push_back(std::move(row));
     } else if (type == "hop") {
       Hop hop;
@@ -445,6 +489,7 @@ Telemetry LoadTelemetry(std::istream& is) {
       hop.t_ms = value.Num("t_ms");
       hop.bytes = NumU64(value, "bytes");
       hop.keyframe = value.Bool("keyframe");
+      hop.layer = NumInt(value, "layer", -1);
       telemetry.hops.push_back(std::move(hop));
     } else if (type == "timeseries") {
       SeriesInfo series;
@@ -532,6 +577,12 @@ Analysis Analyze(const Telemetry& telemetry) {
       verdict_t = sub.dropped_budget;
       ++acc.drops_by_interval[IntervalOf(sub.dropped_budget, interval_ms)];
     }
+    if (sub.dropped_layer_incomplete >= 0.0) {
+      ++acc.out.dropped_layer_incomplete;
+      verdict_t = sub.dropped_layer_incomplete;
+      ++acc.drops_by_interval[IntervalOf(sub.dropped_layer_incomplete,
+                                         interval_ms)];
+    }
     if (verdict_t >= 0.0) {
       auto& [total, displayed] =
           acc.by_interval[IntervalOf(verdict_t, interval_ms)];
@@ -550,6 +601,7 @@ Analysis Analyze(const Telemetry& telemetry) {
         {"congestion", out.dropped_congestion},
         {"awaiting_key", out.dropped_awaiting_key},
         {"budget", out.dropped_budget},
+        {"layer_incomplete", out.dropped_layer_incomplete},
     };
     std::uint64_t best = 0;
     for (const auto& [name, count] : gates) {
@@ -646,7 +698,8 @@ std::vector<std::string> CheckInvariants(const Telemetry& telemetry) {
   if (run.present && run.parties >= 2) {
     const std::uint64_t verdicts =
         run.pairs_forwarded + run.pairs_dropped_budget +
-        run.pairs_dropped_congestion + run.pairs_dropped_awaiting_key;
+        run.pairs_dropped_congestion + run.pairs_dropped_awaiting_key +
+        run.pairs_dropped_layer_incomplete;
     const std::uint64_t expected =
         run.pairs_completed * static_cast<std::uint64_t>(run.parties - 1);
     if (verdicts != expected) {
@@ -671,6 +724,7 @@ std::vector<std::string> CheckInvariants(const Telemetry& telemetry) {
         {"dropped_budget", run.pairs_dropped_budget},
         {"dropped_congestion", run.pairs_dropped_congestion},
         {"dropped_awaiting_key", run.pairs_dropped_awaiting_key},
+        {"dropped_layer_incomplete", run.pairs_dropped_layer_incomplete},
         {"evicted", run.pairs_evicted_incomplete},
     };
     for (const auto& [hop, expected] : expectations) {
@@ -679,6 +733,98 @@ std::vector<std::string> CheckInvariants(const Telemetry& telemetry) {
         sink.Add(std::string("counter mismatch: ledger has ") +
                  std::to_string(got) + " '" + hop +
                  "' events but run counter says " + std::to_string(expected));
+      }
+    }
+  }
+
+  // Layer conservation (simulcast ladder). Only meaningful when the run
+  // line was written by a ladder-aware writer and carries the histogram;
+  // pre-ladder telemetry skips this whole section.
+  if (run.present && !run.forwarded_by_layer.empty()) {
+    const int layers = static_cast<int>(run.forwarded_by_layer.size());
+    if (layers != run.layers) {
+      sink.Add("layer conservation: run line says layers=" +
+               std::to_string(run.layers) + " but forwarded_by_layer has " +
+               std::to_string(layers) + " entries");
+    }
+    std::uint64_t histogram_sum = 0;
+    for (const std::uint64_t n : run.forwarded_by_layer) histogram_sum += n;
+    if (histogram_sum != run.pairs_forwarded) {
+      sink.Add("layer conservation: forwarded_by_layer sums to " +
+               std::to_string(histogram_sum) + " but pairs_forwarded = " +
+               std::to_string(run.pairs_forwarded));
+    }
+    // Per-stream histograms: each sums to that stream's forwarded count,
+    // and their per-layer column sums reproduce the run histogram.
+    if (!telemetry.streams.empty()) {
+      std::vector<std::uint64_t> column(run.forwarded_by_layer.size(), 0);
+      for (const StreamInfo& stream : telemetry.streams) {
+        std::uint64_t total = 0;
+        for (std::size_t q = 0; q < stream.forwarded_by_layer.size(); ++q) {
+          total += stream.forwarded_by_layer[q];
+          if (q < column.size()) column[q] += stream.forwarded_by_layer[q];
+        }
+        if (total != stream.forwarded) {
+          sink.Add("layer conservation: stream (" +
+                   std::to_string(stream.origin) + "->" +
+                   std::to_string(stream.subscriber) +
+                   ") histogram sums to " + std::to_string(total) +
+                   " but forwarded = " + std::to_string(stream.forwarded));
+        }
+      }
+      for (std::size_t q = 0; q < column.size(); ++q) {
+        if (column[q] != run.forwarded_by_layer[q]) {
+          sink.Add("layer conservation: streams sum to " +
+                   std::to_string(column[q]) + " forwards at layer " +
+                   std::to_string(q) + " but run histogram says " +
+                   std::to_string(run.forwarded_by_layer[q]));
+        }
+      }
+    }
+    // Ledger: every forwarded hop carries a valid layer, the per-layer
+    // totals reproduce the run histogram, and a stream changes its
+    // forwarded layer only on a keyframe pair.
+    if (!telemetry.hops.empty()) {
+      std::vector<std::uint64_t> ledger_by_layer(
+          run.forwarded_by_layer.size(), 0);
+      // (origin, subscriber) -> last forwarded layer; index.subs iterates
+      // in (origin, frame, subscriber) order, so per-stream visits are in
+      // frame order.
+      std::map<std::pair<int, int>, int> last_layer;
+      for (const auto& [key, sub] : index.subs) {
+        if (sub.forwarded < 0.0) continue;
+        const int origin = std::get<0>(key);
+        const int frame = std::get<1>(key);
+        const int subscriber = std::get<2>(key);
+        const int layer = sub.forwarded_layer;
+        if (layer < 0 || layer >= layers) {
+          sink.Add("layer conservation: forwarded pair (" +
+                   std::to_string(origin) + "," + std::to_string(frame) +
+                   ") subscriber " + std::to_string(subscriber) +
+                   " carries layer " + std::to_string(layer) +
+                   " outside [0," + std::to_string(layers) + ")");
+          continue;
+        }
+        ++ledger_by_layer[layer];
+        const auto [it, fresh] =
+            last_layer.emplace(std::make_pair(origin, subscriber), layer);
+        if (!fresh && it->second != layer && !sub.forwarded_keyframe) {
+          sink.Add("layer switch: stream (" + std::to_string(origin) + "->" +
+                   std::to_string(subscriber) + ") frame " +
+                   std::to_string(frame) + " changes layer " +
+                   std::to_string(it->second) + "->" + std::to_string(layer) +
+                   " on a non-keyframe pair");
+        }
+        it->second = layer;
+      }
+      for (std::size_t q = 0; q < ledger_by_layer.size(); ++q) {
+        if (ledger_by_layer[q] != run.forwarded_by_layer[q]) {
+          sink.Add("layer conservation: ledger has " +
+                   std::to_string(ledger_by_layer[q]) +
+                   " forwards at layer " + std::to_string(q) +
+                   " but run histogram says " +
+                   std::to_string(run.forwarded_by_layer[q]));
+        }
       }
     }
   }
@@ -737,6 +883,8 @@ std::vector<std::string> CheckInvariants(const Telemetry& telemetry) {
     require(sub.dropped_awaiting_key, "dropped_awaiting_key", complete,
             "pair_complete");
     require(sub.dropped_budget, "dropped_budget", complete, "pair_complete");
+    require(sub.dropped_layer_incomplete, "dropped_layer_incomplete", complete,
+            "pair_complete");
     require(sub.delivered, "delivered", sub.forwarded, "forwarded");
     require(sub.displayed, "displayed", sub.delivered, "delivered");
     require(sub.stalled, "stalled", sub.forwarded, "forwarded");
@@ -890,9 +1038,20 @@ void PrintReport(std::ostream& os, const Telemetry& telemetry,
        << run.pairs_forwarded << ", dropped congestion "
        << run.pairs_dropped_congestion << " / awaiting-key "
        << run.pairs_dropped_awaiting_key << " / budget "
-       << run.pairs_dropped_budget << ", evicted "
-       << run.pairs_evicted_incomplete << ", keyframe relays "
+       << run.pairs_dropped_budget << " / layer-incomplete "
+       << run.pairs_dropped_layer_incomplete << ", evicted "
+       << run.pairs_evicted_incomplete << ", salvaged "
+       << run.pairs_salvaged << ", keyframe relays "
        << run.keyframe_relays << "\n";
+    if (!run.forwarded_by_layer.empty()) {
+      os << "ladder: " << run.layers << " layers, forwarded by layer [";
+      for (std::size_t q = 0; q < run.forwarded_by_layer.size(); ++q) {
+        if (q) os << " ";
+        os << "L" << q << "=" << run.forwarded_by_layer[q];
+      }
+      os << "], switches up " << run.layer_switches_up << " / down "
+         << run.layer_switches_down << "\n";
+    }
   } else {
     os << "(no run line)\n";
   }
@@ -906,7 +1065,8 @@ void PrintReport(std::ostream& os, const Telemetry& telemetry,
     os << std::left << std::setw(8) << "origin" << std::setw(6) << "sub"
        << std::right << std::setw(8) << "fwd" << std::setw(8) << "disp"
        << std::setw(8) << "stall" << std::setw(8) << "d_cong" << std::setw(8)
-       << "d_key" << std::setw(8) << "d_bud" << "  " << std::left
+       << "d_key" << std::setw(8) << "d_bud" << std::setw(8) << "d_lyr"
+       << "  " << std::left
        << std::setw(14) << "dominant" << std::right << std::setw(10)
        << "worst_iv" << std::setw(10) << "onset" << std::setw(8) << "bursts"
        << "\n";
@@ -915,7 +1075,8 @@ void PrintReport(std::ostream& os, const Telemetry& telemetry,
          << s.subscriber << std::right << std::setw(8) << s.forwarded
          << std::setw(8) << s.displayed << std::setw(8) << s.stalled
          << std::setw(8) << s.dropped_congestion << std::setw(8)
-         << s.dropped_awaiting_key << std::setw(8) << s.dropped_budget << "  "
+         << s.dropped_awaiting_key << std::setw(8) << s.dropped_budget
+         << std::setw(8) << s.dropped_layer_incomplete << "  "
          << std::left << std::setw(14)
          << (s.dominant_gate.empty() ? "-" : s.dominant_gate) << std::right
          << std::setw(10) << FmtMs(s.worst_interval_ms) << std::setw(10)

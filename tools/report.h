@@ -62,8 +62,17 @@ struct RunInfo {
   std::uint64_t pairs_dropped_budget = 0;
   std::uint64_t pairs_dropped_congestion = 0;
   std::uint64_t pairs_dropped_awaiting_key = 0;
+  std::uint64_t pairs_dropped_layer_incomplete = 0;
   std::uint64_t pairs_evicted_incomplete = 0;
+  // Stranded ladders forwarded from a surviving lower layer (subset of
+  // pairs_completed); 0 on pre-salvage telemetry.
+  std::uint64_t pairs_salvaged = 0;
   std::uint64_t keyframe_relays = 0;
+  // Simulcast ladder depth of the run (1 = no ladder / pre-ladder file).
+  int layers = 1;
+  std::uint64_t layer_switches_up = 0;
+  std::uint64_t layer_switches_down = 0;
+  std::vector<std::uint64_t> forwarded_by_layer;
 };
 
 struct StreamInfo {
@@ -74,7 +83,10 @@ struct StreamInfo {
   std::uint64_t rendered = 0;
   double fps = 0.0;
   double stall_rate = 0.0;
-  double mean_latency_ms = 0.0;
+  double mean_latency_ms = 0.0;        // delivered frames only
+  double stall_aware_latency_ms = 0.0; // all expected frames (AoI gap)
+  std::uint64_t layer_switches = 0;
+  std::vector<std::uint64_t> forwarded_by_layer;
 };
 
 struct AuditRow {
@@ -84,6 +96,7 @@ struct AuditRow {
   double credit_bytes = 0.0;
   double forwarded_bytes = 0.0;
   std::vector<double> shares;
+  std::vector<std::uint64_t> forwarded_by_layer;
 };
 
 struct Hop {
@@ -94,6 +107,7 @@ struct Hop {
   double t_ms = 0.0;
   std::uint64_t bytes = 0;
   bool keyframe = false;
+  int layer = -1;  // forwarded: ladder layer sent; -1 = not layer-scoped
 };
 
 struct SeriesInfo {
@@ -128,6 +142,7 @@ struct StreamAnalysis {
   std::uint64_t dropped_congestion = 0;
   std::uint64_t dropped_awaiting_key = 0;
   std::uint64_t dropped_budget = 0;
+  std::uint64_t dropped_layer_incomplete = 0;
   std::string dominant_gate;     // gate with the most drops ("" if none)
   double worst_interval_ms = -1.0;  // interval start with the most drops
   std::uint64_t worst_interval_drops = 0;
@@ -165,8 +180,12 @@ Analysis Analyze(const Telemetry& telemetry);
 // self-consistent. Checks: ledger hop ordering and prerequisites, exactly
 // one gate verdict per (origin, frame, subscriber), ledger gate counts vs
 // the run line's conference.pairs_* counters, forwarded <= budget+credit
-// per audit row, per-interval audit/ledger byte reconciliation, and
-// terminal coverage >= 99% of captured pairs.
+// per audit row, per-interval audit/ledger byte reconciliation, terminal
+// coverage >= 99% of captured pairs, and layer conservation: every
+// forwarded hop carries a layer in [0, layers), the run's per-layer
+// forwarded histogram sums to pairs_forwarded and matches both the ledger
+// and the per-stream histograms, and a stream switches layers only at
+// keyframe boundaries.
 std::vector<std::string> CheckInvariants(const Telemetry& telemetry);
 
 // Human-readable report (summary, drop attribution, stall onsets, share
