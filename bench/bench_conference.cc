@@ -21,6 +21,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -74,10 +75,17 @@ conference::ParticipantSpec SpecFor(int index) {
   return spec;
 }
 
-conference::ConferenceOptions OptionsFor(int n, bool shared, int layers) {
+conference::ConferenceOptions OptionsFor(int n, bool shared, int layers,
+                                         int regions) {
   conference::ConferenceOptions options;
   options.bandwidth_scale = Profile().bandwidth_scale;
   options.ladder_layers = layers;
+  // A region needs at least one participant, so small sweep points clamp
+  // (RunConference rejects regions > parties outright).
+  options.regions = std::min(regions, n);
+  // One loop per edge region plus one for the root relay; RunConference
+  // clamps, and results are shard-invariant either way.
+  options.shards = options.regions > 1 ? options.regions + 1 : 1;
   if (shared) {
     options.uplink_mode = conference::LinkMode::kShared;
     options.downlink_mode = conference::LinkMode::kShared;
@@ -207,11 +215,13 @@ bool Deserialize(const std::string& text, SweepPoint& p) {
   return fields == 14;
 }
 
-SweepPoint RunPoint(int n, bool shared, bool fresh, int layers) {
+SweepPoint RunPoint(int n, bool shared, bool fresh, int layers,
+                    int regions) {
   std::vector<conference::ParticipantSpec> specs;
   specs.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) specs.push_back(SpecFor(i));
-  const conference::ConferenceOptions options = OptionsFor(n, shared, layers);
+  const conference::ConferenceOptions options =
+      OptionsFor(n, shared, layers, regions);
 
   SweepPoint point;
   point.parties = n;
@@ -318,11 +328,15 @@ int main(int argc, char** argv) {
   std::vector<int> sweep = {2, 4, 8, 16};
   bool fresh = false;
   int layers = conference::ConferenceOptions{}.ladder_layers;
+  // --regions=<r> cascades each point: r edge SFUs over contiguous roster
+  // blocks, bridged by a root relay, sharded over r+1 loops.
+  int regions = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const std::string json_prefix = "--conference_json=";
     const std::string parties_prefix = "--parties=";
     const std::string layers_prefix = "--layers=";
+    const std::string regions_prefix = "--regions=";
     if (arg.rfind(json_prefix, 0) == 0) {
       json_path = arg.substr(json_prefix.size());
     } else if (arg.rfind(parties_prefix, 0) == 0) {
@@ -341,28 +355,52 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--layers wants n >= 1, got %d\n", layers);
         return 2;
       }
+    } else if (arg.rfind(regions_prefix, 0) == 0) {
+      regions = std::atoi(arg.c_str() + regions_prefix.size());
+      if (regions < 1) {
+        std::fprintf(stderr, "--regions wants n >= 1, got %d\n", regions);
+        return 2;
+      }
     } else if (arg == "--fresh") {
       fresh = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--parties=<n>] [--layers=<l>] [--fresh] "
-                   "[--conference_json=<path>]\n",
+                   "usage: %s [--parties=<n>] [--layers=<l>] [--regions=<r>] "
+                   "[--fresh] [--conference_json=<path>]\n",
                    argv[0]);
       return 2;
     }
   }
 
   std::vector<SweepPoint> priv, shared;
-  for (int n : sweep) priv.push_back(RunPoint(n, false, fresh, layers));
-  for (int n : sweep) shared.push_back(RunPoint(n, true, fresh, layers));
+  for (int n : sweep) {
+    priv.push_back(RunPoint(n, false, fresh, layers, regions));
+  }
+  // A shared access bottleneck couples the whole roster in one loop-group
+  // domain, so RunConference rejects it for cascades: the contention half
+  // of the sweep only exists for the direct topology.
+  if (regions <= 1) {
+    for (int n : sweep) {
+      shared.push_back(RunPoint(n, true, fresh, layers, regions));
+    }
+  }
 
-  PrintSweep("N parties, private access links (SFU scaling)", priv);
-  PrintSweep("N parties, shared uplink + downlink bottlenecks (contention)",
-             shared);
+  PrintSweep(regions > 1
+                 ? "N parties, private access links, cascaded over " +
+                       std::to_string(regions) + " edge regions + root relay"
+                 : "N parties, private access links (SFU scaling)",
+             priv);
+  if (!shared.empty()) {
+    PrintSweep("N parties, shared uplink + downlink bottlenecks (contention)",
+               shared);
+  }
 
   std::string json = "{\n  \"bench\": \"conference\",\n";
+  json += "  \"hardware_concurrency\": " +
+          std::to_string(std::thread::hardware_concurrency()) + ",\n";
   json += "  \"frames_per_party\": " + std::to_string(kFrames) + ",\n";
   json += "  \"ladder_layers\": " + std::to_string(layers) + ",\n";
+  json += "  \"regions\": " + std::to_string(regions) + ",\n";
   json += "  \"sweep\": [\n";
   bool first = true;
   for (const auto* points : {&priv, &shared}) {

@@ -379,6 +379,8 @@ void WriteKernelSweepJson(const std::string& path) {
   std::ofstream out(path);
   out << "{\n";
   out << "  \"benchmark\": \"kernel_dispatch_throughput\",\n";
+  out << "  \"hardware_concurrency\": "
+      << static_cast<int>(std::thread::hardware_concurrency()) << ",\n";
   out << "  \"best_level\": \"" << best.name << "\",\n";
   out << "  \"elements_per_rep\": " << kPixels << ",\n";
   out << "  \"results\": [\n";

@@ -1,17 +1,22 @@
 // Scheduler-throughput benchmark for livo::runtime (the discrete-event
-// refactor). Sweeps N concurrent sessions on one EventLoop, in both link
+// refactor). Sweeps N concurrent sessions on a LoopGroup, in both link
 // topologies:
 //   * independent: each session replays its own bandwidth trace — pure
 //     scheduler scaling (events/sec, sessions/sec);
 //   * shared: all sessions contend on one bottleneck link — the
 //     conferencing setting, where per-session fps/stall shifts vs N=1
 //     measure the cost of contention.
-// Prints a table per topology and writes machine-readable
-// BENCH_runtime.json (override the path with --runtime_json=<path>).
+// A third sweep scales loop shards over big independent rosters
+// (N x shards grid): results are bit-identical at every shard count, so
+// the speedup column is pure parallel-runtime gain. Prints a table per
+// sweep and writes machine-readable BENCH_runtime.json (override the
+// path with --runtime_json=<path>; --shards=K pins the shard sweep to
+// one shard count).
 #include <cstdio>
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -65,6 +70,8 @@ runtime::SessionSpec SpecFor(int index) {
 struct SweepPoint {
   int sessions = 0;
   bool shared = false;
+  int shards = 1;
+  std::uint64_t fingerprint = 0;
   double wall_ms = 0.0;
   double virtual_ms = 0.0;
   std::uint64_t events = 0;
@@ -74,12 +81,13 @@ struct SweepPoint {
   double mean_stall_rate = 0.0;
 };
 
-SweepPoint RunPoint(int n, bool shared) {
+SweepPoint RunPoint(int n, bool shared, int shards = 1) {
   std::vector<runtime::SessionSpec> specs;
   specs.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) specs.push_back(SpecFor(i));
 
   runtime::MultiSessionOptions options;
+  options.shards = shards;
   if (shared) {
     options.share_link = true;
     // The bottleneck carries N flows: capacity scales with N so the
@@ -97,6 +105,8 @@ SweepPoint RunPoint(int n, bool shared) {
   SweepPoint point;
   point.sessions = n;
   point.shared = shared;
+  point.shards = result.shards;
+  point.fingerprint = runtime::MultiSessionFingerprint(result);
   point.wall_ms = result.wall_ms;
   point.virtual_ms = result.virtual_ms;
   point.events = result.events_dispatched;
@@ -129,6 +139,31 @@ void PrintSweep(const std::string& title,
   std::printf("\n");
 }
 
+// Shard scaling: big independent rosters spread over 1..8 loops. The
+// speedup column is wall-time vs the 1-shard run of the same N; the
+// fingerprint check makes the determinism contract part of the bench.
+void PrintShardSweep(const std::vector<SweepPoint>& points) {
+  bench::PrintHeader("BENCH runtime",
+                     "N sessions x loop shards (sharded LoopGroup)");
+  bench::PrintRow({"sessions", "shards", "wall_ms", "events/s", "speedup",
+                   "deterministic"});
+  std::map<int, const SweepPoint*> base;  // sessions -> 1-shard point
+  for (const auto& p : points) {
+    if (p.shards == 1 && base.find(p.sessions) == base.end()) {
+      base[p.sessions] = &p;
+    }
+  }
+  for (const auto& p : points) {
+    const SweepPoint* b = base.count(p.sessions) ? base[p.sessions] : &p;
+    bench::PrintRow({std::to_string(p.sessions), std::to_string(p.shards),
+                     bench::Fmt(p.wall_ms, 1), bench::Fmt(p.events_per_sec, 0),
+                     bench::Fmt(p.wall_ms > 0 ? b->wall_ms / p.wall_ms : 0.0,
+                                2),
+                     p.fingerprint == b->fingerprint ? "yes" : "NO"});
+  }
+  std::printf("\n");
+}
+
 void AppendJson(std::string& out, const SweepPoint& p) {
   char buf[512];
   std::snprintf(
@@ -143,14 +178,35 @@ void AppendJson(std::string& out, const SweepPoint& p) {
   out += buf;
 }
 
+void AppendShardJson(std::string& out, const SweepPoint& p,
+                     const SweepPoint& base) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "    {\"sessions\": %d, \"shards\": %d, \"wall_ms\": %.3f, "
+      "\"events_dispatched\": %llu, \"events_per_sec\": %.0f, "
+      "\"speedup_vs_1shard\": %.3f, \"fingerprint_matches_1shard\": %s}",
+      p.sessions, p.shards, p.wall_ms,
+      static_cast<unsigned long long>(p.events), p.events_per_sec,
+      p.wall_ms > 0 ? base.wall_ms / p.wall_ms : 0.0,
+      p.fingerprint == base.fingerprint ? "true" : "false");
+  out += buf;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_runtime.json";
+  int pinned_shards = 0;  // 0 = sweep the default shard ladder
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    const std::string prefix = "--runtime_json=";
-    if (arg.rfind(prefix, 0) == 0) json_path = arg.substr(prefix.size());
+    const std::string json_prefix = "--runtime_json=";
+    const std::string shards_prefix = "--shards=";
+    if (arg.rfind(json_prefix, 0) == 0) {
+      json_path = arg.substr(json_prefix.size());
+    } else if (arg.rfind(shards_prefix, 0) == 0) {
+      pinned_shards = std::stoi(arg.substr(shards_prefix.size()));
+    }
   }
 
   const std::vector<int> kSweep = {1, 2, 4, 8, 16};
@@ -162,7 +218,26 @@ int main(int argc, char** argv) {
              independent);
   PrintSweep("N sessions, one shared bottleneck (contention)", shared);
 
+  // Shard grid: each N runs at 1 shard first (the speedup/determinism
+  // baseline), then the rest of the ladder.
+  std::vector<int> shard_ladder = {1, 2, 4, 8};
+  if (pinned_shards > 0) {
+    shard_ladder = {1};  // always keep the speedup/determinism baseline
+    if (pinned_shards != 1) shard_ladder.push_back(pinned_shards);
+  }
+  std::vector<SweepPoint> sharded;
+  std::map<int, std::size_t> shard_base;  // sessions -> index of 1-shard run
+  for (int n : {16, 32, 64, 128}) {
+    for (int shards : shard_ladder) {
+      sharded.push_back(RunPoint(n, false, shards));
+      if (shards == 1) shard_base[n] = sharded.size() - 1;
+    }
+  }
+  PrintShardSweep(sharded);
+
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
   std::string json = "{\n  \"bench\": \"runtime_multisession\",\n";
+  json += "  \"hardware_concurrency\": " + std::to_string(hw) + ",\n";
   json += "  \"frames_per_session\": " + std::to_string(kFrames) + ",\n";
   json += "  \"sweep\": [\n";
   bool first = true;
@@ -172,6 +247,13 @@ int main(int argc, char** argv) {
       first = false;
       AppendJson(json, p);
     }
+  }
+  json += "\n  ],\n  \"shard_sweep\": [\n";
+  first = true;
+  for (const auto& p : sharded) {
+    if (!first) json += ",\n";
+    first = false;
+    AppendShardJson(json, p, sharded[shard_base[p.sessions]]);
   }
   json += "\n  ]\n}\n";
   std::ofstream(json_path) << json;

@@ -1,0 +1,402 @@
+#include "conference/cascade.h"
+
+#include <algorithm>
+
+#include "obs/obs.h"
+
+namespace livo::conference {
+namespace {
+
+// Same sustained-price EMA constants as sfu.cc, applied to cumulative
+// prefix bytes instead of single-layer pairs.
+constexpr double kEmaAlpha = 0.2;
+constexpr double kKeyframeSeedScale = 0.25;
+
+AllocatorConfig RelayAllocatorConfig(const ConferenceOptions& options,
+                                     int parties) {
+  AllocatorConfig config;
+  config.interval_ms = options.allocation_interval_ms;
+  config.burst_credit_intervals = options.burst_credit_intervals;
+  config.share_floor = options.share_floor;
+  config.layers = EffectiveLadderLayers(options, parties);
+  config.split = options.forward_split;
+  return config;
+}
+
+double PipeIntervalBytes(const ConferenceOptions& options) {
+  return options.relay_rate_mbps * 1e6 / 8.0 *
+         options.allocation_interval_ms / 1000.0;
+}
+
+// The relay's mid-GOP rule plus the allocator verdict: a keyframe ladder
+// may re-anchor at any affordable prefix (recorded into `current`); a P
+// ladder must continue `current` exactly — growing it would ship P-layers
+// no destination decoder can anchor, shrinking it would break streams
+// riding the trimmed layers. Returns the admitted prefix end, or -1.
+int AdmitPrefix(DownlinkAllocator& alloc, int slot, const RelayLadder& ladder,
+                const std::vector<LayerPairBytes>& candidates, int& current) {
+  if (ladder.key_pair) {
+    const int chosen = alloc.TryForwardLayered(0, slot, true, candidates);
+    if (chosen >= 0) current = chosen;
+    return chosen;
+  }
+  if (current < 0 ||
+      !candidates[static_cast<std::size_t>(current)].valid) {
+    return -1;
+  }
+  std::vector<LayerPairBytes> only(candidates.size());
+  only[static_cast<std::size_t>(current)] =
+      candidates[static_cast<std::size_t>(current)];
+  return alloc.TryForwardLayered(0, slot, false, only);
+}
+
+}  // namespace
+
+RelayStats& RelayStats::operator+=(const RelayStats& other) {
+  ladders_offered += other.ladders_offered;
+  prefixes_admitted += other.prefixes_admitted;
+  prefixes_dropped_budget += other.prefixes_dropped_budget;
+  layers_relayed += other.layers_relayed;
+  relay_bytes += other.relay_bytes;
+  pli_relays += other.pli_relays;
+  demand_reports += other.demand_reports;
+  return *this;
+}
+
+RelayPipe::RelayPipe(double rate_mbps, double hop_delay_ms)
+    : rate_bps_(std::max(rate_mbps, 1e-6) * 1e6),
+      hop_delay_ms_(hop_delay_ms) {}
+
+double RelayPipe::SendArrivalMs(double now_ms, std::uint64_t bytes) {
+  const double start_ms = std::max(now_ms, busy_until_ms_);
+  const double serialize_ms =
+      static_cast<double>(bytes) * 8.0 / rate_bps_ * 1000.0;
+  busy_until_ms_ = start_ms + serialize_ms;
+  return busy_until_ms_ + hop_delay_ms_;
+}
+
+PrefixPricer::PrefixPricer(int parties, int layers,
+                           double allocation_interval_ms)
+    : layers_(layers), allocation_interval_ms_(allocation_interval_ms) {
+  ema_.assign(static_cast<std::size_t>(parties),
+              std::vector<double>(static_cast<std::size_t>(layers), 0.0));
+}
+
+std::vector<LayerPairBytes> PrefixPricer::Price(const RelayLadder& ladder) {
+  std::vector<LayerPairBytes> candidates(static_cast<std::size_t>(layers_));
+  auto& ema = ema_[static_cast<std::size_t>(ladder.origin)];
+  const double pairs_per_interval =
+      ladder.capture_interval_ms > 0.0
+          ? allocation_interval_ms_ / ladder.capture_interval_ms
+          : 0.0;
+  std::size_t cum_color = 0;
+  std::size_t cum_depth = 0;
+  const int in_layers =
+      std::min(layers_, static_cast<int>(ladder.layers.size()));
+  for (int q = 0; q < in_layers; ++q) {
+    const RelayLadder::Layer& layer =
+        ladder.layers[static_cast<std::size_t>(q)];
+    if (!layer.Valid()) continue;
+    cum_color += layer.color->size();
+    cum_depth += layer.depth->size();
+    LayerPairBytes& c = candidates[static_cast<std::size_t>(q)];
+    c.color_bytes = cum_color;
+    c.depth_bytes = cum_depth;
+    c.valid = true;
+    const auto bytes = static_cast<double>(cum_color + cum_depth);
+    double& avg = ema[static_cast<std::size_t>(q)];
+    if (ladder.key_pair) {
+      if (avg <= 0.0) avg = kKeyframeSeedScale * bytes;
+    } else {
+      avg = avg <= 0.0 ? bytes : (1.0 - kEmaAlpha) * avg + kEmaAlpha * bytes;
+    }
+    c.sustained_interval_bytes = avg * pairs_per_interval;
+  }
+  return candidates;
+}
+
+std::uint64_t PrefixBytes(const RelayLadder& ladder, int prefix) {
+  std::uint64_t bytes = 0;
+  const int limit =
+      std::min(prefix, static_cast<int>(ladder.layers.size()) - 1);
+  for (int q = 0; q <= limit; ++q) {
+    const RelayLadder::Layer& layer =
+        ladder.layers[static_cast<std::size_t>(q)];
+    if (!layer.Valid()) continue;
+    bytes += layer.color->size() + layer.depth->size();
+  }
+  return bytes;
+}
+
+RelayLadder TrimToPrefix(const RelayLadder& ladder, int prefix) {
+  RelayLadder out = ladder;
+  for (std::size_t q = static_cast<std::size_t>(prefix) + 1;
+       q < out.layers.size(); ++q) {
+    out.layers[q] = RelayLadder::Layer{};
+  }
+  return out;
+}
+
+EdgeRelay::EdgeRelay(int region, const std::vector<int>& region_of,
+                     const ConferenceOptions& options, int parties,
+                     runtime::CrossLoopChannel* to_root, RootRelay* root,
+                     SfuActor* local_sfu)
+    : region_(region),
+      local_rank_(region_of.size(), -1),
+      options_(options),
+      to_root_(to_root),
+      root_(root),
+      sfu_(local_sfu),
+      alloc_(static_cast<int>(std::count(region_of.begin(), region_of.end(),
+                                         region)) +
+                 1,
+             RelayAllocatorConfig(options, parties)),
+      pricer_(parties, EffectiveLadderLayers(options, parties),
+              options.allocation_interval_ms),
+      pipe_(options.relay_rate_mbps, options.relay_hop_delay_ms),
+      current_prefix_(region_of.size(), -1) {
+  for (std::size_t p = 0; p < region_of.size(); ++p) {
+    if (region_of[p] == region) local_rank_[p] = local_n_++;
+  }
+  upstream_weights_.assign(static_cast<std::size_t>(local_n_), 1.0);
+}
+
+void EdgeRelay::OfferLadder(const RelayLadder& ladder, double now_ms) {
+  ++stats_.ladders_offered;
+  const int slot = local_rank_[static_cast<std::size_t>(ladder.origin)];
+  if (ladder.has_stats && ladder.stats.rmse_depth >= 0.0) {
+    alloc_.ObserveProbe(0, slot, ladder.stats.rmse_depth,
+                        ladder.stats.rmse_color);
+  }
+  const std::vector<LayerPairBytes> candidates = pricer_.Price(ladder);
+  obs::FrameLedger& ledger = obs::FrameLedger::Get();
+  int& current = current_prefix_[static_cast<std::size_t>(ladder.origin)];
+  const int prefix = AdmitPrefix(alloc_, slot, ladder, candidates, current);
+  const auto frame = static_cast<std::int32_t>(ladder.frame_index);
+  if (prefix < 0) {
+    ++stats_.prefixes_dropped_budget;
+    if (ledger.enabled()) {
+      ledger.Record(ladder.origin, frame, -1, obs::LedgerHop::kRelayDropped,
+                    now_ms, PrefixBytes(ladder, options_.ladder_layers),
+                    ladder.key_pair, -1);
+    }
+    // Remote streams riding this origin cannot extend past the gap; ask
+    // for a re-key so the next offer may re-anchor at a cheaper prefix
+    // (OnRemoteKeyframeRequest routes to the origin, throttled).
+    sfu_->OnRemoteKeyframeRequest(ladder.origin, now_ms);
+    return;
+  }
+  const std::uint64_t bytes = PrefixBytes(ladder, prefix);
+  ++stats_.prefixes_admitted;
+  stats_.relay_bytes += bytes;
+  for (int q = 0; q <= prefix; ++q) {
+    const RelayLadder::Layer& layer =
+        ladder.layers[static_cast<std::size_t>(q)];
+    if (!layer.Valid()) continue;
+    ++stats_.layers_relayed;
+    if (ledger.enabled()) {
+      ledger.Record(ladder.origin, frame, -1,
+                    obs::LedgerHop::kRelayForwarded, now_ms,
+                    layer.color->size() + layer.depth->size(),
+                    ladder.key_pair, q);
+    }
+  }
+  const double arrival_ms = pipe_.SendArrivalMs(now_ms, bytes);
+  RootRelay* root = root_;
+  to_root_->Send(now_ms, arrival_ms - now_ms,
+                 [root, msg = TrimToPrefix(ladder, prefix)](double t) {
+                   root->OnEdgeLadder(msg, t);
+                 });
+}
+
+void EdgeRelay::RequestRemoteKeyframe(int origin, double now_ms) {
+  RootRelay* root = root_;
+  to_root_->Send(now_ms, options_.relay_hop_delay_ms,
+                 [root, origin](double t) {
+                   root->OnKeyframeRequest(origin, t);
+                 });
+}
+
+void EdgeRelay::OnAllocationInterval(double start_ms,
+                                     const std::vector<double>& demand,
+                                     double now_ms) {
+  ++stats_.demand_reports;
+  RootRelay* root = root_;
+  const int region = region_;
+  to_root_->Send(now_ms, options_.relay_hop_delay_ms,
+                 [root, region, start_ms, demand](double t) {
+                   root->OnEdgeDemand(region, start_ms, demand, t);
+                 });
+  alloc_.BeginInterval(0, start_ms, PipeIntervalBytes(options_),
+                       upstream_weights_);
+}
+
+double EdgeRelay::RelayBudgetBps(int origin) const {
+  if (!alloc_.Initialized(0)) return -1.0;
+  const int slot = local_rank_[static_cast<std::size_t>(origin)];
+  if (slot < 0) return -1.0;
+  return alloc_.ShareOf(0, slot) * options_.relay_rate_mbps * 1e6;
+}
+
+void EdgeRelay::OnUpstreamWeights(const std::vector<double>& weights) {
+  if (static_cast<int>(weights.size()) == local_n_) {
+    upstream_weights_ = weights;
+  }
+}
+
+RootRelay::RootRelay(const std::vector<int>& region_of,
+                     const ConferenceOptions& options, int parties,
+                     int regions)
+    : region_of_(region_of),
+      options_(options),
+      parties_(parties),
+      regions_(regions),
+      dests_(static_cast<std::size_t>(regions)),
+      demand_by_region_(static_cast<std::size_t>(regions)),
+      last_pli_ms_(static_cast<std::size_t>(parties),
+                   -options.keyframe_relay_throttle_ms) {
+  for (int d = 0; d < regions_; ++d) {
+    Dest& dest = dests_[static_cast<std::size_t>(d)];
+    dest.slot_of_origin.assign(static_cast<std::size_t>(parties_), -1);
+    for (int o = 0; o < parties_; ++o) {
+      if (region_of_[static_cast<std::size_t>(o)] == d) continue;
+      dest.slot_of_origin[static_cast<std::size_t>(o)] = dest.slots++;
+    }
+    dest.alloc = std::make_unique<DownlinkAllocator>(
+        dest.slots + 1, RelayAllocatorConfig(options, parties));
+    dest.pricer = std::make_unique<PrefixPricer>(
+        parties, EffectiveLadderLayers(options, parties),
+        options.allocation_interval_ms);
+    dest.pipe = std::make_unique<RelayPipe>(options.relay_rate_mbps,
+                                            options.relay_hop_delay_ms);
+    dest.current_prefix.assign(static_cast<std::size_t>(parties_), -1);
+  }
+}
+
+void RootRelay::AttachRegion(int region, runtime::CrossLoopChannel* to_edge,
+                             SfuActor* edge_sfu, EdgeRelay* edge_relay) {
+  Dest& dest = dests_[static_cast<std::size_t>(region)];
+  dest.to_edge = to_edge;
+  dest.sfu = edge_sfu;
+  dest.relay = edge_relay;
+}
+
+void RootRelay::OnEdgeDemand(int region, double start_ms,
+                             const std::vector<double>& demand,
+                             double now_ms) {
+  demand_by_region_[static_cast<std::size_t>(region)] = demand;
+  // Roll this destination's pipe allocator: its level-1 weights are the
+  // destination's own demand for each non-local origin.
+  Dest& dest = dests_[static_cast<std::size_t>(region)];
+  std::vector<double> visibility(static_cast<std::size_t>(dest.slots), 0.0);
+  for (int o = 0; o < parties_; ++o) {
+    const int slot = dest.slot_of_origin[static_cast<std::size_t>(o)];
+    if (slot < 0) continue;
+    visibility[static_cast<std::size_t>(slot)] =
+        demand[static_cast<std::size_t>(o)];
+  }
+  dest.alloc->BeginInterval(0, start_ms, PipeIntervalBytes(options_),
+                            visibility);
+  // Refresh every other edge's upstream weights: for each of its local
+  // origins, the max demand any remote region has reported so far.
+  for (int e = 0; e < regions_; ++e) {
+    if (e == region) continue;
+    const Dest& peer = dests_[static_cast<std::size_t>(e)];
+    if (peer.to_edge == nullptr) continue;
+    std::vector<double> weights;
+    bool heard = false;
+    for (int o = 0; o < parties_; ++o) {
+      if (region_of_[static_cast<std::size_t>(o)] != e) continue;
+      double w = 0.0;
+      for (int r = 0; r < regions_; ++r) {
+        if (r == e) continue;
+        const auto& d = demand_by_region_[static_cast<std::size_t>(r)];
+        if (d.empty()) continue;
+        heard = true;
+        w = std::max(w, d[static_cast<std::size_t>(o)]);
+      }
+      weights.push_back(w);
+    }
+    if (!heard) continue;
+    EdgeRelay* relay = peer.relay;
+    peer.to_edge->Send(now_ms, options_.relay_hop_delay_ms,
+                       [relay, weights = std::move(weights)](double) {
+                         relay->OnUpstreamWeights(weights);
+                       });
+  }
+}
+
+void RootRelay::OnEdgeLadder(const RelayLadder& ladder, double now_ms) {
+  const int origin_region = region_of_[static_cast<std::size_t>(ladder.origin)];
+  obs::FrameLedger& ledger = obs::FrameLedger::Get();
+  const auto frame = static_cast<std::int32_t>(ladder.frame_index);
+  for (int d = 0; d < regions_; ++d) {
+    if (d == origin_region) continue;
+    Dest& dest = dests_[static_cast<std::size_t>(d)];
+    const int slot = dest.slot_of_origin[static_cast<std::size_t>(ladder.origin)];
+    if (ladder.has_stats && ladder.stats.rmse_depth >= 0.0) {
+      dest.alloc->ObserveProbe(0, slot, ladder.stats.rmse_depth,
+                               ladder.stats.rmse_color);
+    }
+    const std::vector<LayerPairBytes> candidates =
+        dest.pricer->Price(ladder);
+    int& current =
+        dest.current_prefix[static_cast<std::size_t>(ladder.origin)];
+    const int prefix =
+        AdmitPrefix(*dest.alloc, slot, ladder, candidates, current);
+    if (prefix < 0) {
+      ++stats_.prefixes_dropped_budget;
+      if (ledger.enabled()) {
+        ledger.Record(ladder.origin, frame, -2 - d,
+                      obs::LedgerHop::kRelayDropped, now_ms,
+                      PrefixBytes(ladder, options_.ladder_layers),
+                      ladder.key_pair, -1);
+      }
+      RelayKeyframeRequest(ladder.origin, now_ms);
+      continue;
+    }
+    const std::uint64_t bytes = PrefixBytes(ladder, prefix);
+    ++stats_.prefixes_admitted;
+    stats_.relay_bytes += bytes;
+    for (int q = 0; q <= prefix; ++q) {
+      const RelayLadder::Layer& layer =
+          ladder.layers[static_cast<std::size_t>(q)];
+      if (!layer.Valid()) continue;
+      ++stats_.layers_relayed;
+      if (ledger.enabled()) {
+        ledger.Record(ladder.origin, frame, -2 - d,
+                      obs::LedgerHop::kRelayForwarded, now_ms,
+                      layer.color->size() + layer.depth->size(),
+                      ladder.key_pair, q);
+      }
+    }
+    const double arrival_ms = dest.pipe->SendArrivalMs(now_ms, bytes);
+    SfuActor* sfu = dest.sfu;
+    dest.to_edge->Send(now_ms, arrival_ms - now_ms,
+                       [sfu, msg = TrimToPrefix(ladder, prefix)](double t) {
+                         sfu->OnRelayLadder(msg, t);
+                       });
+  }
+}
+
+void RootRelay::OnKeyframeRequest(int origin, double now_ms) {
+  RelayKeyframeRequest(origin, now_ms);
+}
+
+void RootRelay::RelayKeyframeRequest(int origin, double now_ms) {
+  double& last = last_pli_ms_[static_cast<std::size_t>(origin)];
+  if (now_ms - last < options_.keyframe_relay_throttle_ms) return;
+  last = now_ms;
+  ++stats_.pli_relays;
+  const Dest& dest =
+      dests_[static_cast<std::size_t>(
+          region_of_[static_cast<std::size_t>(origin)])];
+  if (dest.to_edge == nullptr) return;
+  SfuActor* sfu = dest.sfu;
+  dest.to_edge->Send(now_ms, options_.relay_hop_delay_ms,
+                     [sfu, origin](double t) {
+                       sfu->OnRemoteKeyframeRequest(origin, t);
+                     });
+}
+
+}  // namespace livo::conference

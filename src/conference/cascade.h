@@ -1,0 +1,200 @@
+// Cascaded edge SFUs (livo::conference).
+//
+// A direct conference runs one SfuActor with every participant local. A
+// cascade (ConferenceOptions::regions > 1) splits the roster into
+// contiguous regions, gives each its own edge SfuActor, and chains the
+// edges through a root relay:
+//
+//   participant -> edge SFU -> [edge->root pipe] -> root -> [root->edge
+//   pipe per destination] -> destination edge SFU -> subscriber
+//
+// Each pipe is a rate-limited FIFO (RelayPipe): payloads serialize at
+// relay_rate_mbps and then cross a relay_hop_delay_ms propagation leg,
+// which is also the LoopGroup lookahead window — every region lives in its
+// own loop-group domain and all inter-region traffic rides
+// CrossLoopChannels, so a cascaded conference shards across threads with
+// bit-identical results for any shard count.
+//
+// Flow control is a cascaded two-level allocation, reusing
+// DownlinkAllocator with the pipe as the single pseudo-subscriber:
+//
+//   * each edge reports, once per allocation interval, its *demand* for
+//     every origin (max predicted visibility over its local subscribers);
+//   * the root prices each destination pipe's bandwidth across the
+//     non-local origins using that destination's demand as the level-1
+//     weights, and aggregates the remote demand per origin back to the
+//     origin's edge;
+//   * the origin's edge prices its uplink pipe across its local origins
+//     using those aggregated weights, so a ladder nobody remote can see
+//     is floored down before it ever crosses the first hop.
+//
+// What crosses a pipe is a ladder *prefix* [0..k]: every surviving layer
+// up to k, so destination edges keep the freedom to layer-switch their
+// own subscribers. Prefixes are priced cumulatively (a prefix pays for
+// all its layers) and obey the same mid-GOP rule as subscriber streams:
+// keyframe ladders may re-anchor at any affordable prefix, P ladders must
+// continue the current prefix exactly or drop (and re-key, throttled).
+//
+// The FrameLedger sees every hop: kRelayForwarded per layer admitted onto
+// a pipe (subscriber -1 for edge->root, -2 - dest_region for root->edge),
+// kRelayIngested per layer arriving at a destination edge, kRelayDropped
+// per rejected ladder. livo_report --check enforces conservation across
+// these (a layer ingested at a destination must have been forwarded to it,
+// and root->edge pipes never lose).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "conference/allocator.h"
+#include "conference/sfu.h"
+#include "conference/topology.h"
+#include "runtime/cross_loop_channel.h"
+
+namespace livo::conference {
+
+class RootRelay;
+
+// Counters for one relay stage; RunConference sums every stage's stats
+// into ConferenceResult::relay.
+struct RelayStats {
+  std::size_t ladders_offered = 0;   // completed local ladders offered up
+  std::size_t prefixes_admitted = 0; // prefixes that crossed a pipe
+  std::size_t prefixes_dropped_budget = 0;
+  std::size_t layers_relayed = 0;    // individual layers crossing a pipe
+  std::uint64_t relay_bytes = 0;     // payload bytes crossing pipes
+  std::size_t pli_relays = 0;        // cross-region PLIs through the root
+  std::size_t demand_reports = 0;    // edge->root flow-control reports
+
+  RelayStats& operator+=(const RelayStats& other);
+};
+
+// One rate-limited relay pipe: serializes payloads FIFO at rate_mbps
+// (model-scaled, like the access traces after bandwidth_scale), then a
+// fixed propagation leg. Returns the tail byte's arrival time; callers
+// turn that into a CrossLoopChannel delay, which stays >= hop_delay_ms —
+// the LoopGroup window — by construction.
+class RelayPipe {
+ public:
+  RelayPipe(double rate_mbps, double hop_delay_ms);
+  double SendArrivalMs(double now_ms, std::uint64_t bytes);
+
+ private:
+  double rate_bps_;
+  double hop_delay_ms_;
+  double busy_until_ms_ = 0.0;
+};
+
+// Cumulative price sheet for relaying ladder prefixes. Candidate q is
+// valid iff layer q survived; its price is the sum of every surviving
+// layer <= q (the whole prefix crosses the pipe). Sustained prices use
+// the same P-pair EMA scheme as SfuActor, per (origin, q), keyed to the
+// capture interval each ladder carries.
+class PrefixPricer {
+ public:
+  PrefixPricer(int parties, int layers, double allocation_interval_ms);
+  // Updates the origin's EMAs (exactly once per ladder) and returns the
+  // candidate vector for the allocator.
+  std::vector<LayerPairBytes> Price(const RelayLadder& ladder);
+
+ private:
+  int layers_;
+  double allocation_interval_ms_;
+  std::vector<std::vector<double>> ema_;  // [origin][layer], cumulative
+};
+
+// Total payload bytes of prefix [0..prefix] (surviving layers only).
+std::uint64_t PrefixBytes(const RelayLadder& ladder, int prefix);
+// Copy of `ladder` with every layer above `prefix` cleared.
+RelayLadder TrimToPrefix(const RelayLadder& ladder, int prefix);
+
+// The per-region end of the cascade, owned by RunConference and installed
+// into its region's SfuActor via ConfigureCascade. All methods run on the
+// region's loop; everything sent to the root is a closure that runs on
+// the root's loop (deterministically ordered by the channel contract).
+class EdgeRelay : public RelayPort {
+ public:
+  EdgeRelay(int region, const std::vector<int>& region_of,
+            const ConferenceOptions& options, int parties,
+            runtime::CrossLoopChannel* to_root, RootRelay* root,
+            SfuActor* local_sfu);
+
+  void OfferLadder(const RelayLadder& ladder, double now_ms) override;
+  void RequestRemoteKeyframe(int origin, double now_ms) override;
+  void OnAllocationInterval(double start_ms, const std::vector<double>& demand,
+                            double now_ms) override;
+  double RelayBudgetBps(int origin) const override;
+
+  // Aggregated remote demand for this edge's local origins (slot order),
+  // delivered from the root on this edge's loop.
+  void OnUpstreamWeights(const std::vector<double>& weights);
+
+  const RelayStats& stats() const { return stats_; }
+
+ private:
+  int region_;
+  std::vector<int> local_rank_;  // origin -> slot among locals, -1 remote
+  int local_n_ = 0;
+  const ConferenceOptions& options_;
+  runtime::CrossLoopChannel* to_root_;
+  RootRelay* root_;
+  SfuActor* sfu_;
+
+  DownlinkAllocator alloc_;  // subscriber 0 = the edge->root pipe
+  PrefixPricer pricer_;
+  RelayPipe pipe_;
+  std::vector<int> current_prefix_;      // by origin (locals only), -1 unset
+  std::vector<double> upstream_weights_; // by local slot, seeded 1.0
+  RelayStats stats_;
+};
+
+// The cascade's hub, living in its own loop-group domain. Every method is
+// invoked by channel closures on the root's loop.
+class RootRelay {
+ public:
+  RootRelay(const std::vector<int>& region_of, const ConferenceOptions& options,
+            int parties, int regions);
+
+  // Wiring, before Start: the root's downstream channel to `region`, the
+  // region's edge SfuActor (ladder/PLI sink) and EdgeRelay (weight sink).
+  void AttachRegion(int region, runtime::CrossLoopChannel* to_edge,
+                    SfuActor* edge_sfu, EdgeRelay* edge_relay);
+
+  // An edge's per-interval demand report: rolls that destination's pipe
+  // allocator and refreshes every other edge's upstream weights.
+  void OnEdgeDemand(int region, double start_ms,
+                    const std::vector<double>& demand, double now_ms);
+  // An admitted prefix arrived over an edge->root pipe.
+  void OnEdgeLadder(const RelayLadder& ladder, double now_ms);
+  // A PLI for `origin` from some remote region.
+  void OnKeyframeRequest(int origin, double now_ms);
+
+  const RelayStats& stats() const { return stats_; }
+
+ private:
+  void RelayKeyframeRequest(int origin, double now_ms);
+
+  struct Dest {
+    runtime::CrossLoopChannel* to_edge = nullptr;
+    SfuActor* sfu = nullptr;
+    EdgeRelay* relay = nullptr;
+    std::vector<int> slot_of_origin;  // -1 for the dest's own origins
+    int slots = 0;
+    std::unique_ptr<DownlinkAllocator> alloc;
+    std::unique_ptr<PrefixPricer> pricer;
+    std::unique_ptr<RelayPipe> pipe;
+    std::vector<int> current_prefix;  // by origin, -1 unset
+  };
+
+  std::vector<int> region_of_;
+  const ConferenceOptions& options_;
+  int parties_;
+  int regions_;
+  std::vector<Dest> dests_;
+  std::vector<std::vector<double>> demand_by_region_;  // empty until heard
+  std::vector<double> last_pli_ms_;                    // by origin
+  RelayStats stats_;
+};
+
+}  // namespace livo::conference

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cstdint>
 #include <fstream>
+#include <iterator>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
@@ -11,6 +12,7 @@
 
 #include "conference/telemetry.h"
 #include "obs/obs.h"
+#include "runtime/loop_group.h"
 #include "runtime/shared_link.h"
 #include "util/clock.h"
 
@@ -87,6 +89,48 @@ void Validate(const std::vector<ParticipantSpec>& specs,
           "RunConference: participant spec without a capture sequence");
     }
   }
+  if (options.regions > 1) {
+    if (options.regions > n) {
+      throw std::invalid_argument(
+          "RunConference: more regions (" + std::to_string(options.regions) +
+          ") than participants (" + std::to_string(n) + ")");
+    }
+    if (options.uplink_mode == LinkMode::kShared ||
+        options.downlink_mode == LinkMode::kShared) {
+      // A shared access bottleneck couples the whole roster at event
+      // fidelity; it cannot be split across loop-group domains.
+      throw std::invalid_argument(
+          "RunConference: a cascaded conference requires private link modes");
+    }
+    if (!(options.relay_hop_delay_ms > 0.0) ||
+        !(options.relay_rate_mbps > 0.0)) {
+      throw std::invalid_argument(
+          "RunConference: cascade needs positive relay rate and hop delay");
+    }
+  }
+}
+
+// Element-wise sum of per-edge SFU counters; with one (direct) SFU this
+// degenerates to a copy.
+void Accumulate(SfuStats& into, const SfuStats& s) {
+  into.frames_in += s.frames_in;
+  into.pairs_completed += s.pairs_completed;
+  into.pairs_forwarded += s.pairs_forwarded;
+  into.pairs_dropped_budget += s.pairs_dropped_budget;
+  into.pairs_dropped_congestion += s.pairs_dropped_congestion;
+  into.pairs_dropped_awaiting_key += s.pairs_dropped_awaiting_key;
+  into.pairs_dropped_layer_incomplete += s.pairs_dropped_layer_incomplete;
+  into.pairs_evicted_incomplete += s.pairs_evicted_incomplete;
+  into.pairs_salvaged += s.pairs_salvaged;
+  into.keyframe_relays += s.keyframe_relays;
+  into.layer_switches_up += s.layer_switches_up;
+  into.layer_switches_down += s.layer_switches_down;
+  if (into.forwarded_by_layer.size() < s.forwarded_by_layer.size()) {
+    into.forwarded_by_layer.resize(s.forwarded_by_layer.size(), 0);
+  }
+  for (std::size_t q = 0; q < s.forwarded_by_layer.size(); ++q) {
+    into.forwarded_by_layer[q] += s.forwarded_by_layer[q];
+  }
 }
 
 }  // namespace
@@ -103,9 +147,23 @@ ConferenceResult RunConference(const std::vector<ParticipantSpec>& specs,
   if (ledger.enabled()) ledger.Reset();
   if (obs::TimeSeriesEnabled()) obs::Registry::Get().ResetTimeSeries();
 
-  runtime::EventLoop loop;
+  // One loop-group domain per coupling unit: a direct conference is a
+  // single domain (everything interacts at event fidelity through the one
+  // SFU); a cascade gets one domain per region plus one for the root
+  // relay, with all inter-region traffic on CrossLoopChannels whose min
+  // delay is the relay hop — also the group's lookahead window.
+  const int regions = options.regions > 1 ? options.regions : 1;
+  const bool cascaded = regions > 1;
+  const int domains = cascaded ? regions + 1 : 1;
+  const int shards = std::clamp(options.shards, 1, domains);
+  runtime::LoopGroup group(shards, cascaded
+                               ? options.relay_hop_delay_ms
+                               : runtime::LoopGroup::kDefaultWindowMs);
+
   ConferenceResult result;
   result.scheme = options.scheme_name;
+  result.regions = regions;
+  result.shards = shards;
 
   for (const ParticipantSpec& spec : specs) {
     const double span = spec.sequence->frames.size() * 1000.0 /
@@ -113,6 +171,11 @@ ConferenceResult RunConference(const std::vector<ParticipantSpec>& specs,
     result.duration_ms = std::max(result.duration_ms, span);
   }
   const double horizon_ms = result.duration_ms + 600.0;
+
+  std::vector<int> region_of(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    region_of[static_cast<std::size_t>(i)] = RegionOf(i, n, regions);
+  }
 
   std::unique_ptr<runtime::SharedLink> shared_uplink;
   if (options.uplink_mode == LinkMode::kShared) {
@@ -127,13 +190,58 @@ ConferenceResult RunConference(const std::vector<ParticipantSpec>& specs,
         options.shared_downlink_config, "runtime.shared_downlink");
   }
 
-  SfuActor sfu(loop, specs, options, horizon_ms);
-  sfu.SetSharedLinks(shared_uplink.get(), shared_downlink.get());
+  // One SFU per region (a direct conference is one region). Every edge
+  // sees the full roster; remote participants register as nullptr.
+  std::vector<std::unique_ptr<SfuActor>> sfus;
+  sfus.reserve(static_cast<std::size_t>(regions));
+  for (int r = 0; r < regions; ++r) {
+    sfus.push_back(std::make_unique<SfuActor>(group.loop(r), specs, options,
+                                              horizon_ms));
+  }
+  if (!cascaded) {
+    sfus[0]->SetSharedLinks(shared_uplink.get(), shared_downlink.get());
+  }
+
+  // Cascade wiring. Channel creation order is fixed by the workload (all
+  // up channels, then all down channels, in region order) so channel ids
+  // — the cross-loop tie-break — never depend on the shard count.
+  std::unique_ptr<RootRelay> root;
+  std::vector<std::unique_ptr<EdgeRelay>> edge_relays;
+  if (cascaded) {
+    std::vector<runtime::CrossLoopChannel*> up(
+        static_cast<std::size_t>(regions));
+    std::vector<runtime::CrossLoopChannel*> down(
+        static_cast<std::size_t>(regions));
+    for (int r = 0; r < regions; ++r) {
+      up[static_cast<std::size_t>(r)] =
+          group.CreateChannel(r, regions, options.relay_hop_delay_ms);
+    }
+    for (int r = 0; r < regions; ++r) {
+      down[static_cast<std::size_t>(r)] =
+          group.CreateChannel(regions, r, options.relay_hop_delay_ms);
+    }
+    root = std::make_unique<RootRelay>(region_of, options, n, regions);
+    edge_relays.reserve(static_cast<std::size_t>(regions));
+    for (int r = 0; r < regions; ++r) {
+      edge_relays.push_back(std::make_unique<EdgeRelay>(
+          r, region_of, options, n, up[static_cast<std::size_t>(r)],
+          root.get(), sfus[static_cast<std::size_t>(r)].get()));
+    }
+    for (int r = 0; r < regions; ++r) {
+      root->AttachRegion(r, down[static_cast<std::size_t>(r)],
+                         sfus[static_cast<std::size_t>(r)].get(),
+                         edge_relays[static_cast<std::size_t>(r)].get());
+      sfus[static_cast<std::size_t>(r)]->ConfigureCascade(
+          edge_relays[static_cast<std::size_t>(r)].get(), r, region_of);
+    }
+  }
 
   std::vector<std::unique_ptr<ParticipantActor>> participants;
   participants.reserve(specs.size());
   for (int i = 0; i < n; ++i) {
     const ParticipantSpec& spec = specs[static_cast<std::size_t>(i)];
+    const int region = region_of[static_cast<std::size_t>(i)];
+    runtime::EventLoop& loop = group.loop(region);
 
     const std::string obs_prefix = "participant" + std::to_string(i);
     std::unique_ptr<net::VideoChannel> uplink;
@@ -184,29 +292,41 @@ ConferenceResult RunConference(const std::vector<ParticipantSpec>& specs,
     participants.push_back(std::make_unique<ParticipantActor>(
         loop, i, specs, options, std::move(uplink), std::move(downlink),
         horizon_ms));
-    participants.back()->SetSfu(&sfu);
-    sfu.AddParticipant(participants.back().get());
+    participants.back()->SetSfu(sfus[static_cast<std::size_t>(region)].get());
+    for (int r = 0; r < regions; ++r) {
+      sfus[static_cast<std::size_t>(r)]->AddParticipant(
+          r == region ? participants.back().get() : nullptr);
+    }
   }
 
   for (auto& p : participants) p->Start();
-  sfu.Start();
+  for (auto& sfu : sfus) sfu->Start();
 
   const util::Stopwatch wall;
-  loop.Run();
+  group.Run();
   result.wall_ms = wall.ElapsedMs();
+  const double end_ms = group.MaxDispatchMs();
 
-  if (ledger.enabled()) ledger.FinalizeRun(loop.NowMs());
+  if (ledger.enabled()) ledger.FinalizeRun(end_ms);
 
   result.participants.reserve(participants.size());
   for (auto& p : participants) result.participants.push_back(p->TakeResult());
-  result.audits = sfu.TakeAudits(loop.NowMs());
-  result.sfu = sfu.stats();
-  result.events_dispatched = loop.events_dispatched();
-  result.events_scheduled = loop.events_scheduled();
-  result.virtual_ms = loop.NowMs();
+  for (auto& sfu : sfus) {
+    std::vector<AllocationAuditRow> audits = sfu->TakeAudits(end_ms);
+    result.audits.insert(result.audits.end(),
+                         std::make_move_iterator(audits.begin()),
+                         std::make_move_iterator(audits.end()));
+    Accumulate(result.sfu, sfu->stats());
+  }
+  for (auto& relay : edge_relays) result.relay += relay->stats();
+  if (root) result.relay += root->stats();
+  result.events_dispatched = group.events_dispatched();
+  result.events_scheduled = group.events_scheduled();
+  result.virtual_ms = end_ms;
 
   LIVO_LOG(Info) << "conference " << result.scheme << ": " << n
-                 << " parties, " << result.sfu.pairs_forwarded
+                 << " parties in " << regions << " region(s) on " << shards
+                 << " shard(s), " << result.sfu.pairs_forwarded
                  << " pair deliveries (" << result.sfu.pairs_dropped_budget
                  << " budget / " << result.sfu.pairs_dropped_congestion
                  << " congestion / " << result.sfu.pairs_dropped_awaiting_key
@@ -303,6 +423,14 @@ std::uint64_t ConferenceResult::Fingerprint() const {
   for (const std::size_t n : sfu.forwarded_by_layer) {
     h.Mix(static_cast<std::uint64_t>(n));
   }
+  h.Mix(static_cast<std::uint64_t>(regions));
+  h.Mix(static_cast<std::uint64_t>(relay.ladders_offered));
+  h.Mix(static_cast<std::uint64_t>(relay.prefixes_admitted));
+  h.Mix(static_cast<std::uint64_t>(relay.prefixes_dropped_budget));
+  h.Mix(static_cast<std::uint64_t>(relay.layers_relayed));
+  h.Mix(relay.relay_bytes);
+  h.Mix(static_cast<std::uint64_t>(relay.pli_relays));
+  h.Mix(static_cast<std::uint64_t>(relay.demand_reports));
   h.Mix(static_cast<std::uint64_t>(events_dispatched));
   h.Mix(virtual_ms);
   return h.value();
@@ -342,6 +470,12 @@ std::string ConferenceCacheKey(const std::vector<ParticipantSpec>& specs,
     Describe(os, options.shared_downlink_config);
   }
   os << "|ladder:" << options.ladder_layers << ',' << options.ladder_qp_step;
+  if (options.regions > 1) {
+    // Appended only for cascades so direct entries keep their keys.
+    // options.shards is deliberately absent: results are shard-invariant.
+    os << "|cascade:" << options.regions << ',' << options.relay_rate_mbps
+       << ',' << options.relay_hop_delay_ms;
+  }
   os << '|' << options.bandwidth_scale << ',' << options.trace_time_accel
      << ',' << options.sender_pipeline_delay_ms << ','
      << options.allocation_interval_ms << ','

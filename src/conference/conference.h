@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "conference/allocator.h"
+#include "conference/cascade.h"
 #include "conference/participant.h"
 #include "conference/sfu.h"
 #include "conference/topology.h"
@@ -23,8 +24,18 @@ namespace livo::conference {
 struct ConferenceResult {
   std::string scheme;
   std::vector<ParticipantResult> participants;
+  // Subscriber-downlink allocation audits; in a cascade, every edge's rows
+  // concatenated in region order (subscriber indices stay roster-global).
+  // Relay-pipe allocators do not audit here.
   std::vector<AllocationAuditRow> audits;
+  // Direct: the single SFU's counters. Cascaded: every edge's counters
+  // summed (forwarding is partitioned by subscriber region, so the sums
+  // are the conference-wide totals).
   SfuStats sfu;
+  // Cascade counters (all zero when regions == 1): edge stages + root.
+  RelayStats relay;
+  int regions = 1;
+  int shards = 1;  // loop shards the run used; results-invariant
   std::uint64_t events_dispatched = 0;
   std::uint64_t events_scheduled = 0;
   double virtual_ms = 0.0;

@@ -33,6 +33,12 @@ ConferenceMetrics& Metrics() {
   return metrics;
 }
 
+// Sustained-price EMA knobs, shared by the local (ForwardPair) and relayed
+// (OnRelayLadder) ingest paths so a stream prices identically wherever its
+// ladder enters the fan-out.
+constexpr double kEmaAlpha = 0.2;
+constexpr double kKeyframeSeedScale = 0.25;  // keyframes dwarf P-pairs
+
 AllocatorConfig MakeAllocatorConfig(const ConferenceOptions& options,
                                     int parties) {
   AllocatorConfig config;
@@ -90,6 +96,7 @@ SfuActor::SfuActor(runtime::EventLoop& loop,
 void SfuActor::AddParticipant(ParticipantActor* participant) {
   const int origin = static_cast<int>(participants_.size());
   participants_.push_back(participant);
+  if (participant == nullptr) return;  // remote region of a cascade
   participant->uplink().SetFrameSink(
       [this, origin](std::vector<net::ReceivedFrame> frames, double now_ms) {
         OnUplinkFrames(origin, frames, now_ms);
@@ -100,6 +107,16 @@ void SfuActor::SetSharedLinks(runtime::SharedLink* uplink,
                               runtime::SharedLink* downlink) {
   shared_uplink_ = uplink;
   shared_downlink_ = downlink;
+}
+
+void SfuActor::ConfigureCascade(RelayPort* relay, int region,
+                                const std::vector<int>& region_of) {
+  relay_ = relay;
+  region_ = region;
+  region_of_ = region_of;
+  // A remote subscriber sits two relay hops away in each direction
+  // (edge -> root -> edge for frames, the same path back for feedback).
+  cascade_rtt_ms_ = 4.0 * options_.relay_hop_delay_ms;
 }
 
 void SfuActor::Start() {
@@ -115,14 +132,19 @@ void SfuActor::OnNetworkActivity(double now_ms) {
   RunAllocations(now_ms);
   // Uplink channels first: their frame sinks run ForwardPair, whose sends
   // then ride the downlink Step in the same activity.
-  for (ParticipantActor* p : participants_) p->uplink().Step(now_ms);
+  for (ParticipantActor* p : participants_) {
+    if (p != nullptr) p->uplink().Step(now_ms);
+  }
   RelayKeyframeRequests(now_ms);
-  for (ParticipantActor* p : participants_) p->downlink().Step(now_ms);
+  for (ParticipantActor* p : participants_) {
+    if (p != nullptr) p->downlink().Step(now_ms);
+  }
   ScheduleNext(now_ms);
 }
 
 void SfuActor::FeedPoses(double now_ms) {
   for (int s = 0; s < parties_; ++s) {
+    if (!IsLocal(s)) continue;  // the subscriber's own edge feeds it
     // Pose feedback rides the subscriber's uplink to the SFU.
     const auto& poses = participants_[static_cast<std::size_t>(s)]
                             ->user_trace()
@@ -144,6 +166,7 @@ void SfuActor::FeedPoses(double now_ms) {
   if (parties_ == 2) {
     for (int origin = 0; origin < 2; ++origin) {
       const int subscriber = 1 - origin;
+      if (!IsLocal(origin) || !IsLocal(subscriber)) continue;
       const auto& poses =
           participants_[static_cast<std::size_t>(subscriber)]
               ->user_trace()
@@ -162,7 +185,12 @@ void SfuActor::FeedPoses(double now_ms) {
 void SfuActor::RunAllocations(double now_ms) {
   while (next_alloc_ms_ <= now_ms) {
     LIVO_SPAN("conference.allocate");
+    // Per-origin demand this edge reports upstream: the max visibility any
+    // local subscriber has of that origin's seat. This is the inter-SFU
+    // flow-control signal a cascade aggregates; unused when direct.
+    std::vector<double> demand(static_cast<std::size_t>(parties_), 0.0);
     for (int s = 0; s < parties_; ++s) {
+      if (!IsLocal(s)) continue;  // allocated by the subscriber's own edge
       ParticipantActor* sub = participants_[static_cast<std::size_t>(s)];
       std::vector<double> visibility(static_cast<std::size_t>(parties_ - 1),
                                      1.0);
@@ -176,10 +204,19 @@ void SfuActor::RunAllocations(double now_ms) {
               seat_offsets_[static_cast<std::size_t>(slot)]);
         }
       }
+      for (int origin = 0; origin < parties_; ++origin) {
+        if (origin == s) continue;
+        double& d = demand[static_cast<std::size_t>(origin)];
+        d = std::max(
+            d, visibility[static_cast<std::size_t>(SlotAt(s, origin))]);
+      }
       const double budget_bytes = sub->downlink().TargetBitrateBps() *
                                   options_.allocation_interval_ms / 1000.0 /
                                   8.0;
       allocator_.BeginInterval(s, next_alloc_ms_, budget_bytes, visibility);
+    }
+    if (relay_ != nullptr) {
+      relay_->OnAllocationInterval(next_alloc_ms_, demand, now_ms);
     }
     next_alloc_ms_ += options_.allocation_interval_ms;
   }
@@ -288,10 +325,6 @@ void SfuActor::ForwardPair(int origin, std::uint32_t frame_index,
   if (ref < 0) return;
   const PendingPair& top = ladder.layers[static_cast<std::size_t>(ref)];
   const bool key_pair = top.color_keyframe && top.depth_keyframe;
-  obs::FrameLedger& ledger = obs::FrameLedger::Get();
-  const bool ledger_on = ledger.enabled();
-  const auto frame = static_cast<std::int32_t>(frame_index);
-  const std::uint64_t pair_bytes = top.color->size() + top.depth->size();
 
   // Price sheet for the allocator: one candidate per ladder layer. A layer
   // is valid only if both halves survived the uplink and its keyframe
@@ -306,8 +339,6 @@ void SfuActor::ForwardPair(int origin, std::uint32_t frame_index,
                               ->capture_interval_ms();
   const double pairs_per_interval =
       interval > 0.0 ? options_.allocation_interval_ms / interval : 0.0;
-  constexpr double kEmaAlpha = 0.2;
-  constexpr double kKeyframeSeedScale = 0.25;  // keyframes dwarf P-pairs
   for (int q = 0; q < layers_; ++q) {
     const PendingPair& layer = ladder.layers[static_cast<std::size_t>(q)];
     if (!layer.Complete()) continue;
@@ -332,8 +363,50 @@ void SfuActor::ForwardPair(int origin, std::uint32_t frame_index,
   const core::SenderFrameStats* stats =
       participants_[static_cast<std::size_t>(origin)]->StatsFor(frame_index);
 
+  FanOutLadder(origin, frame_index, ladder.layers, candidates, ref, key_pair,
+               stats, now_ms);
+
+  if (relay_ == nullptr) return;
+  // Offer the phase-matching complete layers to the cascade; the relay
+  // allocator decides which prefix (if any) crosses the pipe. Payload
+  // buffers are shared, not copied.
+  RelayLadder msg;
+  msg.origin = origin;
+  msg.frame_index = frame_index;
+  msg.key_pair = key_pair;
+  msg.capture_interval_ms = interval;
+  if (stats != nullptr) {
+    msg.has_stats = true;
+    msg.stats = *stats;
+  }
+  msg.layers.resize(static_cast<std::size_t>(layers_));
+  for (int q = 0; q < layers_; ++q) {
+    if (!candidates[static_cast<std::size_t>(q)].valid) continue;
+    const PendingPair& layer = ladder.layers[static_cast<std::size_t>(q)];
+    RelayLadder::Layer& out = msg.layers[static_cast<std::size_t>(q)];
+    out.color = layer.color;
+    out.depth = layer.depth;
+    out.color_keyframe = layer.color_keyframe;
+    out.depth_keyframe = layer.depth_keyframe;
+  }
+  relay_->OfferLadder(msg, now_ms);
+}
+
+void SfuActor::FanOutLadder(int origin, std::uint32_t frame_index,
+                            const std::vector<PendingPair>& layers,
+                            const std::vector<LayerPairBytes>& candidates,
+                            int ref, bool key_pair,
+                            const core::SenderFrameStats* stats,
+                            double now_ms) {
+  obs::FrameLedger& ledger = obs::FrameLedger::Get();
+  const bool ledger_on = ledger.enabled();
+  const auto frame = static_cast<std::int32_t>(frame_index);
+  const PendingPair& top = layers[static_cast<std::size_t>(ref)];
+  const std::uint64_t pair_bytes = top.color->size() + top.depth->size();
+
   for (int s = 0; s < parties_; ++s) {
     if (s == origin) continue;
+    if (!IsLocal(s)) continue;  // fanned out by the subscriber's own edge
     const int slot = SlotAt(s, origin);
     ParticipantActor* sub = participants_[static_cast<std::size_t>(s)];
     if (stats != nullptr && stats->rmse_depth >= 0.0) {
@@ -407,7 +480,7 @@ void SfuActor::ForwardPair(int origin, std::uint32_t frame_index,
       continue;
     }
 
-    const PendingPair& sent = ladder.layers[static_cast<std::size_t>(chosen)];
+    const PendingPair& sent = layers[static_cast<std::size_t>(chosen)];
     const std::size_t sent_bytes = sent.color->size() + sent.depth->size();
     sub->downlink().SendFrame(DownlinkStream(slot, chosen, false), frame_index,
                               sent.color_keyframe, sent.color, now_ms);
@@ -437,8 +510,73 @@ void SfuActor::ForwardPair(int origin, std::uint32_t frame_index,
   }
 }
 
+void SfuActor::OnRelayLadder(const RelayLadder& msg, double now_ms) {
+  // Bring links and allocation intervals up to the delivery instant so the
+  // gate loop sees the same fresh state the local uplink-sink path does
+  // (there the sink fires inside OnNetworkActivity's uplink Step).
+  OnNetworkActivity(now_ms);
+  obs::FrameLedger& ledger = obs::FrameLedger::Get();
+  const auto frame = static_cast<std::int32_t>(msg.frame_index);
+  std::vector<PendingPair> layers(static_cast<std::size_t>(layers_));
+  std::vector<LayerPairBytes> candidates(static_cast<std::size_t>(layers_));
+  auto& ema = pair_bytes_ema_[static_cast<std::size_t>(msg.origin)];
+  const double pairs_per_interval =
+      msg.capture_interval_ms > 0.0
+          ? options_.allocation_interval_ms / msg.capture_interval_ms
+          : 0.0;
+  int ref = -1;
+  const int in_layers =
+      std::min(layers_, static_cast<int>(msg.layers.size()));
+  for (int q = 0; q < in_layers; ++q) {
+    const RelayLadder::Layer& in = msg.layers[static_cast<std::size_t>(q)];
+    // Layers the origin edge withheld (phase mismatch / uplink loss) or
+    // the relay allocator trimmed off the admitted prefix.
+    if (!in.Valid()) continue;
+    PendingPair& pair = layers[static_cast<std::size_t>(q)];
+    pair.color = in.color;
+    pair.depth = in.depth;
+    pair.color_keyframe = in.color_keyframe;
+    pair.depth_keyframe = in.depth_keyframe;
+    ref = std::max(ref, q);
+    LayerPairBytes& c = candidates[static_cast<std::size_t>(q)];
+    c.color_bytes = in.color->size();
+    c.depth_bytes = in.depth->size();
+    c.valid = true;
+    // Same sustained-price EMA as the local path, keyed to the capture
+    // interval the origin shipped with the ladder.
+    const auto bytes = static_cast<double>(c.color_bytes + c.depth_bytes);
+    double& avg = ema[static_cast<std::size_t>(q)];
+    if (msg.key_pair) {
+      if (avg <= 0.0) avg = kKeyframeSeedScale * bytes;
+    } else {
+      avg = avg <= 0.0 ? bytes : (1.0 - kEmaAlpha) * avg + kEmaAlpha * bytes;
+    }
+    c.sustained_interval_bytes = avg * pairs_per_interval;
+    if (ledger.enabled()) {
+      ledger.Record(msg.origin, frame, -2 - region_,
+                    obs::LedgerHop::kRelayIngested, now_ms,
+                    c.color_bytes + c.depth_bytes, msg.key_pair, q);
+    }
+  }
+  if (ref < 0) return;
+  FanOutLadder(msg.origin, msg.frame_index, layers, candidates, ref,
+               msg.key_pair, msg.has_stats ? &msg.stats : nullptr, now_ms);
+  // The fan-out's sends need the downlink pump: in the local path they
+  // ride the downlink Step of the same OnNetworkActivity that stepped the
+  // uplinks; here the ingest happened after it.
+  for (ParticipantActor* p : participants_) {
+    if (p != nullptr) p->downlink().Step(now_ms);
+  }
+  ScheduleNext(now_ms);
+}
+
+void SfuActor::OnRemoteKeyframeRequest(int origin, double now_ms) {
+  RequestOriginKeyframe(origin, now_ms);
+}
+
 void SfuActor::RelayKeyframeRequests(double now_ms) {
   for (int p = 0; p < parties_; ++p) {
+    if (!IsLocal(p)) continue;
     ParticipantActor* participant = participants_[static_cast<std::size_t>(p)];
     // The SFU is the receiver of p's uplink: its own reassembly raises
     // PLI when the uplink loses frames on any ladder layer's streams. A
@@ -477,6 +615,12 @@ void SfuActor::RequestOriginKeyframe(int origin, double now_ms) {
   double& last = last_key_relay_ms_[static_cast<std::size_t>(origin)];
   if (now_ms - last < options_.keyframe_relay_throttle_ms) return;
   last = now_ms;
+  if (!IsLocal(origin)) {
+    // The PLI crosses the cascade; the origin's own edge counts the relay
+    // when it lands there (keyframe_relays stays a per-origin-edge stat).
+    if (relay_ != nullptr) relay_->RequestRemoteKeyframe(origin, now_ms);
+    return;
+  }
   ++stats_.keyframe_relays;
   Metrics().keyframe_relays.Add();
   participants_[static_cast<std::size_t>(origin)]->RelayKeyframeRequest();
@@ -486,7 +630,7 @@ double SfuActor::OriginBudgetBps(int origin) const {
   double best = 0.0;
   bool any = false;
   for (int s = 0; s < parties_; ++s) {
-    if (s == origin) continue;
+    if (s == origin || !IsLocal(s)) continue;
     if (!allocator_.Initialized(s)) continue;
     any = true;
     const double share = allocator_.ShareOf(s, SlotAt(s, origin));
@@ -496,17 +640,35 @@ double SfuActor::OriginBudgetBps(int origin) const {
                 .TargetBitrateBps() *
             share);
   }
+  if (relay_ != nullptr && IsLocal(origin)) {
+    // Remote subscribers are represented by the relay-pipe grant (negative
+    // until the relay's first allocation interval).
+    const double relay_bps = relay_->RelayBudgetBps(origin);
+    if (relay_bps >= 0.0) {
+      any = true;
+      best = std::max(best, relay_bps);
+    }
+  }
   return any ? best : std::numeric_limits<double>::infinity();
 }
 
 double SfuActor::MaxSubscriberDownlinkRttMs(int origin) const {
   double worst = 0.0;
   for (int s = 0; s < parties_; ++s) {
-    if (s == origin) continue;
+    if (s == origin || !IsLocal(s)) continue;
     worst = std::max(
         worst,
         participants_[static_cast<std::size_t>(s)]->downlink()
             .SmoothedRttMs());
+  }
+  if (relay_ != nullptr) {
+    for (int s = 0; s < parties_; ++s) {
+      if (s == origin || IsLocal(s)) continue;
+      // A remote subscriber's own downlink RTT is invisible here; the
+      // cascade's four relay hops dominate it anyway.
+      worst = std::max(worst, cascade_rtt_ms_);
+      break;
+    }
   }
   return worst;
 }
@@ -514,6 +676,7 @@ double SfuActor::MaxSubscriberDownlinkRttMs(int origin) const {
 void SfuActor::ScheduleNext(double now_ms) {
   double next = next_alloc_ms_;
   for (ParticipantActor* p : participants_) {
+    if (p == nullptr) continue;
     next = std::min(next, p->uplink().NextEventTimeMs());
     next = std::min(next, p->downlink().NextEventTimeMs());
   }
@@ -524,6 +687,7 @@ void SfuActor::ScheduleNext(double now_ms) {
     next = std::min(next, shared_downlink_->NextEventTimeMs());
   }
   for (int s = 0; s < parties_; ++s) {
+    if (!IsLocal(s)) continue;
     const auto& poses =
         participants_[static_cast<std::size_t>(s)]->user_trace().poses;
     const auto idx = pose_feed_idx_[static_cast<std::size_t>(s)];

@@ -71,6 +71,56 @@ struct SfuStats {
   std::size_t layer_switches_down = 0;  // keyframe downgrades
 };
 
+// One simulcast ladder crossing the cascade (edge -> root -> edge). The
+// payload shared_ptrs alias the origin edge's buffers — immutable by
+// contract, and shared_ptr control blocks are thread-safe, so the copy is
+// cheap and race-free across loop shards. Everything the destination edge
+// needs that would otherwise require touching the (remote) origin
+// participant travels inline: the encode-probe RMSEs and the capture
+// interval the sustained-price EMA is keyed to.
+struct RelayLadder {
+  struct Layer {
+    std::shared_ptr<const std::vector<std::uint8_t>> color;
+    std::shared_ptr<const std::vector<std::uint8_t>> depth;
+    bool color_keyframe = false;
+    bool depth_keyframe = false;
+    bool Valid() const { return color != nullptr && depth != nullptr; }
+  };
+  int origin = 0;
+  std::uint32_t frame_index = 0;
+  bool key_pair = false;
+  double capture_interval_ms = 0.0;
+  bool has_stats = false;
+  core::SenderFrameStats stats;
+  // Indexed by ladder layer q; entries above the admitted relay prefix
+  // (or layers that died on the origin uplink) are invalid.
+  std::vector<Layer> layers;
+};
+
+// What an edge SFU asks of the cascade (implemented by cascade.h's
+// EdgeRelay). All calls happen on the edge's own loop thread.
+class RelayPort {
+ public:
+  virtual ~RelayPort() = default;
+  // A local ladder completed; the relay decides which prefix (if any) to
+  // admit onto the edge->root pipe.
+  virtual void OfferLadder(const RelayLadder& ladder, double now_ms) = 0;
+  // A local subscriber needs a keyframe from a remote origin (PLI).
+  virtual void RequestRemoteKeyframe(int origin, double now_ms) = 0;
+  // Called once per allocation interval with this edge's demand for every
+  // origin (max visibility over local subscribers; the inter-SFU
+  // flow-control signal). Rolls the relay allocator's interval. `start_ms`
+  // is the interval boundary, `now_ms` the event actually driving it
+  // (catch-up intervals run late; sends must use `now_ms`).
+  virtual void OnAllocationInterval(double start_ms,
+                                    const std::vector<double>& demand,
+                                    double now_ms) = 0;
+  // Relay-pipe bandwidth currently granted to `origin`'s ladder, bits/s —
+  // the cascade's contribution to OriginBudgetBps. Negative before the
+  // relay's first allocation interval (treated as "no opinion yet").
+  virtual double RelayBudgetBps(int origin) const = 0;
+};
+
 class SfuActor {
  public:
   SfuActor(runtime::EventLoop& loop, const std::vector<ParticipantSpec>& specs,
@@ -81,15 +131,33 @@ class SfuActor {
 
   // Registration, in participant-index order; the SFU installs itself as
   // the uplink frame sink. Borrowed pointers; participants outlive the SFU
-  // inside RunConference.
+  // inside RunConference. In a cascade, pass nullptr for every participant
+  // whose region this edge does not serve — slot addressing stays
+  // roster-global and remote entries are simply skipped.
   void AddParticipant(ParticipantActor* participant);
   void SetSharedLinks(runtime::SharedLink* uplink,
                       runtime::SharedLink* downlink);
+
+  // Switches this SFU into edge mode for `region` of a cascade:
+  // completed local ladders are offered to `relay` after the local
+  // fan-out, PLIs for remote origins are routed through it, and
+  // OriginBudgetBps gains the relay-pipe grant. `relay` must outlive the
+  // actor. Call before Start().
+  void ConfigureCascade(RelayPort* relay, int region,
+                        const std::vector<int>& region_of);
 
   void Start();
 
   // The conference's network heartbeat; idempotent at a timestep.
   void OnNetworkActivity(double now_ms);
+
+  // A remote origin's ladder prefix arrived over the cascade (delivered on
+  // this edge's loop by the root's CrossLoopChannel): records the ingest,
+  // then runs the normal per-subscriber gate fan-out for local
+  // subscribers.
+  void OnRelayLadder(const RelayLadder& ladder, double now_ms);
+  // A PLI from a remote region reached this (origin-serving) edge.
+  void OnRemoteKeyframeRequest(int origin, double now_ms);
 
   // Largest per-subscriber allocation currently granted to `origin`'s
   // stream, in bits/s — the origin encodes at most this fast (encoding
@@ -130,6 +198,17 @@ class SfuActor {
                         const PendingLadder& ladder, double now_ms);
   void ForwardPair(int origin, std::uint32_t frame_index,
                    const PendingLadder& ladder, double now_ms);
+  // The per-subscriber gate loop shared by the local (ForwardPair) and
+  // relayed (OnRelayLadder) ingest paths. `ref` is the highest layer with
+  // both halves intact; `candidates` is the allocator price sheet.
+  void FanOutLadder(int origin, std::uint32_t frame_index,
+                    const std::vector<PendingPair>& layers,
+                    const std::vector<LayerPairBytes>& candidates, int ref,
+                    bool key_pair, const core::SenderFrameStats* stats,
+                    double now_ms);
+  bool IsLocal(int participant) const {
+    return participants_[static_cast<std::size_t>(participant)] != nullptr;
+  }
   void RunAllocations(double now_ms);
   void FeedPoses(double now_ms);
   void RelayKeyframeRequests(double now_ms);
@@ -176,6 +255,17 @@ class SfuActor {
   // then tracks P-pairs only. Virtual-time deterministic.
   std::vector<std::vector<double>> pair_bytes_ema_;
   std::vector<double> last_key_relay_ms_;        // by origin
+
+  // Cascade wiring (null/empty for a direct conference). region_of_ maps
+  // every roster slot to its region so gate loops can skip remote
+  // subscribers without touching their (absent) actors.
+  RelayPort* relay_ = nullptr;
+  int region_ = 0;
+  std::vector<int> region_of_;
+  // Extra RTT a remote subscriber adds over the cascade (two relay hops
+  // each way); folded into MaxSubscriberDownlinkRttMs when any subscriber
+  // of `origin` is remote.
+  double cascade_rtt_ms_ = 0.0;
 
   double next_alloc_ms_ = 0.0;
   double uplink_prop_ms_ = 0.0;

@@ -55,7 +55,21 @@ void WriteConferenceTelemetry(std::ostream& os, const ConferenceResult& result,
     first_layer = false;
     os << n;
   }
-  os << "]}\n";
+  os << "]";
+  if (result.regions > 1) {
+    // Cascade fields only on cascaded runs: direct-run telemetry stays
+    // byte-identical to pre-cascade writers.
+    os << ",\"regions\":" << result.regions
+       << ",\"relay_ladders_offered\":" << result.relay.ladders_offered
+       << ",\"relay_prefixes_admitted\":" << result.relay.prefixes_admitted
+       << ",\"relay_prefixes_dropped_budget\":"
+       << result.relay.prefixes_dropped_budget
+       << ",\"relay_layers_relayed\":" << result.relay.layers_relayed
+       << ",\"relay_bytes\":" << result.relay.relay_bytes
+       << ",\"relay_pli_relays\":" << result.relay.pli_relays
+       << ",\"relay_demand_reports\":" << result.relay.demand_reports;
+  }
+  os << "}\n";
 
   for (const ParticipantResult& p : result.participants) {
     for (const RemoteStreamResult& stream : p.streams) {

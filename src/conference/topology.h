@@ -127,6 +127,26 @@ struct ConferenceOptions {
   // rather than degrading everyone below usability.
   int max_parties = 16;
 
+  // ---- Cascaded edge SFUs (cascade.h, DESIGN.md §11) ----
+  // regions > 1 splits the roster into that many contiguous blocks, each
+  // served by its own edge SFU; edges exchange ladders through a root
+  // relay over rate-limited pipes (one per edge, each direction). Requires
+  // private link modes: a shared access bottleneck couples every
+  // participant at event fidelity and cannot be split across regions.
+  int regions = 1;
+  // Capacity of each edge<->root pipe in *scaled* Mbps (the same model
+  // units bandwidth_scale maps the access traces into).
+  double relay_rate_mbps = 20.0;
+  // One-way propagation of a relay hop; also the LoopGroup lookahead
+  // window, so it lower-bounds every cross-region delay.
+  double relay_hop_delay_ms = 30.0;
+
+  // Event-loop shards the run spreads its regions over. Results are
+  // bit-identical for any value (ConferenceCacheKey excludes it); only
+  // wall time changes. A direct (regions == 1) conference is one coupling
+  // domain and always runs on a single loop regardless.
+  int shards = 1;
+
   SeatLayout seats;
   std::string scheme_name = "LiVo-SFU";
 
@@ -139,6 +159,14 @@ inline int EffectiveLadderLayers(const ConferenceOptions& options,
                                  int parties) {
   if (parties <= 2 || options.ladder_layers <= 1) return 1;
   return options.ladder_layers;
+}
+
+// Region of `participant` in a cascaded conference: `regions` contiguous
+// blocks whose sizes differ by at most one.
+inline int RegionOf(int participant, int parties, int regions) {
+  if (regions <= 1) return 0;
+  return static_cast<int>(
+      (static_cast<long long>(participant) * regions) / parties);
 }
 
 }  // namespace livo::conference

@@ -21,6 +21,9 @@ const char* LedgerHopName(LedgerHop hop) {
     case LedgerHop::kDisplayed: return "displayed";
     case LedgerHop::kStalled: return "stalled";
     case LedgerHop::kDroppedLayerIncomplete: return "dropped_layer_incomplete";
+    case LedgerHop::kRelayForwarded: return "relay_forwarded";
+    case LedgerHop::kRelayIngested: return "relay_ingested";
+    case LedgerHop::kRelayDropped: return "relay_dropped";
   }
   return "?";
 }

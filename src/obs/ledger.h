@@ -46,6 +46,14 @@ enum class LedgerHop : std::uint8_t {
   // per-subscriber: the stream's current simulcast layer lost a half on
   // the uplink, and a P-pair cannot switch layers mid-GOP
   kDroppedLayerIncomplete = 13,
+  // Cascaded-SFU relay hops (conference/cascade.h). The subscriber field
+  // encodes the relay scope: -1 for the edge→root stage, -2 - dest_region
+  // for the root→edge stage (kRelayIngested always carries the receiving
+  // region). One record per ladder layer crossing the hop, except the
+  // whole-ladder kRelayDropped (layer = -1 when the drop is layer-blind).
+  kRelayForwarded = 14,  // prefix layer admitted onto a relay pipe
+  kRelayIngested = 15,   // prefix layer arrived at a destination edge
+  kRelayDropped = 16,    // relay allocator refused the ladder
 };
 
 // Stable JSONL name ("captured", "dropped_budget", ...).

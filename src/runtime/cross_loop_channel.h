@@ -1,0 +1,67 @@
+// Deterministic cross-loop message channel (livo::runtime).
+//
+// A CrossLoopChannel is the only legal way for actors in different
+// LoopGroup domains to interact. A message is a closure delivered on the
+// target domain's loop at `now + delay` virtual ms, with delay bounded
+// below by the channel's min_delay_ms — the lookahead that lets the group
+// run its loops in parallel windows (loop_group.h) without ever
+// delivering into a peer's already-dispatched past.
+//
+// Ordering contract (the reason fingerprints stay bit-identical for any
+// shard count): messages are sequenced by the stable key
+//
+//     (deliver_ms, channel id, per-channel send sequence)
+//
+// where the channel id is assigned at CreateChannel time in construction
+// order. Construction order is a property of the workload wiring, not of
+// the shard count, so two same-timestamp messages from different source
+// domains drain in the same relative order whether those domains share a
+// loop or not. The *physical* loop index is deliberately not part of the
+// key — it changes with the shard count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace livo::runtime {
+
+class LoopGroup;
+
+class CrossLoopChannel {
+ public:
+  using Message = std::function<void(double now_ms)>;
+
+  CrossLoopChannel(const CrossLoopChannel&) = delete;
+  CrossLoopChannel& operator=(const CrossLoopChannel&) = delete;
+
+  // Enqueues `fn` for the target domain at virtual time now_ms + delay_ms.
+  // Throws std::invalid_argument if delay_ms < min_delay_ms(). Must be
+  // called from the source domain (its owning loop's thread while the
+  // group runs, or from the wiring thread before LoopGroup::Run starts).
+  void Send(double now_ms, double delay_ms, Message fn);
+
+  int id() const { return id_; }
+  int source_domain() const { return source_domain_; }
+  int target_domain() const { return target_domain_; }
+  double min_delay_ms() const { return min_delay_ms_; }
+  std::uint64_t messages_sent() const { return next_seq_; }
+
+ private:
+  friend class LoopGroup;
+  CrossLoopChannel(LoopGroup& group, int id, int source_domain,
+                   int target_domain, double min_delay_ms)
+      : group_(group),
+        id_(id),
+        source_domain_(source_domain),
+        target_domain_(target_domain),
+        min_delay_ms_(min_delay_ms) {}
+
+  LoopGroup& group_;
+  const int id_;
+  const int source_domain_;
+  const int target_domain_;
+  const double min_delay_ms_;
+  std::uint64_t next_seq_ = 0;  // touched only by the source domain
+};
+
+}  // namespace livo::runtime

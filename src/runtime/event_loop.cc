@@ -71,12 +71,24 @@ bool EventLoop::DispatchOne() {
     RuntimeMetrics& metrics = Metrics();
     metrics.events_dispatched.Add();
     metrics.queue_depth.Set(static_cast<double>(QueueDepth()));
+    if (shard_events_dispatched_ != nullptr) {
+      shard_events_dispatched_->Add();
+      shard_queue_depth_->Set(static_cast<double>(QueueDepth()));
+    }
     if (obs::TimeSeriesEnabled()) {
       metrics.queue_depth_series.Sample(now_ms_,
                                         static_cast<double>(QueueDepth()));
       if (last_dispatch_ms_ >= 0.0) {
         metrics.wake_latency_series.Sample(now_ms_,
                                            now_ms_ - last_dispatch_ms_);
+      }
+      if (shard_queue_depth_series_ != nullptr) {
+        shard_queue_depth_series_->Sample(now_ms_,
+                                          static_cast<double>(QueueDepth()));
+        if (last_dispatch_ms_ >= 0.0) {
+          shard_wake_latency_series_->Sample(now_ms_,
+                                             now_ms_ - last_dispatch_ms_);
+        }
       }
     }
     last_dispatch_ms_ = now_ms_;
@@ -93,6 +105,24 @@ void EventLoop::Run() {
   while (DispatchOne()) {
   }
   obs::ClearVirtualNow();
+}
+
+void EventLoop::RunUntilExclusive(double end_ms) {
+  while (NextEventTimeMs() < end_ms) DispatchOne();
+}
+
+double EventLoop::NextEventTimeMs() {
+  while (!heap_.empty() && cancelled_.erase(heap_.top().id) > 0) heap_.pop();
+  return heap_.empty() ? kNeverMs : heap_.top().time_ms;
+}
+
+void EventLoop::SetObsIndex(int index) {
+  obs::Registry& reg = obs::Registry::Get();
+  const std::string prefix = "runtime.loop." + std::to_string(index) + ".";
+  shard_events_dispatched_ = &reg.GetCounter(prefix + "events_dispatched");
+  shard_queue_depth_ = &reg.GetGauge(prefix + "queue_depth");
+  shard_queue_depth_series_ = &reg.GetTimeSeries(prefix + "queue_depth");
+  shard_wake_latency_series_ = &reg.GetTimeSeries(prefix + "wake_latency_ms");
 }
 
 void EventLoop::RunUntil(double deadline_ms) {

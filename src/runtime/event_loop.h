@@ -26,6 +26,12 @@
 
 #include "util/clock.h"
 
+namespace livo::obs {
+class Counter;
+class Gauge;
+class TimeSeries;
+}  // namespace livo::obs
+
 namespace livo::runtime {
 
 class EventLoop {
@@ -55,8 +61,29 @@ class EventLoop {
   // Advances the clock to deadline_ms even if the queue drains early.
   void RunUntil(double deadline_ms);
 
+  // Dispatches events with time strictly < end_ms and stops. Unlike
+  // RunUntil the clock is NOT advanced past the last dispatched event and
+  // the shared virtual-now is left armed — this is the window primitive
+  // LoopGroup drives: the group alternates RunUntilExclusive with
+  // cross-loop inbox drains and clears the virtual clock once at the end.
+  void RunUntilExclusive(double end_ms);
+
+  // Virtual time of the earliest live (non-cancelled) event, or kNeverMs
+  // when the queue is empty. Compacts cancelled heap heads as a side
+  // effect, which is why it is non-const.
+  double NextEventTimeMs();
+
   double NowMs() const { return now_ms_; }
   const util::Clock& clock() const { return clock_; }
+
+  // Virtual time of the most recent dispatch (-1 before the first one).
+  double last_dispatch_ms() const { return last_dispatch_ms_; }
+
+  // Labels this loop as shard `index` of a LoopGroup: dispatches are
+  // additionally recorded under runtime.loop.<index>.* (counter, queue
+  // gauge, queue-depth/wake-latency series) so per-shard load and skew
+  // stay visible next to the process-wide runtime.* instruments.
+  void SetObsIndex(int index);
 
   std::size_t QueueDepth() const { return heap_.size() - cancelled_.size(); }
   std::uint64_t events_dispatched() const { return events_dispatched_; }
@@ -98,6 +125,11 @@ class EventLoop {
   std::unordered_set<EventId> cancelled_;
   std::uint64_t events_dispatched_ = 0;
   std::uint64_t events_scheduled_ = 0;
+  // Per-shard instruments (null until SetObsIndex; registry-owned).
+  obs::Counter* shard_events_dispatched_ = nullptr;
+  obs::Gauge* shard_queue_depth_ = nullptr;
+  obs::TimeSeries* shard_queue_depth_series_ = nullptr;
+  obs::TimeSeries* shard_wake_latency_series_ = nullptr;
   LoopClock clock_;
 };
 

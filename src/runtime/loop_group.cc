@@ -1,0 +1,222 @@
+#include "runtime/loop_group.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace livo::runtime {
+
+void CrossLoopChannel::Send(double now_ms, double delay_ms, Message fn) {
+  if (delay_ms < min_delay_ms_) {
+    throw std::invalid_argument(
+        "CrossLoopChannel::Send: delay " + std::to_string(delay_ms) +
+        " ms below the channel's lookahead of " +
+        std::to_string(min_delay_ms_) + " ms");
+  }
+  group_.Enqueue(*this, next_seq_++, now_ms + delay_ms, std::move(fn));
+}
+
+LoopGroup::LoopGroup(int shards, double window_ms)
+    : shards_(std::max(1, shards)), window_ms_(window_ms) {
+  if (!(window_ms > 0.0)) {
+    throw std::invalid_argument("LoopGroup: window_ms must be positive");
+  }
+  loops_.reserve(static_cast<std::size_t>(shards_));
+  inboxes_.reserve(static_cast<std::size_t>(shards_));
+  for (int i = 0; i < shards_; ++i) {
+    loops_.push_back(std::make_unique<EventLoop>());
+    loops_.back()->SetObsIndex(i);
+    inboxes_.push_back(std::make_unique<Inbox>());
+  }
+}
+
+LoopGroup::~LoopGroup() {
+  if (!workers_.empty()) {  // Run() threw or was never reached
+    RunPhase(Phase::kStop, 0.0);
+    for (std::thread& worker : workers_) worker.join();
+  }
+}
+
+EventLoop& LoopGroup::loop(int domain) {
+  if (domain < 0) throw std::invalid_argument("LoopGroup::loop: domain < 0");
+  return *loops_[static_cast<std::size_t>(LoopIndexOf(domain))];
+}
+
+CrossLoopChannel* LoopGroup::CreateChannel(int source_domain,
+                                           int target_domain,
+                                           double min_delay_ms) {
+  if (source_domain < 0 || target_domain < 0) {
+    throw std::invalid_argument("LoopGroup::CreateChannel: negative domain");
+  }
+  if (min_delay_ms < window_ms_) {
+    throw std::invalid_argument(
+        "LoopGroup::CreateChannel: min_delay " + std::to_string(min_delay_ms) +
+        " ms below the group window of " + std::to_string(window_ms_) +
+        " ms breaks the conservative lookahead");
+  }
+  channels_.push_back(std::unique_ptr<CrossLoopChannel>(new CrossLoopChannel(
+      *this, static_cast<int>(channels_.size()), source_domain, target_domain,
+      min_delay_ms)));
+  return channels_.back().get();
+}
+
+void LoopGroup::Enqueue(const CrossLoopChannel& channel, std::uint64_t seq,
+                        double deliver_ms, CrossLoopChannel::Message fn) {
+  Inbox& inbox = *inboxes_[static_cast<std::size_t>(
+      LoopIndexOf(channel.target_domain()))];
+  const std::lock_guard<std::mutex> lock(inbox.mu);
+  inbox.messages.push_back(
+      PendingMessage{deliver_ms, channel.id(), seq, std::move(fn)});
+}
+
+void LoopGroup::DrainInbox(int loop_index) {
+  Inbox& inbox = *inboxes_[static_cast<std::size_t>(loop_index)];
+  std::vector<PendingMessage> messages;
+  {
+    const std::lock_guard<std::mutex> lock(inbox.mu);
+    messages.swap(inbox.messages);
+  }
+  // Stable key (time, channel, sequence): see cross_loop_channel.h. The
+  // loop's FIFO tie-break (monotone event ids) preserves this order among
+  // same-timestamp deliveries.
+  std::sort(messages.begin(), messages.end(),
+            [](const PendingMessage& a, const PendingMessage& b) {
+              if (a.deliver_ms != b.deliver_ms) {
+                return a.deliver_ms < b.deliver_ms;
+              }
+              if (a.channel_id != b.channel_id) {
+                return a.channel_id < b.channel_id;
+              }
+              return a.seq < b.seq;
+            });
+  EventLoop& loop = *loops_[static_cast<std::size_t>(loop_index)];
+  for (PendingMessage& message : messages) {
+    loop.ScheduleAt(message.deliver_ms, std::move(message.fn));
+  }
+}
+
+void LoopGroup::WorkerBody(int loop_index) {
+  std::uint64_t seen = 0;
+  while (true) {
+    Phase phase;
+    double window_end;
+    {
+      std::unique_lock<std::mutex> lock(control_mu_);
+      phase_cv_.wait(lock, [&] { return generation_ != seen; });
+      seen = generation_;
+      phase = phase_;
+      window_end = window_end_;
+    }
+    if (phase == Phase::kStop) return;
+    DoPhase(loop_index, phase, window_end);
+    {
+      const std::lock_guard<std::mutex> lock(control_mu_);
+      if (++done_count_ == shards_ - 1) done_cv_.notify_all();
+    }
+  }
+}
+
+void LoopGroup::DoPhase(int loop_index, Phase phase, double window_end) {
+  EventLoop& loop = *loops_[static_cast<std::size_t>(loop_index)];
+  switch (phase) {
+    case Phase::kDispatch:
+      loop.RunUntilExclusive(window_end);
+      break;
+    case Phase::kDrain:
+      DrainInbox(loop_index);
+      break;
+    case Phase::kRunAll:
+      loop.Run();
+      break;
+    case Phase::kIdle:
+    case Phase::kStop:
+      break;
+  }
+}
+
+void LoopGroup::RunPhase(Phase phase, double window_end) {
+  if (shards_ > 1) {
+    const std::lock_guard<std::mutex> lock(control_mu_);
+    ++generation_;
+    phase_ = phase;
+    window_end_ = window_end;
+    done_count_ = 0;
+    phase_cv_.notify_all();
+  }
+  if (phase != Phase::kStop) DoPhase(0, phase, window_end);
+  if (shards_ > 1) {
+    std::unique_lock<std::mutex> lock(control_mu_);
+    if (phase != Phase::kStop) {
+      done_cv_.wait(lock, [&] { return done_count_ == shards_ - 1; });
+    }
+  }
+}
+
+double LoopGroup::GlobalNextEventMs() {
+  // Safe from the leader: every worker is parked between phases (the
+  // barrier's mutex orders their final heap mutations before these reads).
+  double next = kNeverMs;
+  for (auto& loop : loops_) next = std::min(next, loop->NextEventTimeMs());
+  return next;
+}
+
+void LoopGroup::Run() {
+  if (shards_ > 1) {
+    workers_.reserve(static_cast<std::size_t>(shards_ - 1));
+    for (int i = 1; i < shards_; ++i) {
+      workers_.emplace_back([this, i] { WorkerBody(i); });
+    }
+  }
+
+  if (channels_.empty()) {
+    // No cross-domain coupling: every loop runs to completion
+    // independently; the barrier machinery would only add idle waits.
+    RunPhase(Phase::kRunAll, 0.0);
+  } else {
+    // Sends issued during wiring (before Run) sit in the inboxes already.
+    RunPhase(Phase::kDrain, 0.0);
+    while (true) {
+      const double next = GlobalNextEventMs();
+      if (next == kNeverMs) break;
+      // Absolute window grid; skip straight to the window holding the
+      // globally earliest event.
+      const double window_end =
+          (std::floor(next / window_ms_) + 1.0) * window_ms_;
+      RunPhase(Phase::kDispatch, window_end);
+      RunPhase(Phase::kDrain, 0.0);
+    }
+  }
+
+  if (shards_ > 1) {
+    RunPhase(Phase::kStop, 0.0);
+    for (std::thread& worker : workers_) worker.join();
+    workers_.clear();
+  }
+  obs::ClearVirtualNow();
+}
+
+std::uint64_t LoopGroup::events_dispatched() const {
+  std::uint64_t total = 0;
+  for (const auto& loop : loops_) total += loop->events_dispatched();
+  return total;
+}
+
+std::uint64_t LoopGroup::events_scheduled() const {
+  std::uint64_t total = 0;
+  for (const auto& loop : loops_) total += loop->events_scheduled();
+  return total;
+}
+
+double LoopGroup::MaxDispatchMs() const {
+  double worst = 0.0;
+  for (const auto& loop : loops_) {
+    worst = std::max(worst, loop->last_dispatch_ms());
+  }
+  return worst;
+}
+
+}  // namespace livo::runtime

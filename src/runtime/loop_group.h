@@ -1,0 +1,132 @@
+// Sharded multi-loop runtime (livo::runtime).
+//
+// A LoopGroup runs M EventLoops on M threads. Work is partitioned into
+// *domains* — groups of actors that may interact at event fidelity (share
+// links, call each other synchronously). Domain d lives entirely on loop
+// d % M; actors in different domains may interact only through
+// CrossLoopChannel messages (cross_loop_channel.h), whose min_delay_ms
+// must be >= the group's window_ms.
+//
+// Execution is conservative parallel discrete-event simulation: all loops
+// advance through the same absolute window grid [k*W, (k+1)*W). Within a
+// window each loop dispatches its own events concurrently
+// (RunUntilExclusive); a barrier follows; then each loop drains its
+// cross-loop inbox, scheduling every message as a normal event at its
+// deliver time. Because every message carries delay >= W, a message sent
+// inside window k delivers at or after window k+1's start — no loop ever
+// receives work for virtual time it already passed. Between windows the
+// leader skips the grid ahead to the window containing the globally
+// earliest pending event, so sparse timelines cost no idle barriers.
+//
+// Determinism contract (what makes fingerprints bit-identical for any M,
+// including M == 1):
+//   * identical mechanics at every shard count — messages always go
+//     through the inbox and drain at window boundaries, even when source
+//     and target share a loop, so per-loop event counts sum identically;
+//   * inboxes drain sorted by (deliver_ms, channel id, sequence) — a
+//     stable key independent of physical loop placement (see
+//     cross_loop_channel.h);
+//   * the window grid is absolute and derived from the global event
+//     horizon, which evolves identically for any M;
+//   * same-timestamp events of *different* domains that share a loop may
+//     dispatch in either relative order across shard counts, which is
+//     unobservable precisely because domains share no state.
+//
+// A group with no channels degenerates to M independent loops run to
+// completion in parallel with no barriers at all.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/cross_loop_channel.h"
+#include "runtime/event_loop.h"
+
+namespace livo::runtime {
+
+class LoopGroup {
+ public:
+  static constexpr double kDefaultWindowMs = 30.0;
+
+  // `shards` loops/threads (clamped to >= 1); `window_ms` is the
+  // synchronization window and the lower bound CreateChannel enforces on
+  // channel min delays.
+  explicit LoopGroup(int shards, double window_ms = kDefaultWindowMs);
+  ~LoopGroup();
+
+  LoopGroup(const LoopGroup&) = delete;
+  LoopGroup& operator=(const LoopGroup&) = delete;
+
+  int shards() const { return shards_; }
+  double window_ms() const { return window_ms_; }
+
+  // The loop owning `domain` (domain % shards). Actors of one domain must
+  // all be built against this one loop.
+  EventLoop& loop(int domain);
+  int LoopIndexOf(int domain) const { return domain % shards_; }
+
+  // Creates a channel from source_domain to target_domain. Channel ids are
+  // assigned in creation order — call in a workload-determined order (not
+  // a shard-count-dependent one). min_delay_ms must be >= window_ms.
+  // The returned channel is owned by the group.
+  CrossLoopChannel* CreateChannel(int source_domain, int target_domain,
+                                  double min_delay_ms);
+
+  // Runs every loop to global quiescence (all queues and inboxes empty).
+  // Returns with all worker threads joined.
+  void Run();
+
+  // Aggregates over all loops (valid after Run).
+  std::uint64_t events_dispatched() const;
+  std::uint64_t events_scheduled() const;
+  // Virtual time of the globally last dispatched event (0 if none ran).
+  double MaxDispatchMs() const;
+
+ private:
+  friend class CrossLoopChannel;
+
+  struct PendingMessage {
+    double deliver_ms = 0.0;
+    int channel_id = 0;
+    std::uint64_t seq = 0;
+    CrossLoopChannel::Message fn;
+  };
+  struct Inbox {
+    std::mutex mu;
+    std::vector<PendingMessage> messages;
+  };
+  enum class Phase { kIdle, kDispatch, kDrain, kRunAll, kStop };
+
+  // Called by CrossLoopChannel::Send.
+  void Enqueue(const CrossLoopChannel& channel, std::uint64_t seq,
+               double deliver_ms, CrossLoopChannel::Message fn);
+
+  void WorkerBody(int loop_index);
+  // Leader-side: broadcast a phase, execute the leader's own slice, wait
+  // for the workers.
+  void RunPhase(Phase phase, double window_end);
+  void DoPhase(int loop_index, Phase phase, double window_end);
+  void DrainInbox(int loop_index);
+  double GlobalNextEventMs();
+
+  const int shards_;
+  const double window_ms_;
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  std::vector<std::unique_ptr<Inbox>> inboxes_;
+  std::vector<std::unique_ptr<CrossLoopChannel>> channels_;
+  std::vector<std::thread> workers_;
+
+  std::mutex control_mu_;
+  std::condition_variable phase_cv_;  // leader -> workers
+  std::condition_variable done_cv_;   // workers -> leader
+  std::uint64_t generation_ = 0;
+  Phase phase_ = Phase::kIdle;
+  double window_end_ = 0.0;
+  int done_count_ = 0;
+};
+
+}  // namespace livo::runtime

@@ -782,6 +782,215 @@ TEST_F(ConferenceLedgerTest, ForwardedLayerChangesOnlyAtKeyframes) {
             result.sfu.layer_switches_up + result.sfu.layer_switches_down);
 }
 
+// ---- Cascaded edge SFUs (DESIGN.md §11) ----
+
+ConferenceOptions CascadeOptions(int regions, int shards = 1) {
+  ConferenceOptions options = SmallConferenceOptions();
+  options.regions = regions;
+  options.shards = shards;
+  return options;
+}
+
+// 8 parties in 2 regions of 4, chained through the root relay. Shared by
+// the cascade tests the same way FourPartyResult() is by the direct ones.
+const ConferenceResult& CascadedEightPartyResult() {
+  static const ConferenceResult result =
+      RunConference(SmallRoster(8, 6), CascadeOptions(2));
+  return result;
+}
+
+TEST(ConferenceCascade, TwoRegionCallDeliversCrossRegionStreams) {
+  const ConferenceResult& result = CascadedEightPartyResult();
+  EXPECT_EQ(result.regions, 2);
+  EXPECT_EQ(result.shards, 1);
+  ASSERT_EQ(result.participants.size(), 8u);
+  EXPECT_GT(result.sfu.frames_in, 0u);
+  EXPECT_FALSE(result.audits.empty());
+
+  // The relay actually carried traffic and flow control both ways.
+  EXPECT_GT(result.relay.ladders_offered, 0u);
+  EXPECT_GT(result.relay.prefixes_admitted, 0u);
+  EXPECT_GT(result.relay.layers_relayed, 0u);
+  EXPECT_GT(result.relay.relay_bytes, 0u);
+  EXPECT_GT(result.relay.demand_reports, 0u);
+
+  // Every subscriber watches all 7 remotes; streams from the *other*
+  // region must flow end to end (edge -> root -> edge -> subscriber).
+  std::size_t cross_region_rendered = 0;
+  for (const ParticipantResult& p : result.participants) {
+    const int region = RegionOf(p.index, 8, 2);
+    ASSERT_EQ(p.streams.size(), 7u);
+    for (const RemoteStreamResult& s : p.streams) {
+      SCOPED_TRACE("subscriber " + std::to_string(p.index) + " origin " +
+                   std::to_string(s.origin));
+      EXPECT_GT(s.pairs_forwarded, 0u);
+      if (RegionOf(s.origin, 8, 2) != region) {
+        cross_region_rendered += s.pairs_rendered;
+      }
+    }
+  }
+  EXPECT_GT(cross_region_rendered, 0u);
+}
+
+// Acceptance criterion of the sharded runtime: a cascaded conference's
+// fingerprint is bit-identical whether its 3 domains (2 edges + root)
+// run on 1, 2, or 3 loops, across reruns, and across codec thread
+// counts. ConferenceCacheKey ignores both results-invariant knobs.
+TEST(ConferenceCascade, FingerprintInvariantAcrossShardsAndReruns) {
+  const std::uint64_t fingerprint = CascadedEightPartyResult().Fingerprint();
+  for (int shards : {2, 3}) {
+    SCOPED_TRACE("shards " + std::to_string(shards));
+    const ConferenceResult sharded =
+        RunConference(SmallRoster(8, 6), CascadeOptions(2, shards));
+    EXPECT_EQ(sharded.shards, shards);
+    EXPECT_EQ(sharded.Fingerprint(), fingerprint);
+    EXPECT_EQ(sharded.events_dispatched,
+              CascadedEightPartyResult().events_dispatched);
+  }
+  // Requesting more shards than domains clamps (3 domains here).
+  auto specs = SmallRoster(8, 6);
+  for (ParticipantSpec& spec : specs) spec.config.codec_threads = 1;
+  const ConferenceResult serial =
+      RunConference(specs, CascadeOptions(2, 8));
+  EXPECT_EQ(serial.shards, 3);
+  EXPECT_EQ(serial.Fingerprint(), fingerprint);
+  EXPECT_EQ(ConferenceCacheKey(specs, CascadeOptions(2, 8)),
+            ConferenceCacheKey(SmallRoster(8, 6), CascadeOptions(2)));
+  // Rerun at the default single shard.
+  EXPECT_EQ(RunConference(SmallRoster(8, 6), CascadeOptions(2)).Fingerprint(),
+            fingerprint);
+  // But the cascade shape itself is part of the key.
+  EXPECT_NE(ConferenceCacheKey(SmallRoster(8, 6), CascadeOptions(2)),
+            ConferenceCacheKey(SmallRoster(8, 6), SmallConferenceOptions()));
+}
+
+// A direct conference is one coupling domain: the shards knob must change
+// neither the results nor the cache key.
+TEST(ConferenceCascade, DirectConferenceIgnoresShardKnob) {
+  ConferenceOptions options = SmallConferenceOptions();
+  options.shards = 4;
+  const ConferenceResult result = RunConference(SmallRoster(4, 6), options);
+  EXPECT_EQ(result.regions, 1);
+  EXPECT_EQ(result.shards, 1);  // clamped to the single domain
+  EXPECT_EQ(result.Fingerprint(), FourPartyResult().Fingerprint());
+  EXPECT_EQ(ConferenceCacheKey(SmallRoster(4, 6), options),
+            ConferenceCacheKey(SmallRoster(4, 6), SmallConferenceOptions()));
+}
+
+TEST(ConferenceCascade, RejectsTopologiesTheCascadeCannotServe) {
+  // More regions than parties.
+  EXPECT_THROW(RunConference(SmallRoster(4, 4), CascadeOptions(5)),
+               std::invalid_argument);
+  // Shared access links couple every region into one domain.
+  ConferenceOptions shared = CascadeOptions(2);
+  shared.downlink_mode = LinkMode::kShared;
+  shared.shared_downlink_trace = sim::MakeTrace1(30.0);
+  EXPECT_THROW(RunConference(SmallRoster(4, 4), shared),
+               std::invalid_argument);
+  // Degenerate relay knobs.
+  ConferenceOptions bad_rate = CascadeOptions(2);
+  bad_rate.relay_rate_mbps = 0.0;
+  EXPECT_THROW(RunConference(SmallRoster(4, 4), bad_rate),
+               std::invalid_argument);
+  ConferenceOptions bad_hop = CascadeOptions(2);
+  bad_hop.relay_hop_delay_ms = 0.0;
+  EXPECT_THROW(RunConference(SmallRoster(4, 4), bad_hop),
+               std::invalid_argument);
+}
+
+// Acceptance criterion: on uncongested access links and default relay
+// pipes, a 2-edge cascade serves every stream with zero stall — every
+// expected frame of every remote stream renders, local and cross-region
+// alike. Constant fat links isolate the cascade machinery itself: any
+// relay drop, mis-sequenced prefix, or lost ladder shows up as a stall.
+TEST(ConferenceCascade, UncongestedCascadeRunsStallFree) {
+  auto specs = SmallRoster(8, 5);
+  for (ParticipantSpec& spec : specs) {
+    // Uplinks bound the encode targets; downlinks must then afford every
+    // subscriber all 7 remote full ladders even at the share floor, so
+    // they are 4x fatter. The relay pipes get the same headroom.
+    spec.uplink_trace = ConstantTrace(240.0, 40.0);
+    spec.downlink_trace = ConstantTrace(960.0, 40.0);
+    spec.uplink_trace_offset_ms = 0.0;
+    spec.downlink_trace_offset_ms = 0.0;
+  }
+  ConferenceOptions options = CascadeOptions(2);
+  options.relay_rate_mbps = 100.0;
+  const ConferenceResult result = RunConference(specs, options);
+  EXPECT_EQ(result.regions, 2);
+  EXPECT_EQ(result.relay.prefixes_dropped_budget, 0u);
+  for (const ParticipantResult& p : result.participants) {
+    for (const RemoteStreamResult& s : p.streams) {
+      SCOPED_TRACE("subscriber " + std::to_string(p.index) + " origin " +
+                   std::to_string(s.origin));
+      EXPECT_DOUBLE_EQ(s.stall_rate, 0.0);
+      EXPECT_EQ(s.pairs_rendered, s.frames.size());
+    }
+  }
+}
+
+// Relay-hop conservation in the flight recorder (the same rules
+// livo_report --check enforces): every layer ingested at a destination
+// edge was forwarded to it by the root, root->edge pipes never lose, and
+// nothing is both admitted and dropped for the same (origin, frame).
+TEST_F(ConferenceLedgerTest, RelayHopsConserveAcrossTheCascade) {
+  const ConferenceResult result =
+      RunConference(SmallRoster(8, 6), CascadeOptions(2));
+
+  // Snapshot before touching CascadedEightPartyResult(): its first call
+  // runs a conference of its own, which must not pollute these events.
+  const std::vector<obs::LedgerEvent> events =
+      obs::FrameLedger::Get().Snapshot();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(result.Fingerprint(), CascadedEightPartyResult().Fingerprint());
+
+  using LayerKey = std::tuple<int, std::int32_t, std::int32_t, int>;
+  std::map<LayerKey, int> root_forwarded;  // (origin, frame, layer, dest)
+  std::map<LayerKey, int> ingested;
+  std::size_t edge_forwarded = 0, relay_dropped = 0;
+  std::map<std::pair<int, std::int32_t>, int> edge_state;  // 1=fwd, 2=drop
+  for (const obs::LedgerEvent& e : events) {
+    switch (e.hop) {
+      case obs::LedgerHop::kRelayForwarded:
+        if (e.subscriber == -1) {  // edge -> root stage
+          ++edge_forwarded;
+          edge_state[{e.origin, e.frame}] |= 1;
+        } else {  // root -> edge stage: subscriber = -2 - dest_region
+          ASSERT_LE(e.subscriber, -2);
+          ++root_forwarded[{e.origin, e.frame, e.layer, -2 - e.subscriber}];
+        }
+        break;
+      case obs::LedgerHop::kRelayIngested:
+        ASSERT_LE(e.subscriber, -2);
+        ++ingested[{e.origin, e.frame, e.layer, -2 - e.subscriber}];
+        break;
+      case obs::LedgerHop::kRelayDropped:
+        ++relay_dropped;
+        if (e.subscriber == -1) edge_state[{e.origin, e.frame}] |= 2;
+        break;
+      default:
+        break;
+    }
+  }
+  ASSERT_GT(edge_forwarded, 0u);
+  std::size_t root_total = 0;
+  for (const auto& [key, n] : root_forwarded) {
+    root_total += static_cast<std::size_t>(n);
+  }
+  // layers_relayed counts layer crossings on *any* pipe: both stages sum.
+  EXPECT_EQ(edge_forwarded + root_total, result.relay.layers_relayed);
+  // Root->edge pipes never lose: per (origin, frame, layer, dest) the
+  // forward and ingest counts match exactly.
+  EXPECT_EQ(root_forwarded, ingested);
+  // An edge ladder is either admitted or dropped, never both.
+  for (const auto& [key, flags] : edge_state) {
+    EXPECT_NE(flags, 3) << "origin " << key.first << " frame " << key.second
+                        << " both admitted and dropped at its edge";
+  }
+  // One kRelayDropped record per budget rejection, at either stage.
+  EXPECT_EQ(relay_dropped, result.relay.prefixes_dropped_budget);
+}
+
 // ---- Metric naming convention (S6) ----
 
 // Every instrument registered during a full conference run must follow

@@ -93,7 +93,8 @@ TEST(ReportLoad, ClassifiesEveryLineTypeAndKeepsParseErrors) {
 
 // ---- End-to-end: real conference -> telemetry -> checker ----
 
-conference::ConferenceResult RunTracedConference() {
+conference::ConferenceResult RunTracedConference(int parties = 4,
+                                                 int regions = 1) {
   sim::ScaleProfile profile;
   profile.camera_count = 4;
   profile.camera_width = 48;
@@ -114,12 +115,12 @@ conference::ConferenceResult RunTracedConference() {
     }
   }
   std::vector<conference::ParticipantSpec> specs;
-  for (int p = 0; p < 4; ++p) {
+  for (int p = 0; p < parties; ++p) {
+    const std::size_t v = static_cast<std::size_t>(p) % videos.size();
     conference::ParticipantSpec spec;
-    spec.sequence = &sequences[static_cast<std::size_t>(p)];
-    spec.user_trace = sim::GenerateUserTrace(
-        videos[static_cast<std::size_t>(p)],
-        styles[static_cast<std::size_t>(p)], kFrames + 90);
+    spec.sequence = &sequences[v];
+    spec.user_trace =
+        sim::GenerateUserTrace(videos[v], styles[v], kFrames + 90);
     spec.uplink_trace = sim::MakeTrace2(30.0);
     spec.downlink_trace = sim::MakeTrace2(30.0);
     spec.uplink_trace_offset_ms = 1000.0 * p;
@@ -129,6 +130,10 @@ conference::ConferenceResult RunTracedConference() {
   }
   conference::ConferenceOptions options;
   options.bandwidth_scale = 1.0 / 48.0;
+  options.regions = regions;
+  // Edges + root on separate loops when cascaded: the telemetry then
+  // carries one runtime.loop.<i>.* series set per shard.
+  options.shards = regions > 1 ? regions + 1 : 1;
   return conference::RunConference(specs, options);
 }
 
@@ -293,6 +298,213 @@ TEST_F(ReportRoundTripTest, DroppedCaptureHopsFailOrdering) {
     }
   }
   EXPECT_TRUE(mentions_prereq);
+}
+
+// ---- Cascaded telemetry: relay-hop conservation (DESIGN.md §11) ----
+
+// Hand-written cascaded world: 4 parties in 2 regions ({0,1} | {2,3}).
+// Exercises each relay rule in isolation, without a real run's noise.
+TEST(ReportCascadeRules, RelayHopsMustConserveAcrossThePipes) {
+  const std::string run_line =
+      "{\"type\":\"run\",\"scheme\":\"LiVo-cascade\",\"parties\":4,"
+      "\"regions\":2,\"relay_layers_relayed\":3,"
+      "\"relay_prefixes_dropped_budget\":0}\n";
+  const std::string edge_fwd =
+      "{\"type\":\"hop\",\"origin\":0,\"frame\":0,\"subscriber\":-1,"
+      "\"hop\":\"relay_forwarded\",\"t_ms\":10,\"bytes\":100,\"layer\":0}\n";
+  const std::string root_fwd =
+      "{\"type\":\"hop\",\"origin\":0,\"frame\":0,\"subscriber\":-3,"
+      "\"hop\":\"relay_forwarded\",\"t_ms\":40,\"bytes\":100,\"layer\":0}\n";
+  const std::string ingest =
+      "{\"type\":\"hop\",\"origin\":0,\"frame\":0,\"subscriber\":-3,"
+      "\"hop\":\"relay_ingested\",\"t_ms\":70,\"bytes\":100,\"layer\":0}\n";
+
+  const auto check = [](const std::string& text) {
+    std::istringstream in(text);
+    return CheckInvariants(LoadTelemetry(in));
+  };
+  const auto mentions = [](const std::vector<std::string>& violations,
+                           const std::string& needle) {
+    for (const std::string& v : violations) {
+      if (v.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  };
+
+  // The complete chain conserves (run counter 3 = edge 1 + root 1, plus a
+  // second edge layer that the root never forwarded anywhere — legal, the
+  // root may trim the prefix).
+  const std::string extra_edge_layer =
+      "{\"type\":\"hop\",\"origin\":0,\"frame\":0,\"subscriber\":-1,"
+      "\"hop\":\"relay_forwarded\",\"t_ms\":10,\"bytes\":60,\"layer\":1}\n";
+  EXPECT_TRUE(
+      check(run_line + edge_fwd + extra_edge_layer + root_fwd + ingest)
+          .empty());
+
+  // A root->edge forward that never arrives: the pipe lost it.
+  {
+    const auto violations = check(run_line + edge_fwd + root_fwd);
+    EXPECT_TRUE(mentions(violations, "ingested 0x"));
+  }
+  // An ingest nobody sent: the pipe invented it.
+  {
+    const auto violations = check(run_line + edge_fwd + ingest);
+    EXPECT_TRUE(mentions(violations, "never forwarded there"));
+  }
+  // A root forward that skipped the edge->root stage.
+  {
+    const auto violations = check(run_line + root_fwd + ingest);
+    EXPECT_TRUE(mentions(violations, "without an edge->root forward"));
+  }
+  // Ledger total vs the run line's relay_layers_relayed counter.
+  {
+    const auto violations = check(run_line + edge_fwd + root_fwd + ingest);
+    EXPECT_TRUE(mentions(violations, "'relay_forwarded'"));
+  }
+}
+
+TEST(ReportCascadeRules, RemoteVerdictRequiresAnIngest) {
+  // Pair (0,0) completes at the origin edge and gets verdicts from both
+  // the local subscriber 1 and the remote subscriber 2 (region 1) — but
+  // the ledger shows no ingest at region 1, so subscriber 2's copy never
+  // arrived there.
+  const std::string text =
+      "{\"type\":\"run\",\"scheme\":\"LiVo-cascade\",\"parties\":4,"
+      "\"regions\":2,\"pairs_completed\":1,\"pairs_forwarded\":2}\n"
+      "{\"type\":\"hop\",\"origin\":0,\"frame\":0,\"subscriber\":-1,"
+      "\"hop\":\"captured\",\"t_ms\":0,\"bytes\":0}\n"
+      "{\"type\":\"hop\",\"origin\":0,\"frame\":0,\"subscriber\":-1,"
+      "\"hop\":\"encoded\",\"t_ms\":1,\"bytes\":160}\n"
+      "{\"type\":\"hop\",\"origin\":0,\"frame\":0,\"subscriber\":-1,"
+      "\"hop\":\"pair_complete\",\"t_ms\":2,\"bytes\":160}\n"
+      "{\"type\":\"hop\",\"origin\":0,\"frame\":0,\"subscriber\":1,"
+      "\"hop\":\"forwarded\",\"t_ms\":3,\"bytes\":160,\"layer\":0}\n"
+      "{\"type\":\"hop\",\"origin\":0,\"frame\":0,\"subscriber\":1,"
+      "\"hop\":\"delivered\",\"t_ms\":4,\"bytes\":160}\n"
+      "{\"type\":\"hop\",\"origin\":0,\"frame\":0,\"subscriber\":1,"
+      "\"hop\":\"displayed\",\"t_ms\":5,\"bytes\":0}\n"
+      "{\"type\":\"hop\",\"origin\":0,\"frame\":0,\"subscriber\":2,"
+      "\"hop\":\"forwarded\",\"t_ms\":3,\"bytes\":160,\"layer\":0}\n"
+      "{\"type\":\"hop\",\"origin\":0,\"frame\":0,\"subscriber\":2,"
+      "\"hop\":\"delivered\",\"t_ms\":4,\"bytes\":160}\n"
+      "{\"type\":\"hop\",\"origin\":0,\"frame\":0,\"subscriber\":2,"
+      "\"hop\":\"displayed\",\"t_ms\":5,\"bytes\":0}\n";
+  std::istringstream in(text);
+  const std::vector<std::string> violations =
+      CheckInvariants(LoadTelemetry(in));
+  bool mentions_ingest = false;
+  for (const std::string& v : violations) {
+    if (v.find("without an ingest there") != std::string::npos) {
+      mentions_ingest = true;
+    }
+  }
+  EXPECT_TRUE(mentions_ingest);
+}
+
+// ---- End-to-end: cascaded conference -> telemetry -> checker ----
+
+class ReportCascadeRoundTripTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    obs::FrameLedger::Get().Reset();
+    obs::FrameLedger::Get().SetEnabled(true);
+    obs::SetTimeSeriesEnabled(true);
+    const conference::ConferenceResult result =
+        RunTracedConference(/*parties=*/6, /*regions=*/2);
+    std::ostringstream out;
+    conference::WriteConferenceTelemetry(out, result, 100.0);
+    telemetry_text_ = new std::string(out.str());
+    obs::SetTimeSeriesEnabled(false);
+    obs::FrameLedger::Get().SetEnabled(false);
+    obs::FrameLedger::Get().Reset();
+  }
+  static void TearDownTestSuite() {
+    delete telemetry_text_;
+    telemetry_text_ = nullptr;
+  }
+
+  static Telemetry Load(const std::string& text) {
+    std::istringstream in(text);
+    return LoadTelemetry(in);
+  }
+
+  static std::string* telemetry_text_;
+};
+
+std::string* ReportCascadeRoundTripTest::telemetry_text_ = nullptr;
+
+// The ISSUE acceptance run: a cascaded conference's telemetry passes
+// livo_report --check, including the relay-hop conservation rules.
+TEST_F(ReportCascadeRoundTripTest, CascadedTelemetryPassesEveryInvariant) {
+  const Telemetry t = Load(*telemetry_text_);
+  EXPECT_TRUE(t.parse_errors.empty());
+  ASSERT_TRUE(t.run.present);
+  EXPECT_EQ(t.run.parties, 6);
+  EXPECT_EQ(t.run.regions, 2);
+  EXPECT_GT(t.run.relay_ladders_offered, 0u);
+  EXPECT_GT(t.run.relay_layers_relayed, 0u);
+  EXPECT_GT(t.run.relay_demand_reports, 0u);
+  bool saw_relay_hop = false;
+  for (const Hop& hop : t.hops) {
+    if (hop.hop == "relay_forwarded") saw_relay_hop = true;
+  }
+  EXPECT_TRUE(saw_relay_hop);
+  const std::vector<std::string> violations = CheckInvariants(t);
+  EXPECT_TRUE(violations.empty())
+      << "first violation: " << violations.front();
+}
+
+TEST_F(ReportCascadeRoundTripTest, PrintReportSummarizesCascadeAndLoops) {
+  const Telemetry t = Load(*telemetry_text_);
+  std::ostringstream out;
+  PrintReport(out, t, Analyze(t));
+  const std::string text = out.str();
+  EXPECT_NE(text.find("cascade: 2 regions"), std::string::npos);
+  // regions + 1 loops, each with a runtime.loop.<i>.* series pair.
+  EXPECT_NE(text.find("== loop utilization (3 shards) =="),
+            std::string::npos);
+  EXPECT_NE(text.find("skew (busiest / even share):"), std::string::npos);
+}
+
+TEST_F(ReportCascadeRoundTripTest, TamperedRelayCounterFailsCheck) {
+  std::string text = *telemetry_text_;
+  const std::string needle = "\"relay_layers_relayed\":";
+  const std::size_t pos = text.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  text.insert(pos + needle.size(), "9");
+  const std::vector<std::string> violations = CheckInvariants(Load(text));
+  ASSERT_FALSE(violations.empty());
+  bool mentions_relay = false;
+  for (const std::string& v : violations) {
+    if (v.find("'relay_forwarded'") != std::string::npos) {
+      mentions_relay = true;
+    }
+  }
+  EXPECT_TRUE(mentions_relay);
+}
+
+TEST_F(ReportCascadeRoundTripTest, MissingIngestHopsFailRelayConservation) {
+  std::istringstream in(*telemetry_text_);
+  std::ostringstream out;
+  std::string line;
+  int removed = 0;
+  while (std::getline(in, line)) {
+    if (line.find("\"hop\":\"relay_ingested\"") != std::string::npos) {
+      ++removed;
+      continue;
+    }
+    out << line << "\n";
+  }
+  ASSERT_GT(removed, 0);
+  const std::vector<std::string> violations = CheckInvariants(Load(out.str()));
+  ASSERT_FALSE(violations.empty());
+  bool mentions_conservation = false;
+  for (const std::string& v : violations) {
+    if (v.find("relay conservation") != std::string::npos) {
+      mentions_conservation = true;
+    }
+  }
+  EXPECT_TRUE(mentions_conservation);
 }
 
 }  // namespace

@@ -4,13 +4,19 @@
 // thread-pool sizes, and multi-session result isolation.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
 #include <map>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/session.h"
 #include "core/types.h"
+#include "runtime/cross_loop_channel.h"
 #include "runtime/event_loop.h"
+#include "runtime/loop_group.h"
 #include "runtime/multi_session.h"
 #include "runtime/session_actor.h"
 #include "sim/dataset.h"
@@ -96,6 +102,134 @@ TEST(EventLoop, VirtualClockSatisfiesUtilClock) {
   loop.Run();
   EXPECT_DOUBLE_EQ(seen, 33.5);
   EXPECT_DOUBLE_EQ(clock.NowMs(), 33.5);
+}
+
+// ---- LoopGroup / CrossLoopChannel ----
+
+TEST(LoopGroup, RejectsLookaheadViolations) {
+  LoopGroup group(2, 10.0);
+  EXPECT_THROW(group.CreateChannel(0, 1, 5.0), std::invalid_argument);
+  EXPECT_THROW(group.CreateChannel(-1, 0, 10.0), std::invalid_argument);
+  CrossLoopChannel* channel = group.CreateChannel(0, 1, 10.0);
+  EXPECT_EQ(channel->id(), 0);
+  EXPECT_DOUBLE_EQ(channel->min_delay_ms(), 10.0);
+  EXPECT_THROW(channel->Send(0.0, 9.0, [](double) {}), std::invalid_argument);
+  group.Run();  // empty group quiesces immediately
+  EXPECT_EQ(group.events_dispatched(), 0u);
+}
+
+TEST(LoopGroup, DomainsMapToLoopsModuloShards) {
+  LoopGroup group(2, 10.0);
+  EXPECT_EQ(group.shards(), 2);
+  EXPECT_EQ(group.LoopIndexOf(0), 0);
+  EXPECT_EQ(group.LoopIndexOf(1), 1);
+  EXPECT_EQ(group.LoopIndexOf(2), 0);
+  EXPECT_EQ(&group.loop(0), &group.loop(2));
+  EXPECT_NE(&group.loop(0), &group.loop(1));
+}
+
+// Ordering contract of cross_loop_channel.h: same-timestamp messages from
+// *different* source domains drain by (channel id, sequence), where
+// channel ids follow creation order — deliberately not domain numbering
+// and not physical loop placement, so the order is identical at every
+// shard count.
+TEST(LoopGroup, SameTimestampMessagesDrainByChannelIdThenSequence) {
+  for (int shards : {1, 2, 4}) {
+    SCOPED_TRACE("shards " + std::to_string(shards));
+    LoopGroup group(shards, 10.0);
+    CrossLoopChannel* from2 = group.CreateChannel(2, 3, 10.0);  // id 0
+    CrossLoopChannel* from0 = group.CreateChannel(0, 3, 10.0);  // id 1
+    CrossLoopChannel* from1 = group.CreateChannel(1, 3, 10.0);  // id 2
+    std::vector<std::pair<int, int>> order;  // (channel id, send index)
+    const auto arm = [&group, &order](CrossLoopChannel* channel, int domain) {
+      group.loop(domain).ScheduleAt(5.0, [&order, channel](double now) {
+        for (int k = 0; k < 3; ++k) {
+          channel->Send(now, 10.0, [&order, channel, k](double) {
+            order.emplace_back(channel->id(), k);
+          });
+        }
+      });
+    };
+    // Armed in an order unrelated to either domain or channel numbering.
+    arm(from1, 1);
+    arm(from2, 2);
+    arm(from0, 0);
+    group.Run();
+    std::vector<std::pair<int, int>> expected;
+    for (int id = 0; id < 3; ++id) {
+      for (int k = 0; k < 3; ++k) expected.emplace_back(id, k);
+    }
+    EXPECT_EQ(order, expected);
+    EXPECT_EQ(from0->messages_sent(), 3u);
+    EXPECT_DOUBLE_EQ(group.MaxDispatchMs(), 15.0);
+  }
+}
+
+// Stress + determinism: four domains in a message ring push thousands of
+// cross-loop messages through the window machinery. The per-domain hash
+// folds every delivery's (chain, hop, virtual time), so any reordering,
+// loss, or duplication shows up; totals and hashes must be bit-identical
+// for every shard count and across reruns. With 4 shards this is also the
+// TSan workload for the inbox/barrier paths (livo_check.sh).
+TEST(LoopGroup, RingStressIsDeterministicAcrossShardCounts) {
+  constexpr int kDomains = 4;
+  constexpr int kChains = 8;
+  constexpr int kHops = 64;  // kDomains * kChains * kHops = 2048 messages
+  constexpr double kWindowMs = 10.0;
+
+  struct RingRun {
+    std::vector<std::uint64_t> hash;
+    std::uint64_t dispatched = 0;
+    bool operator==(const RingRun& other) const {
+      return hash == other.hash && dispatched == other.dispatched;
+    }
+  };
+  const auto run_ring = [&](int shards) {
+    LoopGroup group(shards, kWindowMs);
+    std::vector<CrossLoopChannel*> ring;
+    for (int d = 0; d < kDomains; ++d) {
+      ring.push_back(group.CreateChannel(d, (d + 1) % kDomains, kWindowMs));
+    }
+    // One hash cell per domain: a domain's messages all run on one loop,
+    // and distinct vector elements are safe to touch from distinct loops.
+    RingRun run;
+    run.hash.assign(kDomains, 14695981039346656037ull);
+    std::function<void(int, int, int, double)> bounce =
+        [&](int domain, int chain, int hops_left, double now) {
+          std::uint64_t& h = run.hash[static_cast<std::size_t>(domain)];
+          h ^= static_cast<std::uint64_t>(chain * 131 + hops_left);
+          h *= 1099511628211ull;
+          h ^= static_cast<std::uint64_t>(now * 8.0);
+          h *= 1099511628211ull;
+          if (hops_left == 0) return;
+          const int next = (domain + 1) % kDomains;
+          ring[static_cast<std::size_t>(domain)]->Send(
+              now, kWindowMs, [&bounce, next, chain, hops_left](double t) {
+                bounce(next, chain, hops_left - 1, t);
+              });
+        };
+    for (int d = 0; d < kDomains; ++d) {
+      for (int c = 0; c < kChains; ++c) {
+        const int chain = d * kChains + c;
+        group.loop(d).ScheduleAt(3.0 * c, [&bounce, d, chain](double now) {
+          bounce(d, chain, kHops, now);
+        });
+      }
+    }
+    group.Run();
+    run.dispatched = group.events_dispatched();
+    return run;
+  };
+
+  const RingRun baseline = run_ring(1);
+  // Seeds + every ring hop each dispatch exactly one event.
+  EXPECT_EQ(baseline.dispatched,
+            static_cast<std::uint64_t>(kDomains * kChains * (kHops + 1)));
+  for (int shards : {2, 4}) {
+    SCOPED_TRACE("shards " + std::to_string(shards));
+    EXPECT_TRUE(run_ring(shards) == baseline);
+  }
+  EXPECT_TRUE(run_ring(1) == baseline);  // rerun
 }
 
 // ---- Session fixtures (small scale, shared across the suite) ----
@@ -312,6 +446,42 @@ TEST(MultiSession, SharedBottleneckRunsAndBoundsThroughput) {
   // drain-window slack (bytes sent near the end count toward throughput
   // over the nominal duration only).
   EXPECT_LT(total_throughput, 1.6 * options.shared_trace.MeanMbps());
+}
+
+// Acceptance criterion of the sharded runtime: RunMultiSession's
+// fingerprint is bit-identical for any shard count, across reruns, and
+// across codec thread counts. Independent sessions are one domain each,
+// so 4 sessions genuinely spread over 2 and 4 loops here.
+TEST(MultiSessionDeterminism, FingerprintInvariantAcrossShardsAndReruns) {
+  const std::vector<std::string> videos = {"toddler4", "office1", "band2",
+                                           "dance5"};
+  std::vector<SessionSpec> specs;
+  for (int i = 0; i < 4; ++i) {
+    specs.push_back(SmallSpec(videos[static_cast<std::size_t>(i)],
+                              sim::TraceStyle::kOrbit, 5));
+  }
+  MultiSessionOptions options;
+  options.shards = 1;
+  const MultiSessionResult baseline = RunMultiSession(specs, options);
+  const std::uint64_t fingerprint = MultiSessionFingerprint(baseline);
+  EXPECT_EQ(baseline.shards, 1);
+  for (int shards : {2, 4}) {
+    SCOPED_TRACE("shards " + std::to_string(shards));
+    options.shards = shards;
+    const MultiSessionResult sharded = RunMultiSession(specs, options);
+    EXPECT_EQ(sharded.shards, shards);
+    EXPECT_EQ(MultiSessionFingerprint(sharded), fingerprint);
+    EXPECT_EQ(sharded.events_dispatched, baseline.events_dispatched);
+    EXPECT_DOUBLE_EQ(sharded.virtual_ms, baseline.virtual_ms);
+  }
+  options.shards = 1;
+  EXPECT_EQ(MultiSessionFingerprint(RunMultiSession(specs, options)),
+            fingerprint);  // rerun
+  // Codec pool sizes must not leak into the fingerprint either.
+  for (SessionSpec& spec : specs) spec.config.codec_threads = 1;
+  options.shards = 2;
+  EXPECT_EQ(MultiSessionFingerprint(RunMultiSession(specs, options)),
+            fingerprint);
 }
 
 // ---- SharedLink flow registration + fairness ----

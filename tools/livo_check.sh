@@ -3,15 +3,19 @@
 # passes:
 #
 #  1. TSan pass — builds test_util + test_obs + test_video_parallel +
-#     test_runtime + test_conference (the event-loop scheduler, thread-pool
-#     codec interaction, multi-session runs, and the N-party SFU
-#     conference) with -Wall -Wextra -Werror and, when the toolchain
-#     supports it, ThreadSanitizer, then runs the combined binary.
-#  2. ASan+UBSan pass — builds the kernel-equivalence, codec, and
+#     test_runtime + test_conference (the sharded LoopGroup scheduler with
+#     its cross-loop ring stress test, thread-pool codec interaction,
+#     multi-session runs, and the N-party SFU conference including the
+#     cascaded edge-SFU topology) with -Wall -Wextra -Werror and, when the
+#     toolchain supports it, ThreadSanitizer, then runs the combined
+#     binary. TSan is the real gate for the M-threads-M-loops runtime:
+#     cross-loop sends and barrier hand-offs race-check here.
+#  2. ASan+UBSan pass — builds the kernel-equivalence, codec, runtime, and
 #     conference suites (test_kernels + test_golden_bitstream + test_video
-#     + test_video_parallel + test_conference) with AddressSanitizer +
-#     UndefinedBehaviorSanitizer so out-of-bounds SIMD loads and UB in the
-#     intrinsics code surface.
+#     + test_video_parallel + test_runtime + test_conference) with
+#     AddressSanitizer + UndefinedBehaviorSanitizer so out-of-bounds SIMD
+#     loads and UB in the intrinsics code surface; the cross-loop stress
+#     and cascade tests repeat here for lifetime bugs TSan cannot see.
 #  3. Telemetry gate — runs a traced 8-party conference sweep
 #     (bench_conference --parties=8 --fresh under LIVO_TRACE=1, simulcast
 #     ladder engaged at its default 3 layers) in the TSan build tree and

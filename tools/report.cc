@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <iomanip>
+#include <set>
 #include <sstream>
 #include <tuple>
 
@@ -238,10 +239,22 @@ struct SubState {
   int verdicts = 0;  // forwarded + dropped_* events
 };
 
+// Relay hops reuse the subscriber field as a stage/destination code:
+// -1 = edge stage (edge->root), -2 - d = destination region d (the root's
+// forward onto the d pipe, and the d edge's ingest). See cascade.h.
+using LayerKey = std::tuple<int, int, int>;        // (origin, frame, layer)
+using DestLayerKey = std::tuple<int, int, int, int>;  // + dest region
+
 struct LedgerIndex {
   std::map<PairKey, PairState> pairs;
   std::map<SubKey, SubState> subs;
   std::map<std::string, std::uint64_t> hop_counts;
+  // Cascade relay hops (all empty on direct telemetry).
+  std::map<LayerKey, std::uint64_t> edge_forwarded;
+  std::map<DestLayerKey, std::uint64_t> root_forwarded;
+  std::map<DestLayerKey, std::uint64_t> ingested;
+  std::map<PairKey, std::set<int>> ingested_regions;
+  std::uint64_t relay_bad_layer = 0;  // forward/ingest hops with layer < 0
 };
 
 LedgerIndex IndexLedger(const Telemetry& telemetry) {
@@ -249,6 +262,26 @@ LedgerIndex IndexLedger(const Telemetry& telemetry) {
   for (const Hop& hop : telemetry.hops) {
     ++index.hop_counts[hop.hop];
     const PairKey pk{hop.origin, hop.frame};
+    if (hop.hop == "relay_forwarded" || hop.hop == "relay_ingested" ||
+        hop.hop == "relay_dropped") {
+      const int dest = hop.subscriber <= -2 ? -2 - hop.subscriber : -1;
+      if (hop.hop == "relay_forwarded") {
+        if (hop.layer < 0) ++index.relay_bad_layer;
+        if (dest < 0) {
+          ++index.edge_forwarded[LayerKey{hop.origin, hop.frame, hop.layer}];
+        } else {
+          ++index.root_forwarded[
+              DestLayerKey{hop.origin, hop.frame, hop.layer, dest}];
+        }
+      } else if (hop.hop == "relay_ingested") {
+        if (hop.layer < 0) ++index.relay_bad_layer;
+        ++index.ingested[DestLayerKey{hop.origin, hop.frame, hop.layer, dest}];
+        index.ingested_regions[pk].insert(dest);
+      }
+      // relay_dropped needs no per-pair index: the run-counter total and
+      // the region-aware verdict rule account for it.
+      continue;
+    }
     if (hop.subscriber < 0) {
       PairState& p = index.pairs[pk];
       if (hop.hop == "captured") {
@@ -297,10 +330,45 @@ LedgerIndex IndexLedger(const Telemetry& telemetry) {
   return index;
 }
 
+// Region of `participant`: same contiguous-block math as
+// conference::RegionOf (topology.h), replicated so the report library
+// stays standalone.
+int RegionOfParty(int participant, int parties, int regions) {
+  if (regions <= 1 || parties <= 0) return 0;
+  return static_cast<int>(
+      (static_cast<long long>(participant) * regions) / parties);
+}
+
+int RegionSize(int region, int parties, int regions) {
+  int n = 0;
+  for (int p = 0; p < parties; ++p) {
+    if (RegionOfParty(p, parties, regions) == region) ++n;
+  }
+  return n;
+}
+
+// Verdicts a completed pair owes. Direct: one per remote subscriber.
+// Cascaded: one per origin-edge local subscriber, plus one per subscriber
+// of every region that ingested the pair — a region whose copy died on a
+// relay pipe owes none.
+int ExpectedVerdicts(const LedgerIndex& index, const PairKey& key,
+                     int parties, int regions) {
+  if (regions <= 1) return parties - 1;
+  int expected =
+      RegionSize(RegionOfParty(key.first, parties, regions), parties,
+                 regions) -
+      1;
+  const auto it = index.ingested_regions.find(key);
+  if (it != index.ingested_regions.end()) {
+    for (const int d : it->second) expected += RegionSize(d, parties, regions);
+  }
+  return expected;
+}
+
 // Is this captured pair fully accounted for? See ISSUE acceptance: every
 // captured pair must end displayed, stalled, or dropped-with-reason.
 bool PairIsTerminal(const PairState& pair, const LedgerIndex& index,
-                    const PairKey& key, int parties) {
+                    const PairKey& key, int parties, int regions) {
   if (pair.skipped >= 0.0) return true;
   if (pair.encoded < 0.0) return false;  // captured, never encoded/skipped
   if (pair.pair_complete < 0.0) {
@@ -320,8 +388,13 @@ bool PairIsTerminal(const PairState& pair, const LedgerIndex& index,
       return false;
     }
   }
-  if (parties >= 2 && verdicts != parties - 1) return false;
-  return verdicts > 0 || parties < 2;
+  if (parties >= 2 &&
+      verdicts != ExpectedVerdicts(index, key, parties, regions)) {
+    return false;
+  }
+  return verdicts > 0 || parties < 2 ||
+         (regions > 1 &&
+          ExpectedVerdicts(index, key, parties, regions) == 0);
 }
 
 double IntervalOf(double t_ms, double interval_ms) {
@@ -423,6 +496,16 @@ Telemetry LoadTelemetry(std::istream& is) {
       run.keyframe_relays = NumU64(value, "keyframe_relays");
       run.layers = NumInt(value, "layers", 1);
       if (run.layers < 1) run.layers = 1;
+      run.regions = NumInt(value, "regions", 1);
+      if (run.regions < 1) run.regions = 1;
+      run.relay_ladders_offered = NumU64(value, "relay_ladders_offered");
+      run.relay_prefixes_admitted = NumU64(value, "relay_prefixes_admitted");
+      run.relay_prefixes_dropped_budget =
+          NumU64(value, "relay_prefixes_dropped_budget");
+      run.relay_layers_relayed = NumU64(value, "relay_layers_relayed");
+      run.relay_bytes = NumU64(value, "relay_bytes");
+      run.relay_pli_relays = NumU64(value, "relay_pli_relays");
+      run.relay_demand_reports = NumU64(value, "relay_demand_reports");
       run.layer_switches_up = NumU64(value, "layer_switches_up");
       run.layer_switches_down = NumU64(value, "layer_switches_down");
       if (const JsonValue* fbl = value.Find("forwarded_by_layer");
@@ -524,7 +607,8 @@ Analysis Analyze(const Telemetry& telemetry) {
   for (const auto& [key, pair] : index.pairs) {
     if (pair.captured < 0.0) continue;
     ++analysis.captured_pairs;
-    if (PairIsTerminal(pair, index, key, telemetry.run.parties)) {
+    if (PairIsTerminal(pair, index, key, telemetry.run.parties,
+                       telemetry.run.regions)) {
       ++analysis.terminal_pairs;
     }
   }
@@ -702,11 +786,15 @@ std::vector<std::string> CheckInvariants(const Telemetry& telemetry) {
         run.pairs_dropped_layer_incomplete;
     const std::uint64_t expected =
         run.pairs_completed * static_cast<std::uint64_t>(run.parties - 1);
-    if (verdicts != expected) {
+    // Cascaded runs only bound from above: pairs whose relay copy dropped
+    // owe no verdict in the unreached regions (the ledger-level rule
+    // below accounts for them exactly).
+    if (run.regions > 1 ? verdicts > expected : verdicts != expected) {
       sink.Add("gate conservation: pairs_completed*" +
                std::to_string(run.parties - 1) + " = " +
                std::to_string(expected) + " but forwarded+dropped = " +
-               std::to_string(verdicts));
+               std::to_string(verdicts) +
+               (run.regions > 1 ? " (cascaded upper bound)" : ""));
     }
   }
 
@@ -905,11 +993,99 @@ std::vector<std::string> CheckInvariants(const Telemetry& telemetry) {
       if (pair.pair_complete < 0.0) continue;
       const auto it = verdicts_per_pair.find(key);
       const int verdicts = it == verdicts_per_pair.end() ? 0 : it->second;
-      if (verdicts != run.parties - 1) {
+      const int expected =
+          ExpectedVerdicts(index, key, run.parties, run.regions);
+      if (verdicts != expected) {
         sink.Add("pair (" + std::to_string(key.first) + "," +
                  std::to_string(key.second) + "): " +
                  std::to_string(verdicts) + " verdicts for " +
-                 std::to_string(run.parties - 1) + " subscribers");
+                 std::to_string(expected) + " reachable subscribers");
+      }
+    }
+  }
+
+  // ---- Cascade relay conservation (regions > 1) ----
+  const bool has_relay_hops = !index.edge_forwarded.empty() ||
+                              !index.root_forwarded.empty() ||
+                              !index.ingested.empty();
+  if (run.regions > 1 || has_relay_hops) {
+    if (index.relay_bad_layer > 0) {
+      sink.Add("relay: " + std::to_string(index.relay_bad_layer) +
+               " relay forward/ingest hops without a ladder layer");
+    }
+    const auto relay_id = [](const DestLayerKey& key) {
+      return "pair (" + std::to_string(std::get<0>(key)) + "," +
+             std::to_string(std::get<1>(key)) + ") layer " +
+             std::to_string(std::get<2>(key)) + " region " +
+             std::to_string(std::get<3>(key));
+    };
+    // Root->edge pipes never lose: the root's forwards to a destination
+    // match that edge's ingests exactly, per (origin, frame, layer).
+    for (const auto& [key, n] : index.root_forwarded) {
+      const auto it = index.ingested.find(key);
+      const std::uint64_t got = it == index.ingested.end() ? 0 : it->second;
+      if (got != n) {
+        sink.Add("relay conservation: " + relay_id(key) + " forwarded " +
+                 std::to_string(n) + "x by the root but ingested " +
+                 std::to_string(got) + "x");
+      }
+      // ... and a root forward rides a prior edge->root forward.
+      const LayerKey lk{std::get<0>(key), std::get<1>(key),
+                        std::get<2>(key)};
+      if (index.edge_forwarded.find(lk) == index.edge_forwarded.end()) {
+        sink.Add("relay conservation: " + relay_id(key) +
+                 " crossed root->edge without an edge->root forward");
+      }
+    }
+    for (const auto& [key, n] : index.ingested) {
+      (void)n;
+      if (index.root_forwarded.find(key) == index.root_forwarded.end()) {
+        sink.Add("relay conservation: " + relay_id(key) +
+                 " ingested but never forwarded there by the root");
+      }
+    }
+    // A subscriber verdict in a remote region needs the pair to have
+    // arrived there.
+    if (run.present && run.regions > 1) {
+      for (const auto& [key, sub] : index.subs) {
+        if (sub.verdicts == 0) continue;
+        const int origin = std::get<0>(key);
+        const int frame = std::get<1>(key);
+        const int subscriber = std::get<2>(key);
+        const int sub_region =
+            RegionOfParty(subscriber, run.parties, run.regions);
+        if (sub_region == RegionOfParty(origin, run.parties, run.regions)) {
+          continue;
+        }
+        const auto it = index.ingested_regions.find(PairKey{origin, frame});
+        if (it == index.ingested_regions.end() ||
+            it->second.count(sub_region) == 0) {
+          sink.Add("relay conservation: subscriber " +
+                   std::to_string(subscriber) + " has a verdict on pair (" +
+                   std::to_string(origin) + "," + std::to_string(frame) +
+                   ") in region " + std::to_string(sub_region) +
+                   " without an ingest there");
+        }
+      }
+    }
+    // Ledger relay totals vs the run line's cascade counters.
+    if (run.present && run.regions > 1 && !telemetry.hops.empty()) {
+      const auto count = [&index](const char* hop) -> std::uint64_t {
+        const auto it = index.hop_counts.find(hop);
+        return it == index.hop_counts.end() ? 0 : it->second;
+      };
+      const std::pair<const char*, std::uint64_t> expectations[] = {
+          {"relay_forwarded", run.relay_layers_relayed},
+          {"relay_dropped", run.relay_prefixes_dropped_budget},
+      };
+      for (const auto& [hop, expected] : expectations) {
+        const std::uint64_t got = count(hop);
+        if (got != expected) {
+          sink.Add(std::string("counter mismatch: ledger has ") +
+                   std::to_string(got) + " '" + hop +
+                   "' events but run counter says " +
+                   std::to_string(expected));
+        }
       }
     }
   }
@@ -992,7 +1168,9 @@ std::vector<std::string> CheckInvariants(const Telemetry& telemetry) {
     for (const auto& [key, pair] : index.pairs) {
       if (pair.captured < 0.0) continue;
       ++captured;
-      if (PairIsTerminal(pair, index, key, run.parties)) ++terminal;
+      if (PairIsTerminal(pair, index, key, run.parties, run.regions)) {
+        ++terminal;
+      }
     }
     if (captured > 0) {
       const double fraction =
@@ -1052,6 +1230,15 @@ void PrintReport(std::ostream& os, const Telemetry& telemetry,
       os << "], switches up " << run.layer_switches_up << " / down "
          << run.layer_switches_down << "\n";
     }
+    if (run.regions > 1) {
+      os << "cascade: " << run.regions << " regions, ladders offered "
+         << run.relay_ladders_offered << ", prefixes admitted "
+         << run.relay_prefixes_admitted << " / dropped "
+         << run.relay_prefixes_dropped_budget << ", layers relayed "
+         << run.relay_layers_relayed << " (" << run.relay_bytes
+         << " B), PLI relays " << run.relay_pli_relays
+         << ", demand reports " << run.relay_demand_reports << "\n";
+    }
   } else {
     os << "(no run line)\n";
   }
@@ -1097,6 +1284,76 @@ void PrintReport(std::ostream& os, const Telemetry& telemetry,
          << s.mean << std::setw(10) << s.stddev << std::setw(10) << s.max_step
          << std::setw(10) << s.reversals << "\n";
     }
+  }
+
+  // Per-shard loop utilization from the runtime.loop.<i>.* series the
+  // sharded LoopGroup registers (one sample per dispatched event, so a
+  // loop's queue_depth sample count is its share of the dispatch work).
+  struct LoopRow {
+    std::size_t dispatches = 0;
+    double mean_depth = 0.0;
+    double max_depth = 0.0;
+    double mean_wake_ms = 0.0;
+  };
+  std::map<int, LoopRow> loops;
+  for (const SeriesInfo& series : telemetry.series) {
+    const std::string prefix = "runtime.loop.";
+    if (series.name.rfind(prefix, 0) != 0) continue;
+    const std::size_t dot = series.name.find('.', prefix.size());
+    if (dot == std::string::npos) continue;
+    const int loop_index =
+        std::atoi(series.name.substr(prefix.size(), dot - prefix.size())
+                      .c_str());
+    const std::string metric = series.name.substr(dot + 1);
+    LoopRow& row = loops[loop_index];
+    double sum = 0.0;
+    for (const auto& [t, v] : series.points) {
+      (void)t;
+      sum += v;
+      if (metric == "queue_depth") row.max_depth = std::max(row.max_depth, v);
+    }
+    const double mean =
+        series.points.empty()
+            ? 0.0
+            : sum / static_cast<double>(series.points.size());
+    if (metric == "queue_depth") {
+      row.dispatches = series.points.size() + series.evicted;
+      row.mean_depth = mean;
+    } else if (metric == "wake_latency_ms") {
+      row.mean_wake_ms = mean;
+    }
+  }
+  if (!loops.empty()) {
+    std::size_t total = 0, busiest = 0;
+    for (const auto& [index, row] : loops) {
+      (void)index;
+      total += row.dispatches;
+      busiest = std::max(busiest, row.dispatches);
+    }
+    os << "\n== loop utilization (" << loops.size() << " shards) ==\n";
+    os << std::left << std::setw(6) << "loop" << std::right << std::setw(12)
+       << "dispatches" << std::setw(8) << "share" << std::setw(12)
+       << "mean_depth" << std::setw(11) << "max_depth" << std::setw(14)
+       << "mean_wake_ms" << "\n";
+    for (const auto& [index, row] : loops) {
+      const double share =
+          total > 0 ? static_cast<double>(row.dispatches) /
+                          static_cast<double>(total)
+                    : 0.0;
+      os << std::left << std::setw(6) << index << std::right << std::setw(12)
+         << row.dispatches << std::fixed << std::setprecision(3)
+         << std::setw(8) << share << std::setw(12) << row.mean_depth
+         << std::setprecision(0) << std::setw(11) << row.max_depth
+         << std::setprecision(3) << std::setw(14) << row.mean_wake_ms
+         << "\n";
+    }
+    // Skew: the busiest loop's dispatch count over a perfectly even
+    // split. 1.00 = balanced; the shard count is the upper bound.
+    const double even =
+        static_cast<double>(total) / static_cast<double>(loops.size());
+    os << "skew (busiest / even share): " << std::fixed
+       << std::setprecision(2)
+       << (even > 0.0 ? static_cast<double>(busiest) / even : 0.0) << "\n";
   }
 
   if (!telemetry.series.empty()) {

@@ -73,6 +73,17 @@ struct RunInfo {
   std::uint64_t layer_switches_up = 0;
   std::uint64_t layer_switches_down = 0;
   std::vector<std::uint64_t> forwarded_by_layer;
+  // Cascade fields (regions == 1 on direct / pre-cascade telemetry).
+  // Relay counters sum every stage: edge->root offers plus the root's
+  // per-destination forwards (see src/conference/cascade.h).
+  int regions = 1;
+  std::uint64_t relay_ladders_offered = 0;
+  std::uint64_t relay_prefixes_admitted = 0;
+  std::uint64_t relay_prefixes_dropped_budget = 0;
+  std::uint64_t relay_layers_relayed = 0;
+  std::uint64_t relay_bytes = 0;
+  std::uint64_t relay_pli_relays = 0;
+  std::uint64_t relay_demand_reports = 0;
 };
 
 struct StreamInfo {
@@ -186,6 +197,18 @@ Analysis Analyze(const Telemetry& telemetry);
 // forwarded histogram sums to pairs_forwarded and matches both the ledger
 // and the per-stream histograms, and a stream switches layers only at
 // keyframe boundaries.
+//
+// Cascaded runs (regions > 1) add relay-hop conservation: root->edge
+// pipes never lose (relay_forwarded to a destination == relay_ingested
+// there, per (origin, frame, layer, destination)), every root forward
+// rides a prior edge->root forward of the same layer, a subscriber
+// verdict in a remote region requires a matching ingest of that pair at
+// the region, and the ledger's relay_forwarded / relay_dropped totals
+// match the run line's relay_layers_relayed /
+// relay_prefixes_dropped_budget counters. The per-pair verdict rule
+// becomes region-aware: a completed pair owes one verdict per origin-edge
+// local subscriber plus one per subscriber of every region that ingested
+// it (relay-dropped regions owe none).
 std::vector<std::string> CheckInvariants(const Telemetry& telemetry);
 
 // Human-readable report (summary, drop attribution, stall onsets, share
