@@ -38,7 +38,7 @@ using namespace livo;
 
 constexpr int kFrames = 12;
 const char* kCacheDir = ".bench_cache";
-const char* kCacheVersion = "conf3";
+const char* kCacheVersion = "conf4";
 
 sim::ScaleProfile Profile() {
   sim::ScaleProfile profile;
@@ -48,23 +48,30 @@ sim::ScaleProfile Profile() {
   return profile;
 }
 
-const sim::CapturedSequence& Sequence(const std::string& name) {
-  static std::map<std::string, sim::CapturedSequence> cache;
-  auto it = cache.find(name);
+// The loss-resilience table runs longer rosters: the loss EWMA, parity
+// budget, and repair scheduler need more than a dozen frames of history
+// before their effect on PLI / stall rates is measurable.
+constexpr int kLossTableFrames = 48;
+
+const sim::CapturedSequence& Sequence(const std::string& name, int frames) {
+  static std::map<std::pair<std::string, int>, sim::CapturedSequence> cache;
+  auto it = cache.find({name, frames});
   if (it == cache.end()) {
-    it = cache.emplace(name, sim::CaptureVideo(name, Profile(), kFrames))
+    it = cache
+             .emplace(std::make_pair(name, frames),
+                      sim::CaptureVideo(name, Profile(), frames))
              .first;
   }
   return it->second;
 }
 
-conference::ParticipantSpec SpecFor(int index) {
+conference::ParticipantSpec SpecFor(int index, int frames) {
   const auto& videos = sim::AllVideos();
   const sim::VideoSpec& video = videos[index % videos.size()];
   const auto style = static_cast<sim::TraceStyle>(index % 3);
   conference::ParticipantSpec spec;
-  spec.sequence = &Sequence(video.name);
-  spec.user_trace = sim::GenerateUserTrace(video.name, style, kFrames + 90);
+  spec.sequence = &Sequence(video.name, frames);
+  spec.user_trace = sim::GenerateUserTrace(video.name, style, frames + 90);
   spec.uplink_trace = sim::MakeTrace2(30.0, 202 + index);
   spec.downlink_trace = sim::MakeTrace2(30.0, 404 + index);
   spec.uplink_trace_offset_ms = 4000.0 * index;
@@ -75,11 +82,25 @@ conference::ParticipantSpec SpecFor(int index) {
   return spec;
 }
 
+// Loss knobs shared by every sweep point (all zero-loss by default).
+struct LossSetup {
+  double rate = 0.0;
+  net::LossModel model = net::LossModel::kIid;
+  bool fec = false;
+};
+
 conference::ConferenceOptions OptionsFor(int n, bool shared, int layers,
-                                         int regions) {
+                                         int regions, const LossSetup& loss) {
   conference::ConferenceOptions options;
   options.bandwidth_scale = Profile().bandwidth_scale;
   options.ladder_layers = layers;
+  for (net::LinkConfig* link :
+       {&options.uplink_channel.link, &options.downlink_channel.link,
+        &options.shared_uplink_config, &options.shared_downlink_config}) {
+    link->loss_rate = loss.rate;
+    link->loss_model = loss.model;
+  }
+  options.fec.enabled = loss.fec;
   // A region needs at least one participant, so small sweep points clamp
   // (RunConference rejects regions > parties outright).
   options.regions = std::min(regions, n);
@@ -122,6 +143,27 @@ struct SweepPoint {
   std::vector<std::uint64_t> forwarded_by_layer;
   std::uint64_t layer_switches = 0;  // up + down, over all streams
   double encode_ms = 0.0;  // total sender encode wall-ms across parties
+  // Loss-resilience counters (all zero on lossless / FEC-off points).
+  std::uint64_t plis = 0;          // keyframe requests, both directions
+  std::uint64_t nack_rounds = 0;   // repair rounds, both directions
+  std::uint64_t recovered = 0;     // fragments rebuilt from parity
+  std::uint64_t repairs_abandoned = 0;
+  std::uint64_t parity_bytes = 0;  // uplink + downlink parity wire bytes
+  std::uint64_t wire_bytes = 0;    // uplink + downlink total wire bytes
+
+  // PLIs per virtual second across the whole conference.
+  double PliRate() const {
+    return virtual_ms > 0.0 ? 1000.0 * static_cast<double>(plis) / virtual_ms
+                            : 0.0;
+  }
+  // Parity wire bytes over media wire bytes (the redundancy the run
+  // actually spent; bounded by the policy's redundancy cap).
+  double ParityOverhead() const {
+    const std::uint64_t media = wire_bytes - std::min(wire_bytes, parity_bytes);
+    return media > 0 ? static_cast<double>(parity_bytes) /
+                           static_cast<double>(media)
+                     : 0.0;
+  }
 };
 
 std::string LayerList(const SweepPoint& p, const char* sep) {
@@ -134,7 +176,7 @@ std::string LayerList(const SweepPoint& p, const char* sep) {
 }
 
 std::string JsonRow(const SweepPoint& p) {
-  char buf[768];
+  char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
       "    {\"parties\": %d, \"topology\": \"%s\", \"wall_ms\": %.3f, "
@@ -145,6 +187,9 @@ std::string JsonRow(const SweepPoint& p) {
       "\"share_min\": %.4f, \"share_max\": %.4f, "
       "\"pairs_forwarded\": %llu, \"pairs_dropped\": %llu, "
       "\"layer_switches\": %llu, \"encode_ms\": %.3f, "
+      "\"plis\": %llu, \"nack_rounds\": %llu, \"recovered\": %llu, "
+      "\"repairs_abandoned\": %llu, \"pli_rate\": %.4f, "
+      "\"parity_overhead\": %.4f, "
       "\"forwarded_by_layer\": [%s]}",
       p.parties, p.shared ? "shared" : "private", p.wall_ms, p.virtual_ms,
       static_cast<unsigned long long>(p.events), p.events_per_sec,
@@ -153,6 +198,11 @@ std::string JsonRow(const SweepPoint& p) {
       static_cast<unsigned long long>(p.pairs_forwarded),
       static_cast<unsigned long long>(p.pairs_dropped),
       static_cast<unsigned long long>(p.layer_switches), p.encode_ms,
+      static_cast<unsigned long long>(p.plis),
+      static_cast<unsigned long long>(p.nack_rounds),
+      static_cast<unsigned long long>(p.recovered),
+      static_cast<unsigned long long>(p.repairs_abandoned),
+      p.PliRate(), p.ParityOverhead(),
       LayerList(p, ", ").c_str());
   return buf;
 }
@@ -171,7 +221,11 @@ std::string Serialize(const SweepPoint& p) {
      << "\nshare_max " << p.share_max << "\npairs_forwarded "
      << p.pairs_forwarded << "\npairs_dropped " << p.pairs_dropped
      << "\nlayer_switches " << p.layer_switches << "\nencode_ms "
-     << p.encode_ms << "\nforwarded_by_layer " << LayerList(p, ",") << "\n";
+     << p.encode_ms << "\nplis " << p.plis << "\nnack_rounds "
+     << p.nack_rounds << "\nrecovered " << p.recovered
+     << "\nrepairs_abandoned " << p.repairs_abandoned << "\nparity_bytes "
+     << p.parity_bytes << "\nwire_bytes " << p.wire_bytes
+     << "\nforwarded_by_layer " << LayerList(p, ",") << "\n";
   return os.str();
 }
 
@@ -205,6 +259,13 @@ bool Deserialize(const std::string& text, SweepPoint& p) {
     else if (key == "pairs_dropped" && (is >> p.pairs_dropped)) ++fields;
     else if (key == "layer_switches" && (is >> p.layer_switches)) ++fields;
     else if (key == "encode_ms" && (is >> p.encode_ms)) ++fields;
+    else if (key == "plis" && (is >> p.plis)) ++fields;
+    else if (key == "nack_rounds" && (is >> p.nack_rounds)) ++fields;
+    else if (key == "recovered" && (is >> p.recovered)) ++fields;
+    else if (key == "repairs_abandoned" && (is >> p.repairs_abandoned))
+      ++fields;
+    else if (key == "parity_bytes" && (is >> p.parity_bytes)) ++fields;
+    else if (key == "wire_bytes" && (is >> p.wire_bytes)) ++fields;
     else if (key == "forwarded_by_layer") {
       std::string list;
       if (is >> list && ParseLayerList(list, p.forwarded_by_layer)) ++fields;
@@ -212,16 +273,17 @@ bool Deserialize(const std::string& text, SweepPoint& p) {
     }
     else return false;
   }
-  return fields == 14;
+  return fields == 20;
 }
 
 SweepPoint RunPoint(int n, bool shared, bool fresh, int layers,
-                    int regions) {
+                    int regions, const LossSetup& loss,
+                    int frames = kFrames) {
   std::vector<conference::ParticipantSpec> specs;
   specs.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) specs.push_back(SpecFor(i));
+  for (int i = 0; i < n; ++i) specs.push_back(SpecFor(i, frames));
   const conference::ConferenceOptions options =
-      OptionsFor(n, shared, layers, regions);
+      OptionsFor(n, shared, layers, regions, loss);
 
   SweepPoint point;
   point.parties = n;
@@ -261,12 +323,23 @@ SweepPoint RunPoint(int n, bool shared, bool fresh, int layers,
   point.events_per_sec = wall_s > 0 ? result.events_dispatched / wall_s : 0;
   std::size_t streams = 0;
   for (const auto& participant : result.participants) {
+    point.plis += participant.uplink_keyframe_requests;
+    point.nack_rounds +=
+        participant.nacks_sent + participant.uplink_nacks;
+    point.recovered += participant.fragments_recovered +
+                       participant.uplink_fragments_recovered;
+    point.repairs_abandoned += participant.repairs_abandoned;
+    point.parity_bytes += participant.uplink_parity_bytes +
+                          participant.downlink_parity_bytes;
+    point.wire_bytes +=
+        participant.bytes_sent + participant.downlink_bytes_sent;
     for (const auto& stream : participant.streams) {
       point.mean_fps += stream.fps;
       point.mean_stall_rate += stream.stall_rate;
       point.mean_latency_ms += stream.mean_latency_ms;
       point.stall_aware_latency_ms += stream.stall_aware_latency_ms;
       point.layer_switches += stream.layer_switches;
+      point.plis += stream.keyframe_requests;
       ++streams;
     }
   }
@@ -331,13 +404,43 @@ int main(int argc, char** argv) {
   // --regions=<r> cascades each point: r edge SFUs over contiguous roster
   // blocks, bridged by a root relay, sharded over r+1 loops.
   int regions = 1;
+  // --loss=<rate> applies random loss to every access link; --loss_model
+  // picks the process (iid | ge); --fec enables the src/fec subsystem;
+  // --loss_table runs the loss-resilience acceptance sweep (parties x
+  // loss x {nack, fec}) in addition to the main sweep.
+  LossSetup loss;
+  bool loss_table = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const std::string json_prefix = "--conference_json=";
     const std::string parties_prefix = "--parties=";
     const std::string layers_prefix = "--layers=";
     const std::string regions_prefix = "--regions=";
-    if (arg.rfind(json_prefix, 0) == 0) {
+    const std::string loss_prefix = "--loss=";
+    const std::string loss_model_prefix = "--loss_model=";
+    if (arg.rfind(loss_prefix, 0) == 0) {
+      loss.rate = std::atof(arg.c_str() + loss_prefix.size());
+      if (loss.rate < 0.0 || loss.rate >= 1.0) {
+        std::fprintf(stderr, "--loss wants a rate in [0, 1), got %f\n",
+                     loss.rate);
+        return 2;
+      }
+    } else if (arg.rfind(loss_model_prefix, 0) == 0) {
+      const std::string model = arg.substr(loss_model_prefix.size());
+      if (model == "iid") {
+        loss.model = net::LossModel::kIid;
+      } else if (model == "ge" || model == "gilbert_elliott") {
+        loss.model = net::LossModel::kGilbertElliott;
+      } else {
+        std::fprintf(stderr, "--loss_model wants iid or ge, got %s\n",
+                     model.c_str());
+        return 2;
+      }
+    } else if (arg == "--fec") {
+      loss.fec = true;
+    } else if (arg == "--loss_table") {
+      loss_table = true;
+    } else if (arg.rfind(json_prefix, 0) == 0) {
       json_path = arg.substr(json_prefix.size());
     } else if (arg.rfind(parties_prefix, 0) == 0) {
       const int n = std::atoi(arg.c_str() + parties_prefix.size());
@@ -366,7 +469,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--parties=<n>] [--layers=<l>] [--regions=<r>] "
-                   "[--fresh] [--conference_json=<path>]\n",
+                   "[--loss=<rate>] [--loss_model=iid|ge] [--fec] "
+                   "[--loss_table] [--fresh] [--conference_json=<path>]\n",
                    argv[0]);
       return 2;
     }
@@ -374,15 +478,98 @@ int main(int argc, char** argv) {
 
   std::vector<SweepPoint> priv, shared;
   for (int n : sweep) {
-    priv.push_back(RunPoint(n, false, fresh, layers, regions));
+    priv.push_back(RunPoint(n, false, fresh, layers, regions, loss));
   }
   // A shared access bottleneck couples the whole roster in one loop-group
   // domain, so RunConference rejects it for cascades: the contention half
   // of the sweep only exists for the direct topology.
   if (regions <= 1) {
     for (int n : sweep) {
-      shared.push_back(RunPoint(n, true, fresh, layers, regions));
+      shared.push_back(RunPoint(n, true, fresh, layers, regions, loss));
     }
+  }
+
+  // Loss-resilience acceptance sweep: NACK-only vs FEC + deadline-aware
+  // repair at iid loss 1/5/10%, 2-party (direct) and 8-party conference,
+  // private links. The FEC arm must beat NACK-only on both PLI rate and
+  // stall rate at every point (asserted by tools/livo_check.sh).
+  struct LossRow {
+    int parties;
+    double rate;
+    bool fec;
+    SweepPoint point;
+  };
+  std::vector<LossRow> resilience;
+  if (loss_table) {
+    for (const int n : {2, 8}) {
+      for (const double rate : {0.01, 0.05, 0.10}) {
+        for (const bool fec : {false, true}) {
+          LossSetup setup;
+          setup.rate = rate;
+          setup.fec = fec;
+          resilience.push_back(
+              {n, rate, fec,
+               RunPoint(n, false, fresh, layers, 1, setup,
+                        kLossTableFrames)});
+        }
+      }
+    }
+    bench::PrintHeader("BENCH conference",
+                       "loss resilience: NACK-only vs FEC + repair "
+                       "scheduling, iid loss, private links");
+    bench::PrintRow({"parties", "loss", "scheme", "pli_rate", "stall",
+                     "s_lat", "nacks", "recov", "aband", "overhead",
+                     "cache"});
+    for (const LossRow& row : resilience) {
+      bench::PrintRow({std::to_string(row.parties),
+                       bench::Fmt(row.rate, 2),
+                       row.fec ? "fec" : "nack",
+                       bench::Fmt(row.point.PliRate(), 3),
+                       bench::Fmt(row.point.mean_stall_rate, 4),
+                       bench::Fmt(row.point.stall_aware_latency_ms, 1),
+                       std::to_string(row.point.nack_rounds),
+                       std::to_string(row.point.recovered),
+                       std::to_string(row.point.repairs_abandoned),
+                       bench::Fmt(row.point.ParityOverhead(), 4),
+                       row.point.cached ? "hit" : "miss"});
+    }
+    // Acceptance: at every point the FEC arm is no worse than NACK-only
+    // on PLI rate and stall rate, strictly better on their totals, and
+    // its parity overhead stays under the redundancy cap.
+    // tools/livo_check.sh greps for the verdict.
+    const double cap = conference::ConferenceOptions{}.fec.redundancy_cap;
+    bool accept = true;
+    double nack_pli = 0.0, fec_pli = 0.0, nack_stall = 0.0, fec_stall = 0.0;
+    for (std::size_t i = 0; i + 1 < resilience.size(); i += 2) {
+      const LossRow& base = resilience[i];
+      const LossRow& with_fec = resilience[i + 1];
+      nack_pli += base.point.PliRate();
+      fec_pli += with_fec.point.PliRate();
+      nack_stall += base.point.mean_stall_rate;
+      fec_stall += with_fec.point.mean_stall_rate;
+      if (with_fec.point.PliRate() > base.point.PliRate() ||
+          with_fec.point.mean_stall_rate > base.point.mean_stall_rate ||
+          with_fec.point.ParityOverhead() > cap + 1e-9) {
+        accept = false;
+        std::printf("loss_resilience regression at parties=%d loss=%.2f: "
+                    "pli %.3f vs %.3f, stall %.4f vs %.4f, overhead %.4f "
+                    "(cap %.2f)\n",
+                    base.parties, base.rate, with_fec.point.PliRate(),
+                    base.point.PliRate(), with_fec.point.mean_stall_rate,
+                    base.point.mean_stall_rate,
+                    with_fec.point.ParityOverhead(), cap);
+      }
+    }
+    if (fec_pli >= nack_pli && fec_stall >= nack_stall &&
+        (nack_pli > 0.0 || nack_stall > 0.0)) {
+      accept = false;
+      std::printf("loss_resilience: FEC never strictly improved "
+                  "(pli %.3f vs %.3f, stall %.4f vs %.4f)\n",
+                  fec_pli, nack_pli, fec_stall, nack_stall);
+    }
+    std::printf("loss_resilience acceptance: %s\n",
+                accept ? "PASS" : "FAIL");
+    std::printf("\n");
   }
 
   PrintSweep(regions > 1
@@ -401,6 +588,22 @@ int main(int argc, char** argv) {
   json += "  \"frames_per_party\": " + std::to_string(kFrames) + ",\n";
   json += "  \"ladder_layers\": " + std::to_string(layers) + ",\n";
   json += "  \"regions\": " + std::to_string(regions) + ",\n";
+  // Loss process of the main sweep: model name, configured rate, and the
+  // deterministic link RNG seed (loss draws are seeded, so a rerun with
+  // the same header reproduces the same drops bit for bit).
+  {
+    const conference::ConferenceOptions defaults =
+        OptionsFor(2, false, layers, 1, loss);
+    char loss_buf[160];
+    std::snprintf(loss_buf, sizeof(loss_buf),
+                  "  \"loss_model\": \"%s\",\n  \"loss_rate\": %.4f,\n"
+                  "  \"link_seed\": %llu,\n  \"fec\": %s,\n",
+                  net::LossModelName(loss.model), loss.rate,
+                  static_cast<unsigned long long>(
+                      defaults.uplink_channel.link.seed),
+                  loss.fec ? "true" : "false");
+    json += loss_buf;
+  }
   json += "  \"sweep\": [\n";
   bool first = true;
   for (const auto* points : {&priv, &shared}) {
@@ -410,7 +613,34 @@ int main(int argc, char** argv) {
       json += JsonRow(p);
     }
   }
-  json += "\n  ]\n}\n";
+  json += "\n  ]";
+  if (!resilience.empty()) {
+    json += ",\n  \"loss_resilience\": [\n";
+    first = true;
+    for (const LossRow& row : resilience) {
+      if (!first) json += ",\n";
+      first = false;
+      char buf[320];
+      std::snprintf(
+          buf, sizeof(buf),
+          "    {\"parties\": %d, \"loss_rate\": %.2f, \"scheme\": \"%s\", "
+          "\"pli_rate\": %.4f, \"plis\": %llu, \"stall_rate\": %.4f, "
+          "\"stall_aware_latency_ms\": %.2f, \"nack_rounds\": %llu, "
+          "\"recovered\": %llu, \"repairs_abandoned\": %llu, "
+          "\"parity_overhead\": %.4f}",
+          row.parties, row.rate, row.fec ? "fec" : "nack",
+          row.point.PliRate(),
+          static_cast<unsigned long long>(row.point.plis),
+          row.point.mean_stall_rate, row.point.stall_aware_latency_ms,
+          static_cast<unsigned long long>(row.point.nack_rounds),
+          static_cast<unsigned long long>(row.point.recovered),
+          static_cast<unsigned long long>(row.point.repairs_abandoned),
+          row.point.ParityOverhead());
+      json += buf;
+    }
+    json += "\n  ]";
+  }
+  json += "\n}\n";
   std::ofstream(json_path) << json;
   std::printf("wrote %s\n", json_path.c_str());
   return 0;

@@ -21,6 +21,7 @@
 
 #include "bench_util.h"
 #include "core/experiment.h"
+#include "net/link.h"
 #include "runtime/multi_session.h"
 #include "sim/dataset.h"
 #include "sim/nettrace.h"
@@ -236,9 +237,20 @@ int main(int argc, char** argv) {
   PrintShardSweep(sharded);
 
   const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  // Loss-model provenance: every session link in this bench runs the
+  // default LinkConfig; recording model + seed in the header keeps the
+  // emitted numbers reproducible against the deterministic LinkEmulator.
+  const net::LinkConfig link;
   std::string json = "{\n  \"bench\": \"runtime_multisession\",\n";
   json += "  \"hardware_concurrency\": " + std::to_string(hw) + ",\n";
   json += "  \"frames_per_session\": " + std::to_string(kFrames) + ",\n";
+  json += "  \"loss_model\": \"" +
+          std::string(net::LossModelName(link.loss_model)) + "\",\n";
+  char loss_buf[96];
+  std::snprintf(loss_buf, sizeof(loss_buf),
+                "  \"loss_rate\": %.4f,\n  \"link_seed\": %llu,\n",
+                link.loss_rate, static_cast<unsigned long long>(link.seed));
+  json += loss_buf;
   json += "  \"sweep\": [\n";
   bool first = true;
   for (const auto* points : {&independent, &shared}) {

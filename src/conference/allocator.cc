@@ -106,8 +106,15 @@ void DownlinkAllocator::BeginInterval(int subscriber, double start_ms,
 }
 
 bool DownlinkAllocator::DebitPair(Subscriber& sub, std::size_t slot,
-                                  bool keyframe, double color, double depth) {
+                                  bool keyframe, double media_color,
+                                  double media_depth) {
   const std::size_t i = slot;
+  // FEC surcharge: the buckets pay for the parity packets that ride this
+  // pair, but forwarded_bytes (audited against the ledger's media hops)
+  // records media only.
+  const double po = 1.0 + std::max(0.0, config_.parity_overhead);
+  const double color = media_color * po;
+  const double depth = media_depth * po;
   if (keyframe) {
     // Pooling rule: a keyframe pair restarts a clean decode, so it may
     // borrow across the remote's two stream buckets. Each stream spends
@@ -130,7 +137,7 @@ bool DownlinkAllocator::DebitPair(Subscriber& sub, std::size_t slot,
     sub.color_credit[i] -= color;
     sub.depth_credit[i] -= depth;
   }
-  sub.forwarded_bytes += color + depth;
+  sub.forwarded_bytes += media_color + media_depth;
   return true;
 }
 
@@ -181,10 +188,13 @@ int DownlinkAllocator::TryForwardLayered(
     const LayerPairBytes& layer = layers[static_cast<std::size_t>(q)];
     if (!layer.valid) continue;
     if (keyframe && q != cheapest) {
-      const double key_cost = static_cast<double>(layer.color_bytes) +
-                              static_cast<double>(layer.depth_bytes);
-      if (layer.sustained_interval_bytes > refill ||
-          credit - key_cost < layer.sustained_interval_bytes) {
+      // Sustainability is judged at wire cost: media plus its parity
+      // surcharge, on both the key itself and the steady-state rate.
+      const double po = 1.0 + std::max(0.0, config_.parity_overhead);
+      const double key_cost = po * (static_cast<double>(layer.color_bytes) +
+                                    static_cast<double>(layer.depth_bytes));
+      const double sustained = po * layer.sustained_interval_bytes;
+      if (sustained > refill || credit - key_cost < sustained) {
         continue;
       }
     }

@@ -46,6 +46,12 @@ struct AllocatorConfig {
   // driven by the candidate vector each TryForwardLayered call carries.
   int layers = 1;
   core::SplitConfig split;
+  // FEC parity surcharge (src/fec, DESIGN.md §12): every debit is priced
+  // at (1 + parity_overhead) x the media bytes, so the token buckets
+  // reserve headroom for the parity packets that ride each forwarded
+  // pair. forwarded_bytes in the audit rows stays media-only (the ledger
+  // reconciliation compares against media payloads).
+  double parity_overhead = 0.0;
 };
 
 // One closed allocation interval for one subscriber.
@@ -140,7 +146,7 @@ class DownlinkAllocator {
 
   void CloseInterval(int subscriber);
   bool DebitPair(Subscriber& sub, std::size_t slot, bool keyframe,
-                 double color, double depth);
+                 double media_color, double media_depth);
   std::vector<double> NormalizeShares(
       const std::vector<double>& visibility) const;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fec/fec.h"
 #include "obs/obs.h"
 
 namespace livo::conference {
@@ -20,6 +21,13 @@ AllocatorConfig RelayAllocatorConfig(const ConferenceOptions& options,
   config.share_floor = options.share_floor;
   config.layers = EffectiveLadderLayers(options, parties);
   config.split = options.forward_split;
+  // Relay pipes are lossless, but everything a relay admits is eventually
+  // re-sent on a lossy destination downlink carrying parity — price that
+  // surcharge here so the pipe never admits a prefix the FEC-inflated
+  // downlinks cannot actually carry (the cascade's stand-in for
+  // packet-level parity, which cannot cross a frame-level relay).
+  config.parity_overhead = fec::PlanningOverhead(
+      options.fec, net::MeanLossRate(options.downlink_channel.link));
   return config;
 }
 

@@ -42,6 +42,12 @@ class Fnv1a {
 void Describe(std::ostream& os, const net::LinkConfig& l) {
   os << l.propagation_delay_ms << ',' << l.max_queue_delay_ms << ','
      << l.loss_rate << ',' << l.bandwidth_scale << ',' << l.seed;
+  if (l.loss_model != net::LossModel::kIid) {
+    // Appended only for non-iid models so existing cache entries keep
+    // their keys (same gating precedent as the cascade block below).
+    os << "|lm:" << net::LossModelName(l.loss_model) << ',' << l.ge_p_good_bad
+       << ',' << l.ge_p_bad_good << ',' << l.ge_bad_loss;
+  }
 }
 
 void Describe(std::ostream& os, const net::ChannelConfig& c) {
@@ -50,6 +56,9 @@ void Describe(std::ostream& os, const net::ChannelConfig& c) {
      << c.gcc.max_bps << "|ch:" << c.jitter_buffer_ms << ','
      << c.feedback_interval_ms << ',' << c.enable_nack << ','
      << c.copy_payloads;
+  if (c.enable_fec) {
+    os << "|fec:" << c.fec_redundancy_cap;
+  }
 }
 
 void Describe(std::ostream& os, const sim::BandwidthTrace& t) {
@@ -164,6 +173,15 @@ ConferenceResult RunConference(const std::vector<ParticipantSpec>& specs,
   result.scheme = options.scheme_name;
   result.regions = regions;
   result.shards = shards;
+  result.fec = options.fec.enabled;
+
+  // One policy, every access link: the conference-level FEC switch turns
+  // on parity + deadline-aware repair for each channel built below.
+  const auto apply_fec = [&options](net::ChannelConfig& cfg) {
+    if (!options.fec.enabled) return;
+    cfg.enable_fec = true;
+    cfg.fec_redundancy_cap = options.fec.redundancy_cap;
+  };
 
   for (const ParticipantSpec& spec : specs) {
     const double span = spec.sequence->frames.size() * 1000.0 /
@@ -248,6 +266,7 @@ ConferenceResult RunConference(const std::vector<ParticipantSpec>& specs,
     if (shared_uplink) {
       net::ChannelConfig cfg = options.uplink_channel;
       cfg.obs_label = obs_prefix + ".uplink";
+      apply_fec(cfg);
       cfg.link.bandwidth_scale =
           options.shared_uplink_config.bandwidth_scale;
       cfg.gcc.initial_bps = options.shared_uplink_trace.MeanMbps() *
@@ -257,6 +276,7 @@ ConferenceResult RunConference(const std::vector<ParticipantSpec>& specs,
     } else {
       net::ChannelConfig cfg = options.uplink_channel;
       cfg.obs_label = obs_prefix + ".uplink";
+      apply_fec(cfg);
       cfg.link.bandwidth_scale = options.bandwidth_scale;
       cfg.gcc.initial_bps =
           spec.uplink_trace.MeanMbps() * options.bandwidth_scale * 1e6 * 0.8;
@@ -270,6 +290,7 @@ ConferenceResult RunConference(const std::vector<ParticipantSpec>& specs,
     if (shared_downlink) {
       net::ChannelConfig cfg = options.downlink_channel;
       cfg.obs_label = obs_prefix + ".downlink";
+      apply_fec(cfg);
       cfg.link.bandwidth_scale =
           options.shared_downlink_config.bandwidth_scale;
       cfg.gcc.initial_bps = options.shared_downlink_trace.MeanMbps() *
@@ -279,6 +300,7 @@ ConferenceResult RunConference(const std::vector<ParticipantSpec>& specs,
     } else {
       net::ChannelConfig cfg = options.downlink_channel;
       cfg.obs_label = obs_prefix + ".downlink";
+      apply_fec(cfg);
       cfg.link.bandwidth_scale = options.bandwidth_scale;
       cfg.gcc.initial_bps =
           spec.downlink_trace.MeanMbps() * options.bandwidth_scale * 1e6 *
@@ -371,6 +393,20 @@ std::uint64_t ConferenceResult::Fingerprint() const {
     h.Mix(static_cast<std::uint64_t>(p.congestion_skips));
     h.Mix(p.mean_split);
     h.Mix(p.mean_target_bps);
+    // Loss-resilience counters are virtual-time deterministic (seeded
+    // loss, virtual-clock repair deadlines), so they belong in the
+    // contract: a rerun, reshard, or codec-thread change that shifts any
+    // parity/recovery/repair decision must change the fingerprint.
+    h.Mix(static_cast<std::uint64_t>(p.uplink_parity_bytes));
+    h.Mix(static_cast<std::uint64_t>(p.uplink_keyframe_requests));
+    h.Mix(static_cast<std::uint64_t>(p.uplink_nacks));
+    h.Mix(static_cast<std::uint64_t>(p.uplink_fragments_recovered));
+    h.Mix(static_cast<std::uint64_t>(p.downlink_parity_bytes));
+    h.Mix(static_cast<std::uint64_t>(p.downlink_bytes_sent));
+    h.Mix(static_cast<std::uint64_t>(p.fragments_recovered));
+    h.Mix(static_cast<std::uint64_t>(p.repairs_scheduled));
+    h.Mix(static_cast<std::uint64_t>(p.repairs_abandoned));
+    h.Mix(static_cast<std::uint64_t>(p.nacks_sent));
     for (const RemoteStreamResult& stream : p.streams) {
       h.Mix(static_cast<std::uint64_t>(stream.origin));
       h.Mix(static_cast<std::uint64_t>(stream.pairs_forwarded));
@@ -380,6 +416,9 @@ std::uint64_t ConferenceResult::Fingerprint() const {
       h.Mix(stream.mean_latency_ms);
       h.Mix(stream.stall_aware_latency_ms);
       h.Mix(static_cast<std::uint64_t>(stream.layer_switches));
+      h.Mix(static_cast<std::uint64_t>(stream.keyframe_requests));
+      h.Mix(static_cast<std::uint64_t>(stream.nacks));
+      h.Mix(static_cast<std::uint64_t>(stream.fragments_recovered));
       for (const std::size_t n : stream.forwarded_by_layer) {
         h.Mix(static_cast<std::uint64_t>(n));
       }
@@ -470,6 +509,11 @@ std::string ConferenceCacheKey(const std::vector<ParticipantSpec>& specs,
     Describe(os, options.shared_downlink_config);
   }
   os << "|ladder:" << options.ladder_layers << ',' << options.ladder_qp_step;
+  if (options.fec.enabled) {
+    // Appended only when FEC is on so existing entries keep their keys.
+    os << "|fec:" << options.fec.redundancy_cap << ',' << options.fec.loss_gain
+       << ',' << options.fec.utility_floor;
+  }
   if (options.regions > 1) {
     // Appended only for cascades so direct entries keep their keys.
     // options.shards is deliberately absent: results are shard-invariant.

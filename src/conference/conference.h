@@ -36,6 +36,9 @@ struct ConferenceResult {
   RelayStats relay;
   int regions = 1;
   int shards = 1;  // loop shards the run used; results-invariant
+  // Ran with the src/fec loss-resilience subsystem enabled (gates the
+  // FEC fields the telemetry writer emits).
+  bool fec = false;
   std::uint64_t events_dispatched = 0;
   std::uint64_t events_scheduled = 0;
   double virtual_ms = 0.0;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "conference/sfu.h"
+#include "fec/fec.h"
 #include "geom/frustum.h"
 #include "obs/obs.h"
 
@@ -82,6 +83,23 @@ ParticipantActor::ParticipantActor(runtime::EventLoop& loop, int index,
       [this](std::vector<net::ReceivedFrame> frames, double now_ms) {
         OnDownlinkFrames(std::move(frames), now_ms);
       });
+  if (options_.fec.enabled) {
+    // Downlink loss-resilience hops: this participant is the receiving
+    // end, so the subscriber field is its roster index and `layer`
+    // carries the (slot, ladder layer, lane)-encoding stream id.
+    downlink_->SetFecEventHook(
+        [this](net::VideoChannel::FecEvent event, std::uint32_t stream_id,
+               std::uint32_t frame_index, double now_ms, std::size_t bytes) {
+          obs::FrameLedger& ledger = obs::FrameLedger::Get();
+          if (!ledger.enabled()) return;
+          const int slot = static_cast<int>(
+              stream_id / (2u * static_cast<std::uint32_t>(layers_)));
+          ledger.Record(OriginOfSlot(slot),
+                        static_cast<std::int32_t>(frame_index), index_,
+                        FecLedgerHop(event), now_ms, bytes, false,
+                        static_cast<std::int32_t>(stream_id));
+        });
+  }
 }
 
 void ParticipantActor::Start() {
@@ -137,6 +155,28 @@ void ParticipantActor::OnWake(double now_ms) {
   const auto elapsed_ticks =
       static_cast<long>(std::llround(now_ms - last_tick_ms_));
   for (long t = 0; t < elapsed_ticks; ++t) sender_->ObserveRtt(rtt_ms);
+
+  if (options_.fec.enabled) {
+    // Uplink FEC: the SFU must reassemble every ladder layer (unlike a
+    // viewer it cannot look away from a stream), so utility carries no
+    // visibility term — only the split controller's depth-vs-color
+    // weight, mirroring the downlink tilt.
+    const double loss = uplink_->LossEstimate();
+    const double split = sender_->splitter().split();
+    const double r_color = fec::ChooseRedundancy(
+        options_.fec, loss, std::clamp(2.0 * (1.0 - split), 0.0, 1.0));
+    const double r_depth = fec::ChooseRedundancy(
+        options_.fec, loss, std::clamp(2.0 * split, 0.0, 1.0));
+    for (int q = 0; q < layers_; ++q) {
+      uplink_->SetStreamRedundancy(core::LadderColorStream(layers_, q),
+                                   r_color);
+      uplink_->SetStreamRedundancy(core::LadderDepthStream(layers_, q),
+                                   r_depth);
+    }
+    // Reserve the worst-case parity share out of the GCC target so media
+    // plus parity together respect the congestion controller's estimate.
+    sender_->SetParityOverhead(fec::ChooseRedundancy(options_.fec, loss, 1.0));
+  }
 
   bool sent_any = false;
   obs::FrameLedger& ledger = obs::FrameLedger::Get();
@@ -280,6 +320,34 @@ ParticipantResult ParticipantActor::TakeResult() {
   if (result_.frames_sent > 0) {
     result_.mean_split = split_sum_ / result_.frames_sent;
     result_.mean_target_bps = target_sum_ / result_.frames_sent;
+  }
+  // Loss-resilience harvest. Channel-level totals plus the per-stream
+  // receiver counters folded back to (subscriber, origin) scope: one
+  // remote stream spans 2 * layers channel streams (lane x ladder layer).
+  result_.uplink_parity_bytes = uplink_->stats().parity_bytes_sent;
+  result_.downlink_parity_bytes = downlink_->stats().parity_bytes_sent;
+  result_.downlink_bytes_sent = downlink_->stats().bytes_sent;
+  result_.fragments_recovered = downlink_->stats().fragments_recovered;
+  result_.repairs_scheduled = downlink_->stats().repairs_scheduled;
+  result_.repairs_abandoned = downlink_->stats().repairs_abandoned;
+  result_.nacks_sent = downlink_->stats().nacks_sent;
+  for (std::uint32_t id = 0; id < 2u * static_cast<std::uint32_t>(layers_);
+       ++id) {
+    result_.uplink_keyframe_requests += uplink_->StreamKeyframeRequests(id);
+    result_.uplink_nacks += uplink_->StreamNacks(id);
+    result_.uplink_fragments_recovered += uplink_->StreamRecovered(id);
+  }
+  for (std::size_t slot = 0; slot < result_.streams.size(); ++slot) {
+    RemoteStreamResult& stream = result_.streams[slot];
+    for (int q = 0; q < layers_; ++q) {
+      for (int lane = 0; lane < 2; ++lane) {
+        const auto id = static_cast<std::uint32_t>(
+            2 * (static_cast<int>(slot) * layers_ + q) + lane);
+        stream.keyframe_requests += downlink_->StreamKeyframeRequests(id);
+        stream.nacks += downlink_->StreamNacks(id);
+        stream.fragments_recovered += downlink_->StreamRecovered(id);
+      }
+    }
   }
   for (RemoteStreamResult& stream : result_.streams) {
     const std::size_t expected = stream.frames.size();

@@ -75,6 +75,11 @@ struct RemoteStreamResult {
   // Pair deliveries by ladder layer (size = effective conference layers).
   std::vector<std::size_t> forwarded_by_layer;
   std::size_t layer_switches = 0;  // forwarded-layer changes on this stream
+  // Downlink loss-resilience counters for this (subscriber, origin)
+  // stream, summed over its (layer, lane) channel streams.
+  std::size_t keyframe_requests = 0;  // PLIs this subscriber raised
+  std::size_t nacks = 0;              // repair rounds (NACK or scheduled)
+  std::size_t fragments_recovered = 0;  // rebuilt from parity, no NACK
 };
 
 struct ParticipantResult {
@@ -86,6 +91,19 @@ struct ParticipantResult {
   std::size_t congestion_skips = 0;
   double mean_split = 0.0;
   double mean_target_bps = 0.0;
+  // Loss-resilience totals (src/fec). Uplink counters describe this
+  // participant's own streams toward the SFU; downlink counters describe
+  // the channel carrying every remote stream to this subscriber.
+  std::size_t uplink_parity_bytes = 0;    // subset of bytes_sent
+  std::size_t uplink_keyframe_requests = 0;
+  std::size_t uplink_nacks = 0;
+  std::size_t uplink_fragments_recovered = 0;
+  std::size_t downlink_parity_bytes = 0;
+  std::size_t downlink_bytes_sent = 0;    // all SFU->subscriber wire bytes
+  std::size_t fragments_recovered = 0;    // downlink, = sum over streams
+  std::size_t repairs_scheduled = 0;      // downlink deadline-admitted
+  std::size_t repairs_abandoned = 0;      // downlink given up early
+  std::size_t nacks_sent = 0;             // downlink repair rounds
   std::vector<RemoteStreamResult> streams;  // by slot
 };
 

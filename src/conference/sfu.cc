@@ -5,6 +5,7 @@
 #include <limits>
 #include <utility>
 
+#include "fec/fec.h"
 #include "obs/obs.h"
 
 namespace livo::conference {
@@ -47,6 +48,16 @@ AllocatorConfig MakeAllocatorConfig(const ConferenceOptions& options,
   config.share_floor = options.share_floor;
   config.layers = EffectiveLadderLayers(options, parties);
   config.split = options.forward_split;
+  // Token buckets price the FEC parity that will ride each forwarded
+  // pair, planned from the downlink's mean loss rate (the per-stream
+  // redundancy tracks the live estimate; the planner only needs the
+  // stationary envelope).
+  const net::LinkConfig& downlink =
+      options.downlink_mode == LinkMode::kShared
+          ? options.shared_downlink_config
+          : options.downlink_channel.link;
+  config.parity_overhead =
+      fec::PlanningOverhead(options.fec, net::MeanLossRate(downlink));
   return config;
 }
 
@@ -68,6 +79,8 @@ SfuActor::SfuActor(runtime::EventLoop& loop,
   }
   pose_feed_idx_.assign(specs.size(), 0);
   remote_pose_feed_idx_.assign(specs.size(), 0);
+  visibility_.assign(specs.size(),
+                     std::vector<double>(specs.size() - 1, 1.0));
   pending_.resize(specs.size());
   forward_high_.assign(specs.size(), 0);
   awaiting_key_.assign(specs.size(),
@@ -101,6 +114,20 @@ void SfuActor::AddParticipant(ParticipantActor* participant) {
       [this, origin](std::vector<net::ReceivedFrame> frames, double now_ms) {
         OnUplinkFrames(origin, frames, now_ms);
       });
+  if (options_.fec.enabled) {
+    // Uplink loss-resilience hops: the SFU is the receiving end, so the
+    // subscriber field is -1 and `layer` carries the uplink stream id
+    // (which encodes (ladder layer, depth/color lane)).
+    participant->uplink().SetFecEventHook(
+        [origin](net::VideoChannel::FecEvent event, std::uint32_t stream_id,
+                 std::uint32_t frame_index, double now_ms, std::size_t bytes) {
+          obs::FrameLedger& ledger = obs::FrameLedger::Get();
+          if (!ledger.enabled()) return;
+          ledger.Record(origin, static_cast<std::int32_t>(frame_index), -1,
+                        FecLedgerHop(event), now_ms, bytes, false,
+                        static_cast<std::int32_t>(stream_id));
+        });
+  }
 }
 
 void SfuActor::SetSharedLinks(runtime::SharedLink* uplink,
@@ -213,6 +240,7 @@ void SfuActor::RunAllocations(double now_ms) {
       const double budget_bytes = sub->downlink().TargetBitrateBps() *
                                   options_.allocation_interval_ms / 1000.0 /
                                   8.0;
+      visibility_[static_cast<std::size_t>(s)] = visibility;
       allocator_.BeginInterval(s, next_alloc_ms_, budget_bytes, visibility);
     }
     if (relay_ != nullptr) {
@@ -482,6 +510,27 @@ void SfuActor::FanOutLadder(int origin, std::uint32_t frame_index,
 
     const PendingPair& sent = layers[static_cast<std::size_t>(chosen)];
     const std::size_t sent_bytes = sent.color->size() + sent.depth->size();
+    if (options_.fec.enabled) {
+      // Visibility-weighted redundancy (DESIGN.md §12): utility is the
+      // Kalman-predicted visible fraction of this origin's seat, tilted
+      // by the (subscriber, slot) split controller's depth-vs-color
+      // weight — parity goes first to the streams whose loss the viewer
+      // would actually see.
+      const double vis =
+          visibility_[static_cast<std::size_t>(s)]
+                     [static_cast<std::size_t>(slot)];
+      const double split = allocator_.SplitOf(s, slot);
+      const double loss = sub->downlink().LossEstimate();
+      sub->downlink().SetStreamRedundancy(
+          DownlinkStream(slot, chosen, false),
+          fec::ChooseRedundancy(
+              options_.fec, loss,
+              std::clamp(vis * 2.0 * (1.0 - split), 0.0, 1.0)));
+      sub->downlink().SetStreamRedundancy(
+          DownlinkStream(slot, chosen, true),
+          fec::ChooseRedundancy(options_.fec, loss,
+                                std::clamp(vis * 2.0 * split, 0.0, 1.0)));
+    }
     sub->downlink().SendFrame(DownlinkStream(slot, chosen, false), frame_index,
                               sent.color_keyframe, sent.color, now_ms);
     sub->downlink().SendFrame(DownlinkStream(slot, chosen, true), frame_index,

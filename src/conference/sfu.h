@@ -44,10 +44,27 @@
 #include "conference/topology.h"
 #include "core/frustum_predictor.h"
 #include "net/transport.h"
+#include "obs/ledger.h"
 #include "runtime/event_loop.h"
 #include "runtime/shared_link.h"
 
 namespace livo::conference {
+
+// Ledger hop for a transport FEC/repair lifecycle event; shared by the
+// uplink (SFU-side) and downlink (participant-side) hook wiring.
+inline obs::LedgerHop FecLedgerHop(net::VideoChannel::FecEvent event) {
+  switch (event) {
+    case net::VideoChannel::FecEvent::kParityIngested:
+      return obs::LedgerHop::kParityIngested;
+    case net::VideoChannel::FecEvent::kRecovered:
+      return obs::LedgerHop::kRecoveredFec;
+    case net::VideoChannel::FecEvent::kRepairScheduled:
+      return obs::LedgerHop::kRepairScheduled;
+    case net::VideoChannel::FecEvent::kRepairAbandoned:
+      return obs::LedgerHop::kRepairAbandoned;
+  }
+  return obs::LedgerHop::kParityIngested;
+}
 
 struct SfuStats {
   std::size_t frames_in = 0;        // uplink frames (stream halves) received
@@ -239,6 +256,9 @@ class SfuActor {
   // Per-subscriber Kalman pose predictors fed by delayed uplink pose
   // feedback; their guard-band frustums drive the level-1 shares.
   std::vector<core::FrustumPredictor> predictors_;
+  // Last interval's level-1 visibility, [subscriber][slot]: the FEC
+  // utility signal (protect what the viewer is predicted to look at).
+  std::vector<std::vector<double>> visibility_;
   std::vector<std::size_t> pose_feed_idx_;         // into subscriber's trace
   std::vector<std::size_t> remote_pose_feed_idx_;  // N==2 sender culling feed
   std::vector<geom::Vec3> seat_offsets_;           // by slot (same for all)

@@ -56,6 +56,33 @@ void WriteConferenceTelemetry(std::ostream& os, const ConferenceResult& result,
     os << n;
   }
   os << "]";
+  if (result.fec) {
+    // Loss-resilience totals, only on FEC runs (same gating rationale as
+    // the cascade block below). Sums over every participant's channels.
+    std::size_t up_parity = 0, down_parity = 0, down_bytes = 0;
+    std::size_t recovered = 0, scheduled = 0, abandoned = 0, nacks = 0;
+    std::size_t plis = 0;
+    for (const ParticipantResult& p : result.participants) {
+      up_parity += p.uplink_parity_bytes;
+      down_parity += p.downlink_parity_bytes;
+      down_bytes += p.downlink_bytes_sent;
+      recovered += p.fragments_recovered + p.uplink_fragments_recovered;
+      scheduled += p.repairs_scheduled;
+      abandoned += p.repairs_abandoned;
+      nacks += p.nacks_sent + p.uplink_nacks;
+      plis += p.uplink_keyframe_requests;
+      for (const RemoteStreamResult& s : p.streams) {
+        plis += s.keyframe_requests;
+      }
+    }
+    os << ",\"fec\":true,\"uplink_parity_bytes\":" << up_parity
+       << ",\"downlink_parity_bytes\":" << down_parity
+       << ",\"downlink_bytes\":" << down_bytes
+       << ",\"fragments_recovered\":" << recovered
+       << ",\"repairs_scheduled\":" << scheduled
+       << ",\"repairs_abandoned\":" << abandoned
+       << ",\"nack_rounds\":" << nacks << ",\"plis\":" << plis;
+  }
   if (result.regions > 1) {
     // Cascade fields only on cascaded runs: direct-run telemetry stays
     // byte-identical to pre-cascade writers.
@@ -84,6 +111,9 @@ void WriteConferenceTelemetry(std::ostream& os, const ConferenceResult& result,
          << ",\"stall_aware_latency_ms\":"
          << Safe(stream.stall_aware_latency_ms)
          << ",\"layer_switches\":" << stream.layer_switches
+         << ",\"keyframe_requests\":" << stream.keyframe_requests
+         << ",\"nacks\":" << stream.nacks
+         << ",\"recovered\":" << stream.fragments_recovered
          << ",\"forwarded_by_layer\":[";
       bool first = true;
       for (const std::size_t n : stream.forwarded_by_layer) {

@@ -20,6 +20,7 @@
 #include "core/receiver.h"
 #include "core/split.h"
 #include "core/types.h"
+#include "fec/fec.h"
 #include "geom/frustum.h"
 #include "geom/vec.h"
 #include "net/link.h"
@@ -126,6 +127,14 @@ struct ConferenceOptions {
   // Admission control: RunConference rejects parties above this cap
   // rather than degrading everyone below usability.
   int max_parties = 16;
+
+  // Visibility-weighted FEC + deadline-aware repair scheduling (src/fec,
+  // DESIGN.md §12). When fec.enabled, RunConference turns on parity
+  // protection for every uplink and downlink channel; origins carve the
+  // parity share out of their GCC target, the SFU prices the surcharge
+  // into the two-level token buckets, and per-stream redundancy follows
+  // the subscriber's predicted visible fraction and depth/color weight.
+  fec::FecPolicy fec;
 
   // ---- Cascaded edge SFUs (cascade.h, DESIGN.md §11) ----
   // regions > 1 splits the roster into that many contiguous blocks, each

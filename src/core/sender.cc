@@ -115,6 +115,11 @@ SenderOutput LiVoSender::ProcessFrame(std::vector<image::RgbdFrame> views,
                                       double target_bps) {
   SenderMetrics& metrics = Metrics();
   LIVO_SPAN("sender.frame");
+  // FEC carve (src/fec): media gets target / (1 + overhead) so that media
+  // plus its parity packets together fill — never exceed — the GCC target.
+  if (parity_overhead_ > 0.0) {
+    target_bps /= 1.0 + parity_overhead_;
+  }
   SenderOutput out;
   out.stats.frame_index = frame_index;
   out.stats.target_bps = target_bps;

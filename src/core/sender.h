@@ -9,6 +9,7 @@
 // the input to update the split via line search.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -55,6 +56,15 @@ class LiVoSender {
   // PLI/FIR from the receiver (per stream).
   void RequestKeyframe(std::uint32_t stream_id);
 
+  // Parity share of the transport budget (FEC, src/fec): ProcessFrame
+  // reserves target_bps * overhead / (1 + overhead) for parity packets
+  // before the depth/color line-search splits the remainder, so FEC never
+  // steals from the split blindly. 0 (the default) disables the carve.
+  void SetParityOverhead(double overhead) {
+    parity_overhead_ = std::max(0.0, overhead);
+  }
+  double parity_overhead() const { return parity_overhead_; }
+
   // Processes one captured frame. `views` is consumed (culled in place).
   // `target_bps` is the transport's current bandwidth estimate.
   SenderOutput ProcessFrame(std::vector<image::RgbdFrame> views,
@@ -80,6 +90,8 @@ class LiVoSender {
   // Unspent (or overdrawn) bytes relative to the long-run rate target;
   // lets keyframes borrow against credit banked by cheap P-frames.
   double byte_credit_ = 0.0;
+  // Current FEC parity/media ratio reserved out of the GCC target.
+  double parity_overhead_ = 0.0;
   // Frame-sized plane buffers reused across ProcessFrame calls so the
   // steady-state encode path performs no frame-sized allocations.
   std::vector<image::Plane16> color_planes_;

@@ -23,8 +23,42 @@ LinkMetrics& Metrics() {
 
 }  // namespace
 
+const char* LossModelName(LossModel model) {
+  switch (model) {
+    case LossModel::kIid:
+      return "iid";
+    case LossModel::kGilbertElliott:
+      return "gilbert_elliott";
+  }
+  return "unknown";
+}
+
+double MeanLossRate(const LinkConfig& config) {
+  if (config.loss_model == LossModel::kIid) return config.loss_rate;
+  // Stationary distribution of the two-state chain: pi_bad =
+  // p_gb / (p_gb + p_bg) (degenerate chains stay in their start state).
+  const double denom = config.ge_p_good_bad + config.ge_p_bad_good;
+  const double pi_bad = denom > 0.0 ? config.ge_p_good_bad / denom : 0.0;
+  return (1.0 - pi_bad) * config.loss_rate + pi_bad * config.ge_bad_loss;
+}
+
 LinkEmulator::LinkEmulator(sim::BandwidthTrace trace, const LinkConfig& config)
     : trace_(std::move(trace)), config_(config), rng_(config.seed) {}
+
+bool LinkEmulator::DrawLoss() {
+  if (config_.loss_model == LossModel::kIid) {
+    // The single-draw iid path is kept byte-for-byte: existing seeds must
+    // replay the exact historical loss pattern.
+    return rng_.Chance(config_.loss_rate);
+  }
+  // Gilbert–Elliott: advance the chain once per packet, then draw the
+  // current state's loss probability — two draws per packet, always, so
+  // the RNG stream stays aligned regardless of outcomes.
+  const bool transition =
+      rng_.Chance(ge_bad_ ? config_.ge_p_bad_good : config_.ge_p_good_bad);
+  if (transition) ge_bad_ = !ge_bad_;
+  return rng_.Chance(ge_bad_ ? config_.ge_bad_loss : config_.loss_rate);
+}
 
 double LinkEmulator::CapacityBitsPerMs(double now_ms) const {
   // Mbps -> bits per millisecond is a factor of 1000.
@@ -36,7 +70,7 @@ double LinkEmulator::CurrentQueueDelayMs(double now_ms) const {
 }
 
 bool LinkEmulator::Send(Packet packet, double now_ms) {
-  if (rng_.Chance(config_.loss_rate)) {
+  if (DrawLoss()) {
     ++packets_dropped_;
     Metrics().packets_dropped.Add();
     obs::TraceInstant("link.random_loss");

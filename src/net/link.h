@@ -16,13 +16,36 @@
 
 namespace livo::net {
 
+// Random-loss process applied before the queue. kIid draws one Bernoulli
+// per packet at loss_rate. kGilbertElliott runs the classic two-state
+// burst model: a good state losing at loss_rate and a bad state losing at
+// ge_bad_loss, with per-packet transition probabilities between them —
+// the stationary loss rate is available via MeanLossRate for budgeting.
+enum class LossModel {
+  kIid = 0,
+  kGilbertElliott = 1,
+};
+
+// Stable name for bench headers ("iid" / "gilbert_elliott").
+const char* LossModelName(LossModel model);
+
 struct LinkConfig {
   double propagation_delay_ms = 20.0;  // one-way
   double max_queue_delay_ms = 300.0;   // drop-tail bound
-  double loss_rate = 0.0;              // i.i.d. packet loss probability
+  double loss_rate = 0.0;              // loss probability (good state)
   double bandwidth_scale = 1.0;        // applied to the trace (DESIGN.md §1)
   std::uint64_t seed = 7;
+  LossModel loss_model = LossModel::kIid;
+  // Gilbert–Elliott parameters (used only under kGilbertElliott).
+  double ge_p_good_bad = 0.02;  // P(good -> bad) per packet
+  double ge_p_bad_good = 0.25;  // P(bad -> good) per packet
+  double ge_bad_loss = 0.5;     // drop probability in the bad state
 };
+
+// Long-run expected loss rate of the configured model: loss_rate for iid,
+// the stationary two-state mixture for Gilbert–Elliott. Used to price
+// parity overhead where no live loss estimate exists yet.
+double MeanLossRate(const LinkConfig& config);
 
 class LinkEmulator {
  public:
@@ -57,9 +80,13 @@ class LinkEmulator {
     double arrival_ms;
   };
 
+  // Draws the loss process for one packet (advances the GE chain).
+  bool DrawLoss();
+
   sim::BandwidthTrace trace_;
   LinkConfig config_;
   util::Rng rng_;
+  bool ge_bad_ = false;        // Gilbert–Elliott chain state
   double next_free_ms_ = 0.0;  // when the serializer becomes idle
   std::deque<InFlight> in_flight_;
   std::size_t packets_dropped_ = 0;

@@ -20,8 +20,14 @@ struct Packet {
   std::uint32_t stream_id = 0;       // 0 = color, 1 = depth, ...
   std::uint32_t frame_index = 0;
   std::uint16_t fragment = 0;        // index within the frame
-  std::uint16_t fragment_count = 0;  // fragments making up the frame
+  std::uint16_t fragment_count = 0;  // media fragments making up the frame
   bool keyframe = false;
+  // FEC parity packet (src/fec): `fragment` is then the parity group
+  // index in [0, parity_count) and `fragment_count` still carries the
+  // frame's media fragment count, so a parity-first arrival can size the
+  // reassembly state. Media packets keep parity_count = 0.
+  bool parity = false;
+  std::uint16_t parity_count = 0;    // parity packets protecting the frame
   std::size_t payload_bytes = 0;
   double send_time_ms = 0.0;
   double arrival_time_ms = 0.0;      // stamped by the link on delivery

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "fec/fec.h"
 #include "obs/obs.h"
 
 namespace livo::net {
@@ -21,6 +22,10 @@ struct TransportMetrics {
   obs::Counter& keyframe_requests = reg.GetCounter("net.keyframe_requests");
   obs::Counter& feedback_reports = reg.GetCounter("net.feedback_reports");
   obs::Counter& bytes_copied = reg.GetCounter("transport.bytes_copied");
+  obs::Counter& parity_packets = reg.GetCounter("net.parity_packets_sent");
+  obs::Counter& fragments_recovered =
+      reg.GetCounter("net.fragments_recovered");
+  obs::Counter& repairs_abandoned = reg.GetCounter("net.repairs_abandoned");
   obs::Gauge& estimated_bps = reg.GetGauge("net.estimated_bps");
   obs::Gauge& loss_fraction = reg.GetGauge("net.loss_fraction");
   obs::Gauge& rtt_ms = reg.GetGauge("net.rtt_ms");
@@ -84,6 +89,62 @@ void VideoChannel::SendFrame(
     sent_store_[p.sequence] = SentPacketRecord{p, data};
     link_->Send(p, now_ms);
   }
+  if (config_.enable_fec) {
+    // XOR interleaved parity over the frame's fragments (src/fec). Parity
+    // packets take real sequence numbers so feedback gap accounting and
+    // the GCC loop see them like any other traffic; only their payload
+    // *sizes* travel through the emulator — the XOR byte algebra is
+    // exercised by the fec unit tests and the copy_payloads fidelity path.
+    int parity =
+        fec::ParityCount(static_cast<int>(fragments), RedundancyFor(stream_id));
+    // The redundancy rate is a wire-byte guarantee over the channel's
+    // lifetime, not just a per-frame packet-count target: ceil-rounding on
+    // few-fragment frames (one parity packet on a one-fragment frame is
+    // 100% overhead) could otherwise ship far more parity than the policy
+    // asked for. Walk the count down until cumulative parity wire bytes
+    // stay under rate x cumulative media wire bytes — small frames then
+    // get their parity packet whenever the budget the larger frames left
+    // behind affords it, deterministically. The stream's policy rate (not
+    // the flat cap) prices the budget so overhead tracks the measured
+    // loss instead of saturating the cap.
+    std::vector<std::size_t> sizes;
+    const double parity_budget =
+        RedundancyFor(stream_id) *
+        static_cast<double>(stats_.bytes_sent - stats_.parity_bytes_sent);
+    while (parity > 0) {
+      sizes = fec::ParityPayloadSizes(size, kMtuBytes, parity);
+      std::size_t wire = static_cast<std::size_t>(parity) * kPacketOverhead;
+      for (const std::size_t s : sizes) wire += s;
+      if (static_cast<double>(stats_.parity_bytes_sent + wire) <=
+          parity_budget) {
+        break;
+      }
+      --parity;
+    }
+    if (parity > 0) {
+      for (int j = 0; j < parity; ++j) {
+        Packet p;
+        p.sequence = next_sequence_++;
+        p.flow_id = flow_id_;
+        p.stream_id = stream_id;
+        p.frame_index = frame_index;
+        p.fragment = static_cast<std::uint16_t>(j);
+        p.fragment_count = fragments;
+        p.keyframe = keyframe;
+        p.parity = true;
+        p.parity_count = static_cast<std::uint16_t>(parity);
+        p.payload_bytes = sizes[static_cast<std::size_t>(j)];
+        stats_.bytes_sent += p.WireBytes();
+        stats_.parity_bytes_sent += p.WireBytes();
+        ++stats_.parity_packets_sent;
+        metrics.bytes_sent.Add(p.WireBytes());
+        metrics.packets_sent.Add();
+        metrics.parity_packets.Add();
+        sent_store_[p.sequence] = SentPacketRecord{p, data};
+        link_->Send(p, now_ms);
+      }
+    }
+  }
   ++stats_.frames_sent;
   metrics.frames_sent.Add();
 
@@ -114,8 +175,22 @@ void VideoChannel::DeliverPacket(
     frame.send_time_ms = packet.send_time_ms;
   }
   if (!frame.data && data) frame.data = data;
-  if (packet.fragment < frame.have.size() &&
-      !frame.have[packet.fragment]) {
+  if (packet.parity) {
+    if (frame.parity_have.empty() && packet.parity_count > 0) {
+      frame.parity_count = packet.parity_count;
+      frame.parity_have.assign(packet.parity_count, false);
+    }
+    if (packet.fragment < frame.parity_have.size() &&
+        !frame.parity_have[packet.fragment]) {
+      frame.parity_have[packet.fragment] = true;
+      ++fb_received_unique_;
+      if (fec_hook_) {
+        fec_hook_(FecEvent::kParityIngested, packet.stream_id,
+                  packet.frame_index, now_ms, packet.payload_bytes);
+      }
+    }
+  } else if (packet.fragment < frame.have.size() &&
+             !frame.have[packet.fragment]) {
     frame.have[packet.fragment] = true;
     ++frame.received;
     ++fb_received_unique_;
@@ -151,21 +226,89 @@ void VideoChannel::DeliverPacket(
   fb_delay_sum_ms_ += std::max(0.0, owd);
   fb_highest_seq_ = std::max(fb_highest_seq_, packet.sequence + 1);
 
-  if (frame.Complete()) {
-    ReceivedFrame done;
-    done.stream_id = frame.stream_id;
-    done.frame_index = frame.frame_index;
-    done.keyframe = frame.keyframe;
-    done.send_time_ms = frame.send_time_ms;
-    done.complete_time_ms = now_ms;
-    done.release_time_ms = frame.send_time_ms + config_.jitter_buffer_ms;
-    done.data = frame.assembly
-                    ? std::shared_ptr<const std::vector<std::uint8_t>>(
-                          frame.assembly)
-                    : frame.data;
-    ready_.push_back(done);
-    pending_.erase(key);
+  // Any arrival (media or parity) may make a parity group recoverable
+  // *before* the NACK timer would even notice the gap.
+  if (config_.enable_fec && frame.parity_count > 0) TryRecover(key, now_ms);
+  ReleaseComplete(key, now_ms);
+}
+
+void VideoChannel::TryRecover(const FrameKey& key, double now_ms) {
+  const auto it = pending_.find(key);
+  if (it == pending_.end()) return;
+  PendingFrame& frame = it->second;
+  if (frame.parity_count == 0 || frame.Complete()) return;
+  // Groups partition the fragment range, so one pass over the present
+  // parity packets finds every single-gap group.
+  for (int j = 0; j < static_cast<int>(frame.parity_count); ++j) {
+    if (!frame.parity_have[static_cast<std::size_t>(j)]) continue;
+    const int missing =
+        fec::MissingFragment(frame.have, frame.parity_count, j);
+    if (missing < 0) continue;
+    MarkFragmentRecovered(frame, missing, now_ms);
   }
+}
+
+void VideoChannel::MarkFragmentRecovered(PendingFrame& frame, int index,
+                                         double now_ms) {
+  if (index < 0 || index >= static_cast<int>(frame.have.size()) ||
+      frame.have[static_cast<std::size_t>(index)]) {
+    return;
+  }
+  frame.have[static_cast<std::size_t>(index)] = true;
+  ++frame.received;
+  ++stats_.fragments_recovered;
+  ++stream_recovered_[frame.stream_id];
+  Metrics().fragments_recovered.Add();
+  obs::TraceInstant("net.fec_recovered");
+  // Recovered fragments are *not* wire receptions: the feedback gap keeps
+  // counting them as lost, so the loss estimate (and the redundancy it
+  // buys) still tracks the raw link.
+  std::size_t n = 0;
+  if (frame.data) {
+    n = fec::FragmentSize(frame.data->size(), kMtuBytes,
+                          static_cast<std::size_t>(index));
+    if (config_.copy_payloads && n > 0) {
+      // Fidelity mode: materialize the same span the XOR reconstruction
+      // yields (the algebra is unit-proved in test_fec; the single-process
+      // emulation can read it straight from the sender's buffer).
+      if (!frame.assembly) {
+        frame.assembly = std::make_shared<std::vector<std::uint8_t>>();
+        frame.assembly->reserve(frame.data->size());
+        frame.assembly->resize(frame.data->size());
+      }
+      const std::size_t offset =
+          static_cast<std::size_t>(index) * kMtuBytes;
+      std::copy_n(frame.data->begin() + static_cast<std::ptrdiff_t>(offset),
+                  n,
+                  frame.assembly->begin() +
+                      static_cast<std::ptrdiff_t>(offset));
+      stats_.bytes_copied += n;
+      Metrics().bytes_copied.Add(n);
+    }
+  }
+  if (fec_hook_) {
+    fec_hook_(FecEvent::kRecovered, frame.stream_id, frame.frame_index,
+              now_ms, n);
+  }
+}
+
+void VideoChannel::ReleaseComplete(const FrameKey& key, double now_ms) {
+  const auto it = pending_.find(key);
+  if (it == pending_.end() || !it->second.Complete()) return;
+  PendingFrame& frame = it->second;
+  ReceivedFrame done;
+  done.stream_id = frame.stream_id;
+  done.frame_index = frame.frame_index;
+  done.keyframe = frame.keyframe;
+  done.send_time_ms = frame.send_time_ms;
+  done.complete_time_ms = now_ms;
+  done.release_time_ms = frame.send_time_ms + config_.jitter_buffer_ms;
+  done.data = frame.assembly
+                  ? std::shared_ptr<const std::vector<std::uint8_t>>(
+                        frame.assembly)
+                  : frame.data;
+  ready_.push_back(done);
+  pending_.erase(it);
 }
 
 void VideoChannel::Step(double now_ms) {
@@ -197,7 +340,11 @@ void VideoChannel::Ingest(const Packet& packet, double now_ms) {
 }
 
 void VideoChannel::ProcessTimers(double now_ms) {
-  if (config_.enable_nack) RunNack(now_ms);
+  if (config_.enable_fec) {
+    RunRepairScheduler(now_ms);
+  } else if (config_.enable_nack) {
+    RunNack(now_ms);
+  }
 
   // Declare pending frames lost once their playout deadline passed; ask
   // for a keyframe so the decoder can resynchronize.
@@ -210,17 +357,27 @@ void VideoChannel::ProcessTimers(double now_ms) {
       Metrics().frames_lost.Add();
       obs::TraceInstant("net.frame_lost");
       LIVO_LOG(Debug) << "stream " << f.stream_id << " frame "
-                      << f.frame_index << " lost (" << f.received << "/"
-                      << f.have.size() << " fragments by deadline)";
+                      << f.frame_index << (f.keyframe ? " (key)" : "")
+                      << " lost (" << f.received << "/" << f.have.size()
+                      << " fragments by deadline)";
       // PLI throttling (as WebRTC does): a keyframe request storm after a
       // loss burst would make every frame an I-frame and deepen the
-      // congestion that caused the losses.
-      if (now_ms - last_keyframe_request_ms_[f.stream_id] > 300.0) {
+      // congestion that caused the losses. Under FEC the speculative PLI
+      // goes away entirely: parity + the deadline-aware scheduler already
+      // spent every repair that could land in time, a lost delta frame
+      // costs one stall and nothing else, and a lost keyframe surfaces as
+      // subscribers blocked at the SFU's decoder-safety gate — which
+      // requests a re-key on actual demand (see SfuActor::OnPairComplete)
+      // instead of on every loss the parity packets make visible here.
+      const bool continuity_broken = !config_.enable_fec;
+      if (continuity_broken &&
+          now_ms - last_keyframe_request_ms_[f.stream_id] > 300.0) {
         ++stats_.keyframe_requests;
         Metrics().keyframe_requests.Add();
         obs::TraceInstant("net.keyframe_request");
         keyframe_requested_[f.stream_id] = true;
         last_keyframe_request_ms_[f.stream_id] = now_ms;
+        ++stream_plis_[f.stream_id];
       }
       last_released_[f.stream_id] =
           std::max(last_released_[f.stream_id], f.frame_index);
@@ -251,8 +408,11 @@ void VideoChannel::RunNack(double now_ms) {
     // Retransmit missing fragments if they are still worth sending.
     if (frame.send_time_ms + config_.jitter_buffer_ms < now_ms) continue;
     frame.nacked_at_ms = now_ms;
+    ++stats_.nacks_sent;
+    ++stream_nacks_[frame.stream_id];
     for (auto& [seq, record] : sent_store_) {
-      if (record.packet.stream_id != frame.stream_id ||
+      if (record.packet.parity ||
+          record.packet.stream_id != frame.stream_id ||
           record.packet.frame_index != frame.frame_index) {
         continue;
       }
@@ -264,6 +424,118 @@ void VideoChannel::RunNack(double now_ms) {
       }
     }
   }
+}
+
+void VideoChannel::RunRepairScheduler(double now_ms) {
+  const double rtt = rtt_ms_.initialized()
+                         ? rtt_ms_.value()
+                         : 2.0 * config_.link.propagation_delay_ms;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    PendingFrame& frame = it->second;
+    if (frame.Complete() || frame.repair_given_up) {
+      ++it;
+      continue;
+    }
+    // Same staleness trigger and round-trip guard as the NACK timer: give
+    // in-flight fragments (and parity) half an RTT to close the gap.
+    const bool stale = now_ms - frame.last_arrival_ms > rtt / 2.0;
+    if (!stale ||
+        (frame.nacked_at_ms >= 0.0 && now_ms - frame.nacked_at_ms < rtt)) {
+      ++it;
+      continue;
+    }
+    const double deadline = frame.send_time_ms + config_.jitter_buffer_ms +
+                            config_.link.propagation_delay_ms;
+    // The emulated NACK has no reverse path (the receiver pulls the
+    // retransmission straight out of the sender's store), so the repair
+    // latency is the one-way resend trip — half the measured round trip.
+    if (now_ms + rtt / 2.0 <= deadline) {
+      // The repair round-trip fits before playout: admit it.
+      frame.nacked_at_ms = now_ms;
+      ++stats_.nacks_sent;
+      ++stats_.repairs_scheduled;
+      ++stream_nacks_[frame.stream_id];
+      if (fec_hook_) {
+        fec_hook_(FecEvent::kRepairScheduled, frame.stream_id,
+                  frame.frame_index, now_ms, 0);
+      }
+      if (config_.enable_nack) {
+        for (auto& [seq, record] : sent_store_) {
+          if (record.packet.parity ||
+              record.packet.stream_id != frame.stream_id ||
+              record.packet.frame_index != frame.frame_index) {
+            continue;
+          }
+          if (record.packet.fragment < frame.have.size() &&
+              !frame.have[record.packet.fragment]) {
+            ++stats_.packets_retransmitted;
+            Metrics().packets_retransmitted.Add();
+            link_->Send(record.packet, now_ms);
+          }
+        }
+      }
+      ++it;
+    } else {
+      // No repair can land before the playout deadline: stop spending
+      // repair rounds on this frame instead of burning the round-trip.
+      // The frame itself stays pending — fragments already in flight (or
+      // a parity packet) may still complete it before the deadline
+      // timeout in Step declares it lost; that timeout also owns the PLI
+      // decision (throttled, and suppressed while a later keyframe is
+      // already in hand so continuity is not actually broken).
+      frame.repair_given_up = true;
+      ++stats_.repairs_abandoned;
+      Metrics().repairs_abandoned.Add();
+      obs::TraceInstant("net.repair_abandoned");
+      if (fec_hook_) {
+        fec_hook_(FecEvent::kRepairAbandoned, frame.stream_id,
+                  frame.frame_index, now_ms, 0);
+      }
+      ++it;
+    }
+  }
+}
+
+bool VideoChannel::HaveLaterKeyframe(std::uint32_t stream_id,
+                                     std::uint32_t frame_index) const {
+  for (const ReceivedFrame& r : ready_) {
+    if (r.stream_id == stream_id && r.frame_index > frame_index &&
+        r.keyframe) {
+      return true;
+    }
+  }
+  for (auto it = pending_.upper_bound(FrameKey{stream_id, frame_index});
+       it != pending_.end() && it->first.first == stream_id; ++it) {
+    if (it->second.keyframe) return true;
+  }
+  return false;
+}
+
+void VideoChannel::SetStreamRedundancy(std::uint32_t stream_id,
+                                       double redundancy) {
+  stream_redundancy_[stream_id] = std::clamp(
+      redundancy, 0.0, std::max(0.0, config_.fec_redundancy_cap));
+}
+
+double VideoChannel::RedundancyFor(std::uint32_t stream_id) const {
+  const auto it = stream_redundancy_.find(stream_id);
+  return it == stream_redundancy_.end() ? 0.0 : it->second;
+}
+
+std::size_t VideoChannel::StreamKeyframeRequests(
+    std::uint32_t stream_id) const {
+  const auto it = stream_plis_.find(stream_id);
+  return it == stream_plis_.end() ? 0 : it->second;
+}
+
+std::size_t VideoChannel::StreamNacks(std::uint32_t stream_id) const {
+  const auto it = stream_nacks_.find(stream_id);
+  return it == stream_nacks_.end() ? 0 : it->second;
+}
+
+std::size_t VideoChannel::StreamRecovered(std::uint32_t stream_id) const {
+  const auto it = stream_recovered_.find(stream_id);
+  return it == stream_recovered_.end() ? 0 : it->second;
 }
 
 void VideoChannel::EmitFeedback(double now_ms) {
@@ -291,6 +563,11 @@ void VideoChannel::EmitFeedback(double now_ms) {
   metrics.feedback_reports.Add();
   metrics.estimated_bps.Set(estimator_.EstimateBps());
   const int total = report.received_packets + report.lost_packets;
+  if (total > 0) {
+    // Smoothed loss estimate feeding the FEC redundancy policy (empty
+    // intervals carry no loss information and are skipped).
+    loss_ewma_.Add(static_cast<double>(report.lost_packets) / total);
+  }
   metrics.loss_fraction.Set(
       total > 0 ? static_cast<double>(report.lost_packets) / total : 0.0);
   metrics.rtt_ms.Set(rtt_ms_.value());
@@ -352,16 +629,24 @@ double VideoChannel::NextEventTimeMs() const {
                     StrictlyAfter(frame.send_time_ms +
                                   config_.jitter_buffer_ms +
                                   config_.link.propagation_delay_ms));
-    if (config_.enable_nack && !frame.Complete() && frame.received > 0) {
+    const bool repair_armed =
+        !frame.repair_given_up &&
+        (config_.enable_fec ||
+         (config_.enable_nack && frame.received > 0));
+    if (repair_armed && !frame.Complete()) {
       // Staleness is strict ('now - last_arrival > rtt/2'); the re-NACK
       // guard is non-strict ('now - nacked_at >= rtt' to act).
       double t = StrictlyAfter(frame.last_arrival_ms + rtt / 2.0);
       if (frame.nacked_at_ms >= 0.0) {
         t = std::max(t, frame.nacked_at_ms + rtt);
       }
-      // Past send+jitter a retransmission is no longer worth sending
-      // (RunNack skips it); the deadline event above handles cleanup.
-      if (t <= frame.send_time_ms + config_.jitter_buffer_ms) {
+      if (config_.enable_fec) {
+        // The repair scheduler must also fire *past* send+jitter: that is
+        // where it abandons unrepairable frames ahead of the deadline.
+        next = std::min(next, t);
+      } else if (t <= frame.send_time_ms + config_.jitter_buffer_ms) {
+        // Past send+jitter a retransmission is no longer worth sending
+        // (RunNack skips it); the deadline event above handles cleanup.
         next = std::min(next, t);
       }
     }

@@ -10,7 +10,15 @@
 //   * frames still incomplete at their playout deadline are dropped and a
 //     PLI/FIR-style keyframe request is raised (§A.1);
 //   * periodic receiver reports feed the GCC estimator whose output is the
-//     bandwidth handed to LiVo's splitter (§3.3).
+//     bandwidth handed to LiVo's splitter (§3.3);
+//   * with FEC enabled (src/fec, DESIGN.md §12), frames carry XOR
+//     interleaved parity sized per stream via SetStreamRedundancy, missing
+//     fragments are rebuilt from parity on arrival, and the blind NACK
+//     timer is replaced by a deadline-aware repair scheduler: a
+//     retransmission round is admitted only when it can land before the
+//     frame's playout deadline given the smoothed RTT; otherwise the frame
+//     is abandoned immediately, raising a PLI only when decode continuity
+//     is actually broken (no later keyframe already in hand).
 //
 // ReliableChannel models MeshReduce's TCP sockets: nothing is ever lost,
 // but delivery waits for (re)transmission, so under-provisioned bandwidth
@@ -52,6 +60,14 @@ struct ChannelConfig {
   double jitter_buffer_ms = 100.0;  // §4.4: "we use 100 ms"
   double feedback_interval_ms = 100.0;
   bool enable_nack = true;
+  // ---- Forward error correction (src/fec, DESIGN.md §12) ----
+  // Enables the parity send path, receiver-side recovery, and the
+  // deadline-aware repair scheduler (which then replaces the blind NACK
+  // timer; enable_nack still gates whether admitted repairs may actually
+  // retransmit). Per-stream redundancy defaults to 0 until the owner
+  // calls SetStreamRedundancy.
+  bool enable_fec = false;
+  double fec_redundancy_cap = 0.5;  // ceiling on parity/media per frame
   // Fidelity mode: reassemble frames by copying every fragment's payload
   // into an exactly-reserved buffer, as a real receiver must. The default
   // (false) keeps the single-process zero-copy shortcut — the sender's
@@ -73,6 +89,13 @@ struct ChannelStats {
   std::size_t bytes_sent = 0;
   std::size_t bytes_delivered = 0;  // payload bytes released to the app
   std::size_t bytes_copied = 0;  // payload bytes memcpy'd during reassembly
+  // Loss-resilience counters (all zero with FEC disabled).
+  std::size_t parity_packets_sent = 0;
+  std::size_t parity_bytes_sent = 0;    // wire bytes, subset of bytes_sent
+  std::size_t fragments_recovered = 0;  // media fragments rebuilt from parity
+  std::size_t nacks_sent = 0;           // retransmit-request rounds (any kind)
+  std::size_t repairs_scheduled = 0;    // deadline-admitted repair rounds
+  std::size_t repairs_abandoned = 0;    // frames given up before the deadline
 };
 
 class VideoChannel {
@@ -128,6 +151,40 @@ class VideoChannel {
   // horizon).
   double SmoothedRttMs() const { return rtt_ms_.value(); }
 
+  // ---- Loss resilience (src/fec, DESIGN.md §12) ----
+
+  // Parity/media ratio for subsequent SendFrame calls on `stream_id`,
+  // clamped to [0, fec_redundancy_cap]. No-op while enable_fec is false.
+  void SetStreamRedundancy(std::uint32_t stream_id, double redundancy);
+
+  // Smoothed receiver-path loss fraction from the feedback loop, in
+  // [0, 1]; 0 until the first report with traffic.
+  double LossEstimate() const {
+    return loss_ewma_.initialized() ? loss_ewma_.value() : 0.0;
+  }
+
+  // Per-stream receiver-side counters, for per-origin surfacing by the
+  // conference layer (0 for streams never seen).
+  std::size_t StreamKeyframeRequests(std::uint32_t stream_id) const;
+  std::size_t StreamNacks(std::uint32_t stream_id) const;
+  std::size_t StreamRecovered(std::uint32_t stream_id) const;
+
+  // Observability hook for the FEC/repair lifecycle. The channel knows
+  // only (stream, frame); the owner maps that to whatever identity it
+  // ledgers under (origin, subscriber, lane). `bytes` carries the parity
+  // payload / recovered fragment size where meaningful.
+  enum class FecEvent {
+    kParityIngested,
+    kRecovered,
+    kRepairScheduled,
+    kRepairAbandoned,
+  };
+  using FecEventHook =
+      std::function<void(FecEvent event, std::uint32_t stream_id,
+                         std::uint32_t frame_index, double now_ms,
+                         std::size_t bytes)>;
+  void SetFecEventHook(FecEventHook hook) { fec_hook_ = std::move(hook); }
+
   const ChannelStats& stats() const { return stats_; }
   const LinkEmulator& link() const { return *link_; }
   std::uint32_t flow_id() const { return flow_id_; }
@@ -143,9 +200,18 @@ class VideoChannel {
     std::shared_ptr<std::vector<std::uint8_t>> assembly;
     std::vector<bool> have;
     int received = 0;
+    // FEC state: which parity packets arrived (sized parity_count on the
+    // first parity arrival) — media completion still only counts `have`.
+    std::vector<bool> parity_have;
+    std::uint16_t parity_count = 0;
     double send_time_ms = 0.0;
     double last_arrival_ms = 0.0;
     double nacked_at_ms = -1.0;
+    // Repair scheduler verdict: no repair round-trip can beat the playout
+    // deadline, so no more repair rounds are spent — but fragments already
+    // in flight (or parity) may still complete the frame naturally before
+    // the deadline timeout declares it lost.
+    bool repair_given_up = false;
 
     bool Complete() const {
       return received == static_cast<int>(have.size()) && !have.empty();
@@ -164,8 +230,19 @@ class VideoChannel {
       const std::shared_ptr<const std::vector<std::uint8_t>>& data,
       double now_ms);
   void RunNack(double now_ms);
+  // Deadline-aware replacement for RunNack when enable_fec is set.
+  void RunRepairScheduler(double now_ms);
+  // Rebuilds every fragment a present parity group can recover; releases
+  // the frame if that completes it.
+  void TryRecover(const FrameKey& key, double now_ms);
+  // Marks media fragment `index` of `frame` received (recovery path).
+  void MarkFragmentRecovered(PendingFrame& frame, int index, double now_ms);
+  void ReleaseComplete(const FrameKey& key, double now_ms);
+  bool HaveLaterKeyframe(std::uint32_t stream_id,
+                         std::uint32_t frame_index) const;
+  double RedundancyFor(std::uint32_t stream_id) const;
   void EmitFeedback(double now_ms);
-  // The timer half of Step(): NACK, playout deadlines, feedback reports.
+  // The timer half of Step(): NACK/repairs, playout deadlines, feedback.
   void ProcessTimers(double now_ms);
 
   ChannelConfig config_;
@@ -178,7 +255,14 @@ class VideoChannel {
   FrameSink frame_sink_;
   GccEstimator estimator_;
   util::Ewma rtt_ms_{0.2};
+  util::Ewma loss_ewma_{0.3};
   ChannelStats stats_;
+  FecEventHook fec_hook_;
+  std::map<std::uint32_t, double> stream_redundancy_;
+  // Receiver-side per-stream counters (per-origin telemetry surfacing).
+  std::map<std::uint32_t, std::size_t> stream_plis_;
+  std::map<std::uint32_t, std::size_t> stream_nacks_;
+  std::map<std::uint32_t, std::size_t> stream_recovered_;
 
   std::uint64_t next_sequence_ = 0;
   std::map<std::uint64_t, SentPacketRecord> sent_store_;

@@ -24,6 +24,10 @@ const char* LedgerHopName(LedgerHop hop) {
     case LedgerHop::kRelayForwarded: return "relay_forwarded";
     case LedgerHop::kRelayIngested: return "relay_ingested";
     case LedgerHop::kRelayDropped: return "relay_dropped";
+    case LedgerHop::kParityIngested: return "parity_ingested";
+    case LedgerHop::kRecoveredFec: return "recovered_fec";
+    case LedgerHop::kRepairScheduled: return "repair_scheduled";
+    case LedgerHop::kRepairAbandoned: return "repair_abandoned";
   }
   return "?";
 }

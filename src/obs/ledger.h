@@ -54,6 +54,17 @@ enum class LedgerHop : std::uint8_t {
   kRelayForwarded = 14,  // prefix layer admitted onto a relay pipe
   kRelayIngested = 15,   // prefix layer arrived at a destination edge
   kRelayDropped = 16,    // relay allocator refused the ladder
+  // Loss-resilience hops (src/fec + net/transport repair scheduler). The
+  // subscriber field names the receiving end of the lossy access link:
+  // -1 for an origin's uplink (receiver = the SFU), the participant index
+  // for a downlink. For these hops the `layer` field carries the
+  // channel-local stream id rather than a ladder layer, so color and
+  // depth lanes of the same pair stay distinguishable to the checker
+  // (livo_report's layer-conservation rules only inspect forwarded hops).
+  kParityIngested = 17,   // a parity packet survived the link
+  kRecoveredFec = 18,     // a missing media fragment rebuilt from parity
+  kRepairScheduled = 19,  // deadline-admitted retransmission round
+  kRepairAbandoned = 20,  // frame given up early (repair cannot make it)
 };
 
 // Stable JSONL name ("captured", "dropped_budget", ...).

@@ -23,6 +23,10 @@
 #     the frame ledger's invariants (hop ordering, gate counts vs SFU
 #     counters, audit reconciliation, per-layer conservation and the
 #     switch-only-at-keyframe rule) hold under sanitizers on every change.
+#  4. Loss-resilience gate — the same traced 8-party run on 5%-iid-loss
+#     links with FEC enabled (--loss=0.05 --fec), checked for the repair
+#     conservation rules: recoveries cite parity ingests, abandoned
+#     repairs are terminal, and the ledger totals match the run counters.
 #
 # For the fast unsanitized subset of the same surface, use the ctest
 # label instead: ctest --test-dir build -L quick.
@@ -128,5 +132,29 @@ if [ ! -e "${TELEMETRY_FILES[0]}" ]; then
   exit 1
 fi
 "${BUILD_DIR}/tools/livo_report" --check --quiet "${TELEMETRY_FILES[@]}"
+
+# --- Pass 4: lossy FEC run -> repair-conservation telemetry gate ---
+#
+# The same traced 8-party conference on 5%-loss links with the FEC
+# subsystem enabled (DESIGN.md §12): livo_report --check now also proves
+# every recovered fragment cites an earlier parity ingest and every
+# abandoned repair is terminal (no NACK after giving up).
+
+echo "[livo_check] telemetry gate: lossy traced 8-party conference" \
+     "(5% iid loss, FEC on) + livo_report"
+LOSSY_DIR="$(mktemp -d)"
+trap 'rm -rf "${TELEMETRY_DIR}" "${LOSSY_DIR}"' EXIT
+(
+  cd "${LOSSY_DIR}"
+  LIVO_TRACE=1 LIVO_TRACE_DIR="${LOSSY_DIR}" \
+    "${BUILD_DIR}/bench/bench_conference" --parties=8 --loss=0.05 --fec \
+    --fresh --conference_json="${LOSSY_DIR}/bench.json" > /dev/null
+)
+LOSSY_FILES=("${LOSSY_DIR}"/*.telemetry.jsonl)
+if [ ! -e "${LOSSY_FILES[0]}" ]; then
+  echo "[livo_check] FAIL: lossy traced run produced no telemetry JSONL" >&2
+  exit 1
+fi
+"${BUILD_DIR}/tools/livo_report" --check --quiet "${LOSSY_FILES[@]}"
 
 echo "[livo_check] OK"

@@ -209,6 +209,12 @@ int NumInt(const JsonValue& v, const std::string& key, int fallback = 0) {
 
 using PairKey = std::pair<int, int>;             // (origin, frame)
 using SubKey = std::tuple<int, int, int>;        // (origin, frame, subscriber)
+// FEC hops are scoped to one channel stream: the ledger's `layer` field
+// carries the channel-local stream id for parity/recovery/repair hops
+// (color and depth lanes stay distinct), and `subscriber` is -1 for
+// uplink hops (the SFU is the receiver) or the subscriber index for
+// downlink hops.
+using FecKey = std::tuple<int, int, int, int>;   // + channel stream id
 
 constexpr double kTimeTolMs = 1e-6;
 
@@ -255,6 +261,16 @@ struct LedgerIndex {
   std::map<DestLayerKey, std::uint64_t> ingested;
   std::map<PairKey, std::set<int>> ingested_regions;
   std::uint64_t relay_bad_layer = 0;  // forward/ingest hops with layer < 0
+  // FEC repair lifecycle (all empty on FEC-off telemetry).
+  std::map<FecKey, double> parity_first;        // earliest parity ingest
+  std::vector<std::pair<FecKey, double>> recoveries;
+  std::map<FecKey, std::vector<double>> repair_scheduled;
+  std::map<FecKey, std::vector<double>> repair_abandoned;
+  std::uint64_t recovered_total = 0;
+  std::uint64_t downlink_scheduled = 0;   // subscriber >= 0 hops only
+  std::uint64_t downlink_abandoned = 0;
+  std::map<std::pair<int, int>, std::uint64_t>
+      recovered_by_stream;  // (origin, subscriber >= 0) -> recoveries
 };
 
 LedgerIndex IndexLedger(const Telemetry& telemetry) {
@@ -280,6 +296,30 @@ LedgerIndex IndexLedger(const Telemetry& telemetry) {
       }
       // relay_dropped needs no per-pair index: the run-counter total and
       // the region-aware verdict rule account for it.
+      continue;
+    }
+    if (hop.hop == "parity_ingested" || hop.hop == "recovered_fec" ||
+        hop.hop == "repair_scheduled" || hop.hop == "repair_abandoned") {
+      // FEC hops reuse `subscriber` for the receiver (-1 = SFU) and
+      // `layer` for the channel stream id; keep them out of the
+      // pair/subscriber lifecycle maps.
+      const FecKey fk{hop.origin, hop.frame, hop.subscriber, hop.layer};
+      if (hop.hop == "parity_ingested") {
+        const auto [it, fresh] = index.parity_first.emplace(fk, hop.t_ms);
+        if (!fresh) it->second = std::min(it->second, hop.t_ms);
+      } else if (hop.hop == "recovered_fec") {
+        index.recoveries.emplace_back(fk, hop.t_ms);
+        ++index.recovered_total;
+        if (hop.subscriber >= 0) {
+          ++index.recovered_by_stream[{hop.origin, hop.subscriber}];
+        }
+      } else if (hop.hop == "repair_scheduled") {
+        index.repair_scheduled[fk].push_back(hop.t_ms);
+        if (hop.subscriber >= 0) ++index.downlink_scheduled;
+      } else {
+        index.repair_abandoned[fk].push_back(hop.t_ms);
+        if (hop.subscriber >= 0) ++index.downlink_abandoned;
+      }
       continue;
     }
     if (hop.subscriber < 0) {
@@ -508,6 +548,15 @@ Telemetry LoadTelemetry(std::istream& is) {
       run.relay_demand_reports = NumU64(value, "relay_demand_reports");
       run.layer_switches_up = NumU64(value, "layer_switches_up");
       run.layer_switches_down = NumU64(value, "layer_switches_down");
+      run.fec = value.Bool("fec");
+      run.uplink_parity_bytes = NumU64(value, "uplink_parity_bytes");
+      run.downlink_parity_bytes = NumU64(value, "downlink_parity_bytes");
+      run.downlink_bytes = NumU64(value, "downlink_bytes");
+      run.fragments_recovered = NumU64(value, "fragments_recovered");
+      run.repairs_scheduled = NumU64(value, "repairs_scheduled");
+      run.repairs_abandoned = NumU64(value, "repairs_abandoned");
+      run.nack_rounds = NumU64(value, "nack_rounds");
+      run.plis = NumU64(value, "plis");
       if (const JsonValue* fbl = value.Find("forwarded_by_layer");
           fbl != nullptr && fbl->kind == JsonValue::Kind::kArray) {
         for (const JsonValue& n : fbl->array) {
@@ -529,6 +578,9 @@ Telemetry LoadTelemetry(std::istream& is) {
       stream.mean_latency_ms = value.Num("mean_latency_ms");
       stream.stall_aware_latency_ms = value.Num("stall_aware_latency_ms");
       stream.layer_switches = NumU64(value, "layer_switches");
+      stream.keyframe_requests = NumU64(value, "keyframe_requests");
+      stream.nacks = NumU64(value, "nacks");
+      stream.recovered = NumU64(value, "recovered");
       if (const JsonValue* fbl = value.Find("forwarded_by_layer");
           fbl != nullptr && fbl->kind == JsonValue::Kind::kArray) {
         for (const JsonValue& n : fbl->array) {
@@ -1090,6 +1142,89 @@ std::vector<std::string> CheckInvariants(const Telemetry& telemetry) {
     }
   }
 
+  // ---- FEC repair conservation (run.fec or any FEC hop present) ----
+  const bool has_fec_hops =
+      !index.parity_first.empty() || !index.recoveries.empty() ||
+      !index.repair_scheduled.empty() || !index.repair_abandoned.empty();
+  if (run.fec || has_fec_hops) {
+    const auto fec_id = [](const FecKey& key) {
+      const int receiver = std::get<2>(key);
+      return "pair (" + std::to_string(std::get<0>(key)) + "," +
+             std::to_string(std::get<1>(key)) + ") receiver " +
+             (receiver < 0 ? std::string("sfu")
+                           : std::to_string(receiver)) +
+             " stream " + std::to_string(std::get<3>(key));
+    };
+    // Every recovery cites a parity ingest: rebuilding a fragment from
+    // parity requires a parity packet for the same frame on the same
+    // channel stream to have arrived first.
+    for (const auto& [key, t] : index.recoveries) {
+      const auto it = index.parity_first.find(key);
+      if (it == index.parity_first.end()) {
+        sink.Add("fec: " + fec_id(key) +
+                 " recovered a fragment without any parity ingest");
+      } else if (t + kTimeTolMs < it->second) {
+        sink.Add("fec: " + fec_id(key) + " recovered at " +
+                 std::to_string(t) + "ms before its first parity ingest at " +
+                 std::to_string(it->second) + "ms");
+      }
+    }
+    // An abandoned repair is terminal: the receiver erased the frame and
+    // advanced its release cursor, so the same scope must never abandon
+    // twice nor schedule a repair round at or after the abandonment.
+    for (const auto& [key, times] : index.repair_abandoned) {
+      if (times.size() > 1) {
+        sink.Add("fec: " + fec_id(key) + " abandoned " +
+                 std::to_string(times.size()) + " times (expected at most 1)");
+      }
+      const double abandoned = *std::min_element(times.begin(), times.end());
+      const auto it = index.repair_scheduled.find(key);
+      if (it == index.repair_scheduled.end()) continue;
+      for (const double t : it->second) {
+        if (t + kTimeTolMs > abandoned) {
+          sink.Add("fec: " + fec_id(key) + " schedules a repair at " +
+                   std::to_string(t) + "ms despite abandonment at " +
+                   std::to_string(abandoned) + "ms");
+        }
+      }
+    }
+    // Traced FEC runs: ledger totals vs the run line. recovered_fec hops
+    // cover both directions (the run counter sums downlink + uplink);
+    // the scheduler counters are downlink-only, so compare them against
+    // the subscriber-scoped hops.
+    if (run.present && run.fec && !telemetry.hops.empty()) {
+      const std::pair<const char*, std::pair<std::uint64_t, std::uint64_t>>
+          expectations[] = {
+              {"recovered_fec",
+               {index.recovered_total, run.fragments_recovered}},
+              {"repair_scheduled (downlink)",
+               {index.downlink_scheduled, run.repairs_scheduled}},
+              {"repair_abandoned (downlink)",
+               {index.downlink_abandoned, run.repairs_abandoned}},
+          };
+      for (const auto& [hop, counts] : expectations) {
+        if (counts.first != counts.second) {
+          sink.Add(std::string("counter mismatch: ledger has ") +
+                   std::to_string(counts.first) + " '" + hop +
+                   "' events but run counter says " +
+                   std::to_string(counts.second));
+        }
+      }
+      for (const StreamInfo& stream : telemetry.streams) {
+        const auto it = index.recovered_by_stream.find(
+            {stream.origin, stream.subscriber});
+        const std::uint64_t got =
+            it == index.recovered_by_stream.end() ? 0 : it->second;
+        if (got != stream.recovered) {
+          sink.Add("fec: stream (" + std::to_string(stream.origin) + "->" +
+                   std::to_string(stream.subscriber) + ") ledger has " +
+                   std::to_string(got) + " recoveries but stream line says " +
+                   std::to_string(stream.recovered));
+        }
+      }
+    }
+  }
+
   // Audit rows: forwarded <= budget + carried credit.
   for (const AuditRow& row : telemetry.audits) {
     const double cap = row.budget_bytes + row.credit_bytes;
@@ -1230,6 +1365,22 @@ void PrintReport(std::ostream& os, const Telemetry& telemetry,
       os << "], switches up " << run.layer_switches_up << " / down "
          << run.layer_switches_down << "\n";
     }
+    if (run.fec) {
+      const double media = static_cast<double>(
+          run.downlink_bytes - std::min(run.downlink_bytes,
+                                        run.downlink_parity_bytes));
+      const double overhead =
+          media > 0.0
+              ? static_cast<double>(run.downlink_parity_bytes) / media
+              : 0.0;
+      os << "fec: parity " << run.uplink_parity_bytes << " B up / "
+         << run.downlink_parity_bytes << " B down (" << std::fixed
+         << std::setprecision(1) << 100.0 * overhead
+         << "% of downlink media), recovered " << run.fragments_recovered
+         << " fragments, repairs scheduled " << run.repairs_scheduled
+         << " / abandoned " << run.repairs_abandoned << ", nack rounds "
+         << run.nack_rounds << ", PLIs " << run.plis << "\n";
+    }
     if (run.regions > 1) {
       os << "cascade: " << run.regions << " regions, ladders offered "
          << run.relay_ladders_offered << ", prefixes admitted "
@@ -1271,6 +1422,22 @@ void PrintReport(std::ostream& os, const Telemetry& telemetry,
     }
     os << "first interval with conference-wide stall rate > 50%: "
        << FmtMs(analysis.global_stall_onset_ms) << " ms\n";
+  }
+
+  if (run.fec && !telemetry.streams.empty()) {
+    os << "\n== streams (loss resilience) ==\n";
+    os << std::left << std::setw(8) << "origin" << std::setw(6) << "sub"
+       << std::right << std::setw(8) << "fwd" << std::setw(8) << "rend"
+       << std::setw(10) << "stall" << std::setw(8) << "pli" << std::setw(8)
+       << "nack" << std::setw(10) << "recov" << "\n";
+    for (const StreamInfo& s : telemetry.streams) {
+      os << std::left << std::setw(8) << s.origin << std::setw(6)
+         << s.subscriber << std::right << std::setw(8) << s.forwarded
+         << std::setw(8) << s.rendered << std::fixed << std::setprecision(3)
+         << std::setw(10) << s.stall_rate << std::setw(8)
+         << s.keyframe_requests << std::setw(8) << s.nacks << std::setw(10)
+         << s.recovered << "\n";
+    }
   }
 
   if (!analysis.shares.empty()) {

@@ -84,6 +84,22 @@ struct RunInfo {
   std::uint64_t relay_bytes = 0;
   std::uint64_t relay_pli_relays = 0;
   std::uint64_t relay_demand_reports = 0;
+  // Loss-resilience fields (src/fec); fec == false on pre-FEC telemetry
+  // and on runs with the subsystem disabled. Parity bytes are wire
+  // overhead on top of the media bytes; fragments_recovered counts
+  // fragments rebuilt from parity with no retransmission; repairs_* are
+  // the downlink deadline-aware scheduler's admit/abandon verdicts;
+  // nack_rounds are repair rounds in both directions; plis are keyframe
+  // requests raised by receivers in both directions.
+  bool fec = false;
+  std::uint64_t uplink_parity_bytes = 0;
+  std::uint64_t downlink_parity_bytes = 0;
+  std::uint64_t downlink_bytes = 0;
+  std::uint64_t fragments_recovered = 0;
+  std::uint64_t repairs_scheduled = 0;
+  std::uint64_t repairs_abandoned = 0;
+  std::uint64_t nack_rounds = 0;
+  std::uint64_t plis = 0;
 };
 
 struct StreamInfo {
@@ -97,6 +113,12 @@ struct StreamInfo {
   double mean_latency_ms = 0.0;        // delivered frames only
   double stall_aware_latency_ms = 0.0; // all expected frames (AoI gap)
   std::uint64_t layer_switches = 0;
+  // Per-stream loss-resilience counters (all zero on pre-FEC telemetry):
+  // PLIs this subscriber raised for the origin, repair rounds, and
+  // fragments rebuilt from parity.
+  std::uint64_t keyframe_requests = 0;
+  std::uint64_t nacks = 0;
+  std::uint64_t recovered = 0;
   std::vector<std::uint64_t> forwarded_by_layer;
 };
 
@@ -209,6 +231,17 @@ Analysis Analyze(const Telemetry& telemetry);
 // becomes region-aware: a completed pair owes one verdict per origin-edge
 // local subscriber plus one per subscriber of every region that ingested
 // it (relay-dropped regions owe none).
+//
+// FEC runs (run.fec, or any parity/recovery hop present) add repair
+// conservation: every recovered_fec hop cites a parity_ingested hop on
+// the same (origin, frame, receiver, channel stream) at an earlier or
+// equal time; an abandoned repair is terminal — at most one
+// repair_abandoned per scope, and no repair_scheduled at or after it (an
+// abandoned frame must never also NACK); and on traced runs the ledger's
+// recovered_fec total matches the run line's fragments_recovered, the
+// downlink repair_scheduled / repair_abandoned hops match the run line's
+// scheduler counters, and each stream line's `recovered` matches its
+// downlink recovered_fec hops.
 std::vector<std::string> CheckInvariants(const Telemetry& telemetry);
 
 // Human-readable report (summary, drop attribution, stall onsets, share
